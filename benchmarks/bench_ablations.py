@@ -1,0 +1,66 @@
+"""Ablation benchmarks A1-A5: the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_a1_the_theta(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("A1").run)
+    save_table("A1", table)
+    # The optimized θ* is never beaten by a fixed threshold.
+    for _eps, _theta, _var, vs_optimal in table.rows:
+        assert vs_optimal >= 1.0 - 1e-9
+
+
+def bench_a2_olh_g(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("A2").run, n=30_000, seed=31)
+    save_table("A2", table)
+    rows = {}
+    for eps, g, emp, ana, is_default in table.rows:
+        rows.setdefault(eps, {})[g] = (emp, ana, is_default)
+    for eps, by_g in rows.items():
+        default_emp = next(v[0] for v in by_g.values() if v[2])
+        best_emp = min(v[0] for v in by_g.values())
+        # The default g is within noise of the best swept g.
+        assert default_emp <= best_emp * 1.35, f"eps={eps}"
+    # BLH (g=2) is clearly worse than the default at eps >= 2.
+    assert rows[2.0][2][0] > 1.5 * next(
+        v[0] for v in rows[2.0].values() if v[2]
+    )
+
+
+def bench_a3_dbitflip_d(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("A3").run, n=40_000, seed=32)
+    save_table("A3", table)
+    rmse = table.column("rmse")
+    ratio = table.column("max_privacy_ratio")
+    # Error falls monotonically-ish with d; privacy ratio fixed at e^eps.
+    assert rmse[-1] < rmse[0] / 4
+    assert all(abs(r - ratio[0]) < 1e-9 for r in ratio)
+    # sqrt(k/d) law: d 1 -> 64 shrinks error by ~8 (wide band).
+    assert 4.0 < rmse[0] / rmse[-1] < 16.0
+
+
+def bench_a4_pem_params(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("A4").run, n=80_000, seed=33)
+    save_table("A4", table)
+    rows = {(row[0], row[1]): (row[2], row[3]) for row in table.rows}
+    # Wider beams never evaluate fewer candidates.
+    for step in (1, 2, 4):
+        work = [rows[(b, step)][1] for b in (1, 2, 4, 8)]
+        assert all(a <= b for a, b in zip(work, work[1:]))
+    # The widest beam matches or beats the narrowest on F1 per step.
+    for step in (1, 2, 4):
+        assert rows[(8, step)][0] >= rows[(1, step)][0] - 0.1
+
+
+def bench_a5_interactive(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("A5").run, seed=34)
+    save_table("A5", table)
+    gain = {row[0]: row[3] for row in table.rows}
+    # Below the DE crossover the broad oracle already saturates: the
+    # adaptive narrowing loses.  Above it, adaptivity wins.
+    assert gain[1.0] < 1.0
+    assert gain[2.0] > 1.2
+    assert gain[3.0] > 1.1

@@ -1,0 +1,27 @@
+"""E1 benchmark: frequency-oracle accuracy vs ε (DESIGN.md §5)."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e1_fo_epsilon(benchmark, save_table):
+    table = run_once(
+        benchmark, get_experiment("E1").run, domain_size=128, n=50_000, seed=1
+    )
+    save_table("E1", table)
+
+    rows = {
+        (row[0], row[1]): row[2] for row in table.rows
+    }  # (epsilon, oracle) -> empirical MSE
+    # MSE falls with epsilon for every oracle.
+    for oracle in ("DE", "OUE", "OLH", "SUE", "SHE", "THE", "BLH", "HR"):
+        assert rows[(4.0, oracle)] < rows[(0.5, oracle)]
+    # OLH and OUE are the best of the d-independent family at eps=1.
+    for eps in (0.5, 1.0):
+        best_pair = min(rows[(eps, "OLH")], rows[(eps, "OUE")])
+        assert best_pair <= rows[(eps, "SHE")]
+        assert best_pair <= rows[(eps, "BLH")] * 1.25
+        assert best_pair < rows[(eps, "DE")]
+    # DE closes the gap at large epsilon on this modest domain.
+    assert rows[(4.0, "DE")] < rows[(4.0, "SHE")]

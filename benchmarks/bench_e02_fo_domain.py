@@ -1,0 +1,19 @@
+"""E2 benchmark: frequency-oracle accuracy vs domain size."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e2_fo_domain(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E2").run, n=20_000, seed=2)
+    save_table("E2", table)
+
+    rows = {(row[0], row[1]): row[2] for row in table.rows}
+    # DE degrades linearly with d: ~8x MSE per 8x domain step (loose band).
+    assert rows[(1024, "DE")] > 10 * rows[(16, "DE")]
+    # OLH is flat in d: largest domain within 2x of the smallest.
+    assert rows[(4096, "OLH")] < 2 * rows[(16, "OLH")] + 1e-9
+    # At d=4096 the hash/sketch family crushes DE.
+    assert rows[(4096, "OLH")] < rows[(4096, "DE")] / 50
+    assert rows[(4096, "HR")] < rows[(4096, "DE")] / 50

@@ -1,0 +1,18 @@
+"""E3 benchmark: analytical vs empirical variance, CI coverage."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e3_variance_toolkit(benchmark, save_table):
+    table = run_once(
+        benchmark, get_experiment("E3").run, repetitions=20, seed=3
+    )
+    save_table("E3", table)
+
+    for oracle, ana, emp, ratio, coverage in table.rows:
+        # 20-sample variance estimate: generous chi-square band.
+        assert 0.3 < ratio < 2.5, f"{oracle} variance ratio {ratio}"
+        # 95% CIs should cover at roughly the nominal rate.
+        assert coverage >= 0.88, f"{oracle} CI coverage {coverage}"

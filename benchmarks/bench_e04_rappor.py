@@ -1,0 +1,25 @@
+"""E4 benchmark: RAPPOR detection power vs population size."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e4_rappor(benchmark, save_table):
+    table = run_once(
+        benchmark,
+        get_experiment("E4").run,
+        populations=(10_000, 50_000, 150_000),
+        seed=4,
+    )
+    save_table("E4", table)
+
+    detected = table.column("detected")
+    recall = table.column("recall_top10")
+    # Detection power grows with the population.
+    assert detected[-1] >= detected[0]
+    assert recall[-1] >= recall[0]
+    assert detected[-1] >= 4
+    # Detected counts are accurate: median relative error under 30%.
+    for err in table.column("median_rel_err_detected"):
+        assert err < 0.30

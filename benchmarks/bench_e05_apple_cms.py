@@ -1,0 +1,21 @@
+"""E5 benchmark: Apple CMS/HCMS sketch trade-offs."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e5_apple_cms(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E5").run, n=100_000, seed=5)
+    save_table("E5", table)
+
+    rows = {(row[0], row[1]): row[3] for row in table.rows}  # (sketch, m) -> rmse
+    widths = sorted({row[1] for row in table.rows})
+    # Widening the sketch reduces error until privatization noise dominates.
+    assert rows[("CMS", widths[-1])] < rows[("CMS", widths[0])]
+    assert rows[("HCMS", widths[-1])] < rows[("HCMS", widths[0])]
+    # HCMS pays a bounded accuracy premium for its 1-bit reports.
+    assert rows[("HCMS", widths[-1])] < 2.5 * rows[("CMS", widths[-1])]
+    # ...and transmits a fraction of the bytes.
+    bytes_per = {(row[0], row[1]): row[5] for row in table.rows}
+    assert bytes_per[("HCMS", widths[-1])] < bytes_per[("CMS", widths[-1])] / 10

@@ -1,0 +1,30 @@
+"""E6 benchmark: Microsoft repeated telemetry collection."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e6_microsoft(benchmark, save_table):
+    table = run_once(
+        benchmark, get_experiment("E6").run, n=30_000, num_rounds=24, seed=6
+    )
+    save_table("E6", table)
+
+    by_mode = {}
+    for persistence, mode, eps_total, mae, changes in table.rows:
+        by_mode.setdefault(mode, []).append(
+            {"eps": eps_total, "mae": mae, "changes": changes}
+        )
+    # Fresh randomness composes: ε grows to T·ε; memoized modes stay at ε.
+    assert all(r["eps"] == 24.0 for r in by_mode["fresh"])
+    assert all(r["eps"] == 1.0 for r in by_mode["memoized"])
+    assert all(r["eps"] == 1.0 for r in by_mode["memoized_op"])
+    # Memoized responses barely change; output perturbation restores churn.
+    for memo, op, fresh in zip(
+        by_mode["memoized"], by_mode["memoized_op"], by_mode["fresh"]
+    ):
+        assert memo["changes"] < op["changes"] <= fresh["changes"] + 1.0
+    # All modes keep per-round error small relative to the value range.
+    for rows in by_mode.values():
+        assert all(r["mae"] < 3.0 for r in rows)

@@ -1,0 +1,23 @@
+"""E7 benchmark: heavy-hitter identification protocols."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e7_heavy_hitters(benchmark, save_table):
+    table = run_once(
+        benchmark, get_experiment("E7").run, n=100_000, k=16, seed=7
+    )
+    save_table("E7", table)
+
+    f1 = {(row[0], row[1]): row[2] for row in table.rows}
+    # Every protocol improves with epsilon.
+    for protocol in ("PEM", "TreeHist", "Bitstogram"):
+        assert f1[(4.0, protocol)] >= f1[(1.0, protocol)]
+    # PEM is the strongest protocol at every epsilon (ties allowed).
+    for eps in (1.0, 2.0, 4.0):
+        assert f1[(eps, "PEM")] >= f1[(eps, "TreeHist")] - 0.05
+        assert f1[(eps, "PEM")] >= f1[(eps, "Bitstogram")] - 0.05
+    # At generous budget PEM recovers most of the top-k.
+    assert f1[(4.0, "PEM")] >= 0.7

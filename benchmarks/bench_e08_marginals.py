@@ -1,0 +1,20 @@
+"""E8 benchmark: k-way marginal release strategies."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e8_marginals(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E8").run, n=50_000, seed=8)
+    save_table("E8", table)
+
+    avg = {(row[0], row[1]): row[2] for row in table.rows}
+    # Fourier beats full materialization at every order.
+    for k in (1, 2, 3):
+        assert avg[(k, "Fourier")] < avg[(k, "FullMat")]
+    # Fourier beats direct estimation once C(d,k) grows (k >= 2).
+    for k in (2, 3):
+        assert avg[(k, "Fourier")] < avg[(k, "Direct")]
+    # Direct estimation degrades with k as users thin across tables.
+    assert avg[(3, "Direct")] > avg[(1, "Direct")]

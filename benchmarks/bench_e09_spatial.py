@@ -1,0 +1,27 @@
+"""E9 benchmark: spatial grids, range queries, hotspot detection."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e9_spatial(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E9").run, n=60_000, seed=9)
+    save_table("E9", table)
+
+    err = {row[0]: row[2] for row in table.rows}
+    recall = {row[0]: row[3] for row in table.rows}
+    # Range-query error is U-shaped in the uniform grid size: some
+    # intermediate grid beats both extremes.
+    best_mid = min(err["uniform-8"], err["uniform-16"])
+    assert best_mid < err["uniform-4"]
+    assert best_mid < err["uniform-32"]
+    # The adaptive grid lands near the best uniform grid without being
+    # told the right resolution.
+    best_adaptive = min(err["adaptive-4"], err["adaptive-8"])
+    assert best_adaptive < 2.0 * best_mid
+    # Planted hotspots are found at moderate granularity.
+    assert recall["uniform-8"] == 1.0
+    assert not math.isnan(err["adaptive-4"])

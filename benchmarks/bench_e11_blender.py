@@ -1,0 +1,21 @@
+"""E11 benchmark: BLENDER hybrid-model blending."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e11_blender(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E11").run, n=100_000, seed=11)
+    save_table("E11", table)
+
+    for frac, mse_o, mse_c, mse_b, ratio in table.rows:
+        # Blending never loses to either component (5% statistical slack).
+        assert mse_b <= mse_o * 1.05, f"frac={frac}"
+        assert mse_b <= mse_c * 1.05, f"frac={frac}"
+    # Even 1% opt-in users cut pure-LDP error substantially.
+    first_ratio = table.rows[0][4]
+    assert first_ratio < 0.8
+    # The blend keeps improving as the opt-in share grows.
+    ratios = table.column("blend_vs_client")
+    assert ratios[-1] < ratios[0]

@@ -1,0 +1,22 @@
+"""E12 benchmark: the central-vs-local accuracy gap."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e12_central_vs_local(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E12").run, seed=12)
+    save_table("E12", table)
+
+    hist = [row for row in table.rows if row[0] == "histogram"]
+    mean = [row for row in table.rows if row[0] == "mean"]
+    # Central histogram error is flat in n; the local/central ratio grows.
+    ratios = [row[4] for row in hist]
+    assert ratios[0] < ratios[1] < ratios[2]
+    # The growth tracks sqrt(n): x10 population => ratio x ~3.2 (wide band).
+    assert 1.8 < ratios[1] / ratios[0] < 6.0
+    assert 1.8 < ratios[2] / ratios[1] < 6.0
+    # Same story for the mean task (Duchi's minimax rate vs central).
+    mean_ratios = [row[4] for row in mean]
+    assert mean_ratios[0] < mean_ratios[-1]

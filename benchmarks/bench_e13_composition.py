@@ -1,0 +1,23 @@
+"""E13 benchmark: composition accounting."""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e13_composition(benchmark, save_table):
+    table = run_once(benchmark, get_experiment("E13").run)
+    save_table("E13", table)
+
+    rows = {row[0]: row for row in table.rows}
+    # Basic composition is linear; advanced wins for many rounds.
+    assert rows[256][1] == 0.1 * 256
+    assert rows[256][2] < rows[256][1]
+    assert rows[64][2] < rows[64][1]
+    # ...but loses for few rounds (the sqrt-k constant costs upfront).
+    assert rows[1][2] > rows[1][1]
+    # Parallel composition is flat at the per-round budget.
+    assert all(rows[k][3] == 0.1 for k in rows)
+    # A fixed total budget buys shrinking per-round epsilons.
+    per_round = [rows[k][4] for k in sorted(rows)]
+    assert all(a >= b for a, b in zip(per_round, per_round[1:]))

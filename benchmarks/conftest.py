@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark wraps one experiment's ``run`` in the pytest-benchmark
+timer (one round — these are experiment regenerations, not
+micro-benchmarks), asserts the experiment's expected shape, and saves
+the rendered table under ``benchmarks/results/`` so EXPERIMENTS.md can
+quote it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Write a rendered experiment table to benchmarks/results/<id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(experiment_id: str, table) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(table.render() + "\n", encoding="utf-8")
+
+    return _save
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time one full experiment run and return its table."""
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)

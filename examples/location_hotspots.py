@@ -1,0 +1,73 @@
+"""Private location analytics: grids, range queries, hotspots (§1.3).
+
+A city-scale population of device locations (Gaussian hotspots over a
+uniform background) is collected under ε-LDP through grid histograms.
+The example walks the granularity trade-off, the adaptive grid, the
+personalized privacy model of Chen et al. [7], and answers rectilinear
+"how many users in this district?" queries.
+
+Run:  python examples/location_hotspots.py
+"""
+
+import numpy as np
+
+from repro.spatial import (
+    AdaptiveGrid,
+    PersonalizedSpatial,
+    PrivacySpec,
+    Rectangle,
+    UniformGrid,
+)
+from repro.workloads import spatial_mixture, true_cell_counts
+
+SEED = 33
+USERS = 80_000
+EPSILON = 1.0
+
+
+def main() -> None:
+    points, hotspots = spatial_mixture(USERS, rng=SEED)
+    district = Rectangle(0.15, 0.55, 0.45, 0.90)  # covers the first hotspot
+    inside = (
+        (points[:, 0] >= district.x_low)
+        & (points[:, 0] < district.x_high)
+        & (points[:, 1] >= district.y_low)
+        & (points[:, 1] < district.y_high)
+    )
+    true_count = int(inside.sum())
+    print(f"{USERS} devices, true count in query district: {true_count}")
+
+    print("\nuniform grids (granularity trade-off):")
+    for g in (4, 8, 16, 32):
+        grid = UniformGrid(g, EPSILON).fit(points, rng=SEED + g)
+        est = grid.range_query(district)
+        found = grid.hotspots()
+        print(
+            f"  {g:>2d}x{g:<2d} estimate {est:>8.0f} "
+            f"(err {abs(est - true_count) / true_count:6.1%}), "
+            f"{len(found)} hotspot cells"
+        )
+
+    adaptive = AdaptiveGrid(4, EPSILON).fit(points, rng=SEED + 99)
+    est = adaptive.range_query(district)
+    print(
+        f"\nadaptive grid ({adaptive.num_leaves} leaves from a 4x4 base): "
+        f"estimate {est:.0f} (err {abs(est - true_count) / true_count:.1%})"
+    )
+
+    # Personalized privacy: a third of users only reveal coarse cells at a
+    # strict budget, the rest report finer at a looser one.
+    specs = [PrivacySpec(2, 0.5), PrivacySpec(3, 1.0), PrivacySpec(4, 2.0)]
+    assignment = np.random.default_rng(SEED + 1).integers(0, 3, USERS)
+    blended = PersonalizedSpatial(4).fit(points, specs, assignment, rng=SEED + 2)
+    truth16 = true_cell_counts(points, 16)
+    rmse = float(np.sqrt(np.mean((blended.estimated_counts - truth16) ** 2)))
+    print(
+        f"\npersonalized strata (levels 4/8/16 cells, eps 0.5/1/2): "
+        f"16x16 cell RMSE {rmse:.1f}"
+    )
+    print("every user contributed at the privacy level they chose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Synthetic social graphs under LDP: LDPGen vs naive edge flipping.
+
+Each user knows only their own friend list; the aggregator wants a
+*synthetic* graph preserving the real one's structure (tutorial §1.3,
+Qin et al. [20]).  This example synthesizes from a community-structured
+original and scores degree, clustering and community preservation
+against the naive edge-randomized-response baseline.
+
+Run:  python examples/social_graph_synthesis.py
+"""
+
+from repro.graphs import (
+    edge_rr_graph,
+    graph_report,
+    ldpgen_synthesize,
+    modularity_under_labels,
+)
+from repro.workloads import sbm_graph
+
+SEED = 41
+
+
+def main() -> None:
+    original, communities = sbm_graph(500, 4, p_in=0.1, p_out=0.004, rng=SEED)
+    print(
+        f"original: {original.number_of_nodes()} nodes, "
+        f"{original.number_of_edges()} edges, modularity "
+        f"{modularity_under_labels(original, communities):.3f}"
+    )
+
+    for eps in (1.0, 2.0):
+        print(f"\nepsilon = {eps}")
+        result = ldpgen_synthesize(original, eps, rng=SEED + 1)
+        report = graph_report(original, result.graph)
+        print(
+            f"  LDPGen      edges={result.graph.number_of_edges():>6d} "
+            f"degree_tv={report['degree_tv']:.3f} "
+            f"clust_gap={report['clustering_gap']:.3f} "
+            f"modularity={modularity_under_labels(result.graph, communities):.3f}"
+        )
+        for debias, label in ((True, "edge-RR (thin)"), (False, "edge-RR (raw)")):
+            noisy = edge_rr_graph(original, eps, rng=SEED + 2, debias=debias)
+            report = graph_report(original, noisy)
+            print(
+                f"  {label:11s} edges={noisy.number_of_edges():>6d} "
+                f"degree_tv={report['degree_tv']:.3f} "
+                f"clust_gap={report['clustering_gap']:.3f} "
+                f"modularity={modularity_under_labels(noisy, communities):.3f}"
+            )
+    print(
+        "\nraw edge flipping buries the graph in noise edges at these "
+        "budgets; LDPGen keeps edge counts, degrees and communities usable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""The Microsoft scenario: daily telemetry without budget explosion.
+
+Reproduces the deployment in "Collecting Telemetry Data Privately" [10]:
+devices report a bounded usage counter every round.  Fresh randomness
+each day composes to a useless guarantee; memoization with α-point
+rounding caps the lifetime budget at one ε; output perturbation hides
+*when* a user's behaviour changed.  A dBitFlip histogram rounds out the
+per-bucket view.
+
+Run:  python examples/telemetry_microsoft.py
+"""
+
+import numpy as np
+
+from repro.systems.microsoft import DBitFlip, RepeatedCollector
+from repro.workloads import telemetry_trajectories, true_counts
+
+SEED = 21
+BOUND = 128.0  # app-seconds cap per day
+ROUNDS = 30
+USERS = 40_000
+
+
+def repeated_mean_phase() -> None:
+    traj = telemetry_trajectories(
+        USERS, ROUNDS, BOUND, persistence=0.96, volatility=0.04, rng=SEED
+    )
+    print(f"{USERS} devices x {ROUNDS} daily rounds, counter in [0, {BOUND:.0f}]")
+    print(f"{'mode':12s} {'lifetime eps':>12s} {'mean abs err':>12s} {'resp churn':>10s}")
+    for mode in ("fresh", "memoized", "memoized_op"):
+        run = RepeatedCollector(BOUND, 1.0, mode=mode, gamma=0.2).run(
+            traj, rng=SEED + 1
+        )
+        print(
+            f"{mode:12s} {run.total_epsilon:>12.1f} "
+            f"{run.mean_abs_error:>12.3f} {run.distinct_responses:>10.2f}"
+        )
+    print(
+        "\nfresh pays eps every round; memoized stays at eps=1 but its bit "
+        "pattern leaks change points; output perturbation restores churn."
+    )
+
+
+def histogram_phase() -> None:
+    """One-shot bucket histogram with d-bit reports."""
+    gen = np.random.default_rng(SEED + 2)
+    buckets = 64
+    usage = np.minimum(
+        gen.exponential(12.0, USERS).astype(np.int64), buckets - 1
+    )
+    truth = true_counts(usage, buckets)
+    print(f"\ndBitFlip histograms over {buckets} buckets (eps=1):")
+    for d in (1, 4, 16, 64):
+        mech = DBitFlip(buckets, d, 1.0)
+        reports = mech.privatize(usage, rng=SEED + 3)
+        est = mech.estimate_counts(reports)
+        rmse = float(np.sqrt(np.mean((est - truth) ** 2)))
+        print(
+            f"  d={d:<3d} rmse={rmse:8.1f}   "
+            f"analytical sd={np.sqrt(mech.count_variance(USERS)):8.1f}"
+        )
+    print("accuracy improves like sqrt(d) — privacy stays eps regardless.")
+
+
+if __name__ == "__main__":
+    repeated_mean_phase()
+    histogram_phase()

@@ -1,0 +1,15 @@
+"""Centralized-DP baselines: the accuracy yardstick (tutorial §1.5)."""
+
+from repro.central.laplace import (
+    central_count_variance,
+    central_histogram,
+    central_mean,
+    geometric_histogram,
+)
+
+__all__ = [
+    "central_count_variance",
+    "central_histogram",
+    "central_mean",
+    "geometric_histogram",
+]

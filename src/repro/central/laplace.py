@@ -1,0 +1,97 @@
+"""Centralized DP baselines: the accuracy yardstick for every LDP result.
+
+The tutorial's Section 1.5 contrasts LDP with the centralized model:
+a trusted curator sees the raw data and perturbs only the *output*.
+For a histogram, one user changes one count by one (two counts under
+swap — we use the conservative sensitivity 2 so comparisons are fair to
+LDP's swap-style definition), so Laplace(2/ε) noise per count suffices —
+error O(1/ε) **independent of n**, versus LDP's O(√n/ε) per count.
+Experiment E12 plots exactly that gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rng import ensure_generator
+from repro.util.validation import (
+    as_value_array,
+    check_domain_values,
+    check_epsilon,
+    check_positive_int,
+)
+
+__all__ = [
+    "central_histogram",
+    "central_mean",
+    "geometric_histogram",
+    "central_count_variance",
+]
+
+
+def central_histogram(
+    values: Sequence[int] | np.ndarray,
+    domain_size: int,
+    epsilon: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """True histogram + per-count Laplace(2/ε) noise (sensitivity 2)."""
+    check_positive_int(domain_size, name="domain_size")
+    eps = check_epsilon(epsilon)
+    gen = ensure_generator(rng)
+    vals = check_domain_values(values, domain_size)
+    counts = np.bincount(vals, minlength=domain_size).astype(np.float64)
+    return counts + gen.laplace(0.0, 2.0 / eps, size=domain_size)
+
+
+def geometric_histogram(
+    values: Sequence[int] | np.ndarray,
+    domain_size: int,
+    epsilon: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Two-sided geometric (discrete Laplace) noise — integer counts.
+
+    ``P(noise = z) ∝ α^{|z|}`` with ``α = e^{−ε/2}`` (sensitivity 2),
+    sampled as the difference of two geometric draws.
+    """
+    check_positive_int(domain_size, name="domain_size")
+    eps = check_epsilon(epsilon)
+    gen = ensure_generator(rng)
+    vals = check_domain_values(values, domain_size)
+    counts = np.bincount(vals, minlength=domain_size).astype(np.int64)
+    alpha = math.exp(-eps / 2.0)
+    plus = gen.geometric(1.0 - alpha, size=domain_size) - 1
+    minus = gen.geometric(1.0 - alpha, size=domain_size) - 1
+    return (counts + plus - minus).astype(np.float64)
+
+
+def central_count_variance(epsilon: float) -> float:
+    """Variance of one Laplace(2/ε) noisy count: ``8/ε²`` — n-free."""
+    eps = check_epsilon(epsilon)
+    return 8.0 / eps**2
+
+
+def central_mean(
+    values: Sequence[float] | np.ndarray,
+    low: float,
+    high: float,
+    epsilon: float,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Trusted-curator mean: clamp, average, add Laplace((high−low)/(nε)).
+
+    One user moves the mean by at most ``(high − low)/n``, hence the
+    O(1/(εn)) error that local mean mechanisms cannot match.
+    """
+    eps = check_epsilon(epsilon)
+    if high <= low:
+        raise ValueError(f"need high > low, got [{low}, {high}]")
+    gen = ensure_generator(rng)
+    vals = as_value_array(values)
+    clamped = np.clip(vals, low, high)
+    n = clamped.shape[0]
+    return float(clamped.mean() + gen.laplace(0.0, (high - low) / (n * eps)))

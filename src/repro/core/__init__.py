@@ -1,0 +1,67 @@
+"""Core LDP toolkit: budget accounting, mechanism interfaces, oracles.
+
+This package is the tutorial's Section 1.1 plus the frequency-oracle
+family of Wang et al. [21] that Sections 1.2's deployed systems build on.
+"""
+
+from repro.core.budget import (
+    BudgetExceededError,
+    PrivacyLedger,
+    PrivacySpend,
+    advanced_composition,
+    compose_parallel,
+    compose_sequential,
+    optimal_per_round_epsilon,
+)
+from repro.core.estimation import (
+    ORACLE_REGISTRY,
+    analytical_variances,
+    choose_oracle,
+    coverage,
+    hoeffding_count_bound,
+    make_oracle,
+)
+from repro.core.hadamard import HadamardResponse
+from repro.core.histogram import SummationHistogramEncoding, ThresholdHistogramEncoding
+from repro.core.local_hashing import BinaryLocalHashing, OptimalLocalHashing
+from repro.core.mechanism import (
+    FrequencyOracle,
+    HashedReports,
+    IndexedBitReports,
+    LocalMechanism,
+    PureFrequencyOracle,
+    postprocess_counts,
+)
+from repro.core.randomized_response import DirectEncoding, WarnerRandomizedResponse
+from repro.core.unary import OptimalUnaryEncoding, SymmetricUnaryEncoding
+
+__all__ = [
+    "BudgetExceededError",
+    "PrivacyLedger",
+    "PrivacySpend",
+    "advanced_composition",
+    "compose_parallel",
+    "compose_sequential",
+    "optimal_per_round_epsilon",
+    "ORACLE_REGISTRY",
+    "analytical_variances",
+    "choose_oracle",
+    "coverage",
+    "hoeffding_count_bound",
+    "make_oracle",
+    "HadamardResponse",
+    "SummationHistogramEncoding",
+    "ThresholdHistogramEncoding",
+    "BinaryLocalHashing",
+    "OptimalLocalHashing",
+    "FrequencyOracle",
+    "HashedReports",
+    "IndexedBitReports",
+    "LocalMechanism",
+    "PureFrequencyOracle",
+    "postprocess_counts",
+    "DirectEncoding",
+    "WarnerRandomizedResponse",
+    "OptimalUnaryEncoding",
+    "SymmetricUnaryEncoding",
+]

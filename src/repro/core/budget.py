@@ -1,0 +1,208 @@
+"""Privacy budget accounting: composition theorems and a spend ledger.
+
+The tutorial's "open problems" section highlights multi-round collection
+(Section 1.4): once an aggregator may ask repeated questions, the privacy
+guarantee is governed by *composition*.  This module provides the three
+rules every deployed system leans on:
+
+* **sequential composition** — independent mechanisms on the *same* data
+  add up: ``(Σ ε_i, Σ δ_i)``;
+* **parallel composition** — mechanisms on *disjoint* sub-populations cost
+  only the maximum: ``(max ε_i, max δ_i)``;
+* **advanced composition** (Dwork-Rothblum-Vadhan) — ``k``-fold adaptive
+  use of an ``(ε, δ)`` mechanism is ``(ε', kδ + δ')`` with
+  ``ε' = ε √(2k ln(1/δ')) + k ε (e^ε − 1)``, trading a tiny extra δ for a
+  √k (instead of k) growth in ε.
+
+:class:`PrivacyLedger` is the runtime object repeated-collection code
+(e.g. the Microsoft telemetry reproduction) threads through rounds; it
+enforces a hard cap and reports totals under either composition rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_delta, check_epsilon, check_positive_int
+
+__all__ = [
+    "PrivacySpend",
+    "BudgetExceededError",
+    "compose_sequential",
+    "compose_parallel",
+    "advanced_composition",
+    "optimal_per_round_epsilon",
+    "PrivacyLedger",
+]
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """One recorded privacy expenditure.
+
+    Attributes
+    ----------
+    epsilon, delta:
+        The DP parameters of the mechanism invocation.
+    label:
+        Free-form tag for audit trails (e.g. ``"round-3/dBitFlip"``).
+    """
+
+    epsilon: float
+    delta: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        check_delta(self.delta)
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a ledger spend would exceed its configured cap."""
+
+
+def compose_sequential(spends: list[PrivacySpend]) -> tuple[float, float]:
+    """Basic sequential composition: parameters add.
+
+    Applies when every mechanism sees the same individual's data.  Returns
+    ``(Σ ε, Σ δ)``; the empty list composes to ``(0, 0)``.
+    """
+    eps = sum(s.epsilon for s in spends)
+    delta = sum(s.delta for s in spends)
+    return float(eps), float(delta)
+
+
+def compose_parallel(spends: list[PrivacySpend]) -> tuple[float, float]:
+    """Parallel composition: disjoint sub-populations cost the maximum.
+
+    Applies when users are partitioned and each partition answers one
+    mechanism — the trick behind user-splitting in PEM, TreeHist and the
+    marginal protocols, which is why those protocols scale.
+    """
+    if not spends:
+        return 0.0, 0.0
+    return max(s.epsilon for s in spends), max(s.delta for s in spends)
+
+
+def advanced_composition(
+    epsilon: float, delta: float, k: int, delta_slack: float
+) -> tuple[float, float]:
+    """Advanced composition bound for ``k``-fold use of an (ε, δ) mechanism.
+
+    Returns the ``(ε', δ_total)`` pair with
+    ``ε' = ε √(2k ln(1/δ')) + k ε (e^ε − 1)`` and ``δ_total = kδ + δ'``.
+    ``delta_slack`` (δ') must be strictly positive — the √k saving is
+    bought with it.
+    """
+    eps = check_epsilon(epsilon)
+    d = check_delta(delta)
+    kk = check_positive_int(k, name="k")
+    slack = check_delta(delta_slack, name="delta_slack")
+    if slack <= 0.0:
+        raise ValueError("delta_slack must be > 0 for advanced composition")
+    eps_total = eps * math.sqrt(2.0 * kk * math.log(1.0 / slack)) + kk * eps * (
+        math.exp(eps) - 1.0
+    )
+    return float(eps_total), float(kk * d + slack)
+
+
+def optimal_per_round_epsilon(
+    total_epsilon: float, k: int, delta_slack: float, *, tol: float = 1e-12
+) -> float:
+    """Largest per-round ε whose advanced k-fold composition stays ≤ total.
+
+    Solved by bisection (the bound is monotone in ε).  Falls back to the
+    basic-composition answer ``total/k`` when that is larger, because for
+    small ``k`` basic composition is the tighter rule.
+    """
+    total = check_epsilon(total_epsilon, name="total_epsilon")
+    kk = check_positive_int(k, name="k")
+    slack = check_delta(delta_slack, name="delta_slack")
+    if slack <= 0.0:
+        raise ValueError("delta_slack must be > 0")
+    lo, hi = 0.0, total
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if mid == 0.0:
+            break
+        eps_total, _ = advanced_composition(mid, 0.0, kk, slack)
+        if eps_total <= total:
+            lo = mid
+        else:
+            hi = mid
+    return max(lo, total / kk)
+
+
+@dataclass
+class PrivacyLedger:
+    """Running account of privacy spends with an optional hard cap.
+
+    Parameters
+    ----------
+    epsilon_cap, delta_cap:
+        Budget the ledger refuses to exceed under *basic sequential*
+        composition.  ``None`` means unlimited (audit-only ledger).
+    """
+
+    epsilon_cap: float | None = None
+    delta_cap: float = 0.0
+    spends: list[PrivacySpend] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.epsilon_cap is not None:
+            check_epsilon(self.epsilon_cap, name="epsilon_cap")
+        check_delta(self.delta_cap, name="delta_cap")
+
+    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> PrivacySpend:
+        """Record a spend, raising :class:`BudgetExceededError` over cap."""
+        entry = PrivacySpend(epsilon=epsilon, delta=delta, label=label)
+        eps_after = self.total_epsilon + entry.epsilon
+        delta_after = self.total_delta + entry.delta
+        if self.epsilon_cap is not None and eps_after > self.epsilon_cap + 1e-12:
+            raise BudgetExceededError(
+                f"spend {entry.epsilon:.6g} would raise ε to {eps_after:.6g} "
+                f"> cap {self.epsilon_cap:.6g}"
+            )
+        if self.epsilon_cap is not None and delta_after > self.delta_cap + 1e-18:
+            raise BudgetExceededError(
+                f"spend would raise δ to {delta_after:.3g} > cap {self.delta_cap:.3g}"
+            )
+        self.spends.append(entry)
+        return entry
+
+    @property
+    def total_epsilon(self) -> float:
+        """Basic-composition ε total of everything recorded."""
+        return compose_sequential(self.spends)[0]
+
+    @property
+    def total_delta(self) -> float:
+        """Basic-composition δ total of everything recorded."""
+        return compose_sequential(self.spends)[1]
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Headroom under the cap (``inf`` for audit-only ledgers)."""
+        if self.epsilon_cap is None:
+            return math.inf
+        return max(0.0, self.epsilon_cap - self.total_epsilon)
+
+    def total_advanced(self, delta_slack: float) -> tuple[float, float]:
+        """Total under advanced composition, treating spends as adaptive.
+
+        Uses the per-spend parameters (they may differ) via the
+        heterogeneous form: ``√(2 ln(1/δ') Σ ε_i²) + Σ ε_i (e^{ε_i} − 1)``.
+        """
+        slack = check_delta(delta_slack, name="delta_slack")
+        if slack <= 0.0:
+            raise ValueError("delta_slack must be > 0")
+        if not self.spends:
+            return 0.0, 0.0
+        sum_sq = sum(s.epsilon**2 for s in self.spends)
+        linear = sum(s.epsilon * (math.exp(s.epsilon) - 1.0) for s in self.spends)
+        eps_total = math.sqrt(2.0 * math.log(1.0 / slack) * sum_sq) + linear
+        return float(eps_total), float(self.total_delta + slack)
+
+    def __len__(self) -> int:
+        return len(self.spends)

@@ -1,0 +1,133 @@
+"""The statistical toolkit: variance ranking, oracle choice, tail bounds.
+
+Section 1.1 of the tutorial promises "the mathematical tools to understand
+LDP, including unbiasedness, variance and confidence tail bounds".  This
+module packages those tools as library functions:
+
+* :func:`analytical_variances` — the f→0 per-count variance of every core
+  oracle at given (d, ε, n), the table used to rank mechanisms (E1/E2);
+* :func:`choose_oracle` — the practical decision rule from Wang et al.
+  [21]: direct encoding until ``d − 1 > 3e^ε + 2``-ish, then OLH/OUE;
+* :func:`hoeffding_count_bound` — a distribution-free confidence bound on
+  a pure-protocol count estimate, complementing the CLT interval that
+  :meth:`FrequencyOracle.confidence_halfwidth` provides;
+* :func:`coverage` — empirical CI coverage, used by E3 to check the
+  normal approximation really delivers its nominal level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.hadamard import HadamardResponse
+from repro.core.histogram import SummationHistogramEncoding, ThresholdHistogramEncoding
+from repro.core.local_hashing import BinaryLocalHashing, OptimalLocalHashing
+from repro.core.mechanism import FrequencyOracle
+from repro.core.randomized_response import DirectEncoding
+from repro.core.unary import OptimalUnaryEncoding, SymmetricUnaryEncoding
+from repro.util.validation import check_epsilon, check_positive_int
+
+__all__ = [
+    "ORACLE_REGISTRY",
+    "make_oracle",
+    "analytical_variances",
+    "choose_oracle",
+    "hoeffding_count_bound",
+    "coverage",
+]
+
+#: name → constructor for every core frequency oracle, the single place
+#: experiments and examples look mechanisms up by label.
+ORACLE_REGISTRY: dict[str, Callable[[int, float], FrequencyOracle]] = {
+    "DE": DirectEncoding,
+    "SUE": SymmetricUnaryEncoding,
+    "OUE": OptimalUnaryEncoding,
+    "SHE": SummationHistogramEncoding,
+    "THE": ThresholdHistogramEncoding,
+    "BLH": BinaryLocalHashing,
+    "OLH": OptimalLocalHashing,
+    "HR": HadamardResponse,
+}
+
+
+def make_oracle(name: str, domain_size: int, epsilon: float) -> FrequencyOracle:
+    """Instantiate a core oracle by its registry label (e.g. ``"OLH"``)."""
+    try:
+        ctor = ORACLE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle {name!r}; choose from {sorted(ORACLE_REGISTRY)}"
+        ) from None
+    return ctor(domain_size, epsilon)
+
+
+def analytical_variances(
+    domain_size: int, epsilon: float, n: int
+) -> dict[str, float]:
+    """f→0 count variance of every registered oracle at (d, ε, n).
+
+    This regenerates the variance-comparison table the tutorial teaches:
+    DE's d-dependence, SUE vs OUE's factor-of-≈2, OLH ≈ OUE, and SHE's
+    Laplace overhead.
+    """
+    d = check_positive_int(domain_size, name="domain_size")
+    eps = check_epsilon(epsilon)
+    nn = check_positive_int(n, name="n")
+    return {
+        name: make_oracle(name, d, eps).count_variance(nn)
+        for name in ORACLE_REGISTRY
+    }
+
+
+def choose_oracle(domain_size: int, epsilon: float) -> str:
+    """The deployment decision rule of Wang et al. [21].
+
+    Direct encoding wins while its variance ``(d − 2 + e^ε)/(e^ε − 1)²``
+    (per user) is below OLH's ``4e^ε/(e^ε − 1)²``, i.e. while
+    ``d < 3e^ε + 2``; beyond that OLH (communication-cheap) is the
+    recommended choice.
+    """
+    d = check_positive_int(domain_size, name="domain_size")
+    eps = check_epsilon(epsilon)
+    if d < 3.0 * math.exp(eps) + 2.0:
+        return "DE"
+    return "OLH"
+
+
+def hoeffding_count_bound(
+    oracle: FrequencyOracle, n: int, *, alpha: float = 0.05
+) -> float:
+    """Distribution-free two-sided bound on a pure count estimate's error.
+
+    Each user's support indicator lies in {0, 1}, so the scaled sum obeys
+    Hoeffding: ``P(|ĉ − c| ≥ t) ≤ 2 exp(−2 t² (p*−q*)² / n)``.  Returns
+    the half-width ``t`` at confidence ``1 − alpha``.  Wider than the CLT
+    interval by construction — it holds for every n, not asymptotically.
+    """
+    from repro.core.mechanism import PureFrequencyOracle
+
+    if not isinstance(oracle, PureFrequencyOracle):
+        raise TypeError("hoeffding_count_bound requires a pure-protocol oracle")
+    check_positive_int(n, name="n")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    gap = oracle.p_star - oracle.q_star
+    return math.sqrt(n * math.log(2.0 / alpha) / 2.0) / gap
+
+
+def coverage(
+    true_counts: np.ndarray,
+    estimates: np.ndarray,
+    halfwidth: float,
+) -> float:
+    """Fraction of per-value intervals ``est ± halfwidth`` covering truth."""
+    t = np.asarray(true_counts, dtype=np.float64)
+    e = np.asarray(estimates, dtype=np.float64)
+    if t.shape != e.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {e.shape}")
+    if halfwidth < 0:
+        raise ValueError("halfwidth must be >= 0")
+    return float(np.mean(np.abs(e - t) <= halfwidth))

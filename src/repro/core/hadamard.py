@@ -1,0 +1,132 @@
+"""Hadamard response: the Fourier-domain frequency oracle.
+
+Apple's system "uses the Fourier transform to spread out signal
+information" [1, 9]: instead of reporting (a randomization of) the value
+itself, the client samples one Walsh-Hadamard coefficient index ``j``,
+evaluates the single ±1 entry ``H[j, v]``, flips it with probability
+``1/(e^ε + 1)``, and transmits ``(j, bit)`` — two integers regardless of
+the domain size.
+
+The aggregator accumulates the bit-sum per coefficient, rescales, and
+applies one fast inverse transform (``H² = D·I``) to land back in the
+count domain.  In the pure-protocol view the support of a report
+``(j, b)`` is ``{u : H[j, u] = b}``; orthogonality of Hadamard rows gives
+``q* = 1/2`` exactly and ``p* = e^ε/(e^ε + 1)``, so the variance is
+``n/(2p − 1)² = n·(e^ε+1)²/(e^ε−1)²`` — constant in the domain size, like
+OLH, but with O(log d)-bit reports and an O(d log d) decode instead of
+OLH's O(n·d) support counting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.mechanism import IndexedBitReports, PureFrequencyOracle
+from repro.util.wht import fwht, hadamard_entries, next_power_of_two
+
+__all__ = ["HadamardResponse"]
+
+
+class HadamardResponse(PureFrequencyOracle):
+    """Frequency oracle via randomized single-coefficient Hadamard probes.
+
+    The domain is implicitly padded to ``D = next_power_of_two(d)``;
+    estimates for the padding values are computed but discarded.
+    """
+
+    def __init__(self, domain_size: int, epsilon: float) -> None:
+        super().__init__(domain_size, epsilon)
+        self.order = next_power_of_two(self._domain_size)
+        e = math.exp(self._epsilon)
+        self._p = e / (e + 1.0)
+
+    @property
+    def p_star(self) -> float:
+        return self._p
+
+    @property
+    def q_star(self) -> float:
+        """Exactly 1/2: rows of H agree on half the columns."""
+        return 0.5
+
+    def privatize(
+        self,
+        values: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> IndexedBitReports:
+        """Sample a coefficient index, evaluate the ±1 entry, flip, send."""
+        vals, gen = self._prepare(values, rng)
+        n = vals.shape[0]
+        indices = gen.integers(0, self.order, size=n, dtype=np.int64)
+        bits = hadamard_entries(indices.astype(np.uint64), vals.astype(np.uint64))
+        flip = gen.random(n) >= self._p
+        bits = np.where(flip, -bits, bits)
+        return IndexedBitReports(indices=indices, bits=bits.astype(np.float64))
+
+    def support_counts(self, reports: IndexedBitReports) -> np.ndarray:
+        """Support counts via one fast Walsh-Hadamard transform.
+
+        ``C_v = n/2 + (1/2)·WHT(s)[v]`` where ``s[j]`` is the signed bit
+        sum at coefficient ``j`` — an O(D log D) decode.
+        """
+        if not isinstance(reports, IndexedBitReports):
+            raise TypeError(
+                f"expected IndexedBitReports, got {type(reports).__name__}"
+            )
+        idx = np.asarray(reports.indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.order):
+            raise ValueError("coefficient index outside order — refusing to aggregate")
+        bits = np.asarray(reports.bits, dtype=np.float64)
+        if not np.all(np.isin(bits, (-1.0, 1.0))):
+            raise ValueError("bits must be ±1")
+        signed = np.bincount(idx, weights=bits, minlength=self.order)
+        transformed = fwht(signed)
+        n = len(reports)
+        return (n / 2.0 + 0.5 * transformed)[: self._domain_size]
+
+    def num_reports(self, reports: IndexedBitReports) -> int:
+        return len(reports)
+
+    def support_counts_for(
+        self, reports: IndexedBitReports, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Per-candidate support counts via direct ±1 entry evaluation.
+
+        ``C_v = n/2 + ½ Σ_i b_i H[j_i, v]`` needs only the sampled
+        coefficient indices, so a handful of candidates cost O(n) each —
+        no transform, no full-domain vector.
+        """
+        if not isinstance(reports, IndexedBitReports):
+            raise TypeError(
+                f"expected IndexedBitReports, got {type(reports).__name__}"
+            )
+        from repro.util.validation import check_domain_values
+
+        cands = check_domain_values(candidates, self._domain_size, name="candidates")
+        idx = np.asarray(reports.indices, dtype=np.uint64)
+        bits = np.asarray(reports.bits, dtype=np.float64)
+        n = len(reports)
+        counts = np.empty(cands.shape[0], dtype=np.float64)
+        for pos, cand in enumerate(cands):
+            entries = hadamard_entries(idx, np.uint64(cand))
+            counts[pos] = n / 2.0 + 0.5 * float(bits @ entries)
+        return counts
+
+    def log_likelihood(self, reports: IndexedBitReports, value: int) -> np.ndarray:
+        """``log P((j, b) | v)`` per report (index factor is constant)."""
+        if not 0 <= value < self._domain_size:
+            raise ValueError(f"value {value} outside domain [0, {self._domain_size})")
+        expected = hadamard_entries(
+            np.asarray(reports.indices, dtype=np.uint64), np.uint64(value)
+        )
+        agree = np.asarray(reports.bits) == expected
+        return np.where(agree, math.log(self._p), math.log1p(-self._p)) - math.log(
+            self.order
+        )
+
+    def max_privacy_ratio(self) -> float:
+        """``p/(1−p) = e^ε``: the flip probability is the whole story."""
+        return self._p / (1.0 - self._p)

@@ -1,0 +1,176 @@
+"""Histogram encoding oracles: SHE and THE.
+
+Histogram encoding writes the value as a one-hot vector and adds
+independent Laplace(2/ε) noise to *every* coordinate (the one-hot vector
+has L1 sensitivity 2 between any two inputs, so scale 2/ε yields ε-LDP).
+Two server strategies follow [21]:
+
+* **SHE** (summation): the server simply sums the noisy vectors — the
+  noise cancels in expectation and the count estimate is the column sum.
+* **THE** (thresholding): the *client* thresholds its noisy vector at an
+  optimized θ ∈ (1/2, 1) and sends the resulting support bits.  This is
+  post-processing of an ε-LDP release, so privacy is preserved, and the
+  thresholded support fits the pure-protocol estimator with
+  ``p* = 1 − F(θ − 1)`` and ``q* = 1 − F(θ)`` (F the Laplace CDF).
+
+THE beats SHE for all ε, and the gap is part of the tutorial's E1/E3
+variance story.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from repro.core.mechanism import FrequencyOracle, PureFrequencyOracle
+
+__all__ = ["SummationHistogramEncoding", "ThresholdHistogramEncoding"]
+
+
+def _laplace_cdf(x: float, scale: float) -> float:
+    """CDF of the centered Laplace distribution with the given scale."""
+    if x < 0.0:
+        return 0.5 * math.exp(x / scale)
+    return 1.0 - 0.5 * math.exp(-x / scale)
+
+
+class SummationHistogramEncoding(FrequencyOracle):
+    """SHE: one-hot + per-coordinate Laplace(2/ε), summed server-side.
+
+    Reports are dense float64 ``(n, d)`` matrices.  The count estimator is
+    the raw column sum — already unbiased — with frequency-independent
+    variance ``8 n / ε²`` (each report contributes Laplace variance
+    ``2 · (2/ε)²``).
+    """
+
+    def __init__(self, domain_size: int, epsilon: float) -> None:
+        super().__init__(domain_size, epsilon)
+        self.scale = 2.0 / self._epsilon
+
+    def privatize(
+        self,
+        values: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        vals, gen = self._prepare(values, rng)
+        n = vals.shape[0]
+        noise = gen.laplace(0.0, self.scale, size=(n, self._domain_size))
+        noise[np.arange(n), vals] += 1.0
+        return noise
+
+    def estimate_counts(self, reports: np.ndarray) -> np.ndarray:
+        arr = np.asarray(reports, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self._domain_size:
+            raise ValueError(
+                f"reports must have shape (n, {self._domain_size}), got {arr.shape}"
+            )
+        return arr.sum(axis=0)
+
+    def num_reports(self, reports: np.ndarray) -> int:
+        return int(np.asarray(reports).shape[0])
+
+    def count_variance(self, n: int, f: float = 0.0) -> float:
+        """``n · 2 · (2/ε)² = 8n/ε²`` — exact and frequency-independent."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return n * 2.0 * self.scale**2
+
+    def log_density(self, reports: np.ndarray, value: int) -> np.ndarray:
+        """Log density of each report row given an input value."""
+        if not 0 <= value < self._domain_size:
+            raise ValueError(f"value {value} outside domain [0, {self._domain_size})")
+        arr = np.asarray(reports, dtype=np.float64)
+        onehot = np.zeros(self._domain_size)
+        onehot[value] = 1.0
+        resid = np.abs(arr - onehot)
+        return -(resid.sum(axis=1) / self.scale) - self._domain_size * math.log(
+            2.0 * self.scale
+        )
+
+    def max_privacy_ratio(self) -> float:
+        """Supremum density ratio ``e^{2/scale·1} · … = e^ε`` (L1 sens. 2)."""
+        return math.exp(2.0 / self.scale)
+
+
+class ThresholdHistogramEncoding(PureFrequencyOracle):
+    """THE: client-side thresholding of the SHE release at optimal θ.
+
+    The client computes the SHE noisy vector, keeps the coordinates above
+    θ, and transmits that bit vector.  θ defaults to the variance-optimal
+    value in (1/2, 1), found numerically once per (ε) at construction.
+    """
+
+    def __init__(
+        self, domain_size: int, epsilon: float, theta: float | None = None
+    ) -> None:
+        super().__init__(domain_size, epsilon)
+        self.scale = 2.0 / self._epsilon
+        if theta is None:
+            theta = self._optimal_theta()
+        if not 0.5 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0.5, 1], got {theta}")
+        self.theta = float(theta)
+        self._p = 1.0 - _laplace_cdf(self.theta - 1.0, self.scale)
+        self._q = 1.0 - _laplace_cdf(self.theta, self.scale)
+
+    def _optimal_theta(self) -> float:
+        """Minimize the f→0 variance ``q*(1−q*)/(p*−q*)²`` over θ."""
+
+        def objective(theta: float) -> float:
+            p = 1.0 - _laplace_cdf(theta - 1.0, self.scale)
+            q = 1.0 - _laplace_cdf(theta, self.scale)
+            return q * (1.0 - q) / (p - q) ** 2
+
+        res = minimize_scalar(objective, bounds=(0.5 + 1e-9, 1.0), method="bounded")
+        return float(res.x)
+
+    @property
+    def p_star(self) -> float:
+        return self._p
+
+    @property
+    def q_star(self) -> float:
+        return self._q
+
+    def privatize(
+        self,
+        values: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        vals, gen = self._prepare(values, rng)
+        n = vals.shape[0]
+        noisy = gen.laplace(0.0, self.scale, size=(n, self._domain_size))
+        noisy[np.arange(n), vals] += 1.0
+        return (noisy > self.theta).astype(np.uint8)
+
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        arr = np.asarray(reports)
+        if arr.ndim != 2 or arr.shape[1] != self._domain_size:
+            raise ValueError(
+                f"reports must have shape (n, {self._domain_size}), got {arr.shape}"
+            )
+        return arr.sum(axis=0, dtype=np.float64)
+
+    def num_reports(self, reports: np.ndarray) -> int:
+        return int(np.asarray(reports).shape[0])
+
+    def bit_marginals(self, value: int) -> np.ndarray:
+        """Exact per-bit 1-probability of the thresholded report."""
+        if not 0 <= value < self._domain_size:
+            raise ValueError(f"value {value} outside domain [0, {self._domain_size})")
+        probs = np.full(self._domain_size, self._q)
+        probs[value] = self._p
+        return probs
+
+    def max_privacy_ratio(self) -> float:
+        """Realized ratio of the *thresholded* output.
+
+        Strictly below ``e^ε``: thresholding is post-processing of the
+        ε-LDP noisy vector, so some budget is not realized in the released
+        bits.  The audit asserts ``≤ e^ε`` here rather than equality.
+        """
+        p, q = self._p, self._q
+        return (p / q) * ((1.0 - q) / (1.0 - p))

@@ -1,0 +1,295 @@
+"""Abstract interfaces for local mechanisms and frequency oracles.
+
+The tutorial's unifying abstraction (following Wang et al. [21]) is the
+**frequency oracle**: a pair of a client-side randomizer and a server-side
+estimator such that, for every domain value ``v``, the server can produce
+an unbiased estimate of the number of users holding ``v``.  Every deployed
+system in the tutorial — RAPPOR, Apple's sketches, Microsoft's histograms —
+is a frequency oracle plus engineering.
+
+Interface contract
+------------------
+* ``privatize(values, rng)`` is the *only* place user data enters; it
+  returns an opaque report batch.
+* ``estimate_counts(reports)`` returns an unbiased length-``d`` estimate
+  of the per-value counts.
+* ``count_variance(n, f)`` returns the analytical variance of one count
+  estimate — the statistical toolkit (unbiasedness/variance/confidence
+  bounds) the tutorial teaches in Section 1.1.
+* ``max_privacy_ratio()`` returns the exact worst-case likelihood ratio
+  ``max_y P[y|v] / P[y|v']`` which must equal ``e^ε``; the test suite
+  audits this for every mechanism.
+
+The **pure protocol** subclass captures mechanisms whose estimator depends
+only on per-value *support counts* with constant probabilities ``p*``
+(true value supported) and ``q*`` (other value supported); the shared
+estimator is ``(C_v − n q*) / (p* − q*)``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.util.rng import ensure_generator
+from repro.util.validation import (
+    check_domain_values,
+    check_epsilon,
+    check_positive_int,
+)
+
+__all__ = [
+    "LocalMechanism",
+    "FrequencyOracle",
+    "PureFrequencyOracle",
+    "HashedReports",
+    "IndexedBitReports",
+    "postprocess_counts",
+]
+
+
+@dataclass(frozen=True)
+class HashedReports:
+    """Report batch for local-hashing protocols: ``(hash seed, value)``.
+
+    ``seeds[i]`` identifies user ``i``'s public hash function; ``values[i]``
+    is the perturbed hashed value in ``[0, g)``.
+    """
+
+    seeds: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.seeds.shape != self.values.shape:
+            raise ValueError(
+                f"seeds and values must align, got {self.seeds.shape} "
+                f"vs {self.values.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.seeds.shape[0])
+
+
+@dataclass(frozen=True)
+class IndexedBitReports:
+    """Report batch for Hadamard-style protocols: ``(index, ±1 bit)``."""
+
+    indices: np.ndarray
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.bits.shape:
+            raise ValueError(
+                f"indices and bits must align, got {self.indices.shape} "
+                f"vs {self.bits.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+
+class LocalMechanism(ABC):
+    """Base class for anything that randomizes a single user's datum."""
+
+    def __init__(self, epsilon: float) -> None:
+        self._epsilon = check_epsilon(epsilon)
+
+    @property
+    def epsilon(self) -> float:
+        """The ε-LDP guarantee of one invocation."""
+        return self._epsilon
+
+    @abstractmethod
+    def max_privacy_ratio(self) -> float:
+        """Exact worst-case likelihood ratio over outputs and input pairs.
+
+        An ε-LDP mechanism must return exactly ``exp(ε)`` (up to float
+        round-off); returning less means the implementation wastes budget,
+        more means it violates the guarantee.
+        """
+
+
+class FrequencyOracle(LocalMechanism):
+    """A local randomizer plus an unbiased per-value count estimator."""
+
+    def __init__(self, domain_size: int, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self._domain_size = check_positive_int(domain_size, name="domain_size")
+        if self._domain_size < 2:
+            raise ValueError(
+                f"domain_size must be >= 2 for a frequency oracle, got {domain_size}"
+            )
+
+    @property
+    def domain_size(self) -> int:
+        """Number of categorical values ``d`` in the registered domain."""
+        return self._domain_size
+
+    # -- client side ------------------------------------------------------
+
+    @abstractmethod
+    def privatize(
+        self, values: Sequence[int] | np.ndarray, rng: np.random.Generator | int | None = None
+    ) -> Any:
+        """Randomize one value per user; returns an opaque report batch."""
+
+    def _prepare(
+        self, values: Sequence[int] | np.ndarray, rng: np.random.Generator | int | None
+    ) -> tuple[np.ndarray, np.random.Generator]:
+        """Validate raw values and normalize the rng argument."""
+        vals = check_domain_values(values, self._domain_size)
+        return vals, ensure_generator(rng)
+
+    # -- server side ------------------------------------------------------
+
+    @abstractmethod
+    def estimate_counts(self, reports: Any) -> np.ndarray:
+        """Unbiased estimate of per-value counts from a report batch."""
+
+    @abstractmethod
+    def num_reports(self, reports: Any) -> int:
+        """Number of user reports in a batch."""
+
+    def estimate_frequencies(
+        self, reports: Any, *, postprocess: str = "none"
+    ) -> np.ndarray:
+        """Per-value frequency estimates, optionally projected to a simplex.
+
+        ``postprocess`` is one of ``"none"`` (raw unbiased, may dip below
+        zero), ``"clip"`` (clamp to ≥0 then renormalize) or ``"normsub"``
+        (additive renormalization over the positive support — the standard
+        consistency step from the heavy-hitter literature).
+        """
+        n = self.num_reports(reports)
+        raw = self.estimate_counts(reports) / n
+        return postprocess_counts(raw, postprocess)
+
+    # -- statistical toolkit ----------------------------------------------
+
+    @abstractmethod
+    def count_variance(self, n: int, f: float = 0.0) -> float:
+        """Analytical variance of one count estimate.
+
+        ``n`` is the population size, ``f`` the true frequency of the value
+        (the leading term is frequency-independent for all oracles here, so
+        ``f=0`` gives the standard comparison number).
+        """
+
+    def count_stddev(self, n: int, f: float = 0.0) -> float:
+        """Convenience square root of :meth:`count_variance`."""
+        return math.sqrt(self.count_variance(n, f))
+
+    def confidence_halfwidth(self, n: int, *, alpha: float = 0.05, f: float = 0.0) -> float:
+        """Normal-approximation two-sided CI half-width for one count.
+
+        Uses the analytical variance; at the populations deployed systems
+        operate at (millions of users) the CLT approximation the tutorial
+        teaches is accurate.
+        """
+        from scipy.stats import norm
+
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        z = float(norm.ppf(1.0 - alpha / 2.0))
+        return z * self.count_stddev(n, f)
+
+
+class PureFrequencyOracle(FrequencyOracle):
+    """Frequency oracle in the *pure protocol* framework of Wang et al. [21].
+
+    Subclasses define the support-count path (``p_star``, ``q_star`` and
+    :meth:`support_counts`); this base supplies the shared unbiased
+    estimator and its variance.
+    """
+
+    @property
+    @abstractmethod
+    def p_star(self) -> float:
+        """Probability the true value is in the report's support set."""
+
+    @property
+    @abstractmethod
+    def q_star(self) -> float:
+        """Probability any *other* value is in the support set."""
+
+    @abstractmethod
+    def support_counts(self, reports: Any) -> np.ndarray:
+        """Per-value support counts ``C_v`` from a report batch."""
+
+    def estimate_counts(self, reports: Any) -> np.ndarray:
+        """Shared pure-protocol estimator ``(C_v − n q*) / (p* − q*)``."""
+        counts = self.support_counts(reports)
+        n = self.num_reports(reports)
+        return (counts - n * self.q_star) / (self.p_star - self.q_star)
+
+    def support_counts_for(self, reports: Any, candidates: np.ndarray) -> np.ndarray:
+        """Support counts restricted to a candidate list.
+
+        The default materializes the full domain and indexes into it,
+        which is fine for small domains; oracles designed for massive
+        domains (local hashing, Hadamard) override this with a direct
+        per-candidate computation — the primitive heavy-hitter search and
+        unknown-dictionary decoding are built on.
+        """
+        cands = check_domain_values(candidates, self._domain_size, name="candidates")
+        return self.support_counts(reports)[cands]
+
+    def estimate_counts_for(self, reports: Any, candidates: np.ndarray) -> np.ndarray:
+        """Unbiased count estimates for selected candidate values only."""
+        counts = self.support_counts_for(reports, candidates)
+        n = self.num_reports(reports)
+        return (counts - n * self.q_star) / (self.p_star - self.q_star)
+
+    def count_variance(self, n: int, f: float = 0.0) -> float:
+        """Exact variance of the pure estimator at true frequency ``f``.
+
+        ``Var = [n_v p*(1−p*) + (n−n_v) q*(1−q*)] / (p* − q*)²`` with
+        ``n_v = f n``; at ``f = 0`` this is the familiar
+        ``n q*(1−q*) / (p* − q*)²`` used to rank oracles.
+        """
+        check_positive_int(n, name="n")
+        if not 0.0 <= f <= 1.0:
+            raise ValueError(f"f must be in [0, 1], got {f}")
+        p, q = self.p_star, self.q_star
+        nv = f * n
+        return (nv * p * (1.0 - p) + (n - nv) * q * (1.0 - q)) / (p - q) ** 2
+
+
+def postprocess_counts(raw: np.ndarray, method: str = "none") -> np.ndarray:
+    """Project raw frequency estimates onto (or toward) the simplex.
+
+    ``"none"`` returns the input unchanged; ``"clip"`` zeroes negatives and
+    rescales to sum 1; ``"normsub"`` iteratively subtracts a constant from
+    the positive entries until they sum to 1 with the rest zero (the
+    norm-sub consistency step).  Both projections preserve more accuracy
+    than truncation alone on skewed distributions.
+    """
+    est = np.asarray(raw, dtype=np.float64)
+    if method == "none":
+        return est.copy()
+    if method == "clip":
+        clipped = np.clip(est, 0.0, None)
+        total = clipped.sum()
+        if total <= 0.0:
+            return np.full_like(est, 1.0 / est.size)
+        return clipped / total
+    if method == "normsub":
+        work = est.copy()
+        for _ in range(est.size + 1):
+            positive = work > 0.0
+            npos = int(positive.sum())
+            if npos == 0:
+                return np.full_like(est, 1.0 / est.size)
+            shift = (1.0 - work[positive].sum()) / npos
+            work = np.where(positive, work + shift, 0.0)
+            if np.all(work >= -1e-12):
+                break
+            work = np.clip(work, 0.0, None)
+        work = np.clip(work, 0.0, None)
+        total = work.sum()
+        return work / total if total > 0 else np.full_like(est, 1.0 / est.size)
+    raise ValueError(f"unknown postprocess method {method!r}")

@@ -1,0 +1,168 @@
+"""Randomized response: Warner's 1965 mechanism and its k-ary extension.
+
+The tutorial opens with the observation that LDP's basic primitive is
+"an idea from fifty years ago": Warner's randomized response [22], which
+masks a single sensitive bit by answering truthfully only with a biased
+coin's blessing.  Generalizing the coin to a ``d``-sided die gives
+**direct encoding** (also called generalized randomized response or k-RR),
+the frequency oracle every other protocol is measured against [21].
+
+Direct encoding keeps the true value with probability
+``p = e^ε / (e^ε + d − 1)`` and otherwise reports a uniformly random
+*other* value.  Its variance grows linearly with ``d``, which is exactly
+why RAPPOR, CMS and local hashing exist — the tutorial's E2 experiment
+reproduces that cliff.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.mechanism import LocalMechanism, PureFrequencyOracle
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_epsilon
+
+__all__ = ["WarnerRandomizedResponse", "DirectEncoding"]
+
+
+class WarnerRandomizedResponse(LocalMechanism):
+    """Warner's binary randomized response [6, 22].
+
+    Each respondent holds a bit (e.g. "do you hold the sensitive trait?")
+    and reports it truthfully with probability ``p = e^ε / (1 + e^ε)``,
+    flipped otherwise.  The aggregator recovers an unbiased estimate of
+    the population proportion ``π`` from the observed "yes" rate.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        self.p_truth = math.exp(self._epsilon) / (1.0 + math.exp(self._epsilon))
+
+    def privatize(
+        self,
+        bits: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Flip each user's bit with probability ``1 − p``; returns uint8."""
+        gen = ensure_generator(rng)
+        arr = np.asarray(bits)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("bits must be a non-empty 1-D array")
+        uniq = np.unique(arr)
+        if not np.all(np.isin(uniq, (0, 1))):
+            raise ValueError("bits must be 0/1 valued")
+        keep = gen.random(arr.shape[0]) < self.p_truth
+        return np.where(keep, arr, 1 - arr).astype(np.uint8)
+
+    def estimate_proportion(self, reports: np.ndarray) -> float:
+        """Unbiased estimate of the true 'yes' proportion.
+
+        Inverts ``E[ȳ] = π p + (1 − π)(1 − p)``, i.e.
+        ``π̂ = (ȳ − (1 − p)) / (2p − 1)``.
+        """
+        arr = np.asarray(reports, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("reports must be a non-empty 1-D array")
+        ybar = float(arr.mean())
+        p = self.p_truth
+        return (ybar - (1.0 - p)) / (2.0 * p - 1.0)
+
+    def proportion_variance(self, n: int, pi: float = 0.5) -> float:
+        """Variance of :meth:`estimate_proportion` at true proportion π.
+
+        ``Var = λ(1−λ) / (n (2p−1)²)`` with observed-rate
+        ``λ = π p + (1−π)(1−p)``; maximized at π = 1/2, the number usually
+        quoted for Warner's design.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not 0.0 <= pi <= 1.0:
+            raise ValueError(f"pi must be in [0, 1], got {pi}")
+        p = self.p_truth
+        lam = pi * p + (1.0 - pi) * (1.0 - p)
+        return lam * (1.0 - lam) / (n * (2.0 * p - 1.0) ** 2)
+
+    def response_distribution(self, bit: int) -> np.ndarray:
+        """Exact output distribution ``[P(report 0), P(report 1)]``."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        p = self.p_truth
+        return np.array([p, 1.0 - p]) if bit == 0 else np.array([1.0 - p, p])
+
+    def max_privacy_ratio(self) -> float:
+        """Worst-case ratio ``p / (1 − p) = e^ε`` — exact by construction."""
+        return self.p_truth / (1.0 - self.p_truth)
+
+
+class DirectEncoding(PureFrequencyOracle):
+    """k-ary randomized response (direct encoding, DE / k-RR).
+
+    The report *is* a domain value; no encoding step.  In the pure-protocol
+    framework the support set of a report is the singleton ``{report}``,
+    so ``p* = p`` and ``q* = (1 − p)/(d − 1)``.
+
+    DE is optimal for small domains (``d < 3 e^ε + 2``, the chooser rule in
+    :mod:`repro.core.estimation`) and degrades linearly in ``d`` beyond.
+    """
+
+    def __init__(self, domain_size: int, epsilon: float) -> None:
+        super().__init__(domain_size, epsilon)
+        e = math.exp(self._epsilon)
+        self._p = e / (e + self._domain_size - 1.0)
+        self._q = 1.0 / (e + self._domain_size - 1.0)
+
+    @property
+    def p_star(self) -> float:
+        return self._p
+
+    @property
+    def q_star(self) -> float:
+        return self._q
+
+    def privatize(
+        self,
+        values: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Keep each value w.p. ``p``, else report a uniform *other* value.
+
+        Vectorized over users: draw the lie from ``[0, d−1)`` and shift it
+        past the true value so the lie is never the truth.
+        """
+        vals, gen = self._prepare(values, rng)
+        n = vals.shape[0]
+        keep = gen.random(n) < self._p
+        lies = gen.integers(0, self._domain_size - 1, size=n)
+        lies = np.where(lies >= vals, lies + 1, lies)
+        return np.where(keep, vals, lies).astype(np.int64)
+
+    def support_counts(self, reports: np.ndarray) -> np.ndarray:
+        arr = np.asarray(reports, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"reports must be 1-D, got shape {arr.shape}")
+        if arr.size and (arr.min() < 0 or arr.max() >= self._domain_size):
+            raise ValueError("report outside domain — refusing to aggregate")
+        return np.bincount(arr, minlength=self._domain_size).astype(np.float64)
+
+    def num_reports(self, reports: np.ndarray) -> int:
+        return int(np.asarray(reports).shape[0])
+
+    def response_distribution(self, value: int) -> np.ndarray:
+        """Exact length-``d`` output distribution for a given input."""
+        if not 0 <= value < self._domain_size:
+            raise ValueError(f"value {value} outside domain [0, {self._domain_size})")
+        dist = np.full(self._domain_size, self._q)
+        dist[value] = self._p
+        return dist
+
+    def log_likelihood(self, reports: np.ndarray, value: int) -> np.ndarray:
+        """``log P(report | value)`` per report — used by privacy audits."""
+        arr = np.asarray(reports, dtype=np.int64)
+        return np.where(arr == value, math.log(self._p), math.log(self._q))
+
+    def max_privacy_ratio(self) -> float:
+        """``p / q = e^ε`` exactly."""
+        return self._p / self._q

@@ -1,0 +1,31 @@
+"""Evaluation helpers: error metrics and result tables."""
+
+from repro.eval.metrics import (
+    js_divergence,
+    kl_divergence,
+    l1_error,
+    l2_error,
+    max_error,
+    mse,
+    ncr,
+    topk_f1,
+    topk_precision,
+    topk_recall,
+    topk_set,
+)
+from repro.eval.tables import Table
+
+__all__ = [
+    "js_divergence",
+    "kl_divergence",
+    "l1_error",
+    "l2_error",
+    "max_error",
+    "mse",
+    "ncr",
+    "topk_f1",
+    "topk_precision",
+    "topk_recall",
+    "topk_set",
+    "Table",
+]

@@ -1,0 +1,141 @@
+"""Accuracy metrics shared by every experiment.
+
+The surveyed papers score frequency estimates and heavy-hitter lists with
+a small set of standard metrics; implementing them once here keeps every
+benchmark comparable.
+
+Count-vector metrics (inputs are *counts*, not frequencies, unless noted):
+``l1_error``, ``l2_error``, ``max_error``, ``mse`` (mean squared error per
+value — the number Wang et al. [21] plot), ``kl_divergence`` and
+``js_divergence`` (on normalized distributions).
+
+Set metrics for heavy hitters: ``topk_precision/recall/f1`` and ``ncr``
+(normalized cumulative rank, the weighted variant used in the heavy
+hitter literature, which credits finding the #1 item more than the #k-th).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "l1_error",
+    "l2_error",
+    "max_error",
+    "mse",
+    "kl_divergence",
+    "js_divergence",
+    "topk_set",
+    "topk_precision",
+    "topk_recall",
+    "topk_f1",
+    "ncr",
+]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    return x, y
+
+
+def l1_error(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Sum of absolute per-value errors."""
+    t, e = _pair(truth, estimate)
+    return float(np.abs(t - e).sum())
+
+
+def l2_error(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Euclidean norm of the error vector."""
+    t, e = _pair(truth, estimate)
+    return float(np.linalg.norm(t - e))
+
+
+def max_error(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Worst single-value error (L∞)."""
+    t, e = _pair(truth, estimate)
+    return float(np.abs(t - e).max())
+
+
+def mse(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean squared error per value — the oracle-comparison metric."""
+    t, e = _pair(truth, estimate)
+    return float(np.mean((t - e) ** 2))
+
+
+def _normalize(dist: np.ndarray) -> np.ndarray:
+    d = np.clip(np.asarray(dist, dtype=np.float64), 0.0, None)
+    total = d.sum()
+    if total <= 0:
+        raise ValueError("distribution must have positive mass")
+    return d / total
+
+
+def kl_divergence(truth: np.ndarray, estimate: np.ndarray, *, eps: float = 1e-12) -> float:
+    """KL(truth ‖ estimate) after clipping/normalizing both to the simplex."""
+    t = _normalize(truth)
+    e = _normalize(estimate)
+    t = np.clip(t, eps, None)
+    e = np.clip(e, eps, None)
+    return float(np.sum(t * (np.log(t) - np.log(e))))
+
+
+def js_divergence(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Jensen-Shannon divergence (symmetric, bounded by ln 2)."""
+    t = _normalize(truth)
+    e = _normalize(estimate)
+    m = 0.5 * (t + e)
+    return 0.5 * kl_divergence(t, m) + 0.5 * kl_divergence(e, m)
+
+
+def topk_set(counts: np.ndarray, k: int) -> set[int]:
+    """Indices of the k largest entries (ties broken by lower index)."""
+    arr = np.asarray(counts, dtype=np.float64)
+    if not 1 <= k <= arr.size:
+        raise ValueError(f"k must be in [1, {arr.size}], got {k}")
+    order = np.lexsort((np.arange(arr.size), -arr))
+    return set(int(i) for i in order[:k])
+
+
+def topk_precision(truth: np.ndarray, estimate: np.ndarray, k: int) -> float:
+    """|top-k(truth) ∩ top-k(estimate)| / k."""
+    return len(topk_set(truth, k) & topk_set(estimate, k)) / k
+
+
+def topk_recall(true_set: set[int], found: set[int]) -> float:
+    """Fraction of a ground-truth heavy-hitter set that was discovered."""
+    if not true_set:
+        raise ValueError("true_set must be non-empty")
+    return len(true_set & found) / len(true_set)
+
+
+def topk_f1(true_set: set[int], found: set[int]) -> float:
+    """Harmonic mean of precision and recall for discovered item sets."""
+    if not true_set:
+        raise ValueError("true_set must be non-empty")
+    if not found:
+        return 0.0
+    precision = len(true_set & found) / len(found)
+    recall = len(true_set & found) / len(true_set)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def ncr(truth: np.ndarray, found: set[int], k: int) -> float:
+    """Normalized cumulative rank.
+
+    The true top-k items carry weights k, k−1, …, 1; NCR is the recovered
+    weight fraction.  Finding the single most popular value counts k times
+    as much as the k-th — the scoring the heavy-hitter papers report.
+    """
+    arr = np.asarray(truth, dtype=np.float64)
+    if not 1 <= k <= arr.size:
+        raise ValueError(f"k must be in [1, {arr.size}], got {k}")
+    order = np.lexsort((np.arange(arr.size), -arr))[:k]
+    weights = {int(v): k - rank for rank, v in enumerate(order)}
+    total = sum(weights.values())
+    got = sum(w for v, w in weights.items() if v in found)
+    return got / total

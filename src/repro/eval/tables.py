@@ -1,0 +1,87 @@
+"""Plain-text result tables for the experiment harness.
+
+Every experiment's ``run`` returns a :class:`Table`; benchmarks and the
+``python -m repro.experiments.*`` entry points print it.  EXPERIMENTS.md
+is assembled from these renders, so formatting lives in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Human-readable caption (includes the experiment id, e.g. "E1 ...").
+    columns:
+        Column headers.
+    rows:
+        One sequence of cells per row; cells are formatted on render.
+    notes:
+        Free-form caption lines (workload parameters, seeds) appended
+        below the grid.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        """Append a caption line."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All cells of one column, by header name."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {list(self.columns)}") from None
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace render with aligned columns."""
+        headers = [str(c) for c in self.columns]
+        grid = [headers] + [[_fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in grid) for i in range(len(headers))]
+        lines = [self.title, ""]
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append(sep)
+        for row in grid[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,50 @@
+"""Experiment harness: one module per experiment in DESIGN.md §5.
+
+Each module exposes ``run(**params) -> repro.eval.Table`` and is runnable
+standalone (``python -m repro.experiments.e01_fo_epsilon``).  The
+pytest-benchmark wrappers in ``benchmarks/`` call the same ``run``
+functions, assert the expected shapes, and save rendered tables.
+
+Modules are resolved lazily via :func:`get_experiment` so that
+``python -m`` execution of a submodule does not double-import it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from types import ModuleType
+
+EXPERIMENT_MODULES = {
+    "E1": "e01_fo_epsilon",
+    "E2": "e02_fo_domain",
+    "E3": "e03_variance_toolkit",
+    "E4": "e04_rappor",
+    "E5": "e05_apple_cms",
+    "E6": "e06_microsoft",
+    "E7": "e07_heavy_hitters",
+    "E8": "e08_marginals",
+    "E9": "e09_spatial",
+    "E10": "e10_graphs",
+    "E11": "e11_blender",
+    "E12": "e12_central_vs_local",
+    "E13": "e13_composition",
+    "A1": "a01_the_theta",
+    "A2": "a02_olh_g",
+    "A3": "a03_dbitflip_d",
+    "A4": "a04_pem_params",
+    "A5": "a05_interactive",
+}
+
+__all__ = ["EXPERIMENT_MODULES", "get_experiment"]
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """Import and return the module for an experiment id (e.g. ``"E7"``)."""
+    try:
+        name = EXPERIMENT_MODULES[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENT_MODULES)}"
+        ) from None
+    return importlib.import_module(f"repro.experiments.{name}")

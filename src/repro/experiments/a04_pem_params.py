@@ -1,0 +1,70 @@
+"""A4 — ablation: PEM's beam width and prefix step.
+
+DESIGN call-out: PEM's beam (candidates kept per round) and step (bits
+added per round) trade server work against recall.  Wider beams protect
+borderline heavy hitters from early elimination; bigger steps mean fewer
+rounds (more users each) but exponentially more candidates per round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import topk_f1
+from repro.eval.tables import Table
+from repro.heavyhitters import pem_heavy_hitters
+from repro.workloads import sample_from_frequencies, zipf_frequencies
+
+__all__ = ["run", "main"]
+
+
+def run(
+    *,
+    bits: int = 16,
+    n: int = 80_000,
+    k: int = 16,
+    epsilon: float = 2.0,
+    beam_factors: tuple[int, ...] = (1, 2, 4, 8),
+    step_bits: tuple[int, ...] = (1, 2, 4),
+    seed: int = 33,
+) -> Table:
+    """F1 and server work across the (beam, step) grid."""
+    gen = np.random.default_rng(seed)
+    heavy_ids = gen.choice(1 << bits, size=48, replace=False).astype(np.int64)
+    freqs = zipf_frequencies(48, 1.4)
+    idx = sample_from_frequencies(freqs, n, rng=seed + 1)
+    values = heavy_ids[idx]
+    counts = np.bincount(idx, minlength=48)
+    true_top = set(int(heavy_ids[i]) for i in np.argsort(-counts)[:k])
+
+    table = Table(
+        "A4: PEM ablation — F1 and work vs beam width and prefix step",
+        ["beam_factor", "step_bits", "f1", "candidates_evaluated"],
+    )
+    table.add_note(f"domain 2^{bits}, n={n}, k={k}, eps={epsilon}, seed={seed}")
+    for beam in beam_factors:
+        for step in step_bits:
+            result = pem_heavy_hitters(
+                values,
+                bits,
+                epsilon,
+                k,
+                beam_factor=beam,
+                step_bits=step,
+                rng=seed + 2,
+            )
+            table.add_row(
+                beam,
+                step,
+                topk_f1(true_top, set(result.items)),
+                result.candidates_evaluated,
+            )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

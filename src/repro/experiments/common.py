@@ -1,0 +1,57 @@
+"""Shared helpers for the experiment harness.
+
+Every experiment module exposes ``run(**params) -> Table`` (pure, seeded,
+no I/O) plus a ``main()`` that prints the table — so each is runnable as
+``python -m repro.experiments.e01_fo_epsilon`` and equally callable from
+the pytest-benchmark wrappers in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import make_oracle
+from repro.eval.metrics import mse
+from repro.workloads import sample_zipf, true_counts
+
+__all__ = ["fo_empirical_mse", "zipf_instance", "random_rectangles"]
+
+
+def zipf_instance(
+    domain_size: int, n: int, seed: int, exponent: float = 1.1
+) -> tuple[np.ndarray, np.ndarray]:
+    """(values, true_counts) for the standard Zipf workload."""
+    values, _ = sample_zipf(domain_size, n, exponent=exponent, rng=seed)
+    return values, true_counts(values, domain_size)
+
+
+def fo_empirical_mse(
+    name: str,
+    domain_size: int,
+    epsilon: float,
+    values: np.ndarray,
+    counts: np.ndarray,
+    seed: int,
+) -> tuple[float, float]:
+    """(empirical MSE, analytical MSE) of one oracle on one instance."""
+    oracle = make_oracle(name, domain_size, epsilon)
+    reports = oracle.privatize(values, rng=seed)
+    est = oracle.estimate_counts(reports)
+    empirical = mse(counts, est)
+    analytical = oracle.count_variance(values.shape[0])
+    return float(empirical), float(analytical)
+
+
+def random_rectangles(
+    num: int, seed: int, *, min_side: float = 0.1, max_side: float = 0.5
+) -> list[tuple[float, float, float, float]]:
+    """Axis-aligned query rectangles of mixed sizes in the unit square."""
+    gen = np.random.default_rng(seed)
+    rects = []
+    for _ in range(num):
+        w = gen.uniform(min_side, max_side)
+        h = gen.uniform(min_side, max_side)
+        x0 = gen.uniform(0.0, 1.0 - w)
+        y0 = gen.uniform(0.0, 1.0 - h)
+        rects.append((float(x0), float(y0), float(x0 + w), float(y0 + h)))
+    return rects

@@ -1,0 +1,91 @@
+"""E12 — the central-vs-local accuracy gap (tutorial §1.5, Duchi [11]).
+
+Expected shape: for histograms, the per-count RMSE of the central
+Laplace mechanism is flat in n while every local oracle's grows like √n
+— so the *ratio* grows like √n.  For means, Duchi's mechanism follows
+the 1/(ε√n) minimax rate, a √n factor above the central 1/(εn) rate;
+local Laplace tracks Duchi with a constant-factor penalty at ε ≤ 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.central import central_count_variance, central_histogram, central_mean
+from repro.core import make_oracle
+from repro.eval.metrics import mse
+from repro.eval.tables import Table
+from repro.numeric import DuchiMean, LocalLaplaceMean
+from repro.workloads import sample_zipf, true_counts
+
+__all__ = ["run", "main"]
+
+
+def run(
+    *,
+    domain_size: int = 64,
+    populations: tuple[int, ...] = (1_000, 10_000, 100_000),
+    epsilon: float = 1.0,
+    repetitions: int = 5,
+    seed: int = 12,
+) -> Table:
+    """Histogram and mean tasks at growing n, central vs local."""
+    table = Table(
+        "E12: central vs local — error vs population size",
+        ["task", "n", "central_rmse", "local_rmse", "local_over_central"],
+    )
+    table.add_note(
+        f"histogram d={domain_size} (central Laplace vs OLH); mean in [-1,1] "
+        f"(central Laplace vs Duchi); eps={epsilon}, reps={repetitions}, seed={seed}"
+    )
+    for n in populations:
+        values, _ = sample_zipf(domain_size, n, rng=seed)
+        counts = true_counts(values, domain_size)
+        local_mses, central_mses = [], []
+        oracle = make_oracle("OLH", domain_size, epsilon)
+        for rep in range(repetitions):
+            noisy = central_histogram(values, domain_size, epsilon, rng=seed + rep)
+            central_mses.append(mse(counts, noisy))
+            reports = oracle.privatize(values, rng=seed + 100 + rep)
+            local_mses.append(mse(counts, oracle.estimate_counts(reports)))
+        central_rmse = float(np.sqrt(np.mean(central_mses)))
+        local_rmse = float(np.sqrt(np.mean(local_mses)))
+        table.add_row(
+            "histogram", n, central_rmse, local_rmse, local_rmse / central_rmse
+        )
+
+    gen = np.random.default_rng(seed + 500)
+    for n in populations:
+        xs = gen.uniform(-0.6, 0.8, n)
+        duchi = DuchiMean(epsilon)
+        central_errs, local_errs = [], []
+        for rep in range(repetitions):
+            central_errs.append(
+                abs(
+                    central_mean(xs, -1.0, 1.0, epsilon, rng=seed + rep)
+                    - xs.mean()
+                )
+            )
+            est = duchi.estimate_mean(duchi.privatize(xs, rng=seed + 200 + rep))
+            local_errs.append(abs(est - xs.mean()))
+        c = float(np.mean(central_errs))
+        lo = float(np.mean(local_errs))
+        table.add_row("mean", n, c, lo, lo / max(c, 1e-12))
+
+    # Context row: analytical per-count sds at the largest n.
+    n_big = populations[-1]
+    table.add_note(
+        f"analytical per-count sd at n={n_big}: central "
+        f"{np.sqrt(central_count_variance(epsilon)):.2f}, OLH "
+        f"{make_oracle('OLH', domain_size, epsilon).count_stddev(n_big):.2f}, "
+        f"LocalLaplace mean sd {np.sqrt(LocalLaplaceMean(epsilon).mean_variance(n_big)):.4f}"
+    )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""E13 — composition accounting: basic vs advanced vs parallel.
+
+Expected shape: advanced composition's total ε beats basic once the
+round count passes ≈10 at per-round ε = 0.1 and δ' = 1e−6 (the √k vs k
+growth); parallel composition is flat at the per-round ε regardless of
+rounds; the optimal per-round budget extracted from a fixed total grows
+with the total and shrinks with the rounds.
+"""
+
+from __future__ import annotations
+
+from repro.core.budget import (
+    PrivacySpend,
+    advanced_composition,
+    compose_parallel,
+    optimal_per_round_epsilon,
+)
+from repro.eval.tables import Table
+
+__all__ = ["run", "main"]
+
+
+def run(
+    *,
+    per_round_epsilon: float = 0.1,
+    rounds: tuple[int, ...] = (1, 4, 16, 64, 256),
+    delta_slack: float = 1e-6,
+    total_budget: float = 2.0,
+) -> Table:
+    """Totals under each rule, plus the per-round budget a total buys."""
+    table = Table(
+        "E13: composition — total epsilon vs number of rounds",
+        [
+            "rounds",
+            "basic_total",
+            "advanced_total",
+            "parallel_total",
+            "per_round_from_budget",
+        ],
+    )
+    table.add_note(
+        f"per-round eps={per_round_epsilon}, delta'={delta_slack}, "
+        f"budget for last column={total_budget}"
+    )
+    for k in rounds:
+        basic = per_round_epsilon * k
+        advanced, _ = advanced_composition(per_round_epsilon, 0.0, k, delta_slack)
+        parallel, _ = compose_parallel(
+            [PrivacySpend(per_round_epsilon) for _ in range(k)]
+        )
+        per_round = optimal_per_round_epsilon(total_budget, k, delta_slack)
+        table.add_row(k, basic, advanced, parallel, per_round)
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Synthetic decentralized social graphs under LDP [20]."""
+
+from repro.graphs.ldpgen import LdpGenResult, edge_rr_graph, ldpgen_synthesize
+from repro.graphs.metrics import (
+    clustering_gap,
+    degree_distribution_distance,
+    edge_count_relative_error,
+    graph_report,
+    modularity_under_labels,
+)
+
+__all__ = [
+    "LdpGenResult",
+    "edge_rr_graph",
+    "ldpgen_synthesize",
+    "clustering_gap",
+    "degree_distribution_distance",
+    "edge_count_relative_error",
+    "graph_report",
+    "modularity_under_labels",
+]

@@ -1,0 +1,13 @@
+"""Heavy-hitter identification protocols over massive domains [3, 4, 19, 21]."""
+
+from repro.heavyhitters.common import HeavyHitterResult
+from repro.heavyhitters.pem import pem_heavy_hitters
+from repro.heavyhitters.succinct import bitstogram_heavy_hitters
+from repro.heavyhitters.treehist import treehist_heavy_hitters
+
+__all__ = [
+    "HeavyHitterResult",
+    "pem_heavy_hitters",
+    "bitstogram_heavy_hitters",
+    "treehist_heavy_hitters",
+]

@@ -1,0 +1,63 @@
+"""Shared plumbing for heavy-hitter protocols.
+
+All three protocols in this package (PEM, TreeHist, Bitstogram) treat the
+domain as fixed-width bitstrings, split the population into disjoint
+groups (parallel composition: every user answers exactly one question at
+the full ε), and drive a frequency oracle in candidate-restricted mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.local_hashing import OptimalLocalHashing
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_epsilon, check_positive_int
+
+__all__ = ["HeavyHitterResult", "split_groups", "make_group_oracle"]
+
+
+@dataclass(frozen=True)
+class HeavyHitterResult:
+    """Discovered heavy hitters, best first.
+
+    Attributes
+    ----------
+    items:
+        Discovered domain values, ordered by decreasing estimated count.
+    counts:
+        Full-population count estimates aligned with ``items``.
+    candidates_evaluated:
+        Total candidate evaluations across rounds — the protocol's
+        server-side work measure.
+    """
+
+    items: list[int]
+    counts: list[float]
+    candidates_evaluated: int
+
+    def as_set(self) -> set[int]:
+        return set(self.items)
+
+
+def split_groups(
+    n: int, num_groups: int, rng: np.random.Generator | int | None
+) -> np.ndarray:
+    """Uniformly assign ``n`` users to ``num_groups`` disjoint groups."""
+    check_positive_int(n, name="n")
+    check_positive_int(num_groups, name="num_groups")
+    gen = ensure_generator(rng)
+    return gen.integers(0, num_groups, size=n)
+
+
+def make_group_oracle(domain_size: int, epsilon: float) -> OptimalLocalHashing:
+    """The oracle every group runs: OLH at the full per-user budget.
+
+    OLH is the right default here — candidate-restricted support counting
+    is exactly its strength and the prefix domains grow too large for
+    unary encodings.
+    """
+    check_epsilon(epsilon)
+    return OptimalLocalHashing(domain_size, epsilon)

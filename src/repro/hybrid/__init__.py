@@ -1,0 +1,5 @@
+"""Hybrid trust models [2]: blending opt-in (central DP) with LDP users."""
+
+from repro.hybrid.blender import BlenderResult, blender_estimate
+
+__all__ = ["BlenderResult", "blender_estimate"]

@@ -1,0 +1,133 @@
+"""BLENDER: blending opt-in users with LDP clients.
+
+Avent et al. [2] (tutorial §1.4, "hybrid models") observed that real
+deployments have two user populations: a small **opt-in** group willing
+to trust the curator (centralized DP) and the long tail of **clients**
+who require LDP.  BLENDER
+
+1. uses the opt-in group to *discover the head list* (centralized DP is
+   accurate enough to find candidates even from a small group),
+2. has clients report against ``head list + ⊥`` with a frequency oracle,
+3. blends the two per-item frequency estimates by inverse-variance
+   weighting — the minimum-variance unbiased combination — so each item
+   automatically leans on whichever group estimates it better.
+
+The headline effect (experiment E11): a few percent of opt-in users cut
+the error of a pure-LDP deployment by a large factor, because the
+central group's per-item variance is ~n_opt-times smaller per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.central.laplace import central_histogram
+from repro.core.local_hashing import OptimalLocalHashing
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_epsilon, check_positive_int
+
+__all__ = ["BlenderResult", "blender_estimate"]
+
+
+@dataclass(frozen=True)
+class BlenderResult:
+    """Blended frequency estimates over the discovered head list."""
+
+    head_list: np.ndarray
+    blended_frequencies: np.ndarray
+    optin_frequencies: np.ndarray
+    client_frequencies: np.ndarray
+    optin_weight: np.ndarray
+
+    def as_dict(self) -> dict[int, float]:
+        return {
+            int(v): float(f)
+            for v, f in zip(self.head_list, self.blended_frequencies)
+        }
+
+
+def blender_estimate(
+    values: np.ndarray,
+    domain_size: int,
+    epsilon: float,
+    *,
+    optin_fraction: float = 0.05,
+    head_size: int = 32,
+    rng: np.random.Generator | int | None = None,
+) -> BlenderResult:
+    """Run the BLENDER pipeline over one population.
+
+    Parameters
+    ----------
+    values:
+        One domain value per user.
+    domain_size:
+        Size of the full (known) domain; the head list is discovered, the
+        tail is aggregated into ⊥.
+    epsilon:
+        Both groups' privacy budget (the paper allows different budgets;
+        a shared ε keeps the comparison clean).
+    optin_fraction:
+        Fraction of users willing to submit under centralized DP.
+    head_size:
+        Number of head items the opt-in group nominates.
+    """
+    check_positive_int(domain_size, name="domain_size")
+    check_epsilon(epsilon)
+    check_positive_int(head_size, name="head_size")
+    if not 0.0 < optin_fraction < 1.0:
+        raise ValueError(f"optin_fraction must be in (0, 1), got {optin_fraction}")
+    gen = ensure_generator(rng)
+    vals = np.asarray(values, dtype=np.int64)
+    if vals.ndim != 1 or vals.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if vals.min() < 0 or vals.max() >= domain_size:
+        raise ValueError("values outside domain")
+    n = vals.shape[0]
+    head_size = min(head_size, domain_size)
+
+    optin_mask = gen.random(n) < optin_fraction
+    optin_vals = vals[optin_mask]
+    client_vals = vals[~optin_mask]
+    n_opt, n_cli = optin_vals.shape[0], client_vals.shape[0]
+    if n_opt < 2 or n_cli < 2:
+        raise ValueError("both groups need at least 2 users; adjust fractions")
+
+    # --- opt-in group: central DP histogram + head discovery ----------------
+    noisy_counts = central_histogram(optin_vals, domain_size, epsilon, rng=gen)
+    head = np.sort(np.argsort(-noisy_counts)[:head_size]).astype(np.int64)
+    optin_freq = noisy_counts[head] / n_opt
+    # Per-item central variance: Laplace(2/ε) noise + multinomial sampling.
+    var_opt = (8.0 / epsilon**2) / n_opt**2 + np.clip(
+        optin_freq * (1.0 - optin_freq), 1e-12, None
+    ) / n_opt
+
+    # --- client group: LDP over head + ⊥ ------------------------------------
+    head_index = {int(v): i for i, v in enumerate(head)}
+    reduced_domain = head.shape[0] + 1  # last slot = ⊥ (not in head)
+    reduced = np.fromiter(
+        (head_index.get(int(v), reduced_domain - 1) for v in client_vals),
+        dtype=np.int64,
+        count=n_cli,
+    )
+    oracle = OptimalLocalHashing(reduced_domain, epsilon)
+    reports = oracle.privatize(reduced, rng=gen)
+    client_counts = oracle.estimate_counts(reports)[: head.shape[0]]
+    client_freq = client_counts / n_cli
+    var_cli = np.full(
+        head.shape[0],
+        oracle.count_variance(n_cli) / n_cli**2,
+    )
+
+    # --- inverse-variance blend ----------------------------------------------
+    w_opt = (1.0 / var_opt) / (1.0 / var_opt + 1.0 / var_cli)
+    blended = w_opt * optin_freq + (1.0 - w_opt) * client_freq
+    return BlenderResult(
+        head_list=head,
+        blended_frequencies=blended,
+        optin_frequencies=optin_freq,
+        client_frequencies=client_freq,
+        optin_weight=w_opt,
+    )

@@ -1,0 +1,13 @@
+"""Multi-round interactive protocols (tutorial §1.4, open problem 1)."""
+
+from repro.interactive.refinement import (
+    AdaptiveResult,
+    adaptive_frequency_estimation,
+    one_shot_baseline,
+)
+
+__all__ = [
+    "AdaptiveResult",
+    "adaptive_frequency_estimation",
+    "one_shot_baseline",
+]

@@ -1,0 +1,29 @@
+"""Marginal release under LDP [8]: full, direct, and Fourier strategies."""
+
+from repro.marginals.release import (
+    DirectMarginals,
+    FourierMarginals,
+    FullMaterialization,
+    MarginalRelease,
+)
+from repro.marginals.subsets import (
+    all_kway_masks,
+    masks_up_to_weight,
+    parity_characters,
+    project_to_mask,
+    submasks,
+    true_marginal,
+)
+
+__all__ = [
+    "DirectMarginals",
+    "FourierMarginals",
+    "FullMaterialization",
+    "MarginalRelease",
+    "all_kway_masks",
+    "masks_up_to_weight",
+    "parity_characters",
+    "project_to_mask",
+    "submasks",
+    "true_marginal",
+]

@@ -1,0 +1,102 @@
+"""Subset/bitmask utilities for marginal release.
+
+Users hold ``d`` binary attributes packed into an integer (bit ``i`` =
+attribute ``i``).  A *marginal* over an attribute subset ``T`` (also a
+bitmask) is the joint distribution of those attributes — ``2^{|T|}``
+cells.  The Fourier method works in the parity basis
+``χ_S(x) = (−1)^{popcount(S & x)}``, so everything here is bit twiddling
+on masks, vectorized over users.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "all_kway_masks",
+    "masks_up_to_weight",
+    "submasks",
+    "parity_characters",
+    "project_to_mask",
+    "true_marginal",
+]
+
+
+def all_kway_masks(d: int, k: int) -> list[int]:
+    """All attribute subsets of size exactly ``k`` as bitmasks."""
+    check_positive_int(d, name="d")
+    check_positive_int(k, name="k")
+    if k > d:
+        raise ValueError(f"k ({k}) cannot exceed d ({d})")
+    masks = []
+    for combo in combinations(range(d), k):
+        mask = 0
+        for bit in combo:
+            mask |= 1 << bit
+        masks.append(mask)
+    return masks
+
+
+def masks_up_to_weight(d: int, k: int, *, include_empty: bool = False) -> list[int]:
+    """All non-empty subsets of weight ≤ k (optionally with ∅)."""
+    check_positive_int(d, name="d")
+    check_positive_int(k, name="k")
+    masks = [0] if include_empty else []
+    for weight in range(1, min(k, d) + 1):
+        masks.extend(all_kway_masks(d, weight))
+    return masks
+
+
+def submasks(mask: int) -> list[int]:
+    """Every submask of ``mask`` including 0 and itself (classic walk)."""
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    subs = []
+    sub = mask
+    while True:
+        subs.append(sub)
+        if sub == 0:
+            break
+        sub = (sub - 1) & mask
+    return subs[::-1]
+
+
+def parity_characters(masks: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """``χ_S(x) = (−1)^{popcount(S & x)}`` with broadcasting, ±1 floats."""
+    s = np.asarray(masks, dtype=np.uint64)
+    x = np.asarray(xs, dtype=np.uint64)
+    bits = np.bitwise_count(s & x).astype(np.int64)
+    return np.where(bits % 2 == 0, 1.0, -1.0)
+
+
+def project_to_mask(xs: np.ndarray, mask: int) -> np.ndarray:
+    """Compress each value's bits selected by ``mask`` into ``[0, 2^w)``.
+
+    Bit order is preserved (lowest selected bit becomes bit 0).
+    """
+    x = np.asarray(xs, dtype=np.int64)
+    out = np.zeros_like(x)
+    pos = 0
+    m = int(mask)
+    bit_index = 0
+    while m:
+        if m & 1:
+            out |= ((x >> bit_index) & 1) << pos
+            pos += 1
+        m >>= 1
+        bit_index += 1
+    return out
+
+
+def true_marginal(xs: np.ndarray, mask: int) -> np.ndarray:
+    """Ground-truth marginal distribution of the masked attributes."""
+    if mask == 0:
+        raise ValueError("mask must select at least one attribute")
+    width = int(mask).bit_count()
+    projected = project_to_mask(xs, mask)
+    counts = np.bincount(projected, minlength=1 << width).astype(np.float64)
+    return counts / counts.sum()

@@ -1,0 +1,6 @@
+"""Numeric (mean) estimation in the local model [10, 11, 18]."""
+
+from repro.numeric.harmony import HarmonyMean, HarmonyReports
+from repro.numeric.mean import DuchiMean, LocalLaplaceMean
+
+__all__ = ["DuchiMean", "LocalLaplaceMean", "HarmonyMean", "HarmonyReports"]

@@ -1,0 +1,134 @@
+"""Harmony-style multidimensional mean estimation.
+
+Nguyên et al.'s smart-device collection system [18] (the paper behind
+the tutorial's "multiple rounds" bullet) needs per-dimension means of
+``d``-dimensional numeric user vectors.  Naively splitting ε across
+dimensions costs each estimate a factor d² in variance; Harmony's
+observation is that **sampling** beats splitting: each user reports a
+Duchi-style ±1 bit for *one random dimension* at the full ε, scaled by
+``d`` for unbiasedness.  Per-dimension variance then grows only linearly
+in d (each dimension hears from n/d users at full budget).
+
+The report is a single (dimension index, ±dB) pair — constant
+communication in d, another theme the tutorial emphasizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_epsilon, check_positive_int
+
+__all__ = ["HarmonyReports", "HarmonyMean"]
+
+
+@dataclass(frozen=True)
+class HarmonyReports:
+    """One sampled dimension and one scaled ±dB value per user."""
+
+    dimensions: np.ndarray  # (n,) int64
+    values: np.ndarray  # (n,) float64, ±(d·B)
+
+    def __post_init__(self) -> None:
+        if self.dimensions.shape != self.values.shape:
+            raise ValueError(
+                f"dimensions and values must align, got "
+                f"{self.dimensions.shape} vs {self.values.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.dimensions.shape[0])
+
+
+class HarmonyMean:
+    """Per-dimension mean estimation for vectors in ``[−1, 1]^d``."""
+
+    def __init__(self, num_dimensions: int, epsilon: float) -> None:
+        self.d = check_positive_int(num_dimensions, name="num_dimensions")
+        self.epsilon = check_epsilon(epsilon)
+        e = math.exp(self.epsilon)
+        self.magnitude = (e + 1.0) / (e - 1.0)  # Duchi's B
+        self._slope = (e - 1.0) / (e + 1.0)
+
+    def privatize(
+        self,
+        vectors: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> HarmonyReports:
+        """Sample one dimension per user, report Duchi's bit scaled by d."""
+        gen = ensure_generator(rng)
+        arr = np.asarray(vectors, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(
+                f"vectors must have shape (n, {self.d}), got {arr.shape}"
+            )
+        if arr.size == 0:
+            raise ValueError("vectors must be non-empty")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("vectors must be finite")
+        if arr.min() < -1.0 or arr.max() > 1.0:
+            raise ValueError("vector entries must lie in [-1, 1]")
+        n = arr.shape[0]
+        dims = gen.integers(0, self.d, size=n, dtype=np.int64)
+        x = arr[np.arange(n), dims]
+        p_plus = 0.5 * (1.0 + x * self._slope)
+        signs = np.where(gen.random(n) < p_plus, 1.0, -1.0)
+        return HarmonyReports(
+            dimensions=dims, values=signs * self.d * self.magnitude
+        )
+
+    def estimate_means(self, reports: HarmonyReports) -> np.ndarray:
+        """Unbiased per-dimension means: average of all n scaled reports.
+
+        Users who sampled other dimensions contribute zero to dimension
+        ``j`` — conceptually each report is the vector
+        ``d·B·sign · e_j`` and the estimator is the coordinate-wise
+        average over all users.
+        """
+        if not isinstance(reports, HarmonyReports):
+            raise TypeError(
+                f"expected HarmonyReports, got {type(reports).__name__}"
+            )
+        dims = np.asarray(reports.dimensions, dtype=np.int64)
+        if dims.size and (dims.min() < 0 or dims.max() >= self.d):
+            raise ValueError("dimension index out of range")
+        vals = np.asarray(reports.values, dtype=np.float64)
+        if not np.all(np.isclose(np.abs(vals), self.d * self.magnitude)):
+            raise ValueError("report values must be ±(d·B)")
+        n = len(reports)
+        sums = np.bincount(dims, weights=vals, minlength=self.d)
+        return sums / n
+
+    def mean_variance(self, n: int) -> float:
+        """Leading-order per-dimension variance ``d·B²/n + O(1/n)``.
+
+        Each of the n reports contributes second moment ``(dB)²/d = dB²``
+        to a given coordinate (probability 1/d of landing there), so the
+        coordinate average has variance ≈ ``dB²/n``.
+        """
+        check_positive_int(n, name="n")
+        return self.d * self.magnitude**2 / n
+
+    def max_privacy_ratio(self) -> float:
+        """The Duchi bit at full ε: exactly e^ε (dimension choice is
+        data-independent)."""
+        top = 0.5 * (1.0 + self._slope)
+        bottom = 0.5 * (1.0 - self._slope)
+        return top / bottom
+
+    def naive_split_variance(self, n: int) -> float:
+        """Comparator: spend ε/d per dimension, every user reports all d.
+
+        Duchi at ε/d has ``B' = (e^{ε/d}+1)/(e^{ε/d}−1) ≈ 2d/ε``, so the
+        per-dimension variance is ≈ ``B'²/n`` — worse than sampling by a
+        factor ≈ ``4d/ε²`` at small ε.  A4-style justification for the
+        sampling design, used by the tests.
+        """
+        check_positive_int(n, name="n")
+        e = math.exp(self.epsilon / self.d)
+        b_split = (e + 1.0) / (e - 1.0)
+        return b_split**2 / n

@@ -1,0 +1,5 @@
+"""Client/aggregator simulation layer."""
+
+from repro.protocol.simulation import CollectionStats, report_bytes, run_collection
+
+__all__ = ["CollectionStats", "report_bytes", "run_collection"]

@@ -1,0 +1,13 @@
+"""Private spatial data aggregation [7]: grids, range queries, hotspots."""
+
+from repro.spatial.adaptive import AdaptiveGrid
+from repro.spatial.grid import Rectangle, UniformGrid
+from repro.spatial.personalized import PersonalizedSpatial, PrivacySpec
+
+__all__ = [
+    "AdaptiveGrid",
+    "Rectangle",
+    "UniformGrid",
+    "PersonalizedSpatial",
+    "PrivacySpec",
+]

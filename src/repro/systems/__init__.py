@@ -1,0 +1,8 @@
+"""The three deployed systems the tutorial is structured around.
+
+* :mod:`repro.systems.rappor` — Google's RAPPOR [12, 14];
+* :mod:`repro.systems.apple` — Apple's CMS/HCMS and word discovery [1, 9];
+* :mod:`repro.systems.microsoft` — Microsoft's telemetry collection [10].
+"""
+
+__all__ = ["rappor", "apple", "microsoft"]

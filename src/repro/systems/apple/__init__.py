@@ -1,0 +1,19 @@
+"""Apple's LDP system [1, 9]: CMS/HCMS sketches and SFP word discovery."""
+
+from repro.systems.apple.cms import (
+    CmsReports,
+    CountMeanSketch,
+    HadamardCountMeanSketch,
+    HcmsReports,
+)
+from repro.systems.apple.sfp import SfpConfig, SfpResult, discover_words
+
+__all__ = [
+    "CmsReports",
+    "CountMeanSketch",
+    "HadamardCountMeanSketch",
+    "HcmsReports",
+    "SfpConfig",
+    "SfpResult",
+    "discover_words",
+]

@@ -1,0 +1,266 @@
+"""Apple's count-mean-sketch frequency oracles: CMS and HCMS.
+
+Apple's deployment [1, 9] solves the massive-domain problem with
+*sketching*: ``k`` public hash functions map the domain into ``m``
+buckets, each client perturbs the one-hot encoding of its hashed value
+under one randomly chosen function, and the server maintains a ``k × m``
+count-mean sketch ``M``.  The frequency of any value ``d`` is read off
+the sketch as the de-biased mean of its ``k`` buckets:
+
+    f̂(d) = (m/(m−1)) · ( (1/k) Σ_j M[j, h_j(d)] − n/m )
+
+**CMS** transmits the whole ``m``-bit perturbed row (per-bit flips at
+``1/(e^{ε/2}+1)``, exactly the SUE schedule in ±1 form).  **HCMS**
+transmits a *single* ±1 bit — one sampled coordinate of the Hadamard
+transform of the one-hot row, flipped with probability ``1/(e^ε+1)`` —
+and the server un-transforms its sketch once at the end ("the Fourier
+transform spreads out signal information", as the tutorial puts it).
+
+Both are unbiased up to hash collisions, whose ``+n/m`` inflation the
+``(m/(m−1), −n/m)`` correction removes in expectation over the family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.hashing import SeededHashFamily
+from repro.util.rng import ensure_generator
+from repro.util.validation import (
+    check_domain_values,
+    check_epsilon,
+    check_positive_int,
+)
+from repro.util.wht import fwht, hadamard_entries, is_power_of_two
+
+__all__ = ["CmsReports", "HcmsReports", "CountMeanSketch", "HadamardCountMeanSketch"]
+
+
+@dataclass(frozen=True)
+class CmsReports:
+    """CMS report batch: chosen hash index + perturbed ±1 row per user."""
+
+    hash_indices: np.ndarray  # (n,) int64 in [0, k)
+    rows: np.ndarray  # (n, m) int8 in {−1, +1}
+
+    def __len__(self) -> int:
+        return int(self.hash_indices.shape[0])
+
+
+@dataclass(frozen=True)
+class HcmsReports:
+    """HCMS report batch: hash index, sampled coordinate, one ±1 bit."""
+
+    hash_indices: np.ndarray  # (n,) int64 in [0, k)
+    coords: np.ndarray  # (n,) int64 in [0, m)
+    bits: np.ndarray  # (n,) float64 ±1
+
+    def __len__(self) -> int:
+        return int(self.hash_indices.shape[0])
+
+
+class _SketchBase:
+    """Shared configuration and the sketch-mean estimator."""
+
+    def __init__(
+        self, domain_size: int, epsilon: float, k: int, m: int, master_seed: int
+    ) -> None:
+        self.domain_size = check_positive_int(domain_size, name="domain_size")
+        self.epsilon = check_epsilon(epsilon)
+        self.k = check_positive_int(k, name="k")
+        self.m = check_positive_int(m, name="m")
+        if self.m < 2:
+            raise ValueError(f"sketch width m must be >= 2, got {m}")
+        self.master_seed = int(master_seed)
+        self.family = SeededHashFamily(self.k, self.m, self.master_seed)
+
+    def _estimate_from_sketch(
+        self, sketch: np.ndarray, n: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """De-biased sketch-mean count estimate for each candidate."""
+        if sketch.shape != (self.k, self.m):
+            raise ValueError(
+                f"sketch must have shape ({self.k}, {self.m}), got {sketch.shape}"
+            )
+        hashed = self.family.apply_all(candidates)  # (k, c)
+        bucket_sums = sketch[np.arange(self.k)[:, None], hashed]  # (k, c)
+        mean = bucket_sums.mean(axis=0)
+        return (self.m / (self.m - 1.0)) * (mean - n / self.m)
+
+
+class CountMeanSketch(_SketchBase):
+    """CMS: full perturbed-row reports, per-bit budget ε/2.
+
+    Parameters
+    ----------
+    domain_size:
+        Size of the value domain (may be astronomically large; only
+        hashing touches it).
+    epsilon:
+        Per-report LDP guarantee.
+    k, m:
+        Sketch depth (number of hash functions) and width (buckets).
+    master_seed:
+        Keys the public hash family.
+    """
+
+    def __init__(
+        self, domain_size: int, epsilon: float, k: int = 64, m: int = 1024,
+        master_seed: int = 0,
+    ) -> None:
+        super().__init__(domain_size, epsilon, k, m, master_seed)
+        half = math.exp(self.epsilon / 2.0)
+        self.flip_prob = 1.0 / (half + 1.0)
+        self.c_eps = (half + 1.0) / (half - 1.0)
+
+    def privatize(
+        self,
+        values: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> CmsReports:
+        """One CMS report per user: pick a function, one-hot, flip bits."""
+        gen = ensure_generator(rng)
+        vals = check_domain_values(values, self.domain_size)
+        n = vals.shape[0]
+        indices = gen.integers(0, self.k, size=n, dtype=np.int64)
+        hashed = self.family.apply_selected(indices, vals)
+        rows = np.full((n, self.m), -1, dtype=np.int8)
+        rows[np.arange(n), hashed] = 1
+        flips = gen.random((n, self.m)) < self.flip_prob
+        rows = np.where(flips, -rows, rows).astype(np.int8)
+        return CmsReports(hash_indices=indices, rows=rows)
+
+    def build_sketch(self, reports: CmsReports) -> np.ndarray:
+        """Accumulate the ``k × m`` sketch: ``M[j] += k(c_ε/2 · row + ½)``."""
+        if not isinstance(reports, CmsReports):
+            raise TypeError(f"expected CmsReports, got {type(reports).__name__}")
+        idx = np.asarray(reports.hash_indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.k):
+            raise ValueError("hash index out of range — refusing to aggregate")
+        transformed = self.k * (
+            (self.c_eps / 2.0) * reports.rows.astype(np.float64) + 0.5
+        )
+        sketch = np.zeros((self.k, self.m))
+        np.add.at(sketch, idx, transformed)
+        return sketch
+
+    def estimate_counts_for(
+        self, reports: CmsReports, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Count estimates for a candidate list (sketch built on the fly)."""
+        cands = check_domain_values(candidates, self.domain_size, name="candidates")
+        sketch = self.build_sketch(reports)
+        return self._estimate_from_sketch(sketch, len(reports), cands)
+
+    def estimate_counts(self, reports: CmsReports) -> np.ndarray:
+        """Count estimates for the whole (small) domain."""
+        return self.estimate_counts_for(
+            reports, np.arange(self.domain_size, dtype=np.int64)
+        )
+
+    def count_variance(self, n: int, f: float = 0.0) -> float:
+        """Leading-order variance ``n (c_ε² − 1)/4 · (m/(m−1))²``.
+
+        Each report's bucket contribution is ``c_ε/2 · (±1) + ½`` whose
+        variance is ``(c_ε² − 1)/4`` at rare values; hash-collision noise
+        adds O(n/m) which the tests bound but we omit here.
+        """
+        check_positive_int(n, name="n")
+        return n * (self.c_eps**2 - 1.0) / 4.0 * (self.m / (self.m - 1.0)) ** 2
+
+    def max_privacy_ratio(self) -> float:
+        """Two differing one-hot bits, each at budget ε/2 → exactly e^ε."""
+        return ((1.0 - self.flip_prob) / self.flip_prob) ** 2
+
+
+class HadamardCountMeanSketch(_SketchBase):
+    """HCMS: single-bit reports via a sampled Hadamard coordinate.
+
+    ``m`` must be a power of two (the transform's order).  The server
+    accumulates raw ±1 bits into a transformed sketch and applies one
+    inverse WHT per row at read time.
+    """
+
+    def __init__(
+        self, domain_size: int, epsilon: float, k: int = 64, m: int = 1024,
+        master_seed: int = 0,
+    ) -> None:
+        super().__init__(domain_size, epsilon, k, m, master_seed)
+        if not is_power_of_two(self.m):
+            raise ValueError(f"HCMS width m must be a power of two, got {m}")
+        e = math.exp(self.epsilon)
+        self.flip_prob = 1.0 / (e + 1.0)
+        self.c_eps = (e + 1.0) / (e - 1.0)
+
+    def privatize(
+        self,
+        values: Sequence[int] | np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> HcmsReports:
+        """Sample (function, coordinate), send one flipped Hadamard bit."""
+        gen = ensure_generator(rng)
+        vals = check_domain_values(values, self.domain_size)
+        n = vals.shape[0]
+        indices = gen.integers(0, self.k, size=n, dtype=np.int64)
+        hashed = self.family.apply_selected(indices, vals)
+        coords = gen.integers(0, self.m, size=n, dtype=np.int64)
+        bits = hadamard_entries(coords.astype(np.uint64), hashed.astype(np.uint64))
+        flips = gen.random(n) < self.flip_prob
+        bits = np.where(flips, -bits, bits)
+        return HcmsReports(hash_indices=indices, coords=coords, bits=bits)
+
+    def build_sketch(self, reports: HcmsReports) -> np.ndarray:
+        """Accumulate in the transform domain, then invert each row."""
+        if not isinstance(reports, HcmsReports):
+            raise TypeError(f"expected HcmsReports, got {type(reports).__name__}")
+        idx = np.asarray(reports.hash_indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.k):
+            raise ValueError("hash index out of range — refusing to aggregate")
+        coords = np.asarray(reports.coords)
+        if coords.size and (coords.min() < 0 or coords.max() >= self.m):
+            raise ValueError("coordinate out of range — refusing to aggregate")
+        transformed = np.zeros((self.k, self.m))
+        np.add.at(
+            transformed,
+            (idx, coords),
+            self.k * self.c_eps * np.asarray(reports.bits, dtype=np.float64),
+        )
+        # Each report deposits (k·c_ε·b̃) at its sampled coordinate, whose
+        # per-user expectation is (k/m)·H[idx, l].  One unnormalized WHT
+        # per row contracts against H[idx, l'] and the m's cancel, giving
+        # E[M[j, l]] = k·#{users with function j hashing to l} — exactly
+        # the CMS sketch scale, so the same estimator applies.
+        return fwht(transformed)
+
+    def estimate_counts_for(
+        self, reports: HcmsReports, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Count estimates for a candidate list."""
+        cands = check_domain_values(candidates, self.domain_size, name="candidates")
+        sketch = self.build_sketch(reports)
+        return self._estimate_from_sketch(sketch, len(reports), cands)
+
+    def estimate_counts(self, reports: HcmsReports) -> np.ndarray:
+        """Count estimates for the whole (small) domain."""
+        return self.estimate_counts_for(
+            reports, np.arange(self.domain_size, dtype=np.int64)
+        )
+
+    def count_variance(self, n: int, f: float = 0.0) -> float:
+        """Leading-order variance ``n c_ε² (m/(m−1))²``.
+
+        One ±1 bit scaled by ``c_ε`` lands in the read bucket per report;
+        its second moment is ``c_ε²`` and the mean is O(1/n)·count, so at
+        rare values the variance is ≈ n c_ε² — the price of one-bit
+        reports relative to CMS.
+        """
+        check_positive_int(n, name="n")
+        return n * self.c_eps**2 * (self.m / (self.m - 1.0)) ** 2
+
+    def max_privacy_ratio(self) -> float:
+        """Single-bit flip at full budget → exactly e^ε."""
+        return (1.0 - self.flip_prob) / self.flip_prob

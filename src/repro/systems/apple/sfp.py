@@ -1,0 +1,217 @@
+"""Sequence Fragment Puzzle: discovering new words without a dictionary.
+
+Apple's emoji/word discovery [9] cannot enumerate candidates (users type
+*new* words), so it splits the problem like a jigsaw: every participating
+device reports one randomly-positioned **fragment** of its word, tagged
+with a short hash of the *whole* word (the "puzzle piece" that tells the
+server which fragments belong together), all through CMS.  A second
+device group reports the whole word, also through CMS, for verification.
+
+Concretely, for words of even length ``L`` over an integer alphabet of
+size ``A`` with puzzle-hash range ``P``:
+
+1. fragment reporters sample position ``r ∈ {0, 2, …, L−2}`` and submit
+   the id ``(r/2)·P·A² + puzzle_hash(word)·P·A²…`` — i.e. the triple
+   (position, hash, bigram) packed into one CMS domain;
+2. the server estimates all ``(L/2)·P·A²`` fragment counts, keeps the
+   heavy ones, and for every puzzle-hash value with a heavy fragment at
+   *every* position assembles candidate words (bounded cartesian
+   product);
+3. candidates are scored against the word-group CMS; survivors above a
+   count threshold are the discovered dictionary.
+
+The privacy cost per user is one CMS report (ε), regardless of group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.systems.apple.cms import CountMeanSketch
+from repro.systems.rappor.association import pack_string, unpack_string
+from repro.util.hashing import SeededHashFamily
+from repro.util.rng import derive_seed, ensure_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["SfpConfig", "SfpResult", "discover_words"]
+
+
+@dataclass(frozen=True)
+class SfpConfig:
+    """Static parameters of a Sequence Fragment Puzzle deployment."""
+
+    alphabet_size: int
+    word_length: int
+    epsilon: float = 4.0
+    puzzle_hash_range: int = 32
+    sketch_k: int = 32
+    sketch_m: int = 1024
+    fragment_fraction: float = 0.5
+    master_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.alphabet_size, name="alphabet_size")
+        check_positive_int(self.word_length, name="word_length")
+        if self.word_length % 2 != 0 or self.word_length < 2:
+            raise ValueError(
+                f"word_length must be even and >= 2, got {self.word_length}"
+            )
+        check_positive_int(self.puzzle_hash_range, name="puzzle_hash_range")
+        if not 0.0 < self.fragment_fraction < 1.0:
+            raise ValueError("fragment_fraction must be in (0, 1)")
+
+    @property
+    def num_positions(self) -> int:
+        return self.word_length // 2
+
+    @property
+    def fragment_domain(self) -> int:
+        """Packed (position, hash, bigram) id space."""
+        return self.num_positions * self.puzzle_hash_range * self.alphabet_size**2
+
+    @property
+    def word_domain(self) -> int:
+        return self.alphabet_size**self.word_length
+
+
+@dataclass(frozen=True)
+class SfpResult:
+    """Discovered words with their verified count estimates."""
+
+    discovered: list[int]
+    estimated_counts: list[float]
+    candidates_tested: int
+    heavy_fragments: int
+
+
+def _fragment_ids(
+    cfg: SfpConfig, words: np.ndarray, positions: np.ndarray, puzzle: np.ndarray
+) -> np.ndarray:
+    """Pack (position, puzzle hash, bigram at position) into CMS ids."""
+    a = cfg.alphabet_size
+    bigrams = np.empty(words.shape[0], dtype=np.int64)
+    for i, w in enumerate(words):
+        symbols = unpack_string(int(w), a, cfg.word_length)
+        r = int(positions[i]) * 2
+        bigrams[i] = symbols[r] * a + symbols[r + 1]
+    return (positions * cfg.puzzle_hash_range + puzzle) * (a * a) + bigrams
+
+
+def discover_words(
+    words: np.ndarray,
+    cfg: SfpConfig,
+    *,
+    rng: np.random.Generator | int | None = None,
+    fragment_threshold_sds: float = 3.0,
+    word_threshold_sds: float = 3.0,
+    max_per_position: int = 4,
+    max_candidates: int = 2048,
+) -> SfpResult:
+    """Run the full SFP pipeline over one packed word per user.
+
+    ``fragment_threshold_sds`` / ``word_threshold_sds`` set the detection
+    thresholds in analytical standard deviations of the respective CMS
+    estimators; ``max_per_position`` bounds how many heavy bigrams per
+    (hash, position) cell enter candidate assembly.
+    """
+    gen = ensure_generator(rng)
+    packed = np.asarray(words, dtype=np.int64)
+    if packed.ndim != 1 or packed.size == 0:
+        raise ValueError("words must be a non-empty 1-D array")
+    n = packed.shape[0]
+
+    puzzle_family = SeededHashFamily(
+        1, cfg.puzzle_hash_range, derive_seed(cfg.master_seed, 0x5F9)
+    )
+    puzzle = puzzle_family.apply(0, packed)
+
+    in_fragment_group = gen.random(n) < cfg.fragment_fraction
+    frag_words = packed[in_fragment_group]
+    frag_puzzle = puzzle[in_fragment_group]
+    word_words = packed[~in_fragment_group]
+
+    # --- stage 1: fragment CMS -------------------------------------------
+    positions = gen.integers(0, cfg.num_positions, size=frag_words.shape[0])
+    frag_ids = _fragment_ids(cfg, frag_words, positions, frag_puzzle)
+    frag_cms = CountMeanSketch(
+        cfg.fragment_domain,
+        cfg.epsilon,
+        k=cfg.sketch_k,
+        m=cfg.sketch_m,
+        master_seed=derive_seed(cfg.master_seed, 0xF7A6),
+    )
+    frag_reports = frag_cms.privatize(frag_ids, rng=gen)
+    frag_counts = frag_cms.estimate_counts(frag_reports)
+    threshold = fragment_threshold_sds * float(
+        np.sqrt(frag_cms.count_variance(max(len(frag_reports), 1)))
+    )
+
+    # --- stage 2: assemble candidates per puzzle-hash value ----------------
+    a = cfg.alphabet_size
+    heavy_total = 0
+    candidates: list[int] = []
+    per_cell = a * a
+    for ph in range(cfg.puzzle_hash_range):
+        bigram_lists: list[list[int]] = []
+        complete = True
+        for pos in range(cfg.num_positions):
+            base = (pos * cfg.puzzle_hash_range + ph) * per_cell
+            cell = frag_counts[base : base + per_cell]
+            heavy = np.nonzero(cell > threshold)[0]
+            heavy_total += heavy.size
+            if heavy.size == 0:
+                complete = False
+                break
+            order = heavy[np.argsort(-cell[heavy])][:max_per_position]
+            bigram_lists.append([int(b) for b in order])
+        if not complete:
+            continue
+        for combo in product(*bigram_lists):
+            symbols = []
+            for bigram in combo:
+                symbols.extend(divmod(bigram, a))
+            candidates.append(pack_string(np.asarray(symbols), a))
+            if len(candidates) >= max_candidates:
+                break
+        if len(candidates) >= max_candidates:
+            break
+
+    if not candidates:
+        return SfpResult(
+            discovered=[],
+            estimated_counts=[],
+            candidates_tested=0,
+            heavy_fragments=heavy_total,
+        )
+
+    # --- stage 3: verification against the word CMS ------------------------
+    word_cms = CountMeanSketch(
+        cfg.word_domain,
+        cfg.epsilon,
+        k=cfg.sketch_k,
+        m=cfg.sketch_m,
+        master_seed=derive_seed(cfg.master_seed, 0x30BD),
+    )
+    word_reports = word_cms.privatize(word_words, rng=gen)
+    cand_arr = np.asarray(sorted(set(candidates)), dtype=np.int64)
+    cand_counts = word_cms.estimate_counts_for(word_reports, cand_arr)
+    word_threshold = word_threshold_sds * float(
+        np.sqrt(word_cms.count_variance(max(len(word_reports), 1)))
+    )
+    keep = cand_counts > word_threshold
+    order = np.argsort(-cand_counts)
+    discovered, counts = [], []
+    word_fraction = max(1.0 - cfg.fragment_fraction, 1e-12)
+    for i in order:
+        if keep[i]:
+            discovered.append(int(cand_arr[i]))
+            counts.append(float(cand_counts[i]) / word_fraction)
+    return SfpResult(
+        discovered=discovered,
+        estimated_counts=counts,
+        candidates_tested=int(cand_arr.size),
+        heavy_fragments=heavy_total,
+    )

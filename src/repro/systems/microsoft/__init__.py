@@ -1,0 +1,22 @@
+"""Microsoft telemetry collection [10]: 1BitMean, dBitFlip, memoization."""
+
+from repro.systems.microsoft.dbitflip import DBitFlip, DBitFlipReports
+from repro.systems.microsoft.dbitflip_pm import DBitFlipPM, PmRound, PmRun
+from repro.systems.microsoft.onebit import OneBitMean
+from repro.systems.microsoft.repeated import (
+    CollectionRun,
+    RepeatedCollector,
+    RoundResult,
+)
+
+__all__ = [
+    "DBitFlip",
+    "DBitFlipReports",
+    "DBitFlipPM",
+    "PmRound",
+    "PmRun",
+    "OneBitMean",
+    "CollectionRun",
+    "RepeatedCollector",
+    "RoundResult",
+]

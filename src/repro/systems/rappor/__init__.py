@@ -1,0 +1,28 @@
+"""Google RAPPOR [12, 14]: Bloom-filter LDP collection with cohorts."""
+
+from repro.systems.rappor.aggregate import RapporAggregator, RapporDecodeResult
+from repro.systems.rappor.association import (
+    AssociationResult,
+    discover_dictionary,
+    pack_string,
+    unpack_string,
+)
+from repro.systems.rappor.client import (
+    RapporClient,
+    cohort_bloom,
+    privatize_population,
+)
+from repro.systems.rappor.params import RapporParams
+
+__all__ = [
+    "RapporAggregator",
+    "RapporDecodeResult",
+    "AssociationResult",
+    "discover_dictionary",
+    "pack_string",
+    "unpack_string",
+    "RapporClient",
+    "cohort_bloom",
+    "privatize_population",
+    "RapporParams",
+]

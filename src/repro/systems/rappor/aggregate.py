@@ -1,0 +1,164 @@
+"""RAPPOR aggregation: bit-count correction and candidate decoding.
+
+The aggregator sees, per cohort, a pile of noisy ``m``-bit reports.
+Decoding proceeds exactly as in Erlingsson et al. [12] §4:
+
+1. **Bit-rate correction** — for each cohort ``i`` and bit ``j``, the
+   observed 1-count ``c_ij`` mixes true-set and true-clear Bloom bits:
+   ``E[c_ij] = t_ij q* + (n_i − t_ij) p*``.  Inverting gives the unbiased
+   estimate ``t̂_ij`` of how many cohort members' *Bloom* encodings set
+   bit ``j``.
+2. **Design matrix** — every candidate string sets a known bit pattern in
+   each cohort (the cohort Bloom families are public), giving the matrix
+   ``X[(i,j), s]``.
+3. **Regression** — solve ``t̂ ≈ X β`` with non-negative least squares;
+   ``β_s`` estimates the *per-cohort* count of candidate ``s``, so the
+   population estimate is ``num_cohorts · β_s``.  (The paper fits LASSO
+   then OLS; NNLS plays the same sparsity-respecting role without an
+   external solver and is what Google's open-source analysis offers as
+   the default alternative.)
+4. **Significance** — candidates are reported only when their estimate
+   exceeds a Bonferroni-corrected normal threshold, controlling the
+   probability of *any* false discovery at ``alpha``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import nnls
+from scipy.stats import norm
+
+from repro.systems.rappor.client import cohort_bloom
+from repro.systems.rappor.params import RapporParams
+
+__all__ = ["RapporAggregator", "RapporDecodeResult"]
+
+
+@dataclass(frozen=True)
+class RapporDecodeResult:
+    """Outcome of a RAPPOR decode over a candidate list.
+
+    Attributes
+    ----------
+    candidates:
+        The candidate values the aggregator tested (domain ids).
+    estimated_counts:
+        Estimated number of users per candidate (aligned with
+        ``candidates``).
+    significant:
+        Boolean mask: which candidates clear the Bonferroni threshold.
+    threshold:
+        The count threshold applied.
+    """
+
+    candidates: np.ndarray
+    estimated_counts: np.ndarray
+    significant: np.ndarray
+    threshold: float
+
+    def detected(self) -> list[int]:
+        """Candidate ids that were significantly detected, best first."""
+        order = np.argsort(-self.estimated_counts)
+        return [int(self.candidates[i]) for i in order if self.significant[i]]
+
+
+class RapporAggregator:
+    """Server-side RAPPOR decoding for a fixed parameter set and seed."""
+
+    def __init__(self, params: RapporParams, master_seed: int) -> None:
+        self.params = params
+        self.master_seed = int(master_seed)
+
+    # -- stage 1: bit-rate correction --------------------------------------
+
+    def corrected_bit_counts(
+        self, cohorts: np.ndarray, reports: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Unbiased per-(cohort, bit) estimates of true Bloom-bit counts.
+
+        Returns ``(t_hat, cohort_sizes)`` with ``t_hat`` of shape
+        ``(num_cohorts, m)``.
+        """
+        params = self.params
+        coh = np.asarray(cohorts, dtype=np.int64)
+        rep = np.asarray(reports)
+        if rep.ndim != 2 or rep.shape[1] != params.num_bits:
+            raise ValueError(
+                f"reports must have shape (n, {params.num_bits}), got {rep.shape}"
+            )
+        if coh.shape[0] != rep.shape[0]:
+            raise ValueError("cohorts and reports must align")
+        if coh.size and (coh.min() < 0 or coh.max() >= params.num_cohorts):
+            raise ValueError("cohort index out of range")
+        qs, ps = params.q_star, params.p_star
+        t_hat = np.empty((params.num_cohorts, params.num_bits))
+        sizes = np.zeros(params.num_cohorts, dtype=np.int64)
+        for cohort in range(params.num_cohorts):
+            members = coh == cohort
+            n_i = int(members.sum())
+            sizes[cohort] = n_i
+            if n_i == 0:
+                t_hat[cohort] = 0.0
+                continue
+            c_ij = rep[members].sum(axis=0, dtype=np.float64)
+            t_hat[cohort] = (c_ij - ps * n_i) / (qs - ps)
+        return t_hat, sizes
+
+    # -- stage 2: candidate design matrix ----------------------------------
+
+    def design_matrix(self, candidates: np.ndarray) -> np.ndarray:
+        """Stacked Bloom patterns: shape ``(num_cohorts · m, #candidates)``."""
+        cands = np.asarray(candidates, dtype=np.int64)
+        if cands.ndim != 1 or cands.size == 0:
+            raise ValueError("candidates must be a non-empty 1-D array")
+        if np.unique(cands).size != cands.size:
+            raise ValueError("candidates must be distinct")
+        blocks = []
+        for cohort in range(self.params.num_cohorts):
+            bloom = cohort_bloom(self.params, cohort, self.master_seed)
+            blocks.append(bloom.encode_batch(cands).T.astype(np.float64))
+        return np.vstack(blocks)
+
+    # -- stages 3-4: regression + significance ------------------------------
+
+    def decode(
+        self,
+        cohorts: np.ndarray,
+        reports: np.ndarray,
+        candidates: np.ndarray,
+        *,
+        alpha: float = 0.05,
+    ) -> RapporDecodeResult:
+        """Full decode: correction, NNLS regression, Bonferroni filter."""
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        params = self.params
+        cands = np.asarray(candidates, dtype=np.int64)
+        t_hat, sizes = self.corrected_bit_counts(cohorts, reports)
+        design = self.design_matrix(cands)
+        target = t_hat.reshape(-1)
+        beta, _residual = nnls(design, np.clip(target, 0.0, None))
+        estimated = beta * params.num_cohorts
+
+        # Noise floor of one corrected bit count at the observed cohort
+        # size: Var[t̂_ij] ≈ n_i · r(1−r)/(q*−p*)², taking the worst-case
+        # observed rate r = ½.  A candidate's per-cohort count β_s is
+        # measured by its h bits in each of the c cohorts (h·c readings),
+        # and the population estimate scales β_s by c:
+        # Var[n̂_s] ≈ c² · var_bit/(h·c) = c · var_bit / h.
+        qs, ps = params.q_star, params.p_star
+        n_bar = float(sizes.mean()) if sizes.size else 0.0
+        var_bit = n_bar * 0.25 / (qs - ps) ** 2
+        var_candidate = params.num_cohorts * var_bit / max(params.num_hashes, 1)
+        z = float(norm.ppf(1.0 - alpha / (2.0 * cands.size)))
+        threshold = z * math.sqrt(max(var_candidate, 0.0))
+        significant = estimated > threshold
+        return RapporDecodeResult(
+            candidates=cands,
+            estimated_counts=estimated,
+            significant=significant,
+            threshold=float(threshold),
+        )

@@ -1,0 +1,213 @@
+"""Unknown-dictionary decoding: learning the strings themselves.
+
+Basic RAPPOR needs a candidate dictionary.  Fanti, Pihur and Erlingsson
+[14] removed that requirement: clients additionally report *n-grams* of
+their string, the server decodes the (small, enumerable) n-gram domains
+without needing a dictionary, and chains overlapping heavy n-grams into
+full-string candidates which a final report group then verifies.
+
+This module implements the bigram-chaining variant end-to-end **on the
+RAPPOR machinery itself**:
+
+1. Users are split into ``L−1`` position groups plus one verification
+   group (parallel composition: each user answers exactly one question).
+2. Group ``r`` reports the bigram at positions ``(r, r+1)`` — a domain of
+   only ``A²`` values, decodable with the standard cohort/NNLS pipeline
+   against *all* bigrams as candidates.
+3. Heavy bigrams at consecutive positions that overlap in one symbol are
+   chained depth-first into full-length candidate strings.
+4. The verification group's full-string reports are decoded against the
+   assembled candidates; survivors are the discovered dictionary.
+
+Strings are fixed-length sequences over an integer alphabet, packed into
+ints base-``alphabet_size`` (most significant position first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.systems.rappor.aggregate import RapporAggregator
+from repro.systems.rappor.client import privatize_population
+from repro.systems.rappor.params import RapporParams
+from repro.util.rng import derive_seed, ensure_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "pack_string",
+    "unpack_string",
+    "AssociationResult",
+    "discover_dictionary",
+]
+
+
+def pack_string(symbols: np.ndarray, alphabet_size: int) -> int:
+    """Encode a symbol sequence as an integer (base ``alphabet_size``)."""
+    value = 0
+    for s in np.asarray(symbols, dtype=np.int64):
+        if not 0 <= s < alphabet_size:
+            raise ValueError(f"symbol {s} outside alphabet [0, {alphabet_size})")
+        value = value * alphabet_size + int(s)
+    return value
+
+
+def unpack_string(value: int, alphabet_size: int, length: int) -> np.ndarray:
+    """Decode an integer back into its symbol sequence."""
+    if value < 0:
+        raise ValueError("packed string must be non-negative")
+    out = np.empty(length, dtype=np.int64)
+    v = int(value)
+    for pos in range(length - 1, -1, -1):
+        out[pos] = v % alphabet_size
+        v //= alphabet_size
+    if v != 0:
+        raise ValueError(f"value {value} does not fit in {length} symbols")
+    return out
+
+
+@dataclass(frozen=True)
+class AssociationResult:
+    """Outcome of an unknown-dictionary discovery run.
+
+    Attributes
+    ----------
+    discovered:
+        Packed string ids confirmed by the verification group, best first.
+    estimated_counts:
+        Estimated population counts aligned with ``discovered``.
+    candidates_tested:
+        Number of chained candidates submitted for verification.
+    heavy_bigrams:
+        Per position group, the bigrams that cleared significance.
+    """
+
+    discovered: list[int]
+    estimated_counts: list[float]
+    candidates_tested: int
+    heavy_bigrams: list[list[int]]
+
+
+def _chain_bigrams(
+    heavy: list[list[int]], alphabet_size: int, length: int, limit: int
+) -> list[int]:
+    """DFS over the overlapping-bigram graph; returns packed candidates."""
+    per_pos: list[dict[int, list[int]]] = []
+    for bigrams in heavy:
+        by_first: dict[int, list[int]] = {}
+        for bg in bigrams:
+            first, second = divmod(bg, alphabet_size)
+            by_first.setdefault(first, []).append(second)
+        per_pos.append(by_first)
+
+    results: list[int] = []
+
+    def extend(prefix: list[int]) -> None:
+        if len(results) >= limit:
+            return
+        pos = len(prefix) - 1
+        if len(prefix) == length:
+            results.append(pack_string(np.asarray(prefix), alphabet_size))
+            return
+        for nxt in per_pos[pos].get(prefix[-1], ()):
+            extend(prefix + [nxt])
+
+    starts = {divmod(bg, alphabet_size) for bg in heavy[0]}
+    for first, second in sorted(starts):
+        extend([first, second])
+    return results
+
+
+def discover_dictionary(
+    strings: np.ndarray,
+    alphabet_size: int,
+    length: int,
+    *,
+    params: RapporParams | None = None,
+    master_seed: int = 0,
+    rng: np.random.Generator | int | None = None,
+    alpha: float = 0.05,
+    max_candidates: int = 4096,
+) -> AssociationResult:
+    """Run the full unknown-dictionary pipeline over a user population.
+
+    Parameters
+    ----------
+    strings:
+        One packed string per user (``pack_string`` encoding).
+    alphabet_size, length:
+        Shape of the string domain; the full domain has
+        ``alphabet_size**length`` values, assumed far too large to
+        enumerate (that is the point of the protocol).
+    params:
+        RAPPOR parameters for every group (default: paper defaults).
+    master_seed:
+        Keys all cohort Bloom families; public.
+    alpha:
+        Family-wise significance level for both decode stages.
+    max_candidates:
+        Safety cap on chained candidates (documents the search bound; the
+        chain step logs nothing beyond it).
+    """
+    if params is None:
+        params = RapporParams()
+    check_positive_int(alphabet_size, name="alphabet_size")
+    check_positive_int(length, name="length")
+    if length < 2:
+        raise ValueError("length must be >= 2 for bigram chaining")
+    gen = ensure_generator(rng)
+    packed = np.asarray(strings, dtype=np.int64)
+    if packed.ndim != 1 or packed.size == 0:
+        raise ValueError("strings must be a non-empty 1-D array")
+    n = packed.shape[0]
+    num_groups = length  # length-1 bigram groups + 1 verification group
+    group_of = gen.integers(0, num_groups, size=n)
+
+    symbols = np.empty((n, length), dtype=np.int64)
+    for i, value in enumerate(packed):
+        symbols[i] = unpack_string(int(value), alphabet_size, length)
+
+    bigram_domain = alphabet_size * alphabet_size
+    all_bigrams = np.arange(bigram_domain, dtype=np.int64)
+    heavy: list[list[int]] = []
+    for r in range(length - 1):
+        members = group_of == r
+        group_vals = symbols[members, r] * alphabet_size + symbols[members, r + 1]
+        seed_r = derive_seed(master_seed, 0xA550C, r)
+        cohorts, reports = privatize_population(params, group_vals, seed_r, rng=gen)
+        agg = RapporAggregator(params, seed_r)
+        decoded = agg.decode(cohorts, reports, all_bigrams, alpha=alpha)
+        heavy.append(decoded.detected())
+
+    candidates = _chain_bigrams(heavy, alphabet_size, length, max_candidates)
+    if not candidates:
+        return AssociationResult(
+            discovered=[],
+            estimated_counts=[],
+            candidates_tested=0,
+            heavy_bigrams=heavy,
+        )
+
+    members = group_of == length - 1
+    verify_vals = packed[members]
+    seed_v = derive_seed(master_seed, 0xA550C, 0xFFFF)
+    cohorts, reports = privatize_population(params, verify_vals, seed_v, rng=gen)
+    agg = RapporAggregator(params, seed_v)
+    decoded = agg.decode(
+        cohorts, reports, np.asarray(candidates, dtype=np.int64), alpha=alpha
+    )
+    order = np.argsort(-decoded.estimated_counts)
+    discovered, counts = [], []
+    for i in order:
+        if decoded.significant[i]:
+            discovered.append(int(decoded.candidates[i]))
+            # Scale the group estimate back to the full population: only
+            # ~1/num_groups of users served in the verification group.
+            counts.append(float(decoded.estimated_counts[i]) * num_groups)
+    return AssociationResult(
+        discovered=discovered,
+        estimated_counts=counts,
+        candidates_tested=len(candidates),
+        heavy_bigrams=heavy,
+    )

@@ -1,0 +1,104 @@
+"""RAPPOR configuration and its privacy arithmetic.
+
+RAPPOR [12] composes three stages on the client:
+
+1. **Bloom encoding** — the value is hashed into an ``m``-bit Bloom filter
+   with ``h`` hash functions (cohort-specific, so different cohorts'
+   collisions decorrelate);
+2. **Permanent randomized response (PRR)** — each Bloom bit is replaced,
+   *once per value per user, memoized forever*, by 1 w.p. ``f/2``, by 0
+   w.p. ``f/2``, and kept otherwise.  This bounds the lifetime privacy
+   loss no matter how many reports a user sends;
+3. **Instantaneous randomized response (IRR)** — each report transmits
+   bit 1 with probability ``q`` where the PRR bit is 1 and ``p`` where it
+   is 0, protecting against tracking a user across reports.
+
+The privacy guarantees (Erlingsson et al. §3):
+
+* one report, against an attacker seeing only it:
+  ``ε₁ = h · ln(q*(1−p*) / (p*(1−q*)))`` with the effective rates
+  ``q* = ½f(p+q) + (1−f)q`` and ``p* = ½f(p+q) + (1−f)p``;
+* infinitely many reports (the permanent bits are the only leak):
+  ``ε∞ = 2h · ln((1−½f)/(½f))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_positive_int, check_probability
+
+__all__ = ["RapporParams"]
+
+
+@dataclass(frozen=True)
+class RapporParams:
+    """Static configuration shared by RAPPOR clients and the aggregator.
+
+    Defaults are the permanent-collection settings of the RAPPOR paper's
+    flagship deployment (m=128, h=2, f=0.5, p=0.5, q=0.75, 8 cohorts).
+    """
+
+    num_bits: int = 128
+    num_hashes: int = 2
+    num_cohorts: int = 8
+    f: float = 0.5
+    p: float = 0.5
+    q: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_bits, name="num_bits")
+        check_positive_int(self.num_hashes, name="num_hashes")
+        check_positive_int(self.num_cohorts, name="num_cohorts")
+        check_fraction(self.f, name="f")
+        check_probability(self.p, name="p")
+        check_probability(self.q, name="q")
+        if self.q <= self.p:
+            raise ValueError(
+                f"q must exceed p for the report to carry signal, got "
+                f"p={self.p}, q={self.q}"
+            )
+        if self.f >= 1.0:
+            raise ValueError("f must be < 1 or reports are pure noise")
+
+    # -- effective one-report bit rates ------------------------------------
+
+    @property
+    def q_star(self) -> float:
+        """P(report bit = 1 | true Bloom bit = 1), PRR and IRR combined."""
+        return 0.5 * self.f * (self.p + self.q) + (1.0 - self.f) * self.q
+
+    @property
+    def p_star(self) -> float:
+        """P(report bit = 1 | true Bloom bit = 0), PRR and IRR combined."""
+        return 0.5 * self.f * (self.p + self.q) + (1.0 - self.f) * self.p
+
+    # -- privacy ------------------------------------------------------------
+
+    @property
+    def epsilon_one_report(self) -> float:
+        """ε of a single report (h differing bits, both transition rates)."""
+        qs, ps = self.q_star, self.p_star
+        return self.num_hashes * math.log((qs * (1.0 - ps)) / (ps * (1.0 - qs)))
+
+    @property
+    def epsilon_permanent(self) -> float:
+        """Lifetime ε from the memoized PRR bits (the ε∞ of the paper).
+
+        A value's Bloom encoding differs from another's in at most ``2h``
+        bits and each permanent bit has retention ratio ``(1−½f)/(½f)``.
+        """
+        if self.f == 0.0:
+            return math.inf
+        ratio = (1.0 - 0.5 * self.f) / (0.5 * self.f)
+        return 2.0 * self.num_hashes * math.log(ratio)
+
+    def describe(self) -> str:
+        """One-line human summary used by examples and experiment notes."""
+        return (
+            f"RAPPOR(m={self.num_bits}, h={self.num_hashes}, "
+            f"cohorts={self.num_cohorts}, f={self.f}, p={self.p}, q={self.q}; "
+            f"eps_1={self.epsilon_one_report:.3f}, "
+            f"eps_inf={self.epsilon_permanent:.3f})"
+        )

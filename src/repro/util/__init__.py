@@ -1,0 +1,21 @@
+"""Shared substrate: validation, RNG plumbing, hashing, WHT, Bloom filters."""
+
+from repro.util.bloom import BloomFilter
+from repro.util.hashing import SeededHashFamily, hash_elementwise, hash_matrix
+from repro.util.rng import derive_seed, ensure_generator, per_user_seeds, spawn_many
+from repro.util.wht import fwht, hadamard_entries, hadamard_row, next_power_of_two
+
+__all__ = [
+    "BloomFilter",
+    "SeededHashFamily",
+    "hash_elementwise",
+    "hash_matrix",
+    "derive_seed",
+    "ensure_generator",
+    "per_user_seeds",
+    "spawn_many",
+    "fwht",
+    "hadamard_entries",
+    "hadamard_row",
+    "next_power_of_two",
+]

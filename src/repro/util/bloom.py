@@ -1,0 +1,87 @@
+"""Bloom filters, vectorized for cohort-scale batch encoding.
+
+RAPPOR [12] compresses a massive candidate domain (URLs) into a short bit
+vector by Bloom-filter encoding before randomizing.  The aggregator later
+needs the Bloom encoding of *every candidate string under every cohort's
+hash family* to build its decoding design matrix, so the implementation is
+batch-first: ``encode_batch`` produces an ``(n, m)`` bit matrix in one
+vectorized pass.
+
+Values are integers (the library addresses string dictionaries through a
+separate ``Vocabulary`` mapping in :mod:`repro.workloads.dictionaries`),
+hashed with the shared pairwise family in :mod:`repro.util.hashing`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.hashing import SeededHashFamily
+from repro.util.validation import check_positive_int
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """An ``m``-bit Bloom filter with ``h`` seeded hash functions.
+
+    Parameters
+    ----------
+    num_bits:
+        Filter width ``m``.
+    num_hashes:
+        Number of hash functions ``h``.
+    seed:
+        Keys the hash family; two filters with the same ``(m, h, seed)``
+        encode identically (this is how a RAPPOR cohort is defined).
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int, seed: int) -> None:
+        self.num_bits = check_positive_int(num_bits, name="num_bits")
+        self.num_hashes = check_positive_int(num_hashes, name="num_hashes")
+        self.seed = int(seed)
+        self._family = SeededHashFamily(self.num_hashes, self.num_bits, self.seed)
+
+    def positions(self, value: int) -> np.ndarray:
+        """The (possibly colliding) bit positions set by ``value``."""
+        return self._family.apply_all(np.asarray([value], dtype=np.int64))[:, 0]
+
+    def encode(self, value: int) -> np.ndarray:
+        """Encode a single value as an ``m``-length uint8 bit vector."""
+        bits = np.zeros(self.num_bits, dtype=np.uint8)
+        bits[self.positions(value)] = 1
+        return bits
+
+    def encode_batch(self, values: np.ndarray) -> np.ndarray:
+        """Encode many values at once; returns ``(len(values), m)`` uint8.
+
+        Used both by clients (one row each) and by the aggregator when it
+        materializes candidate encodings for decoding.
+        """
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {vals.shape}")
+        hashed = self._family.apply_all(vals)  # (h, n)
+        bits = np.zeros((vals.shape[0], self.num_bits), dtype=np.uint8)
+        rows = np.repeat(np.arange(vals.shape[0]), self.num_hashes)
+        bits[rows, hashed.T.ravel()] = 1
+        return bits
+
+    def contains(self, bits: np.ndarray, value: int) -> bool:
+        """Membership test: all of ``value``'s positions set in ``bits``.
+
+        False positives are possible (that is the point of a Bloom filter);
+        false negatives are not, which the property-based tests pin down.
+        """
+        arr = np.asarray(bits)
+        if arr.shape != (self.num_bits,):
+            raise ValueError(
+                f"bits must have shape ({self.num_bits},), got {arr.shape}"
+            )
+        return bool(np.all(arr[self.positions(value)] != 0))
+
+    def false_positive_rate(self, num_inserted: int) -> float:
+        """Classical FPR estimate ``(1 - e^{-h k / m})^h`` after k inserts."""
+        k = check_positive_int(num_inserted, name="num_inserted")
+        inner = 1.0 - np.exp(-self.num_hashes * k / self.num_bits)
+        return float(inner**self.num_hashes)

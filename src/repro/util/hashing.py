@@ -1,0 +1,203 @@
+"""Pairwise-independent hash families, vectorized.
+
+Local hashing protocols (BLH/OLH [4, 21]), Apple's count-mean sketch [9]
+and RAPPOR's Bloom filters [12] all need cheap universal hashing that can
+be (a) re-derived from a compact seed — a user's report must identify its
+hash function — and (b) evaluated for *millions* of (function, value)
+pairs at once on the aggregator side.
+
+We use the classic affine family over the Mersenne prime field
+``p = 2^31 - 1``::
+
+    h_{a,b}(x) = ((a * π(x) + b) mod p) mod g    a in [1, p), b in [0, p)
+
+where ``π`` is a *fixed* splitmix64 bijection applied to the raw value
+before the affine map.  Composing a fixed bijection with a pairwise
+family preserves pairwise independence, and it buys two things the raw
+affine family lacks: (1) values that differ by a multiple of ``p`` no
+longer alias (packed-string domains exceed 2³¹), and (2) structured keys
+(consecutive IDs) behave like random ones, so e.g. Bloom false-positive
+rates match the classical formula.  The pair ``(a, b)`` is derived from a
+single 64-bit seed, so "a hash function" is just an integer that fits in
+a report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "MERSENNE_P",
+    "params_from_seeds",
+    "hash_elementwise",
+    "hash_cross",
+    "hash_matrix",
+    "SeededHashFamily",
+]
+
+MERSENNE_P = np.uint64(2**31 - 1)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix(x: np.ndarray) -> np.ndarray:
+    """One round of the splitmix64 finalizer (vectorized, uint64 in/out)."""
+    x = (x + _GOLDEN).astype(np.uint64)
+    x ^= x >> np.uint64(30)
+    x *= _MIX1
+    x ^= x >> np.uint64(27)
+    x *= _MIX2
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def _premix(values: np.ndarray) -> np.ndarray:
+    """Fixed splitmix64 bijection of raw values, reduced into [0, p).
+
+    Applied before every affine evaluation so arbitrary 64-bit domains
+    (packed strings, sketch ids) enter the prime field without aliasing
+    and without key structure.
+    """
+    x = np.asarray(values, dtype=np.uint64)
+    return _splitmix(x) % MERSENNE_P
+
+
+def params_from_seeds(seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Derive affine parameters ``(a, b)`` from 64-bit seeds.
+
+    ``a`` lands in ``[1, p)`` and ``b`` in ``[0, p)``.  Deterministic:
+    the same seed always yields the same hash function.
+    """
+    s = np.asarray(seeds, dtype=np.uint64)
+    m1 = _splitmix(s)
+    m2 = _splitmix(m1)
+    a = (m1 % (MERSENNE_P - np.uint64(1))) + np.uint64(1)
+    b = m2 % MERSENNE_P
+    return a, b
+
+
+def hash_elementwise(
+    seeds: np.ndarray, values: np.ndarray, range_size: int
+) -> np.ndarray:
+    """Evaluate ``h_seed_i(value_i)`` for aligned seed/value arrays.
+
+    This is the client-side path: user ``i`` hashes their own value with
+    their own function.  Returns int64 hashes in ``[0, range_size)``.
+    """
+    g = check_positive_int(range_size, name="range_size")
+    a, b = params_from_seeds(seeds)
+    x = _premix(values)
+    if x.shape != a.shape:
+        raise ValueError(
+            f"seeds and values must align, got {a.shape} vs {x.shape}"
+        )
+    h = (a * x + b) % MERSENNE_P
+    return (h % np.uint64(g)).astype(np.int64)
+
+
+def hash_cross(
+    seeds: np.ndarray,
+    values: np.ndarray,
+    range_size: int,
+    *,
+    chunk: int = 1 << 22,
+) -> np.ndarray:
+    """Evaluate every seed's function on every given value.
+
+    Returns an ``(n_seeds, len(values))`` int64 matrix ``H`` with
+    ``H[i, j] = h_{seed_i}(values[j])``.  Work is chunked over seeds to
+    bound peak memory at roughly ``chunk`` uint64 elements.
+    """
+    g = check_positive_int(range_size, name="range_size")
+    s = np.asarray(seeds, dtype=np.uint64)
+    xs = np.asarray(values, dtype=np.uint64)
+    if xs.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {xs.shape}")
+    xs = _premix(xs)
+    n, d = s.shape[0], xs.shape[0]
+    a, b = params_from_seeds(s)
+    out = np.empty((n, d), dtype=np.int64)
+    rows_per_chunk = max(1, int(chunk // max(d, 1)))
+    for start in range(0, n, rows_per_chunk):
+        stop = min(start + rows_per_chunk, n)
+        block = (a[start:stop, None] * xs[None, :] + b[start:stop, None]) % MERSENNE_P
+        out[start:stop] = (block % np.uint64(g)).astype(np.int64)
+    return out
+
+
+def hash_matrix(
+    seeds: np.ndarray,
+    domain_size: int,
+    range_size: int,
+    *,
+    chunk: int = 1 << 22,
+) -> np.ndarray:
+    """Evaluate every seed's function on every domain value ``0..d−1``.
+
+    The aggregator-side path for local-hashing protocols over small
+    domains; for candidate-restricted decoding use :func:`hash_cross`.
+    """
+    d = check_positive_int(domain_size, name="domain_size")
+    return hash_cross(seeds, np.arange(d, dtype=np.uint64), range_size, chunk=chunk)
+
+
+class SeededHashFamily:
+    """``k`` shared hash functions ``[0, p) -> [0, m)`` keyed by one seed.
+
+    Used where the *aggregator* publishes the hash functions and every
+    client uses the same family: Apple's CMS/HCMS sketches [9] and RAPPOR
+    cohort Bloom filters [12].
+
+    Parameters
+    ----------
+    k:
+        Number of functions in the family.
+    range_size:
+        Common range ``m`` of every function.
+    master_seed:
+        Integer key; the family is a pure function of it.
+    """
+
+    def __init__(self, k: int, range_size: int, master_seed: int) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.range_size = check_positive_int(range_size, name="range_size")
+        self.master_seed = int(master_seed)
+        base = np.arange(self.k, dtype=np.uint64) + np.uint64(
+            self.master_seed & (2**64 - 1)
+        )
+        seeds = _splitmix(_splitmix(base) ^ _GOLDEN)
+        self._a, self._b = params_from_seeds(seeds)
+
+    def apply(self, index: int, values: np.ndarray) -> np.ndarray:
+        """Hash ``values`` with function ``index``; int64 in [0, m)."""
+        if not 0 <= index < self.k:
+            raise IndexError(f"hash index {index} out of range [0, {self.k})")
+        x = _premix(values)
+        h = (self._a[index] * x + self._b[index]) % MERSENNE_P
+        return (h % np.uint64(self.range_size)).astype(np.int64)
+
+    def apply_selected(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Hash ``values[i]`` with function ``indices[i]`` (aligned arrays).
+
+        The CMS client path: each user samples one function index and
+        hashes their value with it.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        x = _premix(values)
+        if idx.shape != x.shape:
+            raise ValueError(
+                f"indices and values must align, got {idx.shape} vs {x.shape}"
+            )
+        if idx.size and (idx.min() < 0 or idx.max() >= self.k):
+            raise IndexError("hash index out of range")
+        h = (self._a[idx] * x + self._b[idx]) % MERSENNE_P
+        return (h % np.uint64(self.range_size)).astype(np.int64)
+
+    def apply_all(self, values: np.ndarray) -> np.ndarray:
+        """Hash ``values`` under every function; shape ``(k, len(values))``."""
+        x = _premix(values)
+        h = (self._a[:, None] * x[None, :] + self._b[:, None]) % MERSENNE_P
+        return (h % np.uint64(self.range_size)).astype(np.int64)

@@ -1,0 +1,114 @@
+"""Deterministic randomness plumbing.
+
+All stochastic code in the library draws from ``numpy.random.Generator``
+instances created here.  Experiments pass an integer seed at the top and
+every client, mechanism and round derives an independent child stream via
+``numpy``'s SeedSequence spawning, so whole experiment tables are
+bit-reproducible while remaining statistically independent across
+components.
+
+The tutorial's deployed systems (notably Microsoft's telemetry collection
+[10]) rely on *persistent per-user randomness* — a user must re-use the
+same random draw across rounds to avoid privacy erosion.  ``per_user_seeds``
+provides exactly that: a stable 64-bit seed per user id from which a user
+can rebuild their private generator in any round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "ensure_generator",
+    "spawn",
+    "spawn_many",
+    "per_user_seeds",
+    "derive_seed",
+]
+
+_DERIVE_MIX = 0x9E3779B97F4A7C15  # golden-ratio odd constant for seed mixing
+
+
+def ensure_generator(
+    rng: np.random.Generator | int | None,
+) -> np.random.Generator:
+    """Return a Generator from a Generator, an int seed, or None (fresh).
+
+    .. warning::
+        Never pass the *same* integer seed to a workload generator and to
+        a mechanism operating on that workload's output.  Both would
+        replay the identical underlying stream, so e.g. a group-split
+        mask ``u < fraction`` can land exactly on the users whose data
+        was produced by the same small uniforms — a silently catastrophic
+        correlation.  Use distinct seeds, or :func:`derive_seed` to fan a
+        master seed out into decorrelated components.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, bool) or not isinstance(rng, (int, np.integer)):
+        raise TypeError(
+            f"rng must be a numpy Generator, int seed, or None; got {type(rng).__name__}"
+        )
+    return np.random.default_rng(int(rng))
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive a single statistically independent child generator."""
+    return spawn_many(rng, 1)[0]
+
+
+def spawn_many(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses the generator itself to produce child seeds, so spawning is
+    deterministic given the parent's state.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def per_user_seeds(master_seed: int, n_users: int) -> np.ndarray:
+    """Stable 64-bit seed per user id, derived from a master seed.
+
+    The mapping is a fixed bijective mix of ``(master_seed, user_id)`` so a
+    user can re-derive their personal seed in any collection round — the
+    memoization primitive Microsoft's system depends on.
+    """
+    if n_users < 0:
+        raise ValueError(f"n_users must be >= 0, got {n_users}")
+    uids = np.arange(n_users, dtype=np.uint64)
+    mixed = (uids + np.uint64(master_seed & (2**64 - 1))) * np.uint64(_DERIVE_MIX)
+    mixed ^= mixed >> np.uint64(31)
+    mixed *= np.uint64(0xBF58476D1CE4E5B9)
+    mixed ^= mixed >> np.uint64(27)
+    return mixed.astype(np.uint64)
+
+
+def derive_seed(master_seed: int, *components: int) -> int:
+    """Deterministically derive a 63-bit seed from a master seed and tags.
+
+    Used to key shared randomness (e.g. the public hash functions of a CMS
+    sketch, or a cohort's Bloom hash family) off one experiment seed.
+    Arithmetic is plain Python ints masked to 64 bits (wrap-around by
+    construction, no numpy overflow warnings).
+    """
+    mask = 2**64 - 1
+    acc = int(master_seed) & mask
+    for comp in components:
+        acc ^= int(comp) & mask
+        acc = (acc * _DERIVE_MIX) & mask
+        acc ^= acc >> 29
+        acc = (acc * 0x94D049BB133111EB) & mask
+        acc ^= acc >> 32
+    return acc & (2**63 - 1)
+
+
+def generators_for(seeds: Iterable[int]) -> list[np.random.Generator]:
+    """Build one Generator per seed."""
+    return [np.random.default_rng(int(s)) for s in seeds]

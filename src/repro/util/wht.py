@@ -1,0 +1,88 @@
+"""Fast Walsh-Hadamard transform and pointwise Hadamard evaluation.
+
+Apple's LDP system spreads each user's signal across the domain with "the
+Fourier transform" [1, 9] — concretely the Walsh-Hadamard transform over
+the Boolean hypercube.  The same transform underlies the Hadamard response
+frequency oracle and the Fourier approach to marginal release [8], so it
+lives here in the shared substrate.
+
+The (unnormalized) Hadamard matrix of order ``d = 2^t`` is::
+
+    H[i, j] = (-1)^{popcount(i & j)}
+
+and satisfies ``H @ H = d * I``.  ``fwht`` applies ``H`` in ``O(d log d)``
+with the standard in-place butterfly; ``hadamard_entries`` evaluates single
+entries without materializing anything, which is what clients need (a
+client touches one row, never the matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "fwht",
+    "hadamard_entries",
+    "hadamard_row",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (int(n - 1).bit_length())
+
+
+def fwht(x: np.ndarray) -> np.ndarray:
+    """Unnormalized fast Walsh-Hadamard transform along the last axis.
+
+    Input length must be a power of two.  Returns a new float64 array;
+    applying ``fwht`` twice multiplies by the length (``H @ H = d I``).
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    d = arr.shape[-1]
+    if not is_power_of_two(d):
+        raise ValueError(f"fwht length must be a power of two, got {d}")
+    out = arr.copy()
+    h = 1
+    while h < d:
+        # Reshape so paired butterflies vectorize across all leading axes.
+        shape = out.shape[:-1] + (d // (2 * h), 2, h)
+        view = out.reshape(shape)
+        a = view[..., 0, :].copy()
+        b = view[..., 1, :].copy()
+        view[..., 0, :] = a + b
+        view[..., 1, :] = a - b
+        h *= 2
+    return out
+
+
+def hadamard_entries(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Evaluate ``H[rows, cols] = (-1)^{popcount(rows & cols)}`` elementwise.
+
+    ``rows`` and ``cols`` broadcast against each other; the result is a
+    float64 array of ±1.  No bound checking is needed beyond non-negativity
+    because the formula is valid for any index pair within the same
+    power-of-two order.
+    """
+    r = np.asarray(rows, dtype=np.uint64)
+    c = np.asarray(cols, dtype=np.uint64)
+    bits = np.bitwise_count(r & c).astype(np.int64)
+    return np.where(bits % 2 == 0, 1.0, -1.0)
+
+
+def hadamard_row(index: int, d: int) -> np.ndarray:
+    """Materialize one row of the order-``d`` Hadamard matrix (±1 floats)."""
+    if not is_power_of_two(d):
+        raise ValueError(f"d must be a power of two, got {d}")
+    if not 0 <= index < d:
+        raise IndexError(f"row index {index} out of range [0, {d})")
+    return hadamard_entries(np.uint64(index), np.arange(d, dtype=np.uint64))

@@ -1,0 +1,38 @@
+"""Synthetic workload generators for every experiment domain."""
+
+from repro.workloads.binary import (
+    correlated_binary,
+    independent_binary,
+    pack_bits,
+    unpack_bits,
+)
+from repro.workloads.categorical import (
+    geometric_frequencies,
+    sample_from_frequencies,
+    sample_zipf,
+    true_counts,
+    uniform_frequencies,
+    zipf_frequencies,
+)
+from repro.workloads.graphs import powerlaw_graph, sbm_graph
+from repro.workloads.spatial import Hotspot, spatial_mixture, true_cell_counts
+from repro.workloads.telemetry import telemetry_trajectories
+
+__all__ = [
+    "correlated_binary",
+    "independent_binary",
+    "pack_bits",
+    "unpack_bits",
+    "geometric_frequencies",
+    "sample_from_frequencies",
+    "sample_zipf",
+    "true_counts",
+    "uniform_frequencies",
+    "zipf_frequencies",
+    "powerlaw_graph",
+    "sbm_graph",
+    "Hotspot",
+    "spatial_mixture",
+    "true_cell_counts",
+    "telemetry_trajectories",
+]

@@ -1,0 +1,97 @@
+"""Categorical workload generators.
+
+Every frequency-estimation experiment in the tutorial's surveyed systems
+runs on skewed categorical data — web URLs, typed words, emoji — whose
+defining property is a heavy head and long tail.  These generators
+produce such populations with controlled shape:
+
+* :func:`zipf_frequencies` / :func:`sample_zipf` — the default workload
+  (RAPPOR's and Wang et al.'s evaluations both use Zipf-like synthetic
+  distributions);
+* :func:`geometric_frequencies` — sharper heads, for sketch stress tests;
+* :func:`uniform_frequencies` — the worst case for heavy-hitter recall;
+* :func:`sample_from_frequencies` — exact multinomial sampling from any
+  frequency vector, plus the ground-truth counts experiments score
+  against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "zipf_frequencies",
+    "geometric_frequencies",
+    "uniform_frequencies",
+    "sample_from_frequencies",
+    "sample_zipf",
+    "true_counts",
+]
+
+
+def zipf_frequencies(domain_size: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalized Zipf law ``f_v ∝ (v + 1)^{−s}`` over ``[0, d)``.
+
+    Value 0 is the most popular item.  ``exponent`` ≈ 1.1 matches the web
+    popularity distributions RAPPOR was designed for.
+    """
+    d = check_positive_int(domain_size, name="domain_size")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be > 0, got {exponent}")
+    ranks = np.arange(1, d + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def geometric_frequencies(domain_size: int, ratio: float = 0.8) -> np.ndarray:
+    """Normalized geometric decay ``f_v ∝ ratio^v`` — a very heavy head."""
+    d = check_positive_int(domain_size, name="domain_size")
+    if not 0.0 < ratio < 1.0:
+        raise ValueError(f"ratio must be in (0, 1), got {ratio}")
+    weights = ratio ** np.arange(d, dtype=np.float64)
+    return weights / weights.sum()
+
+
+def uniform_frequencies(domain_size: int) -> np.ndarray:
+    """The flat distribution — no heavy hitters at all."""
+    d = check_positive_int(domain_size, name="domain_size")
+    return np.full(d, 1.0 / d)
+
+
+def sample_from_frequencies(
+    frequencies: np.ndarray,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw ``n`` user values i.i.d. from a frequency vector."""
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    if freqs.ndim != 1 or freqs.size < 2:
+        raise ValueError("frequencies must be a 1-D vector of length >= 2")
+    if np.any(freqs < 0) or not np.isclose(freqs.sum(), 1.0, atol=1e-9):
+        raise ValueError("frequencies must be non-negative and sum to 1")
+    check_positive_int(n, name="n")
+    gen = ensure_generator(rng)
+    return gen.choice(freqs.size, size=n, p=freqs).astype(np.int64)
+
+
+def sample_zipf(
+    domain_size: int,
+    n: int,
+    exponent: float = 1.1,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: ``(values, frequencies)`` for a Zipf population."""
+    freqs = zipf_frequencies(domain_size, exponent)
+    values = sample_from_frequencies(freqs, n, rng)
+    return values, freqs
+
+
+def true_counts(values: np.ndarray, domain_size: int) -> np.ndarray:
+    """Ground-truth per-value counts of a sampled population."""
+    vals = np.asarray(values, dtype=np.int64)
+    if vals.size and (vals.min() < 0 or vals.max() >= domain_size):
+        raise ValueError("values outside domain")
+    return np.bincount(vals, minlength=domain_size).astype(np.float64)

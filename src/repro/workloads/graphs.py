@@ -1,0 +1,90 @@
+"""Graph workloads: community-structured and power-law social graphs.
+
+The graph-synthesis experiments need originals with known structure:
+planted-partition (SBM) graphs for community preservation and power-law
+(Barabási-Albert style via configuration model) graphs for degree-tail
+preservation.  Both are generated through networkx with explicit seeds.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_positive_int
+
+__all__ = ["sbm_graph", "powerlaw_graph"]
+
+
+def sbm_graph(
+    n: int,
+    num_communities: int = 4,
+    *,
+    p_in: float = 0.08,
+    p_out: float = 0.005,
+    sizes: list[int] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[nx.Graph, np.ndarray]:
+    """Planted-partition graph; returns ``(graph, community_labels)``.
+
+    Nodes are relabelled 0..n−1 with community blocks contiguous.  By
+    default communities have *heterogeneous* sizes (geometric-ish split),
+    which gives them distinct expected degrees — the regime degree-vector
+    methods like LDPGen can recover.  Pass explicit ``sizes`` to control
+    this (equal sizes make the instance deliberately hard: all
+    communities then share one expected degree).
+    """
+    check_positive_int(n, name="n")
+    check_positive_int(num_communities, name="num_communities")
+    if not 0.0 < p_in <= 1.0 or not 0.0 <= p_out <= 1.0:
+        raise ValueError("p_in must be in (0,1], p_out in [0,1]")
+    if p_out >= p_in:
+        raise ValueError("p_out must be < p_in for planted structure")
+    gen = ensure_generator(rng)
+    if sizes is None:
+        # Geometric-ish decay: community c gets weight (2/3)^c.
+        weights = np.asarray(
+            [(2.0 / 3.0) ** c for c in range(num_communities)]
+        )
+        raw = np.floor(n * weights / weights.sum()).astype(int)
+        raw = np.maximum(raw, 2)
+        raw[0] += n - int(raw.sum())
+        sizes = [int(s) for s in raw]
+    else:
+        sizes = [int(s) for s in sizes]
+        if sum(sizes) != n or len(sizes) != num_communities:
+            raise ValueError("sizes must sum to n with one entry per community")
+    probs = [
+        [p_in if i == j else p_out for j in range(num_communities)]
+        for i in range(num_communities)
+    ]
+    seed = int(gen.integers(0, 2**31 - 1))
+    graph = nx.stochastic_block_model(sizes, probs, seed=seed)
+    labels = np.concatenate(
+        [np.full(size, c, dtype=np.int64) for c, size in enumerate(sizes)]
+    )
+    simple = nx.Graph()
+    simple.add_nodes_from(range(n))
+    simple.add_edges_from(graph.edges())
+    return simple, labels
+
+
+def powerlaw_graph(
+    n: int,
+    attachment: int = 3,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> nx.Graph:
+    """Barabási-Albert preferential-attachment graph (heavy degree tail)."""
+    check_positive_int(n, name="n")
+    check_positive_int(attachment, name="attachment")
+    if attachment >= n:
+        raise ValueError("attachment must be < n")
+    gen = ensure_generator(rng)
+    seed = int(gen.integers(0, 2**31 - 1))
+    graph = nx.barabasi_albert_graph(n, attachment, seed=seed)
+    relabelled = nx.Graph()
+    relabelled.add_nodes_from(range(n))
+    relabelled.add_edges_from(graph.edges())
+    return relabelled

@@ -1,0 +1,65 @@
+"""Telemetry trajectories: autocorrelated counters over rounds.
+
+Microsoft's repeated-collection machinery only earns its keep on data
+with *persistence* — app-usage counters that mostly stay put between
+daily collections.  The generator produces an ``(n, T)`` matrix of
+bounded counters following a clipped AR(1) random walk per user:
+
+    x_{t+1} = clip(μ_u + φ (x_t − μ_u) + σ ξ_t, 0, m)
+
+``φ`` near 1 means stable users (memoization barely ever re-rounds);
+``φ = 0`` re-draws every round (memoization's worst case).  Experiment
+E6 sweeps exactly this knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_fraction, check_positive_int
+
+__all__ = ["telemetry_trajectories"]
+
+
+def telemetry_trajectories(
+    n: int,
+    num_rounds: int,
+    value_bound: float,
+    *,
+    persistence: float = 0.95,
+    volatility: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample ``(n, num_rounds)`` bounded AR(1) counter trajectories.
+
+    Parameters
+    ----------
+    n, num_rounds:
+        Population size and number of collection rounds.
+    value_bound:
+        Upper bound ``m``; values live in ``[0, m]``.
+    persistence:
+        AR(1) coefficient φ ∈ [0, 1] — how sticky each user's counter is.
+    volatility:
+        Innovation scale as a fraction of ``value_bound``.
+    """
+    check_positive_int(n, name="n")
+    check_positive_int(num_rounds, name="num_rounds")
+    if value_bound <= 0:
+        raise ValueError(f"value_bound must be > 0, got {value_bound}")
+    check_fraction(persistence, name="persistence")
+    if volatility < 0:
+        raise ValueError(f"volatility must be >= 0, got {volatility}")
+    gen = ensure_generator(rng)
+    m = float(value_bound)
+    # Heterogeneous user baselines: a few heavy users, many light ones.
+    mu = m * gen.beta(2.0, 5.0, size=n)
+    out = np.empty((n, num_rounds))
+    out[:, 0] = np.clip(mu + gen.normal(0.0, volatility * m, size=n), 0.0, m)
+    for t in range(1, num_rounds):
+        drift = mu + persistence * (out[:, t - 1] - mu)
+        out[:, t] = np.clip(
+            drift + gen.normal(0.0, volatility * m, size=n), 0.0, m
+        )
+    return out

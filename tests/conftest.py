@@ -1,0 +1,28 @@
+"""Shared fixtures: deterministic populations used across the suite.
+
+Statistical tests use fixed seeds with tolerances expressed in analytical
+standard deviations (typically 4-6σ), so pass/fail is deterministic given
+the seeds and astronomically unlikely to have been a lucky draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import sample_zipf, true_counts
+
+
+@pytest.fixture(scope="session")
+def zipf_population() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(values, frequencies, true_counts) for d=64, n=30k Zipf users."""
+    values, freqs = sample_zipf(64, 30_000, exponent=1.1, rng=20240610)
+    counts = true_counts(values, 64)
+    return values, freqs, counts
+
+
+@pytest.fixture(scope="session")
+def small_population() -> tuple[np.ndarray, np.ndarray]:
+    """(values, true_counts) for a quick d=16, n=5k population."""
+    values, _ = sample_zipf(16, 5_000, exponent=1.2, rng=77)
+    return values, true_counts(values, 16)

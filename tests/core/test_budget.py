@@ -1,0 +1,143 @@
+"""Unit tests for composition rules and the privacy ledger."""
+
+import math
+
+import pytest
+
+from repro.core.budget import (
+    BudgetExceededError,
+    PrivacyLedger,
+    PrivacySpend,
+    advanced_composition,
+    compose_parallel,
+    compose_sequential,
+    optimal_per_round_epsilon,
+)
+
+
+class TestPrivacySpend:
+    def test_valid(self):
+        s = PrivacySpend(1.0, 1e-9, "q1")
+        assert s.epsilon == 1.0
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacySpend(0.0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            PrivacySpend(1.0, delta=1.0)
+
+
+class TestSequentialComposition:
+    def test_sums(self):
+        spends = [PrivacySpend(0.5), PrivacySpend(1.5, 1e-6)]
+        eps, delta = compose_sequential(spends)
+        assert eps == 2.0
+        assert delta == 1e-6
+
+    def test_empty(self):
+        assert compose_sequential([]) == (0.0, 0.0)
+
+
+class TestParallelComposition:
+    def test_takes_max(self):
+        spends = [PrivacySpend(0.5), PrivacySpend(1.5), PrivacySpend(1.0)]
+        eps, delta = compose_parallel(spends)
+        assert eps == 1.5
+        assert delta == 0.0
+
+    def test_empty(self):
+        assert compose_parallel([]) == (0.0, 0.0)
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        eps, delta = advanced_composition(0.1, 0.0, 100, 1e-6)
+        expected = 0.1 * math.sqrt(2 * 100 * math.log(1e6)) + 100 * 0.1 * (
+            math.exp(0.1) - 1
+        )
+        assert math.isclose(eps, expected)
+        assert math.isclose(delta, 1e-6)
+
+    def test_beats_basic_for_many_rounds(self):
+        k = 200
+        eps_adv, _ = advanced_composition(0.05, 0.0, k, 1e-6)
+        assert eps_adv < k * 0.05
+
+    def test_worse_than_basic_for_few_rounds(self):
+        eps_adv, _ = advanced_composition(1.0, 0.0, 2, 1e-6)
+        assert eps_adv > 2.0
+
+    def test_delta_accumulates(self):
+        _, delta = advanced_composition(0.1, 1e-8, 10, 1e-6)
+        assert math.isclose(delta, 10 * 1e-8 + 1e-6)
+
+    def test_rejects_zero_slack(self):
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 0.0, 10, 0.0)
+
+
+class TestOptimalPerRound:
+    def test_composition_stays_under_total(self):
+        per_round = optimal_per_round_epsilon(1.0, 50, 1e-6)
+        eps_total, _ = advanced_composition(per_round, 0.0, 50, 1e-6)
+        # Either the advanced bound holds, or basic composition was used.
+        assert eps_total <= 1.0 + 1e-6 or per_round * 50 <= 1.0 + 1e-6
+
+    def test_at_least_basic_split(self):
+        per_round = optimal_per_round_epsilon(1.0, 10, 1e-6)
+        assert per_round >= 1.0 / 10 - 1e-12
+
+    def test_monotone_in_total(self):
+        a = optimal_per_round_epsilon(0.5, 20, 1e-6)
+        b = optimal_per_round_epsilon(2.0, 20, 1e-6)
+        assert b > a
+
+
+class TestPrivacyLedger:
+    def test_totals(self):
+        ledger = PrivacyLedger()
+        ledger.spend(0.5, label="a")
+        ledger.spend(0.25, 1e-9, label="b")
+        assert math.isclose(ledger.total_epsilon, 0.75)
+        assert math.isclose(ledger.total_delta, 1e-9)
+        assert len(ledger) == 2
+
+    def test_cap_enforced(self):
+        ledger = PrivacyLedger(epsilon_cap=1.0)
+        ledger.spend(0.6)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(0.6)
+        # failed spend must not be recorded
+        assert len(ledger) == 1
+        assert math.isclose(ledger.total_epsilon, 0.6)
+
+    def test_delta_cap_enforced(self):
+        ledger = PrivacyLedger(epsilon_cap=10.0, delta_cap=1e-9)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(0.1, delta=1e-6)
+
+    def test_remaining(self):
+        ledger = PrivacyLedger(epsilon_cap=2.0)
+        ledger.spend(0.5)
+        assert math.isclose(ledger.remaining_epsilon, 1.5)
+
+    def test_remaining_unlimited(self):
+        assert PrivacyLedger().remaining_epsilon == math.inf
+
+    def test_total_advanced_beats_basic_for_many_small_spends(self):
+        ledger = PrivacyLedger()
+        for i in range(200):
+            ledger.spend(0.05, label=f"r{i}")
+        eps_adv, _ = ledger.total_advanced(1e-6)
+        assert eps_adv < ledger.total_epsilon
+
+    def test_total_advanced_empty(self):
+        assert PrivacyLedger().total_advanced(1e-6) == (0.0, 0.0)
+
+    def test_total_advanced_rejects_zero_slack(self):
+        ledger = PrivacyLedger()
+        ledger.spend(0.1)
+        with pytest.raises(ValueError):
+            ledger.total_advanced(0.0)

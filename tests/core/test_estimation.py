@@ -1,0 +1,168 @@
+"""Unit tests for the statistical-toolkit helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    ORACLE_REGISTRY,
+    analytical_variances,
+    choose_oracle,
+    coverage,
+    hoeffding_count_bound,
+    make_oracle,
+)
+from repro.core.mechanism import postprocess_counts
+
+
+class TestMakeOracle:
+    def test_all_registry_names_construct(self):
+        for name in ORACLE_REGISTRY:
+            oracle = make_oracle(name, 16, 1.0)
+            assert oracle.domain_size == 16
+            assert oracle.epsilon == 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            make_oracle("XYZ", 16, 1.0)
+
+
+class TestAnalyticalVariances:
+    def test_returns_all_oracles(self):
+        var = analytical_variances(32, 1.0, 1000)
+        assert set(var) == set(ORACLE_REGISTRY)
+        assert all(v > 0 for v in var.values())
+
+    def test_matches_direct_construction(self):
+        var = analytical_variances(32, 1.0, 1000)
+        assert math.isclose(var["OUE"], make_oracle("OUE", 32, 1.0).count_variance(1000))
+
+
+class TestChooseOracle:
+    def test_small_domain_prefers_de(self):
+        assert choose_oracle(4, 1.0) == "DE"
+
+    def test_large_domain_prefers_olh(self):
+        assert choose_oracle(1024, 1.0) == "OLH"
+
+    def test_threshold_scales_with_epsilon(self):
+        """At bigger ε, DE stays optimal for bigger domains."""
+        d = 50
+        assert choose_oracle(d, 1.0) == "OLH"
+        assert choose_oracle(d, 3.0) == "DE"
+
+    def test_chooser_agrees_with_variances(self):
+        for d in (4, 16, 64, 256):
+            for eps in (0.5, 1.0, 2.0):
+                choice = choose_oracle(d, eps)
+                var = analytical_variances(d, eps, 1000)
+                if choice == "DE":
+                    assert var["DE"] <= var["OLH"] * 1.35
+                else:
+                    assert var["OLH"] <= var["DE"] * 1.05
+
+
+class TestHoeffding:
+    def test_wider_than_clt(self):
+        oracle = make_oracle("OUE", 32, 1.0)
+        clt = oracle.confidence_halfwidth(10_000, alpha=0.05)
+        hoeff = hoeffding_count_bound(oracle, 10_000, alpha=0.05)
+        assert hoeff > clt
+
+    def test_scaling_with_n(self):
+        oracle = make_oracle("OUE", 32, 1.0)
+        assert math.isclose(
+            hoeffding_count_bound(oracle, 40_000) / hoeffding_count_bound(oracle, 10_000),
+            2.0,
+        )
+
+    def test_rejects_non_pure(self):
+        oracle = make_oracle("SHE", 32, 1.0)
+        with pytest.raises(TypeError):
+            hoeffding_count_bound(oracle, 100)
+
+    def test_alpha_validation(self):
+        oracle = make_oracle("OUE", 32, 1.0)
+        with pytest.raises(ValueError):
+            hoeffding_count_bound(oracle, 100, alpha=1.0)
+
+    def test_bound_actually_holds_empirically(self):
+        oracle = make_oracle("OUE", 16, 1.0)
+        values = np.arange(16).repeat(500)
+        truth = np.full(16, 500.0)
+        bound = hoeffding_count_bound(oracle, values.shape[0], alpha=0.05)
+        miss = 0
+        for rep in range(20):
+            est = oracle.estimate_counts(oracle.privatize(values, rng=rep))
+            miss += int(np.any(np.abs(est - truth) > bound))
+        assert miss == 0  # 20 runs × 16 values, α=0.05 per value: ≈0 expected
+
+
+class TestCoverage:
+    def test_all_covered(self):
+        t = np.asarray([1.0, 2.0, 3.0])
+        assert coverage(t, t + 0.5, 1.0) == 1.0
+
+    def test_none_covered(self):
+        t = np.asarray([1.0, 2.0])
+        assert coverage(t, t + 5.0, 1.0) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            coverage(np.zeros(3), np.zeros(4), 1.0)
+
+    def test_negative_halfwidth(self):
+        with pytest.raises(ValueError):
+            coverage(np.zeros(3), np.zeros(3), -1.0)
+
+    def test_clt_coverage_near_nominal(self):
+        """95% intervals from the analytical variance cover ≈95%."""
+        oracle = make_oracle("OLH", 32, 1.0)
+        values = np.arange(32).repeat(250)
+        truth = np.full(32, 250.0)
+        rates = []
+        for rep in range(10):
+            est = oracle.estimate_counts(oracle.privatize(values, rng=100 + rep))
+            hw = oracle.confidence_halfwidth(values.shape[0], alpha=0.05, f=250 / 8000)
+            rates.append(coverage(truth, est, hw))
+        mean_rate = float(np.mean(rates))
+        assert 0.90 <= mean_rate <= 1.0
+
+
+class TestPostprocess:
+    def test_none_returns_copy(self):
+        raw = np.asarray([0.5, -0.1, 0.6])
+        out = postprocess_counts(raw, "none")
+        assert np.array_equal(out, raw)
+        out[0] = 99.0
+        assert raw[0] == 0.5
+
+    def test_clip_normalizes(self):
+        out = postprocess_counts(np.asarray([0.5, -0.2, 0.7]), "clip")
+        assert math.isclose(out.sum(), 1.0)
+        assert np.all(out >= 0)
+        assert out[1] == 0.0
+
+    def test_normsub_preserves_order(self):
+        raw = np.asarray([0.6, 0.3, -0.1, 0.2])
+        out = postprocess_counts(raw, "normsub")
+        assert math.isclose(out.sum(), 1.0)
+        order_raw = np.argsort(-raw)
+        # items surviving normsub keep their relative order
+        survivors = [i for i in order_raw if out[i] > 0]
+        assert all(
+            out[a] >= out[b] - 1e-12 for a, b in zip(survivors, survivors[1:])
+        )
+
+    def test_normsub_shifts_not_scales(self):
+        """Norm-sub subtracts a constant from surviving entries."""
+        raw = np.asarray([0.6, 0.5, 0.3])  # sums to 1.4
+        out = postprocess_counts(raw, "normsub")
+        diffs = raw - out
+        surviving = out > 0
+        assert np.allclose(diffs[surviving], diffs[surviving][0])
+
+    def test_all_negative_degrades_to_uniform(self):
+        out = postprocess_counts(np.asarray([-1.0, -2.0]), "clip")
+        assert np.allclose(out, 0.5)

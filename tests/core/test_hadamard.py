@@ -1,0 +1,107 @@
+"""Unit tests for the Hadamard response oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hadamard import HadamardResponse
+from repro.core.mechanism import IndexedBitReports
+
+
+class TestConfiguration:
+    def test_order_is_padded_power_of_two(self):
+        assert HadamardResponse(100, 1.0).order == 128
+        assert HadamardResponse(128, 1.0).order == 128
+
+    def test_q_star_exactly_half(self):
+        assert HadamardResponse(64, 1.0).q_star == 0.5
+
+    def test_variance_formula(self):
+        hr = HadamardResponse(64, 1.0)
+        p = math.e / (math.e + 1.0)
+        expected = 1000 * 0.25 / (p - 0.5) ** 2
+        assert math.isclose(hr.count_variance(1000), expected, rel_tol=1e-12)
+
+
+class TestPrivatize:
+    def test_report_structure(self):
+        hr = HadamardResponse(32, 1.0)
+        reports = hr.privatize(np.arange(32), rng=1)
+        assert isinstance(reports, IndexedBitReports)
+        assert reports.indices.min() >= 0
+        assert reports.indices.max() < hr.order
+        assert set(np.unique(reports.bits)) <= {-1.0, 1.0}
+
+    def test_bit_agrees_with_entry_at_rate_p(self):
+        from repro.util.wht import hadamard_entries
+
+        hr = HadamardResponse(32, 2.0)
+        n = 50_000
+        reports = hr.privatize(np.full(n, 7), rng=3)
+        truth = hadamard_entries(
+            reports.indices.astype(np.uint64), np.uint64(7)
+        )
+        agree = float((reports.bits == truth).mean())
+        assert abs(agree - hr.p_star) < 0.01
+
+
+class TestAggregate:
+    def test_support_counts_rejects_wrong_type(self):
+        hr = HadamardResponse(16, 1.0)
+        with pytest.raises(TypeError):
+            hr.support_counts(np.zeros(4))
+
+    def test_support_counts_rejects_bad_index(self):
+        hr = HadamardResponse(16, 1.0)
+        bad = IndexedBitReports(
+            indices=np.asarray([0, 16], dtype=np.int64),
+            bits=np.asarray([1.0, -1.0]),
+        )
+        with pytest.raises(ValueError, match="refusing"):
+            hr.support_counts(bad)
+
+    def test_support_counts_rejects_non_pm_one_bits(self):
+        hr = HadamardResponse(16, 1.0)
+        bad = IndexedBitReports(
+            indices=np.asarray([0, 1], dtype=np.int64),
+            bits=np.asarray([1.0, 0.5]),
+        )
+        with pytest.raises(ValueError, match="±1"):
+            hr.support_counts(bad)
+
+    def test_padding_values_discarded(self):
+        hr = HadamardResponse(100, 1.0)
+        reports = hr.privatize(np.arange(100), rng=5)
+        assert hr.estimate_counts(reports).shape == (100,)
+
+    def test_candidate_path_matches_transform_path(self):
+        hr = HadamardResponse(64, 1.0)
+        values = np.arange(64).repeat(20)
+        reports = hr.privatize(values, rng=7)
+        full = hr.support_counts(reports)
+        cands = np.asarray([0, 31, 63])
+        partial = hr.support_counts_for(reports, cands)
+        assert np.allclose(full[cands], partial)
+
+    def test_estimation_quality(self):
+        hr = HadamardResponse(64, 1.0)
+        values = np.arange(64).repeat(300)
+        reports = hr.privatize(values, rng=9)
+        est = hr.estimate_counts(reports)
+        sd = hr.count_stddev(values.shape[0])
+        assert np.all(np.abs(est - 300) < 5 * sd)
+
+    def test_log_likelihood_includes_index_factor(self):
+        hr = HadamardResponse(16, 1.0)
+        reports = hr.privatize(np.full(10, 3), rng=11)
+        ll = hr.log_likelihood(reports, 3)
+        assert np.all(ll <= math.log(hr.p_star) - math.log(hr.order) + 1e-12)
+
+
+class TestIndexedBitReports:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError, match="align"):
+            IndexedBitReports(
+                indices=np.zeros(2, dtype=np.int64), bits=np.zeros(3)
+            )

@@ -1,0 +1,118 @@
+"""Unit tests for SHE and THE histogram encodings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import (
+    SummationHistogramEncoding,
+    ThresholdHistogramEncoding,
+    _laplace_cdf,
+)
+
+
+class TestLaplaceCdf:
+    def test_symmetry(self):
+        for x in (0.3, 1.0, 2.5):
+            assert math.isclose(_laplace_cdf(x, 1.0) + _laplace_cdf(-x, 1.0), 1.0)
+
+    def test_at_zero(self):
+        assert _laplace_cdf(0.0, 2.0) == 0.5
+
+    def test_monotone(self):
+        vals = [_laplace_cdf(x, 1.0) for x in (-2, -1, 0, 1, 2)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+
+class TestSHE:
+    def test_report_is_float_matrix(self):
+        she = SummationHistogramEncoding(8, 1.0)
+        reports = she.privatize(np.arange(8), rng=1)
+        assert reports.shape == (8, 8)
+        assert reports.dtype == np.float64
+
+    def test_hot_coordinate_shifted_by_one(self):
+        she = SummationHistogramEncoding(4, 2.0)
+        n = 50_000
+        reports = she.privatize(np.full(n, 1), rng=3)
+        means = reports.mean(axis=0)
+        assert abs(means[1] - 1.0) < 0.05
+        assert np.all(np.abs(means[[0, 2, 3]]) < 0.05)
+
+    def test_variance_exact_formula(self):
+        she = SummationHistogramEncoding(8, 1.0)
+        assert math.isclose(she.count_variance(100), 100 * 8.0)
+
+    def test_variance_frequency_independent(self):
+        she = SummationHistogramEncoding(8, 1.0)
+        assert she.count_variance(100, 0.0) == she.count_variance(100, 1.0)
+
+    def test_estimate_counts_shape_check(self):
+        she = SummationHistogramEncoding(8, 1.0)
+        with pytest.raises(ValueError, match="shape"):
+            she.estimate_counts(np.zeros((3, 5)))
+
+    def test_log_density_rejects_bad_value(self):
+        she = SummationHistogramEncoding(8, 1.0)
+        reports = she.privatize(np.arange(8), rng=1)
+        with pytest.raises(ValueError):
+            she.log_density(reports, 8)
+
+
+class TestTHE:
+    def test_default_theta_in_range(self):
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            the = ThresholdHistogramEncoding(8, eps)
+            assert 0.5 < the.theta <= 1.0
+
+    def test_theta_is_variance_optimal(self):
+        """Perturbing θ in either direction must not reduce the variance."""
+        the = ThresholdHistogramEncoding(8, 1.0)
+        base = the.count_variance(1000)
+        for delta in (-0.05, 0.05):
+            theta = the.theta + delta
+            if 0.5 < theta <= 1.0:
+                other = ThresholdHistogramEncoding(8, 1.0, theta=theta)
+                assert other.count_variance(1000) >= base - 1e-9
+
+    def test_explicit_theta_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdHistogramEncoding(8, 1.0, theta=0.4)
+        with pytest.raises(ValueError):
+            ThresholdHistogramEncoding(8, 1.0, theta=1.2)
+
+    def test_p_q_match_cdf(self):
+        the = ThresholdHistogramEncoding(8, 1.0, theta=0.8)
+        scale = 2.0
+        assert math.isclose(the.p_star, 1 - _laplace_cdf(0.8 - 1.0, scale))
+        assert math.isclose(the.q_star, 1 - _laplace_cdf(0.8, scale))
+
+    def test_reports_are_bits(self):
+        the = ThresholdHistogramEncoding(8, 1.0)
+        reports = the.privatize(np.arange(8).repeat(10), rng=5)
+        assert reports.dtype == np.uint8
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_bit_rates_match_p_q(self):
+        the = ThresholdHistogramEncoding(6, 1.0)
+        n = 40_000
+        reports = the.privatize(np.full(n, 2), rng=7)
+        assert abs(float(reports[:, 2].mean()) - the.p_star) < 0.01
+        assert abs(float(reports[:, 4].mean()) - the.q_star) < 0.01
+
+    def test_the_beats_she(self):
+        for eps in (0.5, 1.0, 2.0):
+            the = ThresholdHistogramEncoding(8, eps)
+            she = SummationHistogramEncoding(8, eps)
+            assert the.count_variance(1000) < she.count_variance(1000)
+
+    def test_bit_marginals_out_of_domain(self):
+        the = ThresholdHistogramEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            the.bit_marginals(-1)
+
+    def test_support_counts_shape_check(self):
+        the = ThresholdHistogramEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            the.support_counts(np.zeros((2, 7), dtype=np.uint8))

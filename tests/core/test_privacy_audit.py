@@ -1,0 +1,197 @@
+"""Cross-mechanism ε-LDP audits.
+
+Every mechanism exposes its exact worst-case likelihood ratio; an ε-LDP
+mechanism that *uses its whole budget* must return exactly ``e^ε``, and
+post-processed mechanisms must stay at or below it.  Where a mechanism
+has a closed-form response distribution we additionally audit it
+directly: enumerate outputs, compare probability ratios across input
+pairs.
+
+These are the library's soundness anchors — if one of them fails, a
+mechanism is either violating its guarantee or wasting budget.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ORACLE_REGISTRY, make_oracle
+from repro.core.histogram import ThresholdHistogramEncoding
+from repro.core.randomized_response import DirectEncoding, WarnerRandomizedResponse
+from repro.numeric import DuchiMean, LocalLaplaceMean
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.microsoft import DBitFlip, OneBitMean
+
+EPSILONS = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+#: mechanisms whose released output realizes the full budget exactly
+TIGHT_ORACLES = ["DE", "SUE", "OUE", "SHE", "BLH", "OLH", "HR"]
+
+
+class TestOracleRatios:
+    @pytest.mark.parametrize("name", TIGHT_ORACLES)
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_tight_mechanisms_realize_exactly_e_eps(self, name, epsilon):
+        oracle = make_oracle(name, 32, epsilon)
+        assert math.isclose(
+            oracle.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9
+        )
+
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_the_is_strictly_below_budget(self, epsilon):
+        """THE post-processes an ε-LDP release: realized ratio < e^ε."""
+        oracle = ThresholdHistogramEncoding(32, epsilon)
+        ratio = oracle.max_privacy_ratio()
+        assert ratio <= math.exp(epsilon) * (1 + 1e-9)
+        assert ratio < math.exp(epsilon)
+
+    @pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+    def test_all_registered_oracles_within_budget(self, name):
+        oracle = make_oracle(name, 16, 1.0)
+        assert oracle.max_privacy_ratio() <= math.e * (1 + 1e-9)
+
+
+class TestDirectEncodingDistribution:
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_exact_distribution_ratio(self, epsilon):
+        d = 10
+        oracle = DirectEncoding(d, epsilon)
+        dists = np.stack([oracle.response_distribution(v) for v in range(d)])
+        assert np.allclose(dists.sum(axis=1), 1.0)
+        worst = 0.0
+        for v1 in range(d):
+            for v2 in range(d):
+                if v1 == v2:
+                    continue
+                worst = max(worst, float((dists[v1] / dists[v2]).max()))
+        assert math.isclose(worst, math.exp(epsilon), rel_tol=1e-9)
+
+    def test_empirical_distribution_matches_exact(self):
+        oracle = DirectEncoding(6, 1.0)
+        n = 200_000
+        reports = oracle.privatize(np.full(n, 2), rng=5)
+        empirical = np.bincount(reports, minlength=6) / n
+        exact = oracle.response_distribution(2)
+        assert np.all(np.abs(empirical - exact) < 5 * np.sqrt(exact * (1 - exact) / n))
+
+
+class TestWarnerDistribution:
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_ratio(self, epsilon):
+        rr = WarnerRandomizedResponse(epsilon)
+        d0 = rr.response_distribution(0)
+        d1 = rr.response_distribution(1)
+        worst = max(float((d0 / d1).max()), float((d1 / d0).max()))
+        assert math.isclose(worst, math.exp(epsilon), rel_tol=1e-9)
+        assert math.isclose(rr.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+
+class TestUnaryBitwiseDistribution:
+    @pytest.mark.parametrize("name", ["SUE", "OUE"])
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_worst_report_ratio_from_marginals(self, name, epsilon):
+        """Bits are independent: worst report ratio factorizes exactly."""
+        oracle = make_oracle(name, 8, epsilon)
+        m1 = oracle.bit_marginals(1)
+        m2 = oracle.bit_marginals(5)
+        # extremal report: bit 1 set, bit 5 clear; other bits cancel
+        ratio = (m1[1] / m2[1]) * ((1 - m1[5]) / (1 - m2[5]))
+        assert ratio <= math.exp(epsilon) * (1 + 1e-9)
+        assert math.isclose(ratio, math.exp(epsilon), rel_tol=1e-9)
+
+
+class TestLogLikelihoodAudit:
+    """Sampled-report audit: realized likelihood ratios never exceed e^ε."""
+
+    def test_de_loglik_ratio_bounded(self):
+        oracle = DirectEncoding(16, 1.0)
+        reports = oracle.privatize(np.full(5000, 3), rng=9)
+        ll_3 = oracle.log_likelihood(reports, 3)
+        ll_7 = oracle.log_likelihood(reports, 7)
+        assert np.all(ll_3 - ll_7 <= 1.0 + 1e-9)
+
+    def test_unary_loglik_ratio_bounded(self):
+        oracle = make_oracle("OUE", 12, 1.5)
+        reports = oracle.privatize(np.full(2000, 4), rng=11)
+        diff = oracle.log_likelihood(reports, 4) - oracle.log_likelihood(reports, 9)
+        assert np.all(diff <= 1.5 + 1e-9)
+
+    def test_olh_loglik_ratio_bounded(self):
+        oracle = make_oracle("OLH", 64, 2.0)
+        reports = oracle.privatize(np.full(3000, 10), rng=13)
+        diff = oracle.log_likelihood(reports, 10) - oracle.log_likelihood(reports, 20)
+        assert np.all(diff <= 2.0 + 1e-9)
+
+    def test_hr_loglik_ratio_bounded(self):
+        oracle = make_oracle("HR", 32, 1.0)
+        reports = oracle.privatize(np.full(3000, 5), rng=17)
+        diff = oracle.log_likelihood(reports, 5) - oracle.log_likelihood(reports, 6)
+        assert np.all(diff <= 1.0 + 1e-9)
+
+    def test_she_density_ratio_bounded(self):
+        oracle = make_oracle("SHE", 8, 1.0)
+        reports = oracle.privatize(np.full(500, 2), rng=19)
+        diff = oracle.log_density(reports, 2) - oracle.log_density(reports, 5)
+        assert np.all(diff <= 1.0 + 1e-9)
+
+
+class TestSystemMechanismRatios:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0, 4.0])
+    def test_cms(self, epsilon):
+        cms = CountMeanSketch(1000, epsilon, k=4, m=32)
+        assert math.isclose(cms.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0, 4.0])
+    def test_hcms(self, epsilon):
+        hcms = HadamardCountMeanSketch(1000, epsilon, k=4, m=32)
+        assert math.isclose(hcms.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_onebit(self, epsilon):
+        ob = OneBitMean(10.0, epsilon)
+        assert math.isclose(ob.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_dbitflip(self, epsilon):
+        db = DBitFlip(32, 4, epsilon)
+        assert math.isclose(db.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_duchi(self, epsilon):
+        dm = DuchiMean(epsilon)
+        assert math.isclose(dm.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_local_laplace(self, epsilon):
+        ll = LocalLaplaceMean(epsilon)
+        assert math.isclose(ll.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    def test_onebit_response_probability_monotone(self):
+        ob = OneBitMean(100.0, 1.0)
+        probs = [ob.response_probability(x) for x in (0.0, 25.0, 50.0, 100.0)]
+        assert all(a < b for a, b in zip(probs, probs[1:]))
+
+
+class TestRapporPrivacy:
+    def test_epsilon_formulas_positive_and_ordered(self):
+        from repro.systems.rappor import RapporParams
+
+        params = RapporParams()
+        assert params.epsilon_one_report > 0
+        assert params.epsilon_permanent > params.epsilon_one_report
+
+    def test_permanent_epsilon_matches_paper_default(self):
+        """f=0.5, h=2: ε∞ = 2·2·ln(3) ≈ 4.39 (Erlingsson et al. §3)."""
+        from repro.systems.rappor import RapporParams
+
+        params = RapporParams()
+        assert math.isclose(params.epsilon_permanent, 4 * math.log(3.0), rel_tol=1e-12)
+
+    def test_stronger_f_means_less_epsilon(self):
+        from repro.systems.rappor import RapporParams
+
+        weak = RapporParams(f=0.25)
+        strong = RapporParams(f=0.75)
+        assert strong.epsilon_permanent < weak.epsilon_permanent
+        assert strong.epsilon_one_report < weak.epsilon_one_report

@@ -1,0 +1,145 @@
+"""Unit tests for Warner RR and direct encoding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.randomized_response import DirectEncoding, WarnerRandomizedResponse
+
+
+class TestWarner:
+    def test_truth_probability(self):
+        rr = WarnerRandomizedResponse(math.log(3.0))
+        assert math.isclose(rr.p_truth, 0.75)
+
+    def test_privatize_shape_and_dtype(self):
+        rr = WarnerRandomizedResponse(1.0)
+        bits = np.asarray([0, 1] * 50)
+        out = rr.privatize(bits, rng=1)
+        assert out.shape == bits.shape
+        assert out.dtype == np.uint8
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_privatize_rejects_non_binary(self):
+        rr = WarnerRandomizedResponse(1.0)
+        with pytest.raises(ValueError, match="0/1"):
+            rr.privatize(np.asarray([0, 2]), rng=1)
+
+    def test_privatize_rejects_empty(self):
+        rr = WarnerRandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.privatize(np.asarray([], dtype=int), rng=1)
+
+    def test_estimate_unbiased(self):
+        rr = WarnerRandomizedResponse(1.0)
+        pi = 0.3
+        n = 100_000
+        gen = np.random.default_rng(5)
+        bits = (gen.random(n) < pi).astype(np.uint8)
+        est = rr.estimate_proportion(rr.privatize(bits, rng=7))
+        sd = math.sqrt(rr.proportion_variance(n, pi))
+        assert abs(est - pi) < 5 * sd
+
+    def test_estimate_rejects_empty(self):
+        rr = WarnerRandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.estimate_proportion(np.asarray([]))
+
+    def test_variance_maximized_at_half(self):
+        rr = WarnerRandomizedResponse(1.0)
+        v_half = rr.proportion_variance(1000, 0.5)
+        assert v_half >= rr.proportion_variance(1000, 0.1)
+        assert v_half >= rr.proportion_variance(1000, 0.9)
+
+    def test_variance_shrinks_with_n(self):
+        rr = WarnerRandomizedResponse(1.0)
+        assert rr.proportion_variance(10_000) < rr.proportion_variance(100)
+
+    def test_variance_rejects_bad_args(self):
+        rr = WarnerRandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.proportion_variance(0)
+        with pytest.raises(ValueError):
+            rr.proportion_variance(10, 1.5)
+
+    def test_response_distribution_rejects_bad_bit(self):
+        rr = WarnerRandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.response_distribution(2)
+
+    def test_empirical_proportion_variance_matches(self):
+        rr = WarnerRandomizedResponse(1.0)
+        pi = 0.4
+        n = 2000
+        gen = np.random.default_rng(11)
+        bits = (gen.random(n) < pi).astype(np.uint8)
+        ests = [
+            rr.estimate_proportion(rr.privatize(bits, rng=100 + i)) for i in range(60)
+        ]
+        emp = float(np.var(ests, ddof=1))
+        # Conditional on the data: only the mechanism noise,
+        # Var = [λ(1−λ) − ...] ≈ formula; wide chi-square band.
+        ana = rr.proportion_variance(n, pi)
+        assert 0.4 * ana < emp < 2.0 * ana
+
+
+class TestDirectEncoding:
+    def test_probabilities(self):
+        de = DirectEncoding(4, math.log(3.0))
+        assert math.isclose(de.p_star, 3.0 / 6.0)
+        assert math.isclose(de.q_star, 1.0 / 6.0)
+
+    def test_lies_never_equal_truth_at_tiny_epsilon(self):
+        """With ε→0 almost every report is a lie; none may equal the truth
+        by the lie-construction (truth only appears via the keep branch)."""
+        de = DirectEncoding(8, 1e-9)
+        n = 50_000
+        reports = de.privatize(np.full(n, 3), rng=3)
+        frac_truth = float((reports == 3).mean())
+        # P(report = truth) = p ≈ 1/8 at ε≈0
+        assert abs(frac_truth - de.p_star) < 0.01
+
+    def test_report_range(self):
+        de = DirectEncoding(5, 1.0)
+        reports = de.privatize(np.arange(5).repeat(100), rng=9)
+        assert reports.min() >= 0
+        assert reports.max() < 5
+
+    def test_support_counts_rejects_out_of_domain(self):
+        de = DirectEncoding(4, 1.0)
+        with pytest.raises(ValueError, match="refusing"):
+            de.support_counts(np.asarray([0, 4]))
+
+    def test_support_counts_rejects_2d(self):
+        de = DirectEncoding(4, 1.0)
+        with pytest.raises(ValueError):
+            de.support_counts(np.zeros((2, 2), dtype=int))
+
+    def test_domain_of_one_rejected(self):
+        with pytest.raises(ValueError):
+            DirectEncoding(1, 1.0)
+
+    def test_log_likelihood_values(self):
+        de = DirectEncoding(4, 1.0)
+        ll = de.log_likelihood(np.asarray([2, 3]), 2)
+        assert math.isclose(ll[0], math.log(de.p_star))
+        assert math.isclose(ll[1], math.log(de.q_star))
+
+    def test_response_distribution_out_of_domain(self):
+        de = DirectEncoding(4, 1.0)
+        with pytest.raises(ValueError):
+            de.response_distribution(4)
+
+    def test_count_variance_at_f(self):
+        de = DirectEncoding(8, 1.0)
+        v0 = de.count_variance(1000, 0.0)
+        v1 = de.count_variance(1000, 1.0)
+        p, q = de.p_star, de.q_star
+        assert math.isclose(v0, 1000 * q * (1 - q) / (p - q) ** 2)
+        assert math.isclose(v1, 1000 * p * (1 - p) / (p - q) ** 2)
+
+    def test_count_variance_rejects_bad_f(self):
+        de = DirectEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            de.count_variance(10, 1.5)

@@ -1,0 +1,128 @@
+"""Unit tests for SUE and OUE unary encodings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.unary import OptimalUnaryEncoding, SymmetricUnaryEncoding
+
+
+class TestParameters:
+    def test_sue_symmetric(self):
+        sue = SymmetricUnaryEncoding(8, 1.0)
+        assert math.isclose(sue.p_star + sue.q_star, 1.0)
+        half = math.exp(0.5)
+        assert math.isclose(sue.p_star, half / (half + 1))
+
+    def test_oue_parameters(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        assert oue.p_star == 0.5
+        assert math.isclose(oue.q_star, 1.0 / (math.e + 1.0))
+
+    def test_oue_variance_formula(self):
+        """OUE's f→0 variance is 4e^ε/(e^ε−1)² per user."""
+        oue = OptimalUnaryEncoding(8, 1.0)
+        expected = 4.0 * math.e / (math.e - 1.0) ** 2
+        assert math.isclose(oue.count_variance(1), expected, rel_tol=1e-12)
+
+    def test_oue_beats_sue(self):
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            oue = OptimalUnaryEncoding(8, eps)
+            sue = SymmetricUnaryEncoding(8, eps)
+            assert oue.count_variance(100) <= sue.count_variance(100) * (1 + 1e-12)
+
+
+class TestPrivatize:
+    def test_report_shape(self):
+        oue = OptimalUnaryEncoding(16, 1.0)
+        reports = oue.privatize(np.arange(16).repeat(4), rng=3)
+        assert reports.shape == (64, 16)
+        assert reports.dtype == np.uint8
+
+    def test_hot_bit_rate(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        n = 40_000
+        reports = oue.privatize(np.full(n, 2), rng=5)
+        hot_rate = float(reports[:, 2].mean())
+        cold_rate = float(reports[:, 5].mean())
+        assert abs(hot_rate - 0.5) < 0.01
+        assert abs(cold_rate - oue.q_star) < 0.01
+
+    def test_sue_rates(self):
+        sue = SymmetricUnaryEncoding(8, 2.0)
+        n = 40_000
+        reports = sue.privatize(np.full(n, 0), rng=7)
+        assert abs(float(reports[:, 0].mean()) - sue.p_star) < 0.01
+        assert abs(float(reports[:, 3].mean()) - sue.q_star) < 0.01
+
+
+class TestAggregate:
+    def test_support_counts_are_column_sums(self):
+        oue = OptimalUnaryEncoding(4, 1.0)
+        reports = np.asarray([[1, 0, 0, 1], [0, 1, 0, 1]], dtype=np.uint8)
+        assert np.array_equal(oue.support_counts(reports), [1, 1, 0, 2])
+
+    def test_support_counts_shape_check(self):
+        oue = OptimalUnaryEncoding(4, 1.0)
+        with pytest.raises(ValueError, match="shape"):
+            oue.support_counts(np.zeros((3, 5), dtype=np.uint8))
+
+    def test_estimate_frequencies_postprocess_modes(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        values = np.arange(8).repeat(500)
+        reports = oue.privatize(values, rng=11)
+        raw = oue.estimate_frequencies(reports)
+        clip = oue.estimate_frequencies(reports, postprocess="clip")
+        normsub = oue.estimate_frequencies(reports, postprocess="normsub")
+        assert math.isclose(clip.sum(), 1.0)
+        assert math.isclose(normsub.sum(), 1.0)
+        assert np.all(clip >= 0)
+        assert np.all(normsub >= 0)
+        # raw is unbiased but unnormalized
+        assert abs(raw.sum() - 1.0) < 0.2
+
+    def test_unknown_postprocess_rejected(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        reports = oue.privatize(np.arange(8), rng=1)
+        with pytest.raises(ValueError, match="unknown postprocess"):
+            oue.estimate_frequencies(reports, postprocess="bogus")
+
+
+class TestBitMarginals:
+    def test_values(self):
+        oue = OptimalUnaryEncoding(5, 1.0)
+        marg = oue.bit_marginals(3)
+        assert marg[3] == oue.p_star
+        assert np.all(marg[[0, 1, 2, 4]] == oue.q_star)
+
+    def test_rejects_out_of_domain(self):
+        oue = OptimalUnaryEncoding(5, 1.0)
+        with pytest.raises(ValueError):
+            oue.bit_marginals(5)
+
+    def test_log_likelihood_finite(self):
+        oue = OptimalUnaryEncoding(6, 1.0)
+        reports = oue.privatize(np.full(100, 1), rng=13)
+        ll = oue.log_likelihood(reports, 1)
+        assert np.all(np.isfinite(ll))
+        assert ll.shape == (100,)
+
+
+class TestConfidence:
+    def test_halfwidth_scaling(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        w1 = oue.confidence_halfwidth(10_000)
+        w2 = oue.confidence_halfwidth(40_000)
+        assert math.isclose(w2 / w1, 2.0, rel_tol=1e-9)
+
+    def test_tighter_alpha_wider_interval(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        assert oue.confidence_halfwidth(1000, alpha=0.01) > oue.confidence_halfwidth(
+            1000, alpha=0.1
+        )
+
+    def test_alpha_validation(self):
+        oue = OptimalUnaryEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            oue.confidence_halfwidth(1000, alpha=0.0)

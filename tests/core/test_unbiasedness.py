@@ -1,0 +1,131 @@
+"""Cross-mechanism statistical correctness: unbiasedness and variance.
+
+For every frequency oracle we check, under fixed seeds:
+
+* the count estimate of every value is within 5σ of its truth
+  (σ = the oracle's own analytical standard deviation), and
+* the *empirical* variance across repetitions matches the analytical
+  formula within a generous but meaningful band.
+
+Together these pin both the estimator algebra and the variance bookkeeping
+that the tutorial's statistical toolkit (Section 1.1) is about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ORACLE_REGISTRY, make_oracle
+from repro.workloads import sample_zipf, true_counts
+
+D = 32
+N = 20_000
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+@pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+def test_counts_within_5_sigma(name, epsilon, small_population):
+    oracle = make_oracle(name, 16, epsilon)
+    values, counts = small_population
+    reports = oracle.privatize(values, rng=101)
+    est = oracle.estimate_counts(reports)
+    sigma = oracle.count_stddev(values.shape[0], f=float(counts.max() / values.shape[0]))
+    assert est.shape == (16,)
+    assert np.all(np.abs(est - counts) < 5.0 * sigma), (
+        f"{name} ε={epsilon}: max dev {np.abs(est - counts).max():.1f} vs 5σ="
+        f"{5 * sigma:.1f}"
+    )
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+def test_empirical_variance_matches_analytical(name):
+    """Repeat the same population 30 times; compare var of a rare value."""
+    epsilon = 1.0
+    oracle = make_oracle(name, D, epsilon)
+    values, _ = sample_zipf(D, 4000, rng=55)
+    counts = true_counts(values, D)
+    target = D - 1  # rarest value under Zipf
+    f = counts[target] / values.shape[0]
+    estimates = []
+    for rep in range(30):
+        reports = oracle.privatize(values, rng=1000 + rep)
+        estimates.append(oracle.estimate_counts(reports)[target])
+    empirical_var = float(np.var(estimates, ddof=1))
+    analytical = oracle.count_variance(values.shape[0], f=float(f))
+    # 30 samples of a variance: chi-square band ≈ ±60% covers >5σ.
+    assert 0.35 * analytical < empirical_var < 2.2 * analytical, (
+        f"{name}: empirical {empirical_var:.1f} vs analytical {analytical:.1f}"
+    )
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+def test_estimates_sum_near_n(name, small_population):
+    """Unbiased estimators should nearly preserve total mass."""
+    values, _ = small_population
+    oracle = make_oracle(name, 16, 1.0)
+    reports = oracle.privatize(values, rng=7)
+    total = oracle.estimate_counts(reports).sum()
+    sigma_total = oracle.count_stddev(values.shape[0]) * np.sqrt(16)
+    assert abs(total - values.shape[0]) < 6 * sigma_total
+
+
+def test_variance_ordering_matches_theory():
+    """At d ≫ e^ε: OUE ≈ OLH < SUE < SHE and DE is the worst."""
+    from repro.core import analytical_variances
+
+    var = analytical_variances(domain_size=256, epsilon=1.0, n=10_000)
+    assert var["OUE"] <= var["SUE"]
+    assert abs(var["OUE"] - var["OLH"]) / var["OUE"] < 0.15
+    assert var["SUE"] < var["SHE"]
+    assert var["DE"] > var["OUE"] * 5
+
+
+def test_variance_de_scales_linearly_with_domain():
+    from repro.core import analytical_variances
+
+    v_small = analytical_variances(64, 1.0, 10_000)["DE"]
+    v_big = analytical_variances(512, 1.0, 10_000)["DE"]
+    assert 6 < v_big / v_small < 10  # ≈ 8× for 8× the domain
+
+
+def test_variance_oue_flat_in_domain():
+    from repro.core import analytical_variances
+
+    v_small = analytical_variances(64, 1.0, 10_000)["OUE"]
+    v_big = analytical_variances(512, 1.0, 10_000)["OUE"]
+    assert abs(v_big - v_small) / v_small < 1e-9
+
+
+def test_variance_decreases_with_epsilon():
+    for name in ORACLE_REGISTRY:
+        v1 = make_oracle(name, 64, 0.5).count_variance(1000)
+        v2 = make_oracle(name, 64, 2.0).count_variance(1000)
+        assert v2 < v1, name
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+def test_privatize_accepts_int_seed_and_generator(name):
+    oracle = make_oracle(name, 8, 1.0)
+    values = np.arange(8).repeat(10)
+    r1 = oracle.privatize(values, rng=3)
+    r2 = oracle.privatize(values, rng=np.random.default_rng(3))
+    e1 = oracle.estimate_counts(r1)
+    e2 = oracle.estimate_counts(r2)
+    assert np.allclose(e1, e2)
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+def test_privatize_rejects_out_of_domain(name):
+    oracle = make_oracle(name, 8, 1.0)
+    with pytest.raises(ValueError):
+        oracle.privatize(np.asarray([0, 8]), rng=1)
+
+
+@pytest.mark.parametrize("name", ["OLH", "HR"])
+def test_candidate_restricted_estimation_matches_full(name, small_population):
+    values, _ = small_population
+    oracle = make_oracle(name, 16, 1.0)
+    reports = oracle.privatize(values, rng=31)
+    full = oracle.estimate_counts(reports)
+    cands = np.asarray([0, 3, 7, 15])
+    restricted = oracle.estimate_counts_for(reports, cands)
+    assert np.allclose(full[cands], restricted, atol=1e-6)

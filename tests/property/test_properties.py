@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These check *algebraic* properties that must hold for every input, not
+just the fixtures unit tests use: transform involutions, packing
+round-trips, estimator linearity, composition arithmetic, projection
+idempotence.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import PrivacySpend, compose_parallel, compose_sequential
+from repro.core.mechanism import postprocess_counts
+from repro.marginals.subsets import (
+    parity_characters,
+    project_to_mask,
+    submasks,
+)
+from repro.systems.rappor.association import pack_string, unpack_string
+from repro.util.bloom import BloomFilter
+from repro.util.hashing import SeededHashFamily, hash_elementwise
+from repro.util.rng import derive_seed, per_user_seeds
+from repro.util.wht import fwht, hadamard_entries, next_power_of_two
+from repro.workloads.binary import pack_bits, unpack_bits
+
+# -- WHT ---------------------------------------------------------------------
+
+
+@given(
+    st.integers(0, 5),
+    st.lists(st.floats(-100, 100), min_size=1, max_size=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_fwht_involution(log_pad, values):
+    d = next_power_of_two(max(len(values), 1)) << log_pad
+    x = np.zeros(d)
+    x[: len(values)] = values
+    assert np.allclose(fwht(fwht(x)), d * x, atol=1e-6 * max(1.0, d))
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+@settings(max_examples=100, deadline=None)
+def test_hadamard_entry_symmetric_and_multiplicative(i, j):
+    e_ij = hadamard_entries(np.uint64(i), np.uint64(j))
+    e_ji = hadamard_entries(np.uint64(j), np.uint64(i))
+    assert e_ij == e_ji
+    # χ_i(j)·χ_i(k) = χ_i(j XOR k) requires popcount parity additivity:
+    k = i  # any k works; use i for variety
+    lhs = hadamard_entries(np.uint64(i), np.uint64(j)) * hadamard_entries(
+        np.uint64(i), np.uint64(k)
+    )
+    rhs = hadamard_entries(np.uint64(i), np.uint64(j ^ k))
+    assert lhs == rhs
+
+
+@given(st.lists(st.floats(-50, 50), min_size=2, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_fwht_parseval(values):
+    d = next_power_of_two(len(values))
+    x = np.zeros(d)
+    x[: len(values)] = values
+    assert math.isclose(
+        float(np.sum(fwht(x) ** 2)), d * float(np.sum(x**2)), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+# -- hashing ------------------------------------------------------------------
+
+
+@given(st.integers(0, 2**63 - 1), st.integers(0, 2**62), st.integers(2, 1024))
+@settings(max_examples=100, deadline=None)
+def test_hash_deterministic_and_in_range(seed, value, g):
+    seeds = np.asarray([seed], dtype=np.uint64)
+    values = np.asarray([value], dtype=np.int64)
+    h1 = hash_elementwise(seeds, values, g)
+    h2 = hash_elementwise(seeds, values, g)
+    assert h1 == h2
+    assert 0 <= int(h1[0]) < g
+
+
+@given(st.integers(1, 8), st.integers(2, 256), st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_family_consistency(k, m, seed):
+    fam = SeededHashFamily(k, m, seed)
+    values = np.arange(20, dtype=np.int64)
+    stacked = fam.apply_all(values)
+    for j in range(k):
+        assert np.array_equal(stacked[j], fam.apply(j, values))
+
+
+@given(st.integers(0, 2**62), st.integers(0, 2**62))
+@settings(max_examples=50, deadline=None)
+def test_derive_seed_in_range(master, tag):
+    s = derive_seed(master, tag)
+    assert 0 <= s < 2**63
+
+
+@given(st.integers(0, 2**60), st.integers(1, 500))
+@settings(max_examples=30, deadline=None)
+def test_per_user_seeds_stable_prefix(master, n):
+    assert np.array_equal(per_user_seeds(master, n), per_user_seeds(master, n + 5)[:n])
+
+
+# -- bloom --------------------------------------------------------------------
+
+
+@given(
+    st.integers(8, 256),
+    st.integers(1, 4),
+    st.integers(0, 1000),
+    st.lists(st.integers(0, 2**40), min_size=1, max_size=30, unique=True),
+)
+@settings(max_examples=50, deadline=None)
+def test_bloom_never_false_negative(m, h, seed, values)  :
+    bloom = BloomFilter(m, h, seed)
+    union = bloom.encode_batch(np.asarray(values, dtype=np.int64)).max(axis=0)
+    for v in values:
+        assert bloom.contains(union, int(v))
+
+
+# -- budget -------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.01, 5.0), st.floats(0.0, 0.001)),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_composition_algebra(pairs):
+    spends = [PrivacySpend(e, d) for e, d in pairs]
+    seq_e, seq_d = compose_sequential(spends)
+    par_e, par_d = compose_parallel(spends)
+    # parallel never exceeds sequential; both are non-negative
+    assert par_e <= seq_e + 1e-12
+    assert par_d <= seq_d + 1e-12
+    assert seq_e >= 0 and par_e >= 0
+    # order invariance (up to float summation reordering)
+    rev_e, rev_d = compose_sequential(spends[::-1])
+    assert math.isclose(rev_e, seq_e, rel_tol=1e-12, abs_tol=1e-15)
+    assert math.isclose(rev_d, seq_d, rel_tol=1e-12, abs_tol=1e-15)
+
+
+# -- postprocess ---------------------------------------------------------------
+
+
+@given(st.lists(st.floats(-2, 2), min_size=2, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_postprocess_projections_land_on_simplex(raw):
+    arr = np.asarray(raw)
+    for method in ("clip", "normsub"):
+        out = postprocess_counts(arr, method)
+        assert math.isclose(out.sum(), 1.0, abs_tol=1e-9)
+        assert np.all(out >= -1e-12)
+
+
+@given(st.lists(st.floats(0.001, 1.0), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_postprocess_idempotent_on_simplex(raw):
+    arr = np.asarray(raw)
+    simplex = arr / arr.sum()
+    for method in ("clip", "normsub"):
+        out = postprocess_counts(simplex, method)
+        assert np.allclose(out, simplex, atol=1e-9)
+
+
+# -- subsets / packing ----------------------------------------------------------
+
+
+@given(st.integers(0, 2**16 - 1))
+@settings(max_examples=80, deadline=None)
+def test_submasks_are_submasks(mask):
+    subs = submasks(mask)
+    assert len(subs) == 1 << bin(mask).count("1")
+    for s in subs:
+        assert s & mask == s
+    assert len(set(subs)) == len(subs)
+
+
+@given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+@settings(max_examples=80, deadline=None)
+def test_parity_character_multiplicativity_in_mask(s1, x):
+    """χ_{S}(x)·χ_{T}(x) = χ_{S XOR T}(x)."""
+    s2 = (s1 * 31) & 0xFFFF
+    lhs = parity_characters(np.uint64(s1), np.uint64(x)) * parity_characters(
+        np.uint64(s2), np.uint64(x)
+    )
+    rhs = parity_characters(np.uint64(s1 ^ s2), np.uint64(x))
+    assert lhs == rhs
+
+
+@given(
+    st.integers(1, 16),
+    st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_project_to_mask_width(d, xs)  :
+    mask = (1 << d) - 1
+    arr = np.asarray([x & mask for x in xs], dtype=np.int64)
+    projected = project_to_mask(arr, mask)
+    assert np.array_equal(projected, arr)  # full mask = identity
+
+
+@given(
+    st.integers(2, 10),
+    st.integers(2, 8),
+    st.lists(st.integers(0, 9), min_size=2, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_pack_unpack_string_roundtrip(alphabet, _unused, symbols):
+    symbols = [s % alphabet for s in symbols]
+    packed = pack_string(np.asarray(symbols), alphabet)
+    assert list(unpack_string(packed, alphabet, len(symbols))) == symbols
+
+
+@given(st.integers(1, 20), st.integers(1, 62))
+@settings(max_examples=40, deadline=None)
+def test_pack_unpack_bits_roundtrip(n, d):
+    gen = np.random.default_rng(n * 100 + d)
+    bits = (gen.random((n, d)) < 0.5).astype(np.uint8)
+    assert np.array_equal(unpack_bits(pack_bits(bits), d), bits)
+
+
+# -- estimator linearity ---------------------------------------------------------
+
+
+@given(st.integers(2, 24), st.floats(0.3, 3.0))
+@settings(max_examples=20, deadline=None)
+def test_pure_estimator_linear_in_reports(d, epsilon):
+    """estimate(concat(A, B)) · n == estimate(A)·n_A + estimate(B)·n_B
+    for support-count oracles (counts are sums over users)."""
+    from repro.core.unary import OptimalUnaryEncoding
+
+    oracle = OptimalUnaryEncoding(d, epsilon)
+    gen = np.random.default_rng(42)
+    va = gen.integers(0, d, size=50)
+    vb = gen.integers(0, d, size=70)
+    ra = oracle.privatize(va, rng=1)
+    rb = oracle.privatize(vb, rng=2)
+    combined = np.vstack([ra, rb])
+    ca = oracle.support_counts(ra)
+    cb = oracle.support_counts(rb)
+    cc = oracle.support_counts(combined)
+    assert np.allclose(cc, ca + cb)

@@ -1,0 +1,166 @@
+"""Unit and integration tests for Apple's CMS, HCMS and SFP."""
+
+import numpy as np
+import pytest
+
+from repro.systems.apple import (
+    CountMeanSketch,
+    HadamardCountMeanSketch,
+    SfpConfig,
+    discover_words,
+)
+from repro.systems.rappor.association import pack_string
+from repro.workloads import sample_zipf, true_counts
+
+
+class TestCmsConstruction:
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            CountMeanSketch(100, 1.0, k=4, m=1)
+
+    def test_hcms_requires_power_of_two_width(self):
+        with pytest.raises(ValueError, match="power of two"):
+            HadamardCountMeanSketch(100, 1.0, k=4, m=48)
+
+    def test_same_seed_same_family(self):
+        a = CountMeanSketch(1000, 1.0, k=4, m=64, master_seed=5)
+        b = CountMeanSketch(1000, 1.0, k=4, m=64, master_seed=5)
+        vals = np.arange(100, dtype=np.int64)
+        assert np.array_equal(a.family.apply_all(vals), b.family.apply_all(vals))
+
+
+class TestCmsReports:
+    def test_row_structure(self):
+        cms = CountMeanSketch(1000, 1.0, k=8, m=64)
+        reports = cms.privatize(np.arange(50, dtype=np.int64), rng=1)
+        assert reports.rows.shape == (50, 64)
+        assert set(np.unique(reports.rows)) <= {-1, 1}
+        assert reports.hash_indices.max() < 8
+
+    def test_hot_bucket_bias(self):
+        """The hashed bucket's bit is +1 more often than others."""
+        cms = CountMeanSketch(1000, 2.0, k=1, m=32, master_seed=3)
+        n = 30_000
+        vals = np.full(n, 7, dtype=np.int64)
+        reports = cms.privatize(vals, rng=5)
+        hot = int(cms.family.apply(0, np.asarray([7]))[0])
+        hot_rate = float((reports.rows[:, hot] == 1).mean())
+        other = (hot + 1) % 32
+        other_rate = float((reports.rows[:, other] == 1).mean())
+        assert hot_rate > 0.5 > other_rate
+
+    def test_sketch_accumulation_shape(self):
+        cms = CountMeanSketch(1000, 1.0, k=4, m=64)
+        reports = cms.privatize(np.arange(100, dtype=np.int64), rng=7)
+        sketch = cms.build_sketch(reports)
+        assert sketch.shape == (4, 64)
+
+    def test_build_sketch_rejects_wrong_type(self):
+        cms = CountMeanSketch(1000, 1.0, k=4, m=64)
+        with pytest.raises(TypeError):
+            cms.build_sketch(np.zeros((3, 64)))
+
+
+class TestCmsEstimation:
+    @pytest.mark.parametrize("cls", [CountMeanSketch, HadamardCountMeanSketch])
+    def test_unbiased_on_zipf(self, cls):
+        d = 64
+        values, _ = sample_zipf(d, 30_000, rng=9)
+        counts = true_counts(values, d)
+        sketch = cls(d, 2.0, k=16, m=256, master_seed=11)
+        reports = sketch.privatize(values, rng=13)
+        est = sketch.estimate_counts(reports)
+        sd = np.sqrt(sketch.count_variance(30_000))
+        # collisions add ≈ n/m ≈ 117 extra; allow 5σ + collision slack
+        assert np.all(np.abs(est - counts) < 5 * sd + 5 * 30_000 / 256)
+
+    @pytest.mark.parametrize("cls", [CountMeanSketch, HadamardCountMeanSketch])
+    def test_variance_formula_within_factor_two(self, cls):
+        d = 32
+        sketch = cls(d, 2.0, k=8, m=128, master_seed=17)
+        values = np.zeros(5000, dtype=np.int64)  # everyone holds value 0
+        target = 9  # rare value
+        ests = []
+        for rep in range(30):
+            reports = sketch.privatize(values, rng=500 + rep)
+            ests.append(sketch.estimate_counts_for(reports, np.asarray([target]))[0])
+        emp = float(np.var(ests, ddof=1))
+        ana = sketch.count_variance(5000)
+        assert 0.3 * ana < emp < 2.5 * ana
+
+    def test_huge_domain_candidates(self):
+        cms = CountMeanSketch(1 << 60, 2.0, k=8, m=256, master_seed=19)
+        heavy = (1 << 59) + 12345
+        vals = np.full(8000, heavy, dtype=np.int64)
+        reports = cms.privatize(vals, rng=21)
+        est = cms.estimate_counts_for(
+            reports, np.asarray([heavy, heavy + 1], dtype=np.int64)
+        )
+        sd = np.sqrt(cms.count_variance(8000))
+        assert abs(est[0] - 8000) < 5 * sd + 8000 / 256 * 5
+        assert abs(est[1]) < 5 * sd + 8000 / 256 * 5
+
+    def test_hcms_variance_higher_than_cms(self):
+        cms = CountMeanSketch(1000, 2.0, k=8, m=128)
+        hcms = HadamardCountMeanSketch(1000, 2.0, k=8, m=128)
+        assert hcms.count_variance(1000) > cms.count_variance(1000)
+
+
+class TestSfp:
+    @pytest.fixture(scope="class")
+    def word_population(self):
+        gen = np.random.default_rng(5)
+        cfg = SfpConfig(
+            alphabet_size=8,
+            word_length=4,
+            epsilon=4.0,
+            puzzle_hash_range=16,
+            sketch_k=16,
+            sketch_m=1024,
+            master_seed=3,
+        )
+        popular = [
+            pack_string(np.asarray([1, 2, 3, 4]), 8),
+            pack_string(np.asarray([7, 0, 5, 2]), 8),
+        ]
+        n = 120_000
+        u = gen.random(n)
+        words = np.empty(n, dtype=np.int64)
+        words[u < 0.40] = popular[0]
+        words[(u >= 0.40) & (u < 0.70)] = popular[1]
+        junk = gen.integers(0, cfg.word_domain, size=n)
+        words[u >= 0.70] = junk[u >= 0.70]
+        return words, popular, cfg
+
+    def test_discovers_popular_words(self, word_population):
+        words, popular, cfg = word_population
+        result = discover_words(words, cfg, rng=7)
+        assert set(popular) <= set(result.discovered)
+
+    def test_counts_scaled_to_population(self, word_population):
+        words, popular, cfg = word_population
+        result = discover_words(words, cfg, rng=11)
+        lookup = dict(zip(result.discovered, result.estimated_counts))
+        truth = float((words == popular[0]).sum())
+        assert 0.5 * truth < lookup[popular[0]] < 1.8 * truth
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            SfpConfig(alphabet_size=8, word_length=3)
+        with pytest.raises(ValueError):
+            SfpConfig(alphabet_size=8, word_length=4, fragment_fraction=0.0)
+
+    def test_empty_input_rejected(self):
+        cfg = SfpConfig(alphabet_size=8, word_length=4)
+        with pytest.raises(ValueError):
+            discover_words(np.asarray([], dtype=int), cfg)
+
+    def test_uniform_noise_discovers_nothing(self):
+        cfg = SfpConfig(
+            alphabet_size=8, word_length=4, epsilon=4.0, sketch_m=1024,
+            puzzle_hash_range=16, master_seed=3,
+        )
+        gen = np.random.default_rng(13)
+        words = gen.integers(0, cfg.word_domain, size=40_000)
+        result = discover_words(words, cfg, rng=17)
+        assert len(result.discovered) <= 2

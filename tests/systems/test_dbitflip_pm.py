@@ -1,0 +1,82 @@
+"""Tests for memoized multi-round dBitFlip histograms."""
+
+import numpy as np
+import pytest
+
+from repro.systems.microsoft import DBitFlipPM
+
+
+def bucket_trajectories(n, rounds, k, stickiness, seed):
+    """Integer bucket walks: stay w.p. stickiness, else jump uniformly."""
+    gen = np.random.default_rng(seed)
+    traj = np.empty((n, rounds), dtype=np.int64)
+    traj[:, 0] = gen.integers(0, k, size=n)
+    for t in range(1, rounds):
+        stay = gen.random(n) < stickiness
+        jump = gen.integers(0, k, size=n)
+        traj[:, t] = np.where(stay, traj[:, t - 1], jump)
+    return traj
+
+
+@pytest.fixture(scope="module")
+def sticky_traj():
+    return bucket_trajectories(20_000, 12, 32, 0.95, seed=71)
+
+
+class TestRun:
+    def test_round_count_and_shapes(self, sticky_traj):
+        pm = DBitFlipPM(32, 8, 1.0)
+        run = pm.run(sticky_traj, rng=3)
+        assert len(run.rounds) == 12
+        assert run.rounds[0].estimated_counts.shape == (32,)
+
+    def test_per_round_accuracy(self, sticky_traj):
+        pm = DBitFlipPM(32, 8, 1.0)
+        run = pm.run(sticky_traj, rng=5)
+        sd = np.sqrt(pm.mechanism.count_variance(20_000, f=1 / 32))
+        assert run.mean_rmse < 3 * sd
+
+    def test_memoized_responses_stable_for_sticky_users(self, sticky_traj):
+        pm = DBitFlipPM(32, 8, 1.0)
+        run = pm.run(sticky_traj, rng=7)
+        # Responses change only when the bucket does: with 95% stickiness
+        # over 12 rounds, far fewer changes than rounds.
+        assert run.response_changes < 3.0
+        assert run.distinct_buckets_visited < 4.0
+
+    def test_identical_static_users_never_change(self):
+        traj = np.full((500, 10), 7, dtype=np.int64)
+        pm = DBitFlipPM(16, 4, 1.0)
+        run = pm.run(traj, rng=9)
+        assert run.response_changes == 0.0
+        assert run.distinct_buckets_visited == 1.0
+
+    def test_bucket_range_validation(self):
+        pm = DBitFlipPM(16, 4, 1.0)
+        with pytest.raises(ValueError):
+            pm.run(np.full((5, 3), 16), rng=1)
+
+    def test_empty_rejected(self):
+        pm = DBitFlipPM(16, 4, 1.0)
+        with pytest.raises(ValueError):
+            pm.run(np.empty((0, 0), dtype=np.int64), rng=1)
+
+
+class TestLifetimeBound:
+    def test_grows_with_behaviour_not_rounds(self):
+        pm = DBitFlipPM(32, 8, 1.0)
+        assert pm.lifetime_epsilon_bound(1) == 1.0
+        assert pm.lifetime_epsilon_bound(3) == 3.0
+
+    def test_validation(self):
+        pm = DBitFlipPM(32, 8, 1.0)
+        with pytest.raises(ValueError):
+            pm.lifetime_epsilon_bound(0)
+
+
+class TestMeanRmseGuard:
+    def test_requires_rounds(self):
+        from repro.systems.microsoft import PmRun
+
+        with pytest.raises(ValueError):
+            PmRun().mean_rmse

@@ -1,0 +1,177 @@
+"""Unit and integration tests for the Microsoft telemetry mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.systems.microsoft import (
+    DBitFlip,
+    OneBitMean,
+    RepeatedCollector,
+)
+from repro.workloads import telemetry_trajectories
+
+
+class TestOneBitMean:
+    def test_response_probability_endpoints(self):
+        ob = OneBitMean(10.0, 1.0)
+        assert math.isclose(ob.response_probability(0.0), 1 / (math.e + 1))
+        assert math.isclose(ob.response_probability(10.0), math.e / (math.e + 1))
+
+    def test_response_probability_out_of_range(self):
+        ob = OneBitMean(10.0, 1.0)
+        with pytest.raises(ValueError):
+            ob.response_probability(11.0)
+
+    def test_privatize_bits(self):
+        ob = OneBitMean(10.0, 1.0)
+        bits = ob.privatize(np.linspace(0, 10, 100), rng=1)
+        assert bits.dtype == np.uint8
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_privatize_rejects_out_of_bounds(self):
+        ob = OneBitMean(10.0, 1.0)
+        with pytest.raises(ValueError):
+            ob.privatize(np.asarray([-0.1]), rng=1)
+
+    def test_mean_estimate_unbiased(self):
+        ob = OneBitMean(100.0, 1.0)
+        gen = np.random.default_rng(3)
+        xs = gen.uniform(10, 90, 50_000)
+        est = ob.estimate_mean(ob.privatize(xs, rng=5))
+        sd = math.sqrt(ob.mean_variance_bound(50_000))
+        assert abs(est - xs.mean()) < 5 * sd
+
+    def test_estimate_rejects_non_bits(self):
+        ob = OneBitMean(10.0, 1.0)
+        with pytest.raises(ValueError):
+            ob.estimate_mean(np.asarray([0.5]))
+
+    def test_variance_bound_holds_empirically(self):
+        ob = OneBitMean(50.0, 1.0)
+        xs = np.full(2000, 25.0)
+        ests = [ob.estimate_mean(ob.privatize(xs, rng=r)) for r in range(50)]
+        emp = float(np.var(ests, ddof=1))
+        assert emp < ob.mean_variance_bound(2000) * 1.5
+
+    def test_error_scales_with_inverse_sqrt_n(self):
+        ob = OneBitMean(10.0, 1.0)
+        assert math.isclose(
+            ob.mean_variance_bound(1000) / ob.mean_variance_bound(4000), 4.0
+        )
+
+
+class TestDBitFlip:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            DBitFlip(8, 9, 1.0)
+
+    def test_report_shapes(self):
+        db = DBitFlip(32, 4, 1.0)
+        reports = db.privatize(np.arange(32), rng=1)
+        assert reports.bucket_indices.shape == (32, 4)
+        assert reports.bits.shape == (32, 4)
+
+    def test_sampled_buckets_distinct_per_user(self):
+        db = DBitFlip(16, 8, 1.0)
+        reports = db.privatize(np.zeros(500, dtype=int), rng=3)
+        for row in reports.bucket_indices:
+            assert np.unique(row).size == 8
+
+    def test_d_equals_k_reduces_to_sue(self):
+        """Sampling all buckets: estimator matches SUE-style full unary."""
+        db = DBitFlip(8, 8, 1.0)
+        values = np.arange(8).repeat(2000)
+        reports = db.privatize(values, rng=5)
+        est = db.estimate_counts(reports)
+        sd = math.sqrt(db.count_variance(values.shape[0], f=1 / 8))
+        assert np.all(np.abs(est - 2000) < 5 * sd)
+
+    def test_unbiased_with_subsampling(self):
+        db = DBitFlip(64, 8, 1.0)
+        values = np.arange(64).repeat(800)
+        reports = db.privatize(values, rng=7)
+        est = db.estimate_counts(reports)
+        sd = math.sqrt(db.count_variance(values.shape[0], f=1 / 64))
+        assert np.all(np.abs(est - 800) < 5 * sd)
+
+    def test_variance_grows_as_d_shrinks(self):
+        v_full = DBitFlip(64, 64, 1.0).count_variance(1000)
+        v_half = DBitFlip(64, 8, 1.0).count_variance(1000)
+        v_one = DBitFlip(64, 1, 1.0).count_variance(1000)
+        assert v_full < v_half < v_one
+
+    def test_estimate_rejects_wrong_type(self):
+        db = DBitFlip(8, 2, 1.0)
+        with pytest.raises(TypeError):
+            db.estimate_counts(np.zeros((3, 2)))
+
+    def test_report_alignment_enforced(self):
+        from repro.systems.microsoft.dbitflip import DBitFlipReports
+
+        with pytest.raises(ValueError):
+            DBitFlipReports(
+                bucket_indices=np.zeros((2, 3), dtype=np.int64),
+                bits=np.zeros((2, 4), dtype=np.uint8),
+            )
+
+
+class TestRepeatedCollector:
+    @pytest.fixture(scope="class")
+    def trajectories(self):
+        return telemetry_trajectories(
+            15_000, 16, 100.0, persistence=0.95, volatility=0.03, rng=9
+        )
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            RepeatedCollector(10.0, 1.0, mode="bogus")
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            RepeatedCollector(10.0, 1.0, mode="memoized_op", gamma=0.5)
+
+    def test_fresh_budget_grows_linearly(self, trajectories):
+        run = RepeatedCollector(100.0, 1.0, mode="fresh").run(trajectories, rng=1)
+        assert math.isclose(run.total_epsilon, 16.0)
+        assert len(run.rounds) == 16
+
+    def test_memoized_budget_constant(self, trajectories):
+        run = RepeatedCollector(100.0, 1.0, mode="memoized").run(trajectories, rng=2)
+        assert math.isclose(run.total_epsilon, 1.0)
+
+    def test_memoized_op_budget_constant(self, trajectories):
+        run = RepeatedCollector(100.0, 1.0, mode="memoized_op").run(
+            trajectories, rng=3
+        )
+        assert math.isclose(run.total_epsilon, 1.0)
+
+    def test_all_modes_track_the_mean(self, trajectories):
+        for mode in ("fresh", "memoized", "memoized_op"):
+            run = RepeatedCollector(100.0, 1.0, mode=mode).run(trajectories, rng=4)
+            # per-round error stays small relative to range
+            assert run.mean_abs_error < 3.0, mode
+
+    def test_memoized_responses_stable(self, trajectories):
+        fresh = RepeatedCollector(100.0, 1.0, mode="fresh").run(trajectories, rng=5)
+        memo = RepeatedCollector(100.0, 1.0, mode="memoized").run(trajectories, rng=5)
+        assert memo.distinct_responses < fresh.distinct_responses
+
+    def test_output_perturbation_hides_change_points(self, trajectories):
+        memo = RepeatedCollector(100.0, 1.0, mode="memoized").run(trajectories, rng=6)
+        op = RepeatedCollector(100.0, 1.0, mode="memoized_op", gamma=0.25).run(
+            trajectories, rng=6
+        )
+        assert op.distinct_responses > memo.distinct_responses
+
+    def test_rejects_out_of_bound_trajectories(self):
+        collector = RepeatedCollector(10.0, 1.0)
+        with pytest.raises(ValueError):
+            collector.run(np.full((10, 3), 11.0), rng=1)
+
+    def test_mean_abs_error_requires_rounds(self):
+        from repro.systems.microsoft.repeated import CollectionRun
+
+        with pytest.raises(ValueError):
+            CollectionRun(mode="fresh").mean_abs_error

@@ -1,0 +1,204 @@
+"""Unit and integration tests for the RAPPOR system."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.systems.rappor import (
+    RapporAggregator,
+    RapporClient,
+    RapporParams,
+    cohort_bloom,
+    privatize_population,
+)
+from repro.workloads import sample_zipf, true_counts
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        params = RapporParams()
+        assert params.num_bits == 128
+        assert 0 < params.p_star < params.q_star < 1
+
+    def test_rejects_q_below_p(self):
+        with pytest.raises(ValueError, match="q must exceed p"):
+            RapporParams(p=0.8, q=0.5)
+
+    def test_rejects_f_one(self):
+        with pytest.raises(ValueError, match="pure noise"):
+            RapporParams(f=1.0)
+
+    def test_f_zero_means_infinite_permanent_epsilon(self):
+        assert RapporParams(f=0.0).epsilon_permanent == math.inf
+
+    def test_effective_rates_formula(self):
+        params = RapporParams(f=0.5, p=0.5, q=0.75)
+        assert math.isclose(params.q_star, 0.25 * 1.25 + 0.5 * 0.75)
+        assert math.isclose(params.p_star, 0.25 * 1.25 + 0.5 * 0.5)
+
+    def test_describe_contains_epsilons(self):
+        text = RapporParams().describe()
+        assert "eps_1" in text and "eps_inf" in text
+
+
+class TestCohortBloom:
+    def test_deterministic_per_cohort(self):
+        params = RapporParams()
+        b1 = cohort_bloom(params, 3, master_seed=9)
+        b2 = cohort_bloom(params, 3, master_seed=9)
+        assert np.array_equal(b1.encode(42), b2.encode(42))
+
+    def test_cohorts_differ(self):
+        params = RapporParams()
+        b1 = cohort_bloom(params, 0, master_seed=9)
+        b2 = cohort_bloom(params, 1, master_seed=9)
+        enc1 = b1.encode_batch(np.arange(200))
+        enc2 = b2.encode_batch(np.arange(200))
+        assert not np.array_equal(enc1, enc2)
+
+    def test_rejects_bad_cohort(self):
+        with pytest.raises(ValueError):
+            cohort_bloom(RapporParams(), 8, master_seed=0)
+
+
+class TestClient:
+    def test_permanent_bits_memoized(self):
+        client = RapporClient(RapporParams(), cohort=0, master_seed=1, rng=5)
+        first = client.permanent_bits(7)
+        second = client.permanent_bits(7)
+        assert first is second
+
+    def test_different_values_different_memo(self):
+        client = RapporClient(RapporParams(), cohort=0, master_seed=1, rng=5)
+        assert not np.array_equal(client.permanent_bits(7), client.permanent_bits(8))
+
+    def test_reports_vary_but_memo_fixed(self):
+        client = RapporClient(RapporParams(), cohort=0, master_seed=1, rng=5)
+        r1 = client.report(7)
+        r2 = client.report(7)
+        assert r1.shape == (128,)
+        assert not np.array_equal(r1, r2)  # IRR fresh each time
+
+    def test_prr_rates(self):
+        """PRR keeps a set Bloom bit with prob 1−f/2, clears w.p. f/2."""
+        params = RapporParams(f=0.5)
+        keep_rate = []
+        for seed in range(400):
+            client = RapporClient(params, cohort=0, master_seed=1, rng=seed)
+            bloom = cohort_bloom(params, 0, master_seed=1)
+            true_bits = bloom.encode(3)
+            prr = client.permanent_bits(3)
+            set_positions = np.nonzero(true_bits)[0]
+            keep_rate.append(float(prr[set_positions].mean()))
+        assert abs(np.mean(keep_rate) - (1 - params.f / 2)) < 0.03
+
+
+class TestPopulationPath:
+    def test_shapes(self):
+        params = RapporParams(num_cohorts=4)
+        cohorts, reports = privatize_population(
+            params, np.arange(100), master_seed=3, rng=7
+        )
+        assert cohorts.shape == (100,)
+        assert reports.shape == (100, 128)
+        assert cohorts.max() == 3
+
+    def test_bit_rates_match_client_path(self):
+        """The vectorized path must produce the same marginal bit rates."""
+        params = RapporParams(num_cohorts=1)
+        n = 30_000
+        values = np.full(n, 5)
+        _, reports = privatize_population(params, values, master_seed=3, rng=11)
+        bloom = cohort_bloom(params, 0, master_seed=3)
+        true_bits = bloom.encode(5)
+        rates = reports.mean(axis=0)
+        expected = np.where(true_bits == 1, params.q_star, params.p_star)
+        assert np.all(np.abs(rates - expected) < 0.015)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            privatize_population(RapporParams(), np.asarray([], dtype=int), 0, rng=1)
+
+
+class TestAggregator:
+    def test_corrected_bit_counts_unbiased(self):
+        params = RapporParams(num_cohorts=2)
+        n = 40_000
+        values = np.full(n, 9)
+        cohorts, reports = privatize_population(params, values, master_seed=5, rng=13)
+        agg = RapporAggregator(params, master_seed=5)
+        t_hat, sizes = agg.corrected_bit_counts(cohorts, reports)
+        assert sizes.sum() == n
+        for cohort in range(2):
+            bloom = cohort_bloom(params, cohort, master_seed=5)
+            true_bits = bloom.encode(9)
+            expected = true_bits.astype(float) * sizes[cohort]
+            # 5σ of the corrected count
+            sd = math.sqrt(sizes[cohort] * 0.25) / (params.q_star - params.p_star)
+            assert np.all(np.abs(t_hat[cohort] - expected) < 5 * sd)
+
+    def test_alignment_checks(self):
+        params = RapporParams()
+        agg = RapporAggregator(params, master_seed=5)
+        with pytest.raises(ValueError, match="align"):
+            agg.corrected_bit_counts(np.zeros(3, dtype=int), np.zeros((4, 128)))
+        with pytest.raises(ValueError, match="shape"):
+            agg.corrected_bit_counts(np.zeros(3, dtype=int), np.zeros((3, 64)))
+
+    def test_design_matrix_shape_and_content(self):
+        params = RapporParams(num_cohorts=2, num_bits=32)
+        agg = RapporAggregator(params, master_seed=5)
+        design = agg.design_matrix(np.asarray([1, 2, 3]))
+        assert design.shape == (2 * 32, 3)
+        col0 = design[:32, 0]
+        assert np.array_equal(
+            col0, cohort_bloom(params, 0, 5).encode(1).astype(float)
+        )
+
+    def test_design_matrix_rejects_duplicates(self):
+        agg = RapporAggregator(RapporParams(), master_seed=5)
+        with pytest.raises(ValueError, match="distinct"):
+            agg.design_matrix(np.asarray([1, 1]))
+
+    def test_decode_alpha_validation(self):
+        agg = RapporAggregator(RapporParams(), master_seed=5)
+        with pytest.raises(ValueError):
+            agg.decode(np.zeros(1, dtype=int), np.zeros((1, 128)), np.asarray([0]), alpha=0)
+
+
+class TestEndToEnd:
+    def test_detects_heavy_hitters(self):
+        params = RapporParams()
+        values, _ = sample_zipf(100, 60_000, exponent=1.3, rng=21)
+        counts = true_counts(values, 100)
+        cohorts, reports = privatize_population(params, values, master_seed=9, rng=23)
+        agg = RapporAggregator(params, master_seed=9)
+        result = agg.decode(cohorts, reports, np.arange(100))
+        detected = result.detected()
+        top3 = set(int(v) for v in np.argsort(-counts)[:3])
+        assert top3 <= set(detected), f"top-3 {top3} not all in {detected}"
+
+    def test_absent_candidates_not_detected(self):
+        params = RapporParams()
+        # population concentrated on candidates 0..9; 90..99 absent
+        values = np.random.default_rng(3).integers(0, 10, size=40_000)
+        cohorts, reports = privatize_population(params, values, master_seed=9, rng=29)
+        agg = RapporAggregator(params, master_seed=9)
+        result = agg.decode(cohorts, reports, np.arange(100))
+        detected = set(result.detected())
+        ghosts = detected & set(range(90, 100))
+        assert len(ghosts) <= 1  # Bonferroni keeps family-wise FP ≈ α
+
+    def test_count_estimates_track_truth(self):
+        params = RapporParams()
+        values, _ = sample_zipf(50, 50_000, exponent=1.2, rng=31)
+        counts = true_counts(values, 50)
+        cohorts, reports = privatize_population(params, values, master_seed=9, rng=37)
+        agg = RapporAggregator(params, master_seed=9)
+        result = agg.decode(cohorts, reports, np.arange(50))
+        top = np.argsort(-counts)[:5]
+        for v in top:
+            est = result.estimated_counts[v]
+            assert est > 0.3 * counts[v]
+            assert est < 2.0 * counts[v]

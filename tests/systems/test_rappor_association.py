@@ -1,0 +1,91 @@
+"""Tests for unknown-dictionary discovery (bigram chaining)."""
+
+import numpy as np
+import pytest
+
+from repro.systems.rappor.association import (
+    AssociationResult,
+    discover_dictionary,
+    pack_string,
+    unpack_string,
+)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        symbols = np.asarray([3, 0, 7, 2])
+        packed = pack_string(symbols, 8)
+        assert np.array_equal(unpack_string(packed, 8, 4), symbols)
+
+    def test_msb_first(self):
+        assert pack_string(np.asarray([1, 0]), 8) == 8
+        assert pack_string(np.asarray([0, 1]), 8) == 1
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            pack_string(np.asarray([8]), 8)
+
+    def test_unpack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            unpack_string(64, 8, 2)  # needs 3 symbols
+
+    def test_unpack_rejects_negative(self):
+        with pytest.raises(ValueError):
+            unpack_string(-1, 8, 2)
+
+
+class TestDiscovery:
+    @pytest.fixture(scope="class")
+    def population(self):
+        """80k users: three popular strings + uniform junk tail."""
+        gen = np.random.default_rng(42)
+        alphabet, length = 6, 4
+        popular = [
+            pack_string(np.asarray([1, 2, 3, 4]), alphabet),
+            pack_string(np.asarray([5, 0, 2, 1]), alphabet),
+            pack_string(np.asarray([2, 2, 5, 0]), alphabet),
+        ]
+        n = 80_000
+        choice = gen.random(n)
+        strings = np.empty(n, dtype=np.int64)
+        strings[choice < 0.35] = popular[0]
+        strings[(choice >= 0.35) & (choice < 0.60)] = popular[1]
+        strings[(choice >= 0.60) & (choice < 0.80)] = popular[2]
+        junk = gen.integers(0, alphabet**length, size=n)
+        tail = choice >= 0.80
+        strings[tail] = junk[tail]
+        return strings, popular, alphabet, length
+
+    def test_discovers_popular_strings(self, population):
+        strings, popular, alphabet, length = population
+        result = discover_dictionary(
+            strings, alphabet, length, master_seed=7, rng=11
+        )
+        assert isinstance(result, AssociationResult)
+        found = set(result.discovered)
+        assert set(popular) <= found, f"missing {set(popular) - found}"
+
+    def test_counts_in_right_ballpark(self, population):
+        strings, popular, alphabet, length = population
+        result = discover_dictionary(
+            strings, alphabet, length, master_seed=7, rng=13
+        )
+        lookup = dict(zip(result.discovered, result.estimated_counts))
+        true_count_0 = float((strings == popular[0]).sum())
+        assert popular[0] in lookup
+        assert 0.4 * true_count_0 < lookup[popular[0]] < 2.0 * true_count_0
+
+    def test_no_discoveries_on_uniform_noise(self):
+        gen = np.random.default_rng(3)
+        strings = gen.integers(0, 6**4, size=30_000)
+        result = discover_dictionary(strings, 6, 4, master_seed=7, rng=17)
+        # nothing is frequent: the pipeline must not hallucinate a head
+        assert len(result.discovered) <= 2
+
+    def test_rejects_length_one(self):
+        with pytest.raises(ValueError, match="length"):
+            discover_dictionary(np.asarray([1, 2]), 6, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            discover_dictionary(np.asarray([], dtype=int), 6, 4)

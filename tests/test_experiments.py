@@ -1,0 +1,63 @@
+"""Smoke tests for every experiment module at miniature scale.
+
+These guarantee that each ``python -m repro.experiments.*`` entry point
+runs end-to-end and produces a structurally valid table.  Benchmarks run
+the full-scale versions; here the parameters are shrunk so the whole
+file stays fast.
+"""
+
+import pytest
+
+from repro.eval import Table
+from repro.experiments import EXPERIMENT_MODULES, get_experiment
+
+TINY = {
+    "E1": dict(domain_size=16, n=2_000, epsilons=(0.5, 2.0), seed=1),
+    "E2": dict(domains=(16, 64), n=2_000, seed=2),
+    "E3": dict(domain_size=16, n=2_000, repetitions=5, seed=3),
+    "E4": dict(num_urls=64, populations=(5_000,), seed=4),
+    "E5": dict(num_words=32, n=5_000, widths=(64,), depth=8, seed=5),
+    "E6": dict(n=2_000, num_rounds=4, persistences=(0.9,), seed=6),
+    "E7": dict(bits=10, n=10_000, k=4, num_heavy=12, epsilons=(2.0,), seed=7),
+    "E8": dict(num_attributes=5, n=5_000, ks=(1, 2), seed=8),
+    "E9": dict(n=5_000, grid_sizes=(4, 8), num_queries=4, seed=9),
+    "E10": dict(n=100, epsilons=(1.0,), repetitions=1, seed=10),
+    "E11": dict(
+        domain_size=64, n=10_000, optin_fractions=(0.05,), repetitions=1,
+        seed=11,
+    ),
+    "E12": dict(domain_size=16, populations=(500, 2_000), repetitions=2, seed=12),
+    "E13": dict(rounds=(1, 8)),
+    "A1": dict(domain_size=16, n=1_000, epsilons=(1.0,)),
+    "A2": dict(domain_size=32, n=2_000, epsilons=(1.0,), gs=(2, 4), seed=31),
+    "A3": dict(num_buckets=16, n=4_000, ds=(1, 4, 16), seed=32),
+    "A4": dict(
+        bits=10, n=10_000, k=4, beam_factors=(1, 2), step_bits=(2,), seed=33
+    ),
+    "A5": dict(
+        domain_size=128, n=10_000, top_k=2, head_size=4, epsilons=(2.0,),
+        repetitions=1, seed=34,
+    ),
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENT_MODULES))
+def test_experiment_runs_and_renders(experiment_id):
+    module = get_experiment(experiment_id)
+    table = module.run(**TINY[experiment_id])
+    assert isinstance(table, Table)
+    assert len(table.rows) >= 1
+    rendered = table.render()
+    assert table.title in rendered
+    # every row matches the header width (Table enforces on add; re-check)
+    for row in table.rows:
+        assert len(row) == len(table.columns)
+
+
+def test_registry_is_complete():
+    assert set(TINY) == set(EXPERIMENT_MODULES)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        get_experiment("E99")

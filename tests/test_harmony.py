@@ -1,0 +1,96 @@
+"""Tests for Harmony-style multidimensional mean estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.numeric import HarmonyMean
+from repro.numeric.harmony import HarmonyReports
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    gen = np.random.default_rng(61)
+    d = 8
+    means = gen.uniform(-0.6, 0.6, d)
+    return np.clip(means + gen.normal(0, 0.2, (60_000, d)), -1, 1), d
+
+
+class TestPrivatize:
+    def test_report_structure(self, vectors):
+        arr, d = vectors
+        hm = HarmonyMean(d, 1.0)
+        reports = hm.privatize(arr[:100], rng=1)
+        assert len(reports) == 100
+        assert reports.dimensions.max() < d
+        assert np.all(np.isclose(np.abs(reports.values), d * hm.magnitude))
+
+    def test_shape_validation(self):
+        hm = HarmonyMean(4, 1.0)
+        with pytest.raises(ValueError, match="shape"):
+            hm.privatize(np.zeros((10, 3)), rng=1)
+
+    def test_range_validation(self):
+        hm = HarmonyMean(2, 1.0)
+        with pytest.raises(ValueError, match="lie in"):
+            hm.privatize(np.full((5, 2), 1.5), rng=1)
+
+    def test_nan_rejected(self):
+        hm = HarmonyMean(2, 1.0)
+        bad = np.zeros((3, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            hm.privatize(bad, rng=1)
+
+
+class TestEstimate:
+    def test_unbiased_per_dimension(self, vectors):
+        arr, d = vectors
+        hm = HarmonyMean(d, 1.0)
+        reports = hm.privatize(arr, rng=3)
+        est = hm.estimate_means(reports)
+        truth = arr.mean(axis=0)
+        sd = math.sqrt(hm.mean_variance(arr.shape[0]))
+        assert np.all(np.abs(est - truth) < 5 * sd)
+
+    def test_variance_empirical(self, vectors):
+        arr, d = vectors
+        hm = HarmonyMean(d, 1.0)
+        sub = arr[:4000]
+        ests = [hm.estimate_means(hm.privatize(sub, rng=r))[0] for r in range(40)]
+        emp = float(np.var(ests, ddof=1))
+        ana = hm.mean_variance(4000)
+        assert 0.4 * ana < emp < 2.0 * ana
+
+    def test_sampling_beats_budget_splitting(self):
+        hm = HarmonyMean(8, 1.0)
+        assert hm.mean_variance(1000) < hm.naive_split_variance(1000)
+
+    def test_wrong_type_rejected(self):
+        hm = HarmonyMean(2, 1.0)
+        with pytest.raises(TypeError):
+            hm.estimate_means(np.zeros(5))
+
+    def test_tampered_values_rejected(self, vectors):
+        arr, d = vectors
+        hm = HarmonyMean(d, 1.0)
+        reports = hm.privatize(arr[:10], rng=5)
+        bad = HarmonyReports(
+            dimensions=reports.dimensions,
+            values=reports.values * 0.5,
+        )
+        with pytest.raises(ValueError, match="±"):
+            hm.estimate_means(bad)
+
+
+class TestPrivacy:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_ratio_exact(self, epsilon):
+        hm = HarmonyMean(4, epsilon)
+        assert math.isclose(hm.max_privacy_ratio(), math.exp(epsilon), rel_tol=1e-9)
+
+    def test_variance_linear_in_d(self):
+        v4 = HarmonyMean(4, 1.0).mean_variance(1000)
+        v16 = HarmonyMean(16, 1.0).mean_variance(1000)
+        assert math.isclose(v16 / v4, 4.0, rel_tol=1e-9)

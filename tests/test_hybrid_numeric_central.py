@@ -1,0 +1,165 @@
+"""Tests for BLENDER, local mean mechanisms, and centralized baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.central import (
+    central_count_variance,
+    central_histogram,
+    central_mean,
+    geometric_histogram,
+)
+from repro.hybrid import blender_estimate
+from repro.numeric import DuchiMean, LocalLaplaceMean
+from repro.workloads import sample_zipf, true_counts
+
+
+@pytest.fixture(scope="module")
+def zipf_pop():
+    values, _ = sample_zipf(128, 60_000, exponent=1.2, rng=71)
+    return values, true_counts(values, 128)
+
+
+class TestBlender:
+    def test_head_contains_true_top(self, zipf_pop):
+        values, counts = zipf_pop
+        result = blender_estimate(values, 128, 1.0, optin_fraction=0.05, rng=3)
+        true_top8 = set(int(v) for v in np.argsort(-counts)[:8])
+        assert true_top8 <= set(int(v) for v in result.head_list)
+
+    def test_blended_beats_both_components(self, zipf_pop):
+        values, counts = zipf_pop
+        n = values.shape[0]
+        mses = {"blend": [], "optin": [], "client": []}
+        for rep in range(5):
+            result = blender_estimate(
+                values, 128, 1.0, optin_fraction=0.05, rng=100 + rep
+            )
+            truth = counts[result.head_list] / n
+            mses["blend"].append(np.mean((result.blended_frequencies - truth) ** 2))
+            mses["optin"].append(np.mean((result.optin_frequencies - truth) ** 2))
+            mses["client"].append(np.mean((result.client_frequencies - truth) ** 2))
+        assert np.mean(mses["blend"]) <= np.mean(mses["optin"]) * 1.05
+        assert np.mean(mses["blend"]) <= np.mean(mses["client"]) * 1.05
+
+    def test_weights_in_unit_interval(self, zipf_pop):
+        values, _ = zipf_pop
+        result = blender_estimate(values, 128, 1.0, rng=5)
+        assert np.all(result.optin_weight >= 0)
+        assert np.all(result.optin_weight <= 1)
+
+    def test_more_optin_shifts_weight(self, zipf_pop):
+        values, _ = zipf_pop
+        small = blender_estimate(values, 128, 1.0, optin_fraction=0.02, rng=7)
+        large = blender_estimate(values, 128, 1.0, optin_fraction=0.30, rng=7)
+        assert large.optin_weight.mean() > small.optin_weight.mean()
+
+    def test_fraction_validation(self, zipf_pop):
+        values, _ = zipf_pop
+        with pytest.raises(ValueError):
+            blender_estimate(values, 128, 1.0, optin_fraction=0.0)
+
+    def test_as_dict(self, zipf_pop):
+        values, _ = zipf_pop
+        result = blender_estimate(values, 128, 1.0, head_size=8, rng=9)
+        d = result.as_dict()
+        assert len(d) == 8
+
+
+class TestDuchiMean:
+    def test_reports_are_pm_b(self):
+        dm = DuchiMean(1.0)
+        reports = dm.privatize(np.linspace(-1, 1, 100), rng=1)
+        assert np.all(np.isclose(np.abs(reports), dm.magnitude))
+
+    def test_unbiased(self):
+        dm = DuchiMean(1.0)
+        gen = np.random.default_rng(3)
+        xs = gen.uniform(-0.8, 0.4, 80_000)
+        est = dm.estimate_mean(dm.privatize(xs, rng=5))
+        sd = math.sqrt(dm.mean_variance(80_000, float(xs.mean())))
+        assert abs(est - xs.mean()) < 5 * sd
+
+    def test_variance_empirical(self):
+        dm = DuchiMean(1.0)
+        xs = np.full(3000, 0.3)
+        ests = [dm.estimate_mean(dm.privatize(xs, rng=r)) for r in range(60)]
+        emp = float(np.var(ests, ddof=1))
+        ana = dm.mean_variance(3000, 0.3)
+        assert 0.5 * ana < emp < 1.9 * ana
+
+    def test_range_validation(self):
+        dm = DuchiMean(1.0)
+        with pytest.raises(ValueError):
+            dm.privatize(np.asarray([1.2]), rng=1)
+
+    def test_estimate_rejects_non_pm_b(self):
+        dm = DuchiMean(1.0)
+        with pytest.raises(ValueError):
+            dm.estimate_mean(np.asarray([0.5]))
+
+    def test_duchi_beats_local_laplace_at_small_epsilon(self):
+        dm = DuchiMean(0.5)
+        ll = LocalLaplaceMean(0.5)
+        assert dm.mean_variance(1000) < ll.mean_variance(1000)
+
+    def test_minimax_rate(self):
+        """Variance scales as 1/(ε²n) for small ε: B ≈ 2/ε."""
+        v1 = DuchiMean(0.1).mean_variance(1000)
+        v2 = DuchiMean(0.2).mean_variance(1000)
+        assert 3.0 < v1 / v2 < 5.0  # ≈4 = (0.2/0.1)²
+
+
+class TestLocalLaplace:
+    def test_unbiased(self):
+        ll = LocalLaplaceMean(1.0)
+        gen = np.random.default_rng(7)
+        xs = gen.uniform(-0.5, 0.5, 50_000)
+        est = ll.estimate_mean(ll.privatize(xs, rng=9))
+        sd = math.sqrt(ll.mean_variance(50_000))
+        assert abs(est - xs.mean()) < 5 * sd
+
+    def test_range_validation(self):
+        ll = LocalLaplaceMean(1.0)
+        with pytest.raises(ValueError):
+            ll.privatize(np.asarray([-2.0]), rng=1)
+
+
+class TestCentral:
+    def test_histogram_unbiased(self, zipf_pop):
+        values, counts = zipf_pop
+        noisy = central_histogram(values, 128, 1.0, rng=3)
+        sd = math.sqrt(central_count_variance(1.0))
+        assert np.all(np.abs(noisy - counts) < 6 * sd)
+
+    def test_geometric_integer_counts(self, zipf_pop):
+        values, counts = zipf_pop
+        noisy = geometric_histogram(values, 128, 1.0, rng=5)
+        assert np.all(noisy == np.round(noisy))
+        assert np.all(np.abs(noisy - counts) < 40)
+
+    def test_variance_n_free(self):
+        assert central_count_variance(1.0) == 8.0
+
+    def test_central_mean_accuracy(self):
+        gen = np.random.default_rng(11)
+        xs = gen.uniform(0, 1, 10_000)
+        est = central_mean(xs, 0.0, 1.0, 1.0, rng=13)
+        assert abs(est - xs.mean()) < 0.01
+
+    def test_central_mean_range_validation(self):
+        with pytest.raises(ValueError):
+            central_mean(np.asarray([0.5]), 1.0, 0.0, 1.0)
+
+    def test_central_vs_local_gap_grows_with_n(self):
+        """Per-count sd: central flat, local ∝ √n — the E12 claim."""
+        from repro.core import make_oracle
+
+        for n in (1_000, 100_000):
+            local_sd = make_oracle("OLH", 64, 1.0).count_stddev(n)
+            central_sd = math.sqrt(central_count_variance(1.0))
+            ratio = local_sd / central_sd
+            expected = math.sqrt(n)
+            assert 0.1 * expected < ratio < 10 * expected

@@ -1,0 +1,163 @@
+"""Cross-module integration tests: full pipelines under one roof.
+
+Each test exercises a realistic multi-component path — workload →
+mechanism → protocol → metrics — the way the examples and experiments
+compose the library, including failure injection at module boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ORACLE_REGISTRY,
+    PrivacyLedger,
+    make_oracle,
+)
+from repro.core.budget import BudgetExceededError
+from repro.eval import l1_error, topk_set
+from repro.protocol import run_collection
+from repro.workloads import sample_zipf, true_counts
+
+
+class TestProtocolAcrossOracles:
+    @pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+    def test_full_round(self, name, small_population):
+        values, counts = small_population
+        oracle = make_oracle(name, 16, 1.0)
+        stats = run_collection(oracle, values, rng=3)
+        assert stats.estimated_counts.shape == (16,)
+        # reported top-4 overlaps the true top-4 for all oracles at ε=1
+        overlap = topk_set(counts, 4) & topk_set(stats.estimated_counts, 4)
+        assert len(overlap) >= 2, name
+
+    def test_bytes_ordering_matches_design(self, small_population):
+        """Communication: HR < OLH-style pairs < unary rows."""
+        values, _ = small_population
+        sizes = {}
+        for name in ("HR", "OLH", "OUE"):
+            oracle = make_oracle(name, 16, 1.0)
+            sizes[name] = run_collection(oracle, values, rng=5).bytes_per_report
+        assert sizes["OUE"] <= sizes["OLH"]  # 16-bit rows are tiny here
+        big = {}
+        for name in ("HR", "OLH", "OUE"):
+            oracle = make_oracle(name, 4096, 1.0)
+            reports = oracle.privatize(np.zeros(4, dtype=int), rng=7)
+            from repro.protocol import report_bytes
+
+            big[name] = report_bytes(reports, 4)
+        assert big["HR"] <= big["OLH"] < big["OUE"]
+
+
+class TestLedgeredCollection:
+    def test_repeated_queries_hit_the_cap(self, small_population):
+        values, _ = small_population
+        ledger = PrivacyLedger(epsilon_cap=2.0)
+        oracle = make_oracle("OLH", 16, 0.9)
+        for label in ("q1", "q2"):
+            oracle.privatize(values, rng=11)
+            ledger.spend(0.9, label=label)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(0.9, label="q3")
+        assert ledger.remaining_epsilon < 0.9
+
+    def test_parallel_user_split_stays_under_cap(self, small_population):
+        """Splitting users lets many queries fit the same cap."""
+        from repro.core.budget import compose_parallel
+
+        values, _ = small_population
+        gen = np.random.default_rng(13)
+        groups = gen.integers(0, 4, size=values.shape[0])
+        ledger = PrivacyLedger()
+        for g in range(4):
+            oracle = make_oracle("DE", 16, 1.5)
+            oracle.privatize(values[groups == g], rng=17 + g)
+            ledger.spend(1.5, label=f"group-{g}")
+        eps_parallel, _ = compose_parallel(ledger.spends)
+        assert eps_parallel == 1.5
+
+
+class TestPostprocessingPipeline:
+    def test_simplex_projection_improves_l1_on_skewed_data(self):
+        values, _ = sample_zipf(64, 8_000, exponent=1.5, rng=19)
+        counts = true_counts(values, 64)
+        freqs = counts / counts.sum()
+        oracle = make_oracle("OUE", 64, 0.5)
+        reports = oracle.privatize(values, rng=23)
+        raw = oracle.estimate_frequencies(reports)
+        projected = oracle.estimate_frequencies(reports, postprocess="normsub")
+        assert l1_error(freqs, projected) < l1_error(freqs, raw)
+
+
+class TestMixedSystemsOnSharedWorkload:
+    """One population observed through three deployed systems."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        values, _ = sample_zipf(100, 60_000, exponent=1.4, rng=29)
+        return values, true_counts(values, 100)
+
+    def test_rappor_and_cms_agree_on_the_head(self, workload):
+        values, counts = workload
+        true_top3 = topk_set(counts, 3)
+
+        from repro.systems.rappor import (
+            RapporAggregator,
+            RapporParams,
+            privatize_population,
+        )
+
+        params = RapporParams()
+        cohorts, reports = privatize_population(params, values, 31, rng=37)
+        rappor_result = RapporAggregator(params, 31).decode(
+            cohorts, reports, np.arange(100)
+        )
+        rappor_top = set(rappor_result.detected()[:3])
+
+        from repro.systems.apple import CountMeanSketch
+
+        cms = CountMeanSketch(100, 2.0, k=16, m=256, master_seed=41)
+        cms_est = cms.estimate_counts(cms.privatize(values, rng=43))
+        cms_top = topk_set(cms_est, 3)
+
+        assert true_top3 & rappor_top
+        assert true_top3 <= cms_top
+
+    def test_blender_uses_central_and_local_together(self, workload):
+        values, counts = workload
+        from repro.hybrid import blender_estimate
+
+        result = blender_estimate(values, 100, 1.0, optin_fraction=0.05, rng=47)
+        truth = counts[result.head_list] / values.shape[0]
+        assert np.mean((result.blended_frequencies - truth) ** 2) < np.mean(
+            (result.client_frequencies - truth) ** 2
+        ) * 1.1
+
+
+class TestFailureInjection:
+    def test_corrupted_reports_rejected_not_averaged(self, small_population):
+        """A malicious report outside the protocol space must raise."""
+        values, _ = small_population
+        oracle = make_oracle("OLH", 16, 1.0)
+        reports = oracle.privatize(values, rng=53)
+        from repro.core.mechanism import HashedReports
+
+        tampered = HashedReports(
+            seeds=reports.seeds,
+            values=reports.values.copy(),
+        )
+        tampered.values[0] = oracle.g + 5
+        with pytest.raises(ValueError, match="refusing"):
+            oracle.estimate_counts(tampered)
+
+    def test_domain_mismatch_between_stages_raises(self, small_population):
+        values, _ = small_population
+        oracle_small = make_oracle("DE", 16, 1.0)
+        reports = oracle_small.privatize(values, rng=59)
+        oracle_big = make_oracle("DE", 8, 1.0)
+        with pytest.raises(ValueError):
+            oracle_big.support_counts(reports)
+
+    def test_epsilon_zero_rejected_everywhere(self):
+        for name in ORACLE_REGISTRY:
+            with pytest.raises(ValueError):
+                make_oracle(name, 16, 0.0)

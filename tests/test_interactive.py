@@ -1,0 +1,92 @@
+"""Tests for the multi-round adaptive refinement protocol."""
+
+import numpy as np
+import pytest
+
+from repro.interactive import (
+    AdaptiveResult,
+    adaptive_frequency_estimation,
+    one_shot_baseline,
+)
+from repro.workloads import sample_zipf, true_counts
+
+
+@pytest.fixture(scope="module")
+def population():
+    values, _ = sample_zipf(512, 60_000, exponent=1.3, rng=91)
+    return values, true_counts(values, 512)
+
+
+class TestAdaptive:
+    def test_result_structure(self, population):
+        values, _ = population
+        result = adaptive_frequency_estimation(values, 512, 2.0, rng=3)
+        assert isinstance(result, AdaptiveResult)
+        assert result.estimated_counts.shape == (512,)
+        assert result.head.shape == (8,)
+        assert len(result.ledger) == 2
+
+    def test_head_contains_true_top(self, population):
+        values, counts = population
+        result = adaptive_frequency_estimation(
+            values, 512, 2.0, head_size=16, rng=5
+        )
+        true_top4 = set(int(v) for v in np.argsort(-counts)[:4])
+        assert true_top4 <= set(int(v) for v in result.head)
+
+    def test_estimates_unbiased_on_head(self, population):
+        values, counts = population
+        result = adaptive_frequency_estimation(values, 512, 2.0, rng=7)
+        top = np.argsort(-counts)[:4]
+        for v in top:
+            assert abs(result.estimated_counts[v] - counts[v]) < 0.3 * counts[v] + 2000
+
+    def test_beats_one_shot_above_crossover(self, population):
+        """At ε=2 with a small head, two rounds beat one (averaged)."""
+        values, counts = population
+        top = np.argsort(-counts)[:4]
+        adaptive_mse, oneshot_mse = [], []
+        for rep in range(5):
+            res = adaptive_frequency_estimation(
+                values, 512, 2.0, head_size=8, rng=100 + rep
+            )
+            base = one_shot_baseline(values, 512, 2.0, rng=200 + rep)
+            adaptive_mse.append(np.mean((res.estimated_counts[top] - counts[top]) ** 2))
+            oneshot_mse.append(np.mean((base[top] - counts[top]) ** 2))
+        assert np.mean(adaptive_mse) < np.mean(oneshot_mse)
+
+    def test_total_epsilon_is_parallel(self, population):
+        """Disjoint user groups: per-user cost is ε despite two rounds."""
+        from repro.core.budget import compose_parallel
+
+        values, _ = population
+        result = adaptive_frequency_estimation(values, 512, 1.5, rng=9)
+        eps_parallel, _ = compose_parallel(result.ledger.spends)
+        assert eps_parallel == 1.5
+
+    def test_parameter_validation(self, population):
+        values, _ = population
+        with pytest.raises(ValueError, match="head_size"):
+            adaptive_frequency_estimation(values, 512, 1.0, head_size=512)
+        with pytest.raises(ValueError):
+            adaptive_frequency_estimation(
+                values, 512, 1.0, round1_fraction=1.0
+            )
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            adaptive_frequency_estimation(np.asarray([512]), 512, 1.0)
+
+
+class TestOneShot:
+    def test_unbiased(self, population):
+        values, counts = population
+        est = one_shot_baseline(values, 512, 1.0, rng=11)
+        assert est.shape == (512,)
+        # total mass is preserved within 6 sigma of the summed noise
+        from repro.core import make_oracle
+
+        sd_total = make_oracle("OLH", 512, 1.0).count_stddev(
+            values.shape[0]
+        ) * np.sqrt(512)
+        assert abs(est.sum() - values.shape[0]) < 6 * sd_total

@@ -1,0 +1,165 @@
+"""Tests for subset utilities and the three marginal-release strategies."""
+
+import numpy as np
+import pytest
+
+from repro.marginals import (
+    DirectMarginals,
+    FourierMarginals,
+    FullMaterialization,
+    all_kway_masks,
+    masks_up_to_weight,
+    parity_characters,
+    project_to_mask,
+    submasks,
+    true_marginal,
+)
+from repro.workloads import correlated_binary, independent_binary
+
+
+class TestSubsets:
+    def test_all_kway_count(self):
+        assert len(all_kway_masks(6, 2)) == 15
+        assert len(all_kway_masks(5, 5)) == 1
+
+    def test_all_masks_have_weight_k(self):
+        for mask in all_kway_masks(8, 3):
+            assert bin(mask).count("1") == 3
+
+    def test_k_exceeds_d(self):
+        with pytest.raises(ValueError):
+            all_kway_masks(3, 4)
+
+    def test_masks_up_to_weight(self):
+        masks = masks_up_to_weight(5, 2)
+        assert len(masks) == 5 + 10
+        assert 0 not in masks
+        assert 0 in masks_up_to_weight(5, 2, include_empty=True)
+
+    def test_submasks_complete(self):
+        subs = submasks(0b101)
+        assert sorted(subs) == [0b000, 0b001, 0b100, 0b101]
+
+    def test_submasks_zero(self):
+        assert submasks(0) == [0]
+
+    def test_parity_characters(self):
+        # χ_{101}(100) = (−1)^1 = −1; χ_{101}(101) = (−1)^2 = 1
+        out = parity_characters(
+            np.asarray([0b101, 0b101], dtype=np.uint64),
+            np.asarray([0b100, 0b101], dtype=np.uint64),
+        )
+        assert list(out) == [-1.0, 1.0]
+
+    def test_parity_orthogonality(self):
+        """Σ_x χ_S(x) = 0 for S ≠ ∅ over the full cube."""
+        xs = np.arange(16, dtype=np.uint64)
+        for mask in masks_up_to_weight(4, 4):
+            assert parity_characters(np.uint64(mask), xs).sum() == 0.0
+
+    def test_project_to_mask(self):
+        xs = np.asarray([0b1010, 0b0110])
+        # select bits 1 and 3 → packed as (bit1, bit3) → values 0b11, 0b01
+        out = project_to_mask(xs, 0b1010)
+        assert list(out) == [0b11, 0b01]
+
+    def test_true_marginal_sums_to_one(self):
+        data = independent_binary(1000, 6, rng=3)
+        marg = true_marginal(data, 0b011)
+        assert marg.shape == (4,)
+        assert np.isclose(marg.sum(), 1.0)
+
+    def test_true_marginal_rejects_empty_mask(self):
+        with pytest.raises(ValueError):
+            true_marginal(np.asarray([0, 1]), 0)
+
+
+@pytest.fixture(scope="module")
+def binary_population():
+    return correlated_binary(50_000, 6, rng=11)
+
+
+ALL_RELEASES = [FullMaterialization, DirectMarginals, FourierMarginals]
+
+
+class TestReleases:
+    @pytest.mark.parametrize("cls", ALL_RELEASES)
+    def test_marginals_sum_to_one(self, cls, binary_population):
+        rel = cls(6, 2, 1.0).fit(binary_population, rng=3)
+        for mask in all_kway_masks(6, 2)[:5]:
+            marg = rel.marginal(mask)
+            assert np.isclose(marg.sum(), 1.0)
+            assert np.all(marg >= -1e-12)
+
+    @pytest.mark.parametrize("cls", ALL_RELEASES)
+    def test_accuracy_reasonable(self, cls, binary_population):
+        rel = cls(6, 2, 2.0).fit(binary_population, rng=5)
+        errs = [
+            np.abs(rel.marginal(m) - true_marginal(binary_population, m)).sum()
+            for m in all_kway_masks(6, 2)
+        ]
+        assert float(np.mean(errs)) < 0.25, cls.__name__
+
+    @pytest.mark.parametrize("cls", ALL_RELEASES)
+    def test_requires_fit(self, cls):
+        rel = cls(6, 2, 1.0)
+        with pytest.raises(RuntimeError, match="fit"):
+            rel.marginal(0b11)
+
+    @pytest.mark.parametrize("cls", ALL_RELEASES)
+    def test_mask_weight_validation(self, cls, binary_population):
+        rel = cls(6, 2, 1.0).fit(binary_population, rng=7)
+        with pytest.raises(ValueError, match="selects 3"):
+            rel.marginal(0b111)
+
+    @pytest.mark.parametrize("cls", ALL_RELEASES)
+    def test_mask_range_validation(self, cls, binary_population):
+        rel = cls(6, 2, 1.0).fit(binary_population, rng=7)
+        with pytest.raises(ValueError):
+            rel.marginal(0)
+        with pytest.raises(ValueError):
+            rel.marginal(1 << 6)
+
+    def test_k_exceeding_d_rejected(self):
+        with pytest.raises(ValueError):
+            FourierMarginals(4, 5, 1.0)
+
+    def test_data_validation(self):
+        rel = FourierMarginals(4, 2, 1.0)
+        with pytest.raises(ValueError):
+            rel.fit(np.asarray([16]), rng=1)  # 2^4 = 16 out of range
+
+    def test_fourier_beats_fullmat_on_low_order(self, binary_population):
+        """The paper's headline: Fourier wins for small k."""
+        errs = {}
+        for cls in (FourierMarginals, FullMaterialization):
+            rel = cls(6, 2, 1.0).fit(binary_population, rng=13)
+            errs[cls.__name__] = np.mean(
+                [
+                    np.abs(
+                        rel.marginal(m) - true_marginal(binary_population, m)
+                    ).sum()
+                    for m in all_kway_masks(6, 2)
+                ]
+            )
+        assert errs["FourierMarginals"] < errs["FullMaterialization"]
+
+    def test_fourier_coefficients_clipped(self, binary_population):
+        rel = FourierMarginals(6, 2, 1.0).fit(binary_population, rng=17)
+        assert all(-1.0 <= c <= 1.0 for c in rel.coefficients.values())
+        assert rel.coefficients[0] == 1.0
+
+    def test_fourier_lower_order_marginal_from_same_fit(self, binary_population):
+        """1-way marginals are answerable from a k=2 fit (submask sums)."""
+        rel = FourierMarginals(6, 2, 1.0).fit(binary_population, rng=19)
+        one_way = rel.marginal(0b1)
+        truth = true_marginal(binary_population, 0b1)
+        assert np.abs(one_way - truth).sum() < 0.1
+
+    def test_direct_answers_lower_order_via_containing_table(
+        self, binary_population
+    ):
+        rel = DirectMarginals(6, 2, 1.0).fit(binary_population, rng=23)
+        one_way = rel.marginal(0b10)
+        truth = true_marginal(binary_population, 0b10)
+        assert np.abs(one_way - truth).sum() < 0.15

@@ -1,0 +1,175 @@
+"""Tests for spatial aggregation: grids, range queries, personalization."""
+
+import numpy as np
+import pytest
+
+from repro.spatial import (
+    AdaptiveGrid,
+    PersonalizedSpatial,
+    PrivacySpec,
+    Rectangle,
+    UniformGrid,
+)
+from repro.workloads import spatial_mixture, true_cell_counts
+
+
+@pytest.fixture(scope="module")
+def point_cloud():
+    points, hotspots = spatial_mixture(50_000, rng=31)
+    return points, hotspots
+
+
+def true_range_count(points: np.ndarray, rect: Rectangle) -> float:
+    inside = (
+        (points[:, 0] >= rect.x_low)
+        & (points[:, 0] < rect.x_high)
+        & (points[:, 1] >= rect.y_low)
+        & (points[:, 1] < rect.y_high)
+    )
+    return float(inside.sum())
+
+
+class TestRectangle:
+    def test_area(self):
+        assert np.isclose(Rectangle(0.1, 0.2, 0.3, 0.6).area, 0.08)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="positive area"):
+            Rectangle(0.5, 0.5, 0.4, 0.6)
+
+    def test_rejects_out_of_square(self):
+        with pytest.raises(ValueError):
+            Rectangle(-0.1, 0.0, 0.5, 0.5)
+
+
+class TestUniformGrid:
+    def test_cell_of_corners(self):
+        grid = UniformGrid(4, 1.0)
+        cells = grid.cell_of(np.asarray([[0.0, 0.0], [0.99, 0.99], [1.0, 1.0]]))
+        assert list(cells) == [0, 15, 15]
+
+    def test_cell_of_rejects_outside(self):
+        grid = UniformGrid(4, 1.0)
+        with pytest.raises(ValueError):
+            grid.cell_of(np.asarray([[1.2, 0.5]]))
+
+    def test_fit_estimates_cells(self, point_cloud):
+        points, _ = point_cloud
+        grid = UniformGrid(8, 1.0).fit(points, rng=3)
+        truth = true_cell_counts(points, 8)
+        sd = grid._oracle.count_stddev(points.shape[0], f=float(truth.max()) / points.shape[0])
+        assert np.all(np.abs(grid.estimated_counts - truth) < 6 * sd)
+
+    def test_requires_fit(self):
+        grid = UniformGrid(4, 1.0)
+        with pytest.raises(RuntimeError):
+            _ = grid.estimated_counts
+
+    def test_range_query_tracks_truth(self, point_cloud):
+        points, _ = point_cloud
+        grid = UniformGrid(16, 2.0).fit(points, rng=5)
+        rect = Rectangle(0.15, 0.6, 0.4, 0.85)
+        truth = true_range_count(points, rect)
+        est = grid.range_query(rect)
+        assert abs(est - truth) < 0.25 * truth + 2000
+
+    def test_full_square_query_near_n(self, point_cloud):
+        points, _ = point_cloud
+        grid = UniformGrid(8, 2.0).fit(points, rng=7)
+        est = grid.range_query(Rectangle(0.0, 0.0, 1.0, 1.0))
+        assert abs(est - points.shape[0]) < 0.1 * points.shape[0]
+
+    def test_hotspots_found_at_planted_centers(self, point_cloud):
+        points, hotspots = point_cloud
+        grid = UniformGrid(8, 2.0).fit(points, rng=9)
+        found = grid.hotspots(threshold_sds=3.0)
+        for h in hotspots:
+            xi = min(int(h.x * 8), 7)
+            yi = min(int(h.y * 8), 7)
+            assert yi * 8 + xi in found, f"hotspot at ({h.x},{h.y}) missed"
+
+    def test_hotspots_threshold_validation(self, point_cloud):
+        points, _ = point_cloud
+        grid = UniformGrid(8, 2.0).fit(points, rng=11)
+        with pytest.raises(ValueError):
+            grid.hotspots(threshold_sds=0.0)
+
+    def test_uniform_data_has_no_hotspots(self):
+        gen = np.random.default_rng(13)
+        points = gen.random((30_000, 2))
+        grid = UniformGrid(8, 1.0).fit(points, rng=15)
+        assert len(grid.hotspots(threshold_sds=4.0)) <= 1
+
+
+class TestAdaptiveGrid:
+    def test_dense_cells_split_finer(self, point_cloud):
+        points, hotspots = point_cloud
+        ag = AdaptiveGrid(6, 2.0).fit(points, rng=17)
+        splits = ag._splits.reshape(6, 6)
+        h = hotspots[0]
+        hot_split = splits[min(int(h.y * 6), 5), min(int(h.x * 6), 5)]
+        corner_split = splits[0, 5]  # empty corner
+        assert hot_split > corner_split
+
+    def test_range_query_reasonable(self, point_cloud):
+        points, _ = point_cloud
+        ag = AdaptiveGrid(6, 2.0).fit(points, rng=19)
+        rect = Rectangle(0.15, 0.6, 0.4, 0.85)
+        truth = true_range_count(points, rect)
+        assert abs(ag.range_query(rect) - truth) < 0.3 * truth + 2000
+
+    def test_requires_fit(self):
+        ag = AdaptiveGrid(4, 1.0)
+        with pytest.raises(RuntimeError):
+            ag.range_query(Rectangle(0, 0, 1, 1))
+
+    def test_needs_two_users(self):
+        ag = AdaptiveGrid(4, 1.0)
+        with pytest.raises(ValueError):
+            ag.fit(np.asarray([[0.5, 0.5]]), rng=1)
+
+
+class TestPersonalized:
+    def test_spec_properties(self):
+        spec = PrivacySpec(3, 1.0)
+        assert spec.grid_size == 8
+        assert spec.num_cells == 64
+
+    def test_blend_beats_coarsest_stratum_alone(self, point_cloud):
+        points, _ = point_cloud
+        gen = np.random.default_rng(21)
+        specs = [PrivacySpec(2, 0.5), PrivacySpec(4, 2.0)]
+        assign = gen.integers(0, 2, size=points.shape[0])
+        ps = PersonalizedSpatial(4).fit(points, specs, assign, rng=23)
+        truth = true_cell_counts(points, 16)
+        rmse = float(np.sqrt(np.mean((ps.estimated_counts - truth) ** 2)))
+        # coarse-only baseline: uniform spread of level-2 cells
+        coarse_only = PersonalizedSpatial(4).fit(
+            points, [PrivacySpec(2, 0.5)], np.zeros(points.shape[0], dtype=int),
+            rng=25,
+        )
+        rmse_coarse = float(
+            np.sqrt(np.mean((coarse_only.estimated_counts - truth) ** 2))
+        )
+        assert rmse < rmse_coarse
+
+    def test_spec_finer_than_target_rejected(self, point_cloud):
+        points, _ = point_cloud
+        ps = PersonalizedSpatial(2)
+        with pytest.raises(ValueError, match="exceeds target"):
+            ps.fit(
+                points,
+                [PrivacySpec(3, 1.0)],
+                np.zeros(points.shape[0], dtype=int),
+                rng=1,
+            )
+
+    def test_assignment_validation(self, point_cloud):
+        points, _ = point_cloud
+        ps = PersonalizedSpatial(3)
+        with pytest.raises(ValueError, match="out of range"):
+            ps.fit(points, [PrivacySpec(2, 1.0)], np.ones(points.shape[0], dtype=int))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            _ = PersonalizedSpatial(3).estimated_counts

@@ -1,0 +1,209 @@
+"""Tests for workload generators, metrics, tables, and the protocol layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DirectEncoding, OptimalLocalHashing, OptimalUnaryEncoding
+from repro.eval import (
+    Table,
+    js_divergence,
+    kl_divergence,
+    l1_error,
+    l2_error,
+    max_error,
+    mse,
+    ncr,
+    topk_f1,
+    topk_precision,
+    topk_recall,
+    topk_set,
+)
+from repro.protocol import report_bytes, run_collection
+from repro.workloads import (
+    geometric_frequencies,
+    sample_from_frequencies,
+    telemetry_trajectories,
+    true_counts,
+    uniform_frequencies,
+    zipf_frequencies,
+)
+
+
+class TestCategoricalWorkloads:
+    def test_zipf_normalized_and_decreasing(self):
+        f = zipf_frequencies(100, 1.1)
+        assert np.isclose(f.sum(), 1.0)
+        assert np.all(np.diff(f) <= 0)
+
+    def test_zipf_exponent_validation(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(10, 0.0)
+
+    def test_geometric_head_heavier_than_zipf(self):
+        g = geometric_frequencies(50, 0.5)
+        z = zipf_frequencies(50, 1.1)
+        assert g[0] > z[0]
+
+    def test_uniform(self):
+        f = uniform_frequencies(10)
+        assert np.allclose(f, 0.1)
+
+    def test_sampling_respects_distribution(self):
+        f = zipf_frequencies(20, 1.5)
+        values = sample_from_frequencies(f, 100_000, rng=3)
+        emp = true_counts(values, 20) / 100_000
+        assert np.all(np.abs(emp - f) < 5 * np.sqrt(f * (1 - f) / 100_000) + 1e-4)
+
+    def test_sampling_validation(self):
+        with pytest.raises(ValueError):
+            sample_from_frequencies(np.asarray([0.5, 0.6]), 10)
+
+    def test_true_counts_domain_check(self):
+        with pytest.raises(ValueError):
+            true_counts(np.asarray([5]), 4)
+
+
+class TestTelemetryWorkload:
+    def test_shape_and_bounds(self):
+        traj = telemetry_trajectories(100, 12, 50.0, rng=3)
+        assert traj.shape == (100, 12)
+        assert traj.min() >= 0.0
+        assert traj.max() <= 50.0
+
+    def test_persistence_controls_change_rate(self):
+        sticky = telemetry_trajectories(
+            2000, 20, 100.0, persistence=0.99, volatility=0.01, rng=5
+        )
+        jumpy = telemetry_trajectories(
+            2000, 20, 100.0, persistence=0.0, volatility=0.3, rng=5
+        )
+        assert np.abs(np.diff(sticky, axis=1)).mean() < np.abs(
+            np.diff(jumpy, axis=1)
+        ).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            telemetry_trajectories(10, 5, -1.0)
+
+
+class TestMetrics:
+    def test_error_metrics_zero_on_identity(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        assert l1_error(x, x) == 0.0
+        assert l2_error(x, x) == 0.0
+        assert max_error(x, x) == 0.0
+        assert mse(x, x) == 0.0
+
+    def test_error_metric_values(self):
+        t = np.asarray([1.0, 2.0])
+        e = np.asarray([2.0, 0.0])
+        assert l1_error(t, e) == 3.0
+        assert math.isclose(l2_error(t, e), math.sqrt(5.0))
+        assert max_error(t, e) == 2.0
+        assert mse(t, e) == 2.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            l1_error(np.zeros(2), np.zeros(3))
+
+    def test_kl_zero_on_identity(self):
+        p = np.asarray([0.3, 0.7])
+        assert kl_divergence(p, p) < 1e-9
+
+    def test_kl_positive(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0
+
+    def test_js_symmetric_and_bounded(self):
+        p = np.asarray([0.9, 0.1])
+        q = np.asarray([0.2, 0.8])
+        assert math.isclose(js_divergence(p, q), js_divergence(q, p))
+        assert 0 <= js_divergence(p, q) <= math.log(2) + 1e-9
+
+    def test_kl_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            kl_divergence([0.0, 0.0], [0.5, 0.5])
+
+    def test_topk_set_ties_break_by_index(self):
+        counts = np.asarray([5.0, 5.0, 1.0])
+        assert topk_set(counts, 1) == {0}
+
+    def test_topk_precision(self):
+        truth = np.asarray([10.0, 8.0, 3.0, 1.0])
+        est = np.asarray([9.0, 2.0, 7.0, 1.0])
+        assert topk_precision(truth, est, 2) == 0.5
+
+    def test_topk_recall_f1(self):
+        true_set = {1, 2, 3, 4}
+        found = {1, 2, 9}
+        assert topk_recall(true_set, found) == 0.5
+        p, r = 2 / 3, 0.5
+        assert math.isclose(topk_f1(true_set, found), 2 * p * r / (p + r))
+
+    def test_f1_empty_found(self):
+        assert topk_f1({1}, set()) == 0.0
+
+    def test_ncr_weighting(self):
+        truth = np.asarray([10.0, 5.0, 1.0])
+        # finding only the top item: weight 2 of total 3 at k=2
+        assert math.isclose(ncr(truth, {0}, 2), 2 / 3)
+        assert math.isclose(ncr(truth, {1}, 2), 1 / 3)
+
+    def test_ncr_bounds_check(self):
+        with pytest.raises(ValueError):
+            ncr(np.asarray([1.0]), set(), 2)
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_note("seed=3")
+        text = table.render()
+        assert "T" in text and "2.5" in text and "seed=3" in text
+
+    def test_row_width_check(self):
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_column_access(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            table.column("c")
+
+    def test_float_formatting(self):
+        table = Table("T", ["x"])
+        table.add_row(1.23456e-7)
+        assert "e-07" in table.render()
+
+
+class TestProtocol:
+    def test_run_collection_outputs(self):
+        oracle = DirectEncoding(16, 1.0)
+        values = np.arange(16).repeat(100)
+        stats = run_collection(oracle, values, rng=3)
+        assert stats.num_users == 1600
+        assert stats.estimated_counts.shape == (16,)
+        assert stats.encode_seconds >= 0
+        assert stats.total_bytes == stats.bytes_per_report * 1600
+
+    def test_report_bytes_by_mechanism(self):
+        n = 64
+        values = np.arange(64)
+        de_reports = DirectEncoding(64, 1.0).privatize(values, rng=1)
+        oue_reports = OptimalUnaryEncoding(64, 1.0).privatize(values, rng=1)
+        olh_reports = OptimalLocalHashing(64, 1.0).privatize(values, rng=1)
+        assert report_bytes(de_reports, n) == 8  # one int64
+        assert report_bytes(oue_reports, n) == 8  # 64 bits
+        assert report_bytes(olh_reports, n) == 16  # seed + value
+
+    def test_report_bytes_validation(self):
+        with pytest.raises(ValueError):
+            report_bytes(np.zeros(3), 0)
+        with pytest.raises(TypeError):
+            report_bytes(np.zeros((2, 2, 2)), 4)

@@ -1,0 +1,87 @@
+"""Unit tests for the vectorized Bloom filter."""
+
+import numpy as np
+import pytest
+
+from repro.util.bloom import BloomFilter
+
+
+class TestEncode:
+    def test_encode_sets_at_most_h_bits(self):
+        bloom = BloomFilter(64, 2, seed=1)
+        bits = bloom.encode(42)
+        assert bits.shape == (64,)
+        assert 1 <= bits.sum() <= 2
+
+    def test_encode_deterministic(self):
+        a = BloomFilter(64, 2, seed=1).encode(7)
+        b = BloomFilter(64, 2, seed=1).encode(7)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_encoding(self):
+        a = BloomFilter(256, 2, seed=1).encode_batch(np.arange(100))
+        b = BloomFilter(256, 2, seed=2).encode_batch(np.arange(100))
+        assert not np.array_equal(a, b)
+
+    def test_encode_batch_matches_single(self):
+        bloom = BloomFilter(128, 3, seed=5)
+        values = np.arange(50, dtype=np.int64)
+        batch = bloom.encode_batch(values)
+        for i, v in enumerate(values):
+            assert np.array_equal(batch[i], bloom.encode(int(v)))
+
+    def test_encode_batch_rejects_2d(self):
+        bloom = BloomFilter(64, 2, seed=0)
+        with pytest.raises(ValueError):
+            bloom.encode_batch(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestContains:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(128, 2, seed=9)
+        values = np.arange(200, 230, dtype=np.int64)
+        union = bloom.encode_batch(values).max(axis=0)
+        for v in values:
+            assert bloom.contains(union, int(v))
+
+    def test_wrong_shape_raises(self):
+        bloom = BloomFilter(64, 2, seed=0)
+        with pytest.raises(ValueError):
+            bloom.contains(np.zeros(32), 1)
+
+    def test_empty_filter_contains_nothing_usually(self):
+        bloom = BloomFilter(64, 2, seed=3)
+        empty = np.zeros(64, dtype=np.uint8)
+        assert not bloom.contains(empty, 10)
+
+
+class TestFalsePositiveRate:
+    def test_formula_monotone_in_inserts(self):
+        bloom = BloomFilter(128, 2, seed=0)
+        rates = [bloom.false_positive_rate(k) for k in (1, 10, 50, 200)]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_empirical_rate_close_to_formula(self):
+        bloom = BloomFilter(128, 2, seed=21)
+        inserted = np.arange(40, dtype=np.int64)
+        union = bloom.encode_batch(inserted).max(axis=0)
+        probes = np.arange(10_000, 30_000, dtype=np.int64)
+        hits = sum(bloom.contains(union, int(v)) for v in probes[:2000])
+        empirical = hits / 2000
+        predicted = bloom.false_positive_rate(40)
+        assert abs(empirical - predicted) < 0.05
+
+    def test_rejects_zero_inserts(self):
+        bloom = BloomFilter(64, 2, seed=0)
+        with pytest.raises(ValueError):
+            bloom.false_positive_rate(0)
+
+
+class TestConstruction:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 2, seed=0)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0, seed=0)

@@ -1,0 +1,191 @@
+"""Unit tests for the shared argument validators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_value_array,
+    check_delta,
+    check_domain_values,
+    check_epsilon,
+    check_fraction,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive_float(self):
+        assert check_epsilon(1.5) == 1.5
+
+    def test_accepts_int_and_returns_float(self):
+        out = check_epsilon(2)
+        assert out == 2.0
+        assert isinstance(out, float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_epsilon(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_epsilon(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_epsilon(math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_epsilon(math.inf)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_epsilon(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_epsilon("1.0")
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="my_eps"):
+            check_epsilon(-1.0, name="my_eps")
+
+
+class TestCheckDelta:
+    def test_accepts_zero(self):
+        assert check_delta(0.0) == 0.0
+
+    def test_accepts_small_positive(self):
+        assert check_delta(1e-9) == 1e-9
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_delta(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_delta(-1e-9)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_delta(math.nan)
+
+
+class TestCheckProbability:
+    def test_accepts_boundaries(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.0001)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(False)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1) == 1
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5)) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.0)
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1)
+
+
+class TestCheckInRange:
+    def test_inclusive_boundaries(self):
+        assert check_in_range(0.0, 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, 0.0, 1.0, inclusive=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_in_range(math.nan, 0.0, 1.0)
+
+
+class TestCheckFraction:
+    def test_valid(self):
+        assert check_fraction(0.5) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5)
+
+
+class TestCheckDomainValues:
+    def test_valid_int_array(self):
+        out = check_domain_values([0, 1, 2], 3)
+        assert out.dtype == np.int64
+        assert list(out) == [0, 1, 2]
+
+    def test_accepts_integral_floats(self):
+        out = check_domain_values(np.array([0.0, 2.0]), 3)
+        assert out.dtype == np.int64
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(TypeError):
+            check_domain_values(np.array([0.5]), 3)
+
+    def test_rejects_out_of_domain_high(self):
+        with pytest.raises(ValueError, match="out-of-domain"):
+            check_domain_values([0, 3], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="out-of-domain"):
+            check_domain_values([-1], 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_domain_values([], 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_domain_values(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestAsValueArray:
+    def test_valid(self):
+        out = as_value_array([1.0, 2.5])
+        assert out.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_value_array([1.0, math.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_value_array([math.inf])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_value_array([])

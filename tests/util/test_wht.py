@@ -1,0 +1,119 @@
+"""Unit tests for the Walsh-Hadamard transform utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util.wht import (
+    fwht,
+    hadamard_entries,
+    hadamard_row,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1000) == 1024
+
+    def test_next_power_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestFwht:
+    def test_involution_scaled(self):
+        """H(H(x)) = d·x."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=64)
+        assert np.allclose(fwht(fwht(x)), 64 * x)
+
+    def test_matches_dense_matrix(self):
+        d = 16
+        dense = np.array(
+            [[1.0 if bin(i & j).count("1") % 2 == 0 else -1.0 for j in range(d)]
+             for i in range(d)]
+        )
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=d)
+        assert np.allclose(fwht(x), dense @ x)
+
+    def test_delta_gives_row(self):
+        d = 32
+        e3 = np.zeros(d)
+        e3[3] = 1.0
+        assert np.allclose(fwht(e3), hadamard_row(3, d))
+
+    def test_batch_last_axis(self):
+        rng = np.random.default_rng(7)
+        batch = rng.normal(size=(5, 16))
+        out = fwht(batch)
+        for i in range(5):
+            assert np.allclose(out[i], fwht(batch[i]))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            fwht(np.zeros(10))
+
+    def test_does_not_mutate_input(self):
+        x = np.ones(8)
+        fwht(x)
+        assert np.array_equal(x, np.ones(8))
+
+    def test_parseval(self):
+        """‖Hx‖² = d·‖x‖² (unnormalized transform)."""
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=128)
+        assert np.isclose(np.sum(fwht(x) ** 2), 128 * np.sum(x**2))
+
+
+class TestHadamardEntries:
+    def test_values_are_pm_one(self):
+        rows = np.arange(64, dtype=np.uint64)
+        cols = np.arange(64, dtype=np.uint64)[::-1].copy()
+        out = hadamard_entries(rows, cols)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_first_row_all_ones(self):
+        out = hadamard_entries(np.uint64(0), np.arange(16, dtype=np.uint64))
+        assert np.all(out == 1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(13)
+        r = rng.integers(0, 256, 100).astype(np.uint64)
+        c = rng.integers(0, 256, 100).astype(np.uint64)
+        assert np.array_equal(hadamard_entries(r, c), hadamard_entries(c, r))
+
+    def test_row_orthogonality(self):
+        d = 64
+        cols = np.arange(d, dtype=np.uint64)
+        for i, j in [(1, 2), (5, 9), (0, 63)]:
+            ri = hadamard_entries(np.uint64(i), cols)
+            rj = hadamard_entries(np.uint64(j), cols)
+            assert ri @ rj == 0.0
+
+
+class TestHadamardRow:
+    def test_matches_entries(self):
+        row = hadamard_row(5, 32)
+        expected = hadamard_entries(np.uint64(5), np.arange(32, dtype=np.uint64))
+        assert np.array_equal(row, expected)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            hadamard_row(0, 12)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            hadamard_row(16, 16)
