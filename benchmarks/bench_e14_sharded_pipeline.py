@@ -1,0 +1,36 @@
+"""E14 benchmark: 1M-user OLH collection through the sharded pipeline.
+
+The population is privatized in bounded-memory chunks — at most
+``chunk_size`` users' reports exist per worker at any instant, never the
+full 1M-report batch — and per-shard accumulators are merged before one
+finalize.
+"""
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+
+def bench_e14_sharded_pipeline(benchmark, save_table):
+    table = run_once(
+        benchmark,
+        get_experiment("E14").run,
+        n=1_000_000,
+        shard_counts=(1, 2, 4, 8),
+        chunk_sizes=(16_384, 65_536, 262_144),
+        workers=4,
+        seed=14,
+    )
+    save_table("E14", table)
+
+    assert len(table.rows) == 7
+    # Every configuration processed the full population end-to-end.
+    # (Wall-clock columns are reported, not asserted — they depend on
+    # host speed and load; the deterministic checks are what gate.)
+    for row in table.rows:
+        assert row[4] > 0.0 and row[5] > 0.0
+    # Every configuration decodes equally well up to sampling noise
+    # (different shardings consume different, equally distributed
+    # randomness): errors sit in one statistical band.
+    errs = [row[10] for row in table.rows]
+    assert max(errs) < 2.0 * min(errs)

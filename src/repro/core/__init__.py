@@ -21,14 +21,20 @@ from repro.core.estimation import (
     hoeffding_count_bound,
     make_oracle,
 )
-from repro.core.hadamard import HadamardResponse
-from repro.core.histogram import SummationHistogramEncoding, ThresholdHistogramEncoding
+from repro.core.hadamard import HadamardAccumulator, HadamardResponse
+from repro.core.histogram import (
+    SummationAccumulator,
+    SummationHistogramEncoding,
+    ThresholdHistogramEncoding,
+)
 from repro.core.local_hashing import BinaryLocalHashing, OptimalLocalHashing
 from repro.core.mechanism import (
+    Accumulator,
     FrequencyOracle,
     HashedReports,
     IndexedBitReports,
     LocalMechanism,
+    PureAccumulator,
     PureFrequencyOracle,
     postprocess_counts,
 )
@@ -49,7 +55,10 @@ __all__ = [
     "coverage",
     "hoeffding_count_bound",
     "make_oracle",
+    "Accumulator",
+    "HadamardAccumulator",
     "HadamardResponse",
+    "SummationAccumulator",
     "SummationHistogramEncoding",
     "ThresholdHistogramEncoding",
     "BinaryLocalHashing",
@@ -58,6 +67,7 @@ __all__ = [
     "HashedReports",
     "IndexedBitReports",
     "LocalMechanism",
+    "PureAccumulator",
     "PureFrequencyOracle",
     "postprocess_counts",
     "DirectEncoding",

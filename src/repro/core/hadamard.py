@@ -24,10 +24,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.mechanism import IndexedBitReports, PureFrequencyOracle
+from repro.core.mechanism import (
+    IndexedBitReports,
+    PureAccumulator,
+    PureFrequencyOracle,
+)
 from repro.util.wht import fwht, hadamard_entries, next_power_of_two
 
-__all__ = ["HadamardResponse"]
+__all__ = ["HadamardAccumulator", "HadamardResponse"]
 
 
 class HadamardResponse(PureFrequencyOracle):
@@ -66,11 +70,11 @@ class HadamardResponse(PureFrequencyOracle):
         bits = np.where(flip, -bits, bits)
         return IndexedBitReports(indices=indices, bits=bits.astype(np.float64))
 
-    def support_counts(self, reports: IndexedBitReports) -> np.ndarray:
-        """Support counts via one fast Walsh-Hadamard transform.
+    def signed_coefficient_sums(self, reports: IndexedBitReports) -> np.ndarray:
+        """Per-coefficient signed bit sums ``s[j] = Σ_{i: j_i = j} b_i``.
 
-        ``C_v = n/2 + (1/2)·WHT(s)[v]`` where ``s[j]`` is the signed bit
-        sum at coefficient ``j`` — an O(D log D) decode.
+        This length-``D`` integer-valued vector is the mechanism's entire
+        sufficient statistic — what :class:`HadamardAccumulator` keeps.
         """
         if not isinstance(reports, IndexedBitReports):
             raise TypeError(
@@ -82,13 +86,27 @@ class HadamardResponse(PureFrequencyOracle):
         bits = np.asarray(reports.bits, dtype=np.float64)
         if not np.all(np.isin(bits, (-1.0, 1.0))):
             raise ValueError("bits must be ±1")
-        signed = np.bincount(idx, weights=bits, minlength=self.order)
+        return np.bincount(idx, weights=bits, minlength=self.order)
+
+    def support_counts(self, reports: IndexedBitReports) -> np.ndarray:
+        """Support counts via one fast Walsh-Hadamard transform.
+
+        ``C_v = n/2 + (1/2)·WHT(s)[v]`` where ``s[j]`` is the signed bit
+        sum at coefficient ``j`` — an O(D log D) decode.
+        """
+        signed = self.signed_coefficient_sums(reports)
         transformed = fwht(signed)
         n = len(reports)
         return (n / 2.0 + 0.5 * transformed)[: self._domain_size]
 
     def num_reports(self, reports: IndexedBitReports) -> int:
         return len(reports)
+
+    def accumulator(
+        self, candidates: np.ndarray | None = None
+    ) -> "HadamardAccumulator":
+        """A transform-domain accumulator (signed coefficient sums)."""
+        return HadamardAccumulator(self, candidates)
 
     def support_counts_for(
         self, reports: IndexedBitReports, candidates: np.ndarray
@@ -130,3 +148,47 @@ class HadamardResponse(PureFrequencyOracle):
     def max_privacy_ratio(self) -> float:
         """``p/(1−p) = e^ε``: the flip probability is the whole story."""
         return self._p / (1.0 - self._p)
+
+
+class HadamardAccumulator(PureAccumulator):
+    """Mergeable Hadamard state: the length-``D`` signed coefficient sums.
+
+    Accumulating in the transform domain keeps ``absorb`` at one bincount
+    (no per-batch transform) and defers the single O(D log D) inverse WHT
+    to :meth:`finalize` — exactly how Apple's server maintains its
+    sketches.  The sums are integer-valued, so any sharding finalizes to
+    bit-identical counts.
+
+    Candidate-restricted accumulators fall back entirely to the
+    :class:`~repro.core.mechanism.PureAccumulator` behaviour — per-
+    candidate support counts via ``support_counts_for`` — preserving
+    that path's contract for massive padded domains: O(n) per candidate,
+    never an ``order``-length vector.  Merge checks and the final
+    estimator are shared either way.
+    """
+
+    def _state_width(self) -> int:
+        if self._candidates is not None:
+            return super()._state_width()
+        oracle = self._oracle
+        assert isinstance(oracle, HadamardResponse)
+        return oracle.order
+
+    def absorb(self, reports: IndexedBitReports) -> "HadamardAccumulator":
+        if self._candidates is not None:
+            super().absorb(reports)
+            return self
+        oracle = self._oracle
+        assert isinstance(oracle, HadamardResponse)
+        self._state += oracle.signed_coefficient_sums(reports)
+        self._n += oracle.num_reports(reports)
+        return self
+
+    @property
+    def support(self) -> np.ndarray:
+        if self._candidates is not None:
+            return super().support
+        oracle = self._oracle
+        assert isinstance(oracle, HadamardResponse)
+        counts = (self._n / 2.0 + 0.5 * fwht(self._state))
+        return counts[: oracle.domain_size]

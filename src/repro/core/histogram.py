@@ -23,11 +23,14 @@ import math
 from typing import Sequence
 
 import numpy as np
-from scipy.optimize import minimize_scalar
 
-from repro.core.mechanism import FrequencyOracle, PureFrequencyOracle
+from repro.core.mechanism import Accumulator, FrequencyOracle, PureFrequencyOracle
 
-__all__ = ["SummationHistogramEncoding", "ThresholdHistogramEncoding"]
+__all__ = [
+    "SummationAccumulator",
+    "SummationHistogramEncoding",
+    "ThresholdHistogramEncoding",
+]
 
 
 def _laplace_cdf(x: float, scale: float) -> float:
@@ -61,13 +64,18 @@ class SummationHistogramEncoding(FrequencyOracle):
         noise[np.arange(n), vals] += 1.0
         return noise
 
-    def estimate_counts(self, reports: np.ndarray) -> np.ndarray:
+    def column_sums(self, reports: np.ndarray) -> np.ndarray:
+        """Validated per-coordinate sums — SHE's sufficient statistic."""
         arr = np.asarray(reports, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != self._domain_size:
             raise ValueError(
                 f"reports must have shape (n, {self._domain_size}), got {arr.shape}"
             )
         return arr.sum(axis=0)
+
+    def accumulator(self) -> "SummationAccumulator":
+        """A fresh column-sum accumulator."""
+        return SummationAccumulator(self)
 
     def num_reports(self, reports: np.ndarray) -> int:
         return int(np.asarray(reports).shape[0])
@@ -95,6 +103,45 @@ class SummationHistogramEncoding(FrequencyOracle):
         return math.exp(2.0 / self.scale)
 
 
+class SummationAccumulator(Accumulator):
+    """Mergeable SHE state: running per-coordinate sums of noisy vectors.
+
+    SHE's estimator is the raw column sum, so the accumulator *is* the
+    estimate.  Unlike the support-count oracles the sums are true floats
+    (Laplace noise), so a sharded merge matches the whole-batch estimate
+    only up to IEEE addition reordering — last-ulp, not bitwise.
+    """
+
+    def __init__(self, oracle: SummationHistogramEncoding) -> None:
+        self._oracle = oracle
+        self._sums = np.zeros(oracle.domain_size, dtype=np.float64)
+        self._n = 0
+
+    def absorb(self, reports: np.ndarray) -> "SummationAccumulator":
+        self._sums += self._oracle.column_sums(reports)
+        self._n += self._oracle.num_reports(reports)
+        return self
+
+    def _check_mergeable(self, other: Accumulator) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, SummationAccumulator)
+        if (
+            other._oracle.domain_size != self._oracle.domain_size
+            or other._oracle.epsilon != self._oracle.epsilon
+        ):
+            raise ValueError("cannot merge accumulators of differently configured oracles")
+
+    def merge(self, other: Accumulator) -> "SummationAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, SummationAccumulator)
+        self._sums += other._sums
+        self._n += other._n
+        return self
+
+    def finalize(self) -> np.ndarray:
+        return self._sums.copy()
+
+
 class ThresholdHistogramEncoding(PureFrequencyOracle):
     """THE: client-side thresholding of the SHE release at optimal θ.
 
@@ -118,6 +165,14 @@ class ThresholdHistogramEncoding(PureFrequencyOracle):
 
     def _optimal_theta(self) -> float:
         """Minimize the f→0 variance ``q*(1−q*)/(p*−q*)²`` over θ."""
+        try:
+            from scipy.optimize import minimize_scalar
+        except ImportError as exc:
+            raise ImportError(
+                "finding the optimal THE threshold needs scipy "
+                "(scipy.optimize.minimize_scalar); install scipy or pass an "
+                "explicit theta to ThresholdHistogramEncoding"
+            ) from exc
 
         def objective(theta: float) -> float:
             p = 1.0 - _laplace_cdf(theta - 1.0, self.scale)

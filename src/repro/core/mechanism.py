@@ -24,6 +24,19 @@ The **pure protocol** subclass captures mechanisms whose estimator depends
 only on per-value *support counts* with constant probabilities ``p*``
 (true value supported) and ``q*`` (other value supported); the shared
 estimator is ``(C_v − n q*) / (p* − q*)``.
+
+Mergeable accumulators
+----------------------
+Deployed LDP aggregation is distributed: reports arrive in shards and the
+server keeps only a small mergeable summary, never the raw batch.  The
+:class:`Accumulator` layer captures that shape — ``absorb(reports)`` folds
+a report batch into the summary, ``merge(other)`` combines two summaries,
+and ``finalize()`` produces the count estimates.  Every oracle's
+``estimate_counts`` routes through its accumulator (one code path), and
+:class:`PureAccumulator` keeps only the per-value support counts plus
+``n``, so absorbing any sharding of a batch and merging is *exactly*
+(bitwise) the whole-batch estimate: support counts are integer-valued and
+float64 addition of integers below 2^53 is associative.
 """
 
 from __future__ import annotations
@@ -43,8 +56,10 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "Accumulator",
     "LocalMechanism",
     "FrequencyOracle",
+    "PureAccumulator",
     "PureFrequencyOracle",
     "HashedReports",
     "IndexedBitReports",
@@ -90,6 +105,46 @@ class IndexedBitReports:
 
     def __len__(self) -> int:
         return int(self.indices.shape[0])
+
+
+class Accumulator(ABC):
+    """Mergeable server-side aggregation state for a frequency oracle.
+
+    An accumulator is the only thing a collector has to keep: report
+    batches are folded in with :meth:`absorb` and discarded, partial
+    accumulators from different shards (machines, time windows) are
+    combined with :meth:`merge`, and :meth:`finalize` produces the same
+    estimates the one-shot batch API returns.  The algebra is a
+    commutative monoid — ``absorb``/``merge`` in any grouping must yield
+    the same final state — which is what makes sharded and streaming
+    collection a pure refactoring of whole-batch estimation.
+    """
+
+    _n: int = 0
+
+    @property
+    def n_absorbed(self) -> int:
+        """Total number of user reports folded into this accumulator."""
+        return self._n
+
+    @abstractmethod
+    def absorb(self, reports: Any) -> "Accumulator":
+        """Fold one report batch into the state; returns ``self``."""
+
+    @abstractmethod
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Fold another compatible accumulator in; returns ``self``."""
+
+    @abstractmethod
+    def finalize(self) -> np.ndarray:
+        """Unbiased count estimates from the accumulated state."""
+
+    def _check_mergeable(self, other: "Accumulator") -> None:
+        """Reject merges across accumulator types (subclasses add more)."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
 
 
 class LocalMechanism(ABC):
@@ -147,8 +202,16 @@ class FrequencyOracle(LocalMechanism):
     # -- server side ------------------------------------------------------
 
     @abstractmethod
+    def accumulator(self) -> Accumulator:
+        """A fresh, empty mergeable accumulator for this oracle's reports."""
+
     def estimate_counts(self, reports: Any) -> np.ndarray:
-        """Unbiased estimate of per-value counts from a report batch."""
+        """Unbiased estimate of per-value counts from a report batch.
+
+        This is the one-shot convenience wrapper over the accumulator
+        path — there is exactly one estimation code path.
+        """
+        return self.accumulator().absorb(reports).finalize()
 
     @abstractmethod
     def num_reports(self, reports: Any) -> int:
@@ -188,9 +251,18 @@ class FrequencyOracle(LocalMechanism):
 
         Uses the analytical variance; at the populations deployed systems
         operate at (millions of users) the CLT approximation the tutorial
-        teaches is accurate.
+        teaches is accurate.  Requires ``scipy`` (the only scipy use on
+        the core estimation path); minimal installs can use
+        :func:`repro.core.estimation.hoeffding_count_bound` instead.
         """
-        from scipy.stats import norm
+        try:
+            from scipy.stats import norm
+        except ImportError as exc:
+            raise ImportError(
+                "confidence_halfwidth needs scipy (scipy.stats.norm) for the "
+                "normal quantile; install scipy, or use the scipy-free "
+                "repro.core.estimation.hoeffding_count_bound"
+            ) from exc
 
         if not 0.0 < alpha < 1.0:
             raise ValueError(f"alpha must be in (0, 1), got {alpha}")
@@ -220,11 +292,15 @@ class PureFrequencyOracle(FrequencyOracle):
     def support_counts(self, reports: Any) -> np.ndarray:
         """Per-value support counts ``C_v`` from a report batch."""
 
-    def estimate_counts(self, reports: Any) -> np.ndarray:
-        """Shared pure-protocol estimator ``(C_v − n q*) / (p* − q*)``."""
-        counts = self.support_counts(reports)
-        n = self.num_reports(reports)
-        return (counts - n * self.q_star) / (self.p_star - self.q_star)
+    def accumulator(self, candidates: np.ndarray | None = None) -> "PureAccumulator":
+        """A fresh support-count accumulator.
+
+        With ``candidates`` the accumulator tracks support for those
+        values only — the shape heavy-hitter search and massive-domain
+        decoding need, at the cost the oracle's ``support_counts_for``
+        charges rather than a full-domain pass.
+        """
+        return PureAccumulator(self, candidates)
 
     def support_counts_for(self, reports: Any, candidates: np.ndarray) -> np.ndarray:
         """Support counts restricted to a candidate list.
@@ -240,9 +316,7 @@ class PureFrequencyOracle(FrequencyOracle):
 
     def estimate_counts_for(self, reports: Any, candidates: np.ndarray) -> np.ndarray:
         """Unbiased count estimates for selected candidate values only."""
-        counts = self.support_counts_for(reports, candidates)
-        n = self.num_reports(reports)
-        return (counts - n * self.q_star) / (self.p_star - self.q_star)
+        return self.accumulator(candidates).absorb(reports).finalize()
 
     def count_variance(self, n: int, f: float = 0.0) -> float:
         """Exact variance of the pure estimator at true frequency ``f``.
@@ -257,6 +331,83 @@ class PureFrequencyOracle(FrequencyOracle):
         p, q = self.p_star, self.q_star
         nv = f * n
         return (nv * p * (1.0 - p) + (n - nv) * q * (1.0 - q)) / (p - q) ** 2
+
+
+class PureAccumulator(Accumulator):
+    """Shared mergeable state for pure-protocol oracles.
+
+    The entire summary is the per-value support-count vector plus the
+    number of absorbed reports — a few KB regardless of population size.
+    Support counts are integer-valued, so any absorb/merge grouping of a
+    batch finalizes to bit-identical estimates.
+
+    Subclasses may keep a different internal state vector (the Hadamard
+    oracle accumulates in the transform domain) by overriding
+    ``_state_width``, ``absorb`` and the ``support`` property; the merge
+    checks, state addition and final estimator are shared.
+    """
+
+    def __init__(
+        self, oracle: PureFrequencyOracle, candidates: np.ndarray | None = None
+    ) -> None:
+        self._oracle = oracle
+        if candidates is None:
+            self._candidates: np.ndarray | None = None
+        else:
+            self._candidates = check_domain_values(
+                candidates, oracle.domain_size, name="candidates"
+            )
+        self._state = np.zeros(self._state_width(), dtype=np.float64)
+        self._n = 0
+
+    def _state_width(self) -> int:
+        if self._candidates is None:
+            return self._oracle.domain_size
+        return int(self._candidates.shape[0])
+
+    @property
+    def support(self) -> np.ndarray:
+        """Accumulated per-value support counts (read-only view)."""
+        view = self._state.view()
+        view.flags.writeable = False
+        return view
+
+    def absorb(self, reports: Any) -> "PureAccumulator":
+        if self._candidates is None:
+            self._state += self._oracle.support_counts(reports)
+        else:
+            self._state += self._oracle.support_counts_for(
+                reports, self._candidates
+            )
+        self._n += self._oracle.num_reports(reports)
+        return self
+
+    def _check_mergeable(self, other: Accumulator) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, PureAccumulator)
+        if (
+            other._oracle.domain_size != self._oracle.domain_size
+            or other._oracle.p_star != self._oracle.p_star
+            or other._oracle.q_star != self._oracle.q_star
+        ):
+            raise ValueError("cannot merge accumulators of differently configured oracles")
+        if (self._candidates is None) != (other._candidates is None) or (
+            self._candidates is not None
+            and not np.array_equal(self._candidates, other._candidates)
+        ):
+            raise ValueError("cannot merge accumulators over different candidate lists")
+
+    def merge(self, other: Accumulator) -> "PureAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, PureAccumulator)
+        self._state += other._state
+        self._n += other._n
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Shared pure-protocol estimator ``(C_v − n q*) / (p* − q*)``."""
+        p, q = self._oracle.p_star, self._oracle.q_star
+        return (self.support - self._n * q) / (p - q)
 
 
 def postprocess_counts(raw: np.ndarray, method: str = "none") -> np.ndarray:

@@ -13,10 +13,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.local_hashing import OptimalLocalHashing
+from repro.core.mechanism import PureAccumulator, PureFrequencyOracle
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_epsilon, check_positive_int
 
-__all__ = ["HeavyHitterResult", "split_groups", "make_group_oracle"]
+__all__ = [
+    "HeavyHitterResult",
+    "collect_group",
+    "split_groups",
+    "make_group_oracle",
+]
 
 
 @dataclass(frozen=True)
@@ -61,3 +67,26 @@ def make_group_oracle(domain_size: int, epsilon: float) -> OptimalLocalHashing:
     """
     check_epsilon(epsilon)
     return OptimalLocalHashing(domain_size, epsilon)
+
+
+def collect_group(
+    oracle: PureFrequencyOracle,
+    values: np.ndarray,
+    candidates: np.ndarray | None,
+    rng: np.random.Generator,
+    *,
+    chunk_size: int = 65_536,
+) -> PureAccumulator:
+    """Privatize one user group into a (candidate-restricted) accumulator.
+
+    Clients are encoded in bounded-memory chunks and folded straight into
+    the group's accumulator, so raw report batches never outlive their
+    chunk — the same pipeline shape as
+    :func:`repro.protocol.run_sharded_collection`, restricted to the
+    candidate list the round actually scores.
+    """
+    check_positive_int(chunk_size, name="chunk_size")
+    acc = oracle.accumulator(candidates)
+    for start in range(0, values.shape[0], chunk_size):
+        acc.absorb(oracle.privatize(values[start : start + chunk_size], rng=rng))
+    return acc

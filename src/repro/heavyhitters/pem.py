@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.heavyhitters.common import (
     HeavyHitterResult,
+    collect_group,
     make_group_oracle,
     split_groups,
 )
@@ -97,8 +98,7 @@ def pem_heavy_hitters(
         members = groups == round_idx
         group_vals = vals[members] >> (bits - length)
         oracle = make_group_oracle(max(1 << length, 2), epsilon)
-        reports = oracle.privatize(group_vals, rng=gen)
-        est = oracle.estimate_counts_for(reports, candidates)
+        est = collect_group(oracle, group_vals, candidates, gen).finalize()
         evaluated += candidates.shape[0]
         keep = min(beam if round_idx < num_groups - 1 else k, candidates.shape[0])
         order = np.argsort(-est)[:keep]

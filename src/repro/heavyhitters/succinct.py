@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.heavyhitters.common import (
     HeavyHitterResult,
+    collect_group,
     make_group_oracle,
     split_groups,
 )
@@ -88,8 +89,7 @@ def bitstogram_heavy_hitters(
         bit_j = (vals[members] >> (bits - 1 - j)) & 1
         pair_vals = channels[members] * 2 + bit_j
         oracle = make_group_oracle(pair_domain, epsilon)
-        reports = oracle.privatize(pair_vals, rng=gen)
-        est = oracle.estimate_counts(reports)
+        est = collect_group(oracle, pair_vals, None, gen).finalize()
         evaluated += pair_domain
         # Vote: sign of (count of bit=1) − (count of bit=0) per channel.
         bit_votes[:, j] = est[1::2] - est[0::2]
@@ -105,8 +105,7 @@ def bitstogram_heavy_hitters(
     verify_vals = vals[members]
     group_n = int(members.sum())
     oracle = make_group_oracle(max(1 << bits, 2), epsilon)
-    reports = oracle.privatize(verify_vals, rng=gen)
-    est = oracle.estimate_counts_for(reports, candidates)
+    est = collect_group(oracle, verify_vals, candidates, gen).finalize()
     evaluated += candidates.shape[0]
     threshold = threshold_sds * np.sqrt(oracle.count_variance(max(group_n, 1)))
     keep = est > threshold

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.heavyhitters.common import (
     HeavyHitterResult,
+    collect_group,
     make_group_oracle,
     split_groups,
 )
@@ -85,8 +86,7 @@ def treehist_heavy_hitters(
         group_vals = vals[members] >> (bits - length)
         group_n = int(members.sum())
         oracle = make_group_oracle(max(1 << length, 2), epsilon)
-        reports = oracle.privatize(group_vals, rng=gen)
-        est = oracle.estimate_counts_for(reports, frontier)
+        est = collect_group(oracle, group_vals, frontier, gen).finalize()
         evaluated += frontier.shape[0]
         threshold = threshold_sds * np.sqrt(oracle.count_variance(max(group_n, 1)))
         keep = est > threshold

@@ -1,5 +1,19 @@
 """Client/aggregator simulation layer."""
 
-from repro.protocol.simulation import CollectionStats, report_bytes, run_collection
+from repro.protocol.simulation import (
+    CollectionStats,
+    ShardedCollectionStats,
+    ShardStats,
+    report_bytes,
+    run_collection,
+    run_sharded_collection,
+)
 
-__all__ = ["CollectionStats", "report_bytes", "run_collection"]
+__all__ = [
+    "CollectionStats",
+    "ShardedCollectionStats",
+    "ShardStats",
+    "report_bytes",
+    "run_collection",
+    "run_sharded_collection",
+]

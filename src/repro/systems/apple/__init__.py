@@ -1,17 +1,21 @@
 """Apple's LDP system [1, 9]: CMS/HCMS sketches and SFP word discovery."""
 
 from repro.systems.apple.cms import (
+    CmsAccumulator,
     CmsReports,
     CountMeanSketch,
     HadamardCountMeanSketch,
+    HcmsAccumulator,
     HcmsReports,
 )
 from repro.systems.apple.sfp import SfpConfig, SfpResult, discover_words
 
 __all__ = [
+    "CmsAccumulator",
     "CmsReports",
     "CountMeanSketch",
     "HadamardCountMeanSketch",
+    "HcmsAccumulator",
     "HcmsReports",
     "SfpConfig",
     "SfpResult",

@@ -18,16 +18,25 @@ transform spreads out signal information", as the tutorial puts it).
 
 Both are unbiased up to hash collisions, whose ``+n/m`` inflation the
 ``(m/(m−1), −n/m)`` correction removes in expectation over the family.
+
+Server state is a mergeable :class:`SketchAccumulator`: per-(function,
+bucket) *integer* report tallies from which the float sketch is derived
+at read time.  Keeping integers (not running float sums) makes shard
+merges exact — absorbing any sharding of a batch finalizes to the same
+bits — which is how Apple's aggregators can combine per-datacenter
+sketches freely.
 """
 
 from __future__ import annotations
 
 import math
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.mechanism import Accumulator
 from repro.util.hashing import SeededHashFamily
 from repro.util.rng import ensure_generator
 from repro.util.validation import (
@@ -37,7 +46,14 @@ from repro.util.validation import (
 )
 from repro.util.wht import fwht, hadamard_entries, is_power_of_two
 
-__all__ = ["CmsReports", "HcmsReports", "CountMeanSketch", "HadamardCountMeanSketch"]
+__all__ = [
+    "CmsReports",
+    "HcmsReports",
+    "CmsAccumulator",
+    "HcmsAccumulator",
+    "CountMeanSketch",
+    "HadamardCountMeanSketch",
+]
 
 
 @dataclass(frozen=True)
@@ -63,8 +79,8 @@ class HcmsReports:
         return int(self.hash_indices.shape[0])
 
 
-class _SketchBase:
-    """Shared configuration and the sketch-mean estimator."""
+class _SketchBase(ABC):
+    """Shared configuration, accumulator plumbing, sketch-mean estimator."""
 
     def __init__(
         self, domain_size: int, epsilon: float, k: int, m: int, master_seed: int
@@ -90,6 +106,162 @@ class _SketchBase:
         bucket_sums = sketch[np.arange(self.k)[:, None], hashed]  # (k, c)
         mean = bucket_sums.mean(axis=0)
         return (self.m / (self.m - 1.0)) * (mean - n / self.m)
+
+    @abstractmethod
+    def accumulator(self) -> "_SketchAccumulator":
+        """A fresh, empty mergeable sketch accumulator."""
+
+    def build_sketch(self, reports) -> np.ndarray:
+        """The ``k × m`` float sketch of one report batch."""
+        return self.accumulator().absorb(reports).sketch()
+
+    def estimate_counts_for(self, reports, candidates: np.ndarray) -> np.ndarray:
+        """Count estimates for a candidate list (sketch built on the fly)."""
+        cands = check_domain_values(candidates, self.domain_size, name="candidates")
+        return self.accumulator().absorb(reports).estimate_for(cands)
+
+    def estimate_counts(self, reports) -> np.ndarray:
+        """Count estimates for the whole (small) domain."""
+        return self.accumulator().absorb(reports).finalize()
+
+    def num_reports(self, reports) -> int:
+        """Number of user reports in a batch."""
+        return len(reports)
+
+
+class _SketchAccumulator(Accumulator):
+    """Shared merge/read plumbing for count-mean-sketch accumulators.
+
+    Subclasses keep integer per-(function, bucket) tallies and derive
+    the float sketch on demand; integer state makes shard merges exact.
+    """
+
+    def __init__(self, owner: _SketchBase) -> None:
+        self._owner = owner
+        self._n = 0
+
+    @abstractmethod
+    def sketch(self) -> np.ndarray:
+        """The ``k × m`` float sketch implied by the accumulated tallies."""
+
+    def _check_mergeable(self, other: Accumulator) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, _SketchAccumulator)
+        ours, theirs = self._owner, other._owner
+        if (
+            ours.k != theirs.k
+            or ours.m != theirs.m
+            or ours.epsilon != theirs.epsilon
+            or ours.domain_size != theirs.domain_size
+            or ours.master_seed != theirs.master_seed
+        ):
+            raise ValueError(
+                "cannot merge accumulators of differently configured sketches"
+            )
+
+    def estimate_for(self, candidates: np.ndarray) -> np.ndarray:
+        """De-biased count estimates for already-validated candidates."""
+        return self._owner._estimate_from_sketch(self.sketch(), self._n, candidates)
+
+    def finalize(self) -> np.ndarray:
+        return self.estimate_for(
+            np.arange(self._owner.domain_size, dtype=np.int64)
+        )
+
+
+class CmsAccumulator(_SketchAccumulator):
+    """Mergeable CMS state: signed row sums and report counts per function.
+
+    A CMS report adds ``k·(c_ε/2 · row + ½)`` across its whole sketch
+    row, so the sketch is an affine function of two integer tallies —
+    ``S[j, l] = Σ row_i[l]`` over users with function ``j``, and
+    ``N[j]`` users per function: ``M = k·(c_ε/2 · S + N/2)``.
+    """
+
+    def __init__(self, owner: "CountMeanSketch") -> None:
+        super().__init__(owner)
+        self._signed = np.zeros((owner.k, owner.m), dtype=np.int64)
+        self._per_hash = np.zeros(owner.k, dtype=np.int64)
+
+    def absorb(self, reports: CmsReports) -> "CmsAccumulator":
+        if not isinstance(reports, CmsReports):
+            raise TypeError(f"expected CmsReports, got {type(reports).__name__}")
+        owner = self._owner
+        idx = np.asarray(reports.hash_indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= owner.k):
+            raise ValueError("hash index out of range — refusing to aggregate")
+        rows = np.asarray(reports.rows)
+        if rows.ndim != 2 or rows.shape[1] != owner.m:
+            raise ValueError(
+                f"rows must have shape (n, {owner.m}), got {rows.shape}"
+            )
+        np.add.at(self._signed, idx, rows.astype(np.int64))
+        self._per_hash += np.bincount(idx, minlength=owner.k).astype(np.int64)
+        self._n += len(reports)
+        return self
+
+    def merge(self, other: Accumulator) -> "CmsAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, CmsAccumulator)
+        self._signed += other._signed
+        self._per_hash += other._per_hash
+        self._n += other._n
+        return self
+
+    def sketch(self) -> np.ndarray:
+        owner = self._owner
+        assert isinstance(owner, CountMeanSketch)
+        return owner.k * (
+            (owner.c_eps / 2.0) * self._signed
+            + 0.5 * self._per_hash[:, None].astype(np.float64)
+        )
+
+
+class HcmsAccumulator(_SketchAccumulator):
+    """Mergeable HCMS state: signed bit sums per (function, coordinate).
+
+    Each report deposits one ±1 bit at its sampled transform coordinate;
+    the server keeps the integer bit sums and applies the scale and one
+    inverse WHT per row only at read time.
+    """
+
+    def __init__(self, owner: "HadamardCountMeanSketch") -> None:
+        super().__init__(owner)
+        self._signed = np.zeros((owner.k, owner.m), dtype=np.int64)
+
+    def absorb(self, reports: HcmsReports) -> "HcmsAccumulator":
+        if not isinstance(reports, HcmsReports):
+            raise TypeError(f"expected HcmsReports, got {type(reports).__name__}")
+        owner = self._owner
+        idx = np.asarray(reports.hash_indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= owner.k):
+            raise ValueError("hash index out of range — refusing to aggregate")
+        coords = np.asarray(reports.coords)
+        if coords.size and (coords.min() < 0 or coords.max() >= owner.m):
+            raise ValueError("coordinate out of range — refusing to aggregate")
+        bits = np.asarray(reports.bits, dtype=np.float64)
+        if bits.size and not np.all(np.isin(bits, (-1.0, 1.0))):
+            raise ValueError("bits must be ±1")
+        np.add.at(self._signed, (idx, coords), bits.astype(np.int64))
+        self._n += len(reports)
+        return self
+
+    def merge(self, other: Accumulator) -> "HcmsAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, HcmsAccumulator)
+        self._signed += other._signed
+        self._n += other._n
+        return self
+
+    def sketch(self) -> np.ndarray:
+        owner = self._owner
+        assert isinstance(owner, HadamardCountMeanSketch)
+        # Each report's deposit has per-user expectation (k/m)·H[idx, l];
+        # one unnormalized WHT per row contracts against H[idx, l'] and
+        # the m's cancel, giving E[M[j, l]] = k·#{users with function j
+        # hashing to l} — the CMS sketch scale, so the same estimator
+        # applies.
+        return fwht(owner.k * owner.c_eps * self._signed.astype(np.float64))
 
 
 class CountMeanSketch(_SketchBase):
@@ -134,33 +306,9 @@ class CountMeanSketch(_SketchBase):
         rows = np.where(flips, -rows, rows).astype(np.int8)
         return CmsReports(hash_indices=indices, rows=rows)
 
-    def build_sketch(self, reports: CmsReports) -> np.ndarray:
-        """Accumulate the ``k × m`` sketch: ``M[j] += k(c_ε/2 · row + ½)``."""
-        if not isinstance(reports, CmsReports):
-            raise TypeError(f"expected CmsReports, got {type(reports).__name__}")
-        idx = np.asarray(reports.hash_indices)
-        if idx.size and (idx.min() < 0 or idx.max() >= self.k):
-            raise ValueError("hash index out of range — refusing to aggregate")
-        transformed = self.k * (
-            (self.c_eps / 2.0) * reports.rows.astype(np.float64) + 0.5
-        )
-        sketch = np.zeros((self.k, self.m))
-        np.add.at(sketch, idx, transformed)
-        return sketch
-
-    def estimate_counts_for(
-        self, reports: CmsReports, candidates: np.ndarray
-    ) -> np.ndarray:
-        """Count estimates for a candidate list (sketch built on the fly)."""
-        cands = check_domain_values(candidates, self.domain_size, name="candidates")
-        sketch = self.build_sketch(reports)
-        return self._estimate_from_sketch(sketch, len(reports), cands)
-
-    def estimate_counts(self, reports: CmsReports) -> np.ndarray:
-        """Count estimates for the whole (small) domain."""
-        return self.estimate_counts_for(
-            reports, np.arange(self.domain_size, dtype=np.int64)
-        )
+    def accumulator(self) -> CmsAccumulator:
+        """A fresh mergeable ``k × m`` sketch accumulator."""
+        return CmsAccumulator(self)
 
     def count_variance(self, n: int, f: float = 0.0) -> float:
         """Leading-order variance ``n (c_ε² − 1)/4 · (m/(m−1))²``.
@@ -213,42 +361,9 @@ class HadamardCountMeanSketch(_SketchBase):
         bits = np.where(flips, -bits, bits)
         return HcmsReports(hash_indices=indices, coords=coords, bits=bits)
 
-    def build_sketch(self, reports: HcmsReports) -> np.ndarray:
-        """Accumulate in the transform domain, then invert each row."""
-        if not isinstance(reports, HcmsReports):
-            raise TypeError(f"expected HcmsReports, got {type(reports).__name__}")
-        idx = np.asarray(reports.hash_indices)
-        if idx.size and (idx.min() < 0 or idx.max() >= self.k):
-            raise ValueError("hash index out of range — refusing to aggregate")
-        coords = np.asarray(reports.coords)
-        if coords.size and (coords.min() < 0 or coords.max() >= self.m):
-            raise ValueError("coordinate out of range — refusing to aggregate")
-        transformed = np.zeros((self.k, self.m))
-        np.add.at(
-            transformed,
-            (idx, coords),
-            self.k * self.c_eps * np.asarray(reports.bits, dtype=np.float64),
-        )
-        # Each report deposits (k·c_ε·b̃) at its sampled coordinate, whose
-        # per-user expectation is (k/m)·H[idx, l].  One unnormalized WHT
-        # per row contracts against H[idx, l'] and the m's cancel, giving
-        # E[M[j, l]] = k·#{users with function j hashing to l} — exactly
-        # the CMS sketch scale, so the same estimator applies.
-        return fwht(transformed)
-
-    def estimate_counts_for(
-        self, reports: HcmsReports, candidates: np.ndarray
-    ) -> np.ndarray:
-        """Count estimates for a candidate list."""
-        cands = check_domain_values(candidates, self.domain_size, name="candidates")
-        sketch = self.build_sketch(reports)
-        return self._estimate_from_sketch(sketch, len(reports), cands)
-
-    def estimate_counts(self, reports: HcmsReports) -> np.ndarray:
-        """Count estimates for the whole (small) domain."""
-        return self.estimate_counts_for(
-            reports, np.arange(self.domain_size, dtype=np.int64)
-        )
+    def accumulator(self) -> HcmsAccumulator:
+        """A fresh mergeable transform-domain sketch accumulator."""
+        return HcmsAccumulator(self)
 
     def count_variance(self, n: int, f: float = 0.0) -> float:
         """Leading-order variance ``n c_ε² (m/(m−1))²``.

@@ -1,8 +1,12 @@
 """Microsoft telemetry collection [10]: 1BitMean, dBitFlip, memoization."""
 
-from repro.systems.microsoft.dbitflip import DBitFlip, DBitFlipReports
+from repro.systems.microsoft.dbitflip import (
+    DBitFlip,
+    DBitFlipAccumulator,
+    DBitFlipReports,
+)
 from repro.systems.microsoft.dbitflip_pm import DBitFlipPM, PmRound, PmRun
-from repro.systems.microsoft.onebit import OneBitMean
+from repro.systems.microsoft.onebit import OneBitMean, OneBitMeanAccumulator
 from repro.systems.microsoft.repeated import (
     CollectionRun,
     RepeatedCollector,
@@ -11,11 +15,13 @@ from repro.systems.microsoft.repeated import (
 
 __all__ = [
     "DBitFlip",
+    "DBitFlipAccumulator",
     "DBitFlipReports",
     "DBitFlipPM",
     "PmRound",
     "PmRun",
     "OneBitMean",
+    "OneBitMeanAccumulator",
     "CollectionRun",
     "RepeatedCollector",
     "RoundResult",

@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.mechanism import Accumulator
 from repro.util.rng import ensure_generator
 from repro.util.validation import (
     check_domain_values,
@@ -31,7 +32,7 @@ from repro.util.validation import (
     check_positive_int,
 )
 
-__all__ = ["DBitFlipReports", "DBitFlip"]
+__all__ = ["DBitFlipReports", "DBitFlipAccumulator", "DBitFlip"]
 
 
 @dataclass(frozen=True)
@@ -85,22 +86,13 @@ class DBitFlip:
             bucket_indices=sampled.astype(np.int64), bits=bits
         )
 
+    def accumulator(self) -> "DBitFlipAccumulator":
+        """A fresh mergeable per-bucket tally accumulator."""
+        return DBitFlipAccumulator(self)
+
     def estimate_counts(self, reports: DBitFlipReports) -> np.ndarray:
         """Unbiased per-bucket count estimates."""
-        if not isinstance(reports, DBitFlipReports):
-            raise TypeError(
-                f"expected DBitFlipReports, got {type(reports).__name__}"
-            )
-        idx = np.asarray(reports.bucket_indices, dtype=np.int64)
-        if idx.size and (idx.min() < 0 or idx.max() >= self.num_buckets):
-            raise ValueError("bucket index out of range — refusing to aggregate")
-        bits = np.asarray(reports.bits, dtype=np.float64)
-        flat_idx = idx.reshape(-1)
-        flat_bits = bits.reshape(-1)
-        ones = np.bincount(flat_idx, weights=flat_bits, minlength=self.num_buckets)
-        samples = np.bincount(flat_idx, minlength=self.num_buckets).astype(np.float64)
-        debiased = (ones - samples * (1.0 - self.p)) / (2.0 * self.p - 1.0)
-        return (self.num_buckets / self.d) * debiased
+        return self.accumulator().absorb(reports).finalize()
 
     def num_reports(self, reports: DBitFlipReports) -> int:
         return len(reports)
@@ -123,3 +115,63 @@ class DBitFlip:
     def max_privacy_ratio(self) -> float:
         """Two differing sampled bits at ε/2 each → exactly e^ε."""
         return (self.p / (1.0 - self.p)) ** 2
+
+
+class DBitFlipAccumulator(Accumulator):
+    """Mergeable dBitFlip state: 1-bit and sample tallies per bucket.
+
+    The estimator needs only, per bucket, how many users sampled it and
+    how many of their bits were 1 — both integer-valued, so any sharding
+    of a batch merges to bit-identical estimates.
+    """
+
+    def __init__(self, mechanism: DBitFlip) -> None:
+        self._mechanism = mechanism
+        k = mechanism.num_buckets
+        self._ones = np.zeros(k, dtype=np.float64)
+        self._samples = np.zeros(k, dtype=np.float64)
+        self._n = 0
+
+    def absorb(self, reports: DBitFlipReports) -> "DBitFlipAccumulator":
+        if not isinstance(reports, DBitFlipReports):
+            raise TypeError(
+                f"expected DBitFlipReports, got {type(reports).__name__}"
+            )
+        k = self._mechanism.num_buckets
+        idx = np.asarray(reports.bucket_indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= k):
+            raise ValueError("bucket index out of range — refusing to aggregate")
+        bits = np.asarray(reports.bits, dtype=np.float64)
+        flat_idx = idx.reshape(-1)
+        self._ones += np.bincount(flat_idx, weights=bits.reshape(-1), minlength=k)
+        self._samples += np.bincount(flat_idx, minlength=k).astype(np.float64)
+        self._n += len(reports)
+        return self
+
+    def _check_mergeable(self, other: Accumulator) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, DBitFlipAccumulator)
+        ours, theirs = self._mechanism, other._mechanism
+        if (
+            ours.num_buckets != theirs.num_buckets
+            or ours.d != theirs.d
+            or ours.epsilon != theirs.epsilon
+        ):
+            raise ValueError(
+                "cannot merge accumulators of differently configured mechanisms"
+            )
+
+    def merge(self, other: Accumulator) -> "DBitFlipAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, DBitFlipAccumulator)
+        self._ones += other._ones
+        self._samples += other._samples
+        self._n += other._n
+        return self
+
+    def finalize(self) -> np.ndarray:
+        mech = self._mechanism
+        debiased = (self._ones - self._samples * (1.0 - mech.p)) / (
+            2.0 * mech.p - 1.0
+        )
+        return (mech.num_buckets / mech.d) * debiased

@@ -24,10 +24,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.mechanism import Accumulator
 from repro.util.rng import ensure_generator
 from repro.util.validation import as_value_array, check_epsilon
 
-__all__ = ["OneBitMean"]
+__all__ = ["OneBitMean", "OneBitMeanAccumulator"]
 
 
 class OneBitMean:
@@ -65,16 +66,14 @@ class OneBitMean:
         probs = self._base + (vals / self.value_bound) * self._slope
         return (gen.random(vals.shape[0]) < probs).astype(np.uint8)
 
+    def accumulator(self) -> "OneBitMeanAccumulator":
+        """A fresh mergeable (1-bit count, user count) accumulator."""
+        return OneBitMeanAccumulator(self)
+
     def estimate_mean(self, reports: np.ndarray) -> float:
         """Unbiased population-mean estimate from the bit vector."""
-        bits = np.asarray(reports, dtype=np.float64)
-        if bits.ndim != 1 or bits.size == 0:
-            raise ValueError("reports must be a non-empty 1-D array")
-        if not np.all(np.isin(bits, (0.0, 1.0))):
-            raise ValueError("reports must be 0/1 bits")
-        e = math.exp(self.epsilon)
-        per_user = (bits * (e + 1.0) - 1.0) / (e - 1.0)
-        return float(self.value_bound * per_user.mean())
+        acc = self.accumulator().absorb(reports)
+        return float(acc.finalize()[0])
 
     def mean_variance_bound(self, n: int) -> float:
         """Worst-case variance of the mean estimate.
@@ -92,3 +91,55 @@ class OneBitMean:
         """Endpoint ratio ``P(1|m)/P(1|0) = e^ε`` — exact."""
         top = self._base + self._slope
         return top / self._base
+
+
+class OneBitMeanAccumulator(Accumulator):
+    """Mergeable 1BitMean state: the number of 1-bits and of users.
+
+    The mean estimate is a function of the two integer tallies alone,
+    ``m · ((S/n)(e^ε + 1) − 1)/(e^ε − 1)``, so shard merges are exact.
+    ``finalize`` returns a length-1 array holding the mean estimate (the
+    mechanism estimates one population mean, not per-value counts).
+    """
+
+    def __init__(self, mechanism: OneBitMean) -> None:
+        self._mechanism = mechanism
+        self._ones = 0
+        self._n = 0
+
+    def absorb(self, reports: np.ndarray) -> "OneBitMeanAccumulator":
+        bits = np.asarray(reports, dtype=np.float64)
+        if bits.ndim != 1:
+            raise ValueError("reports must be a 1-D array")
+        if bits.size and not np.all(np.isin(bits, (0.0, 1.0))):
+            raise ValueError("reports must be 0/1 bits")
+        self._ones += int(bits.sum())
+        self._n += int(bits.shape[0])
+        return self
+
+    def _check_mergeable(self, other: Accumulator) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, OneBitMeanAccumulator)
+        ours, theirs = self._mechanism, other._mechanism
+        if (
+            ours.value_bound != theirs.value_bound
+            or ours.epsilon != theirs.epsilon
+        ):
+            raise ValueError(
+                "cannot merge accumulators of differently configured mechanisms"
+            )
+
+    def merge(self, other: Accumulator) -> "OneBitMeanAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, OneBitMeanAccumulator)
+        self._ones += other._ones
+        self._n += other._n
+        return self
+
+    def finalize(self) -> np.ndarray:
+        if self._n == 0:
+            raise ValueError("no reports absorbed — nothing to estimate")
+        mech = self._mechanism
+        e = math.exp(mech.epsilon)
+        per_user = ((self._ones / self._n) * (e + 1.0) - 1.0) / (e - 1.0)
+        return np.asarray([mech.value_bound * per_user], dtype=np.float64)

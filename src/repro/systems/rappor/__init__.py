@@ -1,6 +1,10 @@
 """Google RAPPOR [12, 14]: Bloom-filter LDP collection with cohorts."""
 
-from repro.systems.rappor.aggregate import RapporAggregator, RapporDecodeResult
+from repro.systems.rappor.aggregate import (
+    RapporAccumulator,
+    RapporAggregator,
+    RapporDecodeResult,
+)
 from repro.systems.rappor.association import (
     AssociationResult,
     discover_dictionary,
@@ -15,6 +19,7 @@ from repro.systems.rappor.client import (
 from repro.systems.rappor.params import RapporParams
 
 __all__ = [
+    "RapporAccumulator",
     "RapporAggregator",
     "RapporDecodeResult",
     "AssociationResult",

@@ -20,6 +20,11 @@ Decoding proceeds exactly as in Erlingsson et al. [12] §4:
 4. **Significance** — candidates are reported only when their estimate
    exceeds a Bonferroni-corrected normal threshold, controlling the
    probability of *any* false discovery at ``alpha``.
+
+The server state is a mergeable :class:`RapporAccumulator` — the integer
+per-(cohort, bit) 1-counts and cohort sizes — so reports can arrive in
+shards and be folded in as they come; stages 1–4 read only the
+accumulator.
 """
 
 from __future__ import annotations
@@ -31,10 +36,11 @@ import numpy as np
 from scipy.optimize import nnls
 from scipy.stats import norm
 
+from repro.core.mechanism import Accumulator
 from repro.systems.rappor.client import cohort_bloom
 from repro.systems.rappor.params import RapporParams
 
-__all__ = ["RapporAggregator", "RapporDecodeResult"]
+__all__ = ["RapporAccumulator", "RapporAggregator", "RapporDecodeResult"]
 
 
 @dataclass(frozen=True)
@@ -65,12 +71,101 @@ class RapporDecodeResult:
         return [int(self.candidates[i]) for i in order if self.significant[i]]
 
 
+class RapporAccumulator(Accumulator):
+    """Mergeable RAPPOR state: per-(cohort, bit) 1-counts and cohort sizes.
+
+    ``absorb`` takes the ``(cohorts, reports)`` pair that
+    :func:`~repro.systems.rappor.client.privatize_population` produces.
+    Both tallies are integer-valued, so any sharding of a collection
+    merges to bit-identical decodes.  ``finalize`` returns the unbiased
+    per-(cohort, bit) Bloom-bit count estimates ``t̂`` (stage 1); the
+    aggregator's regression stages read them off the accumulator.
+
+    ``master_seed`` identifies the public cohort Bloom hash families the
+    reports were encoded under; merging (or decoding) tallies collected
+    under different families would silently misalign bit positions, so
+    it is checked like the rest of the configuration.
+    """
+
+    def __init__(self, params: RapporParams, master_seed: int) -> None:
+        self.params = params
+        self.master_seed = int(master_seed)
+        self._bit_ones = np.zeros(
+            (params.num_cohorts, params.num_bits), dtype=np.float64
+        )
+        self._sizes = np.zeros(params.num_cohorts, dtype=np.int64)
+        self._n = 0
+
+    @property
+    def cohort_sizes(self) -> np.ndarray:
+        """Number of absorbed reports per cohort (read-only view)."""
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    def absorb(
+        self, reports: tuple[np.ndarray, np.ndarray]
+    ) -> "RapporAccumulator":
+        params = self.params
+        cohorts, rep = reports
+        coh = np.asarray(cohorts, dtype=np.int64)
+        rep = np.asarray(rep)
+        if rep.ndim != 2 or rep.shape[1] != params.num_bits:
+            raise ValueError(
+                f"reports must have shape (n, {params.num_bits}), got {rep.shape}"
+            )
+        if coh.shape[0] != rep.shape[0]:
+            raise ValueError("cohorts and reports must align")
+        if coh.size and (coh.min() < 0 or coh.max() >= params.num_cohorts):
+            raise ValueError("cohort index out of range")
+        np.add.at(self._bit_ones, coh, rep.astype(np.float64))
+        self._sizes += np.bincount(coh, minlength=params.num_cohorts).astype(
+            np.int64
+        )
+        self._n += int(rep.shape[0])
+        return self
+
+    def _check_mergeable(self, other: Accumulator) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, RapporAccumulator)
+        if other.params != self.params or other.master_seed != self.master_seed:
+            raise ValueError(
+                "cannot merge accumulators of differently configured RAPPOR "
+                "deployments (params / master seed)"
+            )
+
+    def merge(self, other: Accumulator) -> "RapporAccumulator":
+        self._check_mergeable(other)
+        assert isinstance(other, RapporAccumulator)
+        self._bit_ones += other._bit_ones
+        self._sizes += other._sizes
+        self._n += other._n
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Stage-1 corrected bit counts ``t̂`` of shape ``(cohorts, m)``.
+
+        Inverts ``E[c_ij] = t_ij q* + (n_i − t_ij) p*`` per cohort; empty
+        cohorts yield zero rows.
+        """
+        params = self.params
+        qs, ps = params.q_star, params.p_star
+        sizes = self._sizes.astype(np.float64)[:, None]
+        t_hat = (self._bit_ones - ps * sizes) / (qs - ps)
+        t_hat[self._sizes == 0] = 0.0
+        return t_hat
+
+
 class RapporAggregator:
     """Server-side RAPPOR decoding for a fixed parameter set and seed."""
 
     def __init__(self, params: RapporParams, master_seed: int) -> None:
         self.params = params
         self.master_seed = int(master_seed)
+
+    def accumulator(self) -> RapporAccumulator:
+        """A fresh mergeable bit-count accumulator for this deployment."""
+        return RapporAccumulator(self.params, self.master_seed)
 
     # -- stage 1: bit-rate correction --------------------------------------
 
@@ -82,30 +177,8 @@ class RapporAggregator:
         Returns ``(t_hat, cohort_sizes)`` with ``t_hat`` of shape
         ``(num_cohorts, m)``.
         """
-        params = self.params
-        coh = np.asarray(cohorts, dtype=np.int64)
-        rep = np.asarray(reports)
-        if rep.ndim != 2 or rep.shape[1] != params.num_bits:
-            raise ValueError(
-                f"reports must have shape (n, {params.num_bits}), got {rep.shape}"
-            )
-        if coh.shape[0] != rep.shape[0]:
-            raise ValueError("cohorts and reports must align")
-        if coh.size and (coh.min() < 0 or coh.max() >= params.num_cohorts):
-            raise ValueError("cohort index out of range")
-        qs, ps = params.q_star, params.p_star
-        t_hat = np.empty((params.num_cohorts, params.num_bits))
-        sizes = np.zeros(params.num_cohorts, dtype=np.int64)
-        for cohort in range(params.num_cohorts):
-            members = coh == cohort
-            n_i = int(members.sum())
-            sizes[cohort] = n_i
-            if n_i == 0:
-                t_hat[cohort] = 0.0
-                continue
-            c_ij = rep[members].sum(axis=0, dtype=np.float64)
-            t_hat[cohort] = (c_ij - ps * n_i) / (qs - ps)
-        return t_hat, sizes
+        acc = self.accumulator().absorb((cohorts, reports))
+        return acc.finalize(), acc.cohort_sizes.copy()
 
     # -- stage 2: candidate design matrix ----------------------------------
 
@@ -132,12 +205,34 @@ class RapporAggregator:
         *,
         alpha: float = 0.05,
     ) -> RapporDecodeResult:
-        """Full decode: correction, NNLS regression, Bonferroni filter."""
+        """Full decode of one whole batch: the accumulator path, one-shot."""
+        acc = self.accumulator().absorb((cohorts, reports))
+        return self.decode_accumulated(acc, candidates, alpha=alpha)
+
+    def decode_accumulated(
+        self,
+        accumulated: RapporAccumulator,
+        candidates: np.ndarray,
+        *,
+        alpha: float = 0.05,
+    ) -> RapporDecodeResult:
+        """Decode a (possibly merged) accumulator: NNLS + Bonferroni.
+
+        This is the deployment shape: shard collectors absorb reports
+        into :class:`RapporAccumulator` instances, merge them, and the
+        analyst decodes the merged state against a candidate list.
+        """
         if not 0.0 < alpha < 1.0:
             raise ValueError(f"alpha must be in (0, 1), got {alpha}")
         params = self.params
+        if accumulated.params != params or accumulated.master_seed != self.master_seed:
+            raise ValueError(
+                "accumulator was built for a different RAPPOR deployment "
+                "(params / master seed)"
+            )
         cands = np.asarray(candidates, dtype=np.int64)
-        t_hat, sizes = self.corrected_bit_counts(cohorts, reports)
+        t_hat = accumulated.finalize()
+        sizes = accumulated.cohort_sizes
         design = self.design_matrix(cands)
         target = t_hat.reshape(-1)
         beta, _residual = nnls(design, np.clip(target, 0.0, None))

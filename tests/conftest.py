@@ -10,7 +10,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.mechanism import HashedReports, IndexedBitReports
 from repro.workloads import sample_zipf, true_counts
+
+
+def _slice_reports(reports, mask):
+    """Select a subset of users from any core report-batch type."""
+    if isinstance(reports, HashedReports):
+        return HashedReports(seeds=reports.seeds[mask], values=reports.values[mask])
+    if isinstance(reports, IndexedBitReports):
+        return IndexedBitReports(
+            indices=reports.indices[mask], bits=reports.bits[mask]
+        )
+    return np.asarray(reports)[mask]
+
+
+@pytest.fixture(scope="session")
+def slice_reports():
+    """Shared report-batch slicer for sharding/accumulator tests."""
+    return _slice_reports
 
 
 @pytest.fixture(scope="session")

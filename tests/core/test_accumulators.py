@@ -1,0 +1,139 @@
+"""The mergeable-accumulator layer: algebra, routing, guard rails.
+
+The statistical behaviour of the estimates themselves is pinned by the
+unbiasedness suite; these tests pin the *accumulator algebra* — that
+absorb/merge/finalize is the one estimation code path, that merging any
+sharding reproduces the batch API, and that incompatible merges are
+rejected loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ORACLE_REGISTRY,
+    HadamardResponse,
+    OptimalLocalHashing,
+    OptimalUnaryEncoding,
+    SummationHistogramEncoding,
+    make_oracle,
+)
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+def test_single_absorb_matches_estimate_counts(name):
+    oracle = make_oracle(name, 16, 1.0)
+    values = np.arange(16).repeat(20)
+    reports = oracle.privatize(values, rng=3)
+    via_batch = oracle.estimate_counts(reports)
+    acc = oracle.accumulator()
+    via_acc = acc.absorb(reports).finalize()
+    assert acc.n_absorbed == 320
+    assert np.array_equal(via_batch, via_acc)
+
+
+@pytest.mark.parametrize("name", list(ORACLE_REGISTRY))
+def test_two_shard_merge_matches_batch(name, slice_reports):
+    oracle = make_oracle(name, 12, 1.5)
+    values = np.arange(12).repeat(25)
+    reports = oracle.privatize(values, rng=5)
+    whole = oracle.estimate_counts(reports)
+    first = np.zeros(300, dtype=bool)
+    first[:140] = True
+    a = oracle.accumulator().absorb(slice_reports(reports, first))
+    b = oracle.accumulator().absorb(slice_reports(reports, ~first))
+    merged = a.merge(b).finalize()
+    assert a.n_absorbed == 300
+    if name == "SHE":
+        # SHE sums raw Laplace floats; IEEE addition reorders across
+        # shards, so equality holds to the last ulp, not bitwise.
+        assert np.allclose(merged, whole, rtol=1e-9)
+    else:
+        assert np.array_equal(merged, whole)
+
+
+def test_absorb_accumulates_incrementally():
+    oracle = OptimalUnaryEncoding(8, 1.0)
+    acc = oracle.accumulator()
+    for seed in range(4):
+        acc.absorb(oracle.privatize(np.arange(8).repeat(5), rng=seed))
+    assert acc.n_absorbed == 160
+    # Equivalent to one accumulator fed the concatenated batches.
+    batches = [oracle.privatize(np.arange(8).repeat(5), rng=s) for s in range(4)]
+    whole = oracle.estimate_counts(np.vstack(batches))
+    assert np.array_equal(acc.finalize(), whole)
+
+
+def test_empty_accumulator_finalizes_to_zero_counts():
+    oracle = make_oracle("DE", 8, 1.0)
+    counts = oracle.accumulator().finalize()
+    assert counts.shape == (8,)
+    assert np.allclose(counts, 0.0)
+
+
+def test_merge_rejects_other_accumulator_types():
+    de = make_oracle("DE", 8, 1.0)
+    she = SummationHistogramEncoding(8, 1.0)
+    with pytest.raises(TypeError):
+        de.accumulator().merge(she.accumulator())
+
+
+def test_merge_rejects_mismatched_configuration():
+    a = OptimalUnaryEncoding(8, 1.0).accumulator()
+    b = OptimalUnaryEncoding(8, 2.0).accumulator()
+    with pytest.raises(ValueError):
+        a.merge(b)
+    wide = OptimalUnaryEncoding(16, 1.0).accumulator()
+    with pytest.raises(ValueError):
+        a.merge(wide)
+    # SHE's float accumulator enforces the same configuration invariant.
+    she_a = SummationHistogramEncoding(8, 0.5).accumulator()
+    she_b = SummationHistogramEncoding(8, 8.0).accumulator()
+    with pytest.raises(ValueError):
+        she_a.merge(she_b)
+
+
+def test_merge_rejects_mismatched_candidates():
+    oracle = OptimalLocalHashing(16, 1.0)
+    a = oracle.accumulator(np.asarray([1, 2, 3]))
+    b = oracle.accumulator(np.asarray([1, 2, 4]))
+    with pytest.raises(ValueError):
+        a.merge(b)
+    full = oracle.accumulator()
+    with pytest.raises(ValueError):
+        a.merge(full)
+
+
+@pytest.mark.parametrize("name", ["OLH", "HR", "DE", "OUE"])
+def test_candidate_restricted_accumulator_matches_full(name):
+    oracle = make_oracle(name, 16, 1.0)
+    values = np.arange(16).repeat(30)
+    reports = oracle.privatize(values, rng=11)
+    cands = np.asarray([0, 3, 7, 15])
+    full = oracle.accumulator().absorb(reports).finalize()
+    restricted = oracle.accumulator(cands).absorb(reports).finalize()
+    assert restricted.shape == (4,)
+    assert np.allclose(full[cands], restricted, atol=1e-6)
+
+
+def test_hadamard_accumulator_merges_in_transform_domain(slice_reports):
+    oracle = HadamardResponse(10, 1.2)
+    values = np.arange(10).repeat(40)
+    reports = oracle.privatize(values, rng=17)
+    whole = oracle.estimate_counts(reports)
+    shards = np.random.default_rng(0).integers(0, 5, size=400)
+    accs = [
+        oracle.accumulator().absorb(slice_reports(reports, shards == k))
+        for k in range(5)
+    ]
+    merged = accs[0]
+    for acc in accs[1:]:
+        merged.merge(acc)
+    assert np.array_equal(merged.finalize(), whole)
+
+
+def test_support_view_is_read_only():
+    oracle = OptimalUnaryEncoding(8, 1.0)
+    acc = oracle.accumulator().absorb(oracle.privatize(np.arange(8), rng=1))
+    with pytest.raises(ValueError):
+        acc.support[0] = 99.0

@@ -1,0 +1,61 @@
+"""scipy is optional on the core import path.
+
+``repro.core`` must import (and the estimators must run) on a minimal
+numpy-only install; the two scipy touchpoints — the CLT confidence
+interval and THE's threshold optimizer — must fail lazily with a clear,
+actionable message instead of breaking the package import.
+"""
+
+import builtins
+import sys
+
+import pytest
+
+from repro.core import ThresholdHistogramEncoding, make_oracle
+
+
+@pytest.fixture
+def no_scipy(monkeypatch):
+    """Make any scipy import raise ImportError inside the test."""
+    for mod in list(sys.modules):
+        if mod == "scipy" or mod.startswith("scipy."):
+            monkeypatch.delitem(sys.modules, mod)
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "scipy" or name.startswith("scipy."):
+            raise ImportError(f"No module named {name!r} (blocked by test)")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+
+
+def test_confidence_halfwidth_error_names_scipy_and_alternative(no_scipy):
+    oracle = make_oracle("OLH", 16, 1.0)
+    with pytest.raises(ImportError, match="scipy") as excinfo:
+        oracle.confidence_halfwidth(10_000)
+    assert "hoeffding_count_bound" in str(excinfo.value)
+
+
+def test_the_with_explicit_theta_needs_no_scipy(no_scipy):
+    oracle = ThresholdHistogramEncoding(8, 1.0, theta=0.75)
+    assert oracle.theta == 0.75
+    import numpy as np
+
+    reports = oracle.privatize(np.arange(8).repeat(10), rng=1)
+    assert oracle.estimate_counts(reports).shape == (8,)
+
+
+def test_the_default_theta_error_suggests_explicit_theta(no_scipy):
+    with pytest.raises(ImportError, match="scipy") as excinfo:
+        ThresholdHistogramEncoding(8, 1.0)
+    assert "theta" in str(excinfo.value)
+
+
+def test_core_estimators_run_without_scipy(no_scipy):
+    import numpy as np
+
+    for name in ("DE", "OUE", "OLH", "HR", "SHE"):
+        oracle = make_oracle(name, 8, 1.0)
+        reports = oracle.privatize(np.arange(8).repeat(5), rng=2)
+        assert oracle.estimate_counts(reports).shape == (8,)

@@ -1,0 +1,192 @@
+"""Mergeable accumulators of the deployed system stacks.
+
+Each system keeps integer sufficient statistics, so absorbing any
+sharding of a report batch and merging must reproduce the one-shot batch
+API *bitwise* — these tests split real batches at random and assert
+exactly that, plus the merge guard rails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.apple.cms import CmsReports, HcmsReports
+from repro.systems.microsoft import DBitFlip, OneBitMean
+from repro.systems.microsoft.dbitflip import DBitFlipReports
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
+
+
+def _shard_masks(n, k, seed):
+    assign = np.random.default_rng(seed).integers(0, k, size=n)
+    return [assign == j for j in range(k)]
+
+
+class TestSketchAccumulators:
+    def _merged(self, sketch, reports, slicer, num_shards=4, seed=0):
+        accs = []
+        for mask in _shard_masks(len(reports), num_shards, seed):
+            accs.append(sketch.accumulator().absorb(slicer(reports, mask)))
+        merged = accs[0]
+        for acc in accs[1:]:
+            merged.merge(acc)
+        return merged
+
+    def test_cms_sharded_merge_is_bitwise_exact(self):
+        cms = CountMeanSketch(500, 2.0, k=8, m=128, master_seed=7)
+        vals = np.random.default_rng(1).integers(0, 500, size=4000)
+        reports = cms.privatize(vals, rng=2)
+
+        def slicer(r, mask):
+            return CmsReports(hash_indices=r.hash_indices[mask], rows=r.rows[mask])
+
+        merged = self._merged(cms, reports, slicer)
+        assert merged.n_absorbed == 4000
+        assert np.array_equal(merged.sketch(), cms.build_sketch(reports))
+        assert np.array_equal(
+            merged.finalize(), cms.estimate_counts(reports)
+        )
+        cands = np.asarray([0, 17, 499])
+        assert np.array_equal(
+            merged.estimate_for(cands), cms.estimate_counts_for(reports, cands)
+        )
+
+    def test_hcms_sharded_merge_is_bitwise_exact(self):
+        hcms = HadamardCountMeanSketch(500, 2.0, k=8, m=128, master_seed=9)
+        vals = np.random.default_rng(3).integers(0, 500, size=4000)
+        reports = hcms.privatize(vals, rng=4)
+
+        def slicer(r, mask):
+            return HcmsReports(
+                hash_indices=r.hash_indices[mask],
+                coords=r.coords[mask],
+                bits=r.bits[mask],
+            )
+
+        merged = self._merged(hcms, reports, slicer)
+        assert np.array_equal(merged.finalize(), hcms.estimate_counts(reports))
+
+    def test_merge_rejects_mismatched_sketches(self):
+        a = CountMeanSketch(100, 2.0, k=8, m=128, master_seed=1).accumulator()
+        b = CountMeanSketch(100, 2.0, k=8, m=128, master_seed=2).accumulator()
+        with pytest.raises(ValueError):
+            a.merge(b)
+        hcms = HadamardCountMeanSketch(100, 2.0, k=8, m=128).accumulator()
+        with pytest.raises(TypeError):
+            a.merge(hcms)
+
+    def test_absorb_rejects_wrong_report_type(self):
+        cms = CountMeanSketch(100, 2.0, k=4, m=64)
+        with pytest.raises(TypeError):
+            cms.accumulator().absorb(np.zeros((3, 64)))
+
+
+class TestRapporAccumulator:
+    def test_sharded_merge_matches_whole_batch_decode(self):
+        params = RapporParams(num_bits=64, num_hashes=2, num_cohorts=4)
+        vals = np.random.default_rng(5).integers(0, 40, size=3000)
+        cohorts, reports = privatize_population(params, vals, 21, rng=6)
+        agg = RapporAggregator(params, 21)
+
+        merged = agg.accumulator()
+        for mask in _shard_masks(3000, 5, seed=7):
+            merged.merge(
+                agg.accumulator().absorb((cohorts[mask], reports[mask]))
+            )
+        t_hat, sizes = agg.corrected_bit_counts(cohorts, reports)
+        assert np.array_equal(merged.finalize(), t_hat)
+        assert np.array_equal(merged.cohort_sizes, sizes)
+
+        candidates = np.arange(40)
+        whole = agg.decode(cohorts, reports, candidates)
+        sharded = agg.decode_accumulated(merged, candidates)
+        assert np.array_equal(whole.estimated_counts, sharded.estimated_counts)
+        assert np.array_equal(whole.significant, sharded.significant)
+        assert whole.threshold == sharded.threshold
+
+    def test_merge_rejects_different_params(self):
+        a = RapporAggregator(
+            RapporParams(num_bits=32, num_hashes=2, num_cohorts=4), 1
+        ).accumulator()
+        b = RapporAggregator(
+            RapporParams(num_bits=32, num_hashes=2, num_cohorts=8), 1
+        ).accumulator()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_rejects_different_master_seed(self):
+        # Different master seeds mean different cohort Bloom hash
+        # families — the tallies' bit positions are incomparable.
+        params = RapporParams(num_bits=32, num_hashes=2, num_cohorts=4)
+        a = RapporAggregator(params, 1).accumulator()
+        b = RapporAggregator(params, 2).accumulator()
+        with pytest.raises(ValueError):
+            a.merge(b)
+        with pytest.raises(ValueError):
+            RapporAggregator(params, 1).decode_accumulated(b, np.arange(4))
+
+    def test_decode_accumulated_rejects_foreign_params(self):
+        params = RapporParams(num_bits=32, num_hashes=2, num_cohorts=4)
+        other = RapporParams(num_bits=64, num_hashes=2, num_cohorts=4)
+        agg = RapporAggregator(params, 1)
+        foreign = RapporAggregator(other, 1).accumulator()
+        with pytest.raises(ValueError):
+            agg.decode_accumulated(foreign, np.arange(10))
+
+
+class TestMicrosoftAccumulators:
+    def test_dbitflip_sharded_merge_is_bitwise_exact(self):
+        db = DBitFlip(num_buckets=32, d=8, epsilon=1.0)
+        vals = np.random.default_rng(8).integers(0, 32, size=2500)
+        reports = db.privatize(vals, rng=9)
+        whole = db.estimate_counts(reports)
+        merged = db.accumulator()
+        for mask in _shard_masks(2500, 3, seed=10):
+            shard = DBitFlipReports(
+                bucket_indices=reports.bucket_indices[mask],
+                bits=reports.bits[mask],
+            )
+            merged.merge(db.accumulator().absorb(shard))
+        assert merged.n_absorbed == 2500
+        assert np.array_equal(merged.finalize(), whole)
+
+    def test_dbitflip_merge_rejects_mismatched_mechanisms(self):
+        a = DBitFlip(32, 8, 1.0).accumulator()
+        b = DBitFlip(32, 4, 1.0).accumulator()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_onebit_sharded_merge_is_bitwise_exact(self):
+        ob = OneBitMean(100.0, 1.0)
+        xs = np.random.default_rng(11).uniform(0, 100, size=2000)
+        bits = ob.privatize(xs, rng=12)
+        whole = ob.estimate_mean(bits)
+        merged = ob.accumulator()
+        for mask in _shard_masks(2000, 4, seed=13):
+            merged.merge(ob.accumulator().absorb(bits[mask]))
+        assert merged.n_absorbed == 2000
+        assert float(merged.finalize()[0]) == whole
+
+    def test_onebit_empty_finalize_rejected(self):
+        ob = OneBitMean(10.0, 1.0)
+        with pytest.raises(ValueError):
+            ob.accumulator().finalize()
+
+    def test_onebit_accepts_empty_shard(self):
+        # A shard (e.g. a quiet time window) may contribute zero reports;
+        # absorbing it must be the monoid identity, as for every other
+        # accumulator.
+        ob = OneBitMean(10.0, 1.0)
+        bits = ob.privatize(np.full(100, 5.0), rng=1)
+        merged = (
+            ob.accumulator()
+            .absorb(np.asarray([], dtype=np.uint8))
+            .absorb(bits)
+        )
+        assert merged.n_absorbed == 100
+        assert float(merged.finalize()[0]) == ob.estimate_mean(bits)
+
+    def test_onebit_merge_rejects_mismatched_bounds(self):
+        a = OneBitMean(10.0, 1.0).accumulator()
+        b = OneBitMean(20.0, 1.0).accumulator()
+        with pytest.raises(ValueError):
+            a.merge(b)

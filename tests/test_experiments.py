@@ -28,6 +28,10 @@ TINY = {
     ),
     "E12": dict(domain_size=16, populations=(500, 2_000), repetitions=2, seed=12),
     "E13": dict(rounds=(1, 8)),
+    "E14": dict(
+        domain_size=16, n=4_000, shard_counts=(1, 3), chunk_sizes=(512,),
+        pivot_shards=2, pivot_chunk=1_024, workers=2, seed=14,
+    ),
     "A1": dict(domain_size=16, n=1_000, epsilons=(1.0,)),
     "A2": dict(domain_size=32, n=2_000, epsilons=(1.0,), gs=(2, 4), seed=31),
     "A3": dict(num_buckets=16, n=4_000, ds=(1, 4, 16), seed=32),

@@ -1,0 +1,129 @@
+"""The sharded collection pipeline and report-size accounting.
+
+`run_sharded_collection` is the deployment-shaped entry point: chunked
+privatization, per-shard accumulators, one merge, one finalize.  These
+tests pin its determinism (worker schedule must not matter), its
+bounded-memory chunking, its bookkeeping, and the `report_bytes`
+classification fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DirectEncoding,
+    OptimalLocalHashing,
+    OptimalUnaryEncoding,
+    make_oracle,
+)
+from repro.protocol import report_bytes, run_collection, run_sharded_collection
+
+
+class TestShardedCollection:
+    def test_matches_population_statistics(self):
+        oracle = DirectEncoding(16, 2.0)
+        values = np.arange(16).repeat(500)
+        stats = run_sharded_collection(
+            oracle, values, num_shards=4, chunk_size=1000, rng=1
+        )
+        assert stats.num_users == 8000
+        assert stats.estimated_counts.shape == (16,)
+        sd = oracle.count_stddev(8000, f=1 / 16)
+        assert np.all(np.abs(stats.estimated_counts - 500) < 6 * sd)
+
+    def test_worker_schedule_does_not_change_results(self):
+        oracle = OptimalLocalHashing(32, 1.5)
+        values = np.random.default_rng(2).integers(0, 32, size=6000)
+        seq = run_sharded_collection(
+            oracle, values, num_shards=5, chunk_size=700, workers=None, rng=3
+        )
+        pooled = run_sharded_collection(
+            oracle, values, num_shards=5, chunk_size=700, workers=4, rng=3
+        )
+        assert np.array_equal(seq.estimated_counts, pooled.estimated_counts)
+
+    def test_chunking_is_bounded_and_counted(self):
+        oracle = DirectEncoding(8, 1.0)
+        values = np.arange(8).repeat(400)  # 3200 users
+        stats = run_sharded_collection(
+            oracle, values, num_shards=2, chunk_size=300, rng=4
+        )
+        assert stats.num_shards == 2
+        assert len(stats.shards) == 2
+        for shard in stats.shards:
+            assert shard.num_users == 1600
+            # ceil(1600 / 300) chunks — the memory bound really applies
+            assert shard.num_chunks == 6
+            assert shard.encode_seconds >= 0.0
+            assert shard.decode_seconds >= 0.0
+        assert stats.encode_seconds == sum(
+            s.encode_seconds for s in stats.shards
+        )
+        assert stats.total_bytes == 8.0 * 3200  # int64 DE reports
+
+    def test_single_shard_single_chunk_matches_run_collection_shape(self):
+        oracle = OptimalUnaryEncoding(8, 1.0)
+        values = np.arange(8).repeat(100)
+        one = run_collection(oracle, values, rng=5)
+        sharded = run_sharded_collection(
+            oracle, values, num_shards=1, chunk_size=10_000, rng=5
+        )
+        assert one.estimated_counts.shape == sharded.estimated_counts.shape
+        assert sharded.shards[0].bytes_per_report == one.bytes_per_report
+        assert sharded.users_per_second > 0
+
+    def test_uneven_shards_cover_everyone(self):
+        oracle = DirectEncoding(4, 1.0)
+        values = np.arange(4).repeat(25)  # 100 users, 3 shards → 34/33/33
+        stats = run_sharded_collection(
+            oracle, values, num_shards=3, chunk_size=10, rng=6
+        )
+        assert [s.num_users for s in stats.shards] == [34, 33, 33]
+        assert sum(s.num_users for s in stats.shards) == 100
+
+    def test_validation(self):
+        oracle = DirectEncoding(4, 1.0)
+        values = np.arange(4).repeat(5)
+        with pytest.raises(ValueError):
+            run_sharded_collection(oracle, values, num_shards=0)
+        with pytest.raises(ValueError):
+            run_sharded_collection(oracle, values, chunk_size=0)
+        with pytest.raises(ValueError):
+            run_sharded_collection(oracle, values, num_shards=21)
+        with pytest.raises(ValueError):
+            run_sharded_collection(oracle, np.zeros((2, 2)), num_shards=1)
+
+    @pytest.mark.parametrize("name", ["DE", "OUE", "SHE", "OLH", "HR"])
+    def test_every_core_oracle_runs_through_the_pipeline(self, name):
+        oracle = make_oracle(name, 8, 1.0)
+        values = np.arange(8).repeat(50)
+        stats = run_sharded_collection(
+            oracle, values, num_shards=3, chunk_size=64, workers=2, rng=7
+        )
+        assert stats.estimated_counts.shape == (8,)
+        assert abs(stats.estimated_counts.sum() - 400) < 400
+
+
+class TestReportBytes:
+    def test_uint8_bit_matrix_counts_bits(self):
+        bits = (np.random.default_rng(1).random((50, 64)) < 0.5).astype(np.uint8)
+        assert report_bytes(bits, 50) == 8.0  # 64 bits = 8 bytes
+
+    def test_all_zero_uint8_matrix_still_counts_bits(self):
+        assert report_bytes(np.zeros((10, 16), dtype=np.uint8), 10) == 2.0
+
+    def test_regression_zero_one_int64_matrix_is_not_a_bit_matrix(self):
+        # int64 payloads are transmitted at full width even when the
+        # sampled values happen to all be 0/1 — dtype decides, and the
+        # check must not materialize a unique pass over the batch.
+        arr = np.zeros((100, 8), dtype=np.int64)
+        arr[0, 0] = 1
+        assert report_bytes(arr, 100) == 64.0
+        assert report_bytes(np.zeros((100, 8), dtype=np.int64), 100) == 64.0
+
+    def test_uint8_with_larger_values_counts_full_bytes(self):
+        arr = np.full((10, 4), 3, dtype=np.uint8)
+        assert report_bytes(arr, 10) == 4.0
+
+    def test_float_matrix_counts_full_width(self):
+        assert report_bytes(np.zeros((5, 4), dtype=np.float64), 5) == 32.0
