@@ -4,18 +4,25 @@ The population is privatized in bounded-memory chunks — at most
 ``chunk_size`` users' reports exist per worker at any instant, never the
 full 1M-report batch — and per-shard accumulators are merged before one
 finalize.
+
+``REPRO_BENCH_USERS`` scales the population down for CI smoke runs; the
+committed results use the default 1M.
 """
+
+import os
 
 from conftest import run_once
 
 from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
 
 
 def bench_e14_sharded_pipeline(benchmark, save_table):
     table = run_once(
         benchmark,
         get_experiment("E14").run,
-        n=1_000_000,
+        n=BENCH_USERS,
         shard_counts=(1, 2, 4, 8),
         chunk_sizes=(16_384, 65_536, 262_144),
         workers=4,

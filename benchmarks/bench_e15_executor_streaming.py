@@ -1,0 +1,57 @@
+"""E15 benchmark: executor backends + streaming snapshots at 1M users.
+
+Serial vs thread vs process backends over the same 1M-user OLH
+collection (bit-identical estimates, different wall time), then the same
+population as a tumbling-window stream with per-window snapshot latency.
+
+``REPRO_BENCH_USERS`` scales the population down (CI smokes the
+pipeline at tiny sizes so executor regressions fail fast; the committed
+results use the default 1M).
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+
+
+def bench_e15_executor_streaming(benchmark, save_table):
+    table = run_once(
+        benchmark,
+        get_experiment("E15").run,
+        n=BENCH_USERS,
+        num_shards=4,
+        chunk_size=min(65_536, max(BENCH_USERS // 4, 1)),
+        workers=4,
+        backends=("serial", "thread", "process"),
+        num_windows=8,
+        seed=15,
+    )
+    save_table("E15", table)
+
+    backend_rows = [r for r in table.rows if r[0] == "backend"]
+    stream_rows = [r for r in table.rows if r[0] == "stream"]
+    assert [r[1] for r in backend_rows] == ["serial", "thread", "process"]
+    # ceil(n / ceil(n/8)) windows — 8 at the default 1M, possibly fewer
+    # when REPRO_BENCH_USERS shrinks the population below a multiple of 8.
+    window_size = -(-BENCH_USERS // 8)
+    assert len(stream_rows) == -(-BENCH_USERS // window_size)
+
+    # Executors must agree *exactly*: same shards, same chunking, same
+    # spawned streams — the error column is one number three times.
+    backend_errs = {r[7] for r in backend_rows}
+    assert len(backend_errs) == 1
+    for row in backend_rows:
+        assert row[3] > 0.0 and row[4] > 0.0
+
+    # The stream covers the full population and every snapshot is timed.
+    assert stream_rows[-1][2] == BENCH_USERS
+    for row in stream_rows:
+        assert row[6] >= 0.0
+    # Cumulative absolute error grows ~sqrt(users) — at 8x the users it
+    # must sit well below 8x the first window's error (sanity, not a
+    # tight statistical gate).
+    assert stream_rows[-1][7] < 8.0 * max(stream_rows[0][7], 1e-9)

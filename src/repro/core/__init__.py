@@ -39,6 +39,11 @@ from repro.core.mechanism import (
     postprocess_counts,
 )
 from repro.core.randomized_response import DirectEncoding, WarnerRandomizedResponse
+from repro.core.serialization import (
+    AccumulatorPayload,
+    pack_accumulator_state,
+    unpack_accumulator_state,
+)
 from repro.core.unary import OptimalUnaryEncoding, SymmetricUnaryEncoding
 
 __all__ = [
@@ -56,6 +61,9 @@ __all__ = [
     "hoeffding_count_bound",
     "make_oracle",
     "Accumulator",
+    "AccumulatorPayload",
+    "pack_accumulator_state",
+    "unpack_accumulator_state",
     "HadamardAccumulator",
     "HadamardResponse",
     "SummationAccumulator",

@@ -190,5 +190,8 @@ class HadamardAccumulator(PureAccumulator):
             return super().support
         oracle = self._oracle
         assert isinstance(oracle, HadamardResponse)
-        counts = (self._n / 2.0 + 0.5 * fwht(self._state))
-        return counts[: oracle.domain_size]
+        # fwht returns a fresh array, so this never aliases the live
+        # transform-domain state; mark it read-only like the base snapshot.
+        counts = (self._n / 2.0 + 0.5 * fwht(self._state))[: oracle.domain_size]
+        counts.flags.writeable = False
+        return counts

@@ -141,6 +141,20 @@ class SummationAccumulator(Accumulator):
     def finalize(self) -> np.ndarray:
         return self._sums.copy()
 
+    def config_fingerprint(self) -> dict:
+        return {
+            "oracle": type(self._oracle).__name__,
+            "domain_size": int(self._oracle.domain_size),
+            "epsilon": float(self._oracle.epsilon),
+        }
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"sums": self._sums}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._sums = arrays["sums"]
+        self._n = int(n)
+
 
 class ThresholdHistogramEncoding(PureFrequencyOracle):
     """THE: client-side thresholding of the SHE release at optimal θ.

@@ -118,6 +118,22 @@ class Accumulator(ABC):
     commutative monoid — ``absorb``/``merge`` in any grouping must yield
     the same final state — which is what makes sharded and streaming
     collection a pure refactoring of whole-batch estimation.
+
+    The API contract is *non-destructive* (property-tested for every
+    registered oracle and system stack):
+
+    * :meth:`finalize` is pure and idempotent — it never mutates the
+      state, so it can be called repeatedly (the streaming collector
+      snapshots a live accumulator this way);
+    * ``a.merge(b)`` mutates only ``a``; ``b`` is left bitwise unchanged
+      and remains usable;
+    * :meth:`copy` yields an independent accumulator — absorbing into
+      the copy never shows through the original;
+    * :meth:`to_bytes` / :meth:`from_bytes` round-trip the state through
+      a versioned wire format (see :mod:`repro.core.serialization`) so
+      summaries can cross process and machine boundaries; payloads carry
+      the producing configuration's fingerprint and deserialization
+      rejects mismatches.
     """
 
     _n: int = 0
@@ -133,11 +149,18 @@ class Accumulator(ABC):
 
     @abstractmethod
     def merge(self, other: "Accumulator") -> "Accumulator":
-        """Fold another compatible accumulator in; returns ``self``."""
+        """Fold another compatible accumulator in; returns ``self``.
+
+        ``other`` is read, never written: it stays bitwise unchanged.
+        """
 
     @abstractmethod
     def finalize(self) -> np.ndarray:
-        """Unbiased count estimates from the accumulated state."""
+        """Unbiased count estimates from the accumulated state.
+
+        Pure: repeated calls return the same result and the accumulator
+        keeps absorbing/merging afterwards as if never finalized.
+        """
 
     def _check_mergeable(self, other: "Accumulator") -> None:
         """Reject merges across accumulator types (subclasses add more)."""
@@ -145,6 +168,105 @@ class Accumulator(ABC):
             raise TypeError(
                 f"cannot merge {type(other).__name__} into {type(self).__name__}"
             )
+
+    # -- state hooks (implemented by every concrete accumulator) -----------
+
+    @abstractmethod
+    def config_fingerprint(self) -> dict:
+        """JSON-able identity of the producing configuration.
+
+        Two accumulators may be merged (or a payload hydrated) only when
+        their fingerprints are equal — same oracle family, domain size,
+        ε, sketch geometry, hash seeds, candidate list, and so on.
+        """
+
+    @abstractmethod
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        """The complete mutable state as named arrays (scalars as 1-vectors)."""
+
+    @abstractmethod
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        """Replace the state with already-validated arrays plus the count."""
+
+    def _checked_arrays(
+        self, arrays: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Match incoming arrays against this accumulator's state layout."""
+        own = self._state_arrays()
+        if set(arrays) != set(own):
+            raise ValueError(
+                f"state arrays {sorted(arrays)} do not match the expected "
+                f"layout {sorted(own)}"
+            )
+        for name, current in own.items():
+            incoming = arrays[name]
+            if incoming.shape != current.shape:
+                raise ValueError(
+                    f"state array {name!r} has shape {incoming.shape}, "
+                    f"expected {current.shape}"
+                )
+        return {
+            name: np.ascontiguousarray(arr, dtype=own[name].dtype)
+            for name, arr in arrays.items()
+        }
+
+    # -- non-destructive algebra -------------------------------------------
+
+    def copy(self) -> "Accumulator":
+        """An independent deep copy (shares only the immutable config)."""
+        import copy as _copy
+
+        dup = _copy.copy(self)
+        dup._load_state(
+            {name: arr.copy() for name, arr in self._state_arrays().items()},
+            self._n,
+        )
+        return dup
+
+    def to_bytes(self) -> bytes:
+        """Serialize state + config fingerprint to the versioned wire format."""
+        from repro.core.serialization import pack_accumulator_state
+
+        return pack_accumulator_state(
+            type(self).__name__,
+            self.config_fingerprint(),
+            self._n,
+            self._state_arrays(),
+        )
+
+    def from_bytes(self, payload: bytes) -> "Accumulator":
+        """Hydrate this *empty* accumulator from a wire payload; returns self.
+
+        The canonical shape is ``oracle.accumulator().from_bytes(data)``:
+        the receiver builds a fresh accumulator from its own configuration
+        and the payload must agree — ``kind`` (accumulator class) and the
+        full config fingerprint are compared and mismatches rejected, so
+        state collected under a different deployment can never be folded
+        in silently.
+        """
+        from repro.core.serialization import unpack_accumulator_state
+
+        if self._n != 0:
+            raise ValueError(
+                "from_bytes requires a fresh accumulator "
+                f"(this one already absorbed {self._n} reports)"
+            )
+        decoded = unpack_accumulator_state(payload)
+        if decoded.kind != type(self).__name__:
+            raise ValueError(
+                f"payload holds {decoded.kind} state, cannot hydrate "
+                f"{type(self).__name__}"
+            )
+        own = self.config_fingerprint()
+        if decoded.config != own:
+            raise ValueError(
+                "payload was produced under a different configuration "
+                f"(payload {decoded.config!r} vs receiver {own!r})"
+            )
+        if decoded.n < 0:
+            raise ValueError(f"payload reports negative n ({decoded.n})")
+        self._load_state(self._checked_arrays(decoded.arrays), decoded.n)
+        return self
 
 
 class LocalMechanism(ABC):
@@ -367,10 +489,15 @@ class PureAccumulator(Accumulator):
 
     @property
     def support(self) -> np.ndarray:
-        """Accumulated per-value support counts (read-only view)."""
-        view = self._state.view()
-        view.flags.writeable = False
-        return view
+        """Accumulated per-value support counts (read-only snapshot).
+
+        A *copy* of the state (it is only ``d`` floats), not a view:
+        a view would silently change under the caller's feet after
+        later ``absorb``/``merge`` calls.
+        """
+        snap = self._state.copy()
+        snap.flags.writeable = False
+        return snap
 
     def absorb(self, reports: Any) -> "PureAccumulator":
         if self._candidates is None:
@@ -408,6 +535,27 @@ class PureAccumulator(Accumulator):
         """Shared pure-protocol estimator ``(C_v − n q*) / (p* − q*)``."""
         p, q = self._oracle.p_star, self._oracle.q_star
         return (self.support - self._n * q) / (p - q)
+
+    def config_fingerprint(self) -> dict:
+        return {
+            "oracle": type(self._oracle).__name__,
+            "domain_size": int(self._oracle.domain_size),
+            "epsilon": float(self._oracle.epsilon),
+            "p_star": float(self._oracle.p_star),
+            "q_star": float(self._oracle.q_star),
+            "candidates": (
+                None
+                if self._candidates is None
+                else [int(c) for c in self._candidates]
+            ),
+        }
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"state": self._state}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._state = arrays["state"]
+        self._n = int(n)
 
 
 def postprocess_counts(raw: np.ndarray, method: str = "none") -> np.ndarray:

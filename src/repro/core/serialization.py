@@ -1,0 +1,135 @@
+"""Versioned accumulator wire format for cross-process / cross-machine merges.
+
+The deployed systems the paper surveys aggregate across *machines*: a
+shard collector folds its report stream into an accumulator, ships the
+summary to a combiner, and the combiner merges summaries it did not
+build.  That requires a wire format — not Python pickles, whose layout
+is an implementation detail of whatever classes happen to be importable
+on the other side.
+
+The format here is deliberately tiny and self-describing::
+
+    magic   b"LDPA"                     (4 bytes)
+    version u8                          (currently 1)
+    hlen    u32 little-endian           (JSON header length)
+    header  UTF-8 JSON                  (kind, config, n, array manifest)
+    body    raw little-endian C-order array bytes, in manifest order
+
+The header carries three things:
+
+* ``kind`` — the accumulator class name, so a payload can never be
+  hydrated into the wrong algebra;
+* ``config`` — the producing accumulator's configuration fingerprint
+  (domain size, ε, sketch geometry, hash seeds, …).  Deserialization
+  *rejects* payloads whose fingerprint differs from the receiving
+  accumulator's: merging tallies collected under different
+  configurations would silently corrupt estimates, which is exactly the
+  failure mode a fingerprint exists to make loud;
+* ``n`` plus a manifest of ``(name, dtype, shape)`` for each state
+  array, so the body needs no framing of its own.
+
+Floats in the fingerprint survive the JSON round-trip exactly (Python
+serializes float64 with ``repr``-faithful precision), so fingerprint
+comparison is bit-exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "AccumulatorPayload",
+    "pack_accumulator_state",
+    "unpack_accumulator_state",
+]
+
+MAGIC = b"LDPA"
+WIRE_VERSION = 1
+
+_HEADER_STRUCT = struct.Struct("<4sBI")  # magic, version, header length
+
+
+@dataclass(frozen=True)
+class AccumulatorPayload:
+    """Decoded wire payload: identity, configuration, and state arrays."""
+
+    kind: str
+    config: dict
+    n: int
+    arrays: dict[str, np.ndarray]
+
+
+def _wire_dtype(dtype: np.dtype) -> np.dtype:
+    """The little-endian equivalent of a dtype (bytes on the wire)."""
+    if dtype.byteorder == ">":
+        return dtype.newbyteorder("<")
+    return dtype
+
+
+def pack_accumulator_state(
+    kind: str, config: dict, n: int, arrays: dict[str, np.ndarray]
+) -> bytes:
+    """Serialize one accumulator's state into the versioned wire format."""
+    manifest = []
+    chunks = []
+    for name, arr in arrays.items():
+        a = np.ascontiguousarray(arr)
+        a = a.astype(_wire_dtype(a.dtype), copy=False)
+        manifest.append(
+            {"name": name, "dtype": a.dtype.str, "shape": list(a.shape)}
+        )
+        chunks.append(a.tobytes())
+    header = json.dumps(
+        {"kind": kind, "config": config, "n": int(n), "arrays": manifest},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    return b"".join(
+        [_HEADER_STRUCT.pack(MAGIC, WIRE_VERSION, len(header)), header, *chunks]
+    )
+
+
+def unpack_accumulator_state(payload: bytes) -> AccumulatorPayload:
+    """Decode a wire payload; raises ``ValueError`` on anything malformed."""
+    if len(payload) < _HEADER_STRUCT.size:
+        raise ValueError("payload too short to be an accumulator wire format")
+    magic, version, hlen = _HEADER_STRUCT.unpack_from(payload)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not an accumulator payload")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported accumulator wire version {version} "
+            f"(this build reads version {WIRE_VERSION})"
+        )
+    offset = _HEADER_STRUCT.size
+    try:
+        header = json.loads(payload[offset : offset + hlen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError("corrupt accumulator payload header") from exc
+    offset += hlen
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if offset + nbytes > len(payload):
+            raise ValueError("truncated accumulator payload body")
+        arr = np.frombuffer(payload, dtype=dtype, count=max(
+            nbytes // dtype.itemsize, 0
+        ), offset=offset).reshape(shape)
+        arrays[entry["name"]] = arr.copy()  # own, writable memory
+        offset += nbytes
+    if offset != len(payload):
+        raise ValueError("trailing bytes after accumulator payload body")
+    return AccumulatorPayload(
+        kind=str(header["kind"]),
+        config=header["config"],
+        n=int(header["n"]),
+        arrays=arrays,
+    )

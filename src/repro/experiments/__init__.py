@@ -29,6 +29,7 @@ EXPERIMENT_MODULES = {
     "E12": "e12_central_vs_local",
     "E13": "e13_composition",
     "E14": "e14_sharded_pipeline",
+    "E15": "e15_executor_streaming",
     "A1": "a01_the_theta",
     "A2": "a02_olh_g",
     "A3": "a03_dbitflip_d",

@@ -98,7 +98,11 @@ def blender_estimate(
     # --- opt-in group: central DP histogram + head discovery ----------------
     noisy_counts = central_histogram(optin_vals, domain_size, epsilon, rng=gen)
     head = np.sort(np.argsort(-noisy_counts)[:head_size]).astype(np.int64)
-    optin_freq = noisy_counts[head] / n_opt
+    # At small ε the Laplace noise can push head counts negative; a count
+    # is a count, so clamp at 0 *before* deriving frequencies — otherwise
+    # negative optin_freq leaks into the blend and f(1−f) corrupts the
+    # inverse-variance weights.
+    optin_freq = np.clip(noisy_counts[head], 0.0, None) / n_opt
     # Per-item central variance: Laplace(2/ε) noise + multinomial sampling.
     var_opt = (8.0 / epsilon**2) / n_opt**2 + np.clip(
         optin_freq * (1.0 - optin_freq), 1e-12, None

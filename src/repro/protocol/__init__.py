@@ -1,6 +1,7 @@
 """Client/aggregator simulation layer."""
 
 from repro.protocol.simulation import (
+    BACKENDS,
     CollectionStats,
     ShardedCollectionStats,
     ShardStats,
@@ -8,12 +9,21 @@ from repro.protocol.simulation import (
     run_collection,
     run_sharded_collection,
 )
+from repro.protocol.streaming import (
+    StreamingCollector,
+    StreamSnapshot,
+    stream_collection,
+)
 
 __all__ = [
+    "BACKENDS",
     "CollectionStats",
     "ShardedCollectionStats",
     "ShardStats",
+    "StreamSnapshot",
+    "StreamingCollector",
     "report_bytes",
     "run_collection",
     "run_sharded_collection",
+    "stream_collection",
 ]

@@ -13,11 +13,27 @@ Two collection shapes are offered:
   whole population, estimate once.
 * :func:`run_sharded_collection` — the deployment shape: clients are
   privatized in bounded-memory chunks, each shard folds its chunks into
-  its own mergeable :class:`~repro.core.mechanism.Accumulator`
-  (optionally across a thread pool), shard accumulators are merged, and
-  a single ``finalize`` produces the estimates.  Raw report batches
-  never outlive their chunk, so peak memory is ``O(workers · chunk)``
-  regardless of the population size.
+  its own mergeable :class:`~repro.core.mechanism.Accumulator`, shard
+  accumulators are merged into a *fresh* accumulator (never into a
+  shard's own state), and a single ``finalize`` produces the estimates.
+  Raw report batches never outlive their chunk, so peak memory is
+  ``O(workers · chunk)`` regardless of the population size.
+
+Shards can be collected on three executor backends:
+
+* ``"serial"`` — in the calling thread, one shard after another;
+* ``"thread"`` — a thread pool (NumPy kernels release the GIL for most
+  of the work, so encode scales);
+* ``"process"`` — a process pool: each worker receives the oracle
+  configuration, its shard's values and its spawned generator, collects
+  locally, and returns its accumulator *serialized* through the
+  versioned wire format (:mod:`repro.core.serialization`); the parent
+  hydrates and merges.  This is the multi-machine shape — nothing
+  crosses the process boundary except picklable config and wire bytes.
+
+Every backend consumes identical per-shard RNG streams, so for a fixed
+``(num_shards, chunk_size, rng)`` the estimates are bit-identical across
+backends (SHE matches to ~1e-9: float summation order).
 
 Mechanisms own all the cryptographic substance; this module adds
 population handling, sharding and bookkeeping.
@@ -26,7 +42,7 @@ population handling, sharding and bookkeeping.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +52,7 @@ from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
 
 __all__ = [
+    "BACKENDS",
     "CollectionStats",
     "ShardStats",
     "ShardedCollectionStats",
@@ -43,6 +60,9 @@ __all__ = [
     "run_sharded_collection",
     "report_bytes",
 ]
+
+#: Executor backends understood by :func:`run_sharded_collection`.
+BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -95,6 +115,7 @@ class ShardedCollectionStats:
     merge_seconds: float
     finalize_seconds: float
     wall_seconds: float
+    backend: str = "serial"
 
     @property
     def encode_seconds(self) -> float:
@@ -197,6 +218,33 @@ def _collect_shard(
     return acc, stats
 
 
+def _collect_shard_serialized(
+    args: tuple[FrequencyOracle, int, np.ndarray, int, np.random.Generator],
+) -> tuple[bytes, ShardStats]:
+    """Process-pool worker: collect one shard, return wire bytes + stats.
+
+    Must stay a module-level function so the pool can pickle it.  The
+    oracle travels to the worker as configuration (oracles are small,
+    picklable parameter objects); the accumulator travels *back* through
+    the versioned wire format rather than as a pickle, exactly as a
+    remote shard collector would ship its summary.
+    """
+    oracle, shard_index, shard_values, chunk_size, gen = args
+    acc, stats = _collect_shard(oracle, shard_index, shard_values, chunk_size, gen)
+    return acc.to_bytes(), stats
+
+
+def _resolve_backend(backend: str | None, workers: int | None) -> str:
+    """Pick the executor backend, honouring the pre-backend workers API."""
+    if backend is None:
+        return "thread" if workers is not None and workers > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
+
+
 def run_sharded_collection(
     oracle: FrequencyOracle,
     values: np.ndarray,
@@ -204,6 +252,7 @@ def run_sharded_collection(
     num_shards: int = 4,
     chunk_size: int = 65_536,
     workers: int | None = None,
+    backend: str | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> ShardedCollectionStats:
     """Collect a population through the sharded accumulator pipeline.
@@ -212,7 +261,10 @@ def run_sharded_collection(
     privatizes its clients in chunks of at most ``chunk_size``, folding
     every chunk's reports into the shard's accumulator and discarding
     them — the whole report batch is never materialized.  Shard
-    accumulators are then merged in shard order and finalized once.
+    accumulators are then merged *into a fresh accumulator* in shard
+    order and finalized once; no shard's state is mutated by the merge,
+    so per-shard accumulators (and anything derived from them) remain
+    valid after the call.
 
     Parameters
     ----------
@@ -226,13 +278,21 @@ def run_sharded_collection(
         Maximum clients privatized at once within a shard (the memory
         bound).
     workers:
-        If > 1, shards are collected on a thread pool of this size
-        (NumPy kernels release the GIL for most of the work).  ``None``
-        or 1 runs shards sequentially.
+        Pool size for the ``"thread"``/``"process"`` backends.  ``None``
+        defaults to ``num_shards`` there; the serial backend ignores it.
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.  ``None`` keeps the
+        historical behaviour: a thread pool when ``workers > 1``, serial
+        otherwise.  The process backend ships (oracle config, shard
+        values, spawned generator) to each worker and merges the wire-
+        serialized accumulators the workers return — estimates are
+        bit-identical to the serial backend for every oracle (SHE to
+        ~1e-9) because every backend consumes the same per-shard
+        streams.
     rng:
         Master seed/generator.  Each shard draws from its own generator
         spawned off the master, so results are reproducible and
-        *independent of the worker schedule*.
+        *independent of the worker schedule and backend*.
 
     Returns
     -------
@@ -243,6 +303,7 @@ def run_sharded_collection(
     check_positive_int(chunk_size, name="chunk_size")
     if workers is not None:
         check_positive_int(workers, name="workers")
+    chosen = _resolve_backend(backend, workers)
     vals = np.asarray(values)
     if vals.ndim != 1 or vals.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
@@ -254,29 +315,36 @@ def run_sharded_collection(
     master = ensure_generator(rng)
     shard_gens = master.spawn(num_shards)
     shard_values = np.array_split(vals, num_shards)
+    shard_args = [
+        (oracle, i, shard_values[i], chunk_size, shard_gens[i])
+        for i in range(num_shards)
+    ]
+    pool_size = min(workers if workers is not None else num_shards, num_shards)
 
     t_start = time.perf_counter()
-    if workers is not None and workers > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(
-                pool.map(
-                    lambda args: _collect_shard(oracle, *args),
-                    [
-                        (i, shard_values[i], chunk_size, shard_gens[i])
-                        for i in range(num_shards)
-                    ],
-                )
-            )
+    serialized: list[bytes] | None = None
+    if chosen == "process":
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            shipped = list(pool.map(_collect_shard_serialized, shard_args))
+        serialized = [payload for payload, _ in shipped]
+        shard_stats = [stats for _, stats in shipped]
+    elif chosen == "thread" and pool_size > 1:
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            outcomes = list(pool.map(lambda args: _collect_shard(*args), shard_args))
     else:
-        outcomes = [
-            _collect_shard(oracle, i, shard_values[i], chunk_size, shard_gens[i])
-            for i in range(num_shards)
-        ]
+        outcomes = [_collect_shard(*args) for args in shard_args]
 
     t_merge = time.perf_counter()
-    merged, _ = outcomes[0]
-    for acc, _ in outcomes[1:]:
-        merged.merge(acc)
+    merged = oracle.accumulator()
+    if serialized is not None:
+        # Hydrate each worker's wire payload into a fresh accumulator of
+        # the parent's configuration (fingerprints are verified) and fold.
+        for payload in serialized:
+            merged.merge(oracle.accumulator().from_bytes(payload))
+    else:
+        shard_stats = [stats for _, stats in outcomes]
+        for acc, _ in outcomes:
+            merged.merge(acc)
     t_finalize = time.perf_counter()
     counts = merged.finalize()
     t_end = time.perf_counter()
@@ -286,8 +354,9 @@ def run_sharded_collection(
         num_users=int(vals.shape[0]),
         num_shards=num_shards,
         chunk_size=chunk_size,
-        shards=tuple(stats for _, stats in outcomes),
+        shards=tuple(shard_stats),
         merge_seconds=t_finalize - t_merge,
         finalize_seconds=t_end - t_finalize,
         wall_seconds=t_end - t_start,
+        backend=chosen,
     )

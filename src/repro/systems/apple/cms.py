@@ -163,6 +163,17 @@ class _SketchAccumulator(Accumulator):
         """De-biased count estimates for already-validated candidates."""
         return self._owner._estimate_from_sketch(self.sketch(), self._n, candidates)
 
+    def config_fingerprint(self) -> dict:
+        owner = self._owner
+        return {
+            "sketch": type(owner).__name__,
+            "domain_size": int(owner.domain_size),
+            "epsilon": float(owner.epsilon),
+            "k": int(owner.k),
+            "m": int(owner.m),
+            "master_seed": int(owner.master_seed),
+        }
+
     def finalize(self) -> np.ndarray:
         return self.estimate_for(
             np.arange(self._owner.domain_size, dtype=np.int64)
@@ -216,6 +227,14 @@ class CmsAccumulator(_SketchAccumulator):
             + 0.5 * self._per_hash[:, None].astype(np.float64)
         )
 
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"signed": self._signed, "per_hash": self._per_hash}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._signed = arrays["signed"]
+        self._per_hash = arrays["per_hash"]
+        self._n = int(n)
+
 
 class HcmsAccumulator(_SketchAccumulator):
     """Mergeable HCMS state: signed bit sums per (function, coordinate).
@@ -262,6 +281,13 @@ class HcmsAccumulator(_SketchAccumulator):
         # hashing to l} — the CMS sketch scale, so the same estimator
         # applies.
         return fwht(owner.k * owner.c_eps * self._signed.astype(np.float64))
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"signed": self._signed}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._signed = arrays["signed"]
+        self._n = int(n)
 
 
 class CountMeanSketch(_SketchBase):

@@ -175,3 +175,19 @@ class DBitFlipAccumulator(Accumulator):
             2.0 * mech.p - 1.0
         )
         return (mech.num_buckets / mech.d) * debiased
+
+    def config_fingerprint(self) -> dict:
+        mech = self._mechanism
+        return {
+            "num_buckets": int(mech.num_buckets),
+            "d": int(mech.d),
+            "epsilon": float(mech.epsilon),
+        }
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"ones": self._ones, "samples": self._samples}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._ones = arrays["ones"]
+        self._samples = arrays["samples"]
+        self._n = int(n)

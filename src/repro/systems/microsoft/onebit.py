@@ -143,3 +143,19 @@ class OneBitMeanAccumulator(Accumulator):
         e = math.exp(mech.epsilon)
         per_user = ((self._ones / self._n) * (e + 1.0) - 1.0) / (e - 1.0)
         return np.asarray([mech.value_bound * per_user], dtype=np.float64)
+
+    def config_fingerprint(self) -> dict:
+        mech = self._mechanism
+        return {
+            "value_bound": float(mech.value_bound),
+            "epsilon": float(mech.epsilon),
+        }
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        # The whole state is two integers; the 1-bit tally travels as a
+        # length-1 array so the shared wire format applies unchanged.
+        return {"ones": np.asarray([self._ones], dtype=np.int64)}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._ones = int(arrays["ones"][0])
+        self._n = int(n)

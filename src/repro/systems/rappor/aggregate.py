@@ -98,10 +98,15 @@ class RapporAccumulator(Accumulator):
 
     @property
     def cohort_sizes(self) -> np.ndarray:
-        """Number of absorbed reports per cohort (read-only view)."""
-        view = self._sizes.view()
-        view.flags.writeable = False
-        return view
+        """Number of absorbed reports per cohort (read-only snapshot).
+
+        A copy, not a view of the live tallies — the same aliasing fix
+        as ``PureAccumulator.support``: a view would silently change
+        under the caller after later ``absorb``/``merge`` calls.
+        """
+        snap = self._sizes.copy()
+        snap.flags.writeable = False
+        return snap
 
     def absorb(
         self, reports: tuple[np.ndarray, np.ndarray]
@@ -141,6 +146,26 @@ class RapporAccumulator(Accumulator):
         self._sizes += other._sizes
         self._n += other._n
         return self
+
+    def config_fingerprint(self) -> dict:
+        params = self.params
+        return {
+            "num_bits": int(params.num_bits),
+            "num_hashes": int(params.num_hashes),
+            "num_cohorts": int(params.num_cohorts),
+            "f": float(params.f),
+            "p": float(params.p),
+            "q": float(params.q),
+            "master_seed": int(self.master_seed),
+        }
+
+    def _state_arrays(self) -> dict[str, np.ndarray]:
+        return {"bit_ones": self._bit_ones, "sizes": self._sizes}
+
+    def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
+        self._bit_ones = arrays["bit_ones"]
+        self._sizes = arrays["sizes"]
+        self._n = int(n)
 
     def finalize(self) -> np.ndarray:
         """Stage-1 corrected bit counts ``t̂`` of shape ``(cohorts, m)``.

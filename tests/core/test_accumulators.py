@@ -137,3 +137,32 @@ def test_support_view_is_read_only():
     acc = oracle.accumulator().absorb(oracle.privatize(np.arange(8), rng=1))
     with pytest.raises(ValueError):
         acc.support[0] = 99.0
+
+
+def test_regression_support_snapshot_is_stable_under_later_absorbs():
+    # `support` used to return a view of the live state: the "read-only"
+    # array a caller held would silently change after later absorb/merge
+    # calls.  It must be a snapshot.
+    oracle = OptimalUnaryEncoding(8, 1.0)
+    acc = oracle.accumulator().absorb(oracle.privatize(np.arange(8), rng=1))
+    snapshot = acc.support
+    frozen = snapshot.copy()
+    acc.absorb(oracle.privatize(np.arange(8).repeat(3), rng=2))
+    assert np.array_equal(snapshot, frozen)
+    other = oracle.accumulator().absorb(oracle.privatize(np.arange(8), rng=3))
+    acc.merge(other)
+    assert np.array_equal(snapshot, frozen)
+    assert not np.array_equal(acc.support, frozen)  # the state did move
+
+
+def test_accumulator_copy_is_independent():
+    oracle = OptimalLocalHashing(12, 1.4)
+    reports = oracle.privatize(np.arange(12).repeat(10), rng=5)
+    acc = oracle.accumulator().absorb(reports)
+    baseline = acc.finalize()
+    dup = acc.copy()
+    assert np.array_equal(dup.finalize(), baseline)
+    dup.absorb(oracle.privatize(np.arange(12), rng=6))
+    assert dup.n_absorbed == 132
+    assert acc.n_absorbed == 120
+    assert np.array_equal(acc.finalize(), baseline)

@@ -1,0 +1,198 @@
+"""Property tests for the non-destructive accumulator contract.
+
+Three promises every accumulator in the repo makes (core oracles *and*
+the system stacks), checked here for arbitrary shardings:
+
+* ``finalize()`` is pure and idempotent — repeated calls agree bitwise
+  and the state keeps absorbing/merging afterwards;
+* ``merge(other)`` leaves ``other`` bitwise unchanged (compared through
+  the wire format, which captures the complete state);
+* ``from_bytes(to_bytes(acc))`` round-trips to identical estimates, and
+  payloads from differently configured producers are rejected.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.apple.cms import CmsReports, HcmsReports
+from repro.systems.microsoft import DBitFlip, OneBitMean
+from repro.systems.microsoft.dbitflip import DBitFlipReports
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+@given(
+    report_seed=st.integers(0, 2**31),
+    split=st.integers(1, 119),
+)
+@settings(max_examples=8, deadline=None)
+def test_core_accumulator_contract(name, slice_reports, report_seed, split):
+    oracle = make_oracle(name, 9, 1.3)
+    values = np.random.default_rng(report_seed).integers(0, 9, size=120)
+    reports = oracle.privatize(values, rng=report_seed)
+    whole = oracle.estimate_counts(reports)
+
+    mask = np.zeros(120, dtype=bool)
+    mask[:split] = True
+    a = oracle.accumulator().absorb(slice_reports(reports, mask))
+    b = oracle.accumulator().absorb(slice_reports(reports, ~mask))
+
+    # finalize before the merge must not corrupt a's state...
+    pre = a.finalize()
+    assert np.array_equal(pre, a.finalize())
+
+    b_wire = b.to_bytes()
+    a.merge(b)
+    # ...merge must not touch b...
+    assert b.to_bytes() == b_wire
+    assert b.n_absorbed == 120 - split
+
+    # ...and the merged state finalizes (twice, identically) to the batch.
+    out = a.finalize()
+    assert np.array_equal(out, a.finalize())
+    if name == "SHE":
+        assert np.allclose(out, whole, rtol=1e-9, atol=1e-9)
+    else:
+        assert np.array_equal(out, whole)
+
+    # Wire round-trip: identical estimates and count.
+    restored = oracle.accumulator().from_bytes(a.to_bytes())
+    assert restored.n_absorbed == 120
+    assert np.array_equal(restored.finalize(), out)
+
+    # copy() is independent: absorbing into the copy leaves the original.
+    dup = a.copy()
+    dup.absorb(slice_reports(reports, mask))
+    assert np.array_equal(a.finalize(), out)
+    assert dup.n_absorbed == 120 + split
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+def test_serialization_rejects_mismatched_configs(name):
+    oracle = make_oracle(name, 9, 1.3)
+    other_eps = make_oracle(name, 9, 2.6)
+    other_dom = make_oracle(name, 12, 1.3)
+    payload = oracle.accumulator().absorb(
+        oracle.privatize(np.arange(9), rng=1)
+    ).to_bytes()
+    with pytest.raises(ValueError):
+        other_eps.accumulator().from_bytes(payload)
+    with pytest.raises(ValueError):
+        other_dom.accumulator().from_bytes(payload)
+    # A non-empty receiver must refuse to be overwritten.
+    busy = oracle.accumulator().absorb(oracle.privatize(np.arange(9), rng=2))
+    with pytest.raises(ValueError):
+        busy.from_bytes(payload)
+    with pytest.raises(ValueError):
+        oracle.accumulator().from_bytes(b"not an accumulator payload")
+
+
+def _system_cases():
+    """(label, accumulator factory, report batch, slicer) per system stack."""
+    gen = np.random.default_rng(101)
+
+    cms = CountMeanSketch(300, 2.0, k=4, m=64, master_seed=3)
+    cms_reports = cms.privatize(gen.integers(0, 300, 800), rng=4)
+
+    hcms = HadamardCountMeanSketch(300, 2.0, k=4, m=64, master_seed=3)
+    hcms_reports = hcms.privatize(gen.integers(0, 300, 800), rng=5)
+
+    params = RapporParams(num_bits=32, num_hashes=2, num_cohorts=4)
+    rappor = RapporAggregator(params, 6)
+    cohorts, bits = privatize_population(
+        params, gen.integers(0, 20, 600), 6, rng=7
+    )
+
+    db = DBitFlip(num_buckets=24, d=6, epsilon=1.0)
+    db_reports = db.privatize(gen.integers(0, 24, 700), rng=8)
+
+    ob = OneBitMean(50.0, 1.0)
+    ob_bits = ob.privatize(gen.uniform(0, 50, 500), rng=9)
+
+    return [
+        (
+            "cms",
+            cms.accumulator,
+            cms_reports,
+            lambda r, m: CmsReports(
+                hash_indices=r.hash_indices[m], rows=r.rows[m]
+            ),
+        ),
+        (
+            "hcms",
+            hcms.accumulator,
+            hcms_reports,
+            lambda r, m: HcmsReports(
+                hash_indices=r.hash_indices[m], coords=r.coords[m], bits=r.bits[m]
+            ),
+        ),
+        (
+            "rappor",
+            rappor.accumulator,
+            (cohorts, bits),
+            lambda r, m: (r[0][m], r[1][m]),
+        ),
+        (
+            "dbitflip",
+            db.accumulator,
+            db_reports,
+            lambda r, m: DBitFlipReports(
+                bucket_indices=r.bucket_indices[m], bits=r.bits[m]
+            ),
+        ),
+        ("onebit", ob.accumulator, ob_bits, lambda r, m: r[m]),
+    ]
+
+
+_SYSTEM_CASES = _system_cases()  # built once; parametrize + ids share it
+
+
+@pytest.mark.parametrize(
+    "label,factory,reports,slicer",
+    _SYSTEM_CASES,
+    ids=[c[0] for c in _SYSTEM_CASES],
+)
+def test_system_accumulator_contract(label, factory, reports, slicer):
+    if isinstance(reports, tuple):
+        n = reports[0].shape[0]
+    else:
+        n = len(reports)
+    mask = np.random.default_rng(11).random(n) < 0.5
+
+    whole = factory().absorb(reports).finalize()
+    a = factory().absorb(slicer(reports, mask))
+    b = factory().absorb(slicer(reports, ~mask))
+
+    b_wire = b.to_bytes()
+    a.merge(b)
+    assert b.to_bytes() == b_wire  # merge left its argument untouched
+
+    out = a.finalize()
+    assert np.array_equal(out, a.finalize())  # idempotent
+    assert np.array_equal(out, whole)  # integer tallies: bitwise
+
+    restored = factory().from_bytes(a.to_bytes())
+    assert restored.n_absorbed == n
+    assert np.array_equal(restored.finalize(), out)
+
+    dup = a.copy()
+    dup.absorb(slicer(reports, mask))
+    assert np.array_equal(a.finalize(), out)  # copy is independent
+
+
+def test_system_serialization_rejects_mismatched_configs():
+    a = CountMeanSketch(100, 2.0, k=4, m=64, master_seed=1)
+    b = CountMeanSketch(100, 2.0, k=4, m=64, master_seed=2)
+    payload = a.accumulator().absorb(
+        a.privatize(np.arange(100), rng=1)
+    ).to_bytes()
+    with pytest.raises(ValueError):
+        b.accumulator().from_bytes(payload)
+    # Cross-kind hydration is refused even before configs are compared.
+    hcms = HadamardCountMeanSketch(100, 2.0, k=4, m=64, master_seed=1)
+    with pytest.raises(ValueError):
+        hcms.accumulator().from_bytes(payload)

@@ -50,6 +50,24 @@ class TestBlender:
         assert np.all(result.optin_weight >= 0)
         assert np.all(result.optin_weight <= 1)
 
+    def test_regression_small_epsilon_head_counts_are_clamped(self, zipf_pop):
+        # At small ε the central histogram's Laplace noise pushes rare
+        # head counts negative; those used to flow into optin_freq (a
+        # negative frequency) and through f(1−f) into the inverse-
+        # variance weights.  Counts are clamped at 0 first.
+        # head_size == domain_size forces rare values into the head, where
+        # the noisy counts go negative with near-certainty at this ε.
+        values, _ = zipf_pop
+        for rep in range(4):
+            result = blender_estimate(
+                values, 128, 0.05, optin_fraction=0.05, head_size=128,
+                rng=400 + rep,
+            )
+            assert np.all(result.optin_frequencies >= 0.0)
+            assert np.all(np.isfinite(result.blended_frequencies))
+            assert np.all(result.optin_weight >= 0.0)
+            assert np.all(result.optin_weight <= 1.0)
+
     def test_more_optin_shifts_weight(self, zipf_pop):
         values, _ = zipf_pop
         small = blender_estimate(values, 128, 1.0, optin_fraction=0.02, rng=7)

@@ -1,16 +1,19 @@
 """The sharded collection pipeline and report-size accounting.
 
 `run_sharded_collection` is the deployment-shaped entry point: chunked
-privatization, per-shard accumulators, one merge, one finalize.  These
-tests pin its determinism (worker schedule must not matter), its
-bounded-memory chunking, its bookkeeping, and the `report_bytes`
-classification fix.
+privatization, per-shard accumulators, one merge into a *fresh*
+accumulator, one finalize.  These tests pin its determinism (worker
+schedule and executor backend must not matter), the non-destructive
+merge (shard accumulators stay untouched — the PR 2 aliasing
+regression), its bounded-memory chunking, its bookkeeping, and the
+`report_bytes` classification fix.
 """
 
 import numpy as np
 import pytest
 
 from repro.core import (
+    ORACLE_REGISTRY,
     DirectEncoding,
     OptimalLocalHashing,
     OptimalUnaryEncoding,
@@ -92,6 +95,8 @@ class TestShardedCollection:
             run_sharded_collection(oracle, values, num_shards=21)
         with pytest.raises(ValueError):
             run_sharded_collection(oracle, np.zeros((2, 2)), num_shards=1)
+        with pytest.raises(ValueError):
+            run_sharded_collection(oracle, values, backend="gpu")
 
     @pytest.mark.parametrize("name", ["DE", "OUE", "SHE", "OLH", "HR"])
     def test_every_core_oracle_runs_through_the_pipeline(self, name):
@@ -102,6 +107,120 @@ class TestShardedCollection:
         )
         assert stats.estimated_counts.shape == (8,)
         assert abs(stats.estimated_counts.sum() - 400) < 400
+
+
+class _TrackingOracle(DirectEncoding):
+    """DE that records every accumulator it hands out."""
+
+    def __init__(self, domain_size, epsilon):
+        super().__init__(domain_size, epsilon)
+        self.created = []
+
+    def accumulator(self, candidates=None):
+        acc = super().accumulator(candidates)
+        self.created.append(acc)
+        return acc
+
+
+class TestNonDestructiveMerge:
+    def test_regression_shard_accumulators_are_not_mutated_by_the_merge(self):
+        # The PR 1 pipeline merged every shard into shard 0's accumulator
+        # in place, silently inflating its state to the whole population.
+        # The merge must go into a fresh accumulator instead: every
+        # shard's accumulator keeps exactly its own shard's reports.
+        oracle = _TrackingOracle(8, 1.5)
+        values = np.arange(8).repeat(30)  # 240 users, 3 shards of 80
+        stats = run_sharded_collection(
+            oracle, values, num_shards=3, chunk_size=50, rng=11
+        )
+        # 3 shard accumulators + 1 fresh merge target.
+        assert len(oracle.created) == 4
+        shard_accs = oracle.created[:3]
+        assert [acc.n_absorbed for acc in shard_accs] == [80, 80, 80]
+        # The shard accumulators still merge to the published estimate —
+        # they were read, not consumed.
+        remerged = oracle.accumulator()
+        for acc in shard_accs:
+            remerged.merge(acc)
+        assert np.array_equal(remerged.finalize(), stats.estimated_counts)
+
+    def test_single_shard_stats_are_not_the_whole_population_twice(self):
+        # With one shard the old code finalized the shard accumulator
+        # directly; the fresh-merge path must give the same numbers.
+        oracle = _TrackingOracle(4, 1.0)
+        values = np.arange(4).repeat(25)
+        stats = run_sharded_collection(
+            oracle, values, num_shards=1, chunk_size=40, rng=3
+        )
+        assert oracle.created[0].n_absorbed == 100
+        assert np.array_equal(
+            oracle.created[0].finalize(), stats.estimated_counts
+        )
+
+
+class TestExecutorBackends:
+    @pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+    def test_process_backend_matches_serial_for_every_oracle(self, name):
+        oracle = make_oracle(name, 10, 1.5)
+        values = np.random.default_rng(31).integers(0, 10, size=1200)
+        serial = run_sharded_collection(
+            oracle, values, num_shards=3, chunk_size=256, backend="serial", rng=13
+        )
+        process = run_sharded_collection(
+            oracle, values, num_shards=3, chunk_size=256, backend="process",
+            workers=2, rng=13,
+        )
+        assert serial.backend == "serial"
+        assert process.backend == "process"
+        if name == "SHE":
+            # Raw Laplace float sums: wire round-trip preserves the bits,
+            # but shard-order addition already fixes the ~1e-9 band.
+            assert np.allclose(
+                process.estimated_counts, serial.estimated_counts,
+                rtol=1e-9, atol=1e-9,
+            )
+        else:
+            assert np.array_equal(
+                process.estimated_counts, serial.estimated_counts
+            )
+
+    def test_thread_backend_matches_serial(self):
+        oracle = OptimalLocalHashing(16, 1.2)
+        values = np.random.default_rng(5).integers(0, 16, size=2000)
+        serial = run_sharded_collection(
+            oracle, values, num_shards=4, chunk_size=300, backend="serial", rng=8
+        )
+        threaded = run_sharded_collection(
+            oracle, values, num_shards=4, chunk_size=300, backend="thread",
+            workers=4, rng=8,
+        )
+        assert np.array_equal(
+            threaded.estimated_counts, serial.estimated_counts
+        )
+
+    def test_backend_none_keeps_historical_workers_semantics(self):
+        oracle = DirectEncoding(8, 1.0)
+        values = np.arange(8).repeat(20)
+        assert run_sharded_collection(oracle, values, rng=1).backend == "serial"
+        assert (
+            run_sharded_collection(oracle, values, workers=1, rng=1).backend
+            == "serial"
+        )
+        assert (
+            run_sharded_collection(oracle, values, workers=3, rng=1).backend
+            == "thread"
+        )
+
+    def test_process_backend_reports_per_shard_stats(self):
+        oracle = DirectEncoding(8, 1.0)
+        values = np.arange(8).repeat(30)  # 240 users
+        stats = run_sharded_collection(
+            oracle, values, num_shards=2, chunk_size=50, backend="process",
+            workers=2, rng=4,
+        )
+        assert [s.num_users for s in stats.shards] == [120, 120]
+        assert [s.num_chunks for s in stats.shards] == [3, 3]
+        assert stats.total_bytes == 8.0 * 240  # int64 DE reports
 
 
 class TestReportBytes:
