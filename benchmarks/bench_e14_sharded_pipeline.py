@@ -18,7 +18,7 @@ from repro.experiments import get_experiment
 BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
 
 
-def bench_e14_sharded_pipeline(benchmark, save_table):
+def bench_e14_sharded_pipeline(benchmark, save_table, save_bench_json):
     table = run_once(
         benchmark,
         get_experiment("E14").run,
@@ -29,6 +29,25 @@ def bench_e14_sharded_pipeline(benchmark, save_table):
         seed=14,
     )
     save_table("E14", table)
+    save_bench_json(
+        "E14",
+        {
+            "experiment": "E14",
+            "users": BENCH_USERS,
+            "configs": [
+                {
+                    "sweep": row[0],
+                    "num_shards": row[1],
+                    "chunk_size": row[2],
+                    "wall_seconds": row[4],
+                    "users_per_sec": row[5],
+                    "merge_ms": row[8],
+                    "finalize_ms": row[9],
+                }
+                for row in table.rows
+            ],
+        },
+    )
 
     assert len(table.rows) == 7
     # Every configuration processed the full population end-to-end.

@@ -18,7 +18,7 @@ from repro.experiments import get_experiment
 BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
 
 
-def bench_e15_executor_streaming(benchmark, save_table):
+def bench_e15_executor_streaming(benchmark, save_table, save_bench_json):
     table = run_once(
         benchmark,
         get_experiment("E15").run,
@@ -34,6 +34,29 @@ def bench_e15_executor_streaming(benchmark, save_table):
 
     backend_rows = [r for r in table.rows if r[0] == "backend"]
     stream_rows = [r for r in table.rows if r[0] == "stream"]
+    save_bench_json(
+        "E15",
+        {
+            "experiment": "E15",
+            "users": BENCH_USERS,
+            "backends": {
+                row[1]: {
+                    "wall_seconds": row[3],
+                    "users_per_sec": row[4],
+                    "merge_ms": row[5],
+                }
+                for row in backend_rows
+            },
+            "windows": [
+                {
+                    "index": k,
+                    "users_seen": row[2],
+                    "snapshot_ms": row[6],
+                }
+                for k, row in enumerate(stream_rows)
+            ],
+        },
+    )
     assert [r[1] for r in backend_rows] == ["serial", "thread", "process"]
     # ceil(n / ceil(n/8)) windows — 8 at the default 1M, possibly fewer
     # when REPRO_BENCH_USERS shrinks the population below a multiple of 8.

@@ -1,0 +1,103 @@
+"""E16 benchmark: windowed collection + accounting at 1M users.
+
+One drifting OLH stream through (1) the serial and thread sharded
+backends, (2) tumbling and sliding pane-ring windows, and (3) the
+fresh/memoized/disjoint privacy-accounting postures.  Emits both the
+human ``E16.txt`` table and the machine-readable ``BENCH_E16.json``
+(users/sec per backend and window config, per-window snapshot latency,
+peak live accumulator count) the perf trajectory tracks.
+
+``REPRO_BENCH_USERS`` scales the population down (CI smokes the engine
+at tiny sizes); the committed results use the default 1M.
+"""
+
+import math
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+
+
+def bench_e16_windowed_accounting(benchmark, save_table, save_bench_json):
+    table = run_once(
+        benchmark,
+        get_experiment("E16").run,
+        n=BENCH_USERS,
+        num_shards=4,
+        chunk_size=min(65_536, max(BENCH_USERS // 4, 1)),
+        workers=4,
+        backends=("serial", "thread"),
+        seed=16,
+    )
+    save_table("E16", table)
+
+    backend_rows = [r for r in table.rows if r[0] == "backend"]
+    window_rows = [r for r in table.rows if r[0] == "window"]
+    accounting_rows = [r for r in table.rows if r[0] == "accounting"]
+
+    assert [r[1] for r in backend_rows] == ["serial", "thread"]
+    # Backends consume identical per-shard streams: one error, twice.
+    assert len({r[7] for r in backend_rows}) == 1
+    for row in backend_rows:
+        assert row[3] > 0.0 and row[4] > 0.0
+
+    # Window geometry: every config streams the full population, the
+    # pane ring stays within its declared capacity, and snapshots are
+    # timed.
+    assert [r[1] for r in window_rows] == [
+        "tumbling 2s", "sliding 4s/s", "sliding 2s/s",
+    ]
+    for row, peak_cap in zip(window_rows, (1, 4, 2)):
+        assert row[2] == BENCH_USERS
+        assert row[4] > 0.0
+        assert row[5] >= 0.0
+        assert row[6] == peak_cap
+
+    # Accounting: fresh ε grows linearly with windows; the memoized and
+    # disjoint postures stay flat at one release.
+    eps_round = accounting_rows[0][8]
+    for k, row in enumerate(accounting_rows):
+        assert math.isclose(row[8], (k + 1) * eps_round)
+        assert math.isclose(row[9], eps_round)
+        assert math.isclose(row[10], eps_round)
+        assert row[5] >= 0.0
+
+    save_bench_json(
+        "E16",
+        {
+            "experiment": "E16",
+            "users": BENCH_USERS,
+            "backends": {
+                row[1]: {
+                    "wall_seconds": row[3],
+                    "users_per_sec": row[4],
+                }
+                for row in backend_rows
+            },
+            "stream_configs": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "mean_snapshot_ms": row[5],
+                    "peak_accumulator_count": row[6],
+                    "mean_window_abs_err": row[7],
+                    "total_epsilon_fresh": row[8],
+                }
+                for row in window_rows
+            ],
+            "windows": [
+                {
+                    "index": k,
+                    "users_seen": row[2],
+                    "snapshot_ms": row[5],
+                    "epsilon_fresh": row[8],
+                    "epsilon_memoized": row[9],
+                    "epsilon_disjoint": row[10],
+                }
+                for k, row in enumerate(accounting_rows)
+            ],
+        },
+    )

@@ -5,10 +5,16 @@ timer (one round — these are experiment regenerations, not
 micro-benchmarks), asserts the experiment's expected shape, and saves
 the rendered table under ``benchmarks/results/`` so EXPERIMENTS.md can
 quote it.
+
+Perf-tracking benchmarks additionally emit a machine-readable
+``BENCH_E*.json`` next to the ``.txt`` render (``save_bench_json``):
+throughput, latency and memory numbers a trajectory tool can diff across
+commits without parsing aligned-column text.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -24,6 +30,21 @@ def save_table():
     def _save(experiment_id: str, table) -> None:
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(table.render() + "\n", encoding="utf-8")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_bench_json():
+    """Write a machine-readable payload to benchmarks/results/BENCH_<id>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(experiment_id: str, payload: dict) -> None:
+        path = RESULTS_DIR / f"BENCH_{experiment_id}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     return _save
 

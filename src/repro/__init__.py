@@ -31,6 +31,7 @@ from repro.core import (
     OptimalLocalHashing,
     OptimalUnaryEncoding,
     PrivacyLedger,
+    SpendDeclaration,
     SummationHistogramEncoding,
     SymmetricUnaryEncoding,
     ThresholdHistogramEncoding,
@@ -46,6 +47,7 @@ __all__ = [
     "OptimalLocalHashing",
     "OptimalUnaryEncoding",
     "PrivacyLedger",
+    "SpendDeclaration",
     "SummationHistogramEncoding",
     "SymmetricUnaryEncoding",
     "ThresholdHistogramEncoding",

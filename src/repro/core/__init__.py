@@ -8,6 +8,7 @@ from repro.core.budget import (
     BudgetExceededError,
     PrivacyLedger,
     PrivacySpend,
+    SpendDeclaration,
     advanced_composition,
     compose_parallel,
     compose_sequential,
@@ -50,6 +51,7 @@ __all__ = [
     "BudgetExceededError",
     "PrivacyLedger",
     "PrivacySpend",
+    "SpendDeclaration",
     "advanced_composition",
     "compose_parallel",
     "compose_sequential",

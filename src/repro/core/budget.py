@@ -15,8 +15,15 @@ rules every deployed system leans on:
   √k (instead of k) growth in ε.
 
 :class:`PrivacyLedger` is the runtime object repeated-collection code
-(e.g. the Microsoft telemetry reproduction) threads through rounds; it
-enforces a hard cap and reports totals under either composition rule.
+(e.g. the Microsoft telemetry reproduction and the windowed streaming
+collector) threads through rounds; it enforces a hard cap and reports
+totals under either composition rule.  Mechanisms *declare* their cost
+through :class:`SpendDeclaration` (see
+:meth:`repro.core.mechanism.LocalMechanism.privacy_spend`) and
+collection pipelines :meth:`~PrivacyLedger.charge` the declaration
+instead of hand-rolling ``spend`` arithmetic — one-time memoized
+releases (Microsoft's memoization, RAPPOR's permanent bits) are then
+charged exactly once no matter how many rounds replay them.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.util.validation import check_delta, check_epsilon, check_positive_int
 
 __all__ = [
     "PrivacySpend",
+    "SpendDeclaration",
     "BudgetExceededError",
     "compose_sequential",
     "compose_parallel",
@@ -35,6 +43,9 @@ __all__ = [
     "optimal_per_round_epsilon",
     "PrivacyLedger",
 ]
+
+#: Scopes a :class:`SpendDeclaration` may carry.
+SPEND_SCOPES = ("per_report", "one_time")
 
 
 @dataclass(frozen=True)
@@ -47,15 +58,63 @@ class PrivacySpend:
         The DP parameters of the mechanism invocation.
     label:
         Free-form tag for audit trails (e.g. ``"round-3/dBitFlip"``).
+    group:
+        Parallel-composition group.  Spends in *different* groups apply
+        to disjoint sub-populations, so across groups only the costliest
+        group counts (``max``); spends within one group — and every
+        ungrouped spend (``group=None``) — compose sequentially.  This
+        is how per-window accounting distinguishes disjoint-users-per-
+        window streams from the same population re-reporting.
     """
 
     epsilon: float
     delta: float = 0.0
     label: str = ""
+    group: str | None = None
 
     def __post_init__(self) -> None:
         check_epsilon(self.epsilon)
         check_delta(self.delta)
+
+
+@dataclass(frozen=True)
+class SpendDeclaration:
+    """A mechanism's declared privacy cost, ready to be charged to a ledger.
+
+    Attributes
+    ----------
+    epsilon, delta:
+        Cost of one release under the declared scope.
+    scope:
+        ``"per_report"`` — every report a user sends is a fresh release,
+        so repeated collection composes round by round (Microsoft's
+        *fresh* mode, any plain frequency-oracle round).
+        ``"one_time"`` — the mechanism memoizes its randomness and every
+        replay reveals a function of one stored release (RAPPOR's
+        permanent bits, Microsoft's memoized rounds): charging the
+        declaration repeatedly under the same key costs ε exactly once.
+    mechanism:
+        Name of the declaring mechanism, used in audit labels and as the
+        default memoization key.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+    scope: str = "per_report"
+    mechanism: str = ""
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        check_delta(self.delta)
+        if self.scope not in SPEND_SCOPES:
+            raise ValueError(
+                f"scope must be one of {SPEND_SCOPES}, got {self.scope!r}"
+            )
+
+    @property
+    def is_one_time(self) -> bool:
+        """Whether replays of this release are privacy-free (memoized)."""
+        return self.scope == "one_time"
 
 
 class BudgetExceededError(RuntimeError):
@@ -141,45 +200,150 @@ class PrivacyLedger:
     Parameters
     ----------
     epsilon_cap, delta_cap:
-        Budget the ledger refuses to exceed under *basic sequential*
-        composition.  ``None`` means unlimited (audit-only ledger).
+        Budget the ledger refuses to exceed.  Each cap is enforced
+        independently — a δ-only ledger rejects over-δ spends even with
+        no ε cap configured.  ``None`` means unlimited in that
+        parameter (the default is a pure audit ledger).
+
+    Accounting model
+    ----------------
+    Totals are the *worst per-user* cost: ungrouped spends compose
+    sequentially (they all touch the same users), while spends carrying
+    a ``group`` tag are parallel across groups — each group is a
+    disjoint sub-population, so only the costliest group's sequential
+    total counts.  ``total_epsilon = Σ ungrouped + max_g Σ group g``
+    (likewise δ).  Running totals are maintained incrementally, so
+    ``spend``/``total_epsilon`` are O(1) per call regardless of how many
+    rounds the ledger has recorded; ``spends`` remains the full audit
+    trail.
     """
 
     epsilon_cap: float | None = None
-    delta_cap: float = 0.0
+    delta_cap: float | None = None
     spends: list[PrivacySpend] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.epsilon_cap is not None:
             check_epsilon(self.epsilon_cap, name="epsilon_cap")
-        check_delta(self.delta_cap, name="delta_cap")
+        if self.delta_cap is not None:
+            check_delta(self.delta_cap, name="delta_cap")
+        # Running totals (kept alongside the audit list so totals are
+        # O(1), not a fresh O(T) reduction per spend).  Group sums only
+        # ever grow, so the running max over groups is maintainable in
+        # O(1) too.
+        self._seq_epsilon = 0.0
+        self._seq_delta = 0.0
+        self._group_epsilon: dict[str, float] = {}
+        self._group_delta: dict[str, float] = {}
+        self._max_group_epsilon = 0.0
+        self._max_group_delta = 0.0
+        self._charged_keys: set[object] = set()
+        for entry in self.spends:
+            self._accumulate(entry)
 
-    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> PrivacySpend:
-        """Record a spend, raising :class:`BudgetExceededError` over cap."""
-        entry = PrivacySpend(epsilon=epsilon, delta=delta, label=label)
-        eps_after = self.total_epsilon + entry.epsilon
-        delta_after = self.total_delta + entry.delta
+    def _accumulate(self, entry: PrivacySpend) -> None:
+        if entry.group is None:
+            self._seq_epsilon += entry.epsilon
+            self._seq_delta += entry.delta
+        else:
+            g_eps = self._group_epsilon.get(entry.group, 0.0) + entry.epsilon
+            g_delta = self._group_delta.get(entry.group, 0.0) + entry.delta
+            self._group_epsilon[entry.group] = g_eps
+            self._group_delta[entry.group] = g_delta
+            self._max_group_epsilon = max(self._max_group_epsilon, g_eps)
+            self._max_group_delta = max(self._max_group_delta, g_delta)
+
+    def _totals_after(self, entry: PrivacySpend) -> tuple[float, float]:
+        """Hypothetical (ε, δ) totals if ``entry`` were recorded."""
+        if entry.group is None:
+            return (
+                self._seq_epsilon + entry.epsilon + self._max_group_epsilon,
+                self._seq_delta + entry.delta + self._max_group_delta,
+            )
+        g_eps = self._group_epsilon.get(entry.group, 0.0) + entry.epsilon
+        g_delta = self._group_delta.get(entry.group, 0.0) + entry.delta
+        return (
+            self._seq_epsilon + max(self._max_group_epsilon, g_eps),
+            self._seq_delta + max(self._max_group_delta, g_delta),
+        )
+
+    def spend(
+        self,
+        epsilon: float,
+        delta: float = 0.0,
+        label: str = "",
+        group: str | None = None,
+    ) -> PrivacySpend:
+        """Record a spend, raising :class:`BudgetExceededError` over cap.
+
+        The ε and δ caps are checked independently; a rejected spend is
+        not recorded.
+        """
+        entry = PrivacySpend(epsilon=epsilon, delta=delta, label=label, group=group)
+        eps_after, delta_after = self._totals_after(entry)
         if self.epsilon_cap is not None and eps_after > self.epsilon_cap + 1e-12:
             raise BudgetExceededError(
                 f"spend {entry.epsilon:.6g} would raise ε to {eps_after:.6g} "
                 f"> cap {self.epsilon_cap:.6g}"
             )
-        if self.epsilon_cap is not None and delta_after > self.delta_cap + 1e-18:
+        if self.delta_cap is not None and delta_after > self.delta_cap + 1e-18:
             raise BudgetExceededError(
                 f"spend would raise δ to {delta_after:.3g} > cap {self.delta_cap:.3g}"
             )
         self.spends.append(entry)
+        self._accumulate(entry)
         return entry
+
+    def charge(
+        self,
+        declaration: SpendDeclaration,
+        *,
+        label: str = "",
+        group: str | None = None,
+        key: object | None = None,
+    ) -> PrivacySpend | None:
+        """Charge a mechanism's declared cost, honouring its scope.
+
+        ``per_report`` declarations record a spend on every call.  A
+        ``one_time`` declaration (memoized release) is charged only the
+        first time its ``key`` is seen — replays return ``None`` and
+        cost nothing, which is exactly the privacy argument memoization
+        buys.  The key must identify the *release*, not the mechanism
+        class: independent releases (a second device's permanent bits, a
+        rerun that redraws its memo bits) need distinct keys or a shared
+        ledger will undercount them — a fresh ``object()`` per release
+        is the standard scoping.  ``key`` defaults to the declaring
+        mechanism's name, which is only safe when a ledger meets at most
+        one release of that mechanism.
+        """
+        if declaration.is_one_time:
+            memo_key = key if key is not None else declaration.mechanism
+            if memo_key in self._charged_keys:
+                return None
+            entry = self.spend(
+                declaration.epsilon,
+                declaration.delta,
+                label=label or f"{declaration.mechanism}/one-time",
+                group=group,
+            )
+            self._charged_keys.add(memo_key)
+            return entry
+        return self.spend(
+            declaration.epsilon,
+            declaration.delta,
+            label=label or declaration.mechanism,
+            group=group,
+        )
 
     @property
     def total_epsilon(self) -> float:
-        """Basic-composition ε total of everything recorded."""
-        return compose_sequential(self.spends)[0]
+        """Worst per-user ε total (sequential over rounds, parallel across groups)."""
+        return self._seq_epsilon + self._max_group_epsilon
 
     @property
     def total_delta(self) -> float:
-        """Basic-composition δ total of everything recorded."""
-        return compose_sequential(self.spends)[1]
+        """Worst per-user δ total (sequential over rounds, parallel across groups)."""
+        return self._seq_delta + self._max_group_delta
 
     @property
     def remaining_epsilon(self) -> float:

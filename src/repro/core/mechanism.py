@@ -280,6 +280,27 @@ class LocalMechanism(ABC):
         """The ε-LDP guarantee of one invocation."""
         return self._epsilon
 
+    def privacy_spend(self) -> "SpendDeclaration":
+        """The declared cost of one report from this mechanism.
+
+        The default declaration is a *fresh* ``(ε, 0)`` release per
+        report: collecting the same user again composes round by round.
+        Mechanisms whose privacy argument rests on memoized randomness
+        (RAPPOR's permanent bits, Microsoft's memoized rounds) override
+        this with a ``one_time`` declaration, which a
+        :class:`~repro.core.budget.PrivacyLedger` charges exactly once.
+        Collection pipelines call this instead of reading ``epsilon``
+        directly, so the accounting rule travels with the mechanism.
+        """
+        from repro.core.budget import SpendDeclaration
+
+        return SpendDeclaration(
+            epsilon=self._epsilon,
+            delta=0.0,
+            scope="per_report",
+            mechanism=type(self).__name__,
+        )
+
     @abstractmethod
     def max_privacy_ratio(self) -> float:
         """Exact worst-case likelihood ratio over outputs and input pairs.

@@ -113,6 +113,12 @@ def unpack_accumulator_state(payload: bytes) -> AccumulatorPayload:
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ValueError("corrupt accumulator payload header") from exc
     offset += hlen
+    if not isinstance(header, dict) or not {"kind", "config", "n", "arrays"} <= set(
+        header
+    ):
+        # Valid JSON is not enough: a version-skewed or hand-built header
+        # must still reject as malformed, not escape as a KeyError.
+        raise ValueError("accumulator payload header is missing required fields")
     arrays: dict[str, np.ndarray] = {}
     for entry in header["arrays"]:
         dtype = np.dtype(entry["dtype"])

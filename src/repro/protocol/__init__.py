@@ -10,18 +10,24 @@ from repro.protocol.simulation import (
     run_sharded_collection,
 )
 from repro.protocol.streaming import (
+    USER_MODELS,
     StreamingCollector,
+    StreamResult,
     StreamSnapshot,
+    WindowSpec,
     stream_collection,
 )
 
 __all__ = [
     "BACKENDS",
+    "USER_MODELS",
     "CollectionStats",
     "ShardedCollectionStats",
     "ShardStats",
+    "StreamResult",
     "StreamSnapshot",
     "StreamingCollector",
+    "WindowSpec",
     "report_bytes",
     "run_collection",
     "run_sharded_collection",

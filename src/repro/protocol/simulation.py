@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.budget import PrivacyLedger
 from repro.core.mechanism import FrequencyOracle, HashedReports, IndexedBitReports
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
@@ -105,6 +106,8 @@ class ShardedCollectionStats:
     under a thread pool.  ``finalize_seconds`` is reported separately
     from ``merge_seconds`` because for transform-domain oracles (HR) the
     real decode — the inverse WHT — happens inside ``finalize``.
+    ``ledger`` is the privacy account the collection charged (each user
+    reports once, so one spend of the oracle's declared cost).
     """
 
     estimated_counts: np.ndarray
@@ -116,6 +119,7 @@ class ShardedCollectionStats:
     finalize_seconds: float
     wall_seconds: float
     backend: str = "serial"
+    ledger: PrivacyLedger | None = None
 
     @property
     def encode_seconds(self) -> float:
@@ -254,6 +258,7 @@ def run_sharded_collection(
     workers: int | None = None,
     backend: str | None = None,
     rng: np.random.Generator | int | None = None,
+    ledger: PrivacyLedger | None = None,
 ) -> ShardedCollectionStats:
     """Collect a population through the sharded accumulator pipeline.
 
@@ -293,11 +298,19 @@ def run_sharded_collection(
         Master seed/generator.  Each shard draws from its own generator
         spawned off the master, so results are reproducible and
         *independent of the worker schedule and backend*.
+    ledger:
+        Privacy account to charge (a fresh audit-only ledger when
+        ``None``).  One collection is one report per user — a single
+        spend of the oracle's declared cost
+        (:meth:`~repro.core.mechanism.LocalMechanism.privacy_spend`),
+        charged *before* any client is privatized so a capped ledger
+        refuses the round outright.
 
     Returns
     -------
     ShardedCollectionStats
-        Final estimates plus per-shard encode/decode timings and bytes.
+        Final estimates plus per-shard encode/decode timings, bytes and
+        the populated ledger.
     """
     check_positive_int(num_shards, name="num_shards")
     check_positive_int(chunk_size, name="chunk_size")
@@ -312,6 +325,15 @@ def run_sharded_collection(
             f"num_shards ({num_shards}) cannot exceed the population "
             f"size ({vals.shape[0]})"
         )
+    if ledger is None:
+        ledger = PrivacyLedger()
+    spend = getattr(oracle, "privacy_spend", None)
+    if callable(spend):
+        # Shards partition the population (disjoint users), so the whole
+        # round costs each user exactly one declared release.  Every call
+        # privatizes with fresh randomness — an independent release even
+        # for one-time mechanisms — so the charge key is unique per call.
+        ledger.charge(spend(), label="sharded-collection", key=object())
     master = ensure_generator(rng)
     shard_gens = master.spawn(num_shards)
     shard_values = np.array_split(vals, num_shards)
@@ -359,4 +381,5 @@ def run_sharded_collection(
         finalize_seconds=t_end - t_finalize,
         wall_seconds=t_end - t_start,
         backend=chosen,
+        ledger=ledger,
     )

@@ -1,43 +1,154 @@
-"""Streaming/windowed collection: snapshots of a live accumulator.
+"""Windowed collection engine: snapshots of a live report stream.
 
 The deployed systems never stop collecting: RAPPOR and Microsoft's
 telemetry observe an *evolving* population, and Joseph et al.
 (arXiv:1802.07128) make that setting explicit — the analyst wants an
 estimate per time window while reports keep arriving.  This module gives
-that shape on top of the mergeable-accumulator algebra:
+that shape on top of the mergeable-accumulator algebra, for any window
+discipline a :class:`WindowSpec` can express:
 
-* report chunks arrive at a :class:`StreamingCollector` via ``absorb``;
-* :meth:`StreamingCollector.snapshot` reads the stream *without
-  disturbing it* — possible only because ``finalize`` is pure and
-  ``merge`` leaves its argument untouched (the non-destructive contract
-  of :class:`~repro.core.mechanism.Accumulator`);
-* :meth:`StreamingCollector.roll` closes the current tumbling window and
-  starts the next one.
+* **tumbling** — windows partition the stream; each roll closes one
+  window and opens the next;
+* **sliding(size, stride)** — overlapping windows advancing ``stride``
+  users at a time, built as a ring of stride-sized **pane** accumulators
+  merged on demand: memory stays O(panes · state) and a snapshot is
+  O(panes) accumulator copies+merges — never a second pass over reports;
+* **cumulative** — one ever-growing window (the "stream so far" view).
 
-Each snapshot carries two views: the **tumbling** estimate (reports of
-the current window only — "what happened since the last roll") and the
-**cumulative** estimate (everything absorbed so far — identical, at
-stream end, to the one-shot batch estimate over the same reports; SHE to
-~1e-9, every other oracle bitwise).
+Report chunks arrive at a :class:`StreamingCollector` via ``absorb``;
+:meth:`StreamingCollector.snapshot` reads the stream *without disturbing
+it* — possible only because ``finalize`` is pure and ``merge`` leaves
+its argument untouched (the non-destructive contract of
+:class:`~repro.core.mechanism.Accumulator`); and
+:meth:`StreamingCollector.roll` closes the current pane and advances the
+window.  Every snapshot also carries the **cumulative** estimate, which
+at stream end is identical to the one-shot batch estimate over the same
+reports (SHE to ~1e-9, every other oracle bitwise).
 
-The collector keeps exactly two accumulators regardless of how many
-windows have passed: closed windows are folded into the cumulative
-state, and a snapshot of the live stream merges the open window into a
-*copy* of it — O(state) work, never O(windows) and never a second pass
-over reports.
+Privacy accounting is threaded through the same engine: the collector
+charges the mechanism's declared spend
+(:meth:`~repro.core.mechanism.LocalMechanism.privacy_spend`) to a
+:class:`~repro.core.budget.PrivacyLedger` as each window's reports start
+arriving.  ``user_model`` distinguishes the two repeated-collection
+scenarios: ``"same_users"`` — the same population re-reports every
+window, so fresh (``per_report``) releases compose *sequentially* while
+memoized (``one_time``) releases are charged once for the whole stream;
+``"disjoint_users"`` — each window samples new users, so windows land in
+separate *parallel* groups and the worst window bounds the total.  A
+capped ledger therefore aborts a fresh-mode stream mid-collection,
+before the over-budget window absorbs anything.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.budget import PrivacyLedger, SpendDeclaration
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
 
-__all__ = ["StreamSnapshot", "StreamingCollector", "stream_collection"]
+__all__ = [
+    "USER_MODELS",
+    "WindowSpec",
+    "StreamSnapshot",
+    "StreamResult",
+    "StreamingCollector",
+    "stream_collection",
+]
+
+#: Population models understood by the accounting layer.
+USER_MODELS = ("same_users", "disjoint_users")
+
+_KINDS = ("tumbling", "sliding", "cumulative")
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Declarative window discipline for a collection stream.
+
+    Attributes
+    ----------
+    kind:
+        ``"tumbling"`` | ``"sliding"`` | ``"cumulative"``.
+    size:
+        Users per window.  Optional for tumbling/cumulative collectors
+        driven by explicit :meth:`StreamingCollector.roll` calls, but
+        required by the :func:`stream_collection` driver (it sets the
+        roll cadence).  Required for sliding windows.
+    stride:
+        Sliding only: users between consecutive window starts.  Must
+        divide ``size`` so stride-sized panes tile every window exactly;
+        a sliding window is then the merge of the last
+        ``size // stride`` panes.
+
+    ``sliding(size, stride=size)`` degenerates to tumbling (one pane per
+    window) and is allowed.
+    """
+
+    kind: str
+    size: int | None = None
+    stride: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.size is not None:
+            check_positive_int(self.size, name="size")
+        if self.kind == "sliding":
+            if self.size is None or self.stride is None:
+                raise ValueError("sliding windows need both size and stride")
+            check_positive_int(self.stride, name="stride")
+            if self.stride > self.size:
+                raise ValueError(
+                    f"stride ({self.stride}) cannot exceed size ({self.size}); "
+                    "gapped (sampling) windows are not supported"
+                )
+            if self.size % self.stride != 0:
+                raise ValueError(
+                    f"stride ({self.stride}) must divide size ({self.size}) "
+                    "so panes tile windows exactly"
+                )
+        elif self.stride is not None:
+            raise ValueError(f"stride only applies to sliding windows, not {self.kind}")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def tumbling(cls, size: int | None = None) -> "WindowSpec":
+        """Non-overlapping windows of ``size`` users."""
+        return cls("tumbling", size)
+
+    @classmethod
+    def sliding(cls, size: int, stride: int) -> "WindowSpec":
+        """Overlapping ``size``-user windows advancing ``stride`` users."""
+        return cls("sliding", size, stride)
+
+    @classmethod
+    def cumulative(cls, size: int | None = None) -> "WindowSpec":
+        """One ever-growing window, snapshotted every ``size`` users."""
+        return cls("cumulative", size)
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def num_panes(self) -> int:
+        """Pane accumulators a live window spans (the ring capacity)."""
+        if self.kind == "sliding":
+            assert self.size is not None and self.stride is not None
+            return self.size // self.stride
+        return 1
+
+    @property
+    def pane_size(self) -> int | None:
+        """Users per pane — the roll cadence of the driver."""
+        if self.kind == "sliding":
+            return self.stride
+        return self.size
 
 
 @dataclass(frozen=True)
@@ -47,20 +158,28 @@ class StreamSnapshot:
     Attributes
     ----------
     window_index:
-        Zero-based index of the tumbling window the snapshot closes (or
-        reads, for mid-window snapshots).
+        Zero-based index of the window the snapshot closes (or reads,
+        for mid-window snapshots).  Sliding windows are indexed by their
+        closing pane.
     window_users / total_users:
-        Reports absorbed in the current window / since stream start.
+        Reports in the current window view / since stream start.
     window_estimates:
         Estimates over the current window's reports alone; ``None`` when
-        the window is empty (e.g. a quiet interval).
+        the window is empty (e.g. a quiet interval).  For cumulative
+        windows this equals ``cumulative_estimates``.
     cumulative_estimates:
         Estimates over every report absorbed so far; ``None`` before the
         first report arrives (some mechanisms, e.g. 1BitMean, have no
         defined estimate at n = 0).
     snapshot_seconds:
-        Wall time the snapshot took (copy + merge + the finalizes) — the
-        read-latency number the E15 benchmark tracks.
+        Wall time the snapshot took (copies + merges + the finalizes) —
+        the read-latency number the E15/E16 benchmarks track.
+    total_epsilon / total_delta:
+        The attached ledger's running totals at snapshot time — the
+        cumulative privacy trajectory the analyst is spending.
+    pane_count:
+        Live pane accumulators held when the snapshot was taken (ring
+        occupancy; bounded by ``WindowSpec.num_panes``).
     """
 
     window_index: int
@@ -69,83 +188,230 @@ class StreamSnapshot:
     window_estimates: np.ndarray | None
     cumulative_estimates: np.ndarray | None
     snapshot_seconds: float
+    total_epsilon: float = 0.0
+    total_delta: float = 0.0
+    pane_count: int = 1
+
+
+class StreamResult(Sequence):
+    """Snapshots of a driven stream plus its populated privacy ledger.
+
+    Behaves as a sequence of :class:`StreamSnapshot` (indexing,
+    iteration and ``len`` all work), with the accounting attached:
+    ``result.ledger`` is the :class:`~repro.core.budget.PrivacyLedger`
+    the stream charged and ``result.spec`` the window discipline that
+    produced it.
+    """
+
+    def __init__(
+        self,
+        snapshots: list[StreamSnapshot],
+        ledger: PrivacyLedger,
+        spec: WindowSpec,
+    ) -> None:
+        self.snapshots = list(snapshots)
+        self.ledger = ledger
+        self.spec = spec
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, index):
+        return self.snapshots[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamResult({len(self.snapshots)} snapshots, "
+            f"spec={self.spec!r}, eps={self.ledger.total_epsilon:.4g})"
+        )
+
+
+def _merged_estimates(accumulators) -> tuple[int, np.ndarray | None]:
+    """Users and finalized estimates over a chronological accumulator list.
+
+    Empty accumulators are skipped (merging them adds exact zeros, so
+    skipping cannot change the result); a single non-empty accumulator
+    is finalized in place (pure, no copy needed); otherwise the first
+    non-empty one is *copied* and the rest merged in arrival order —
+    O(panes) copies+merges of O(state) each, never a pass over reports.
+    """
+    users = sum(acc.n_absorbed for acc in accumulators)
+    if users == 0:
+        return 0, None
+    live = [acc for acc in accumulators if acc.n_absorbed > 0]
+    if len(live) == 1:
+        return users, live[0].finalize()
+    merged = live[0].copy()
+    for acc in live[1:]:
+        merged.merge(acc)
+    return users, merged.finalize()
 
 
 class StreamingCollector:
-    """Absorbs arriving report chunks; emits tumbling/cumulative snapshots.
+    """Absorbs arriving report chunks; emits windowed snapshots.
 
     ``oracle`` is anything with an ``accumulator()`` factory — a core
     frequency oracle, an Apple sketch, a RAPPOR aggregator, or the
-    Microsoft mechanisms.  The collector owns two accumulators: the
-    *cumulative* state (all closed windows) and the *open window*.
-    ``absorb`` touches only the open window, so each report is folded in
-    exactly once; ``roll`` merges the closed window into the cumulative
-    state (one O(state) merge per window).
+    Microsoft mechanisms.  The collector owns at most
+    ``spec.num_panes + 1`` accumulators regardless of how many windows
+    have passed: the open pane, the ring of closed panes still inside
+    the live window, and the *retired* state (panes no longer in any
+    window, folded together — the rest of the cumulative view).
+    ``absorb`` touches only the open pane, so each report is folded in
+    exactly once; ``roll`` closes the pane, evicting the oldest ring
+    pane into the retired state when the ring is full.
+
+    Accounting: when a pane's first chunk arrives, the mechanism's
+    declared spend is charged to ``ledger`` (see module docstring for
+    the ``user_model`` semantics) — so an over-cap window raises
+    :class:`~repro.core.budget.BudgetExceededError` *before* absorbing
+    any of its reports.  Mechanisms without a ``privacy_spend``
+    declaration stream unaccounted (the ledger stays empty).
     """
 
-    def __init__(self, oracle) -> None:
+    def __init__(
+        self,
+        oracle,
+        spec: WindowSpec | None = None,
+        *,
+        ledger: PrivacyLedger | None = None,
+        user_model: str = "same_users",
+    ) -> None:
+        if user_model not in USER_MODELS:
+            raise ValueError(
+                f"user_model must be one of {USER_MODELS}, got {user_model!r}"
+            )
         self._oracle = oracle
-        self._cumulative = oracle.accumulator()
-        self._window = oracle.accumulator()
-        self._window_index = 0
+        self.spec = spec if spec is not None else WindowSpec.tumbling()
+        self.ledger = ledger if ledger is not None else PrivacyLedger()
+        self.user_model = user_model
+        self._declaration = self._resolve_declaration(oracle)
+        self._retired = oracle.accumulator()
+        self._closed: deque = deque()
+        self._open = oracle.accumulator()
+        self._pane_index = 0
+        self._pane_charged = False
+        # One-time charges are memoized per *release*, and this collector
+        # instance is one release stream: the sentinel scopes its memo
+        # keys so two streams sharing a ledger each pay their own bill.
+        self._stream_key = object()
+
+    @staticmethod
+    def _resolve_declaration(oracle) -> SpendDeclaration | None:
+        spend = getattr(oracle, "privacy_spend", None)
+        return spend() if callable(spend) else None
+
+    # -- stream geometry ----------------------------------------------------
 
     @property
     def window_index(self) -> int:
-        """Index of the currently open tumbling window."""
-        return self._window_index
+        """Index of the window the next roll will close."""
+        return self._pane_index
 
     @property
     def window_users(self) -> int:
-        """Reports absorbed into the currently open window."""
-        return self._window.n_absorbed
+        """Reports in the current window view."""
+        if self.spec.kind == "cumulative":
+            return self.total_users
+        return self._open.n_absorbed + sum(a.n_absorbed for a in self._closed)
 
     @property
     def total_users(self) -> int:
         """Reports absorbed since the stream started."""
-        return self._cumulative.n_absorbed + self._window.n_absorbed
+        return (
+            self._retired.n_absorbed
+            + sum(a.n_absorbed for a in self._closed)
+            + self._open.n_absorbed
+        )
+
+    @property
+    def pane_count(self) -> int:
+        """Live pane accumulators (ring + open); ≤ ``spec.num_panes``."""
+        return len(self._closed) + 1
+
+    # -- collection ---------------------------------------------------------
+
+    def _charge_open_pane(self) -> None:
+        """Charge the declared spend for the pane now starting to fill."""
+        if self._pane_charged or self._declaration is None:
+            return
+        decl = self._declaration
+        if self.user_model == "disjoint_users":
+            # New users this window: parallel group per pane; memoized
+            # releases are one-time *per user*, hence per pane here.
+            self.ledger.charge(
+                decl,
+                label=f"window-{self._pane_index}",
+                group=f"window-{self._pane_index}",
+                key=(self._stream_key, self._pane_index),
+            )
+        else:
+            # Same population re-reporting: fresh releases compose
+            # sequentially; a memoized release is charged once per stream.
+            self.ledger.charge(
+                decl,
+                label=f"window-{self._pane_index}",
+                key=self._stream_key,
+            )
+        self._pane_charged = True
 
     def absorb(self, reports) -> "StreamingCollector":
-        """Fold one arriving report chunk into the open window."""
-        self._window.absorb(reports)
+        """Fold one arriving report chunk into the open pane.
+
+        The pane's privacy spend is charged on its first chunk, before
+        anything is absorbed — over-budget collection is refused, not
+        rolled back.
+        """
+        self._charge_open_pane()
+        self._open.absorb(reports)
         return self
 
     def snapshot(self) -> StreamSnapshot:
         """Read the stream without disturbing it.
 
-        Non-destructive and repeatable: the cumulative view is computed
-        by merging the open window into a *copy* of the cumulative
-        accumulator, and both finalizes are pure — absorbing more
-        reports afterwards continues exactly where the stream was.
+        Non-destructive and repeatable: window and cumulative views are
+        computed by merging pane *copies* (``finalize`` is pure,
+        ``merge`` never mutates its argument), so absorbing more reports
+        afterwards continues exactly where the stream was.
         """
         t0 = time.perf_counter()
-        window_est = (
-            self._window.finalize() if self._window.n_absorbed > 0 else None
+        cumulative_users, cumulative = _merged_estimates(
+            [self._retired, *self._closed, self._open]
         )
-        if self._window.n_absorbed > 0:
-            cumulative = self._cumulative.copy().merge(self._window).finalize()
-        elif self.total_users > 0:
-            cumulative = self._cumulative.finalize()
+        if self.spec.kind == "cumulative":
+            window_users, window_est = cumulative_users, cumulative
         else:
-            # Nothing has arrived yet; some mechanisms (1BitMean) have no
-            # estimate at n = 0, so an empty stream reads as None — the
-            # same convention as an empty window.
-            cumulative = None
+            window_users, window_est = _merged_estimates(
+                [*self._closed, self._open]
+            )
         t1 = time.perf_counter()
         return StreamSnapshot(
-            window_index=self._window_index,
-            window_users=self._window.n_absorbed,
-            total_users=self.total_users,
+            window_index=self._pane_index,
+            window_users=window_users,
+            total_users=cumulative_users,
             window_estimates=window_est,
             cumulative_estimates=cumulative,
             snapshot_seconds=t1 - t0,
+            total_epsilon=self.ledger.total_epsilon,
+            total_delta=self.ledger.total_delta,
+            pane_count=self.pane_count,
         )
 
     def roll(self) -> StreamSnapshot:
-        """Snapshot, then close the window and open the next one."""
+        """Snapshot, then close the open pane and advance the window.
+
+        Tumbling/cumulative windows retire the pane immediately; sliding
+        windows push it onto the ring, retiring the oldest pane once the
+        ring holds ``num_panes − 1`` closed panes (the open pane is the
+        window's newest pane).
+        """
         snap = self.snapshot()
-        self._cumulative.merge(self._window)
-        self._window = self._oracle.accumulator()
-        self._window_index += 1
+        self._closed.append(self._open)
+        while len(self._closed) > self.spec.num_panes - 1:
+            self._retired.merge(self._closed.popleft())
+        self._open = self._oracle.accumulator()
+        self._pane_index += 1
+        self._pane_charged = False
         return snap
 
 
@@ -153,35 +419,58 @@ def stream_collection(
     oracle,
     values: np.ndarray,
     *,
-    window_size: int,
+    window_size: int | None = None,
     chunk_size: int = 65_536,
     rng: np.random.Generator | int | None = None,
-) -> list[StreamSnapshot]:
+    window: WindowSpec | None = None,
+    ledger: PrivacyLedger | None = None,
+    user_model: str = "same_users",
+) -> StreamResult:
     """Drive a whole population through a simulated arrival stream.
 
-    Users arrive in order; every ``window_size`` of them closes one
-    tumbling window (the last window may be short).  Within a window,
+    Users arrive in order; every pane's worth of them (``window_size``
+    for tumbling/cumulative, ``stride`` for sliding — the last pane may
+    be short) closes one window and emits a snapshot.  Within a pane,
     clients are privatized in bounded-memory chunks of at most
     ``chunk_size`` — the same memory discipline as the sharded pipeline.
-    Returns one :class:`StreamSnapshot` per closed window; the final
-    snapshot's cumulative estimates equal the one-shot batch estimate
-    over the identical report stream.
+
+    Pass either ``window_size`` (tumbling windows, the historical API)
+    or an explicit ``window`` :class:`WindowSpec`; ``ledger`` and
+    ``user_model`` configure the accounting (see the module docstring).
+    Returns a :class:`StreamResult` — one snapshot per closed window
+    plus the populated ledger; the final snapshot's cumulative estimates
+    equal the one-shot batch estimate over the identical report stream.
     """
-    check_positive_int(window_size, name="window_size")
+    if window is not None and window_size is not None:
+        raise ValueError("pass either window_size or window, not both")
+    if window is None:
+        if window_size is None:
+            raise ValueError("one of window_size or window is required")
+        spec = WindowSpec.tumbling(window_size)
+    else:
+        spec = window
+    if spec.pane_size is None:
+        raise ValueError(
+            "stream_collection needs a sized WindowSpec (its size sets the "
+            "roll cadence)"
+        )
+    pane = check_positive_int(spec.pane_size, name="pane size")
     check_positive_int(chunk_size, name="chunk_size")
     vals = np.asarray(values)
     if vals.ndim != 1 or vals.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
     gen = ensure_generator(rng)
-    collector = StreamingCollector(oracle)
+    collector = StreamingCollector(
+        oracle, spec, ledger=ledger, user_model=user_model
+    )
     snapshots: list[StreamSnapshot] = []
     n = vals.shape[0]
-    for w_start in range(0, n, window_size):
-        window_vals = vals[w_start : w_start + window_size]
-        for c_start in range(0, window_vals.shape[0], chunk_size):
-            chunk = window_vals[c_start : c_start + chunk_size]
+    for p_start in range(0, n, pane):
+        pane_vals = vals[p_start : p_start + pane]
+        for c_start in range(0, pane_vals.shape[0], chunk_size):
+            chunk = pane_vals[c_start : c_start + chunk_size]
             reports = oracle.privatize(chunk, rng=gen)
             collector.absorb(reports)
             del reports  # the accumulators are the only surviving state
         snapshots.append(collector.roll())
-    return snapshots
+    return StreamResult(snapshots, collector.ledger, spec)

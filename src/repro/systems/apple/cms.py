@@ -107,6 +107,15 @@ class _SketchBase(ABC):
         mean = bucket_sums.mean(axis=0)
         return (self.m / (self.m - 1.0)) * (mean - n / self.m)
 
+    def privacy_spend(self):
+        """Each sketch report is a fresh ε-release (Apple rations by
+        capping reports per day, not by memoizing randomness)."""
+        from repro.core.budget import SpendDeclaration
+
+        return SpendDeclaration(
+            epsilon=self.epsilon, scope="per_report", mechanism=type(self).__name__
+        )
+
     @abstractmethod
     def accumulator(self) -> "_SketchAccumulator":
         """A fresh, empty mergeable sketch accumulator."""

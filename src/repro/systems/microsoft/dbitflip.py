@@ -90,6 +90,14 @@ class DBitFlip:
         """A fresh mergeable per-bucket tally accumulator."""
         return DBitFlipAccumulator(self)
 
+    def privacy_spend(self):
+        """One d-bit report is one fresh ε-release (ε/2 per differing bit)."""
+        from repro.core.budget import SpendDeclaration
+
+        return SpendDeclaration(
+            epsilon=self.epsilon, scope="per_report", mechanism="DBitFlip"
+        )
+
     def estimate_counts(self, reports: DBitFlipReports) -> np.ndarray:
         """Unbiased per-bucket count estimates."""
         return self.accumulator().absorb(reports).finalize()

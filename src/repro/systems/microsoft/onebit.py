@@ -70,6 +70,15 @@ class OneBitMean:
         """A fresh mergeable (1-bit count, user count) accumulator."""
         return OneBitMeanAccumulator(self)
 
+    def privacy_spend(self):
+        """One bit is one fresh ε-release; memoized reuse is declared by
+        :class:`~repro.systems.microsoft.repeated.RepeatedCollector`."""
+        from repro.core.budget import SpendDeclaration
+
+        return SpendDeclaration(
+            epsilon=self.epsilon, scope="per_report", mechanism="OneBitMean"
+        )
+
     def estimate_mean(self, reports: np.ndarray) -> float:
         """Unbiased population-mean estimate from the bit vector."""
         acc = self.accumulator().absorb(reports)

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.budget import PrivacyLedger
+from repro.core.budget import PrivacyLedger, SpendDeclaration
 from repro.systems.microsoft.onebit import OneBitMean
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_epsilon, check_fraction, check_positive_int
@@ -116,12 +116,38 @@ class RepeatedCollector:
             raise ValueError(f"gamma must be in (0, 0.5), got {gamma}")
         self.gamma = float(gamma)
 
+    def privacy_spend(self) -> SpendDeclaration:
+        """The mode's declared cost per collection round.
+
+        Fresh mode re-randomizes — each round is an independent
+        ε-release of the mechanism (``per_report``; T rounds compose to
+        Tε).  Both memoized modes reveal, over *any* number of rounds, a
+        function of (α, two stored bits): a single ``one_time`` release
+        the ledger charges once.
+        """
+        if self.mode == "fresh":
+            return self.mechanism.privacy_spend()
+        return SpendDeclaration(
+            epsilon=self.epsilon,
+            scope="one_time",
+            mechanism=f"OneBitMean/{self.mode}",
+        )
+
     def run(
         self,
         trajectories: np.ndarray,
         rng: np.random.Generator | int | None = None,
+        *,
+        ledger: PrivacyLedger | None = None,
     ) -> CollectionRun:
-        """Collect every round of an ``(n, T)`` trajectory matrix."""
+        """Collect every round of an ``(n, T)`` trajectory matrix.
+
+        ``ledger`` (optional) is the account charged as rounds run —
+        pass a capped ledger to abort a fresh-mode collection the moment
+        its budget would be exceeded (:class:`BudgetExceededError` is
+        raised *before* the offending round collects).  The populated
+        ledger is returned on :attr:`CollectionRun.ledger`.
+        """
         gen = ensure_generator(rng)
         traj = np.asarray(trajectories, dtype=np.float64)
         if traj.ndim != 2 or traj.size == 0:
@@ -131,7 +157,10 @@ class RepeatedCollector:
         n, num_rounds = traj.shape
         check_positive_int(num_rounds, name="T")
 
-        run = CollectionRun(mode=self.mode)
+        run = CollectionRun(
+            mode=self.mode,
+            ledger=ledger if ledger is not None else PrivacyLedger(),
+        )
         if self.mode == "fresh":
             self._run_fresh(traj, gen, run)
         else:
@@ -144,11 +173,14 @@ class RepeatedCollector:
         self, traj: np.ndarray, gen: np.random.Generator, run: CollectionRun
     ) -> None:
         n, num_rounds = traj.shape
+        decl = self.privacy_spend()
         patterns = []
         for t in range(num_rounds):
+            # Charge before collecting: a capped ledger refuses the
+            # round rather than collecting data it cannot afford.
+            run.ledger.charge(decl, label=f"round-{t}/fresh")
             bits = self.mechanism.privatize(traj[:, t], rng=gen)
             patterns.append(bits)
-            run.ledger.spend(self.epsilon, label=f"round-{t}/fresh")
             run.rounds.append(
                 RoundResult(
                     round_index=t,
@@ -172,7 +204,12 @@ class RepeatedCollector:
         p_high = self.mechanism.response_probability(m)
         memo_low = (gen.random(n) < p_low).astype(np.uint8)
         memo_high = (gen.random(n) < p_high).astype(np.uint8)
-        run.ledger.spend(self.epsilon, label="memoized-release")
+        # Fresh α and memo bits are drawn per run, so every run is an
+        # independent one-time release: a unique key keeps a shared
+        # ledger from treating the second run as a free replay.
+        run.ledger.charge(
+            self.privacy_spend(), label="memoized-release", key=object()
+        )
 
         e = math.exp(self.epsilon)
         observed = np.empty((n, num_rounds), dtype=np.uint8)

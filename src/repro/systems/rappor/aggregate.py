@@ -192,6 +192,15 @@ class RapporAggregator:
         """A fresh mergeable bit-count accumulator for this deployment."""
         return RapporAccumulator(self.params, self.master_seed)
 
+    def privacy_spend(self):
+        """The deployment's longitudinal declaration (one-time ε∞).
+
+        Collection pipelines charge this per window: because the
+        permanent bits are memoized, repeated windows over the same
+        population cost ε∞ once, which is RAPPOR's headline guarantee.
+        """
+        return self.params.privacy_spend(longitudinal=True)
+
     # -- stage 1: bit-rate correction --------------------------------------
 
     def corrected_bit_counts(

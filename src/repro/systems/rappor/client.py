@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import PrivacyLedger
 from repro.systems.rappor.params import RapporParams
 from repro.util.bloom import BloomFilter
 from repro.util.rng import derive_seed, ensure_generator
@@ -34,7 +35,16 @@ def cohort_bloom(params: RapporParams, cohort: int, master_seed: int) -> BloomFi
 
 
 class RapporClient:
-    """One device's RAPPOR state: cohort, memoized PRR bits per value."""
+    """One device's RAPPOR state: cohort, memoized PRR bits per value.
+
+    With a :class:`~repro.core.budget.PrivacyLedger` attached, the
+    client accounts its own longitudinal cost through the parameter
+    set's declaration instead of hand-rolled arithmetic: drawing the
+    permanent bits for a value charges the one-time ε∞ release exactly
+    once per distinct value, and replaying them (any number of
+    instantaneous reports) charges nothing — the deployment's actual
+    privacy argument.
+    """
 
     def __init__(
         self,
@@ -42,20 +52,32 @@ class RapporClient:
         cohort: int,
         master_seed: int,
         rng: np.random.Generator | int | None = None,
+        ledger: "PrivacyLedger | None" = None,
     ) -> None:
         self.params = params
         self.cohort = int(cohort)
         self._bloom = cohort_bloom(params, cohort, master_seed)
         self._rng = ensure_generator(rng)
         self._permanent: dict[int, np.ndarray] = {}
+        self.ledger = ledger
+        # Scopes one-time PRR charges to this device: clients sharing a
+        # ledger each draw their own permanent bits, so each pays ε∞.
+        self._release_key = object()
 
     def permanent_bits(self, value: int) -> np.ndarray:
         """The memoized PRR bit vector for ``value`` (drawn on first use).
 
         Each Bloom bit is replaced by 1 w.p. f/2, by 0 w.p. f/2, kept
-        w.p. 1−f; the draw happens exactly once per value per client.
+        w.p. 1−f; the draw happens exactly once per value per client —
+        and so does the ledger charge, keyed by the value.
         """
         if value not in self._permanent:
+            if self.ledger is not None:
+                self.ledger.charge(
+                    self.params.privacy_spend(longitudinal=True),
+                    label=f"prr/value-{value}",
+                    key=(self._release_key, value),
+                )
             bloom_bits = self._bloom.encode(value)
             u = self._rng.random(self.params.num_bits)
             keep = u < 1.0 - self.params.f
@@ -76,6 +98,7 @@ def privatize_population(
     values: np.ndarray,
     master_seed: int,
     rng: np.random.Generator | int | None = None,
+    ledger: PrivacyLedger | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorized one-report-per-user collection across a whole population.
 
@@ -92,6 +115,12 @@ def privatize_population(
     vals = np.asarray(values, dtype=np.int64)
     if vals.ndim != 1 or vals.size == 0:
         raise ValueError("values must be a non-empty 1-D integer array")
+    if ledger is not None:
+        # One report per user: a single one-report release for the
+        # whole (disjoint-user) population, charged via the declaration.
+        ledger.charge(
+            params.privacy_spend(longitudinal=False), label="rappor/one-shot"
+        )
     n = vals.shape[0]
     cohorts = np.arange(n, dtype=np.int64) % params.num_cohorts
     reports = np.empty((n, params.num_bits), dtype=np.uint8)

@@ -94,6 +94,31 @@ class RapporParams:
         ratio = (1.0 - 0.5 * self.f) / (0.5 * self.f)
         return 2.0 * self.num_hashes * math.log(ratio)
 
+    def privacy_spend(self, *, longitudinal: bool = True):
+        """The deployment's declared spend, ready for a ledger.
+
+        ``longitudinal=True`` (the deployment stance) declares the
+        lifetime guarantee: the memoized permanent bits are a *one-time*
+        ε∞ release per reported value, and instantaneous reports replay
+        it — a ledger charges it once no matter how many rounds run.
+        ``longitudinal=False`` declares a single report against an
+        attacker who sees only that report (ε₁, fresh per report) — the
+        right declaration for one-shot collection experiments.
+        """
+        from repro.core.budget import SpendDeclaration
+
+        if longitudinal:
+            return SpendDeclaration(
+                epsilon=self.epsilon_permanent,
+                scope="one_time",
+                mechanism="RAPPOR/permanent",
+            )
+        return SpendDeclaration(
+            epsilon=self.epsilon_one_report,
+            scope="per_report",
+            mechanism="RAPPOR/one-report",
+        )
+
     def describe(self) -> str:
         """One-line human summary used by examples and experiment notes."""
         return (

@@ -8,6 +8,7 @@ from repro.core.budget import (
     BudgetExceededError,
     PrivacyLedger,
     PrivacySpend,
+    SpendDeclaration,
     advanced_composition,
     compose_parallel,
     compose_sequential,
@@ -141,3 +142,102 @@ class TestPrivacyLedger:
         ledger.spend(0.1)
         with pytest.raises(ValueError):
             ledger.total_advanced(0.0)
+
+    def test_delta_only_cap_enforced(self):
+        # Regression: the δ check used to be guarded by the ε cap, so a
+        # δ-only ledger never enforced its cap.
+        ledger = PrivacyLedger(delta_cap=1e-9)
+        ledger.spend(0.5)  # pure-ε spends are unaffected
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(0.1, delta=1e-6)
+        assert len(ledger) == 1
+        assert ledger.total_delta == 0.0
+
+    def test_delta_cap_none_is_unlimited(self):
+        ledger = PrivacyLedger(epsilon_cap=10.0)
+        ledger.spend(0.1, delta=0.5e-2)
+        ledger.spend(0.1, delta=0.5e-2)
+        assert math.isclose(ledger.total_delta, 1e-2)
+
+    def test_running_totals_match_full_recompute(self):
+        # Totals are kept incrementally (O(1) per spend); they must agree
+        # with a from-scratch reduction over the audit list at all times.
+        ledger = PrivacyLedger()
+        for i in range(500):
+            ledger.spend(0.01 * (1 + i % 3), delta=1e-12, label=f"r{i}")
+        eps, delta = compose_sequential(ledger.spends)
+        assert math.isclose(ledger.total_epsilon, eps)
+        assert math.isclose(ledger.total_delta, delta)
+
+    def test_totals_rebuilt_from_constructor_spends(self):
+        spends = [PrivacySpend(0.5), PrivacySpend(0.25, 1e-9)]
+        ledger = PrivacyLedger(spends=list(spends))
+        assert math.isclose(ledger.total_epsilon, 0.75)
+        assert math.isclose(ledger.total_delta, 1e-9)
+
+
+class TestParallelGroups:
+    def test_groups_compose_in_parallel(self):
+        # Disjoint sub-populations (groups) cost the max; ungrouped
+        # spends hit every user and add on top.
+        ledger = PrivacyLedger()
+        ledger.spend(0.2, label="common")  # everyone
+        ledger.spend(1.0, group="window-0")
+        ledger.spend(0.5, group="window-1")
+        ledger.spend(0.7, group="window-1")
+        assert math.isclose(ledger.total_epsilon, 0.2 + 1.2)
+
+    def test_group_deltas_take_max(self):
+        ledger = PrivacyLedger()
+        ledger.spend(0.1, delta=1e-6, group="a")
+        ledger.spend(0.1, delta=1e-9, group="b")
+        assert math.isclose(ledger.total_delta, 1e-6)
+
+    def test_cap_uses_parallel_totals(self):
+        # Three disjoint windows at ε=1 cost 1, not 3 — the cap must see
+        # the parallel-composed total.
+        ledger = PrivacyLedger(epsilon_cap=1.5)
+        for w in range(3):
+            ledger.spend(1.0, group=f"window-{w}")
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(1.0)  # ungrouped: 1 + 1 > 1.5
+        assert math.isclose(ledger.total_epsilon, 1.0)
+
+
+class TestSpendDeclaration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpendDeclaration(epsilon=0.0)
+        with pytest.raises(ValueError):
+            SpendDeclaration(epsilon=1.0, scope="weekly")
+        assert SpendDeclaration(1.0, scope="one_time").is_one_time
+        assert not SpendDeclaration(1.0).is_one_time
+
+    def test_per_report_charges_every_call(self):
+        ledger = PrivacyLedger()
+        decl = SpendDeclaration(epsilon=0.5, mechanism="OLH")
+        for t in range(4):
+            assert ledger.charge(decl, label=f"round-{t}") is not None
+        assert math.isclose(ledger.total_epsilon, 2.0)
+        assert len(ledger) == 4
+
+    def test_one_time_charges_once_per_key(self):
+        ledger = PrivacyLedger()
+        decl = SpendDeclaration(epsilon=2.0, scope="one_time", mechanism="memo")
+        assert ledger.charge(decl) is not None
+        assert ledger.charge(decl) is None  # replay: free
+        assert math.isclose(ledger.total_epsilon, 2.0)
+        # An independent memoized release (different key) charges again.
+        assert ledger.charge(decl, key="value-7") is not None
+        assert math.isclose(ledger.total_epsilon, 4.0)
+
+    def test_rejected_one_time_charge_is_not_memoized(self):
+        ledger = PrivacyLedger(epsilon_cap=1.0)
+        decl = SpendDeclaration(epsilon=2.0, scope="one_time", mechanism="memo")
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(decl)
+        # The failed charge must not have consumed the key — a replay is
+        # still a *charge attempt* (it raises), not a free memoized hit.
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(decl)
+        assert len(ledger) == 0

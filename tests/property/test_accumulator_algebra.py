@@ -91,6 +91,21 @@ def test_serialization_rejects_mismatched_configs(name):
         oracle.accumulator().from_bytes(b"not an accumulator payload")
 
 
+def test_unpack_rejects_header_missing_fields_as_valueerror():
+    # A payload whose header parses as JSON but lacks required fields
+    # must reject as malformed (ValueError), never escape as KeyError —
+    # combiners catch ValueError to drop bad remote summaries.
+    import json as _json
+    import struct
+
+    from repro.core.serialization import MAGIC, WIRE_VERSION, unpack_accumulator_state
+
+    header = _json.dumps({"kind": "PureAccumulator"}).encode("utf-8")
+    payload = struct.pack("<4sBI", MAGIC, WIRE_VERSION, len(header)) + header
+    with pytest.raises(ValueError, match="missing required fields"):
+        unpack_accumulator_state(payload)
+
+
 def _system_cases():
     """(label, accumulator factory, report batch, slicer) per system stack."""
     gen = np.random.default_rng(101)

@@ -1,0 +1,181 @@
+"""Property tests for the windowing engine's correctness invariants.
+
+Two promises the pane-ring design makes, checked for every registered
+core oracle *and* every system stack:
+
+* **window = batch**: each tumbling/sliding window's finalized estimate
+  is bit-identical to the one-shot batch estimate over exactly that
+  window's reports (SHE to ~1e-9 — float summation order), for any pane
+  geometry.  The reports are privatized once and sliced, so the
+  comparison is over identical randomness.
+* **bounded memory**: the collector never holds more than
+  ``WindowSpec.num_panes`` pane accumulators (ring + open pane), no
+  matter how many windows the stream has rolled through.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.protocol import StreamingCollector, WindowSpec
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.apple.cms import CmsReports, HcmsReports
+from repro.systems.microsoft import DBitFlip, OneBitMean
+from repro.systems.microsoft.dbitflip import DBitFlipReports
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
+
+
+def _assert_windows_equal_batches(oracle, reports, slicer, n, spec, *, she=False):
+    """Drive ``reports`` through a collector pane by pane; compare every
+    window snapshot against the one-shot batch over that window's users."""
+    order = np.arange(n)
+    stride = spec.pane_size
+    collector = StreamingCollector(oracle, spec)
+    pane_starts = list(range(0, n, stride))
+    for k, start in enumerate(pane_starts):
+        end = min(start + stride, n)
+        collector.absorb(slicer(reports, (order >= start) & (order < end)))
+        snap = collector.roll()
+
+        # The live window spans the last num_panes panes ending at `end`.
+        win_start = pane_starts[max(0, k - spec.num_panes + 1)]
+        window_mask = (order >= win_start) & (order < end)
+        batch = (
+            oracle.accumulator().absorb(slicer(reports, window_mask)).finalize()
+        )
+        assert snap.window_users == int(window_mask.sum())
+        if she:
+            assert np.allclose(snap.window_estimates, batch, rtol=1e-9, atol=1e-9)
+        else:
+            assert np.array_equal(snap.window_estimates, batch)
+
+        # Pane-ring memory bound: ring + open pane never exceeds num_panes.
+        assert snap.pane_count <= spec.num_panes
+        assert collector.pane_count <= spec.num_panes
+
+    # Stream end: the cumulative view equals the batch over everything.
+    whole = oracle.accumulator().absorb(reports).finalize()
+    final = collector.snapshot()
+    assert final.total_users == n
+    if she:
+        assert np.allclose(final.cumulative_estimates, whole, rtol=1e-9, atol=1e-9)
+    else:
+        assert np.array_equal(final.cumulative_estimates, whole)
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+@given(
+    panes=st.integers(1, 4),
+    stride=st.sampled_from([40, 80, 120]),
+)
+@settings(max_examples=6, deadline=None)
+def test_core_oracle_windows_equal_batches(name, slice_reports, panes, stride):
+    oracle = make_oracle(name, 9, 1.4)
+    n = 480
+    values = np.random.default_rng(31).integers(0, 9, size=n)
+    reports = oracle.privatize(values, rng=32)
+    spec = (
+        WindowSpec.tumbling(stride)
+        if panes == 1
+        else WindowSpec.sliding(panes * stride, stride)
+    )
+    _assert_windows_equal_batches(
+        oracle, reports, slice_reports, n, spec, she=(name == "SHE")
+    )
+
+
+def _system_cases():
+    """(label, mechanism, report batch, n, slicer) per system stack."""
+    gen = np.random.default_rng(202)
+
+    cms = CountMeanSketch(300, 2.0, k=4, m=64, master_seed=3)
+    cms_reports = cms.privatize(gen.integers(0, 300, 600), rng=4)
+
+    hcms = HadamardCountMeanSketch(300, 2.0, k=4, m=64, master_seed=3)
+    hcms_reports = hcms.privatize(gen.integers(0, 300, 600), rng=5)
+
+    params = RapporParams(num_bits=32, num_hashes=2, num_cohorts=4)
+    rappor = RapporAggregator(params, 6)
+    cohorts, bits = privatize_population(
+        params, gen.integers(0, 20, 600), 6, rng=7
+    )
+
+    db = DBitFlip(num_buckets=24, d=6, epsilon=1.0)
+    db_reports = db.privatize(gen.integers(0, 24, 600), rng=8)
+
+    ob = OneBitMean(50.0, 1.0)
+    ob_bits = ob.privatize(gen.uniform(0, 50, 600), rng=9)
+
+    return [
+        (
+            "cms",
+            cms,
+            cms_reports,
+            600,
+            lambda r, m: CmsReports(hash_indices=r.hash_indices[m], rows=r.rows[m]),
+        ),
+        (
+            "hcms",
+            hcms,
+            hcms_reports,
+            600,
+            lambda r, m: HcmsReports(
+                hash_indices=r.hash_indices[m], coords=r.coords[m], bits=r.bits[m]
+            ),
+        ),
+        (
+            "rappor",
+            rappor,
+            (cohorts, bits),
+            600,
+            lambda r, m: (r[0][m], r[1][m]),
+        ),
+        (
+            "dbitflip",
+            db,
+            db_reports,
+            600,
+            lambda r, m: DBitFlipReports(
+                bucket_indices=r.bucket_indices[m], bits=r.bits[m]
+            ),
+        ),
+        ("onebit", ob, ob_bits, 600, lambda r, m: r[m]),
+    ]
+
+
+_SYSTEM_CASES = _system_cases()
+
+
+@pytest.mark.parametrize(
+    "label,mechanism,reports,n,slicer",
+    _SYSTEM_CASES,
+    ids=[c[0] for c in _SYSTEM_CASES],
+)
+@pytest.mark.parametrize(
+    "spec",
+    [
+        WindowSpec.tumbling(150),
+        WindowSpec.sliding(300, 100),
+        WindowSpec.sliding(200, 50),
+    ],
+    ids=["tumbling", "sliding-3x100", "sliding-4x50"],
+)
+def test_system_stack_windows_equal_batches(label, mechanism, reports, n, slicer, spec):
+    _assert_windows_equal_batches(mechanism, reports, slicer, n, spec)
+
+
+@given(panes=st.integers(2, 6), rolls=st.integers(8, 24))
+@settings(max_examples=10, deadline=None)
+def test_pane_ring_never_exceeds_capacity(panes, rolls):
+    # Structural bound, independent of workload: after any number of
+    # rolls the ring holds at most num_panes accumulators.
+    oracle = make_oracle("OUE", 8, 1.0)
+    spec = WindowSpec.sliding(panes * 10, 10)
+    col = StreamingCollector(oracle, spec)
+    gen = np.random.default_rng(panes * 1000 + rolls)
+    for _ in range(rolls):
+        col.absorb(oracle.privatize(gen.integers(0, 8, 10), rng=gen))
+        col.roll()
+        assert col.pane_count <= spec.num_panes

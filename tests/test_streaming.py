@@ -7,12 +7,21 @@ the final cumulative snapshot with the one-shot batch estimate, and the
 snapshot's non-destructiveness (reading the stream must not disturb it).
 """
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core import ORACLE_REGISTRY, OptimalLocalHashing, make_oracle
-from repro.protocol import StreamingCollector, stream_collection
-from repro.systems.microsoft import OneBitMean
+from repro.core.budget import BudgetExceededError, PrivacyLedger
+from repro.protocol import (
+    StreamingCollector,
+    WindowSpec,
+    run_sharded_collection,
+    stream_collection,
+)
+from repro.systems.microsoft import OneBitMean, RepeatedCollector
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
 
 
 class TestStreamingCollector:
@@ -139,3 +148,247 @@ class TestStreamCollectionDriver:
             stream_collection(oracle, np.arange(4), window_size=0)
         with pytest.raises(ValueError):
             stream_collection(oracle, np.zeros((2, 2)), window_size=2)
+        with pytest.raises(ValueError):
+            stream_collection(oracle, np.arange(4))  # no window at all
+        with pytest.raises(ValueError):
+            stream_collection(
+                oracle,
+                np.arange(4),
+                window_size=2,
+                window=WindowSpec.tumbling(2),  # both is ambiguous
+            )
+
+    def test_result_is_sequence_with_ledger(self):
+        oracle = make_oracle("DE", 8, 1.0)
+        result = stream_collection(
+            oracle, np.arange(8).repeat(50), window_size=100, rng=5
+        )
+        assert len(result) == 4
+        assert result[-1].total_users == 400
+        assert [s.window_index for s in result] == [0, 1, 2, 3]
+        assert isinstance(result.ledger, PrivacyLedger)
+        assert len(result.ledger) == 4  # one fresh release per window
+
+
+class TestWindowSpec:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec("hopping", 10)
+
+    def test_sliding_needs_size_and_stride(self):
+        with pytest.raises(ValueError):
+            WindowSpec("sliding", 10)
+        with pytest.raises(ValueError):
+            WindowSpec.sliding(10, 20)  # gapped windows unsupported
+        with pytest.raises(ValueError):
+            WindowSpec.sliding(10, 3)  # stride must tile the window
+
+    def test_stride_rejected_off_sliding(self):
+        with pytest.raises(ValueError):
+            WindowSpec("tumbling", 10, 5)
+
+    def test_geometry(self):
+        assert WindowSpec.tumbling(100).num_panes == 1
+        assert WindowSpec.tumbling(100).pane_size == 100
+        assert WindowSpec.sliding(300, 100).num_panes == 3
+        assert WindowSpec.sliding(300, 100).pane_size == 100
+        assert WindowSpec.cumulative(50).num_panes == 1
+
+
+class TestSlidingWindows:
+    def test_driver_schedule(self):
+        oracle = make_oracle("OLH", 16, 1.5)
+        values = np.random.default_rng(21).integers(0, 16, size=1100)
+        result = stream_collection(
+            oracle,
+            values,
+            window=WindowSpec.sliding(400, 200),
+            chunk_size=128,
+            rng=22,
+        )
+        # One snapshot per stride; windows grow to full size then slide.
+        assert [s.window_users for s in result] == [200, 400, 400, 400, 400, 300]
+        assert all(s.pane_count <= 2 for s in result)
+        assert result[-1].total_users == 1100
+
+    def test_cumulative_window_is_stream_so_far(self):
+        oracle = make_oracle("DE", 8, 1.0)
+        result = stream_collection(
+            oracle,
+            np.arange(8).repeat(40),
+            window=WindowSpec.cumulative(80),
+            rng=23,
+        )
+        for snap in result:
+            assert snap.window_users == snap.total_users
+            assert np.array_equal(snap.window_estimates, snap.cumulative_estimates)
+
+
+class TestPrivacyAccounting:
+    def test_same_users_fresh_composes_sequentially(self):
+        oracle = make_oracle("OLH", 8, 1.25)
+        result = stream_collection(
+            oracle,
+            np.random.default_rng(31).integers(0, 8, 600),
+            window_size=200,
+            rng=32,
+            user_model="same_users",
+        )
+        assert math.isclose(result.ledger.total_epsilon, 3 * 1.25)
+        # The snapshot trajectory exposes the running spend.
+        assert [round(s.total_epsilon, 6) for s in result] == [1.25, 2.5, 3.75]
+
+    def test_disjoint_users_compose_in_parallel(self):
+        oracle = make_oracle("OLH", 8, 1.25)
+        result = stream_collection(
+            oracle,
+            np.random.default_rng(33).integers(0, 8, 600),
+            window_size=200,
+            rng=34,
+            user_model="disjoint_users",
+        )
+        assert math.isclose(result.ledger.total_epsilon, 1.25)
+        assert len(result.ledger) == 3  # audit trail keeps every window
+
+    def test_memoized_release_charged_once_per_stream(self):
+        # RAPPOR declares a one-time ε∞ release: streaming any number of
+        # windows over the same population charges it exactly once.
+        params = RapporParams(num_bits=16, num_hashes=2, num_cohorts=2)
+        aggregator = RapporAggregator(params, 5)
+        cohorts, bits = privatize_population(
+            params, np.random.default_rng(35).integers(0, 10, 300), 5, rng=36
+        )
+        col = StreamingCollector(aggregator)
+        for w in range(3):
+            sel = slice(w * 100, (w + 1) * 100)
+            col.absorb((cohorts[sel], bits[sel]))
+            col.roll()
+        assert len(col.ledger) == 1
+        assert math.isclose(col.ledger.total_epsilon, params.epsilon_permanent)
+
+    def test_capped_ledger_raises_mid_stream(self):
+        # Fresh-mode repeated windows over the same users: the third
+        # window would break the cap and must be refused before any of
+        # its reports are absorbed.
+        oracle = make_oracle("OLH", 8, 1.0)
+        ledger = PrivacyLedger(epsilon_cap=2.5)
+        with pytest.raises(BudgetExceededError):
+            stream_collection(
+                oracle,
+                np.random.default_rng(37).integers(0, 8, 800),
+                window_size=200,
+                rng=38,
+                ledger=ledger,
+            )
+        # Two windows fit; the stream died at the third.
+        assert len(ledger) == 2
+        assert math.isclose(ledger.total_epsilon, 2.0)
+
+    def test_repeated_collector_fresh_mode_hits_cap(self):
+        collector = RepeatedCollector(100.0, epsilon=1.0, mode="fresh")
+        traj = np.random.default_rng(39).uniform(0, 100, size=(50, 5))
+        ledger = PrivacyLedger(epsilon_cap=3.0)
+        with pytest.raises(BudgetExceededError):
+            collector.run(traj, rng=40, ledger=ledger)
+        assert len(ledger) == 3  # rounds 0-2 collected, round 3 refused
+
+    def test_repeated_collector_memoized_fits_any_horizon(self):
+        collector = RepeatedCollector(100.0, epsilon=1.0, mode="memoized_op")
+        traj = np.random.default_rng(41).uniform(0, 100, size=(50, 12))
+        ledger = PrivacyLedger(epsilon_cap=1.0)
+        run = collector.run(traj, rng=42, ledger=ledger)
+        assert run.ledger is ledger
+        assert math.isclose(run.total_epsilon, 1.0)
+        assert len(run.rounds) == 12
+
+    def test_sharded_collection_returns_populated_ledger(self):
+        oracle = make_oracle("OUE", 8, 1.5)
+        stats = run_sharded_collection(
+            oracle,
+            np.random.default_rng(43).integers(0, 8, 400),
+            num_shards=2,
+            rng=44,
+        )
+        assert stats.ledger is not None
+        assert math.isclose(stats.ledger.total_epsilon, 1.5)
+
+    def test_onebit_stream_is_accounted(self):
+        mech = OneBitMean(100.0, 1.0)
+        bits = mech.privatize(
+            np.random.default_rng(45).uniform(0, 100, 300), rng=46
+        )
+        col = StreamingCollector(mech)
+        col.absorb(bits[:150]).roll()
+        col.absorb(bits[150:]).roll()
+        assert math.isclose(col.ledger.total_epsilon, 2.0)
+
+    def test_user_model_validation(self):
+        with pytest.raises(ValueError):
+            StreamingCollector(make_oracle("DE", 4, 1.0), user_model="strangers")
+
+    def test_independent_streams_sharing_a_ledger_each_pay(self):
+        # One-time charges are scoped per release: two collectors (two
+        # independent memoized releases) on one ledger must charge twice.
+        params = RapporParams(num_bits=16, num_hashes=2, num_cohorts=2)
+        aggregator = RapporAggregator(params, 5)
+        cohorts, bits = privatize_population(
+            params, np.random.default_rng(47).integers(0, 10, 200), 5, rng=48
+        )
+        shared = PrivacyLedger()
+        for _ in range(2):
+            col = StreamingCollector(aggregator, ledger=shared)
+            col.absorb((cohorts, bits)).roll()
+            col.absorb((cohorts, bits)).roll()  # replay within stream: free
+        assert len(shared) == 2
+        assert math.isclose(shared.total_epsilon, 2 * params.epsilon_permanent)
+
+    def test_repeated_memoized_runs_sharing_a_ledger_each_pay(self):
+        # Each run draws fresh memo bits — an independent release; a
+        # shared capped ledger must refuse the second, not wave it
+        # through as a replay.
+        collector = RepeatedCollector(100.0, epsilon=1.0, mode="memoized")
+        traj = np.random.default_rng(49).uniform(0, 100, size=(40, 3))
+        shared = PrivacyLedger(epsilon_cap=1.5)
+        collector.run(traj, rng=50, ledger=shared)
+        with pytest.raises(BudgetExceededError):
+            collector.run(traj, rng=51, ledger=shared)
+        assert math.isclose(shared.total_epsilon, 1.0)
+
+    def test_repeated_sharded_collections_each_charge(self):
+        # Every call privatizes fresh randomness: two collections on one
+        # ledger are two releases even for a one-time-declaring oracle.
+        from repro.core.budget import SpendDeclaration
+
+        class _MemoizedOracle:
+            def __init__(self):
+                self._inner = make_oracle("DE", 8, 1.5)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def privacy_spend(self):
+                return SpendDeclaration(
+                    epsilon=1.5, scope="one_time", mechanism="MemoDE"
+                )
+
+        oracle = _MemoizedOracle()
+        values = np.random.default_rng(52).integers(0, 8, 60)
+        shared = PrivacyLedger()
+        for _ in range(2):
+            run_sharded_collection(
+                oracle, values, num_shards=2, chunk_size=30, rng=53, ledger=shared
+            )
+        assert len(shared) == 2
+        assert math.isclose(shared.total_epsilon, 3.0)
+
+    def test_rappor_clients_sharing_a_ledger_each_pay(self):
+        from repro.systems.rappor.client import RapporClient
+
+        params = RapporParams(num_bits=16, num_hashes=2, num_cohorts=2)
+        shared = PrivacyLedger()
+        for cohort in (0, 1):
+            client = RapporClient(params, cohort, 9, rng=cohort, ledger=shared)
+            client.report(3)
+            client.report(3)  # same value, same device: memoized, free
+        assert len(shared) == 2
+        assert math.isclose(shared.total_epsilon, 2 * params.epsilon_permanent)

@@ -1,0 +1,36 @@
+"""Timing-capture discipline: latency numbers must be monotonic.
+
+The benchmark JSON trajectory compares latencies across runs, so every
+timing capture in the measurement paths must use ``time.perf_counter()``
+(monotonic, high resolution) — ``time.time()`` is wall-clock and jumps
+under NTP adjustment, which silently corrupts latency deltas.  This test
+is the audit: it fails the moment a drift-prone call site appears in
+``src/repro/protocol``, ``src/repro/experiments`` or ``benchmarks``.
+"""
+
+import pathlib
+import re
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+AUDITED_DIRS = (
+    REPO_ROOT / "src" / "repro" / "protocol",
+    REPO_ROOT / "src" / "repro" / "experiments",
+    REPO_ROOT / "benchmarks",
+)
+
+_DRIFT_PRONE = re.compile(r"\btime\.time\(|\btime\.clock\(")
+
+
+def test_no_drift_prone_timing_in_measurement_paths():
+    offenders = []
+    for root in AUDITED_DIRS:
+        for path in sorted(root.rglob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if _DRIFT_PRONE.search(line):
+                    offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}")
+    assert not offenders, (
+        "drift-prone wall-clock timing in measurement paths (use "
+        f"time.perf_counter()): {offenders}"
+    )
