@@ -1,0 +1,100 @@
+"""E17 benchmark: event-time streaming at 1M users.
+
+One drifting OLH stream through (1) the two-stack and ring pane stores
+at growing pane counts — the snapshot-latency scaling claim: ring
+O(panes) merges per snapshot, two-stack O(1) — and (2) the event-time
+watermark engine under an allowed-lateness sweep with injected
+stragglers.  Emits the human ``E17.txt`` table and the machine-readable
+``BENCH_E17.json`` (per-pane-count snapshot latency for both stores,
+per-lateness absorbed/late accounting) the perf trajectory tracks.
+
+``REPRO_BENCH_USERS`` scales the population down (CI smokes the engine
+at tiny sizes); the committed results use the default 1M.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+PANE_COUNTS = (4, 16, 64)
+LATENESS_SWEEP = (0.0, 0.02, 0.5)
+
+
+def bench_e17_event_time(benchmark, save_table, save_bench_json):
+    table = run_once(
+        benchmark,
+        get_experiment("E17").run,
+        n=BENCH_USERS,
+        chunk_size=min(65_536, max(BENCH_USERS // 4, 1)),
+        pane_counts=PANE_COUNTS,
+        lateness_sweep=LATENESS_SWEEP,
+        seed=17,
+    )
+    save_table("E17", table)
+
+    latency_rows = [r for r in table.rows if r[0] == "latency"]
+    lateness_rows = [r for r in table.rows if r[0] == "lateness"]
+
+    # Latency sweep: both stores at every pane count, full coverage,
+    # timed snapshots.  (Bit-identity of the two stores' estimates is
+    # asserted inside the experiment itself.)
+    assert [r[1] for r in latency_rows] == [
+        f"{agg} {p}p" for p in PANE_COUNTS for agg in ("two_stack", "ring")
+    ]
+    for row in latency_rows:
+        assert row[2] == BENCH_USERS
+        assert row[4] > 0.0 and row[5] >= 0.0
+        assert row[9] == BENCH_USERS  # every report absorbed, none late
+
+    by_config = {r[1]: r for r in latency_rows}
+    if BENCH_USERS >= 500_000:
+        # The scaling claim itself — only at real size, where timing
+        # noise cannot drown an order-of-magnitude gap.
+        biggest = max(PANE_COUNTS)
+        assert (
+            by_config[f"two_stack {biggest}p"][5]
+            < by_config[f"ring {biggest}p"][5]
+        ), "two-stack snapshot latency should beat the ring at high pane counts"
+
+    # Lateness sweep: every report accounted, and a longer allowed
+    # lateness never drops more reports than a shorter one.
+    assert len(lateness_rows) == len(LATENESS_SWEEP)
+    for row in lateness_rows:
+        assert row[9] + row[10] == BENCH_USERS
+    late_counts = [row[10] for row in lateness_rows]
+    assert late_counts == sorted(late_counts, reverse=True)
+    assert late_counts[0] > 0  # zero lateness drops the stragglers
+    assert late_counts[-1] == 0  # generous lateness absorbs them all
+
+    save_bench_json(
+        "E17",
+        {
+            "experiment": "E17",
+            "users": BENCH_USERS,
+            "latency": [
+                {
+                    "config": row[1],
+                    "pane_count": row[6],
+                    "users_per_sec": row[4],
+                    "mean_snapshot_ms": row[5],
+                    "windows": row[8],
+                }
+                for row in latency_rows
+            ],
+            "lateness": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "mean_snapshot_ms": row[5],
+                    "mean_window_abs_err": row[7],
+                    "windows": row[8],
+                    "absorbed": row[9],
+                    "late": row[10],
+                }
+                for row in lateness_rows
+            ],
+        },
+    )

@@ -1,0 +1,233 @@
+"""Benchmark-regression guard: diff fresh BENCH_E*.json against baselines.
+
+The E14–E17 benchmarks emit machine-readable throughput/latency JSON.
+This script walks a fresh results directory and a baseline directory in
+parallel and flags any tracked metric that regressed beyond a tolerance
+factor: throughput-like metrics (``users_per_sec``) must not fall below
+``baseline / tolerance``, latency-like metrics (``*_ms``,
+``wall_seconds``) must not rise above ``baseline * tolerance``.
+
+Two deliberate design points:
+
+* **Comparable populations only.**  A fresh run at a different
+  ``users`` scale than its baseline is skipped (scales are not
+  comparable); CI therefore keeps small-scale baselines under
+  ``benchmarks/results/smoke/`` generated at the same
+  ``REPRO_BENCH_USERS`` the workflow smoke runs use.
+* **Loose tolerance.**  CI runners and dev laptops differ by small
+  integer factors; the default tolerance (8×) is deliberately wide so
+  the guard catches *complexity* regressions (an accidental
+  O(panes·state) snapshot, a quadratic merge) rather than machine noise.
+
+Exit status 0 when every tracked metric is within tolerance, 1
+otherwise; ``--update-baselines`` instead copies the fresh JSONs over
+the baselines (run it after an intentional perf-affecting change).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --fresh benchmarks/results --baseline benchmarks/results/smoke \
+        --tolerance 8.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+BENCH_IDS = ("E14", "E15", "E16", "E17")
+
+#: Metric keys where larger is better (fail when fresh < baseline / tol).
+THROUGHPUT_KEYS = {"users_per_sec", "users_per_second"}
+#: Metric keys where smaller is better (fail when fresh > baseline * tol),
+#: mapped to their noise floor *in the metric's own unit*: timings below
+#: the floor are scheduler/GC noise at smoke scale (a single paused
+#: window easily jumps 10x inside a millisecond) and never count as
+#: regressions — the throughput metrics carry the guard at that scale.
+LATENCY_KEYS = {
+    "wall_seconds": 1e-2,
+    "snapshot_ms": 1.0,
+    "mean_snapshot_ms": 1.0,
+    "merge_ms": 1.0,
+    "finalize_ms": 1.0,
+}
+
+
+def _walk(fresh, baseline, path, findings):
+    """Recurse aligned JSON trees, comparing tracked numeric leaves."""
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            findings.append((path, "shape", None, None, False))
+            return
+        for key, base_value in baseline.items():
+            if key not in fresh:
+                findings.append((f"{path}.{key}", "missing", None, None, False))
+                continue
+            _walk(fresh[key], base_value, f"{path}.{key}", findings)
+        return
+    if isinstance(baseline, list):
+        if not isinstance(fresh, list) or len(fresh) != len(baseline):
+            findings.append((path, "shape", None, None, False))
+            return
+        for i, (f, b) in enumerate(zip(fresh, baseline)):
+            _walk(f, b, f"{path}[{i}]", findings)
+        return
+    key = path.rsplit(".", 1)[-1].split("[")[0]
+    if key in THROUGHPUT_KEYS or key in LATENCY_KEYS:
+        if isinstance(fresh, (int, float)) and not isinstance(fresh, bool):
+            findings.append((path, key, float(fresh), float(baseline), True))
+        else:
+            # Tracked leaf became a container/null: a schema change to
+            # report, not a crash.
+            findings.append((path, "shape", None, None, False))
+
+
+def compare_payloads(fresh: dict, baseline: dict, tolerance: float):
+    """Compare one benchmark's fresh/baseline JSON.
+
+    Returns ``(rows, violations, skipped_reason)`` where each row is
+    ``(path, metric, fresh, baseline, ok)``.
+    """
+    if fresh.get("users") != baseline.get("users"):
+        return [], [], (
+            f"population mismatch (fresh {fresh.get('users')} vs baseline "
+            f"{baseline.get('users')}) — not comparable"
+        )
+    findings: list = []
+    _walk(fresh, baseline, "$", findings)
+    rows, violations = [], []
+    for path, key, f, b, comparable in findings:
+        if not comparable:
+            violations.append((path, key, f, b))
+            rows.append((path, key, f, b, False))
+            continue
+        if key in THROUGHPUT_KEYS:
+            ok = b <= 0.0 or f >= b / tolerance
+        else:
+            ok = f <= b * tolerance or f <= LATENCY_KEYS[key]
+        rows.append((path, key, f, b, ok))
+        if not ok:
+            violations.append((path, key, f, b))
+    return rows, violations, None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks/results"),
+        help="directory holding the freshly generated BENCH_E*.json",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks/results/smoke"),
+        help="directory holding the committed baseline BENCH_E*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=8.0,
+        help="allowed slowdown factor before a metric counts as regressed",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="copy fresh JSONs over the baselines instead of comparing",
+    )
+    parser.add_argument(
+        "--allow-scale-mismatch",
+        action="store_true",
+        help="tolerate fresh/baseline population mismatches (local runs "
+        "against full-scale results); CI omits this so a scale drift "
+        "fails loudly instead of silently disabling the gate",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1")
+
+    exit_code = 0
+    compared = 0
+    mismatched = 0
+    for bench_id in BENCH_IDS:
+        name = f"BENCH_{bench_id}.json"
+        fresh_path = args.fresh / name
+        base_path = args.baseline / name
+        if not fresh_path.exists():
+            print(f"{bench_id}: no fresh results at {fresh_path} — skipped")
+            continue
+        if args.update_baselines:
+            args.baseline.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(fresh_path, base_path)
+            print(f"{bench_id}: baseline updated from {fresh_path}")
+            continue
+        if not base_path.exists():
+            print(
+                f"{bench_id}: no baseline at {base_path} — run with "
+                "--update-baselines to create one"
+            )
+            exit_code = 1
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        baseline = json.loads(base_path.read_text())
+        rows, violations, skipped = compare_payloads(
+            fresh, baseline, args.tolerance
+        )
+        if skipped:
+            print(f"{bench_id}: skipped — {skipped}")
+            mismatched += 1
+            if not args.allow_scale_mismatch:
+                exit_code = 1
+            continue
+        compared += 1
+        worst = ""
+        if violations:
+            exit_code = 1
+            for path, key, f, b in violations:
+                if f is None:
+                    print(f"{bench_id}: SCHEMA CHANGE at {path} — "
+                          "update the baselines")
+                else:
+                    print(
+                        f"{bench_id}: REGRESSION {path} ({key}): "
+                        f"fresh {f:.4g} vs baseline {b:.4g} "
+                        f"(tolerance {args.tolerance:g}x)"
+                    )
+        else:
+            checked = sum(1 for r in rows if r[2] is not None)
+            worst = _worst_ratio(rows)
+            print(
+                f"{bench_id}: ok — {checked} metrics within "
+                f"{args.tolerance:g}x{worst}"
+            )
+    if not args.update_baselines and compared == 0:
+        if args.allow_scale_mismatch and mismatched > 0:
+            print("note: nothing compared (scale mismatch allowed)")
+        else:
+            # A guard that guards nothing must not pass: every benchmark
+            # missing or scale-mismatched means the gate is disabled.
+            print("error: nothing compared (missing files or scale mismatch)")
+            exit_code = 1
+    return exit_code
+
+
+def _worst_ratio(rows) -> str:
+    """Human summary of the closest-to-the-line metric."""
+    worst, worst_path = 0.0, ""
+    for path, key, f, b, _ok in rows:
+        if f is None or b is None or b <= 0 or f <= 0:
+            continue
+        ratio = b / f if key in THROUGHPUT_KEYS else f / b
+        if ratio > worst:
+            worst, worst_path = ratio, path
+    if not worst_path:
+        return ""
+    return f" (worst {worst:.2f}x at {worst_path})"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

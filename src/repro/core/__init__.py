@@ -45,6 +45,7 @@ from repro.core.serialization import (
     pack_accumulator_state,
     unpack_accumulator_state,
 )
+from repro.core.timed import TimedReports, batch_length, slice_report_batch
 from repro.core.unary import OptimalUnaryEncoding, SymmetricUnaryEncoding
 
 __all__ = [
@@ -84,4 +85,7 @@ __all__ = [
     "WarnerRandomizedResponse",
     "OptimalUnaryEncoding",
     "SymmetricUnaryEncoding",
+    "TimedReports",
+    "batch_length",
+    "slice_report_batch",
 ]

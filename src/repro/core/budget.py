@@ -237,11 +237,20 @@ class PrivacyLedger:
         self._group_delta: dict[str, float] = {}
         self._max_group_epsilon = 0.0
         self._max_group_delta = 0.0
+        # Running advanced-composition terms over the whole trail, so
+        # total_advanced is O(1) per call like the basic totals (an
+        # advanced-composition stream reads it every window).
+        self._adv_sum_sq = 0.0
+        self._adv_linear = 0.0
+        self._delta_sum = 0.0
         self._charged_keys: set[object] = set()
         for entry in self.spends:
             self._accumulate(entry)
 
     def _accumulate(self, entry: PrivacySpend) -> None:
+        self._adv_sum_sq += entry.epsilon**2
+        self._adv_linear += entry.epsilon * (math.exp(entry.epsilon) - 1.0)
+        self._delta_sum += entry.delta
         if entry.group is None:
             self._seq_epsilon += entry.epsilon
             self._seq_delta += entry.delta
@@ -273,26 +282,77 @@ class PrivacyLedger:
         delta: float = 0.0,
         label: str = "",
         group: str | None = None,
+        enforce_cap: bool = True,
     ) -> PrivacySpend:
         """Record a spend, raising :class:`BudgetExceededError` over cap.
 
         The ε and δ caps are checked independently; a rejected spend is
-        not recorded.
+        not recorded.  ``enforce_cap=False`` records without checking —
+        for callers enforcing the caps under a *different* composition
+        rule (the streaming collector's ``composition="advanced"``
+        checks the DRV bound itself; the basic-total guard here would
+        otherwise refuse streams the advanced rule admits).
         """
         entry = PrivacySpend(epsilon=epsilon, delta=delta, label=label, group=group)
-        eps_after, delta_after = self._totals_after(entry)
-        if self.epsilon_cap is not None and eps_after > self.epsilon_cap + 1e-12:
-            raise BudgetExceededError(
-                f"spend {entry.epsilon:.6g} would raise ε to {eps_after:.6g} "
-                f"> cap {self.epsilon_cap:.6g}"
-            )
-        if self.delta_cap is not None and delta_after > self.delta_cap + 1e-18:
-            raise BudgetExceededError(
-                f"spend would raise δ to {delta_after:.3g} > cap {self.delta_cap:.3g}"
-            )
+        if enforce_cap:
+            eps_after, delta_after = self._totals_after(entry)
+            if self.epsilon_cap is not None and eps_after > self.epsilon_cap + 1e-12:
+                raise BudgetExceededError(
+                    f"spend {entry.epsilon:.6g} would raise ε to {eps_after:.6g} "
+                    f"> cap {self.epsilon_cap:.6g}"
+                )
+            if self.delta_cap is not None and delta_after > self.delta_cap + 1e-18:
+                raise BudgetExceededError(
+                    f"spend would raise δ to {delta_after:.3g} > cap {self.delta_cap:.3g}"
+                )
         self.spends.append(entry)
         self._accumulate(entry)
         return entry
+
+    def savepoint(self) -> tuple:
+        """Opaque snapshot of the account, for transactional multi-charges.
+
+        A caller charging several related spends that must land
+        all-or-nothing (e.g. every pane one arriving envelope touches)
+        takes a savepoint first and :meth:`rollback` on failure.
+        """
+        return (
+            len(self.spends),
+            self._seq_epsilon,
+            self._seq_delta,
+            dict(self._group_epsilon),
+            dict(self._group_delta),
+            self._max_group_epsilon,
+            self._max_group_delta,
+            set(self._charged_keys),
+            self._adv_sum_sq,
+            self._adv_linear,
+            self._delta_sum,
+        )
+
+    def rollback(self, token: tuple) -> None:
+        """Restore the account to a :meth:`savepoint` (drop newer spends).
+
+        The token stays valid across rollbacks: the ledger takes copies
+        of its containers, never the token's own.
+        """
+        (
+            n,
+            self._seq_epsilon,
+            self._seq_delta,
+            group_epsilon,
+            group_delta,
+            self._max_group_epsilon,
+            self._max_group_delta,
+            charged_keys,
+            self._adv_sum_sq,
+            self._adv_linear,
+            self._delta_sum,
+        ) = token
+        self._group_epsilon = dict(group_epsilon)
+        self._group_delta = dict(group_delta)
+        self._charged_keys = set(charged_keys)
+        del self.spends[n:]
 
     def charge(
         self,
@@ -301,6 +361,7 @@ class PrivacyLedger:
         label: str = "",
         group: str | None = None,
         key: object | None = None,
+        enforce_cap: bool = True,
     ) -> PrivacySpend | None:
         """Charge a mechanism's declared cost, honouring its scope.
 
@@ -318,6 +379,14 @@ class PrivacyLedger:
         """
         if declaration.is_one_time:
             memo_key = key if key is not None else declaration.mechanism
+            if memo_key == "":
+                # The empty string would silently collide every anonymous
+                # memoized release into one — an undercounted bill, not
+                # an error — so insist on a real identity.
+                raise ValueError(
+                    "a one_time declaration needs a memo identity: set "
+                    "SpendDeclaration.mechanism or pass charge(key=...)"
+                )
             if memo_key in self._charged_keys:
                 return None
             entry = self.spend(
@@ -325,6 +394,7 @@ class PrivacyLedger:
                 declaration.delta,
                 label=label or f"{declaration.mechanism}/one-time",
                 group=group,
+                enforce_cap=enforce_cap,
             )
             self._charged_keys.add(memo_key)
             return entry
@@ -333,7 +403,17 @@ class PrivacyLedger:
             declaration.delta,
             label=label or declaration.mechanism,
             group=group,
+            enforce_cap=enforce_cap,
         )
+
+    def is_charged(self, key: object) -> bool:
+        """Whether a one-time memo key has already been charged.
+
+        Collection pipelines use this to predict if ``charge`` would
+        record a new spend (a replay is free, so it can never newly
+        break a cap).
+        """
+        return key in self._charged_keys
 
     @property
     def total_epsilon(self) -> float:
@@ -352,21 +432,37 @@ class PrivacyLedger:
             return math.inf
         return max(0.0, self.epsilon_cap - self.total_epsilon)
 
-    def total_advanced(self, delta_slack: float) -> tuple[float, float]:
+    def total_advanced(
+        self, delta_slack: float, *, extra: tuple = ()
+    ) -> tuple[float, float]:
         """Total under advanced composition, treating spends as adaptive.
 
         Uses the per-spend parameters (they may differ) via the
         heterogeneous form: ``√(2 ln(1/δ') Σ ε_i²) + Σ ε_i (e^{ε_i} − 1)``.
+
+        ``extra`` is a sequence of additional spend-shaped objects
+        (anything with ``epsilon``/``delta``) composed *as if* they had
+        been recorded — the streaming collector uses it to refuse a
+        window before charging when the advanced total would break the
+        cap.
         """
         slack = check_delta(delta_slack, name="delta_slack")
         if slack <= 0.0:
             raise ValueError("delta_slack must be > 0")
-        if not self.spends:
+        if not self.spends and not extra:
             return 0.0, 0.0
-        sum_sq = sum(s.epsilon**2 for s in self.spends)
-        linear = sum(s.epsilon * (math.exp(s.epsilon) - 1.0) for s in self.spends)
+        # Running terms keep this O(1) in the trail length; only the
+        # hypothetical extras are folded in per call.
+        sum_sq = self._adv_sum_sq + sum(s.epsilon**2 for s in extra)
+        linear = self._adv_linear + sum(
+            s.epsilon * (math.exp(s.epsilon) - 1.0) for s in extra
+        )
         eps_total = math.sqrt(2.0 * math.log(1.0 / slack) * sum_sq) + linear
-        return float(eps_total), float(self.total_delta + slack)
+        # The DRV pair is (ε', Σδ_i + δ'): the ε bound composes the whole
+        # trail sequentially, so the matching δ must sum over it too —
+        # the basic totals' parallel-group max would under-report here.
+        delta_total = self._delta_sum + sum(s.delta for s in extra) + slack
+        return float(eps_total), float(delta_total)
 
     def __len__(self) -> int:
         return len(self.spends)

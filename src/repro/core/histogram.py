@@ -64,14 +64,22 @@ class SummationHistogramEncoding(FrequencyOracle):
         noise[np.arange(n), vals] += 1.0
         return noise
 
-    def column_sums(self, reports: np.ndarray) -> np.ndarray:
-        """Validated per-coordinate sums — SHE's sufficient statistic."""
+    def report_matrix(self, reports: np.ndarray) -> np.ndarray:
+        """Validated ``(n, d)`` float64 view of a report batch."""
         arr = np.asarray(reports, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != self._domain_size:
             raise ValueError(
                 f"reports must have shape (n, {self._domain_size}), got {arr.shape}"
             )
-        return arr.sum(axis=0)
+        return arr
+
+    def column_sums(self, reports: np.ndarray) -> np.ndarray:
+        """Validated per-coordinate sums — SHE's sufficient statistic.
+
+        A plain (order-dependent) float reduction; the accumulator path
+        sums exactly instead, so the two agree only to float precision.
+        """
+        return self.report_matrix(reports).sum(axis=0)
 
     def accumulator(self) -> "SummationAccumulator":
         """A fresh column-sum accumulator."""
@@ -103,23 +111,130 @@ class SummationHistogramEncoding(FrequencyOracle):
         return math.exp(2.0 / self.scale)
 
 
+#: Fixed-point geometry of the exact summation state: sums are held in
+#: 32-bit little-endian words of the magnitude measured in units of
+#: 2^-_UNIT_EXP.  _UNIT_EXP = 1127 puts the least significant bit of the
+#: smallest subnormal's mantissa at word position ≥ 0, and 70 words
+#: (2240 bits) cover the largest float64 times any realistic population
+#: (2^1024 · 2^63 needs bit 1024+63+1127 = 2214) with headroom.
+_UNIT_EXP = 1127
+_NUM_WORDS = 70
+_WORD_MASK = np.int64(0xFFFFFFFF)
+#: Rows processed per exact-scatter pass: keeps every partial word below
+#: 2^32·(2^20 + 1) < 2^63, so int64 scatter adds can never overflow
+#: between carry normalizations.
+_MAX_BLOCK = 1 << 20
+
+
 class SummationAccumulator(Accumulator):
-    """Mergeable SHE state: running per-coordinate sums of noisy vectors.
+    """Mergeable SHE state: *exact* per-coordinate sums of noisy vectors.
 
     SHE's estimator is the raw column sum, so the accumulator *is* the
-    estimate.  Unlike the support-count oracles the sums are true floats
-    (Laplace noise), so a sharded merge matches the whole-batch estimate
-    only up to IEEE addition reordering — last-ulp, not bitwise.
+    estimate — but the summands are true floats (Laplace noise), and
+    IEEE addition is not associative: a plain running float sum would
+    make the estimate depend on how the stream happened to be chunked,
+    sharded or windowed (the long-standing "SHE matches to ~1e-9"
+    caveat).  This accumulator instead keeps the sum *exactly*, as a
+    fixed-point superaccumulator: every report coordinate is decomposed
+    into integer 32-bit words of its magnitude (a float64 is
+    ``mantissa · 2^exponent`` — nothing is lost) and scatter-added into
+    an integer word array spanning the full float64 exponent range.
+    Integer addition is associative and commutative, so **any** grouping
+    of absorbs and merges reaches bit-identical state, and ``finalize``
+    rounds the exact sum to float64 once — sharded, windowed and
+    process-shipped SHE estimates are now bitwise equal to the one-shot
+    batch, like every other oracle.
+
+    The cost is a constant-factor slowdown of ``absorb`` (a frexp and
+    three integer scatters instead of one float reduction) on an oracle
+    whose reports are dense ``(n, d)`` matrices anyway; state is
+    ``O(70·d)`` int64 words.
     """
 
     def __init__(self, oracle: SummationHistogramEncoding) -> None:
         self._oracle = oracle
-        self._sums = np.zeros(oracle.domain_size, dtype=np.float64)
+        self._words = np.zeros((oracle.domain_size, _NUM_WORDS), dtype=np.int64)
         self._n = 0
 
+    def _add_words(
+        self, col: np.ndarray, value: np.ndarray, shift: np.ndarray
+    ) -> None:
+        """Exactly add ``value[k] · 2^(shift[k] − _UNIT_EXP)`` to column ``col[k]``.
+
+        ``|value| < 2^54`` and ``shift ≥ 0``; each addend's magnitude
+        spans at most three 32-bit words starting at bit ``shift``, added
+        with the value's sign.
+        """
+        word = shift >> 5
+        s = shift & 31
+        mag = np.abs(value)
+        lo = (mag & _WORD_MASK) << s  # < 2^63
+        hi = (mag >> 32) << s  # < 2^53
+        part0 = lo & _WORD_MASK
+        part1 = (lo >> 32) + (hi & _WORD_MASK)
+        part2 = hi >> 32
+        sign = np.where(value < 0, np.int64(-1), np.int64(1))
+        flat = self._words.reshape(-1)
+        base = col * _NUM_WORDS + word
+        np.add.at(flat, base, part0 * sign)
+        np.add.at(flat, base + 1, part1 * sign)
+        np.add.at(flat, base + 2, part2 * sign)
+
+    def _scatter_exact(self, block: np.ndarray) -> None:
+        """Exactly add one ``(rows, d)`` block into the word state.
+
+        Two stages, both error-free.  First the block is reduced to
+        per-(column, exponent) totals: each value is ``M·2^p`` with
+        ``|M| < 2^53``, the mantissa is split into two 27-bit pieces,
+        and pieces sharing a (column, exponent) bin are summed with
+        ``np.bincount`` — the weights are integers below 2^27 and over a
+        block of at most 2^20 rows the running sums stay integers below
+        2^47, where float64 addition is exact in any order.  Then the
+        few thousand bin totals (exact integers times a known power of
+        two) are folded into the 32-bit word state.
+        """
+        m, e = np.frexp(block)
+        big = np.ldexp(m, 53).astype(np.int64)  # exact: |m|·2^53 < 2^53
+        e_min = int(e.min())
+        num_bins = int(e.max()) - e_min + 1
+        d = block.shape[1]
+        flat_bin = (
+            np.arange(d, dtype=np.int64) * num_bins + (e - e_min)
+        ).ravel()
+        mag = np.abs(big)
+        sign = np.where(big < 0, -1.0, 1.0)
+        piece_mask = np.int64((1 << 27) - 1)
+        for k in range(2):
+            piece = (mag >> (27 * k)) & piece_mask
+            totals = np.bincount(
+                flat_bin, weights=(piece * sign).ravel(), minlength=d * num_bins
+            )
+            value = np.rint(totals).astype(np.int64)  # exact integers
+            nz = np.flatnonzero(value)
+            if nz.size == 0:
+                continue
+            # Bin (c, E) holds Σ piece_k scaled by 2^(e_min+E−53+27k).
+            shift = (e_min - 53 + 27 * k + _UNIT_EXP) + nz % num_bins
+            self._add_words(nz // num_bins, value[nz], shift)
+
+    def _normalize(self) -> None:
+        """Carry-propagate so every non-top word lies in [0, 2^32)."""
+        words = self._words
+        for i in range(_NUM_WORDS - 1):
+            carry = words[:, i] >> 32  # arithmetic shift: floor division
+            if not carry.any():
+                continue
+            words[:, i] -= carry << 32
+            words[:, i + 1] += carry
+
     def absorb(self, reports: np.ndarray) -> "SummationAccumulator":
-        self._sums += self._oracle.column_sums(reports)
-        self._n += self._oracle.num_reports(reports)
+        cols = self._oracle.report_matrix(reports)
+        if not np.all(np.isfinite(cols)):
+            raise ValueError("reports must be finite to sum exactly")
+        for start in range(0, cols.shape[0], _MAX_BLOCK):
+            self._scatter_exact(cols[start : start + _MAX_BLOCK])
+            self._normalize()
+        self._n += int(cols.shape[0])
         return self
 
     def _check_mergeable(self, other: Accumulator) -> None:
@@ -134,25 +249,47 @@ class SummationAccumulator(Accumulator):
     def merge(self, other: Accumulator) -> "SummationAccumulator":
         self._check_mergeable(other)
         assert isinstance(other, SummationAccumulator)
-        self._sums += other._sums
+        self._words += other._words
+        self._normalize()
         self._n += other._n
         return self
 
     def finalize(self) -> np.ndarray:
-        return self._sums.copy()
+        """The exact column sums, rounded once to float64.
+
+        Each coordinate's words encode an exact integer multiple of
+        2^-_UNIT_EXP; Python big-int true division rounds it to the
+        nearest float64 — the same bits no matter how the state was
+        accumulated.
+        """
+        denom = 1 << _UNIT_EXP
+        out = np.empty(self._oracle.domain_size, dtype=np.float64)
+        for c, row in enumerate(self._words):
+            total = 0
+            for i, w in enumerate(row.tolist()):
+                if w:
+                    total += w << (32 * i)
+            try:
+                out[c] = total / denom
+            except OverflowError:
+                # The exact sum exceeds the float64 range; a float
+                # accumulator would have reached ±inf, so round to it.
+                out[c] = math.inf if total > 0 else -math.inf
+        return out
 
     def config_fingerprint(self) -> dict:
         return {
             "oracle": type(self._oracle).__name__,
             "domain_size": int(self._oracle.domain_size),
             "epsilon": float(self._oracle.epsilon),
+            "summation": "exact-fixed-point-v1",
         }
 
     def _state_arrays(self) -> dict[str, np.ndarray]:
-        return {"sums": self._sums}
+        return {"words": self._words}
 
     def _load_state(self, arrays: dict[str, np.ndarray], n: int) -> None:
-        self._sums = arrays["sums"]
+        self._words = arrays["words"]
         self._n = int(n)
 
 

@@ -1,0 +1,116 @@
+"""Event-time report envelopes: reports stamped with client clocks.
+
+The deployed systems collect on *real* clocks: a RAPPOR or telemetry
+report carries the moment the client observed its datum, reports reach
+the collector late and out of order (devices sleep, retries back off),
+and the analyst windows by **event time** — "what happened between 9:00
+and 10:00" — not by how many reports happen to have arrived.  Joseph et
+al. (arXiv:1802.07128) make the time-indexed repeated-collection regime
+explicit; this module gives the data shape the event-time engine
+(:mod:`repro.protocol.streaming`) consumes.
+
+:class:`TimedReports` is a thin envelope: one event timestamp per
+report, alongside any oracle's opaque report batch.  Timestamps are the
+*client's* event clock, so nothing about them is ordered or dense; the
+envelope deliberately knows nothing about windows — pane assignment and
+watermark policy live in the collector.
+
+:func:`slice_report_batch` is the generic report-batch slicer the
+engine uses to route one arriving envelope's reports into their
+event-time panes.  It understands every report shape in the repo — raw
+arrays, array tuples (RAPPOR's ``(cohorts, bits)``), and the frozen
+report dataclasses (``HashedReports``, ``CmsReports``, …) — by slicing
+each array field with the same mask, which is exactly what the
+per-report structure of every batch type means.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TimedReports", "batch_length", "slice_report_batch"]
+
+
+def batch_length(reports: Any) -> int:
+    """Number of user reports in any supported report batch."""
+    if isinstance(reports, tuple):
+        if not reports:
+            raise ValueError("empty tuple is not a report batch")
+        return batch_length(reports[0])
+    if dataclasses.is_dataclass(reports) and not isinstance(reports, type):
+        return len(reports)
+    arr = np.asarray(reports)
+    if arr.ndim == 0:
+        raise TypeError(
+            f"cannot take a batch length of a scalar {type(reports).__name__}"
+        )
+    return int(arr.shape[0])
+
+
+def slice_report_batch(reports: Any, mask: np.ndarray) -> Any:
+    """Select a subset of users from any report batch, preserving its type.
+
+    ``mask`` is a boolean vector (or integer index array) over users.
+    Array batches are sliced on their first axis; tuple batches slice
+    every element; report dataclasses are rebuilt with every array field
+    sliced — all batch types in the repo are per-report structures of
+    aligned arrays, so one mask selects the same users everywhere.
+    """
+    if isinstance(reports, tuple):
+        return type(reports)(slice_report_batch(r, mask) for r in reports)
+    if dataclasses.is_dataclass(reports) and not isinstance(reports, type):
+        return dataclasses.replace(
+            reports,
+            **{
+                f.name: np.asarray(getattr(reports, f.name))[mask]
+                for f in dataclasses.fields(reports)
+            },
+        )
+    return np.asarray(reports)[mask]
+
+
+@dataclass(frozen=True)
+class TimedReports:
+    """A report batch stamped with per-report event timestamps.
+
+    Attributes
+    ----------
+    timestamps:
+        Event time of each report on the *client's* clock (float64
+        seconds on whatever epoch the deployment uses).  Arrival order
+        is whatever order the envelope was built in — timestamps are
+        not required to be sorted, that is the whole point.
+    reports:
+        Any oracle's opaque report batch, aligned with ``timestamps``
+        (report ``i`` happened at ``timestamps[i]``).
+    """
+
+    timestamps: np.ndarray
+    reports: Any
+
+    def __post_init__(self) -> None:
+        ts = np.asarray(self.timestamps, dtype=np.float64)
+        if ts.ndim != 1:
+            raise ValueError(f"timestamps must be 1-D, got shape {ts.shape}")
+        if not np.all(np.isfinite(ts)):
+            raise ValueError("timestamps must be finite")
+        n = batch_length(self.reports)
+        if ts.shape[0] != n:
+            raise ValueError(
+                f"{ts.shape[0]} timestamps do not align with {n} reports"
+            )
+        object.__setattr__(self, "timestamps", ts)
+
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    def select(self, mask: np.ndarray) -> "TimedReports":
+        """The sub-envelope holding the masked reports (timestamps too)."""
+        return TimedReports(
+            timestamps=self.timestamps[mask],
+            reports=slice_report_batch(self.reports, mask),
+        )

@@ -31,6 +31,7 @@ EXPERIMENT_MODULES = {
     "E14": "e14_sharded_pipeline",
     "E15": "e15_executor_streaming",
     "E16": "e16_windowed_accounting",
+    "E17": "e17_event_time",
     "A1": "a01_the_theta",
     "A2": "a02_olh_g",
     "A3": "a03_dbitflip_d",

@@ -10,18 +10,25 @@ from repro.protocol.simulation import (
     run_sharded_collection,
 )
 from repro.protocol.streaming import (
+    AGGREGATIONS,
+    COMPOSITIONS,
     USER_MODELS,
+    EventTimeCollector,
     StreamingCollector,
     StreamResult,
     StreamSnapshot,
     WindowSpec,
     stream_collection,
+    stream_reports,
 )
 
 __all__ = [
+    "AGGREGATIONS",
     "BACKENDS",
+    "COMPOSITIONS",
     "USER_MODELS",
     "CollectionStats",
+    "EventTimeCollector",
     "ShardedCollectionStats",
     "ShardStats",
     "StreamResult",
@@ -32,4 +39,5 @@ __all__ = [
     "run_collection",
     "run_sharded_collection",
     "stream_collection",
+    "stream_reports",
 ]

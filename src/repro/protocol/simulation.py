@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -83,7 +83,13 @@ class CollectionStats:
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Operational metrics of one shard of a sharded collection."""
+    """Operational metrics of one shard of a sharded collection.
+
+    ``event_span`` is the ``(earliest, latest)`` event timestamp the
+    shard's reports carry when the collection was given timestamped
+    inputs (``None`` otherwise) — the per-shard completeness signal a
+    downstream event-time window would build its watermark from.
+    """
 
     shard_index: int
     num_users: int
@@ -91,6 +97,7 @@ class ShardStats:
     encode_seconds: float
     decode_seconds: float
     bytes_per_report: float
+    event_span: tuple[float, float] | None = None
 
     @property
     def total_bytes(self) -> float:
@@ -120,6 +127,7 @@ class ShardedCollectionStats:
     wall_seconds: float
     backend: str = "serial"
     ledger: PrivacyLedger | None = None
+    event_span: tuple[float, float] | None = None
 
     @property
     def encode_seconds(self) -> float:
@@ -259,6 +267,7 @@ def run_sharded_collection(
     backend: str | None = None,
     rng: np.random.Generator | int | None = None,
     ledger: PrivacyLedger | None = None,
+    timestamps: np.ndarray | None = None,
 ) -> ShardedCollectionStats:
     """Collect a population through the sharded accumulator pipeline.
 
@@ -305,6 +314,12 @@ def run_sharded_collection(
         (:meth:`~repro.core.mechanism.LocalMechanism.privacy_spend`),
         charged *before* any client is privatized so a capped ledger
         refuses the round outright.
+    timestamps:
+        Optional event time per user (aligned with ``values``).  The
+        estimates never depend on them — a one-shot batch covers its
+        whole time range — but each shard's ``event_span`` and the
+        collection's overall span are recorded, which is what an
+        event-time windowing stage downstream keys on.
 
     Returns
     -------
@@ -320,6 +335,15 @@ def run_sharded_collection(
     vals = np.asarray(values)
     if vals.ndim != 1 or vals.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
+    ts = None
+    if timestamps is not None:
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.shape != vals.shape:
+            raise ValueError(
+                f"timestamps {ts.shape} must align with values {vals.shape}"
+            )
+        if not np.all(np.isfinite(ts)):
+            raise ValueError("timestamps must be finite")
     if num_shards > vals.shape[0]:
         raise ValueError(
             f"num_shards ({num_shards}) cannot exceed the population "
@@ -371,6 +395,12 @@ def run_sharded_collection(
     counts = merged.finalize()
     t_end = time.perf_counter()
 
+    if ts is not None:
+        shard_stats = [
+            replace(s, event_span=(float(t.min()), float(t.max())))
+            for s, t in zip(shard_stats, np.array_split(ts, num_shards))
+        ]
+
     return ShardedCollectionStats(
         estimated_counts=counts,
         num_users=int(vals.shape[0]),
@@ -382,4 +412,5 @@ def run_sharded_collection(
         wall_seconds=t_end - t_start,
         backend=chosen,
         ledger=ledger,
+        event_span=None if ts is None else (float(ts.min()), float(ts.max())),
     )

@@ -1,46 +1,76 @@
-"""Windowed collection engine: snapshots of a live report stream.
+"""Windowed collection engine: count- and event-time views of a report stream.
 
 The deployed systems never stop collecting: RAPPOR and Microsoft's
 telemetry observe an *evolving* population, and Joseph et al.
 (arXiv:1802.07128) make that setting explicit — the analyst wants an
 estimate per time window while reports keep arriving.  This module gives
-that shape on top of the mergeable-accumulator algebra, for any window
-discipline a :class:`WindowSpec` can express:
+that shape on top of the mergeable-accumulator algebra, in two arrival
+models:
 
-* **tumbling** — windows partition the stream; each roll closes one
-  window and opens the next;
-* **sliding(size, stride)** — overlapping windows advancing ``stride``
-  users at a time, built as a ring of stride-sized **pane** accumulators
-  merged on demand: memory stays O(panes · state) and a snapshot is
-  O(panes) accumulator copies+merges — never a second pass over reports;
+* **count-time** (:class:`StreamingCollector`) — windows are defined by
+  arrival position: every ``stride`` reports close one window.  The
+  PR 3 shape, still the right model for simulations that control
+  arrival order.
+* **event-time** (:class:`EventTimeCollector`) — reports carry client
+  timestamps (:class:`~repro.core.timed.TimedReports`), arrive late and
+  out of order, and windows are intervals of the *event* clock.  A
+  **watermark** (max event time seen, minus a configurable
+  ``allowed_lateness``) decides when a pane stops waiting: reports for
+  a still-open pane merge in no matter how late they arrive; reports
+  for a pane the watermark has already sealed are **counted as late**,
+  never silently dropped — every report a :class:`StreamResult` saw is
+  either absorbed in a pane or in ``late_reports``.
+
+Both collectors share one pane algebra, a :class:`WindowSpec`:
+
+* **tumbling / event_tumbling** — windows partition the stream;
+* **sliding / event_sliding (size, stride)** — overlapping windows
+  advancing ``stride`` (reports or seconds) at a time, built from
+  stride-sized **panes**; with ``stride > size`` the windows are
+  *gapped* (decimated/sampling telemetry): each period contributes only
+  its first ``size`` worth of reports to a window, the rest flow
+  straight to the cumulative view;
 * **cumulative** — one ever-growing window (the "stream so far" view).
 
-Report chunks arrive at a :class:`StreamingCollector` via ``absorb``;
-:meth:`StreamingCollector.snapshot` reads the stream *without disturbing
-it* — possible only because ``finalize`` is pure and ``merge`` leaves
-its argument untouched (the non-destructive contract of
-:class:`~repro.core.mechanism.Accumulator`); and
-:meth:`StreamingCollector.roll` closes the current pane and advances the
-window.  Every snapshot also carries the **cumulative** estimate, which
-at stream end is identical to the one-shot batch estimate over the same
-reports (SHE to ~1e-9, every other oracle bitwise).
+Sliding snapshots are **O(state), independent of the pane count**: the
+closed panes live in a two-stack (DABA-lite) queue aggregate — a back
+stack with one running merge, a front stack of suffix merges, flipped
+back-to-front amortized O(1) merges per pane — so a window view is one
+copy plus at most two merges however many panes the window spans.  The
+PR 3 pane ring (O(panes) merges per snapshot) is kept as
+``aggregation="ring"`` for the E17 baseline.  Both stores exploit the
+non-destructive merge algebra from PR 2 (pure ``finalize``, ``merge``
+never mutates its argument), and since the exact-summation
+``SummationAccumulator`` every window estimate — SHE included — is
+**bit-identical** to the one-shot batch estimate over that window's
+reports, whichever store produced it.
 
 Privacy accounting is threaded through the same engine: the collector
 charges the mechanism's declared spend
 (:meth:`~repro.core.mechanism.LocalMechanism.privacy_spend`) to a
-:class:`~repro.core.budget.PrivacyLedger` as each window's reports start
+:class:`~repro.core.budget.PrivacyLedger` as each pane's reports start
 arriving.  ``user_model`` distinguishes the two repeated-collection
 scenarios: ``"same_users"`` — the same population re-reports every
 window, so fresh (``per_report``) releases compose *sequentially* while
 memoized (``one_time``) releases are charged once for the whole stream;
 ``"disjoint_users"`` — each window samples new users, so windows land in
-separate *parallel* groups and the worst window bounds the total.  A
-capped ledger therefore aborts a fresh-mode stream mid-collection,
-before the over-budget window absorbs anything.
+separate *parallel* groups and the worst window bounds the total.
+Event-time windows are charged under their **event-time identity**
+(``window[start,end)``), so disjoint-users parallel composition holds
+per event-time window, not per arrival ordinal.  ``composition``
+selects the reporting/cap rule: ``"basic"`` sums the ledger, while
+``"advanced"`` applies the Dwork–Rothblum–Vadhan bound
+(:meth:`~repro.core.budget.PrivacyLedger.total_advanced`) to the spend
+trail — a capped ledger refuses the over-budget window under the chosen
+rule *before* it absorbs anything.  The advanced bound composes the
+*whole* trail adaptively (it cannot exploit parallel groups), so it is
+the right lens for same-users streams; disjoint-user streams already
+pay only their worst window under basic composition and should keep it.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
 from collections.abc import Sequence
@@ -48,23 +78,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.budget import PrivacyLedger, SpendDeclaration
+from repro.core.budget import (
+    BudgetExceededError,
+    PrivacyLedger,
+    SpendDeclaration,
+)
+from repro.core.timed import TimedReports, batch_length, slice_report_batch
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
 
 __all__ = [
+    "AGGREGATIONS",
+    "COMPOSITIONS",
     "USER_MODELS",
     "WindowSpec",
     "StreamSnapshot",
     "StreamResult",
     "StreamingCollector",
+    "EventTimeCollector",
     "stream_collection",
+    "stream_reports",
 ]
 
 #: Population models understood by the accounting layer.
 USER_MODELS = ("same_users", "disjoint_users")
 
-_KINDS = ("tumbling", "sliding", "cumulative")
+#: Composition rules a stream may report/enforce its budget under.
+COMPOSITIONS = ("basic", "advanced")
+
+#: Pane-store implementations behind sliding windows.
+AGGREGATIONS = ("two_stack", "ring")
+
+_KINDS = ("tumbling", "sliding", "cumulative", "event_tumbling", "event_sliding")
+_EVENT_KINDS = ("event_tumbling", "event_sliding")
 
 
 @dataclass(frozen=True)
@@ -74,81 +120,203 @@ class WindowSpec:
     Attributes
     ----------
     kind:
-        ``"tumbling"`` | ``"sliding"`` | ``"cumulative"``.
+        ``"tumbling"`` | ``"sliding"`` | ``"cumulative"`` (count-time) or
+        ``"event_tumbling"`` | ``"event_sliding"`` (event-time).
     size:
-        Users per window.  Optional for tumbling/cumulative collectors
-        driven by explicit :meth:`StreamingCollector.roll` calls, but
-        required by the :func:`stream_collection` driver (it sets the
-        roll cadence).  Required for sliding windows.
+        Window extent — reports for count-time kinds (optional for
+        tumbling/cumulative collectors driven by explicit ``roll``
+        calls), event-clock duration for event-time kinds (required).
     stride:
-        Sliding only: users between consecutive window starts.  Must
-        divide ``size`` so stride-sized panes tile every window exactly;
-        a sliding window is then the merge of the last
-        ``size // stride`` panes.
-
-    ``sliding(size, stride=size)`` degenerates to tumbling (one pane per
-    window) and is allowed.
+        Sliding only: distance between consecutive window starts.
+        ``stride < size`` gives overlapping windows (stride must tile
+        the size so panes align); ``stride == size`` degenerates to
+        tumbling; ``stride > size`` gives **gapped** (sampling) windows
+        — each stride-long period contributes only its first ``size``
+        worth of reports to a window, the remainder is collected into
+        the cumulative view only (decimated telemetry).
+    allowed_lateness:
+        Event-time only: how far (in event-clock units) the watermark
+        trails the maximum timestamp seen.  A pane stops accepting
+        reports once the watermark passes its end; ``0.0`` seals each
+        pane the moment a newer pane's report arrives.
+    origin:
+        Event-time only: the epoch pane boundaries are anchored to
+        (pane ``p`` covers ``[origin + p·span, origin + (p+1)·span)``).
     """
 
     kind: str
-    size: int | None = None
-    stride: int | None = None
+    size: int | float | None = None
+    stride: int | float | None = None
+    allowed_lateness: float = 0.0
+    origin: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.is_event_time:
+            self._validate_event_time()
+            return
+        if self.allowed_lateness != 0.0 or self.origin != 0.0:
+            raise ValueError(
+                "allowed_lateness/origin only apply to event-time windows"
+            )
         if self.size is not None:
             check_positive_int(self.size, name="size")
         if self.kind == "sliding":
             if self.size is None or self.stride is None:
                 raise ValueError("sliding windows need both size and stride")
             check_positive_int(self.stride, name="stride")
-            if self.stride > self.size:
-                raise ValueError(
-                    f"stride ({self.stride}) cannot exceed size ({self.size}); "
-                    "gapped (sampling) windows are not supported"
-                )
-            if self.size % self.stride != 0:
+            if self.stride < self.size and self.size % self.stride != 0:
                 raise ValueError(
                     f"stride ({self.stride}) must divide size ({self.size}) "
-                    "so panes tile windows exactly"
+                    "so panes tile windows exactly (or exceed it for "
+                    "gapped/sampling windows)"
                 )
         elif self.stride is not None:
             raise ValueError(f"stride only applies to sliding windows, not {self.kind}")
+
+    def _validate_event_time(self) -> None:
+        if self.size is None or not float(self.size) > 0.0:
+            raise ValueError("event-time windows need a positive size (duration)")
+        if not math.isfinite(float(self.size)):
+            raise ValueError("event-time size must be finite")
+        if self.allowed_lateness < 0.0 or not math.isfinite(self.allowed_lateness):
+            raise ValueError(
+                f"allowed_lateness must be finite and >= 0, got {self.allowed_lateness}"
+            )
+        if not math.isfinite(self.origin):
+            raise ValueError(f"origin must be finite, got {self.origin}")
+        if self.kind == "event_tumbling":
+            if self.stride is not None:
+                raise ValueError("stride only applies to sliding windows")
+            return
+        if self.stride is None or not float(self.stride) > 0.0:
+            raise ValueError("event_sliding windows need a positive stride")
+        if not math.isfinite(float(self.stride)):
+            raise ValueError("event-time stride must be finite")
+        if float(self.stride) < float(self.size):
+            panes = round(float(self.size) / float(self.stride))
+            if not math.isclose(
+                panes * float(self.stride), float(self.size), rel_tol=1e-9
+            ):
+                raise ValueError(
+                    f"stride ({self.stride}) must divide size ({self.size}) "
+                    "so panes tile windows exactly (or exceed it for "
+                    "gapped/sampling windows)"
+                )
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def tumbling(cls, size: int | None = None) -> "WindowSpec":
-        """Non-overlapping windows of ``size`` users."""
+        """Non-overlapping windows of ``size`` reports."""
         return cls("tumbling", size)
 
     @classmethod
     def sliding(cls, size: int, stride: int) -> "WindowSpec":
-        """Overlapping ``size``-user windows advancing ``stride`` users."""
+        """``size``-report windows every ``stride`` reports (gapped if >)."""
         return cls("sliding", size, stride)
 
     @classmethod
     def cumulative(cls, size: int | None = None) -> "WindowSpec":
-        """One ever-growing window, snapshotted every ``size`` users."""
+        """One ever-growing window, snapshotted every ``size`` reports."""
         return cls("cumulative", size)
+
+    @classmethod
+    def event_tumbling(
+        cls, size: float, *, allowed_lateness: float = 0.0, origin: float = 0.0
+    ) -> "WindowSpec":
+        """Non-overlapping event-time windows of ``size`` clock units."""
+        return cls(
+            "event_tumbling",
+            float(size),
+            allowed_lateness=float(allowed_lateness),
+            origin=float(origin),
+        )
+
+    @classmethod
+    def event_sliding(
+        cls,
+        size: float,
+        stride: float,
+        *,
+        allowed_lateness: float = 0.0,
+        origin: float = 0.0,
+    ) -> "WindowSpec":
+        """Event-time windows of ``size`` units every ``stride`` units."""
+        return cls(
+            "event_sliding",
+            float(size),
+            float(stride),
+            allowed_lateness=float(allowed_lateness),
+            origin=float(origin),
+        )
 
     # -- derived geometry ---------------------------------------------------
 
     @property
+    def is_event_time(self) -> bool:
+        """Whether pane assignment is timestamp-driven."""
+        return self.kind in _EVENT_KINDS
+
+    @property
+    def is_gapped(self) -> bool:
+        """Sampling windows: ``stride > size`` leaves an uncovered gap."""
+        return (
+            self.kind in ("sliding", "event_sliding")
+            and self.stride is not None
+            and self.size is not None
+            and float(self.stride) > float(self.size)
+        )
+
+    @property
     def num_panes(self) -> int:
-        """Pane accumulators a live window spans (the ring capacity)."""
-        if self.kind == "sliding":
+        """Closed+open pane accumulators a live window spans."""
+        if self.kind in ("sliding", "event_sliding"):
             assert self.size is not None and self.stride is not None
-            return self.size // self.stride
+            if self.is_gapped:
+                return 1
+            return round(float(self.size) / float(self.stride))
         return 1
 
     @property
     def pane_size(self) -> int | None:
-        """Users per pane — the roll cadence of the driver."""
+        """Count-time reports per pane period — the driver's roll cadence."""
+        if self.is_event_time:
+            return None
         if self.kind == "sliding":
             return self.stride
         return self.size
+
+    @property
+    def pane_span(self) -> float | None:
+        """Event-clock length of one pane period (event-time kinds only)."""
+        if not self.is_event_time:
+            return None
+        if self.kind == "event_sliding":
+            return float(self.stride)
+        return float(self.size)
+
+    def pane_bounds(self, index: int) -> tuple[float, float]:
+        """Event-time interval ``[start, end)`` of pane period ``index``."""
+        span = self.pane_span
+        if span is None:
+            raise ValueError("pane_bounds is only defined for event-time windows")
+        return self.origin + index * span, self.origin + (index + 1) * span
+
+    def window_bounds(self, index: int) -> tuple[float, float]:
+        """Event-time interval of the window that closes with pane ``index``.
+
+        Sliding windows span the ``num_panes`` periods ending at
+        ``index`` (nominal bounds; early windows cover less data);
+        gapped windows cover only the first ``size`` of their period.
+        """
+        start, end = self.pane_bounds(index)
+        if self.kind == "event_sliding":
+            if self.is_gapped:
+                return start, start + float(self.size)
+            return end - float(self.size), end
+        return start, end
 
 
 @dataclass(frozen=True)
@@ -158,14 +326,15 @@ class StreamSnapshot:
     Attributes
     ----------
     window_index:
-        Zero-based index of the window the snapshot closes (or reads,
-        for mid-window snapshots).  Sliding windows are indexed by their
-        closing pane.
+        Pane index of the window the snapshot closes (or reads, for
+        mid-window snapshots).  Count-time windows count from 0 in
+        arrival order; event-time windows use the absolute pane index
+        on the event clock (``spec.pane_bounds(window_index)``).
     window_users / total_users:
-        Reports in the current window view / since stream start.
+        Reports in the window view / absorbed since stream start.
     window_estimates:
-        Estimates over the current window's reports alone; ``None`` when
-        the window is empty (e.g. a quiet interval).  For cumulative
+        Estimates over the window's reports alone; ``None`` when the
+        window is empty (e.g. a quiet interval).  For cumulative
         windows this equals ``cumulative_estimates``.
     cumulative_estimates:
         Estimates over every report absorbed so far; ``None`` before the
@@ -173,13 +342,21 @@ class StreamSnapshot:
         defined estimate at n = 0).
     snapshot_seconds:
         Wall time the snapshot took (copies + merges + the finalizes) —
-        the read-latency number the E15/E16 benchmarks track.
+        the read-latency number the E15/E16/E17 benchmarks track.
     total_epsilon / total_delta:
-        The attached ledger's running totals at snapshot time — the
-        cumulative privacy trajectory the analyst is spending.
+        The stream's privacy trajectory at snapshot time, under the
+        collector's composition rule (basic ledger totals, or the
+        advanced-composition bound over the spend trail).
     pane_count:
-        Live pane accumulators held when the snapshot was taken (ring
-        occupancy; bounded by ``WindowSpec.num_panes``).
+        Live pane accumulators held when the snapshot was taken
+        (closed panes + open; bounded by ``WindowSpec.num_panes`` for
+        count-time streams).
+    window_start / window_end:
+        Event-time bounds of the window (``None`` on count-time
+        streams).
+    late_reports:
+        Reports counted late (watermark-expired pane) so far — the
+        other half of the every-report-accounted invariant.
     """
 
     window_index: int
@@ -191,6 +368,9 @@ class StreamSnapshot:
     total_epsilon: float = 0.0
     total_delta: float = 0.0
     pane_count: int = 1
+    window_start: float | None = None
+    window_end: float | None = None
+    late_reports: int = 0
 
 
 class StreamResult(Sequence):
@@ -200,7 +380,9 @@ class StreamResult(Sequence):
     iteration and ``len`` all work), with the accounting attached:
     ``result.ledger`` is the :class:`~repro.core.budget.PrivacyLedger`
     the stream charged and ``result.spec`` the window discipline that
-    produced it.
+    produced it.  Event-time streams additionally account every report
+    they saw: ``absorbed_reports + late_reports`` equals the number of
+    reports offered to the collector — nothing is silently dropped.
     """
 
     def __init__(
@@ -208,10 +390,22 @@ class StreamResult(Sequence):
         snapshots: list[StreamSnapshot],
         ledger: PrivacyLedger,
         spec: WindowSpec,
+        *,
+        absorbed_reports: int = 0,
+        late_reports: int = 0,
+        composition: str = "basic",
     ) -> None:
         self.snapshots = list(snapshots)
         self.ledger = ledger
         self.spec = spec
+        self.absorbed_reports = int(absorbed_reports)
+        self.late_reports = int(late_reports)
+        self.composition = composition
+
+    @property
+    def total_reports(self) -> int:
+        """Every report the stream saw: absorbed somewhere, or late."""
+        return self.absorbed_reports + self.late_reports
 
     def __len__(self) -> int:
         return len(self.snapshots)
@@ -220,9 +414,10 @@ class StreamResult(Sequence):
         return self.snapshots[index]
 
     def __repr__(self) -> str:
+        late = f", late={self.late_reports}" if self.late_reports else ""
         return (
             f"StreamResult({len(self.snapshots)} snapshots, "
-            f"spec={self.spec!r}, eps={self.ledger.total_epsilon:.4g})"
+            f"spec={self.spec!r}, eps={self.ledger.total_epsilon:.4g}{late})"
         )
 
 
@@ -233,7 +428,7 @@ def _merged_estimates(accumulators) -> tuple[int, np.ndarray | None]:
     skipping cannot change the result); a single non-empty accumulator
     is finalized in place (pure, no copy needed); otherwise the first
     non-empty one is *copied* and the rest merged in arrival order —
-    O(panes) copies+merges of O(state) each, never a pass over reports.
+    copies+merges of O(state) each, never a pass over reports.
     """
     users = sum(acc.n_absorbed for acc in accumulators)
     if users == 0:
@@ -247,26 +442,232 @@ def _merged_estimates(accumulators) -> tuple[int, np.ndarray | None]:
     return users, merged.finalize()
 
 
-class StreamingCollector:
-    """Absorbs arriving report chunks; emits windowed snapshots.
+class _RingPanes:
+    """PR 3 pane store: a ring of closed panes, merged on demand.
+
+    ``window_components`` returns every live pane — a snapshot must
+    merge O(panes) accumulators, the baseline E17 benchmarks against.
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self.retired = factory()
+        self._ring: deque = deque()
+
+    def push(self, pane) -> None:
+        """File the newest closed pane."""
+        self._ring.append(pane)
+
+    def evict_oldest(self) -> None:
+        """Fold the oldest live pane into the retired (cumulative-only) state."""
+        self.retired.merge(self._ring.popleft())
+
+    @property
+    def count(self) -> int:
+        return len(self._ring)
+
+    def window_components(self) -> list:
+        """Accumulators whose merge covers every live closed pane (oldest first)."""
+        return list(self._ring)
+
+
+class _TwoStackPanes:
+    """Two-stack (DABA-lite) pane store: O(state) window views.
+
+    The classic queue-from-two-stacks trick lifted to the merge
+    monoid.  Closed panes land on a **back** list whose running merge
+    ``back_agg`` is maintained incrementally (one merge per pane).
+    Evictions pop a **front** list of ``(pane, suffix_agg)`` pairs,
+    where each ``suffix_agg`` covers its pane and every younger front
+    pane; when the front runs dry the back panes are flipped over —
+    one copy+merge per pane, so each pane is touched O(1) times over
+    its whole life.  A window view is then just
+    ``front_top_suffix ⊕ back_agg``: **two components regardless of
+    how many panes the window spans**, which is what makes sliding
+    snapshots O(state) instead of O(panes·state).
+
+    Raw panes ride along in both lists so eviction can fold the exact
+    departing pane into ``retired`` (the cumulative view needs it).
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self.retired = factory()
+        self._back: list = []  # oldest back pane first
+        self._back_agg = factory()
+        self._front: list = []  # (pane, suffix_agg); oldest pane last
+
+    def push(self, pane) -> None:
+        """File the newest closed pane (one O(state) merge)."""
+        self._back.append(pane)
+        self._back_agg.merge(pane)
+
+    def _flip(self) -> None:
+        """Move the back panes onto the front stack as suffix merges."""
+        suffix = None
+        for pane in reversed(self._back):
+            agg = pane.copy()
+            if suffix is not None:
+                agg.merge(suffix)
+            self._front.append((pane, agg))
+            suffix = agg
+        self._back = []
+        self._back_agg = self._factory()
+
+    def evict_oldest(self) -> None:
+        """Fold the oldest live pane into the retired (cumulative-only) state."""
+        if not self._front:
+            self._flip()
+        pane, _ = self._front.pop()
+        self.retired.merge(pane)
+
+    @property
+    def count(self) -> int:
+        return len(self._front) + len(self._back)
+
+    def window_components(self) -> list:
+        """Two accumulators whose merge covers every live closed pane."""
+        components = []
+        if self._front:
+            components.append(self._front[-1][1])
+        components.append(self._back_agg)
+        return components
+
+
+_PANE_STORES = {"ring": _RingPanes, "two_stack": _TwoStackPanes}
+
+
+class _CollectorBase:
+    """Shared accounting + pane-store plumbing of both collectors."""
+
+    def __init__(
+        self,
+        oracle,
+        spec: WindowSpec,
+        *,
+        ledger: PrivacyLedger | None,
+        user_model: str,
+        composition: str,
+        delta_slack: float,
+        aggregation: str,
+    ) -> None:
+        if user_model not in USER_MODELS:
+            raise ValueError(
+                f"user_model must be one of {USER_MODELS}, got {user_model!r}"
+            )
+        if composition not in COMPOSITIONS:
+            raise ValueError(
+                f"composition must be one of {COMPOSITIONS}, got {composition!r}"
+            )
+        if aggregation not in AGGREGATIONS:
+            raise ValueError(
+                f"aggregation must be one of {AGGREGATIONS}, got {aggregation!r}"
+            )
+        if not 0.0 < delta_slack < 1.0:
+            raise ValueError(f"delta_slack must be in (0, 1), got {delta_slack}")
+        self._oracle = oracle
+        self.spec = spec
+        self.ledger = ledger if ledger is not None else PrivacyLedger()
+        self.user_model = user_model
+        self.composition = composition
+        self.delta_slack = float(delta_slack)
+        self.aggregation = aggregation
+        self._declaration = self._resolve_declaration(oracle)
+        # Single-pane windows (tumbling/cumulative/gapped) never merge
+        # closed panes at snapshot time, so the two-stack machinery can
+        # only add copies — the plain ring is strictly cheaper there.
+        store = "ring" if spec.num_panes == 1 else aggregation
+        self._store = _PANE_STORES[store](oracle.accumulator)
+        # One-time charges are memoized per *release*, and one collector
+        # instance is one release stream: the sentinel scopes its memo
+        # keys so two streams sharing a ledger each pay their own bill.
+        self._stream_key = object()
+
+    @staticmethod
+    def _resolve_declaration(oracle) -> SpendDeclaration | None:
+        spend = getattr(oracle, "privacy_spend", None)
+        return spend() if callable(spend) else None
+
+    def _charge_pane(self, pane_index: int, window_label: str) -> None:
+        """Charge the declared spend for a pane now starting to fill.
+
+        ``window_label`` is the window identity the spend is recorded
+        under — the event-time interval for event windows, the arrival
+        ordinal for count windows — so parallel (disjoint-users) groups
+        are keyed by *when the data happened*, not when it arrived.
+        """
+        decl = self._declaration
+        if decl is None:
+            return
+        if self.user_model == "disjoint_users":
+            # New users this window: parallel group per pane; memoized
+            # releases are one-time *per user*, hence per pane here.
+            key: object = (self._stream_key, pane_index)
+            group: str | None = window_label
+        else:
+            # Same population re-reporting: fresh releases compose
+            # sequentially; a memoized release is charged once per stream.
+            key = self._stream_key
+            group = None
+        if self.composition == "advanced":
+            # The advanced bound *is* the cap rule for this stream: check
+            # it before recording anything, then record without the basic
+            # guard (which would refuse streams the √k bound admits).  A
+            # one-time replay records no spend, so only a charge that
+            # would actually land is checked.
+            will_record = not (decl.is_one_time and self.ledger.is_charged(key))
+            if will_record and (
+                self.ledger.epsilon_cap is not None
+                or self.ledger.delta_cap is not None
+            ):
+                eps_adv, delta_adv = self.ledger.total_advanced(
+                    self.delta_slack, extra=(decl,)
+                )
+                eps_cap = self.ledger.epsilon_cap
+                if eps_cap is not None and eps_adv > eps_cap + 1e-12:
+                    raise BudgetExceededError(
+                        f"window {window_label} would raise the advanced-"
+                        f"composition ε to {eps_adv:.6g} > cap {eps_cap:.6g}"
+                    )
+                delta_cap = self.ledger.delta_cap
+                if delta_cap is not None and delta_adv > delta_cap + 1e-18:
+                    raise BudgetExceededError(
+                        f"window {window_label} would raise the advanced-"
+                        f"composition δ to {delta_adv:.3g} > cap {delta_cap:.3g}"
+                    )
+            self.ledger.charge(
+                decl, label=window_label, group=group, key=key,
+                enforce_cap=False,
+            )
+            return
+        self.ledger.charge(decl, label=window_label, group=group, key=key)
+
+    def _totals(self) -> tuple[float, float]:
+        """The stream's (ε, δ) trajectory under its composition rule."""
+        if self.composition == "advanced":
+            return self.ledger.total_advanced(self.delta_slack)
+        return self.ledger.total_epsilon, self.ledger.total_delta
+
+
+class StreamingCollector(_CollectorBase):
+    """Absorbs arriving report chunks; emits count-driven window snapshots.
 
     ``oracle`` is anything with an ``accumulator()`` factory — a core
     frequency oracle, an Apple sketch, a RAPPOR aggregator, or the
-    Microsoft mechanisms.  The collector owns at most
-    ``spec.num_panes + 1`` accumulators regardless of how many windows
-    have passed: the open pane, the ring of closed panes still inside
-    the live window, and the *retired* state (panes no longer in any
-    window, folded together — the rest of the cumulative view).
-    ``absorb`` touches only the open pane, so each report is folded in
-    exactly once; ``roll`` closes the pane, evicting the oldest ring
-    pane into the retired state when the ring is full.
+    Microsoft mechanisms.  The collector owns the open pane, the closed
+    panes still inside the live window (in a two-stack or ring store),
+    and the *retired* state (panes no longer in any window, folded
+    together — the rest of the cumulative view).  ``absorb`` touches
+    only the open pane, so each report is folded in exactly once;
+    ``roll`` closes the pane, evicting panes that left the live window.
 
     Accounting: when a pane's first chunk arrives, the mechanism's
     declared spend is charged to ``ledger`` (see module docstring for
-    the ``user_model`` semantics) — so an over-cap window raises
-    :class:`~repro.core.budget.BudgetExceededError` *before* absorbing
-    any of its reports.  Mechanisms without a ``privacy_spend``
-    declaration stream unaccounted (the ledger stays empty).
+    the ``user_model``/``composition`` semantics) — so an over-cap
+    window raises :class:`~repro.core.budget.BudgetExceededError`
+    *before* absorbing any of its reports.  Mechanisms without a
+    ``privacy_spend`` declaration stream unaccounted (the ledger stays
+    empty).
     """
 
     def __init__(
@@ -276,30 +677,28 @@ class StreamingCollector:
         *,
         ledger: PrivacyLedger | None = None,
         user_model: str = "same_users",
+        composition: str = "basic",
+        delta_slack: float = 1e-9,
+        aggregation: str = "two_stack",
     ) -> None:
-        if user_model not in USER_MODELS:
+        spec = spec if spec is not None else WindowSpec.tumbling()
+        if spec.is_event_time:
             raise ValueError(
-                f"user_model must be one of {USER_MODELS}, got {user_model!r}"
+                "StreamingCollector is count-driven; use EventTimeCollector "
+                f"for {spec.kind!r} windows"
             )
-        self._oracle = oracle
-        self.spec = spec if spec is not None else WindowSpec.tumbling()
-        self.ledger = ledger if ledger is not None else PrivacyLedger()
-        self.user_model = user_model
-        self._declaration = self._resolve_declaration(oracle)
-        self._retired = oracle.accumulator()
-        self._closed: deque = deque()
+        super().__init__(
+            oracle,
+            spec,
+            ledger=ledger,
+            user_model=user_model,
+            composition=composition,
+            delta_slack=delta_slack,
+            aggregation=aggregation,
+        )
         self._open = oracle.accumulator()
         self._pane_index = 0
         self._pane_charged = False
-        # One-time charges are memoized per *release*, and this collector
-        # instance is one release stream: the sentinel scopes its memo
-        # keys so two streams sharing a ledger each pay their own bill.
-        self._stream_key = object()
-
-    @staticmethod
-    def _resolve_declaration(oracle) -> SpendDeclaration | None:
-        spend = getattr(oracle, "privacy_spend", None)
-        return spend() if callable(spend) else None
 
     # -- stream geometry ----------------------------------------------------
 
@@ -313,57 +712,78 @@ class StreamingCollector:
         """Reports in the current window view."""
         if self.spec.kind == "cumulative":
             return self.total_users
-        return self._open.n_absorbed + sum(a.n_absorbed for a in self._closed)
+        return self._open.n_absorbed + sum(
+            acc.n_absorbed for acc in self._store.window_components()
+        )
 
     @property
     def total_users(self) -> int:
         """Reports absorbed since the stream started."""
         return (
-            self._retired.n_absorbed
-            + sum(a.n_absorbed for a in self._closed)
+            self._store.retired.n_absorbed
+            + sum(acc.n_absorbed for acc in self._store.window_components())
             + self._open.n_absorbed
         )
 
     @property
     def pane_count(self) -> int:
-        """Live pane accumulators (ring + open); ≤ ``spec.num_panes``."""
-        return len(self._closed) + 1
+        """Live pane accumulators (closed + open); ≤ ``spec.num_panes``."""
+        return self._store.count + 1
 
     # -- collection ---------------------------------------------------------
 
     def _charge_open_pane(self) -> None:
-        """Charge the declared spend for the pane now starting to fill."""
-        if self._pane_charged or self._declaration is None:
+        if self._pane_charged:
             return
-        decl = self._declaration
-        if self.user_model == "disjoint_users":
-            # New users this window: parallel group per pane; memoized
-            # releases are one-time *per user*, hence per pane here.
-            self.ledger.charge(
-                decl,
-                label=f"window-{self._pane_index}",
-                group=f"window-{self._pane_index}",
-                key=(self._stream_key, self._pane_index),
-            )
-        else:
-            # Same population re-reporting: fresh releases compose
-            # sequentially; a memoized release is charged once per stream.
-            self.ledger.charge(
-                decl,
-                label=f"window-{self._pane_index}",
-                key=self._stream_key,
-            )
+        self._charge_pane(self._pane_index, f"window-{self._pane_index}")
         self._pane_charged = True
+
+    def charge_window(self) -> "StreamingCollector":
+        """Charge the open window's declared spend now, before collecting.
+
+        ``absorb`` charges lazily on the first chunk — after the caller
+        has already privatized it.  A driver that wants a capped ledger
+        to refuse the window *before any client randomizes* calls this
+        first; the subsequent ``absorb`` sees the window already
+        charged.
+        """
+        self._charge_open_pane()
+        return self
 
     def absorb(self, reports) -> "StreamingCollector":
         """Fold one arriving report chunk into the open pane.
 
         The pane's privacy spend is charged on its first chunk, before
         anything is absorbed — over-budget collection is refused, not
-        rolled back.
+        rolled back.  Under a gapped spec the open pane holds at most
+        ``size`` reports per period; the remainder of the period is the
+        gap and must go through :meth:`absorb_outside` (the
+        :func:`stream_collection`/:func:`stream_reports` drivers split
+        at the boundary automatically).
         """
+        if self.spec.is_gapped:
+            incoming = batch_length(reports)
+            if self._open.n_absorbed + incoming > int(self.spec.size):
+                raise ValueError(
+                    f"gapped window takes at most size={int(self.spec.size)} "
+                    f"reports per period (pane holds {self._open.n_absorbed}, "
+                    f"got {incoming} more); route the gap remainder through "
+                    "absorb_outside"
+                )
         self._charge_open_pane()
         self._open.absorb(reports)
+        return self
+
+    def absorb_outside(self, reports) -> "StreamingCollector":
+        """Fold reports that belong to *no* window (a gapped stream's gap).
+
+        They join the cumulative view immediately (and the pane
+        period's privacy charge covers them — their users reported
+        during this period like everyone else) but never appear in a
+        window estimate.
+        """
+        self._charge_open_pane()
+        self._store.retired.absorb(reports)
         return self
 
     def snapshot(self) -> StreamSnapshot:
@@ -375,16 +795,16 @@ class StreamingCollector:
         afterwards continues exactly where the stream was.
         """
         t0 = time.perf_counter()
+        live = self._store.window_components()
         cumulative_users, cumulative = _merged_estimates(
-            [self._retired, *self._closed, self._open]
+            [self._store.retired, *live, self._open]
         )
         if self.spec.kind == "cumulative":
             window_users, window_est = cumulative_users, cumulative
         else:
-            window_users, window_est = _merged_estimates(
-                [*self._closed, self._open]
-            )
+            window_users, window_est = _merged_estimates([*live, self._open])
         t1 = time.perf_counter()
+        eps, delta = self._totals()
         return StreamSnapshot(
             window_index=self._pane_index,
             window_users=window_users,
@@ -392,27 +812,468 @@ class StreamingCollector:
             window_estimates=window_est,
             cumulative_estimates=cumulative,
             snapshot_seconds=t1 - t0,
-            total_epsilon=self.ledger.total_epsilon,
-            total_delta=self.ledger.total_delta,
+            total_epsilon=eps,
+            total_delta=delta,
             pane_count=self.pane_count,
         )
 
     def roll(self) -> StreamSnapshot:
         """Snapshot, then close the open pane and advance the window.
 
-        Tumbling/cumulative windows retire the pane immediately; sliding
-        windows push it onto the ring, retiring the oldest pane once the
-        ring holds ``num_panes − 1`` closed panes (the open pane is the
-        window's newest pane).
+        Tumbling/cumulative/gapped windows retire the pane immediately;
+        sliding windows keep it in the store, retiring the oldest pane
+        once the store holds ``num_panes − 1`` closed panes (the open
+        pane is the window's newest pane).
         """
         snap = self.snapshot()
-        self._closed.append(self._open)
-        while len(self._closed) > self.spec.num_panes - 1:
-            self._retired.merge(self._closed.popleft())
+        self._store.push(self._open)
+        while self._store.count > self.spec.num_panes - 1:
+            self._store.evict_oldest()
         self._open = self._oracle.accumulator()
         self._pane_index += 1
         self._pane_charged = False
         return snap
+
+
+class EventTimeCollector(_CollectorBase):
+    """Routes timestamped reports into event-time panes under a watermark.
+
+    Reports arrive as :class:`~repro.core.timed.TimedReports` — in any
+    order, on the client's event clock.  Each report is assigned to the
+    pane period containing its timestamp; panes stay open (late
+    arrivals merge into place) until the **watermark** — the maximum
+    event time seen so far minus ``spec.allowed_lateness`` — passes the
+    pane's end, at which point the pane seals and the window it
+    completes is emitted as a :class:`StreamSnapshot`.  A report whose
+    pane has already sealed is counted in :attr:`late_reports` (and the
+    emitting snapshots carry the running count): every report offered
+    to the collector is accounted as absorbed-in-pane or counted-late,
+    never silently dropped.
+
+    Panes seal in event-time order (the watermark is monotone), so
+    closed panes feed the same two-stack/ring store as the count-driven
+    collector and every window estimate is bit-identical to the
+    one-shot batch over exactly the reports absorbed into that window.
+    Empty panes (quiet intervals the watermark has passed) seal too —
+    their windows are emitted with ``window_estimates=None`` for panes
+    nothing reported into.
+
+    Accounting: a pane is charged when its first report arrives, under
+    its **event-time identity** (``window[start,end)``), so
+    ``user_model="disjoint_users"`` composes in parallel across
+    event-time windows no matter how arrival interleaves them.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        spec: WindowSpec,
+        *,
+        ledger: PrivacyLedger | None = None,
+        user_model: str = "same_users",
+        composition: str = "basic",
+        delta_slack: float = 1e-9,
+        aggregation: str = "two_stack",
+    ) -> None:
+        if not spec.is_event_time:
+            raise ValueError(
+                f"EventTimeCollector needs an event-time WindowSpec, got {spec.kind!r}"
+            )
+        super().__init__(
+            oracle,
+            spec,
+            ledger=ledger,
+            user_model=user_model,
+            composition=composition,
+            delta_slack=delta_slack,
+            aggregation=aggregation,
+        )
+        self._open: dict[int, object] = {}  # pane index → accumulator
+        self._charged: set[int] = set()
+        self._max_event_time = -math.inf
+        self._sealed_through: int | None = None  # last sealed pane index
+        self._late = 0
+        self._absorbed = 0
+        self._snapshots: list[StreamSnapshot] = []
+        self._finished = False
+
+    # -- geometry -----------------------------------------------------------
+
+    def _pane_of(self, timestamps: np.ndarray) -> np.ndarray:
+        if not np.all(np.isfinite(timestamps)):
+            raise ValueError("timestamps must be finite")
+        span = self.spec.pane_span
+        raw = np.floor((timestamps - self.spec.origin) / span)
+        # Casting past int64 wraps silently (numpy only warns) and a
+        # wrapped pane index derails the sealing frontier — reject
+        # timestamps absurdly far from the origin for this pane span
+        # instead (epoch-nanosecond floats with a sub-second span, say).
+        if raw.size and float(np.abs(raw).max()) >= 2.0**62:
+            raise ValueError(
+                "timestamps lie too far from origin for this pane span "
+                f"(pane index beyond ±2^62; span={span}, origin="
+                f"{self.spec.origin}) — rescale the event clock or origin"
+            )
+        return raw.astype(np.int64)
+
+    @property
+    def watermark(self) -> float:
+        """Completeness frontier: ``max event time − allowed_lateness``."""
+        return self._max_event_time - self.spec.allowed_lateness
+
+    @property
+    def late_reports(self) -> int:
+        """Reports that arrived after their pane sealed (counted, not absorbed)."""
+        return self._late
+
+    @property
+    def total_users(self) -> int:
+        """Reports absorbed since the stream started (late ones excluded)."""
+        return self._absorbed
+
+    @property
+    def pane_count(self) -> int:
+        """Live pane accumulators (open panes + closed panes in the store)."""
+        return self._store.count + len(self._open)
+
+    @property
+    def snapshots(self) -> list[StreamSnapshot]:
+        """Windows emitted so far (one per sealed pane, in event order)."""
+        return list(self._snapshots)
+
+    # -- collection ---------------------------------------------------------
+
+    def absorb(self, timed: TimedReports) -> "EventTimeCollector":
+        """Route one arriving envelope, then advance the watermark.
+
+        Reports are classified against the watermark as of the
+        *previous* envelope (an envelope is one arrival: its own
+        reports are never late relative to each other), absorbed into
+        their panes, and then the envelope's maximum timestamp advances
+        the watermark — sealing every pane it passed and emitting their
+        windows.
+        """
+        if self._finished:
+            raise ValueError("stream already finished")
+        if not isinstance(timed, TimedReports):
+            raise TypeError(
+                "EventTimeCollector.absorb takes TimedReports "
+                f"(got {type(timed).__name__}); wrap the batch with its "
+                "event timestamps"
+            )
+        if len(timed) == 0:
+            return self
+        panes, sealed, gap = self._classify(timed.timestamps)
+        routable = ~sealed & ~gap
+        # Charge every pane the envelope touches *before* absorbing any
+        # of it, atomically: a capped ledger refuses the whole envelope
+        # (nothing absorbed or recorded, watermark not advanced), never
+        # half of it.  (A driver that called charge_for first finds the
+        # panes already charged — this is then a no-op.)
+        self._charge_panes(np.unique(panes[routable | gap]))
+        self._late += int(sealed.sum())
+        for pane, sub in self._grouped_by_pane(timed, panes, gap):
+            self._route_gap(pane, sub)
+        for pane, sub in self._grouped_by_pane(timed, panes, routable):
+            self._absorb_into_pane(pane, sub)
+        self._max_event_time = max(
+            self._max_event_time, float(timed.timestamps.max())
+        )
+        self._seal_past_watermark()
+        return self
+
+    @staticmethod
+    def _grouped_by_pane(timed: TimedReports, panes: np.ndarray, mask: np.ndarray):
+        """Yield ``(pane, sub-envelope)`` per distinct pane under ``mask``.
+
+        One stable argsort + boundary split routes the whole envelope in
+        a single pass — a per-pane mask rescan would cost
+        O(panes · envelope) on heavily out-of-order streams.  The stable
+        sort preserves arrival order within each pane, so absorption
+        order (and hence every bit of the estimates) is unchanged.
+        """
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return
+        order = idx[np.argsort(panes[idx], kind="stable")]
+        cuts = np.flatnonzero(np.diff(panes[order])) + 1
+        for segment in np.split(order, cuts):
+            yield int(panes[segment[0]]), timed.select(segment)
+
+    def _classify(
+        self, timestamps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-report ``(pane index, sealed?, gap?)`` for given event times.
+
+        A pane is sealed the moment the watermark passes its end —
+        whether or not it was ever emitted (dead air before the first
+        report is sealed too, just never enumerated).
+        """
+        panes = self._pane_of(timestamps)
+        span = self.spec.pane_span
+        pane_ends = self.spec.origin + (panes + 1) * span
+        sealed = pane_ends <= self.watermark
+        if self._sealed_through is not None:
+            sealed |= panes <= self._sealed_through
+        gap = np.zeros(timestamps.shape[0], dtype=bool)
+        if self.spec.is_gapped:
+            offset = timestamps - self.spec.origin - panes * span
+            gap = ~sealed & (offset >= float(self.spec.size))
+        return panes, sealed, gap
+
+    def _charge_panes(self, panes) -> None:
+        """Atomically charge a set of pane indices (all-or-nothing)."""
+        token = self.ledger.savepoint()
+        newly_charged: list[int] = []
+        try:
+            for pane in panes:
+                pane = int(pane)
+                if pane not in self._charged:
+                    self._charge(pane)
+                    newly_charged.append(pane)
+        except BudgetExceededError:
+            self.ledger.rollback(token)
+            self._charged.difference_update(newly_charged)
+            raise
+
+    def charge_for(self, timestamps) -> "EventTimeCollector":
+        """Charge every pane the given event times will land in, atomically.
+
+        Pane identity depends only on the timestamps, so a driver can
+        refuse an over-budget window *before* privatizing its clients:
+        call this with the chunk's event times, then privatize and
+        ``absorb`` — which finds the panes already charged.  Sealed
+        panes (would-be late reports) charge nothing.
+        """
+        ts = np.atleast_1d(np.asarray(timestamps, dtype=np.float64))
+        if ts.shape[0] == 0:
+            return self
+        panes, sealed, _gap = self._classify(ts)
+        self._charge_panes(np.unique(panes[~sealed]))
+        return self
+
+    def _route_gap(self, pane: int, sub: TimedReports) -> None:
+        """Gap reports of a sampling stream: cumulative view only.
+
+        The pane still *opens* (empty) so its period's window is
+        emitted when the watermark passes — a sampling stream whose
+        reports all land in gaps still surfaces its (empty) windows and
+        the cumulative view holding those reports.
+        """
+        if pane not in self._open:
+            self._open[pane] = self._oracle.accumulator()
+        before = self._store.retired.n_absorbed
+        self._store.retired.absorb(sub.reports)
+        self._absorbed += self._store.retired.n_absorbed - before
+
+    def _charge(self, pane: int) -> None:
+        if pane in self._charged:
+            return
+        start, end = self.spec.pane_bounds(pane)
+        # The pane index leads the identity: %g readability alone would
+        # collide adjacent windows at epoch-scale timestamps (6
+        # significant digits), silently merging their parallel groups.
+        self._charge_pane(pane, f"window-{pane}[{start:g},{end:g})")
+        self._charged.add(pane)
+
+    def _absorb_into_pane(self, pane: int, sub: TimedReports) -> None:
+        acc = self._open.get(pane)
+        if acc is None:
+            acc = self._open[pane] = self._oracle.accumulator()
+        before = acc.n_absorbed
+        acc.absorb(sub.reports)
+        self._absorbed += acc.n_absorbed - before
+
+    def _seal_past_watermark(self, *, everything: bool = False) -> None:
+        """Seal (in order) every pane the watermark has passed; emit windows.
+
+        Quiet intervals emit their empty windows honestly — up to one
+        full window of them.  Once every live pane is empty (the stream
+        has been silent for a whole window span) further dead-air panes
+        would all emit the same empty window, so the frontier leaps to
+        the next pane holding data instead of enumerating them.
+        """
+        if not self._open and self._sealed_through is None:
+            return  # nothing observed yet — no pane frontier to advance
+        frontier = (
+            self._sealed_through + 1
+            if self._sealed_through is not None
+            else min(self._open)
+        )
+        watermark = self.watermark
+        span = self.spec.pane_span
+        while True:
+            if everything:
+                if not self._open:
+                    break
+            else:
+                _, pane_end = self.spec.pane_bounds(frontier)
+                if pane_end > watermark:
+                    break
+            if frontier not in self._open and all(
+                acc.n_absorbed == 0 for acc in self._store.window_components()
+            ):
+                if self._open:
+                    next_pane = min(self._open)
+                elif everything:
+                    break
+                else:
+                    next_pane = frontier  # fall through to the cap below
+                if not everything:
+                    # Never leap past the watermark: panes beyond it are
+                    # still open for late data and must not be marked
+                    # sealed just because the next report is far ahead.
+                    next_pane = min(
+                        next_pane,
+                        int(math.floor((watermark - self.spec.origin) / span)),
+                    )
+                if next_pane > frontier:
+                    self._sealed_through = next_pane - 1
+                    frontier = next_pane
+                    continue
+            self._seal_pane(frontier)
+            frontier += 1
+
+    def _seal_pane(self, pane: int) -> None:
+        """Close pane ``pane``, emit the window it completes."""
+        t0 = time.perf_counter()
+        acc = self._open.pop(pane, None)
+        if acc is None:
+            acc = self._oracle.accumulator()
+        self._store.push(acc)
+        while self._store.count > self.spec.num_panes:
+            self._store.evict_oldest()
+        live = self._store.window_components()
+        window_users, window_est = _merged_estimates(live)
+        open_tail = [self._open[p] for p in sorted(self._open)]
+        cumulative_users, cumulative = _merged_estimates(
+            [self._store.retired, *live, *open_tail]
+        )
+        t1 = time.perf_counter()
+        eps, delta = self._totals()
+        start, end = self.spec.window_bounds(pane)
+        self._snapshots.append(
+            StreamSnapshot(
+                window_index=pane,
+                window_users=window_users,
+                total_users=cumulative_users,
+                window_estimates=window_est,
+                cumulative_estimates=cumulative,
+                snapshot_seconds=t1 - t0,
+                total_epsilon=eps,
+                total_delta=delta,
+                pane_count=self.pane_count,
+                window_start=start,
+                window_end=end,
+                late_reports=self._late,
+            )
+        )
+        self._sealed_through = pane
+
+    def finish(self) -> StreamResult:
+        """End of stream: seal every remaining pane and return the result.
+
+        The watermark jumps to +∞ — no more data is coming, so every
+        open pane is complete by definition — and the remaining windows
+        are emitted in event order.
+        """
+        if not self._finished:
+            self._max_event_time = math.inf
+            self._seal_past_watermark(everything=True)
+            self._finished = True
+        return StreamResult(
+            self._snapshots,
+            self.ledger,
+            self.spec,
+            absorbed_reports=self._absorbed,
+            late_reports=self._late,
+            composition=self.composition,
+        )
+
+
+def _drive_event_stream(
+    oracle, spec, n, materialize, ts, chunk_size, collector_kwargs
+) -> StreamResult:
+    """Feed arrival-order chunks as timed envelopes; flush at end of input.
+
+    Pane identities come from the timestamps alone, so each chunk's
+    panes are charged *before* it is materialized — a capped ledger
+    refuses the window, not the already-randomized reports (the same
+    invariant as the count-time driver).
+    """
+    collector = EventTimeCollector(oracle, spec, **collector_kwargs)
+    for start in range(0, n, chunk_size):
+        end = min(start + chunk_size, n)
+        collector.charge_for(ts[start:end])
+        collector.absorb(TimedReports(ts[start:end], materialize(start, end)))
+    return collector.finish()
+
+
+def _drive_count_stream(
+    oracle, spec, n, materialize, chunk_size, collector_kwargs
+) -> StreamResult:
+    """Roll a count-driven collector every pane's worth of arrivals.
+
+    ``materialize(a, b)`` produces the report batch for arrival slice
+    ``[a, b)`` and is called with strictly increasing, disjoint slices —
+    so a privatizing materializer consumes its RNG stream in arrival
+    order.  For gapped specs each pane period is split at the
+    window/gap boundary: the first ``size`` arrivals are absorbed, the
+    rest join the cumulative view via ``absorb_outside``.
+    """
+    if spec.pane_size is None:
+        raise ValueError(
+            "a sized WindowSpec is required (its size sets the roll cadence)"
+        )
+    pane = check_positive_int(spec.pane_size, name="pane size")
+    collector = StreamingCollector(oracle, spec, **collector_kwargs)
+    in_window = int(spec.size) if spec.is_gapped else pane
+    snapshots: list[StreamSnapshot] = []
+    for p_start in range(0, n, pane):
+        p_end = min(p_start + pane, n)
+        boundary = min(p_start + in_window, p_end)
+        # Charge before anything is materialized: a capped ledger
+        # refuses the window, not the already-randomized reports.
+        collector.charge_window()
+        for c_start in range(p_start, p_end, chunk_size):
+            c_end = min(c_start + chunk_size, p_end)
+            if c_start < boundary:
+                collector.absorb(materialize(c_start, min(c_end, boundary)))
+            if c_end > boundary:
+                collector.absorb_outside(
+                    materialize(max(c_start, boundary), c_end)
+                )
+        snapshots.append(collector.roll())
+    return StreamResult(
+        snapshots,
+        collector.ledger,
+        spec,
+        absorbed_reports=collector.total_users,
+        composition=collector.composition,
+    )
+
+
+def _check_timestamps(spec, timestamps, n):
+    """Event specs need aligned timestamps; count specs refuse them."""
+    if spec.is_event_time:
+        if timestamps is None:
+            raise ValueError(
+                f"{spec.kind!r} windows need timestamps (one event time per report)"
+            )
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.shape != (n,):
+            raise ValueError(
+                f"timestamps {ts.shape} must align with the {n} reports"
+            )
+        if not np.all(np.isfinite(ts)):
+            raise ValueError("timestamps must be finite")
+        return ts
+    if timestamps is not None:
+        raise ValueError(
+            "timestamps only apply to event-time windows; use "
+            "WindowSpec.event_tumbling / .event_sliding"
+        )
+    return None
 
 
 def stream_collection(
@@ -423,23 +1284,39 @@ def stream_collection(
     chunk_size: int = 65_536,
     rng: np.random.Generator | int | None = None,
     window: WindowSpec | None = None,
+    timestamps: np.ndarray | None = None,
     ledger: PrivacyLedger | None = None,
     user_model: str = "same_users",
+    composition: str = "basic",
+    delta_slack: float = 1e-9,
+    aggregation: str = "two_stack",
 ) -> StreamResult:
     """Drive a whole population through a simulated arrival stream.
 
-    Users arrive in order; every pane's worth of them (``window_size``
-    for tumbling/cumulative, ``stride`` for sliding — the last pane may
-    be short) closes one window and emits a snapshot.  Within a pane,
-    clients are privatized in bounded-memory chunks of at most
-    ``chunk_size`` — the same memory discipline as the sharded pipeline.
+    Users arrive in ``values`` order, privatized in bounded-memory
+    chunks of at most ``chunk_size`` — the same memory discipline as
+    the sharded pipeline.
 
-    Pass either ``window_size`` (tumbling windows, the historical API)
-    or an explicit ``window`` :class:`WindowSpec`; ``ledger`` and
-    ``user_model`` configure the accounting (see the module docstring).
-    Returns a :class:`StreamResult` — one snapshot per closed window
-    plus the populated ledger; the final snapshot's cumulative estimates
-    equal the one-shot batch estimate over the identical report stream.
+    **Count-time windows** (``window_size`` or a count-time
+    ``WindowSpec``): every pane's worth of users (``window_size`` for
+    tumbling/cumulative, ``stride`` for sliding — the last pane may be
+    short) closes one window and emits a snapshot.  A gapped sliding
+    spec (``stride > size``) absorbs each period's first ``size`` users
+    into the window and the rest into the cumulative view only.
+
+    **Event-time windows** (an event-time ``WindowSpec`` plus
+    ``timestamps``, one event time per user in arrival order): chunks
+    are wrapped in :class:`~repro.core.timed.TimedReports` envelopes and
+    routed by an :class:`EventTimeCollector` — out-of-order and late
+    arrivals land in their event-time pane or are counted late per the
+    spec's ``allowed_lateness``; the stream is flushed at end of input.
+
+    ``ledger``, ``user_model``, ``composition`` and ``aggregation``
+    configure the accounting and the sliding-window store (see the
+    module docstring).  Returns a :class:`StreamResult` — one snapshot
+    per closed window plus the populated ledger; the final snapshot's
+    cumulative estimates equal the one-shot batch estimate over the
+    identical absorbed reports, bit-identically.
     """
     if window is not None and window_size is not None:
         raise ValueError("pass either window_size or window, not both")
@@ -449,28 +1326,82 @@ def stream_collection(
         spec = WindowSpec.tumbling(window_size)
     else:
         spec = window
-    if spec.pane_size is None:
-        raise ValueError(
-            "stream_collection needs a sized WindowSpec (its size sets the "
-            "roll cadence)"
-        )
-    pane = check_positive_int(spec.pane_size, name="pane size")
     check_positive_int(chunk_size, name="chunk_size")
     vals = np.asarray(values)
     if vals.ndim != 1 or vals.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
+    n = int(vals.shape[0])
+    ts = _check_timestamps(spec, timestamps, n)
     gen = ensure_generator(rng)
-    collector = StreamingCollector(
-        oracle, spec, ledger=ledger, user_model=user_model
+
+    def materialize(a: int, b: int):
+        reports = oracle.privatize(vals[a:b], rng=gen)
+        return reports  # the accumulators are the only surviving state
+
+    collector_kwargs = dict(
+        ledger=ledger,
+        user_model=user_model,
+        composition=composition,
+        delta_slack=delta_slack,
+        aggregation=aggregation,
     )
-    snapshots: list[StreamSnapshot] = []
-    n = vals.shape[0]
-    for p_start in range(0, n, pane):
-        pane_vals = vals[p_start : p_start + pane]
-        for c_start in range(0, pane_vals.shape[0], chunk_size):
-            chunk = pane_vals[c_start : c_start + chunk_size]
-            reports = oracle.privatize(chunk, rng=gen)
-            collector.absorb(reports)
-            del reports  # the accumulators are the only surviving state
-        snapshots.append(collector.roll())
-    return StreamResult(snapshots, collector.ledger, spec)
+    if spec.is_event_time:
+        return _drive_event_stream(
+            oracle, spec, n, materialize, ts, chunk_size, collector_kwargs
+        )
+    return _drive_count_stream(
+        oracle, spec, n, materialize, chunk_size, collector_kwargs
+    )
+
+
+def stream_reports(
+    oracle,
+    reports,
+    *,
+    window: WindowSpec,
+    timestamps: np.ndarray | None = None,
+    chunk_size: int = 65_536,
+    ledger: PrivacyLedger | None = None,
+    user_model: str = "same_users",
+    composition: str = "basic",
+    delta_slack: float = 1e-9,
+    aggregation: str = "two_stack",
+) -> StreamResult:
+    """Drive an already-privatized report batch through the window engine.
+
+    The systems whose privacy argument lives on the *client* (RAPPOR's
+    permanent bits, Microsoft's memoized responses) privatize up front
+    and replay; the server only ever windows report batches.  This
+    driver is :func:`stream_collection` for that shape: ``reports`` is
+    any report batch the ``oracle``'s accumulator absorbs, fed to the
+    collector in arrival-order slices of ``chunk_size``
+    (:func:`~repro.core.timed.slice_report_batch` understands every
+    batch type in the repo).  With an event-time ``window``,
+    ``timestamps`` (one per report, arrival order) route each slice
+    through the watermark machinery; count-time windows roll every
+    ``pane_size`` reports exactly like :func:`stream_collection`.
+    """
+    check_positive_int(chunk_size, name="chunk_size")
+    n = batch_length(reports)
+    if n == 0:
+        raise ValueError("reports must hold at least one report")
+    ts = _check_timestamps(window, timestamps, n)
+    index = np.arange(n)
+
+    def materialize(a: int, b: int):
+        return slice_report_batch(reports, index[a:b])
+
+    collector_kwargs = dict(
+        ledger=ledger,
+        user_model=user_model,
+        composition=composition,
+        delta_slack=delta_slack,
+        aggregation=aggregation,
+    )
+    if window.is_event_time:
+        return _drive_event_stream(
+            oracle, window, n, materialize, ts, chunk_size, collector_kwargs
+        )
+    return _drive_count_stream(
+        oracle, window, n, materialize, chunk_size, collector_kwargs
+    )

@@ -25,7 +25,12 @@ three-part answer, reproduced here:
 :class:`RepeatedCollector` simulates all three modes over a population of
 value trajectories and accounts the budget in a
 :class:`~repro.core.budget.PrivacyLedger`, which is what experiment E6
-plots.
+plots.  The *client* side (α-points, memo bits, output flips) is
+simulated here; the *server* side — windowing each round, charging the
+declared spend before absorbing, snapshotting estimates — runs on the
+shared streaming engine
+(:class:`~repro.protocol.streaming.StreamingCollector`, one tumbling
+window per round), the same engine every other collection path uses.
 """
 
 from __future__ import annotations
@@ -36,13 +41,70 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.budget import PrivacyLedger, SpendDeclaration
-from repro.systems.microsoft.onebit import OneBitMean
+from repro.systems.microsoft.onebit import OneBitMean, OneBitMeanAccumulator
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_epsilon, check_fraction, check_positive_int
 
 __all__ = ["RoundResult", "CollectionRun", "RepeatedCollector"]
 
 _MODES = ("fresh", "memoized", "memoized_op")
+
+
+class _PerturbedOneBitAccumulator(OneBitMeanAccumulator):
+    """1BitMean tallies whose estimator inverts the γ output flip.
+
+    The observed bit mean under output perturbation is
+    ``γ + (1 − 2γ)·b̄``; finalize de-biases it before applying the
+    1BitMean inversion, so the accumulator (and hence every window
+    snapshot) estimates the true mean from flipped bits.
+    """
+
+    def __init__(self, mechanism: OneBitMean, gamma: float) -> None:
+        super().__init__(mechanism)
+        self._gamma = float(gamma)
+
+    def _check_mergeable(self, other) -> None:
+        super()._check_mergeable(other)
+        assert isinstance(other, _PerturbedOneBitAccumulator)
+        if other._gamma != self._gamma:
+            raise ValueError(
+                "cannot merge accumulators with different flip probabilities"
+            )
+
+    def finalize(self) -> np.ndarray:
+        if self._n == 0:
+            raise ValueError("no reports absorbed — nothing to estimate")
+        mech = self._mechanism
+        e = math.exp(mech.epsilon)
+        debiased = ((self._ones / self._n) - self._gamma) / (1.0 - 2.0 * self._gamma)
+        per_user = (debiased * (e + 1.0) - 1.0) / (e - 1.0)
+        return np.asarray([mech.value_bound * per_user], dtype=np.float64)
+
+    def config_fingerprint(self) -> dict:
+        return {**super().config_fingerprint(), "gamma": self._gamma}
+
+
+class _RoundEngine:
+    """Streaming-engine adapter for one repeated-collection run.
+
+    The engine asks its "oracle" for two things: fresh accumulators
+    (mode-aware — output perturbation needs the γ-inverting estimator)
+    and the privacy declaration (the *collector's*, not the raw
+    mechanism's: memoized modes declare a one-time release).
+    """
+
+    def __init__(self, collector: "RepeatedCollector") -> None:
+        self._collector = collector
+
+    def accumulator(self):
+        if self._collector.mode == "memoized_op":
+            return _PerturbedOneBitAccumulator(
+                self._collector.mechanism, self._collector.gamma
+            )
+        return self._collector.mechanism.accumulator()
+
+    def privacy_spend(self) -> SpendDeclaration:
+        return self._collector.privacy_spend()
 
 
 @dataclass(frozen=True)
@@ -161,40 +223,70 @@ class RepeatedCollector:
             mode=self.mode,
             ledger=ledger if ledger is not None else PrivacyLedger(),
         )
+        # One tumbling window per round on the shared streaming engine:
+        # it resolves the mode's declaration, charges each round before
+        # absorbing its bits (a capped ledger refuses the round rather
+        # than collecting data it cannot afford), and snapshots the
+        # per-round estimate off the window accumulator.
+        from repro.protocol.streaming import StreamingCollector, WindowSpec
+
+        engine = StreamingCollector(
+            _RoundEngine(self), WindowSpec.tumbling(), ledger=run.ledger
+        )
         if self.mode == "fresh":
-            self._run_fresh(traj, gen, run)
+            self._run_fresh(traj, gen, run, engine)
         else:
-            self._run_memoized(traj, gen, run)
+            self._run_memoized(traj, gen, run, engine)
         return run
+
+    def _collect_round(
+        self,
+        engine,
+        t: int,
+        round_values: np.ndarray,
+        bits: np.ndarray,
+        run: CollectionRun,
+    ) -> None:
+        """One round through the engine: charge, absorb, window snapshot."""
+        snap = engine.absorb(bits).roll()
+        run.rounds.append(
+            RoundResult(
+                round_index=t,
+                true_mean=float(round_values.mean()),
+                estimated_mean=float(snap.window_estimates[0]),
+            )
+        )
 
     # -- fresh mode ---------------------------------------------------------
 
     def _run_fresh(
-        self, traj: np.ndarray, gen: np.random.Generator, run: CollectionRun
+        self,
+        traj: np.ndarray,
+        gen: np.random.Generator,
+        run: CollectionRun,
+        engine,
     ) -> None:
         n, num_rounds = traj.shape
-        decl = self.privacy_spend()
         patterns = []
         for t in range(num_rounds):
-            # Charge before collecting: a capped ledger refuses the
-            # round rather than collecting data it cannot afford.
-            run.ledger.charge(decl, label=f"round-{t}/fresh")
+            # Charge before the clients randomize: a capped ledger
+            # refuses the round rather than collecting responses it
+            # cannot afford.
+            engine.charge_window()
             bits = self.mechanism.privatize(traj[:, t], rng=gen)
+            self._collect_round(engine, t, traj[:, t], bits, run)
             patterns.append(bits)
-            run.rounds.append(
-                RoundResult(
-                    round_index=t,
-                    true_mean=float(traj[:, t].mean()),
-                    estimated_mean=self.mechanism.estimate_mean(bits),
-                )
-            )
         stacked = np.stack(patterns, axis=1)  # (n, T)
         run.distinct_responses = _mean_distinct_runs(stacked)
 
     # -- memoized modes -------------------------------------------------------
 
     def _run_memoized(
-        self, traj: np.ndarray, gen: np.random.Generator, run: CollectionRun
+        self,
+        traj: np.ndarray,
+        gen: np.random.Generator,
+        run: CollectionRun,
+        engine,
     ) -> None:
         n, num_rounds = traj.shape
         m = self.value_bound
@@ -204,14 +296,7 @@ class RepeatedCollector:
         p_high = self.mechanism.response_probability(m)
         memo_low = (gen.random(n) < p_low).astype(np.uint8)
         memo_high = (gen.random(n) < p_high).astype(np.uint8)
-        # Fresh α and memo bits are drawn per run, so every run is an
-        # independent one-time release: a unique key keeps a shared
-        # ledger from treating the second run as a free replay.
-        run.ledger.charge(
-            self.privacy_spend(), label="memoized-release", key=object()
-        )
 
-        e = math.exp(self.epsilon)
         observed = np.empty((n, num_rounds), dtype=np.uint8)
         for t in range(num_rounds):
             rounded_high = (traj[:, t] / m) > alpha
@@ -220,17 +305,12 @@ class RepeatedCollector:
                 flips = gen.random(n) < self.gamma
                 bits = np.where(flips, 1 - bits, bits)
             observed[:, t] = bits
-            debiased = bits.astype(np.float64)
-            if self.mode == "memoized_op":
-                debiased = (debiased - self.gamma) / (1.0 - 2.0 * self.gamma)
-            per_user = (debiased * (e + 1.0) - 1.0) / (e - 1.0)
-            run.rounds.append(
-                RoundResult(
-                    round_index=t,
-                    true_mean=float(traj[:, t].mean()),
-                    estimated_mean=float(m * per_user.mean()),
-                )
-            )
+            # The engine charges the one-time declaration on the first
+            # round and treats every later round as the free replay the
+            # memoization argument promises; fresh α and memo bits per
+            # run mean each run is an independent release (the engine's
+            # per-stream memo key keeps a shared ledger honest).
+            self._collect_round(engine, t, traj[:, t], bits, run)
         run.distinct_responses = _mean_distinct_runs(observed)
 
 

@@ -201,6 +201,43 @@ class RapporAggregator:
         """
         return self.params.privacy_spend(longitudinal=True)
 
+    def stream(
+        self,
+        cohorts: np.ndarray,
+        reports: np.ndarray,
+        *,
+        window,
+        timestamps: np.ndarray | None = None,
+        **stream_kwargs,
+    ):
+        """Longitudinal collection: window an evolving report stream.
+
+        RAPPOR's deployment is the longitudinal regime in the flesh —
+        devices keep reporting their (memoized) bits and the analyst
+        reads per-window decodes.  This drives the ``(cohorts, bits)``
+        batch through the shared windowing engine
+        (:func:`repro.protocol.stream_reports`): pass a count-time
+        ``WindowSpec`` for arrival windows, or an event-time spec plus
+        per-report ``timestamps`` for real-clock windows with watermark
+        and late-arrival handling.  The one-time ε∞ declaration is
+        charged once for the whole stream (``user_model="same_users"``,
+        the default) — replayed permanent bits are free, which is the
+        deployment's actual privacy argument.  Returns a
+        :class:`~repro.protocol.streaming.StreamResult` whose window
+        estimates are the stage-1 corrected bit counts ``t̂`` each
+        window's reports produce (what :meth:`decode_accumulated` reads
+        off a merged accumulator).
+        """
+        from repro.protocol.streaming import stream_reports
+
+        return stream_reports(
+            self,
+            (np.asarray(cohorts), np.asarray(reports)),
+            window=window,
+            timestamps=timestamps,
+            **stream_kwargs,
+        )
+
     # -- stage 1: bit-rate correction --------------------------------------
 
     def corrected_bit_counts(

@@ -241,3 +241,42 @@ class TestSpendDeclaration:
         with pytest.raises(BudgetExceededError):
             ledger.charge(decl)
         assert len(ledger) == 0
+
+
+class TestSavepointRollback:
+    def test_token_survives_repeated_rollbacks(self):
+        from repro.core.budget import PrivacyLedger
+
+        ledger = PrivacyLedger()
+        token = ledger.savepoint()
+        ledger.spend(1.0, group="g")
+        ledger.rollback(token)
+        ledger.spend(1.0, group="g")
+        ledger.rollback(token)  # token must not have been corrupted
+        ledger.spend(0.5, group="g")
+        assert ledger.total_epsilon == 0.5
+        assert len(ledger) == 1
+
+    def test_rollback_restores_one_time_memo(self):
+        from repro.core.budget import PrivacyLedger, SpendDeclaration
+
+        ledger = PrivacyLedger()
+        decl = SpendDeclaration(epsilon=1.0, scope="one_time", mechanism="M")
+        token = ledger.savepoint()
+        ledger.charge(decl, key="release-1")
+        assert ledger.is_charged("release-1")
+        ledger.rollback(token)
+        assert not ledger.is_charged("release-1")
+        # The release charges again (it never really happened).
+        assert ledger.charge(decl, key="release-1") is not None
+        assert ledger.total_epsilon == 1.0
+
+    def test_anonymous_one_time_charge_rejected(self):
+        # Distinct anonymous memoized releases must not collide on the
+        # empty-string memo key and silently undercount the bill.
+        from repro.core.budget import PrivacyLedger, SpendDeclaration
+
+        ledger = PrivacyLedger()
+        with pytest.raises(ValueError, match="memo identity"):
+            ledger.charge(SpendDeclaration(epsilon=1.0, scope="one_time"))
+        assert len(ledger) == 0

@@ -116,3 +116,17 @@ class TestTHE:
         the = ThresholdHistogramEncoding(8, 1.0)
         with pytest.raises(ValueError):
             the.support_counts(np.zeros((2, 7), dtype=np.uint8))
+
+
+def test_summation_finalize_overflows_to_inf():
+    # Exact sums beyond the float64 range round to ±inf, like a float
+    # accumulator would, instead of crashing the big-int division.
+    from repro.core import make_oracle
+
+    oracle = make_oracle("SHE", 2, 1.0)
+    acc = oracle.accumulator()
+    acc.absorb(np.full((4, 2), 1e308))
+    assert np.all(acc.finalize() == np.inf)
+    neg = oracle.accumulator()
+    neg.absorb(np.full((4, 2), -1e308))
+    assert np.all(neg.finalize() == -np.inf)

@@ -54,10 +54,7 @@ def test_core_accumulator_contract(name, slice_reports, report_seed, split):
     # ...and the merged state finalizes (twice, identically) to the batch.
     out = a.finalize()
     assert np.array_equal(out, a.finalize())
-    if name == "SHE":
-        assert np.allclose(out, whole, rtol=1e-9, atol=1e-9)
-    else:
-        assert np.array_equal(out, whole)
+    assert np.array_equal(out, whole)
 
     # Wire round-trip: identical estimates and count.
     restored = oracle.accumulator().from_bytes(a.to_bytes())

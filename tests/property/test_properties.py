@@ -244,9 +244,8 @@ def test_sharded_absorb_merge_matches_single_batch(
     """Splitting a batch into k random shards, absorbing each into its own
     accumulator and merging gives bit-identical counts to single-batch
     ``estimate_counts`` — the invariant the sharded collection pipeline
-    rests on.  The single exception is SHE, whose reports are raw Laplace
-    floats: IEEE addition reorders across shards, so equality there holds
-    to the last ulp rather than bitwise.
+    rests on.  SHE included: its accumulator keeps the Laplace float sums
+    exactly, so merge order cannot move even the last ulp.
     """
     oracle = make_oracle(name, 10, 1.1)
     gen = np.random.default_rng(split_seed)
@@ -262,10 +261,47 @@ def test_sharded_absorb_merge_matches_single_batch(
         )
     out = merged.finalize()
     assert merged.n_absorbed == 120
-    if name == "SHE":
-        assert np.allclose(out, whole, rtol=1e-9, atol=1e-9)
-    else:
-        assert np.array_equal(out, whole)
+    assert np.array_equal(out, whole)
+
+
+# -- exact summation (SHE) -------------------------------------------------------
+
+
+@given(
+    splits=st.lists(st.integers(1, 199), min_size=0, max_size=5, unique=True),
+    merge_seed=st.integers(0, 2**16),
+    magnitude=st.sampled_from([1e-6, 1.0, 1e6]),
+)
+@settings(max_examples=25, deadline=None)
+def test_she_summation_is_exact_and_grouping_invariant(
+    splits, merge_seed, magnitude
+):
+    """SHE's accumulator is an exact fixed-point summation: any split of
+    the report stream, absorbed in any chunking and merged in any order,
+    finalizes to the *correctly rounded* float64 column sums — the same
+    bits ``math.fsum`` produces, whatever the summand magnitudes."""
+    oracle = make_oracle("SHE", 5, 1.3)
+    gen = np.random.default_rng(777)
+    reports = oracle.privatize(gen.integers(0, 5, size=200), rng=778)
+    reports = np.asarray(reports) * magnitude
+    reference = np.array(
+        [math.fsum(reports[:, c]) for c in range(reports.shape[1])]
+    )
+
+    whole = oracle.accumulator().absorb(reports).finalize()
+    assert np.array_equal(whole, reference)
+
+    bounds = sorted(set(splits)) + [200]
+    parts, prev = [], 0
+    for b in bounds:
+        parts.append(oracle.accumulator().absorb(reports[prev:b]))
+        prev = b
+    order = np.random.default_rng(merge_seed).permutation(len(parts))
+    merged = oracle.accumulator()
+    for i in order:
+        merged.merge(parts[i])
+    assert merged.n_absorbed == 200
+    assert np.array_equal(merged.finalize(), reference)
 
 
 # -- estimator linearity ---------------------------------------------------------

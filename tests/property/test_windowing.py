@@ -1,15 +1,20 @@
 """Property tests for the windowing engine's correctness invariants.
 
-Two promises the pane-ring design makes, checked for every registered
+Promises the pane-store design makes, checked for every registered
 core oracle *and* every system stack:
 
 * **window = batch**: each tumbling/sliding window's finalized estimate
   is bit-identical to the one-shot batch estimate over exactly that
-  window's reports (SHE to ~1e-9 — float summation order), for any pane
-  geometry.  The reports are privatized once and sliced, so the
-  comparison is over identical randomness.
-* **bounded memory**: the collector never holds more than
-  ``WindowSpec.num_panes`` pane accumulators (ring + open pane), no
+  window's reports, for any pane geometry and either pane store
+  (two-stack or ring).  SHE included — its accumulator sums exactly, so
+  merge grouping cannot move a single bit.  The reports are privatized
+  once and sliced, so the comparison is over identical randomness.
+* **event-time window = batch**: with timestamped reports arriving
+  *shuffled*, every event-time window's estimate is bit-identical to
+  the batch over the reports whose timestamps fall in that window, and
+  every report is accounted (absorbed or late).
+* **bounded memory**: the count-driven collector never holds more than
+  ``WindowSpec.num_panes`` pane accumulators (store + open pane), no
   matter how many windows the stream has rolled through.
 """
 
@@ -18,8 +23,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import TimedReports
 from repro.core.estimation import ORACLE_REGISTRY, make_oracle
-from repro.protocol import StreamingCollector, WindowSpec
+from repro.protocol import EventTimeCollector, StreamingCollector, WindowSpec
 from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
 from repro.systems.apple.cms import CmsReports, HcmsReports
 from repro.systems.microsoft import DBitFlip, OneBitMean
@@ -27,12 +33,14 @@ from repro.systems.microsoft.dbitflip import DBitFlipReports
 from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
 
 
-def _assert_windows_equal_batches(oracle, reports, slicer, n, spec, *, she=False):
+def _assert_windows_equal_batches(
+    oracle, reports, slicer, n, spec, *, aggregation="two_stack"
+):
     """Drive ``reports`` through a collector pane by pane; compare every
     window snapshot against the one-shot batch over that window's users."""
     order = np.arange(n)
     stride = spec.pane_size
-    collector = StreamingCollector(oracle, spec)
+    collector = StreamingCollector(oracle, spec, aggregation=aggregation)
     pane_starts = list(range(0, n, stride))
     for k, start in enumerate(pane_starts):
         end = min(start + stride, n)
@@ -46,12 +54,9 @@ def _assert_windows_equal_batches(oracle, reports, slicer, n, spec, *, she=False
             oracle.accumulator().absorb(slicer(reports, window_mask)).finalize()
         )
         assert snap.window_users == int(window_mask.sum())
-        if she:
-            assert np.allclose(snap.window_estimates, batch, rtol=1e-9, atol=1e-9)
-        else:
-            assert np.array_equal(snap.window_estimates, batch)
+        assert np.array_equal(snap.window_estimates, batch)
 
-        # Pane-ring memory bound: ring + open pane never exceeds num_panes.
+        # Pane-store memory bound: store + open pane never exceeds num_panes.
         assert snap.pane_count <= spec.num_panes
         assert collector.pane_count <= spec.num_panes
 
@@ -59,19 +64,53 @@ def _assert_windows_equal_batches(oracle, reports, slicer, n, spec, *, she=False
     whole = oracle.accumulator().absorb(reports).finalize()
     final = collector.snapshot()
     assert final.total_users == n
-    if she:
-        assert np.allclose(final.cumulative_estimates, whole, rtol=1e-9, atol=1e-9)
-    else:
-        assert np.array_equal(final.cumulative_estimates, whole)
+    assert np.array_equal(final.cumulative_estimates, whole)
+
+
+def _assert_event_windows_equal_batches(
+    oracle, reports, slicer, n, spec, *, seed, chunk=96
+):
+    """Shuffle arrival, stream through the event-time engine, and compare
+    every emitted window against the batch over its event interval."""
+    gen = np.random.default_rng(seed)
+    ts = gen.uniform(0.0, 8.0, n)
+    arrival = gen.permutation(n)
+    collector = EventTimeCollector(oracle, spec)
+    for start in range(0, n, chunk):
+        idx = arrival[start : start + chunk]
+        collector.absorb(TimedReports(ts[idx], slicer(reports, idx)))
+    result = collector.finish()
+    assert result.absorbed_reports + result.late_reports == n
+    assert result.late_reports == 0  # lateness covers the whole shuffle
+    covered = 0
+    for snap in result:
+        mask = (ts >= snap.window_start) & (ts < snap.window_end)
+        batch = oracle.accumulator().absorb(slicer(reports, mask)).finalize()
+        assert snap.window_users == int(mask.sum())
+        if snap.window_users:
+            assert np.array_equal(snap.window_estimates, batch)
+        else:
+            assert snap.window_estimates is None
+        if spec.kind == "event_tumbling":
+            covered += snap.window_users
+    if spec.kind == "event_tumbling":
+        assert covered == n  # tumbling windows partition the event clock
+    final = result[-1]
+    whole = oracle.accumulator().absorb(reports).finalize()
+    assert final.total_users == n
+    assert np.array_equal(final.cumulative_estimates, whole)
 
 
 @pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
 @given(
     panes=st.integers(1, 4),
     stride=st.sampled_from([40, 80, 120]),
+    aggregation=st.sampled_from(["two_stack", "ring"]),
 )
 @settings(max_examples=6, deadline=None)
-def test_core_oracle_windows_equal_batches(name, slice_reports, panes, stride):
+def test_core_oracle_windows_equal_batches(
+    name, slice_reports, panes, stride, aggregation
+):
     oracle = make_oracle(name, 9, 1.4)
     n = 480
     values = np.random.default_rng(31).integers(0, 9, size=n)
@@ -82,7 +121,27 @@ def test_core_oracle_windows_equal_batches(name, slice_reports, panes, stride):
         else WindowSpec.sliding(panes * stride, stride)
     )
     _assert_windows_equal_batches(
-        oracle, reports, slice_reports, n, spec, she=(name == "SHE")
+        oracle, reports, slice_reports, n, spec, aggregation=aggregation
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+@pytest.mark.parametrize(
+    "spec",
+    [
+        WindowSpec.event_tumbling(2.0, allowed_lateness=16.0),
+        WindowSpec.event_sliding(4.0, 2.0, allowed_lateness=16.0),
+        WindowSpec.event_sliding(1.0, 4.0, allowed_lateness=16.0),
+    ],
+    ids=["event-tumbling", "event-sliding", "event-gapped"],
+)
+def test_core_oracle_event_windows_equal_batches(name, slice_reports, spec):
+    oracle = make_oracle(name, 9, 1.4)
+    n = 480
+    values = np.random.default_rng(33).integers(0, 9, size=n)
+    reports = oracle.privatize(values, rng=34)
+    _assert_event_windows_equal_batches(
+        oracle, reports, slice_reports, n, spec, seed=35
     )
 
 
@@ -162,20 +221,47 @@ _SYSTEM_CASES = _system_cases()
     ],
     ids=["tumbling", "sliding-3x100", "sliding-4x50"],
 )
-def test_system_stack_windows_equal_batches(label, mechanism, reports, n, slicer, spec):
-    _assert_windows_equal_batches(mechanism, reports, slicer, n, spec)
+@pytest.mark.parametrize("aggregation", ["two_stack", "ring"])
+def test_system_stack_windows_equal_batches(
+    label, mechanism, reports, n, slicer, spec, aggregation
+):
+    _assert_windows_equal_batches(
+        mechanism, reports, slicer, n, spec, aggregation=aggregation
+    )
+
+
+@pytest.mark.parametrize(
+    "label,mechanism,reports,n,slicer",
+    _SYSTEM_CASES,
+    ids=[c[0] for c in _SYSTEM_CASES],
+)
+@pytest.mark.parametrize(
+    "spec",
+    [
+        WindowSpec.event_tumbling(2.0, allowed_lateness=16.0),
+        WindowSpec.event_sliding(4.0, 2.0, allowed_lateness=16.0),
+    ],
+    ids=["event-tumbling", "event-sliding"],
+)
+def test_system_stack_event_windows_equal_batches(
+    label, mechanism, reports, n, slicer, spec
+):
+    _assert_event_windows_equal_batches(
+        mechanism, reports, slicer, n, spec, seed=sum(map(ord, label))
+    )
 
 
 @given(panes=st.integers(2, 6), rolls=st.integers(8, 24))
 @settings(max_examples=10, deadline=None)
-def test_pane_ring_never_exceeds_capacity(panes, rolls):
+def test_pane_store_never_exceeds_capacity(panes, rolls):
     # Structural bound, independent of workload: after any number of
-    # rolls the ring holds at most num_panes accumulators.
+    # rolls either store holds at most num_panes accumulators.
     oracle = make_oracle("OUE", 8, 1.0)
     spec = WindowSpec.sliding(panes * 10, 10)
-    col = StreamingCollector(oracle, spec)
-    gen = np.random.default_rng(panes * 1000 + rolls)
-    for _ in range(rolls):
-        col.absorb(oracle.privatize(gen.integers(0, 8, 10), rng=gen))
-        col.roll()
-        assert col.pane_count <= spec.num_panes
+    for aggregation in ("two_stack", "ring"):
+        col = StreamingCollector(oracle, spec, aggregation=aggregation)
+        gen = np.random.default_rng(panes * 1000 + rolls)
+        for _ in range(rolls):
+            col.absorb(oracle.privatize(gen.integers(0, 8, 10), rng=gen))
+            col.roll()
+            assert col.pane_count <= spec.num_panes

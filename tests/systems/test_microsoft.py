@@ -175,3 +175,27 @@ class TestRepeatedCollector:
 
         with pytest.raises(ValueError):
             CollectionRun(mode="fresh").mean_abs_error
+
+
+class TestFreshModeChargesBeforePrivatizing:
+    def test_refused_round_never_randomizes_clients(self):
+        # The budget guard fires before the round's clients draw their
+        # randomized responses: round 3 is refused, so privatize runs
+        # exactly three times (rounds 0-2), not four.
+        from repro.core.budget import BudgetExceededError, PrivacyLedger
+
+        collector = RepeatedCollector(100.0, epsilon=1.0, mode="fresh")
+        calls = []
+        inner_privatize = collector.mechanism.privatize
+
+        def counting_privatize(values, rng=None):
+            calls.append(len(values))
+            return inner_privatize(values, rng=rng)
+
+        collector.mechanism.privatize = counting_privatize
+        traj = np.random.default_rng(60).uniform(0, 100, size=(40, 6))
+        ledger = PrivacyLedger(epsilon_cap=3.0)
+        with pytest.raises(BudgetExceededError):
+            collector.run(traj, rng=61, ledger=ledger)
+        assert len(calls) == 3
+        assert len(ledger) == 3

@@ -40,6 +40,10 @@ TINY = {
         domain_size=16, n=4_000, num_shards=2, chunk_size=512, workers=2,
         backends=("serial",), drift_steps=4, seed=16,
     ),
+    "E17": dict(
+        domain_size=16, n=4_000, chunk_size=512, pane_counts=(2, 4),
+        lateness_sweep=(0.0, 0.5), drift_steps=4, seed=17,
+    ),
     "A1": dict(domain_size=16, n=1_000, epsilons=(1.0,)),
     "A2": dict(domain_size=32, n=2_000, epsilons=(1.0,), gs=(2, 4), seed=31),
     "A3": dict(num_buckets=16, n=4_000, ds=(1, 4, 16), seed=32),

@@ -172,17 +172,9 @@ class TestExecutorBackends:
         )
         assert serial.backend == "serial"
         assert process.backend == "process"
-        if name == "SHE":
-            # Raw Laplace float sums: wire round-trip preserves the bits,
-            # but shard-order addition already fixes the ~1e-9 band.
-            assert np.allclose(
-                process.estimated_counts, serial.estimated_counts,
-                rtol=1e-9, atol=1e-9,
-            )
-        else:
-            assert np.array_equal(
-                process.estimated_counts, serial.estimated_counts
-            )
+        # Bitwise for every oracle — SHE's exact summation closed the
+        # old ~1e-9 shard-order caveat.
+        assert np.array_equal(process.estimated_counts, serial.estimated_counts)
 
     def test_thread_backend_matches_serial(self):
         oracle = OptimalLocalHashing(16, 1.2)

@@ -98,12 +98,8 @@ class TestStreamingCollector:
             col.roll()
         final = col.snapshot()
         assert final.total_users == 900
-        if name == "SHE":
-            assert np.allclose(
-                final.cumulative_estimates, whole, rtol=1e-9, atol=1e-9
-            )
-        else:
-            assert np.array_equal(final.cumulative_estimates, whole)
+        # Bitwise for every oracle — SHE's accumulator sums exactly.
+        assert np.array_equal(final.cumulative_estimates, whole)
 
     def test_works_with_non_frequency_mechanisms(self):
         # Anything with an accumulator() streams — Microsoft's 1BitMean
@@ -179,9 +175,13 @@ class TestWindowSpec:
         with pytest.raises(ValueError):
             WindowSpec("sliding", 10)
         with pytest.raises(ValueError):
-            WindowSpec.sliding(10, 20)  # gapped windows unsupported
-        with pytest.raises(ValueError):
             WindowSpec.sliding(10, 3)  # stride must tile the window
+
+    def test_gapped_sliding_is_supported(self):
+        spec = WindowSpec.sliding(10, 40)  # sampling/decimated windows
+        assert spec.is_gapped
+        assert spec.num_panes == 1
+        assert spec.pane_size == 40
 
     def test_stride_rejected_off_sliding(self):
         with pytest.raises(ValueError):
@@ -392,3 +392,254 @@ class TestPrivacyAccounting:
             client.report(3)  # same value, same device: memoized, free
         assert len(shared) == 2
         assert math.isclose(shared.total_epsilon, 2 * params.epsilon_permanent)
+
+
+class TestGappedWindows:
+    def test_driver_samples_each_period(self):
+        oracle = make_oracle("OLH", 16, 1.5)
+        values = np.random.default_rng(60).integers(0, 16, size=1000)
+        result = stream_collection(
+            oracle,
+            values,
+            window=WindowSpec.sliding(50, 200),  # sample 50 of every 200
+            chunk_size=64,
+            rng=61,
+        )
+        assert [s.window_users for s in result] == [50] * 5
+        # The gap users still reach the cumulative view.
+        assert result[-1].total_users == 1000
+        assert result.absorbed_reports == 1000
+
+    def test_gapped_cumulative_equals_batch(self):
+        # Window/gap splitting must not change what was collected: the
+        # final cumulative estimate equals the one-shot batch over the
+        # same reports (same rng stream; chunk boundaries differ, which
+        # the exact accumulator algebra makes invisible).
+        oracle = make_oracle("DE", 8, 1.2)
+        values = np.random.default_rng(62).integers(0, 8, size=600)
+        result = stream_collection(
+            oracle,
+            values,
+            window=WindowSpec.sliding(30, 120),
+            chunk_size=45,  # straddles the window/gap boundary
+            rng=63,
+        )
+        assert result[-1].total_users == 600
+        assert [s.window_users for s in result] == [30] * 5
+
+    def test_collector_enforces_gap_boundary(self):
+        # A raw collector with a gapped spec refuses over-size windows
+        # loudly — the window/gap split is part of the spec's contract,
+        # not a driver nicety.
+        oracle = make_oracle("DE", 8, 1.0)
+        col = StreamingCollector(oracle, WindowSpec.sliding(4, 10))
+        reports = oracle.privatize(np.arange(8).repeat(2), rng=90)
+        with pytest.raises(ValueError, match="absorb_outside"):
+            col.absorb(reports)  # 16 reports into a 4-report window
+        col.absorb(reports[:4])
+        col.absorb_outside(reports[4:])
+        snap = col.roll()
+        assert snap.window_users == 4
+        assert snap.total_users == 16
+
+    def test_gapped_window_charges_once_per_period(self):
+        oracle = make_oracle("OLH", 8, 1.0)
+        result = stream_collection(
+            oracle,
+            np.random.default_rng(64).integers(0, 8, 600),
+            window=WindowSpec.sliding(100, 300),
+            rng=65,
+        )
+        # Two periods: the gap reports ride on their period's charge.
+        assert len(result.ledger) == 2
+        assert math.isclose(result.ledger.total_epsilon, 2.0)
+
+
+class TestPaneStores:
+    def test_two_stack_and_ring_agree_bitwise(self, slice_reports):
+        oracle = make_oracle("OLH", 16, 1.5)
+        n = 1200
+        reports = oracle.privatize(
+            np.random.default_rng(70).integers(0, 16, n), rng=71
+        )
+        order = np.arange(n)
+        spec = WindowSpec.sliding(400, 100)
+        snaps = {}
+        for aggregation in ("two_stack", "ring"):
+            col = StreamingCollector(oracle, spec, aggregation=aggregation)
+            out = []
+            for start in range(0, n, 100):
+                col.absorb(
+                    slice_reports(reports, (order >= start) & (order < start + 100))
+                )
+                out.append(col.roll())
+            snaps[aggregation] = out
+        for a, b in zip(snaps["two_stack"], snaps["ring"]):
+            assert np.array_equal(a.window_estimates, b.window_estimates)
+            assert np.array_equal(a.cumulative_estimates, b.cumulative_estimates)
+            assert a.window_users == b.window_users
+            assert a.pane_count == b.pane_count
+
+    def test_two_stack_snapshot_merges_constant_components(self):
+        # Whatever the pane count, a two-stack window view is built from
+        # at most two closed-pane components (+ the open pane); the ring
+        # pays one component per pane — that's the whole point.
+        from repro.protocol.streaming import _RingPanes, _TwoStackPanes
+
+        oracle = make_oracle("OUE", 8, 1.0)
+        two_stack = _TwoStackPanes(oracle.accumulator)
+        ring = _RingPanes(oracle.accumulator)
+        for seed in range(17):
+            reports = oracle.privatize(np.arange(8).repeat(3), rng=seed)
+            two_stack.push(oracle.accumulator().absorb(reports))
+            ring.push(oracle.accumulator().absorb(reports))
+        assert len(two_stack.window_components()) <= 2
+        assert len(ring.window_components()) == 17
+
+    def test_aggregation_validation(self):
+        with pytest.raises(ValueError):
+            StreamingCollector(make_oracle("DE", 4, 1.0), aggregation="btree")
+
+
+class TestAdvancedComposition:
+    def test_trajectories_basic_vs_advanced(self):
+        # Many small-ε windows: the advanced bound's √k growth beats the
+        # linear basic sum (that's what it is for); with only a few
+        # windows the slack term makes it worse — both directions pinned.
+        oracle = make_oracle("OLH", 8, 0.05)
+        values = np.random.default_rng(80).integers(0, 8, 2000)
+        basic = stream_collection(
+            oracle, values, window_size=20, rng=81, composition="basic"
+        )
+        advanced = stream_collection(
+            oracle, values, window_size=20, rng=81, composition="advanced"
+        )
+        assert advanced.composition == "advanced"
+        # Identical spends recorded either way — composition is the lens.
+        assert len(basic.ledger) == len(advanced.ledger) == 100
+        k = np.arange(1, 101)
+        basic_traj = np.array([s.total_epsilon for s in basic])
+        adv_traj = np.array([s.total_epsilon for s in advanced])
+        assert np.allclose(basic_traj, 0.05 * k)
+        # Advanced loses while k is small, wins once k is large.
+        assert adv_traj[0] > basic_traj[0]
+        assert adv_traj[-1] < basic_traj[-1]
+        # And matches the ledger's own advanced total at stream end.
+        eps_adv, _ = advanced.ledger.total_advanced(1e-9)
+        assert math.isclose(adv_traj[-1], eps_adv)
+
+    def test_advanced_cap_refuses_before_absorbing(self):
+        # 10 windows at ε=0.5 cost 5.0 under basic composition but more
+        # under the advanced bound at this slack — the advanced stream
+        # must die earlier than the basic one against the same cap.
+        oracle = make_oracle("OLH", 8, 0.5)
+        values = np.random.default_rng(82).integers(0, 8, 1000)
+        cap = 4.0
+        basic_ledger = PrivacyLedger(epsilon_cap=cap)
+        with pytest.raises(BudgetExceededError):
+            stream_collection(
+                oracle, values, window_size=100, rng=83, ledger=basic_ledger
+            )
+        advanced_ledger = PrivacyLedger(epsilon_cap=cap)
+        with pytest.raises(BudgetExceededError):
+            stream_collection(
+                oracle,
+                values,
+                window_size=100,
+                rng=83,
+                ledger=advanced_ledger,
+                composition="advanced",
+            )
+        assert len(advanced_ledger) < len(basic_ledger)
+        # Nothing was recorded for the refused advanced window.
+        eps_adv, _ = advanced_ledger.total_advanced(1e-9)
+        assert eps_adv <= cap + 1e-9
+
+    def test_advanced_cap_admits_streams_basic_would_refuse(self):
+        # The whole point of the advanced option: many small-eps windows
+        # whose basic sum breaks the cap but whose DRV bound fits run to
+        # completion under composition="advanced".
+        oracle = make_oracle("OLH", 8, 0.05)
+        values = np.random.default_rng(88).integers(0, 8, 2000)
+        cap = 4.0
+        with pytest.raises(BudgetExceededError):
+            stream_collection(
+                oracle, values, window_size=20, rng=89,
+                ledger=PrivacyLedger(epsilon_cap=cap),
+            )
+        ledger = PrivacyLedger(epsilon_cap=cap)
+        result = stream_collection(
+            oracle, values, window_size=20, rng=89,
+            ledger=ledger, composition="advanced",
+        )
+        assert len(result) == 100  # all windows collected
+        eps_adv, _ = ledger.total_advanced(1e-9)
+        assert eps_adv <= cap
+        # The basic total exceeds the cap — only the advanced lens fits.
+        assert ledger.total_epsilon > cap
+
+    def test_composition_validation(self):
+        with pytest.raises(ValueError):
+            StreamingCollector(make_oracle("DE", 4, 1.0), composition="rdp")
+        with pytest.raises(ValueError):
+            StreamingCollector(make_oracle("DE", 4, 1.0), delta_slack=0.0)
+
+    def test_advanced_cap_applies_to_one_time_declarations(self):
+        # A one-time release whose *advanced* total exceeds the cap must
+        # be refused before charging — the first charge records a spend
+        # like any other, and only free replays bypass the check.
+        from repro.core.budget import SpendDeclaration
+
+        class _MemoOracle:
+            def __init__(self):
+                self._inner = make_oracle("DE", 8, 1.0)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def privacy_spend(self):
+                return SpendDeclaration(
+                    epsilon=1.0, scope="one_time", mechanism="MemoDE"
+                )
+
+        from repro.core.budget import PrivacySpend
+
+        oracle = _MemoOracle()
+        eps_adv, _ = PrivacyLedger(
+            spends=[PrivacySpend(epsilon=1.0)]
+        ).total_advanced(1e-9)
+        assert eps_adv > 2.0  # the slack term dominates at k=1
+        ledger = PrivacyLedger(epsilon_cap=2.0)
+        with pytest.raises(BudgetExceededError):
+            stream_collection(
+                oracle,
+                np.random.default_rng(84).integers(0, 8, 100),
+                window_size=50,
+                rng=85,
+                ledger=ledger,
+                composition="advanced",
+            )
+        assert len(ledger) == 0  # refused before anything was recorded
+
+    def test_advanced_one_time_replays_stay_free(self):
+        # Once charged, replays of the memoized release record nothing
+        # and must not re-trip the advanced cap.
+        params = RapporParams(num_bits=16, num_hashes=2, num_cohorts=2)
+        aggregator = RapporAggregator(params, 5)
+        cohorts, bits = privatize_population(
+            params, np.random.default_rng(86).integers(0, 10, 300), 5, rng=87
+        )
+        from repro.core.budget import PrivacySpend
+
+        eps_adv, _ = PrivacyLedger(
+            spends=[PrivacySpend(epsilon=params.epsilon_permanent)]
+        ).total_advanced(1e-9)
+        ledger = PrivacyLedger(epsilon_cap=eps_adv + 0.1)
+        col = StreamingCollector(
+            aggregator, ledger=ledger, composition="advanced"
+        )
+        for w in range(3):
+            sel = slice(w * 100, (w + 1) * 100)
+            col.absorb((cohorts[sel], bits[sel]))
+            col.roll()
+        assert len(ledger) == 1  # charged once; replays free
