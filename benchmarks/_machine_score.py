@@ -1,0 +1,68 @@
+"""Runner calibration micro-kernel for the benchmark-regression guard.
+
+The guard compares fresh benchmark JSON against committed baselines, but
+CI runners and dev laptops differ by small integer factors — which is
+why the historical tolerance was a blanket 8x.  This module scores the
+machine that produced a payload with a *fixed* NumPy workload whose cost
+tracks the benchmarks' own mix (uint64 hash arithmetic + comparisons +
+float reductions).  Every ``BENCH_E*.json`` records the score of the
+machine that produced it; the guard then scales its tolerance by the
+score ratio between the fresh and baseline machines, letting the band
+tighten well below 8x without flaking across hardware.
+
+The workload is deliberately frozen and independent of the library code
+under test: calibration must not drift when the kernels it calibrates
+for get faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: Elements per repetition; sized so one repetition costs ~100 ms on a
+#: mid-2020s laptop core — long enough to swamp timer noise, short
+#: enough that three repetitions don't slow the suite down.
+_SCORE_N = 1_500_000
+
+_cached_score: float | None = None
+
+
+def _one_pass(a: np.ndarray, b: np.ndarray, x: np.ndarray) -> float:
+    """One deterministic pass of hash-like integer + float work."""
+    p = np.uint64(2**31 - 1)
+    h = a * x + b
+    h = (h & p) + (h >> np.uint64(31))
+    h = (h & p) + (h >> np.uint64(31))
+    h = h % np.uint64(17)
+    matches = (h == np.uint64(3)).sum()
+    f = np.sqrt(x.astype(np.float64) + 1.0)
+    return float(matches) + float(f.sum())
+
+
+def machine_score(repeats: int = 3) -> float:
+    """Median seconds for the fixed workload on this machine (cached).
+
+    Smaller is faster.  The value is memoized for the process lifetime:
+    one calibration per benchmark session, stamped into every payload.
+    """
+    global _cached_score
+    if _cached_score is not None:
+        return _cached_score
+    rng = np.random.default_rng(0xC0FFEE)
+    a = rng.integers(1, 2**31 - 1, size=_SCORE_N, dtype=np.int64).astype(np.uint64)
+    b = rng.integers(0, 2**31 - 1, size=_SCORE_N, dtype=np.int64).astype(np.uint64)
+    x = rng.integers(0, 2**31 - 1, size=_SCORE_N, dtype=np.int64).astype(np.uint64)
+    _one_pass(a, b, x)  # warm-up: page-in + ufunc dispatch caches
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _one_pass(a, b, x)
+        times.append(time.perf_counter() - t0)
+    _cached_score = float(np.median(times))
+    return _cached_score
+
+
+if __name__ == "__main__":
+    print(f"machine_score: {machine_score():.4f}s")

@@ -41,8 +41,10 @@ def bench_e14_sharded_pipeline(benchmark, save_table, save_bench_json):
                     "chunk_size": row[2],
                     "wall_seconds": row[4],
                     "users_per_sec": row[5],
-                    "merge_ms": row[8],
-                    "finalize_ms": row[9],
+                    "decode_hash_seconds": row[8],
+                    "decode_accumulate_seconds": row[9],
+                    "merge_ms": row[10],
+                    "finalize_ms": row[11],
                 }
                 for row in table.rows
             ],
@@ -58,5 +60,5 @@ def bench_e14_sharded_pipeline(benchmark, save_table, save_bench_json):
     # Every configuration decodes equally well up to sampling noise
     # (different shardings consume different, equally distributed
     # randomness): errors sit in one statistical band.
-    errs = [row[10] for row in table.rows]
+    errs = [row[12] for row in table.rows]
     assert max(errs) < 2.0 * min(errs)

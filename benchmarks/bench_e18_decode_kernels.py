@@ -1,0 +1,92 @@
+"""E18 benchmark: fused decode-kernel throughput vs the reference paths.
+
+The kernel sweep times each fused aggregator path (OLH/BLH support
+counting, CMS candidate decode, RAPPOR Bloom design matrix) against the
+pre-kernel ``_reference_*`` implementation on the *same* report batch —
+so ``speedup`` is a same-machine, same-data ratio and ``bit_identical``
+certifies the fused path reproduces the reference outputs exactly.  The
+shard sweep reruns the E14 thread-backend scaling and checks the summed
+decode-kernel CPU time stays flat as shards are added (the contention
+E14 kept measuring is gone).
+
+``REPRO_BENCH_USERS`` scales the population down for CI smoke runs; the
+committed results use the default 1M.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+
+
+def bench_e18_decode_kernels(benchmark, save_table, save_bench_json):
+    shard_counts = (1, 2, 4)
+    table = run_once(
+        benchmark,
+        get_experiment("E18").run,
+        n=BENCH_USERS,
+        shard_counts=shard_counts,
+        workers=4,
+        seed=18,
+    )
+    save_table("E18", table)
+
+    kernel_rows = [row for row in table.rows if row[0] == "kernel"]
+    shard_rows = [row for row in table.rows if row[0] == "shards"]
+    save_bench_json(
+        "E18",
+        {
+            "experiment": "E18",
+            "users": BENCH_USERS,
+            "kernels": [
+                {
+                    "protocol": row[1],
+                    "n_items": row[2],
+                    "d": row[3],
+                    "g": row[4],
+                    "reference_seconds": row[6],
+                    "fused_seconds": row[7],
+                    "speedup_vs_reference": row[8],
+                    "users_per_sec": row[9],
+                    "bit_identical": row[10],
+                }
+                for row in kernel_rows
+            ],
+            "shard_sweep": [
+                {
+                    "num_shards": row[5],
+                    "decode_wall_seconds_sum": row[6],
+                    "decode_kernel_cpu_seconds": row[7],
+                    "kernel_cpu_growth_vs_one_shard": row[8],
+                    "users_per_sec": row[9],
+                }
+                for row in shard_rows
+            ],
+        },
+    )
+
+    assert len(kernel_rows) == 5  # olh d=64, olh d=256, blh, cms, bloom
+    assert len(shard_rows) == len(shard_counts)
+    # The load-bearing guarantee: every fused path reproduces its
+    # reference bit for bit.
+    for row in kernel_rows:
+        assert row[10] == 1, f"{row[1]}: fused decode diverged from reference"
+    # The E14-equivalent OLH config (first row: d=64, g=8) must decode
+    # substantially faster than the reference path.  Full-scale runs
+    # show ~4x; assert a conservative floor so smoke-scale timer noise
+    # cannot flake CI while a real regression still fails loudly.
+    olh_row = kernel_rows[0]
+    assert olh_row[1] == "olh" and olh_row[3] == 64
+    assert olh_row[8] >= 1.5, (
+        f"OLH fused decode speedup collapsed: {olh_row[8]:.2f}x vs reference"
+    )
+    # Decode-kernel CPU must not scale with the shard count (the E14
+    # thread-backend contention): allow generous headroom for smoke
+    # noise, but 4 shards re-doing 4x the work would fail.
+    for row in shard_rows:
+        assert row[8] < 2.0, (
+            f"decode-kernel CPU grew {row[8]:.2f}x at {row[5]} shards"
+        )

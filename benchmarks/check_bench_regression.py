@@ -14,10 +14,19 @@ Two deliberate design points:
   comparable); CI therefore keeps small-scale baselines under
   ``benchmarks/results/smoke/`` generated at the same
   ``REPRO_BENCH_USERS`` the workflow smoke runs use.
-* **Loose tolerance.**  CI runners and dev laptops differ by small
-  integer factors; the default tolerance (8×) is deliberately wide so
-  the guard catches *complexity* regressions (an accidental
-  O(panes·state) snapshot, a quadratic merge) rather than machine noise.
+* **Calibrated tolerance.**  CI runners and dev laptops differ by
+  small integer factors.  Payloads produced by ``benchmarks/conftest.py``
+  carry a ``machine_score`` — seconds for the fixed micro-kernel in
+  ``_machine_score.py`` on the producing runner.  When both fresh and
+  baseline payloads carry one, the guard scales its band by the
+  fresh/baseline score ratio and tightens the base tolerance to 4× —
+  enough slack for run-to-run noise *and* for core-count differences
+  (the score is single-threaded, but the E14/E15 thread-backend wall
+  metrics scale with cores), tight enough to catch a real
+  constant-factor regression.  Without calibration data it falls back
+  to the historical blanket 8× (which only catches *complexity*
+  regressions: an accidental O(panes·state) snapshot, a quadratic
+  merge).  An explicit ``--tolerance`` disables auto-selection.
 
 Exit status 0 when every tracked metric is within tolerance, 1
 otherwise; ``--update-baselines`` instead copies the fresh JSONs over
@@ -26,8 +35,7 @@ the baselines (run it after an intentional perf-affecting change).
 Usage::
 
     python benchmarks/check_bench_regression.py \
-        --fresh benchmarks/results --baseline benchmarks/results/smoke \
-        --tolerance 8.0
+        --fresh benchmarks/results --baseline benchmarks/results/smoke
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ import pathlib
 import shutil
 import sys
 
-BENCH_IDS = ("E14", "E15", "E16", "E17")
+BENCH_IDS = ("E14", "E15", "E16", "E17", "E18")
 
 #: Metric keys where larger is better (fail when fresh < baseline / tol).
 THROUGHPUT_KEYS = {"users_per_sec", "users_per_second"}
@@ -85,17 +93,72 @@ def _walk(fresh, baseline, path, findings):
             findings.append((path, "shape", None, None, False))
 
 
-def compare_payloads(fresh: dict, baseline: dict, tolerance: float):
+#: Base tolerance when both payloads carry a calibration score.  The
+#: score is a *single-threaded* micro-kernel, so it normalizes per-core
+#: speed but not core count; the calibrated base stays at 4x (not lower)
+#: because the thread-backend wall metrics can legitimately differ by a
+#: small core-count factor between runners the score rates as equal.
+CALIBRATED_TOLERANCE = 4.0
+UNCALIBRATED_TOLERANCE = 8.0
+
+#: Floor on the scaled band: a fresh runner whose score comes back much
+#: *faster* than the baseline's (score noise, a baseline taken under
+#: load) would otherwise shrink the band toward 1x and fail on ordinary
+#: run-to-run jitter.  Tightening stops here.
+MIN_EFFECTIVE_TOLERANCE = 2.0
+
+#: Calibration ratios outside this band are treated as a broken score
+#: (a stalled runner, a unit change) and clamped so the guard still
+#: guards.
+_RATIO_CLAMP = 8.0
+
+
+def effective_tolerance(
+    fresh: dict, baseline: dict, tolerance: float | None
+) -> tuple[float, str]:
+    """The tolerance factor for one payload pair, plus a description.
+
+    With an explicit ``tolerance`` it is used as-is.  Otherwise, when
+    both payloads carry a ``machine_score``, the calibrated base (4×)
+    is scaled by the fresh/baseline machine-speed ratio — a fresh
+    runner that is 2× slower on the fixed micro-kernel is allowed 2×
+    slower benchmarks before the same band applies; a faster runner
+    gets a proportionally *tighter* band.  Without scores the blanket
+    8× applies.
+    """
+    if tolerance is not None:
+        return tolerance, f"{tolerance:g}x (explicit)"
+    f_score = fresh.get("machine_score")
+    b_score = baseline.get("machine_score")
+    if (
+        isinstance(f_score, (int, float))
+        and isinstance(b_score, (int, float))
+        and f_score > 0
+        and b_score > 0
+    ):
+        ratio = min(max(f_score / b_score, 1.0 / _RATIO_CLAMP), _RATIO_CLAMP)
+        eff = max(CALIBRATED_TOLERANCE * ratio, MIN_EFFECTIVE_TOLERANCE)
+        return eff, (
+            f"{eff:.2f}x (calibrated: base {CALIBRATED_TOLERANCE:g}x · "
+            f"machine ratio {ratio:.2f})"
+        )
+    return UNCALIBRATED_TOLERANCE, (
+        f"{UNCALIBRATED_TOLERANCE:g}x (uncalibrated: no machine_score)"
+    )
+
+
+def compare_payloads(fresh: dict, baseline: dict, tolerance: float | None):
     """Compare one benchmark's fresh/baseline JSON.
 
-    Returns ``(rows, violations, skipped_reason)`` where each row is
-    ``(path, metric, fresh, baseline, ok)``.
+    Returns ``(rows, violations, skipped_reason, tolerance_note)`` where
+    each row is ``(path, metric, fresh, baseline, ok)``.
     """
     if fresh.get("users") != baseline.get("users"):
         return [], [], (
             f"population mismatch (fresh {fresh.get('users')} vs baseline "
             f"{baseline.get('users')}) — not comparable"
-        )
+        ), ""
+    eff_tolerance, note = effective_tolerance(fresh, baseline, tolerance)
     findings: list = []
     _walk(fresh, baseline, "$", findings)
     rows, violations = [], []
@@ -105,13 +168,13 @@ def compare_payloads(fresh: dict, baseline: dict, tolerance: float):
             rows.append((path, key, f, b, False))
             continue
         if key in THROUGHPUT_KEYS:
-            ok = b <= 0.0 or f >= b / tolerance
+            ok = b <= 0.0 or f >= b / eff_tolerance
         else:
-            ok = f <= b * tolerance or f <= LATENCY_KEYS[key]
+            ok = f <= b * eff_tolerance or f <= LATENCY_KEYS[key]
         rows.append((path, key, f, b, ok))
         if not ok:
             violations.append((path, key, f, b))
-    return rows, violations, None
+    return rows, violations, None, note
 
 
 def main(argv=None) -> int:
@@ -131,8 +194,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=8.0,
-        help="allowed slowdown factor before a metric counts as regressed",
+        default=None,
+        help="explicit slowdown factor before a metric counts as "
+        "regressed; omit to auto-select (4x scaled by the machine_score "
+        "calibration ratio when both payloads carry one, 8x otherwise)",
     )
     parser.add_argument(
         "--update-baselines",
@@ -147,7 +212,7 @@ def main(argv=None) -> int:
         "fails loudly instead of silently disabling the gate",
     )
     args = parser.parse_args(argv)
-    if args.tolerance <= 1.0:
+    if args.tolerance is not None and args.tolerance <= 1.0:
         parser.error("--tolerance must be > 1")
 
     exit_code = 0
@@ -174,7 +239,7 @@ def main(argv=None) -> int:
             continue
         fresh = json.loads(fresh_path.read_text())
         baseline = json.loads(base_path.read_text())
-        rows, violations, skipped = compare_payloads(
+        rows, violations, skipped, tol_note = compare_payloads(
             fresh, baseline, args.tolerance
         )
         if skipped:
@@ -195,14 +260,14 @@ def main(argv=None) -> int:
                     print(
                         f"{bench_id}: REGRESSION {path} ({key}): "
                         f"fresh {f:.4g} vs baseline {b:.4g} "
-                        f"(tolerance {args.tolerance:g}x)"
+                        f"(tolerance {tol_note})"
                     )
         else:
             checked = sum(1 for r in rows if r[2] is not None)
             worst = _worst_ratio(rows)
             print(
                 f"{bench_id}: ok — {checked} metrics within "
-                f"{args.tolerance:g}x{worst}"
+                f"{tol_note}{worst}"
             )
     if not args.update_baselines and compared == 0:
         if args.allow_scale_mismatch and mismatched > 0:

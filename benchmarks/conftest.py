@@ -36,11 +36,20 @@ def save_table():
 
 @pytest.fixture(scope="session")
 def save_bench_json():
-    """Write a machine-readable payload to benchmarks/results/BENCH_<id>.json."""
+    """Write a machine-readable payload to benchmarks/results/BENCH_<id>.json.
+
+    Every payload is stamped with the producing runner's calibration
+    score (``machine_score``, seconds for a fixed micro-kernel — see
+    ``_machine_score.py``) so the regression guard can scale its
+    tolerance by the fresh/baseline machine-speed ratio instead of
+    absorbing hardware differences into one blanket factor.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    from _machine_score import machine_score
 
     def _save(experiment_id: str, payload: dict) -> None:
         path = RESULTS_DIR / f"BENCH_{experiment_id}.json"
+        payload = dict(payload, machine_score=machine_score())
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",

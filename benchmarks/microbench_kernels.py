@@ -1,0 +1,76 @@
+"""Decode-kernel micro-benchmark: fused vs reference on one report batch.
+
+A fast (seconds, not minutes) visibility check for CI and local tuning:
+times the fused OLH support-count kernel and the Hadamard candidate
+kernel against their ``_reference_*`` twins on a fixed-seed batch,
+prints the speedups, and **fails** (exit 1) if any fused output is not
+bit-identical to its reference — the invariant that lets the kernels
+replace the references everywhere.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench_kernels.py [--users N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import OptimalLocalHashing
+from repro.core.hadamard import HadamardResponse
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=200_000)
+    parser.add_argument("--domain", type=int, default=64)
+    parser.add_argument("--epsilon", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(1888)
+    cands = np.arange(args.domain, dtype=np.int64)
+    ok = True
+
+    olh = OptimalLocalHashing(args.domain, args.epsilon)
+    values = rng.integers(0, args.domain, size=args.users)
+    reports = olh.privatize(values, rng=rng)
+    ref, ref_s = _time(lambda: olh._reference_support_counts_for(reports, cands))
+    fused, fused_s = _time(lambda: olh.support_counts_for(reports, cands))
+    identical = np.array_equal(ref, fused)
+    ok &= identical
+    print(
+        f"olh   n={args.users} d={args.domain} g={olh.g}: "
+        f"ref {ref_s:.3f}s fused {fused_s:.3f}s "
+        f"speedup {ref_s / fused_s:.2f}x bit_identical={identical}"
+    )
+
+    hr = HadamardResponse(args.domain, args.epsilon)
+    hr_reports = hr.privatize(values, rng=rng)
+    ref, ref_s = _time(lambda: hr._reference_support_counts_for(hr_reports, cands))
+    fused, fused_s = _time(lambda: hr.support_counts_for(hr_reports, cands))
+    identical = np.array_equal(ref, fused)
+    ok &= identical
+    print(
+        f"hr    n={args.users} d={args.domain}: "
+        f"ref {ref_s:.3f}s fused {fused_s:.3f}s "
+        f"speedup {ref_s / fused_s:.2f}x bit_identical={identical}"
+    )
+
+    if not ok:
+        print("FAIL: fused kernel diverged from reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,8 +115,31 @@ class HadamardResponse(PureFrequencyOracle):
 
         ``C_v = n/2 + ½ Σ_i b_i H[j_i, v]`` needs only the sampled
         coefficient indices, so a handful of candidates cost O(n) each —
-        no transform, no full-domain vector.
+        no transform, no full-domain vector.  Runs the tiled popcount
+        kernel (:func:`repro.util.kernels.hadamard_support_counts`):
+        one vectorized parity evaluation per report tile instead of a
+        Python loop over candidates.  Bit-identical to
+        :meth:`_reference_support_counts_for` (the ±1 sums are integers
+        below 2⁵³; property-tested).
         """
+        if not isinstance(reports, IndexedBitReports):
+            raise TypeError(
+                f"expected IndexedBitReports, got {type(reports).__name__}"
+            )
+        from repro.util.kernels import hadamard_support_counts
+        from repro.util.validation import check_domain_values
+
+        cands = check_domain_values(candidates, self._domain_size, name="candidates")
+        return hadamard_support_counts(
+            np.asarray(reports.indices, dtype=np.uint64),
+            np.asarray(reports.bits),
+            cands.astype(np.uint64),
+        )
+
+    def _reference_support_counts_for(
+        self, reports: IndexedBitReports, candidates: np.ndarray
+    ) -> np.ndarray:
+        """The pre-kernel per-candidate loop (bit-identity oracle)."""
         if not isinstance(reports, IndexedBitReports):
             raise TypeError(
                 f"expected IndexedBitReports, got {type(reports).__name__}"

@@ -25,7 +25,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.mechanism import HashedReports, PureFrequencyOracle
-from repro.util.hashing import hash_cross, hash_elementwise
+from repro.util.hashing import (
+    _premix,
+    _reference_hash_cross,
+    hash_elementwise,
+    params_from_seeds,
+)
+from repro.util.kernels import FusedSupportKernel
 from repro.util.validation import check_domain_values, check_positive_int
 
 __all__ = ["OptimalLocalHashing", "BinaryLocalHashing"]
@@ -83,9 +89,33 @@ class _LocalHashing(PureFrequencyOracle):
     ) -> np.ndarray:
         """Per-candidate support counts without touching the full domain.
 
+        Runs the fused hash→compare→accumulate kernel
+        (:class:`repro.util.kernels.FusedSupportKernel`): candidates are
+        premixed once, report tiles stream through cache-sized scratch,
+        and matches accumulate straight into the counts vector — the
+        ``(n, d)`` hash matrix of the reference path is never
+        materialized.  Bit-identical to
+        :meth:`_reference_support_counts_for` (integer arithmetic end to
+        end; property-tested).
+        """
+        self._check_reports(reports)
+        if self.g >= (1 << 31):  # outside the mod-magic proof; rare
+            return self._reference_support_counts_for(reports, candidates)
+        cands = check_domain_values(candidates, self._domain_size, name="candidates")
+        kernel = FusedSupportKernel(_premix(cands), self.g)
+        a, b = params_from_seeds(reports.seeds)
+        return kernel.support_counts(a, b, reports.values)
+
+    def _reference_support_counts_for(
+        self, reports: HashedReports, candidates: np.ndarray
+    ) -> np.ndarray:
+        """The pre-kernel decode path (bit-identity oracle for tests/benches).
+
         Hashes each candidate under every user's function in
-        bounded-memory chunks — the primitive that lets OLH decode massive
-        (e.g. string) domains one candidate list at a time.
+        bounded-memory chunks via the materializing ``hash_cross`` and
+        extracts matches with a full comparison matrix — the two-``%``,
+        three-temporaries-per-chunk implementation the fused kernel
+        replaced.
         """
         self._check_reports(reports)
         cands = check_domain_values(candidates, self._domain_size, name="candidates")
@@ -94,7 +124,7 @@ class _LocalHashing(PureFrequencyOracle):
         rows = max(1, (1 << 22) // max(cands.shape[0], 1))
         for start in range(0, n, rows):
             stop = min(start + rows, n)
-            block = hash_cross(reports.seeds[start:stop], cands, self.g)
+            block = _reference_hash_cross(reports.seeds[start:stop], cands, self.g)
             counts += (block == reports.values[start:stop, None]).sum(
                 axis=0, dtype=np.float64
             )

@@ -68,6 +68,17 @@ class _UnaryEncoding(PureFrequencyOracle):
             raise ValueError(
                 f"reports must have shape (n, {self._domain_size}), got {arr.shape}"
             )
+        from repro.util.kernels import column_support_counts
+
+        return column_support_counts(arr)
+
+    def _reference_support_counts(self, reports: np.ndarray) -> np.ndarray:
+        """The pre-kernel float64-accumulating column sum (identity oracle)."""
+        arr = np.asarray(reports)
+        if arr.ndim != 2 or arr.shape[1] != self._domain_size:
+            raise ValueError(
+                f"reports must have shape (n, {self._domain_size}), got {arr.shape}"
+            )
         return arr.sum(axis=0, dtype=np.float64)
 
     def num_reports(self, reports: np.ndarray) -> int:

@@ -60,6 +60,8 @@ def run(
             "users_per_s",
             "encode_s",
             "decode_s",
+            "decode_hash_s",
+            "decode_acc_s",
             "merge_ms",
             "finalize_ms",
             "mean_abs_err",
@@ -94,6 +96,8 @@ def run(
             stats.users_per_second,
             stats.encode_seconds,
             stats.decode_seconds,
+            stats.decode_hash_seconds,
+            stats.decode_accumulate_seconds,
             stats.merge_seconds * 1e3,
             stats.finalize_seconds * 1e3,
             err,

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.budget import PrivacyLedger
 from repro.core.mechanism import FrequencyOracle, HashedReports, IndexedBitReports
+from repro.util.kernels import kernel_timing_scope
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
 
@@ -89,6 +90,15 @@ class ShardStats:
     shard's reports carry when the collection was given timestamped
     inputs (``None`` otherwise) — the per-shard completeness signal a
     downstream event-time window would build its watermark from.
+
+    ``decode_hash_seconds``/``decode_accumulate_seconds`` split the
+    decode-kernel compute between hashing (affine evaluation + modular
+    reductions) and accumulation (compare + count), as reported by
+    :func:`repro.util.kernels.kernel_timing_scope` on the per-thread CPU
+    clock.  Unlike ``decode_seconds`` (wall time around ``absorb``,
+    which inflates with concurrent shard threads time-slicing shared
+    cores and also covers non-kernel accumulator work), these stay flat
+    in the shard count — they measure CPU the decode kernels consumed.
     """
 
     shard_index: int
@@ -98,6 +108,8 @@ class ShardStats:
     decode_seconds: float
     bytes_per_report: float
     event_span: tuple[float, float] | None = None
+    decode_hash_seconds: float = 0.0
+    decode_accumulate_seconds: float = 0.0
 
     @property
     def total_bytes(self) -> float:
@@ -136,6 +148,16 @@ class ShardedCollectionStats:
     @property
     def decode_seconds(self) -> float:
         return sum(s.decode_seconds for s in self.shards)
+
+    @property
+    def decode_hash_seconds(self) -> float:
+        """Summed decode-kernel hashing compute across shards."""
+        return sum(s.decode_hash_seconds for s in self.shards)
+
+    @property
+    def decode_accumulate_seconds(self) -> float:
+        """Summed decode-kernel compare/count compute across shards."""
+        return sum(s.decode_accumulate_seconds for s in self.shards)
 
     @property
     def total_bytes(self) -> float:
@@ -207,18 +229,19 @@ def _collect_shard(
     encode = decode = 0.0
     bytes_per_report = 0.0
     num_chunks = 0
-    for start in range(0, shard_values.shape[0], chunk_size):
-        chunk = shard_values[start : start + chunk_size]
-        t0 = time.perf_counter()
-        reports = oracle.privatize(chunk, rng=gen)
-        t1 = time.perf_counter()
-        acc.absorb(reports)
-        t2 = time.perf_counter()
-        encode += t1 - t0
-        decode += t2 - t1
-        bytes_per_report = report_bytes(reports, int(chunk.shape[0]))
-        num_chunks += 1
-        del reports  # the accumulator is the only state that survives
+    with kernel_timing_scope() as kernel_timing:
+        for start in range(0, shard_values.shape[0], chunk_size):
+            chunk = shard_values[start : start + chunk_size]
+            t0 = time.perf_counter()
+            reports = oracle.privatize(chunk, rng=gen)
+            t1 = time.perf_counter()
+            acc.absorb(reports)
+            t2 = time.perf_counter()
+            encode += t1 - t0
+            decode += t2 - t1
+            bytes_per_report = report_bytes(reports, int(chunk.shape[0]))
+            num_chunks += 1
+            del reports  # the accumulator is the only state that survives
     stats = ShardStats(
         shard_index=shard_index,
         num_users=int(shard_values.shape[0]),
@@ -226,6 +249,8 @@ def _collect_shard(
         encode_seconds=encode,
         decode_seconds=decode,
         bytes_per_report=bytes_per_report,
+        decode_hash_seconds=kernel_timing.hash_seconds,
+        decode_accumulate_seconds=kernel_timing.accumulate_seconds,
     )
     return acc, stats
 

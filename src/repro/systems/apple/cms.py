@@ -94,15 +94,47 @@ class _SketchBase(ABC):
         self.master_seed = int(master_seed)
         self.family = SeededHashFamily(self.k, self.m, self.master_seed)
 
+    #: Candidate block size for sketch reads: bounds the ``(k, c)`` hash
+    #: and gather temporaries during massive-domain decodes.
+    _DECODE_TILE = 1 << 14
+
     def _estimate_from_sketch(
         self, sketch: np.ndarray, n: int, candidates: np.ndarray
     ) -> np.ndarray:
-        """De-biased sketch-mean count estimate for each candidate."""
+        """De-biased sketch-mean count estimate for each candidate.
+
+        Candidates are decoded in tiles so peak memory is
+        ``O(k · tile)`` regardless of how many candidates are read —
+        the aggregator-side fast path for population-scale candidate
+        lists.  Per-candidate arithmetic is independent across tiles, so
+        the result is bit-identical to the one-shot evaluation
+        (:meth:`_reference_estimate_from_sketch`; property-tested).
+        """
         if sketch.shape != (self.k, self.m):
             raise ValueError(
                 f"sketch must have shape ({self.k}, {self.m}), got {sketch.shape}"
             )
-        hashed = self.family.apply_all(candidates)  # (k, c)
+        cands = np.asarray(candidates)
+        out = np.empty(cands.shape[0], dtype=np.float64)
+        rows = np.arange(self.k)[:, None]
+        scale = self.m / (self.m - 1.0)
+        offset = n / self.m
+        for start in range(0, cands.shape[0], self._DECODE_TILE):
+            stop = min(start + self._DECODE_TILE, cands.shape[0])
+            hashed = self.family.apply_all(cands[start:stop])  # (k, tile)
+            mean = sketch[rows, hashed].mean(axis=0)
+            out[start:stop] = scale * (mean - offset)
+        return out
+
+    def _reference_estimate_from_sketch(
+        self, sketch: np.ndarray, n: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        """The pre-tiling whole-list sketch read (bit-identity oracle)."""
+        if sketch.shape != (self.k, self.m):
+            raise ValueError(
+                f"sketch must have shape ({self.k}, {self.m}), got {sketch.shape}"
+            )
+        hashed = self.family._reference_apply_all(np.asarray(candidates))
         bucket_sums = sketch[np.arange(self.k)[:, None], hashed]  # (k, c)
         mean = bucket_sums.mean(axis=0)
         return (self.m / (self.m - 1.0)) * (mean - n / self.m)

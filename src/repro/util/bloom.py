@@ -52,19 +52,32 @@ class BloomFilter:
         bits[self.positions(value)] = 1
         return bits
 
+    #: Values encoded per chunk: bounds the hash/scatter temporaries so a
+    #: population-scale design-matrix build never materializes the full
+    #: ``(h, n)`` hash matrix alongside its index scaffolding.
+    _BATCH_CHUNK = 1 << 16
+
     def encode_batch(self, values: np.ndarray) -> np.ndarray:
         """Encode many values at once; returns ``(len(values), m)`` uint8.
 
         Used both by clients (one row each) and by the aggregator when it
-        materializes candidate encodings for decoding.
+        materializes candidate encodings for decoding.  Values are
+        processed in chunks (only the returned bit matrix scales with the
+        batch); each row's encoding depends only on its own value, so the
+        result is identical to the one-shot evaluation.
         """
         vals = np.asarray(values, dtype=np.int64)
         if vals.ndim != 1:
             raise ValueError(f"values must be 1-D, got shape {vals.shape}")
-        hashed = self._family.apply_all(vals)  # (h, n)
         bits = np.zeros((vals.shape[0], self.num_bits), dtype=np.uint8)
-        rows = np.repeat(np.arange(vals.shape[0]), self.num_hashes)
-        bits[rows, hashed.T.ravel()] = 1
+        chunk_rows = np.repeat(
+            np.arange(min(self._BATCH_CHUNK, vals.shape[0])), self.num_hashes
+        )
+        for start in range(0, vals.shape[0], self._BATCH_CHUNK):
+            stop = min(start + self._BATCH_CHUNK, vals.shape[0])
+            hashed = self._family.apply_all(vals[start:stop])  # (h, chunk)
+            rows = chunk_rows[: (stop - start) * self.num_hashes] + start
+            bits[rows, hashed.T.ravel()] = 1
         return bits
 
     def contains(self, bits: np.ndarray, value: int) -> bool:

@@ -20,12 +20,20 @@ longer alias (packed-string domains exceed 2³¹), and (2) structured keys
 rates match the classical formula.  The pair ``(a, b)`` is derived from a
 single 64-bit seed, so "a hash function" is just an integer that fits in
 a report.
+
+Both reductions are evaluated division-free (:mod:`repro.util.kernels`):
+``mod p`` by the branch-free Mersenne shift-add fold and ``mod g`` by the
+Granlund–Montgomery multiply-shift magic.  The arithmetic is exact, so
+every function here is bit-identical to the ``_reference_*`` twins that
+keep the original two-hardware-``%`` implementations — the property
+suite pins that equivalence over edge values and every oracle.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.util.kernels import MERSENNE_P, apply_mod, mersenne_reduce, mod_magic
 from repro.util.validation import check_positive_int
 
 __all__ = [
@@ -37,7 +45,6 @@ __all__ = [
     "SeededHashFamily",
 ]
 
-MERSENNE_P = np.uint64(2**31 - 1)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
@@ -62,6 +69,13 @@ def _premix(values: np.ndarray) -> np.ndarray:
     and without key structure.
     """
     x = np.asarray(values, dtype=np.uint64)
+    mixed = _splitmix(x)
+    return mersenne_reduce(mixed, out=mixed)
+
+
+def _reference_premix(values: np.ndarray) -> np.ndarray:
+    """The original hardware-``%`` premix (bit-identity oracle)."""
+    x = np.asarray(values, dtype=np.uint64)
     return _splitmix(x) % MERSENNE_P
 
 
@@ -75,7 +89,7 @@ def params_from_seeds(seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     m1 = _splitmix(s)
     m2 = _splitmix(m1)
     a = (m1 % (MERSENNE_P - np.uint64(1))) + np.uint64(1)
-    b = m2 % MERSENNE_P
+    b = mersenne_reduce(m2)
     return a, b
 
 
@@ -90,6 +104,22 @@ def hash_elementwise(
     g = check_positive_int(range_size, name="range_size")
     a, b = params_from_seeds(seeds)
     x = _premix(values)
+    if x.shape != a.shape:
+        raise ValueError(
+            f"seeds and values must align, got {a.shape} vs {x.shape}"
+        )
+    h = a * x + b
+    mersenne_reduce(h, out=h)
+    return apply_mod(h, g).astype(np.int64)
+
+
+def _reference_hash_elementwise(
+    seeds: np.ndarray, values: np.ndarray, range_size: int
+) -> np.ndarray:
+    """The original two-``%`` elementwise evaluation (bit-identity oracle)."""
+    g = check_positive_int(range_size, name="range_size")
+    a, b = params_from_seeds(seeds)
+    x = _reference_premix(values)
     if x.shape != a.shape:
         raise ValueError(
             f"seeds and values must align, got {a.shape} vs {x.shape}"
@@ -110,6 +140,11 @@ def hash_cross(
     Returns an ``(n_seeds, len(values))`` int64 matrix ``H`` with
     ``H[i, j] = h_{seed_i}(values[j])``.  Work is chunked over seeds to
     bound peak memory at roughly ``chunk`` uint64 elements.
+
+    Aggregator support counting should prefer the fused kernel path
+    (:meth:`repro.core.local_hashing._LocalHashing.support_counts_for`),
+    which never materializes this matrix; ``hash_cross`` remains for
+    callers that genuinely need every hash value.
     """
     g = check_positive_int(range_size, name="range_size")
     s = np.asarray(seeds, dtype=np.uint64)
@@ -117,6 +152,33 @@ def hash_cross(
     if xs.ndim != 1:
         raise ValueError(f"values must be 1-D, got shape {xs.shape}")
     xs = _premix(xs)
+    n, d = s.shape[0], xs.shape[0]
+    a, b = params_from_seeds(s)
+    magic = mod_magic(g) if g < (1 << 31) else None
+    out = np.empty((n, d), dtype=np.int64)
+    rows_per_chunk = max(1, int(chunk // max(d, 1)))
+    for start in range(0, n, rows_per_chunk):
+        stop = min(start + rows_per_chunk, n)
+        block = a[start:stop, None] * xs[None, :] + b[start:stop, None]
+        mersenne_reduce(block, out=block)
+        out[start:stop] = apply_mod(block, g, magic).astype(np.int64)
+    return out
+
+
+def _reference_hash_cross(
+    seeds: np.ndarray,
+    values: np.ndarray,
+    range_size: int,
+    *,
+    chunk: int = 1 << 22,
+) -> np.ndarray:
+    """The original materializing two-``%`` cross evaluation (oracle)."""
+    g = check_positive_int(range_size, name="range_size")
+    s = np.asarray(seeds, dtype=np.uint64)
+    xs = np.asarray(values, dtype=np.uint64)
+    if xs.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {xs.shape}")
+    xs = _reference_premix(xs)
     n, d = s.shape[0], xs.shape[0]
     a, b = params_from_seeds(s)
     out = np.empty((n, d), dtype=np.int64)
@@ -170,14 +232,21 @@ class SeededHashFamily:
         )
         seeds = _splitmix(_splitmix(base) ^ _GOLDEN)
         self._a, self._b = params_from_seeds(seeds)
+        self._magic = (
+            mod_magic(self.range_size) if self.range_size < (1 << 31) else None
+        )
+
+    def _reduce_mod_range(self, h: np.ndarray) -> np.ndarray:
+        """``(h mod p) mod m`` for the affine image ``h``, division-free."""
+        mersenne_reduce(h, out=h)
+        return apply_mod(h, self.range_size, self._magic).astype(np.int64)
 
     def apply(self, index: int, values: np.ndarray) -> np.ndarray:
         """Hash ``values`` with function ``index``; int64 in [0, m)."""
         if not 0 <= index < self.k:
             raise IndexError(f"hash index {index} out of range [0, {self.k})")
         x = _premix(values)
-        h = (self._a[index] * x + self._b[index]) % MERSENNE_P
-        return (h % np.uint64(self.range_size)).astype(np.int64)
+        return self._reduce_mod_range(self._a[index] * x + self._b[index])
 
     def apply_selected(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
         """Hash ``values[i]`` with function ``indices[i]`` (aligned arrays).
@@ -193,11 +262,35 @@ class SeededHashFamily:
             )
         if idx.size and (idx.min() < 0 or idx.max() >= self.k):
             raise IndexError("hash index out of range")
-        h = (self._a[idx] * x + self._b[idx]) % MERSENNE_P
-        return (h % np.uint64(self.range_size)).astype(np.int64)
+        return self._reduce_mod_range(self._a[idx] * x + self._b[idx])
 
-    def apply_all(self, values: np.ndarray) -> np.ndarray:
-        """Hash ``values`` under every function; shape ``(k, len(values))``."""
+    def apply_all(
+        self, values: np.ndarray, *, chunk: int = 1 << 22
+    ) -> np.ndarray:
+        """Hash ``values`` under every function; shape ``(k, len(values))``.
+
+        Work is chunked over values so peak *temporary* memory stays at
+        roughly ``chunk`` uint64 elements regardless of the batch size —
+        only the int64 result matrix itself scales with ``len(values)``.
+        (Previously the whole ``(k, n)`` uint64 intermediate was
+        materialized at once: an OOM risk for population-scale decodes.)
+        """
         x = _premix(values)
+        if x.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {x.shape}")
+        n = x.shape[0]
+        out = np.empty((self.k, n), dtype=np.int64)
+        cols_per_chunk = max(1, int(chunk // max(self.k, 1)))
+        a_col = self._a[:, None]
+        b_col = self._b[:, None]
+        for start in range(0, n, cols_per_chunk):
+            stop = min(start + cols_per_chunk, n)
+            block = a_col * x[None, start:stop] + b_col
+            out[:, start:stop] = self._reduce_mod_range(block)
+        return out
+
+    def _reference_apply_all(self, values: np.ndarray) -> np.ndarray:
+        """The original unchunked two-``%`` evaluation (bit-identity oracle)."""
+        x = _reference_premix(values)
         h = (self._a[:, None] * x[None, :] + self._b[:, None]) % MERSENNE_P
         return (h % np.uint64(self.range_size)).astype(np.int64)

@@ -1,0 +1,563 @@
+"""Fused decode kernels: the aggregator-side hot path, tiled and branch-free.
+
+Every E14–E17 profile says the same thing: privatization is cheap and
+*decoding* is the bottleneck.  The naive aggregator path for local
+hashing — ``hash_cross`` + ``==`` + ``.sum`` — spends its time in two
+places the hardware hates:
+
+1. **Two uint64 divisions per cell.**  The affine hash
+   ``((a·x + b) mod p) mod g`` over the Mersenne prime ``p = 2³¹ − 1``
+   compiles to two hardware ``div`` instructions per (report, candidate)
+   pair, each tens of cycles and unpipelined.
+2. **Materialized intermediates.**  The ``(n, d)`` int64 hash matrix,
+   the bool comparison matrix and several uint64 temporaries each cost a
+   full write+read of main memory per chunk — and when several shard
+   threads decode at once, those multi-MB temporaries evict each other
+   from the shared cache, which is why summed decode time *grows* with
+   shard count under the thread backend.
+
+This module replaces both:
+
+* :func:`mersenne_reduce` — branch-free shift-add reduction modulo the
+  Mersenne prime (``2³¹ ≡ 1 (mod p)`` makes ``x mod p`` two fold steps
+  plus one conditional subtract; no division).
+* :func:`mod_magic` / :func:`apply_mod` — exact division-free ``mod g``
+  for 31-bit dividends via the Granlund–Montgomery multiply-shift magic
+  number (the same trick compilers emit for constant divisors).
+* :class:`FusedSupportKernel` — the fused hash→compare→accumulate
+  support-count kernel.  It tiles (reports × candidates) into
+  cache-sized blocks over *preallocated* scratch, evaluates the affine
+  hash in place, compares against each report's value and adds matches
+  straight into an int64 counts vector — the ``(n, d)`` matrix is never
+  materialized.  Report tiles optionally fan out across a shared thread
+  pool (the inner loops are pure NumPy and release the GIL), with each
+  task accumulating into its own partial counts vector; integer
+  addition is associative, so the result is bit-identical regardless of
+  thread count or schedule.
+* :func:`hadamard_support_counts` — the same tiling for Hadamard
+  response candidate decoding (popcount-parity entries, integer dot).
+* :func:`column_support_counts` — tiled integer column sums for the
+  dense unary (SUE/OUE) support path.
+
+All kernels are integer arithmetic end to end, so their outputs are
+**bit-identical** to the reference implementations by construction; the
+property suite pins this for every registered oracle.
+
+Timing
+------
+:func:`kernel_timing_scope` opens a thread-local scope that every kernel
+invocation reports into, split into *hash* seconds (affine evaluation +
+reductions) and *accumulate* seconds (compare + count).  The sharded
+pipeline wraps each shard's ``absorb`` in a scope so ``ShardStats`` can
+say where decode time goes.  Stages are timed on the per-thread CPU
+clock (``time.thread_time``), which does not advance while the OS has a
+thread descheduled: when many shard threads share cores, wall-clock
+decode attribution inflates with the number of concurrent shards (each
+shard's wall time includes everyone else's time slices) while these
+numbers stay flat — they measure the CPU the kernels actually consumed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE_P",
+    "mersenne_reduce",
+    "mod_magic",
+    "apply_mod",
+    "FusedSupportKernel",
+    "hadamard_support_counts",
+    "column_support_counts",
+    "KernelTiming",
+    "kernel_timing_scope",
+    "kernel_thread_count",
+]
+
+#: The Mersenne prime 2³¹ − 1 underlying the affine hash family.
+MERSENNE_P = np.uint64(2**31 - 1)
+
+_U31 = np.uint64(31)
+_ZERO = np.uint64(0)
+
+# ---------------------------------------------------------------------------
+# branch-free modular arithmetic
+# ---------------------------------------------------------------------------
+
+
+def mersenne_reduce(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """``x mod (2³¹ − 1)`` for any uint64 input, without division.
+
+    Because ``2³¹ ≡ 1 (mod p)``, splitting ``x = hi·2³¹ + lo`` gives
+    ``x ≡ hi + lo``.  Two fold steps bring any 64-bit value under
+    ``p + 8`` (first fold: < 2³⁴; second: ≤ p + 7) and one conditional
+    subtract lands in ``[0, p)`` — the canonical residue, bit-identical
+    to ``x % p``.
+
+    ``out`` may alias ``x`` (the common in-place use); one temporary the
+    shape of ``x`` is allocated for the low halves unless the caller
+    tiles through preallocated scratch (see :class:`FusedSupportKernel`).
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    if out is None:
+        out = x.copy()
+    elif out is not x:
+        np.copyto(out, x)
+    lo = np.bitwise_and(out, MERSENNE_P)
+    np.right_shift(out, _U31, out=out)
+    np.add(out, lo, out=out)
+    np.bitwise_and(out, MERSENNE_P, out=lo)
+    np.right_shift(out, _U31, out=out)
+    np.add(out, lo, out=out)
+    np.subtract(out, MERSENNE_P, out=out, where=out >= MERSENNE_P)
+    return out
+
+
+def _mersenne_reduce_into(x: np.ndarray, lo: np.ndarray, mask: np.ndarray) -> None:
+    """In-place Mersenne reduction of ``x`` using caller-owned scratch.
+
+    ``lo`` (uint64) and ``mask`` (bool) must match ``x``'s shape; nothing
+    is allocated.  This is the tile-loop body of the fused kernels.
+    """
+    np.bitwise_and(x, MERSENNE_P, out=lo)
+    np.right_shift(x, _U31, out=x)
+    np.add(x, lo, out=x)
+    np.bitwise_and(x, MERSENNE_P, out=lo)
+    np.right_shift(x, _U31, out=x)
+    np.add(x, lo, out=x)
+    np.greater_equal(x, MERSENNE_P, out=mask)
+    np.subtract(x, MERSENNE_P, out=x, where=mask)
+
+
+#: Largest divisor/dividend bound for the multiply-shift magic: the
+#: Granlund–Montgomery proof below needs dividends < 2³¹ (which the
+#: Mersenne reduction guarantees) and the multiplier to fit so that
+#: ``x·m < 2⁶³`` (no uint64 overflow).
+_MAGIC_MAX = 1 << 31
+
+
+def mod_magic(divisor: int) -> tuple[np.uint64, np.uint64]:
+    """Multiply-shift magic ``(m, s)`` with ``x // d == (x·m) >> s``.
+
+    Exact for every dividend ``x < 2³¹`` (Granlund–Montgomery: with
+    ``l = ⌈log₂ d⌉`` and ``m = ⌊2^(31+l)/d⌋ + 1``, the error term
+    ``m·d − 2^(31+l)`` lies in ``(0, d] ⊆ (0, 2^l]``, which is the exact
+    condition of their round-up theorem).  ``x·m ≤ (2³¹−1)·(2³²+1) < 2⁶³``
+    so the uint64 product never overflows.
+    """
+    d = int(divisor)
+    if not 1 <= d < _MAGIC_MAX:
+        raise ValueError(f"divisor must be in [1, 2^31), got {divisor}")
+    l = max(1, (d - 1).bit_length())
+    return np.uint64((1 << (31 + l)) // d + 1), np.uint64(31 + l)
+
+
+def apply_mod(
+    x: np.ndarray, divisor: int, magic: tuple[np.uint64, np.uint64] | None = None
+) -> np.ndarray:
+    """``x mod divisor`` for uint64 ``x < 2³¹`` via the multiply-shift magic.
+
+    Falls back to hardware ``%`` when the divisor is out of magic range.
+    Returns a fresh array; the fused kernels inline the same three
+    operations over scratch instead.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    d = int(divisor)
+    if not 1 <= d < _MAGIC_MAX:
+        return x % np.uint64(d)
+    m, s = magic if magic is not None else mod_magic(d)
+    q = (x * m) >> s
+    return x - q * np.uint64(d)
+
+
+def _apply_mod_into(
+    x: np.ndarray, g: np.uint64, m: np.uint64, s: np.uint64, q: np.ndarray
+) -> None:
+    """In-place ``x mod g`` over caller scratch ``q`` (shape of ``x``)."""
+    np.multiply(x, m, out=q)
+    np.right_shift(q, s, out=q)
+    np.multiply(q, g, out=q)
+    np.subtract(x, q, out=x)
+
+
+# ---------------------------------------------------------------------------
+# timing scopes
+# ---------------------------------------------------------------------------
+
+
+#: Per-thread CPU clock for kernel stage timing: unlike ``perf_counter``
+#: it does not advance while the OS has the thread descheduled, so stage
+#: timings stay schedule-independent when many shard threads share cores
+#: (summing tile tasks' thread time = total CPU the kernel consumed).
+_thread_clock = getattr(time, "thread_time", time.perf_counter)
+
+
+@dataclass
+class KernelTiming:
+    """Accumulated decode-kernel compute time, split by kernel stage.
+
+    ``hash_seconds`` covers affine evaluation + modular reductions;
+    ``accumulate_seconds`` covers compare + count (or gather + sum).
+    Both sum the per-thread CPU clock across tile tasks: schedule- and
+    contention-independent, unlike wall time around the kernel call.
+    """
+
+    hash_seconds: float = 0.0
+    accumulate_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, hash_seconds: float, accumulate_seconds: float) -> None:
+        with self._lock:
+            self.hash_seconds += hash_seconds
+            self.accumulate_seconds += accumulate_seconds
+
+
+_scope_local = threading.local()
+
+
+def _active_timing() -> KernelTiming | None:
+    return getattr(_scope_local, "timing", None)
+
+
+@contextmanager
+def kernel_timing_scope():
+    """Collect kernel stage timings from every kernel call in this thread.
+
+    Scopes nest: the innermost active scope receives the timings.  Tile
+    tasks fanned out to the shared pool report back into the scope that
+    was active at the *call site*, so a shard thread wrapping ``absorb``
+    sees its own kernels' time even when the tiles ran elsewhere.
+    """
+    timing = KernelTiming()
+    previous = _active_timing()
+    _scope_local.timing = timing
+    try:
+        yield timing
+    finally:
+        _scope_local.timing = previous
+
+
+# ---------------------------------------------------------------------------
+# shared tile pool
+# ---------------------------------------------------------------------------
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+
+
+def kernel_thread_count() -> int:
+    """Worker count for the shared tile pool.
+
+    ``REPRO_KERNEL_THREADS`` overrides; the default is the CPU count.
+    A value of 1 makes every kernel run inline (no pool, no overhead) —
+    the right call on single-core machines and under test.
+    """
+    env = os.environ.get("REPRO_KERNEL_THREADS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _submit_to_shared_pool(threads: int, calls) -> list:
+    """Submit tile tasks to one process-wide pool; returns their futures.
+
+    Sharing one pool (instead of a pool per shard) is what keeps
+    within-shard tile parallelism from oversubscribing the machine when
+    the sharded pipeline's own thread backend is already fanning shards
+    out: total in-flight tile tasks are bounded by the pool size.
+
+    Submission happens *inside* the pool lock: when a caller asks for
+    more workers than the current pool has, the pool is replaced under
+    the same lock — already-queued tasks still run to completion
+    (``shutdown`` only refuses *new* submissions) and no caller can
+    race a submit against the swap.
+    """
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < threads:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-kernel"
+            )
+            _pool_size = threads
+        return [_pool.submit(fn) for fn in calls]
+
+
+# ---------------------------------------------------------------------------
+# the fused support-count kernel (OLH / BLH)
+# ---------------------------------------------------------------------------
+
+#: Default tile geometry: candidates × reports blocks of at most
+#: ``_TILE_CELLS`` cells keep the three scratch planes (uint64 hash,
+#: uint64 quotient, bool match) inside the last-level cache instead of
+#: streaming multi-MB temporaries through main memory.
+_TILE_CELLS = 1 << 19
+_MAX_TILE_REPORTS = 1 << 14
+#: Below this many (report × candidate) cells a kernel call runs inline
+#: even when a pool is available — dispatch would cost more than it buys.
+_MIN_PARALLEL_CELLS = 1 << 21
+
+
+class FusedSupportKernel:
+    """Fused hash→compare→accumulate support counting for local hashing.
+
+    One instance is built per candidate list: the candidates are premixed
+    into the prime field once, the mod-``g`` magic is precomputed, and
+    every :meth:`support_counts` call streams report tiles through
+    preallocated scratch.  For value ``v`` and report ``(s, y)`` the
+    kernel counts ``h_s(v) == y`` matches — exactly the quantity
+    ``_LocalHashing.support_counts_for`` used to extract from the
+    materialized ``hash_cross`` matrix, bit for bit.
+
+    Parameters
+    ----------
+    premixed_candidates:
+        Candidate values already premixed into ``[0, p)`` (the caller
+        owns the splitmix bijection; see ``repro.util.hashing``).
+    range_size:
+        The hash range ``g``.
+    threads:
+        Tile-pool fan-out; ``None`` uses :func:`kernel_thread_count`.
+    """
+
+    def __init__(
+        self,
+        premixed_candidates: np.ndarray,
+        range_size: int,
+        *,
+        threads: int | None = None,
+    ) -> None:
+        x = np.ascontiguousarray(premixed_candidates, dtype=np.uint64)
+        if x.ndim != 1:
+            raise ValueError(f"candidates must be 1-D, got shape {x.shape}")
+        g = int(range_size)
+        if g < 1:
+            raise ValueError(f"range_size must be >= 1, got {range_size}")
+        if g >= _MAGIC_MAX:
+            raise ValueError(
+                f"range_size must be < 2^31 for the fused kernel, got {range_size}"
+            )
+        self._x = x
+        self._g = np.uint64(g)
+        self._magic, self._shift = mod_magic(g)
+        self._threads = threads
+        d = max(1, x.shape[0])
+        self._tile_candidates = min(d, 256)
+        self._tile_reports = max(
+            1, min(_MAX_TILE_REPORTS, _TILE_CELLS // self._tile_candidates)
+        )
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self._x.shape[0])
+
+    def support_counts(
+        self, a: np.ndarray, b: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Per-candidate match counts for reports ``((a, b), values)``.
+
+        ``a``/``b`` are the affine hash parameters of each report's seed
+        (derived once per batch by the caller) and ``values`` the
+        perturbed hashed values in ``[0, g)``.  Returns float64 counts —
+        integers below 2⁵³, so float addition downstream stays exact.
+        """
+        a = np.ascontiguousarray(a, dtype=np.uint64)
+        b = np.ascontiguousarray(b, dtype=np.uint64)
+        y = np.ascontiguousarray(values, dtype=np.uint64)
+        if a.shape != b.shape or a.shape != y.shape or a.ndim != 1:
+            raise ValueError("a, b and values must be aligned 1-D arrays")
+        d = self.num_candidates
+        counts = np.zeros(d, dtype=np.int64)
+        n = a.shape[0]
+        if n and self._x.size:
+            timing = _active_timing()
+            threads = (
+                self._threads if self._threads is not None else kernel_thread_count()
+            )
+            total_cells = n * d
+            if threads > 1 and total_cells >= _MIN_PARALLEL_CELLS:
+                spans = self._report_spans(n, threads)
+                futures = _submit_to_shared_pool(
+                    threads,
+                    [
+                        lambda lo=lo, hi=hi: self._count_span(
+                            a, b, y, lo, hi, timing
+                        )
+                        for lo, hi in spans
+                    ],
+                )
+                for future in futures:
+                    counts += future.result()
+            else:
+                counts += self._count_span(a, b, y, 0, n, timing)
+        return counts.astype(np.float64)
+
+    @staticmethod
+    def _report_spans(n: int, threads: int) -> list[tuple[int, int]]:
+        """Contiguous report spans, one per tile task (schedule-free math:
+        integer partial counts sum identically in any order)."""
+        tasks = min(threads, max(1, n // _MAX_TILE_REPORTS))
+        bounds = np.linspace(0, n, tasks + 1, dtype=np.int64)
+        return [
+            (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+
+    def _count_span(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        y: np.ndarray,
+        lo: int,
+        hi: int,
+        timing: KernelTiming | None,
+    ) -> np.ndarray:
+        """Count matches for reports ``[lo, hi)`` over all candidates.
+
+        Layout: candidates are the leading axis so the per-candidate
+        count reduction sums along contiguous memory.  All scratch is
+        allocated once per span and reused across tiles.
+        """
+        x = self._x
+        d = x.shape[0]
+        tile_r = min(self._tile_reports, hi - lo)
+        tile_c = min(self._tile_candidates, d)
+        block = np.empty((tile_c, tile_r), dtype=np.uint64)
+        scratch = np.empty_like(block)
+        match = np.empty(block.shape, dtype=bool)
+        counts = np.zeros(d, dtype=np.int64)
+        hash_s = 0.0
+        acc_s = 0.0
+        for r0 in range(lo, hi, tile_r):
+            r1 = min(r0 + tile_r, hi)
+            w = r1 - r0
+            ar = a[None, r0:r1]
+            br = b[None, r0:r1]
+            yr = y[None, r0:r1]
+            for c0 in range(0, d, tile_c):
+                c1 = min(c0 + tile_c, d)
+                h = block[: c1 - c0, :w]
+                q = scratch[: c1 - c0, :w]
+                eq = match[: c1 - c0, :w]
+                t0 = _thread_clock()
+                # h = ((a·x + b) mod p) mod g, entirely in scratch:
+                np.multiply(x[c0:c1, None], ar, out=h)
+                np.add(h, br, out=h)
+                _mersenne_reduce_into(h, q, eq)
+                _apply_mod_into(h, self._g, self._magic, self._shift, q)
+                t1 = _thread_clock()
+                np.equal(h, yr, out=eq)
+                counts[c0:c1] += eq.sum(axis=1)
+                t2 = _thread_clock()
+                hash_s += t1 - t0
+                acc_s += t2 - t1
+        if timing is not None:
+            timing.add(hash_s, acc_s)
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# Hadamard candidate decoding
+# ---------------------------------------------------------------------------
+
+
+def hadamard_support_counts(
+    indices: np.ndarray,
+    bits: np.ndarray,
+    candidates: np.ndarray,
+    *,
+    tile_reports: int = _MAX_TILE_REPORTS,
+) -> np.ndarray:
+    """Per-candidate Hadamard support counts, tiled and integer-exact.
+
+    ``C_v = n/2 + ½ Σ_i b_i·H[j_i, v]`` with ``H[j, v] = (−1)^popcount(j & v)``.
+    The reference evaluates one candidate at a time over the whole batch;
+    this kernel tiles (reports × candidates) into blocks of at most
+    ``_TILE_CELLS`` cells — bounded in *both* dimensions, so population-
+    scale candidate lists never inflate the scratch — computes the
+    popcount parities for a whole block with one vectorized
+    ``bitwise_count``, and contracts against the ±1 bits with an integer
+    matmul.  The signed sums are integers with magnitude ≤ n < 2⁵³, so
+    the final float expression is bit-identical to the reference's
+    per-candidate float dot.
+    """
+    idx = np.ascontiguousarray(indices, dtype=np.uint64)
+    cand = np.ascontiguousarray(candidates, dtype=np.uint64)
+    signed_bits = np.ascontiguousarray(bits, dtype=np.int64)
+    if idx.shape != signed_bits.shape or idx.ndim != 1:
+        raise ValueError("indices and bits must be aligned 1-D arrays")
+    n = idx.shape[0]
+    d = cand.shape[0]
+    dots = np.zeros(d, dtype=np.int64)
+    if n and d:
+        timing = _active_timing()
+        hash_s = 0.0
+        acc_s = 0.0
+        tile_c = min(d, 4096)
+        tile_r = max(1, min(tile_reports, n, _TILE_CELLS // tile_c))
+        block = np.empty((tile_r, tile_c), dtype=np.uint64)
+        parity = np.empty(block.shape, dtype=np.int64)
+        for r0 in range(0, n, tile_r):
+            r1 = min(r0 + tile_r, n)
+            w = r1 - r0
+            seg = signed_bits[r0:r1]
+            seg_total = seg.sum()
+            for c0 in range(0, d, tile_c):
+                c1 = min(c0 + tile_c, d)
+                t0 = _thread_clock()
+                b_blk = block[:w, : c1 - c0]
+                np.bitwise_and(idx[r0:r1, None], cand[None, c0:c1], out=b_blk)
+                np.bitwise_count(b_blk, out=b_blk)
+                np.bitwise_and(b_blk, np.uint64(1), out=b_blk)
+                p_blk = parity[:w, : c1 - c0]
+                np.copyto(p_blk, b_blk, casting="unsafe")
+                t1 = _thread_clock()
+                # Σ b_i·(1 − 2·parity) = Σ b_i − 2·(b @ parity)
+                dots[c0:c1] += seg_total - 2 * (seg @ p_blk)
+                t2 = _thread_clock()
+                hash_s += t1 - t0
+                acc_s += t2 - t1
+        if timing is not None:
+            timing.add(hash_s, acc_s)
+    return n / 2.0 + 0.5 * dots.astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# dense unary support counting
+# ---------------------------------------------------------------------------
+
+
+def column_support_counts(
+    reports: np.ndarray, *, tile_rows: int = 1 << 15
+) -> np.ndarray:
+    """Column sums of a dense 0/1 report matrix, accumulated in int64.
+
+    The unary (SUE/OUE) support path: summing uint8 rows into an int64
+    accumulator tile by tile avoids the per-element float64 conversion
+    of ``arr.sum(axis=0, dtype=float64)`` while producing exactly the
+    same integers (counts ≤ n < 2⁵³).
+    """
+    arr = np.asarray(reports)
+    if arr.ndim != 2:
+        raise ValueError(f"reports must be 2-D, got shape {arr.shape}")
+    timing = _active_timing()
+    t0 = _thread_clock()
+    counts = np.zeros(arr.shape[1], dtype=np.int64)
+    for r0 in range(0, arr.shape[0], tile_rows):
+        counts += arr[r0 : r0 + tile_rows].sum(axis=0, dtype=np.int64)
+    if timing is not None:
+        timing.add(0.0, _thread_clock() - t0)
+    return counts.astype(np.float64)

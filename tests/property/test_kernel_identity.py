@@ -1,0 +1,313 @@
+"""Bit-identity of the fused decode kernels against the reference paths.
+
+The kernel layer (``repro.util.kernels``) replaced the aggregator hot
+paths wholesale — that is only safe because every fused path computes
+the *same integers* as the ``_reference_*`` implementation it displaced.
+This suite pins that promise:
+
+* the hashing substrate (premix, elementwise, cross, seeded family)
+  over adversarial edge values — 0, 2⁶³−1, 2⁶⁴−1, multiples of p;
+* the oracle support paths (OLH/BLH fused kernel, Hadamard popcount
+  tiling, unary integer column sums) including empty report batches,
+  single-candidate lists and the BLH ``g = 2`` extreme;
+* the sketch/Bloom decode paths (CMS tiled reads, chunked design
+  matrices) across chunk boundaries;
+* estimates end to end: for every registered oracle and system stack,
+  the estimate is unchanged when the kernels' tile thread pool fans out
+  (integer partial sums are schedule-independent).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BinaryLocalHashing, OptimalLocalHashing
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.core.hadamard import HadamardResponse
+from repro.core.mechanism import HashedReports
+from repro.core.unary import OptimalUnaryEncoding, SymmetricUnaryEncoding
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.microsoft import DBitFlip, OneBitMean
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
+from repro.util.bloom import BloomFilter
+from repro.util.hashing import (
+    MERSENNE_P,
+    SeededHashFamily,
+    _premix,
+    _reference_hash_cross,
+    _reference_hash_elementwise,
+    _reference_premix,
+    hash_cross,
+    hash_elementwise,
+    hash_matrix,
+)
+
+P = int(MERSENNE_P)
+
+#: Raw 64-bit inputs that stress every reduction boundary.
+EDGE_INPUTS = np.array(
+    [0, 1, P - 1, P, P + 1, 2 * P, 7 * P, 2**31, 2**32, 2**62,
+     2**63 - 1, 2**63, 2**64 - 1, (2**64 - 1) // P * P],
+    dtype=np.uint64,
+)
+
+
+# -- hashing substrate -----------------------------------------------------
+
+
+def test_premix_matches_reference_on_edges():
+    assert np.array_equal(_premix(EDGE_INPUTS), _reference_premix(EDGE_INPUTS))
+
+
+@given(seed=st.integers(0, 2**32))
+@settings(max_examples=20, deadline=None)
+def test_premix_matches_reference_on_random(seed):
+    x = np.random.default_rng(seed).integers(
+        0, 2**63, size=256, dtype=np.int64
+    ).astype(np.uint64) * np.uint64(2) + np.uint64(seed % 2)
+    assert np.array_equal(_premix(x), _reference_premix(x))
+
+
+@pytest.mark.parametrize("g", [1, 2, 8, 1023])
+def test_hash_elementwise_matches_reference(g):
+    seeds = EDGE_INPUTS.copy()
+    values = EDGE_INPUTS[::-1].copy()
+    assert np.array_equal(
+        hash_elementwise(seeds, values, g),
+        _reference_hash_elementwise(seeds, values, g),
+    )
+
+
+@pytest.mark.parametrize("g", [2, 8])
+def test_hash_cross_matches_reference(g):
+    rng = np.random.default_rng(g)
+    seeds = np.concatenate(
+        [EDGE_INPUTS, rng.integers(0, 2**63, size=50).astype(np.uint64)]
+    )
+    values = np.concatenate(
+        [EDGE_INPUTS, rng.integers(0, 2**63, size=9).astype(np.uint64)]
+    )
+    assert np.array_equal(
+        hash_cross(seeds, values, g), _reference_hash_cross(seeds, values, g)
+    )
+    # chunk boundaries must not change anything
+    assert np.array_equal(
+        hash_cross(seeds, values, g, chunk=16),
+        _reference_hash_cross(seeds, values, g),
+    )
+
+
+def test_hash_matrix_matches_reference():
+    seeds = EDGE_INPUTS
+    assert np.array_equal(
+        hash_matrix(seeds, 17, 8),
+        _reference_hash_cross(seeds, np.arange(17, dtype=np.uint64), 8),
+    )
+
+
+@pytest.mark.parametrize("k,m", [(1, 2), (2, 64), (8, 1024)])
+def test_seeded_family_matches_reference(k, m):
+    family = SeededHashFamily(k, m, master_seed=99)
+    values = np.concatenate(
+        [EDGE_INPUTS, np.arange(40, dtype=np.uint64) * np.uint64(P)]
+    )
+    ref = family._reference_apply_all(values)
+    assert np.array_equal(family.apply_all(values), ref)
+    # chunking over values must be invisible
+    assert np.array_equal(family.apply_all(values, chunk=3), ref)
+    # per-function and selected paths agree with the matrix
+    for j in range(k):
+        assert np.array_equal(family.apply(j, values), ref[j])
+    idx = np.arange(values.shape[0]) % k
+    assert np.array_equal(
+        family.apply_selected(idx, values),
+        ref[idx, np.arange(values.shape[0])],
+    )
+
+
+def test_seeded_family_empty_batch():
+    family = SeededHashFamily(3, 16, master_seed=1)
+    empty = np.array([], dtype=np.int64)
+    assert family.apply_all(empty).shape == (3, 0)
+
+
+# -- oracle support paths --------------------------------------------------
+
+
+def _hashed_reports(seeds, values):
+    return HashedReports(
+        seeds=np.asarray(seeds, dtype=np.uint64),
+        values=np.asarray(values, dtype=np.int64),
+    )
+
+
+class TestLocalHashingIdentity:
+    @pytest.mark.parametrize("oracle_cls,d", [
+        (OptimalLocalHashing, 64),
+        (OptimalLocalHashing, 2),
+        (BinaryLocalHashing, 64),  # the g = 2 extreme
+    ])
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_support_counts_match_reference(self, oracle_cls, d, seed):
+        oracle = oracle_cls(d, 1.7)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, d, size=300)
+        reports = oracle.privatize(values, rng=rng)
+        cands = np.arange(d, dtype=np.int64)
+        assert np.array_equal(
+            oracle.support_counts_for(reports, cands),
+            oracle._reference_support_counts_for(reports, cands),
+        )
+
+    def test_edge_seeds_and_single_candidate(self):
+        oracle = OptimalLocalHashing(5, 2.0)
+        # seeds at the uint64 extremes and multiples of p — values the
+        # client path never draws but the wire may carry
+        reports = _hashed_reports(
+            EDGE_INPUTS, np.arange(EDGE_INPUTS.shape[0]) % oracle.g
+        )
+        for cands in (np.array([0]), np.array([4]), np.arange(5)):
+            assert np.array_equal(
+                oracle.support_counts_for(reports, cands),
+                oracle._reference_support_counts_for(reports, cands),
+            )
+
+    def test_empty_reports(self):
+        oracle = BinaryLocalHashing(7, 1.0)
+        empty = _hashed_reports(
+            np.array([], dtype=np.uint64), np.array([], dtype=np.int64)
+        )
+        out = oracle.support_counts_for(empty, np.arange(7))
+        assert np.array_equal(out, np.zeros(7))
+        assert np.array_equal(
+            out, oracle._reference_support_counts_for(empty, np.arange(7))
+        )
+
+
+class TestHadamardIdentity:
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_candidate_support_matches_reference(self, seed):
+        oracle = HadamardResponse(13, 1.4)
+        rng = np.random.default_rng(seed)
+        reports = oracle.privatize(rng.integers(0, 13, size=400), rng=rng)
+        cands = np.array([0, 1, 7, 12])
+        assert np.array_equal(
+            oracle.support_counts_for(reports, cands),
+            oracle._reference_support_counts_for(reports, cands),
+        )
+
+    def test_empty_reports(self):
+        oracle = HadamardResponse(4, 1.0)
+        from repro.core.mechanism import IndexedBitReports
+
+        empty = IndexedBitReports(
+            indices=np.array([], dtype=np.int64), bits=np.array([])
+        )
+        assert np.array_equal(
+            oracle.support_counts_for(empty, np.arange(4)),
+            oracle._reference_support_counts_for(empty, np.arange(4)),
+        )
+
+
+@pytest.mark.parametrize("oracle_cls", [SymmetricUnaryEncoding, OptimalUnaryEncoding])
+def test_unary_support_matches_reference(oracle_cls):
+    oracle = oracle_cls(9, 1.2)
+    reports = oracle.privatize(
+        np.random.default_rng(2).integers(0, 9, size=501), rng=3
+    )
+    assert np.array_equal(
+        oracle.support_counts(reports), oracle._reference_support_counts(reports)
+    )
+    empty = np.zeros((0, 9), dtype=np.uint8)
+    assert np.array_equal(
+        oracle.support_counts(empty), oracle._reference_support_counts(empty)
+    )
+
+
+# -- sketch / Bloom decode paths -------------------------------------------
+
+
+@pytest.mark.parametrize("sketch_cls", [CountMeanSketch, HadamardCountMeanSketch])
+def test_sketch_candidate_decode_matches_reference(sketch_cls, monkeypatch):
+    oracle = sketch_cls(200, 1.5, k=4, m=64, master_seed=5)
+    reports = oracle.privatize(
+        np.random.default_rng(6).integers(0, 200, size=300), rng=7
+    )
+    acc = oracle.accumulator().absorb(reports)
+    sketch = acc.sketch()
+    cands = np.arange(200, dtype=np.int64)
+    expected = oracle._reference_estimate_from_sketch(sketch, 300, cands)
+    assert np.array_equal(
+        oracle._estimate_from_sketch(sketch, 300, cands), expected
+    )
+    # force many tiny tiles: the tiling must be invisible
+    monkeypatch.setattr(type(oracle), "_DECODE_TILE", 7)
+    assert np.array_equal(
+        oracle._estimate_from_sketch(sketch, 300, cands), expected
+    )
+
+
+def test_bloom_encode_batch_chunking_is_invisible(monkeypatch):
+    bloom = BloomFilter(32, 3, seed=4)
+    values = np.arange(500, dtype=np.int64)
+    whole = bloom.encode_batch(values)
+    monkeypatch.setattr(BloomFilter, "_BATCH_CHUNK", 33)
+    assert np.array_equal(bloom.encode_batch(values), whole)
+    # and each row still equals the single-value encoding
+    for v in (0, 33, 499):
+        assert np.array_equal(whole[v], bloom.encode(v))
+
+
+# -- estimates unchanged under kernel thread fan-out -----------------------
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+def test_estimates_schedule_independent_for_registry(name, monkeypatch):
+    """Fanning kernel tiles across threads must not move any estimate."""
+    oracle = make_oracle(name, 10, 1.5)
+    values = np.random.default_rng(17).integers(0, 10, size=400)
+    reports = oracle.privatize(values, rng=18)
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "1")
+    serial = oracle.estimate_counts(reports)
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+    fanned = oracle.estimate_counts(reports)
+    assert np.array_equal(serial, fanned)
+
+
+def test_estimates_schedule_independent_for_systems(monkeypatch):
+    pytest.importorskip("scipy")  # RAPPOR decode solves NNLS
+    rng = np.random.default_rng(21)
+    values = rng.integers(0, 30, size=300)
+
+    params = RapporParams(
+        num_bits=16, num_hashes=2, num_cohorts=4, f=0.5, p=0.45, q=0.7
+    )
+    cohorts, rappor_reports = privatize_population(
+        params, values, master_seed=31, rng=22
+    )
+    agg = RapporAggregator(params, 31)
+
+    cms = CountMeanSketch(30, 1.5, k=4, m=32, master_seed=2)
+    cms_reports = cms.privatize(values, rng=23)
+    onebit = OneBitMean(29.0, 1.0)
+    onebit_reports = onebit.privatize(values.astype(np.float64), rng=24)
+    dbf = DBitFlip(num_buckets=8, d=2, epsilon=1.0)
+    dbf_reports = dbf.privatize(values % 8, rng=25)
+
+    def _all_estimates():
+        return (
+            agg.decode(cohorts, rappor_reports, np.arange(30)).estimated_counts,
+            cms.estimate_counts(cms_reports),
+            np.array([onebit.estimate_mean(onebit_reports)]),
+            dbf.estimate_counts(dbf_reports),
+        )
+
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "1")
+    serial = _all_estimates()
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+    fanned = _all_estimates()
+    for s, f in zip(serial, fanned):
+        assert np.array_equal(s, f)

@@ -44,6 +44,11 @@ TINY = {
         domain_size=16, n=4_000, chunk_size=512, pane_counts=(2, 4),
         lateness_sweep=(0.0, 0.5), drift_steps=4, seed=17,
     ),
+    "E18": dict(
+        n=4_000, olh_domains=(16,), cms_k=8, cms_m=64, cms_candidates=64,
+        bloom_bits=32, bloom_hashes=2, bloom_candidates=256,
+        shard_counts=(1, 2), chunk_size=512, workers=2, seed=18,
+    ),
     "A1": dict(domain_size=16, n=1_000, epsilons=(1.0,)),
     "A2": dict(domain_size=32, n=2_000, epsilons=(1.0,), gs=(2, 4), seed=31),
     "A3": dict(num_buckets=16, n=4_000, ds=(1, 4, 16), seed=32),

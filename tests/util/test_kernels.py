@@ -1,0 +1,260 @@
+"""Unit tests for the fused decode-kernel layer (repro.util.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.util.kernels import (
+    MERSENNE_P,
+    FusedSupportKernel,
+    apply_mod,
+    column_support_counts,
+    hadamard_support_counts,
+    kernel_thread_count,
+    kernel_timing_scope,
+    mersenne_reduce,
+    mod_magic,
+)
+
+P = int(MERSENNE_P)
+
+#: The adversarial dividends: field boundaries, fold boundaries, word
+#: boundaries, and multiples of p where the reduction's conditional
+#: subtract must land exactly on the canonical residue.
+EDGE_VALUES = [
+    0,
+    1,
+    P - 1,
+    P,
+    P + 1,
+    2 * P,
+    2 * P + 1,
+    2**31,
+    2**32 - 1,
+    2**32,
+    7 * P,
+    2**62 - 1,
+    2**62,
+    2**63 - 1,
+    2**63,
+    2**64 - 1,
+    (2**64 - 1) // P * P,  # largest multiple of p in uint64
+]
+
+
+class TestMersenneReduce:
+    def test_edge_values_match_hardware_mod(self):
+        x = np.array(EDGE_VALUES, dtype=np.uint64)
+        assert np.array_equal(mersenne_reduce(x), x % MERSENNE_P)
+
+    def test_random_values_match_hardware_mod(self):
+        x = np.random.default_rng(0).integers(
+            0, 2**63, size=10_000, dtype=np.int64
+        ).astype(np.uint64) * np.uint64(2)  # cover the top bit too
+        assert np.array_equal(mersenne_reduce(x), x % MERSENNE_P)
+
+    def test_result_is_canonical(self):
+        x = np.array(EDGE_VALUES, dtype=np.uint64)
+        out = mersenne_reduce(x)
+        assert out.max() < MERSENNE_P
+
+    def test_in_place_aliasing(self):
+        x = np.array(EDGE_VALUES, dtype=np.uint64)
+        expected = x % MERSENNE_P
+        result = mersenne_reduce(x, out=x)
+        assert result is x
+        assert np.array_equal(x, expected)
+
+    def test_does_not_mutate_input_by_default(self):
+        x = np.array(EDGE_VALUES, dtype=np.uint64)
+        before = x.copy()
+        mersenne_reduce(x)
+        assert np.array_equal(x, before)
+
+    def test_empty(self):
+        assert mersenne_reduce(np.array([], dtype=np.uint64)).size == 0
+
+
+class TestModMagic:
+    @pytest.mark.parametrize(
+        "g", [1, 2, 3, 4, 5, 7, 8, 11, 64, 1023, 1024, 2**30, 2**31 - 1]
+    )
+    def test_matches_hardware_mod(self, g):
+        edges = np.array(
+            [0, 1, g - 1, g, g + 1, 2 * g, P - 1, P // 2], dtype=np.uint64
+        )
+        rng = np.random.default_rng(g)
+        x = np.concatenate(
+            [edges, rng.integers(0, P, size=5_000).astype(np.uint64)]
+        )
+        assert np.array_equal(apply_mod(x, g), x % np.uint64(g))
+
+    def test_rejects_out_of_range_divisors(self):
+        with pytest.raises(ValueError):
+            mod_magic(0)
+        with pytest.raises(ValueError):
+            mod_magic(2**31)
+
+    def test_apply_mod_falls_back_beyond_magic_range(self):
+        x = np.array([0, 5, 2**31 - 1], dtype=np.uint64)
+        g = 2**31  # out of magic range: hardware % fallback
+        assert np.array_equal(apply_mod(x, g), x % np.uint64(g))
+
+
+def _brute_support_counts(a, b, y, premixed, g):
+    h = (a[:, None] * premixed[None, :] + b[:, None]) % MERSENNE_P
+    return ((h % np.uint64(g)) == y[:, None]).sum(axis=0).astype(np.float64)
+
+
+class TestFusedSupportKernel:
+    @pytest.mark.parametrize("g", [2, 8, 17])
+    @pytest.mark.parametrize("d", [1, 3, 64])
+    def test_matches_brute_force(self, g, d):
+        rng = np.random.default_rng(d * 100 + g)
+        n = 700
+        a = rng.integers(1, P, size=n).astype(np.uint64)
+        b = rng.integers(0, P, size=n).astype(np.uint64)
+        y = rng.integers(0, g, size=n).astype(np.uint64)
+        premixed = rng.integers(0, P, size=d).astype(np.uint64)
+        kernel = FusedSupportKernel(premixed, g)
+        out = kernel.support_counts(a, b, y)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, _brute_support_counts(a, b, y, premixed, g))
+
+    def test_edge_parameters(self):
+        # a at field max, b at 0/max, premixed at 0 and p−1: the affine
+        # image hits both fold boundaries.
+        a = np.array([1, P - 1, P - 1, 1], dtype=np.uint64)
+        b = np.array([0, P - 1, 0, P - 1], dtype=np.uint64)
+        y = np.array([0, 1, 1, 0], dtype=np.uint64)
+        premixed = np.array([0, P - 1, 1], dtype=np.uint64)
+        kernel = FusedSupportKernel(premixed, 2)
+        assert np.array_equal(
+            kernel.support_counts(a, b, y),
+            _brute_support_counts(a, b, y, premixed, 2),
+        )
+
+    def test_empty_reports(self):
+        kernel = FusedSupportKernel(np.arange(5, dtype=np.uint64), 4)
+        empty = np.array([], dtype=np.uint64)
+        assert np.array_equal(
+            kernel.support_counts(empty, empty, empty), np.zeros(5)
+        )
+
+    def test_empty_candidates(self):
+        kernel = FusedSupportKernel(np.array([], dtype=np.uint64), 4)
+        one = np.zeros(3, dtype=np.uint64)
+        assert kernel.support_counts(one, one, one).shape == (0,)
+
+    def test_thread_fanout_is_bit_identical(self):
+        rng = np.random.default_rng(7)
+        n = 40_000  # large enough to cross the parallel threshold
+        a = rng.integers(1, P, size=n).astype(np.uint64)
+        b = rng.integers(0, P, size=n).astype(np.uint64)
+        y = rng.integers(0, 8, size=n).astype(np.uint64)
+        premixed = rng.integers(0, P, size=64).astype(np.uint64)
+        serial = FusedSupportKernel(premixed, 8, threads=1).support_counts(a, b, y)
+        fanned = FusedSupportKernel(premixed, 8, threads=3).support_counts(a, b, y)
+        assert np.array_equal(serial, fanned)
+
+    def test_rejects_misaligned_inputs(self):
+        kernel = FusedSupportKernel(np.arange(4, dtype=np.uint64), 4)
+        with pytest.raises(ValueError):
+            kernel.support_counts(
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=np.uint64),
+                np.zeros(3, dtype=np.uint64),
+            )
+
+    def test_rejects_oversized_range(self):
+        with pytest.raises(ValueError):
+            FusedSupportKernel(np.arange(4, dtype=np.uint64), 2**31)
+
+
+class TestHadamardSupportCounts:
+    def test_matches_direct_formula(self):
+        rng = np.random.default_rng(11)
+        n, d = 3_000, 16
+        idx = rng.integers(0, 64, size=n).astype(np.uint64)
+        bits = rng.choice([-1.0, 1.0], size=n)
+        cands = np.arange(d, dtype=np.uint64)
+        from repro.util.wht import hadamard_entries
+
+        expected = np.empty(d)
+        for pos in range(d):
+            entries = hadamard_entries(idx, np.uint64(pos))
+            expected[pos] = n / 2.0 + 0.5 * float(bits @ entries)
+        assert np.array_equal(
+            hadamard_support_counts(idx, bits, cands), expected
+        )
+
+    def test_tiling_boundaries(self):
+        rng = np.random.default_rng(12)
+        n = 100
+        idx = rng.integers(0, 8, size=n).astype(np.uint64)
+        bits = rng.choice([-1.0, 1.0], size=n)
+        cands = np.arange(8, dtype=np.uint64)
+        whole = hadamard_support_counts(idx, bits, cands)
+        tiled = hadamard_support_counts(idx, bits, cands, tile_reports=7)
+        assert np.array_equal(whole, tiled)
+
+    def test_empty(self):
+        empty = np.array([], dtype=np.uint64)
+        out = hadamard_support_counts(empty, np.array([]), np.arange(3, dtype=np.uint64))
+        assert np.array_equal(out, np.zeros(3))
+
+
+class TestColumnSupportCounts:
+    def test_matches_float_sum(self):
+        arr = np.random.default_rng(5).integers(0, 2, size=(999, 17)).astype(np.uint8)
+        expected = arr.sum(axis=0, dtype=np.float64)
+        out = column_support_counts(arr, tile_rows=128)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, expected)
+
+    def test_empty_rows(self):
+        out = column_support_counts(np.zeros((0, 4), dtype=np.uint8))
+        assert np.array_equal(out, np.zeros(4))
+
+
+class TestTimingScope:
+    def test_records_kernel_stages(self):
+        rng = np.random.default_rng(3)
+        n = 5_000
+        a = rng.integers(1, P, size=n).astype(np.uint64)
+        b = rng.integers(0, P, size=n).astype(np.uint64)
+        y = rng.integers(0, 8, size=n).astype(np.uint64)
+        kernel = FusedSupportKernel(
+            rng.integers(0, P, size=32).astype(np.uint64), 8, threads=1
+        )
+        with kernel_timing_scope() as timing:
+            kernel.support_counts(a, b, y)
+        assert timing.hash_seconds > 0.0
+        assert timing.accumulate_seconds > 0.0
+
+    def test_scopes_nest_and_restore(self):
+        arr = np.ones((64, 4), dtype=np.uint8)
+        with kernel_timing_scope() as outer:
+            column_support_counts(arr)
+            outer_before_inner = outer.accumulate_seconds
+            with kernel_timing_scope() as inner:
+                column_support_counts(arr)
+            # the inner scope captured its own call...
+            assert inner.accumulate_seconds > 0.0
+            # ...without leaking into the outer scope...
+            assert outer.accumulate_seconds == outer_before_inner
+            # ...and the outer scope is active again afterwards.
+            column_support_counts(arr)
+            assert outer.accumulate_seconds > outer_before_inner
+
+    def test_no_scope_is_fine(self):
+        # kernels must run (and not crash) without any active scope
+        assert column_support_counts(np.ones((2, 2), dtype=np.uint8))[0] == 2.0
+
+
+def test_kernel_thread_count_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "5")
+    assert kernel_thread_count() == 5
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "not-a-number")
+    assert kernel_thread_count() >= 1
+    monkeypatch.delenv("REPRO_KERNEL_THREADS")
+    assert kernel_thread_count() >= 1
