@@ -2,9 +2,11 @@
 
 A fast (seconds, not minutes) visibility check for CI and local tuning:
 times the fused OLH support-count kernel and the Hadamard candidate
-kernel against their ``_reference_*`` twins on a fixed-seed batch,
-prints the speedups, and **fails** (exit 1) if any fused output is not
-bit-identical to its reference — the invariant that lets the kernels
+kernel against their ``_reference_*`` twins on a fixed-seed batch, the
+bit-sliced Hadamard kernel against the previous matmul kernel tier,
+and cached-plan streaming absorption against per-pane rebuild; prints
+the speedups, and **fails** (exit 1) if any fast-path output is not
+bit-identical to its baseline — the invariant that lets the kernels
 replace the references everywhere.
 
 Usage::
@@ -22,6 +24,11 @@ import numpy as np
 
 from repro.core import OptimalLocalHashing
 from repro.core.hadamard import HadamardResponse
+from repro.core.mechanism import IndexedBitReports
+from repro.util.kernels import (
+    _matmul_hadamard_support_counts,
+    kernel_plan_cache,
+)
 
 
 def _time(fn):
@@ -64,6 +71,62 @@ def main(argv=None) -> int:
         f"hr    n={args.users} d={args.domain}: "
         f"ref {ref_s:.3f}s fused {fused_s:.3f}s "
         f"speedup {ref_s / fused_s:.2f}x bit_identical={identical}"
+    )
+
+    # Bit-sliced vs the previous matmul kernel tier, at a domain large
+    # enough (2^20) for the packed bit-planes to earn their keep.
+    big = HadamardResponse(1 << 20, args.epsilon)
+    big_values = rng.integers(0, 1 << 20, size=args.users)
+    big_cands = np.sort(
+        rng.choice(1 << 20, size=1024, replace=False).astype(np.int64)
+    )
+    big_reports = big.privatize(big_values, rng=rng)
+    big_idx = np.asarray(big_reports.indices, dtype=np.uint64)
+    big_bits = np.asarray(big_reports.bits)
+    ref, ref_s = _time(
+        lambda: _matmul_hadamard_support_counts(big_idx, big_bits, big_cands)
+    )
+    kernel_plan_cache.clear()
+    fused, fused_s = _time(lambda: big.support_counts_for(big_reports, big_cands))
+    identical = np.array_equal(ref, fused)
+    ok &= identical
+    print(
+        f"hr-bs n={args.users} d=1024 order=2^20: "
+        f"matmul {ref_s:.3f}s bit-sliced {fused_s:.3f}s "
+        f"speedup {ref_s / fused_s:.2f}x bit_identical={identical}"
+    )
+
+    # Cached-plan streaming absorb vs per-pane candidate-work rebuild.
+    pane = 4096
+    spans = [
+        (s, min(s + pane, args.users)) for s in range(0, args.users, pane)
+    ]
+    state = np.zeros(big_cands.shape[0], dtype=np.float64)
+    cold_n = 0
+    t0 = time.perf_counter()
+    for a, b in spans:
+        state += _matmul_hadamard_support_counts(
+            big_idx[a:b], big_bits[a:b], big_cands
+        )
+        cold_n += b - a
+    cold_s = time.perf_counter() - t0
+    cold_est = (state - cold_n * big.q_star) / (big.p_star - big.q_star)
+    kernel_plan_cache.clear()
+    acc = big.accumulator(big_cands)
+    t0 = time.perf_counter()
+    for a, b in spans:
+        acc.absorb(
+            IndexedBitReports(
+                indices=big_reports.indices[a:b], bits=big_reports.bits[a:b]
+            )
+        )
+    warm_s = time.perf_counter() - t0
+    identical = np.array_equal(cold_est, acc.finalize())
+    ok &= identical
+    print(
+        f"hr-st n={args.users} panes={len(spans)}: "
+        f"cold {cold_s:.3f}s cached {warm_s:.3f}s "
+        f"speedup {cold_s / warm_s:.2f}x bit_identical={identical}"
     )
 
     if not ok:

@@ -1,0 +1,203 @@
+"""Throughput trend tracker: append-only users/sec history + drift flag.
+
+The regression guard (``check_bench_regression.py``) compares one fresh
+run against one committed baseline — it catches cliffs, but a sequence
+of small regressions that each fit inside the tolerance band slips
+through.  This script closes that gap with a *history*: every run
+appends one JSON line to ``benchmarks/results/TREND.jsonl`` containing
+the end-to-end pipeline throughput of a fixed-seed, fixed-size
+workload together with the producing machine's calibration score
+(``_machine_score.py``) and the ``users_per_sec`` metrics harvested
+from the run's fresh ``BENCH_E*.json`` payloads, then scans the
+trailing window of the history for **monotone slow drift** —
+machine-normalized throughput falling on every consecutive run and
+losing more than ``--drift-tolerance`` cumulatively.  A flagged drift
+exits 1 so CI surfaces it.
+
+Normalization: ``machine_score`` is seconds for a fixed micro-kernel
+(bigger = slower machine), so ``users_per_sec * machine_score`` is a
+hardware-adjusted throughput comparable across runners.  The drift test
+requires *strict* monotone decline across the whole window — mixed
+noise breaks the chain — which keeps false positives rare even with
+per-run jitter.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trend_bench.py [--users N]
+        [--window K] [--drift-tolerance F] [--check-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+TREND_PATH = pathlib.Path(__file__).parent / "results" / "TREND.jsonl"
+
+
+def measure_users_per_sec(users: int, seed: int = 1888) -> float:
+    """End-to-end users/sec of the fixed trend workload.
+
+    The E14-equivalent configuration (OLH, d=64, ε=2 → g=8, two shards,
+    thread backend) — privatize + decode through the shipped pipeline,
+    so the number moves when any layer the pipeline touches regresses.
+    """
+    from repro.core import OptimalLocalHashing
+    from repro.protocol import run_sharded_collection
+
+    oracle = OptimalLocalHashing(64, 2.0)
+    values = np.random.default_rng(seed).integers(0, 64, size=users)
+    t0 = time.perf_counter()
+    stats = run_sharded_collection(
+        oracle,
+        values,
+        num_shards=2,
+        chunk_size=32_768,
+        backend="thread",
+        workers=2,
+        rng=seed,
+    )
+    elapsed = time.perf_counter() - t0
+    assert stats.num_users == users
+    return users / elapsed if elapsed > 0 else 0.0
+
+
+def harvest_bench_json(results_dir: pathlib.Path) -> dict[str, dict]:
+    """Summarize users/sec from each fresh ``BENCH_E*.json`` payload.
+
+    Walks every ``users_per_sec`` value in the payload (whatever its
+    nesting) and records the maximum — the experiment's headline
+    throughput — alongside the payload's own ``machine_score`` and
+    population scale, so TREND.jsonl carries the benchmark history in
+    the same line as the fixed trend workload.
+    """
+
+    def _walk(node):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if key == "users_per_sec" and isinstance(value, (int, float)):
+                    yield float(value)
+                else:
+                    yield from _walk(value)
+        elif isinstance(node, list):
+            for item in node:
+                yield from _walk(item)
+
+    summary = {}
+    for path in sorted(results_dir.glob("BENCH_E*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        rates = list(_walk(payload))
+        if not rates:
+            continue
+        entry = {"max_users_per_sec": round(max(rates), 1)}
+        if "users" in payload:
+            entry["users"] = payload["users"]
+        if "machine_score" in payload:
+            entry["machine_score"] = payload["machine_score"]
+        summary[path.stem.removeprefix("BENCH_")] = entry
+    return summary
+
+
+def load_history(path: pathlib.Path) -> list[dict]:
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def detect_drift(
+    history: list[dict], window: int, tolerance: float
+) -> str | None:
+    """Flag strict monotone decline of normalized throughput.
+
+    Returns a description when the last ``window`` records decline on
+    every step and the cumulative loss exceeds ``tolerance`` (a
+    fraction, e.g. 0.15 = 15%); ``None`` otherwise.
+    """
+    if len(history) < window:
+        return None
+    tail = [
+        float(r["normalized_users_per_sec"]) for r in history[-window:]
+    ]
+    if any(later >= earlier for earlier, later in zip(tail, tail[1:])):
+        return None
+    decline = 1.0 - tail[-1] / tail[0] if tail[0] > 0 else 0.0
+    if decline <= tolerance:
+        return None
+    return (
+        f"monotone slow drift: normalized throughput fell on each of the "
+        f"last {window} runs, {decline:.1%} cumulative "
+        f"({tail[0]:.1f} -> {tail[-1]:.1f})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100_000)
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="trailing runs that must all decline before flagging",
+    )
+    parser.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=0.15,
+        help="cumulative normalized-throughput loss that triggers the flag",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="scan the existing history without measuring or appending",
+    )
+    parser.add_argument(
+        "--trend-file", type=pathlib.Path, default=TREND_PATH
+    )
+    args = parser.parse_args(argv)
+
+    history = load_history(args.trend_file)
+    if not args.check_only:
+        sys.path.insert(0, str(pathlib.Path(__file__).parent))
+        from _machine_score import machine_score
+
+        ups = measure_users_per_sec(args.users)
+        score = machine_score()
+        record = {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "users": args.users,
+            "users_per_sec": round(ups, 1),
+            "machine_score": round(score, 6),
+            "normalized_users_per_sec": round(ups * score, 1),
+            "benches": harvest_bench_json(args.trend_file.parent),
+        }
+        args.trend_file.parent.mkdir(parents=True, exist_ok=True)
+        with args.trend_file.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        history.append(record)
+        print(
+            f"trend: {ups:.0f} users/sec, machine_score {score:.4f}s, "
+            f"normalized {record['normalized_users_per_sec']:.1f} "
+            f"({len(history)} runs on record)"
+        )
+
+    drift = detect_drift(history, args.window, args.drift_tolerance)
+    if drift:
+        print(f"FAIL: {drift}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

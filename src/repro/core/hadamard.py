@@ -115,10 +115,14 @@ class HadamardResponse(PureFrequencyOracle):
 
         ``C_v = n/2 + ½ Σ_i b_i H[j_i, v]`` needs only the sampled
         coefficient indices, so a handful of candidates cost O(n) each —
-        no transform, no full-domain vector.  Runs the tiled popcount
+        no transform, no full-domain vector.  Runs the bit-sliced
         kernel (:func:`repro.util.kernels.hadamard_support_counts`):
-        one vectorized parity evaluation per report tile instead of a
-        Python loop over candidates.  Bit-identical to
+        packed index bit-planes XORed per candidate block, contracted
+        with two popcounts — 64 reports per word op.  The candidate-side
+        plan (packed bit masks) is fetched from the process-wide
+        :data:`~repro.util.kernels.kernel_plan_cache`, so streaming
+        consumers absorbing many small batches against one candidate
+        set build it once.  Bit-identical to
         :meth:`_reference_support_counts_for` (the ±1 sums are integers
         below 2⁵³; property-tested).
         """
@@ -133,7 +137,32 @@ class HadamardResponse(PureFrequencyOracle):
         return hadamard_support_counts(
             np.asarray(reports.indices, dtype=np.uint64),
             np.asarray(reports.bits),
-            cands.astype(np.uint64),
+            self._candidate_plan(cands),
+        )
+
+    def _candidate_plan(self, validated_candidates: np.ndarray):
+        """Cached bit-sliced decode plan for a validated candidate array.
+
+        Keyed by the oracle-config parts the plan could possibly depend
+        on (order bounds the index bits) plus the candidate content
+        digest — a different candidate list, or the same list under a
+        differently-configured oracle, can never be served a stale plan.
+        """
+        from repro.util.kernels import (
+            HadamardCandidatePlan,
+            candidate_digest,
+            kernel_plan_cache,
+        )
+
+        cand_u64 = np.ascontiguousarray(validated_candidates, dtype=np.uint64)
+        key = (
+            "hadamard-plan",
+            self.order,
+            self._domain_size,
+            candidate_digest(cand_u64),
+        )
+        return kernel_plan_cache.get(
+            key, lambda: HadamardCandidatePlan(cand_u64)
         )
 
     def _reference_support_counts_for(

@@ -31,7 +31,11 @@ from repro.util.hashing import (
     hash_elementwise,
     params_from_seeds,
 )
-from repro.util.kernels import FusedSupportKernel
+from repro.util.kernels import (
+    FusedSupportKernel,
+    candidate_digest,
+    kernel_plan_cache,
+)
 from repro.util.validation import check_domain_values, check_positive_int
 
 __all__ = ["OptimalLocalHashing", "BinaryLocalHashing"]
@@ -91,10 +95,14 @@ class _LocalHashing(PureFrequencyOracle):
 
         Runs the fused hash→compare→accumulate kernel
         (:class:`repro.util.kernels.FusedSupportKernel`): candidates are
-        premixed once, report tiles stream through cache-sized scratch,
-        and matches accumulate straight into the counts vector — the
-        ``(n, d)`` hash matrix of the reference path is never
-        materialized.  Bit-identical to
+        premixed once, report tiles stream through pooled per-thread
+        scratch, and matches accumulate straight into the counts
+        vector — the ``(n, d)`` hash matrix of the reference path is
+        never materialized.  The premixed kernel is fetched from the
+        process-wide :data:`~repro.util.kernels.kernel_plan_cache`
+        (keyed by the oracle config and candidate digest), so streaming
+        consumers decoding many small batches against one candidate set
+        premix once.  Bit-identical to
         :meth:`_reference_support_counts_for` (integer arithmetic end to
         end; property-tested).
         """
@@ -102,9 +110,29 @@ class _LocalHashing(PureFrequencyOracle):
         if self.g >= (1 << 31):  # outside the mod-magic proof; rare
             return self._reference_support_counts_for(reports, candidates)
         cands = check_domain_values(candidates, self._domain_size, name="candidates")
-        kernel = FusedSupportKernel(_premix(cands), self.g)
+        kernel = self._support_kernel(cands)
         a, b = params_from_seeds(reports.seeds)
         return kernel.support_counts(a, b, reports.values)
+
+    def _support_kernel(self, validated_candidates: np.ndarray) -> FusedSupportKernel:
+        """Cached premixed support kernel for a validated candidate array.
+
+        The key carries every config degree of freedom the kernel bakes
+        in — the hash range ``g`` directly, ``domain_size``/``epsilon``
+        for hygiene (two differently-configured oracles never share an
+        entry even when their ``g`` coincides) — plus the candidate
+        content digest.
+        """
+        key = (
+            "fused-support",
+            self._domain_size,
+            float(self._epsilon),
+            self.g,
+            candidate_digest(validated_candidates),
+        )
+        return kernel_plan_cache.get(
+            key, lambda: FusedSupportKernel(_premix(validated_candidates), self.g)
+        )
 
     def _reference_support_counts_for(
         self, reports: HashedReports, candidates: np.ndarray

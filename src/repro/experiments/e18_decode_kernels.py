@@ -15,6 +15,22 @@ carry the systems stacks:
   reference (``k`` hashes per candidate + bucket gather).
 * **RAPPOR Bloom design matrix** — chunked ``encode_batch`` vs the
   unchunked reference encoding.
+* **Hadamard candidate decode** — the bit-sliced kernel (packed index
+  bit-planes, XOR + popcount, 64 reports per word op) vs the previous
+  kernel tier, the popcount-parity int64 matmul.  For this row the
+  "reference" is the *matmul kernel* rather than the per-candidate
+  loop: both are bit-identical to the loop, and the matmul is the
+  honest baseline the bit-sliced path replaced.
+
+A **streaming sweep** then measures what the kernel plan cache buys a
+windowed consumer: many small panes absorbed into one
+candidate-restricted accumulator.  The *cold* path re-derives the
+candidate-side work every pane exactly as the previous tier did
+(Hadamard: matmul kernel per pane; OLH: premix + kernel construction
+per pane); the *warm* path is the shipped accumulator, which fetches
+the plan from :data:`repro.util.kernels.kernel_plan_cache` (the first
+pane builds it, the rest reuse it — the cache is cleared before timing
+so the build cost is included).  Estimates must match bit for bit.
 
 Every row also checks *bit identity*: the fused path must reproduce the
 reference outputs exactly (integer arithmetic end to end), which is what
@@ -29,11 +45,15 @@ time-slicing; the CPU clock shows the contention is gone).
 Column semantics by sweep: for the kernel sweeps ``ref_s``/``fused_s``
 are the two implementations' decode seconds and ``items_per_s`` is
 items decoded per second through the fused path (reports for support
-counting, candidates for sketch/Bloom reads).  For the ``shards`` sweep
-``ref_s`` is the summed per-shard decode *wall* seconds, ``fused_s`` the
-summed decode-kernel *CPU* seconds, ``speedup`` the kernel-CPU growth
-factor relative to one shard (≈1 ⇒ no contention), and ``items_per_s``
-the end-to-end pipeline users/sec.
+counting, candidates for sketch/Bloom reads).  For the ``stream``
+sweep ``ref_s``/``fused_s`` are the *total* decode seconds across all
+panes for the cold-rebuild and cached paths, ``num_shards`` carries the
+pane count, and ``items_per_s`` streamed users/sec through the cached
+path.  For the ``shards`` sweep ``ref_s`` is the
+summed per-shard decode *wall* seconds, ``fused_s`` the summed
+decode-kernel *CPU* seconds, ``speedup`` the kernel-CPU growth factor
+relative to one shard (≈1 ⇒ no contention), and ``items_per_s`` the
+end-to-end pipeline users/sec.
 """
 
 from __future__ import annotations
@@ -43,11 +63,19 @@ import time
 import numpy as np
 
 from repro.core import BinaryLocalHashing, OptimalLocalHashing
+from repro.core.hadamard import HadamardResponse
+from repro.core.mechanism import HashedReports, IndexedBitReports
 from repro.eval.tables import Table
 from repro.experiments.common import zipf_instance
 from repro.protocol import run_sharded_collection
 from repro.systems.apple import CountMeanSketch
 from repro.util.bloom import BloomFilter
+from repro.util.hashing import _premix, params_from_seeds
+from repro.util.kernels import (
+    FusedSupportKernel,
+    _matmul_hadamard_support_counts,
+    kernel_plan_cache,
+)
 from repro.util.rng import ensure_generator
 
 __all__ = ["run", "main"]
@@ -80,6 +108,10 @@ def run(
     bloom_bits: int = 128,
     bloom_hashes: int = 2,
     bloom_candidates: int = 65_536,
+    had_domain: int = 1 << 20,
+    had_candidates: int = 1024,
+    stream_pane: int = 4096,
+    stream_panes: int = 64,
     shard_counts: tuple[int, ...] = (1, 2, 4),
     chunk_size: int = 65_536,
     workers: int = 4,
@@ -109,9 +141,12 @@ def run(
     )
     table.add_note(
         f"n={n}, eps={epsilon}, seed={seed}; kernel sweeps time fused vs "
-        "reference decode (bit_identical: outputs equal exactly); shards "
-        "sweep: ref_s = decode wall sum, fused_s = decode-kernel CPU sum, "
-        "speedup = kernel-CPU growth vs 1 shard (flat == no contention)"
+        "reference decode (bit_identical: outputs equal exactly; hadamard "
+        "row: bit-sliced vs previous matmul kernel tier); stream sweep: "
+        "ref_s = per-pane candidate-work rebuild total, fused_s = cached "
+        "kernel-plan total, num_shards = pane count; shards sweep: ref_s = "
+        "decode wall sum, fused_s = decode-kernel CPU sum, speedup = "
+        "kernel-CPU growth vs 1 shard (flat == no contention)"
     )
 
     # -- OLH / BLH support counting ------------------------------------
@@ -206,6 +241,123 @@ def run(
         bc / fused_s if fused_s > 0 else 0.0,
         int(np.array_equal(ref, fused)),
     )
+
+    # -- Hadamard bit-sliced candidate decode --------------------------
+    had_oracle = HadamardResponse(had_domain, epsilon)
+    hd = min(had_candidates, had_domain)
+    had_cands = np.sort(
+        gen.choice(had_domain, size=hd, replace=False).astype(np.int64)
+    )
+    had_values = gen.integers(0, had_domain, size=n, dtype=np.int64)
+    had_reports = had_oracle.privatize(had_values, rng=gen)
+    had_idx = np.asarray(had_reports.indices, dtype=np.uint64)
+    had_bits = np.asarray(had_reports.bits)
+    ref, ref_s = _time(
+        lambda: _matmul_hadamard_support_counts(had_idx, had_bits, had_cands)
+    )
+    kernel_plan_cache.clear()  # plan build is part of the measured cost
+    fused, fused_s = _time(
+        lambda: had_oracle.support_counts_for(had_reports, had_cands)
+    )
+    table.add_row(
+        "kernel",
+        "hadamard",
+        n,
+        hd,
+        had_oracle.order,
+        1,
+        ref_s,
+        fused_s,
+        ref_s / fused_s if fused_s > 0 else 0.0,
+        n / fused_s if fused_s > 0 else 0.0,
+        int(np.array_equal(ref, fused)),
+    )
+    del had_reports, had_idx, had_bits
+
+    # -- streaming: cached plans vs per-pane candidate-work rebuild ----
+    stream_users = min(n, stream_pane * stream_panes)
+    pane_spans = [
+        (s, min(s + stream_pane, stream_users))
+        for s in range(0, stream_users, stream_pane)
+    ]
+
+    def _stream_row(protocol, oracle, pane_cold_counts, panes, cands, size_col):
+        """Time cold-rebuild vs cached-plan absorption of ``panes``.
+
+        ``pane_cold_counts(pane)`` must re-derive all candidate-side
+        work, exactly as the pre-cache tier did every ``absorb``.  The
+        warm path is the shipped accumulator; both fold per-pane counts
+        in the same order, so the estimates must be bit-identical.
+        """
+        state = np.zeros(cands.shape[0], dtype=np.float64)
+        cold_n = 0
+        t0 = time.perf_counter()
+        for pane in panes:
+            state += pane_cold_counts(pane)
+            cold_n += oracle.num_reports(pane)
+        cold_s = time.perf_counter() - t0
+        p, q = oracle.p_star, oracle.q_star
+        cold_est = (state - cold_n * q) / (p - q)
+
+        kernel_plan_cache.clear()  # first pane pays the plan build
+        acc = oracle.accumulator(cands)
+        t0 = time.perf_counter()
+        for pane in panes:
+            acc.absorb(pane)
+        warm_s = time.perf_counter() - t0
+        table.add_row(
+            "stream",
+            protocol,
+            stream_users,
+            cands.shape[0],
+            size_col,
+            len(panes),
+            cold_s,
+            warm_s,
+            cold_s / warm_s if warm_s > 0 else 0.0,
+            stream_users / warm_s if warm_s > 0 else 0.0,
+            int(np.array_equal(cold_est, acc.finalize())),
+        )
+
+    s_values = gen.integers(0, had_domain, size=stream_users, dtype=np.int64)
+    s_reports = had_oracle.privatize(s_values, rng=gen)
+    had_panes = [
+        IndexedBitReports(
+            indices=s_reports.indices[a:b], bits=s_reports.bits[a:b]
+        )
+        for a, b in pane_spans
+    ]
+    _stream_row(
+        "hadamard",
+        had_oracle,
+        lambda pane: _matmul_hadamard_support_counts(
+            np.asarray(pane.indices, dtype=np.uint64),
+            np.asarray(pane.bits),
+            had_cands,
+        ),
+        had_panes,
+        had_cands,
+        had_oracle.order,
+    )
+    del s_reports, had_panes
+
+    olh_stream = OptimalLocalHashing(had_domain, epsilon)
+    s_values = gen.integers(0, had_domain, size=stream_users, dtype=np.int64)
+    s_reports = olh_stream.privatize(s_values, rng=gen)
+    olh_panes = [
+        HashedReports(seeds=s_reports.seeds[a:b], values=s_reports.values[a:b])
+        for a, b in pane_spans
+    ]
+
+    def _olh_cold_counts(pane):
+        kernel = FusedSupportKernel(_premix(had_cands), olh_stream.g)
+        a, b = params_from_seeds(pane.seeds)
+        return kernel.support_counts(a, b, pane.values)
+
+    _stream_row(
+        "olh", olh_stream, _olh_cold_counts, olh_panes, had_cands, olh_stream.g
+    )
+    del s_reports, olh_panes
 
     # -- shard-scaling: decode contention under the thread backend -----
     d = olh_domains[0]

@@ -84,6 +84,12 @@ def collect_group(
     chunk — the same pipeline shape as
     :func:`repro.protocol.run_sharded_collection`, restricted to the
     candidate list the round actually scores.
+
+    Every chunk's ``absorb`` decodes against the same candidate list, so
+    the per-candidate decode plan (premixed OLH kernel, or packed
+    Hadamard bit masks) is built once and reused from the process-wide
+    :data:`~repro.util.kernels.kernel_plan_cache` — chunk count no
+    longer multiplies the candidate-side setup cost.
     """
     check_positive_int(chunk_size, name="chunk_size")
     acc = oracle.accumulator(candidates)

@@ -34,14 +34,47 @@ This module replaces both:
   task accumulating into its own partial counts vector; integer
   addition is associative, so the result is bit-identical regardless of
   thread count or schedule.
-* :func:`hadamard_support_counts` — the same tiling for Hadamard
-  response candidate decoding (popcount-parity entries, integer dot).
+* :func:`hadamard_support_counts` — bit-sliced Hadamard candidate
+  decoding: report index bit-planes and ±1 signs are packed into machine
+  words (:func:`repro.util.wht.pack_bit_planes`), the popcount parity
+  ``popcount(j & v) mod 2`` becomes an XOR of planes selected by each
+  candidate's bits, and the signed dot contracts via two
+  ``np.bitwise_count`` popcounts — 64 reports per word op, replacing the
+  int64 matmul NumPy won't BLAS-accelerate (the matmul tier survives as
+  :func:`_matmul_hadamard_support_counts` for benchmarking).
 * :func:`column_support_counts` — tiled integer column sums for the
   dense unary (SUE/OUE) support path.
 
 All kernels are integer arithmetic end to end, so their outputs are
 **bit-identical** to the reference implementations by construction; the
 property suite pins this for every registered oracle.
+
+Kernel plans and caching
+------------------------
+Streaming consumers (``EventTimeCollector`` panes, ``RepeatedCollector``
+rounds, ``collect_group`` chunks) decode many small report batches
+against the *same* candidate set.  The candidate-side setup — premixed
+candidates + mod-``g`` magic for local hashing, packed candidate bit
+masks for Hadamard — is captured in reusable *plans*
+(:class:`FusedSupportKernel`, :class:`HadamardCandidatePlan`) and cached
+in the process-wide :data:`kernel_plan_cache`, keyed by the oracle's
+config fingerprint plus :func:`candidate_digest`.  Plans are immutable
+(their arrays are marked read-only) and hold **no per-batch scratch** —
+scratch lives in a per-thread pool below — so cache entries are safe to
+share across threads, accumulators, ``copy()`` and serialization
+round-trips.  The cache is LRU-bounded (``REPRO_KERNEL_PLAN_CACHE``
+caps the entry count; ``0`` disables caching entirely).
+
+Scheduling
+----------
+Tile tasks fan out across a process-wide pool of daemon workers.  The
+pool is *core-affine* by default: report spans are deterministic
+(``linspace`` bounds), and span ``k`` is always dispatched to worker
+``k``, so repeated decodes of the same population hit the same worker —
+and thus the same warm core caches — instead of being round-robin
+scattered.  ``REPRO_KERNEL_AFFINITY=0`` opts out (rotating dispatch).
+Per-worker tile counts are reported through :class:`KernelTiming` so
+``ShardStats`` can surface the placement.
 
 Timing
 ------
@@ -59,14 +92,19 @@ numbers stay flat — they measure the CPU the kernels actually consumed.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import queue
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import Future
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.util.wht import pack_bit_planes, pack_sign_mask
 
 __all__ = [
     "MERSENNE_P",
@@ -74,11 +112,17 @@ __all__ = [
     "mod_magic",
     "apply_mod",
     "FusedSupportKernel",
+    "HadamardCandidatePlan",
     "hadamard_support_counts",
     "column_support_counts",
     "KernelTiming",
     "kernel_timing_scope",
     "kernel_thread_count",
+    "kernel_affinity_enabled",
+    "KernelPlanCache",
+    "kernel_plan_cache",
+    "plan_cache_capacity",
+    "candidate_digest",
 ]
 
 #: The Mersenne prime 2³¹ − 1 underlying the affine hash family.
@@ -165,6 +209,12 @@ def apply_mod(
     """``x mod divisor`` for uint64 ``x < 2³¹`` via the multiply-shift magic.
 
     Falls back to hardware ``%`` when the divisor is out of magic range.
+    Dividends at or above 2³¹ are **rejected**: the Granlund–Montgomery
+    round-up proof only covers 31-bit dividends, and beyond it the
+    multiply-shift quietly returns wrong residues.  Every internal caller
+    reduces modulo the Mersenne prime first (so dividends are < p < 2³¹
+    by construction); the guard is for everyone else.
+
     Returns a fresh array; the fused kernels inline the same three
     operations over scratch instead.
     """
@@ -172,6 +222,11 @@ def apply_mod(
     d = int(divisor)
     if not 1 <= d < _MAGIC_MAX:
         return x % np.uint64(d)
+    if x.size and int(x.max()) >= _MAGIC_MAX:
+        raise ValueError(
+            "apply_mod dividends must be < 2^31 for the multiply-shift "
+            "magic (reduce mod p first); use hardware % for wider values"
+        )
     m, s = magic if magic is not None else mod_magic(d)
     q = (x * m) >> s
     return x - q * np.uint64(d)
@@ -207,18 +262,35 @@ class KernelTiming:
     ``accumulate_seconds`` covers compare + count (or gather + sum).
     Both sum the per-thread CPU clock across tile tasks: schedule- and
     contention-independent, unlike wall time around the kernel call.
+
+    ``worker_tiles`` maps pool-worker slot → number of tiles that worker
+    processed for this scope (slot ``-1`` is inline execution on the
+    calling thread).  Under affinity scheduling the histogram shows each
+    worker pinned to its span; under scatter it spreads.
     """
 
     hash_seconds: float = 0.0
     accumulate_seconds: float = 0.0
+    worker_tiles: dict[int, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
-    def add(self, hash_seconds: float, accumulate_seconds: float) -> None:
+    def add(
+        self,
+        hash_seconds: float,
+        accumulate_seconds: float,
+        *,
+        worker: int | None = None,
+        tiles: int = 0,
+    ) -> None:
         with self._lock:
             self.hash_seconds += hash_seconds
             self.accumulate_seconds += accumulate_seconds
+            if worker is not None and tiles:
+                self.worker_tiles[worker] = (
+                    self.worker_tiles.get(worker, 0) + tiles
+                )
 
 
 _scope_local = threading.local()
@@ -247,11 +319,200 @@ def kernel_timing_scope():
 
 
 # ---------------------------------------------------------------------------
-# shared tile pool
+# kernel plan cache
 # ---------------------------------------------------------------------------
 
+_PLAN_CACHE_ENV = "REPRO_KERNEL_PLAN_CACHE"
+_PLAN_CACHE_DEFAULT = 64
+
+
+def plan_cache_capacity() -> int:
+    """Entry cap for the process-wide kernel plan cache.
+
+    ``REPRO_KERNEL_PLAN_CACHE`` overrides (``0`` disables caching);
+    unparsable values fall back to the default of
+    ``_PLAN_CACHE_DEFAULT`` entries.  Plans are small — premixed
+    candidates plus packed bit masks, a few hundred KB at heavy-hitter
+    scale — so the default cap bounds the cache at tens of MB worst
+    case.
+    """
+    env = os.environ.get(_PLAN_CACHE_ENV, "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return _PLAN_CACHE_DEFAULT
+
+
+def candidate_digest(values: np.ndarray) -> bytes:
+    """Content digest of a candidate array, for plan-cache keys.
+
+    Hashes dtype, shape and raw bytes with blake2b: two candidate sets
+    collide only if they are byte-identical, so a cached plan can never
+    be served for a different candidate list.
+    """
+    arr = np.ascontiguousarray(values)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.digest()
+
+
+class KernelPlanCache:
+    """Process-wide LRU cache of candidate-side decode plans.
+
+    Keys are ``(kind, *config fingerprint parts, candidate digest)``
+    tuples built by the oracles; values are immutable plan objects
+    (:class:`FusedSupportKernel`, :class:`HadamardCandidatePlan`).
+    Because plans hold no per-batch scratch and their arrays are
+    read-only, entries are shared freely across threads and
+    accumulators — ``copy()`` and ``to_bytes()`` round-trips never see
+    the cache at all (nothing cache-related is ever stored on an
+    accumulator).
+
+    ``get`` builds outside the lock on a miss: a concurrent builder may
+    do duplicate work, but the critical section stays tiny and the
+    first-stored plan wins (both builds are deterministic and
+    equivalent).
+    """
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple, build):
+        capacity = plan_cache_capacity()
+        if capacity <= 0:
+            with self._lock:
+                self.misses += 1
+            return build()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        value = build()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self._entries[key] = value
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: The process-wide plan cache all oracles share.
+kernel_plan_cache = KernelPlanCache()
+
+
+# ---------------------------------------------------------------------------
+# shared tile pool (core-affine)
+# ---------------------------------------------------------------------------
+
+_AFFINITY_ENV = "REPRO_KERNEL_AFFINITY"
+_worker_slot = threading.local()
+
+
+def kernel_affinity_enabled() -> bool:
+    """Whether tile dispatch is core-affine (sticky span → worker).
+
+    On by default; ``REPRO_KERNEL_AFFINITY=0`` (or ``false``/``off``/
+    ``no``) switches to rotating round-robin dispatch.
+    """
+    env = os.environ.get(_AFFINITY_ENV, "").strip().lower()
+    return env not in {"0", "false", "off", "no"}
+
+
+def _current_worker_slot() -> int:
+    """Pool-worker slot of the calling thread (``-1`` = not a worker)."""
+    return getattr(_worker_slot, "idx", -1)
+
+
+class _KernelPool:
+    """Daemon worker threads with one task queue per worker.
+
+    Unlike ``ThreadPoolExecutor``'s single shared queue, per-worker
+    queues let the dispatcher *choose* which worker runs a task — the
+    mechanism behind core-affine span scheduling.  Workers never submit
+    work themselves, so queue order alone can't deadlock.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._queues = [queue.SimpleQueue() for _ in range(size)]
+        self._rotor = 0
+        self._rotor_lock = threading.Lock()
+        for idx in range(size):
+            thread = threading.Thread(
+                target=self._worker,
+                args=(idx,),
+                name=f"repro-kernel-{idx}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _worker(self, idx: int) -> None:
+        _worker_slot.idx = idx
+        q = self._queues[idx]
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            future, fn = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                future.set_exception(exc)
+
+    def submit(self, slot: int, fn) -> Future:
+        future: Future = Future()
+        self._queues[slot % self.size].put((future, fn))
+        return future
+
+    def next_scatter_slot(self) -> int:
+        with self._rotor_lock:
+            slot = self._rotor
+            self._rotor = (self._rotor + 1) % self.size
+            return slot
+
+    def shutdown(self) -> None:
+        """Stop workers after they drain already-queued tasks."""
+        for q in self._queues:
+            q.put(None)
+
+
 _pool_lock = threading.Lock()
-_pool: ThreadPoolExecutor | None = None
+_pool: _KernelPool | None = None
 _pool_size = 0
 
 
@@ -279,22 +540,59 @@ def _submit_to_shared_pool(threads: int, calls) -> list:
     the sharded pipeline's own thread backend is already fanning shards
     out: total in-flight tile tasks are bounded by the pool size.
 
+    Dispatch is core-affine by default: ``calls[k]`` goes to worker
+    ``k mod size``.  Report spans are deterministic (``linspace``
+    bounds over the same population), so span ``k`` of every decode of
+    that population lands on the same worker and reuses its warm core
+    caches — and its thread-local scratch, already sized for the span.
+    With ``REPRO_KERNEL_AFFINITY=0`` dispatch degrades to a rotating
+    scatter (the pre-affinity behavior).
+
     Submission happens *inside* the pool lock: when a caller asks for
     more workers than the current pool has, the pool is replaced under
-    the same lock — already-queued tasks still run to completion
-    (``shutdown`` only refuses *new* submissions) and no caller can
-    race a submit against the swap.
+    the same lock — already-queued tasks still run to completion (each
+    worker drains its queue before exiting) and no caller can race a
+    submit against the swap.
     """
     global _pool, _pool_size
     with _pool_lock:
         if _pool is None or _pool_size < threads:
             if _pool is not None:
-                _pool.shutdown(wait=False)
-            _pool = ThreadPoolExecutor(
-                max_workers=threads, thread_name_prefix="repro-kernel"
-            )
+                _pool.shutdown()
+            _pool = _KernelPool(threads)
             _pool_size = threads
-        return [_pool.submit(fn) for fn in calls]
+        if kernel_affinity_enabled():
+            return [_pool.submit(slot, fn) for slot, fn in enumerate(calls)]
+        return [_pool.submit(_pool.next_scatter_slot(), fn) for fn in calls]
+
+
+# ---------------------------------------------------------------------------
+# per-thread scratch pool
+# ---------------------------------------------------------------------------
+
+#: Kernel scratch lives on the *thread*, not the kernel: plans stay
+#: immutable (and therefore cacheable/copy-safe), repeated small absorbs
+#: stop re-allocating tile buffers, and no two tasks can share a buffer
+#: because a task runs on exactly one thread.  Buffers grow to the
+#: largest tile a thread has seen and are bounded by the tile geometry
+#: (≤ ``_TILE_CELLS`` cells each, ~9 MB per thread worst case).
+_scratch_local = threading.local()
+
+
+def _scratch_uint64(name: str, cells: int) -> np.ndarray:
+    buf = getattr(_scratch_local, name, None)
+    if buf is None or buf.shape[0] < cells:
+        buf = np.empty(cells, dtype=np.uint64)
+        setattr(_scratch_local, name, buf)
+    return buf[:cells]
+
+
+def _scratch_bool(cells: int) -> np.ndarray:
+    buf = getattr(_scratch_local, "match", None)
+    if buf is None or buf.shape[0] < cells:
+        buf = np.empty(cells, dtype=bool)
+        setattr(_scratch_local, "match", buf)
+    return buf[:cells]
 
 
 # ---------------------------------------------------------------------------
@@ -318,10 +616,15 @@ class FusedSupportKernel:
     One instance is built per candidate list: the candidates are premixed
     into the prime field once, the mod-``g`` magic is precomputed, and
     every :meth:`support_counts` call streams report tiles through
-    preallocated scratch.  For value ``v`` and report ``(s, y)`` the
+    pooled per-thread scratch.  For value ``v`` and report ``(s, y)`` the
     kernel counts ``h_s(v) == y`` matches — exactly the quantity
     ``_LocalHashing.support_counts_for`` used to extract from the
     materialized ``hash_cross`` matrix, bit for bit.
+
+    Instances are immutable decode *plans*: the candidate array is
+    marked read-only and no per-batch state is ever stored on the
+    object, so one instance can be cached in :data:`kernel_plan_cache`
+    and shared across threads and accumulators.
 
     Parameters
     ----------
@@ -344,6 +647,9 @@ class FusedSupportKernel:
         x = np.ascontiguousarray(premixed_candidates, dtype=np.uint64)
         if x.ndim != 1:
             raise ValueError(f"candidates must be 1-D, got shape {x.shape}")
+        if x is premixed_candidates or np.shares_memory(x, premixed_candidates):
+            x = x.copy()
+        x.setflags(write=False)
         g = int(range_size)
         if g < 1:
             raise ValueError(f"range_size must be >= 1, got {range_size}")
@@ -428,19 +734,24 @@ class FusedSupportKernel:
         """Count matches for reports ``[lo, hi)`` over all candidates.
 
         Layout: candidates are the leading axis so the per-candidate
-        count reduction sums along contiguous memory.  All scratch is
-        allocated once per span and reused across tiles.
+        count reduction sums along contiguous memory.  Scratch comes
+        from the per-thread pool — repeated small absorbs (streaming
+        panes) reuse the same buffers call after call, and under
+        affinity scheduling each worker's buffers are already sized for
+        its sticky span.
         """
         x = self._x
         d = x.shape[0]
         tile_r = min(self._tile_reports, hi - lo)
         tile_c = min(self._tile_candidates, d)
-        block = np.empty((tile_c, tile_r), dtype=np.uint64)
-        scratch = np.empty_like(block)
-        match = np.empty(block.shape, dtype=bool)
+        cells = tile_c * tile_r
+        block = _scratch_uint64("block", cells).reshape(tile_c, tile_r)
+        scratch = _scratch_uint64("quotient", cells).reshape(tile_c, tile_r)
+        match = _scratch_bool(cells).reshape(tile_c, tile_r)
         counts = np.zeros(d, dtype=np.int64)
         hash_s = 0.0
         acc_s = 0.0
+        tiles = 0
         for r0 in range(lo, hi, tile_r):
             r1 = min(r0 + tile_r, hi)
             w = r1 - r0
@@ -464,35 +775,199 @@ class FusedSupportKernel:
                 t2 = _thread_clock()
                 hash_s += t1 - t0
                 acc_s += t2 - t1
+                tiles += 1
         if timing is not None:
-            timing.add(hash_s, acc_s)
+            timing.add(
+                hash_s, acc_s, worker=_current_worker_slot(), tiles=tiles
+            )
         return counts
 
 
 # ---------------------------------------------------------------------------
-# Hadamard candidate decoding
+# Hadamard candidate decoding (bit-sliced)
 # ---------------------------------------------------------------------------
+
+#: Default report-segment length for the bit-sliced decode.  Dots are
+#: additive over report segments, so segmenting bounds the packed-plane
+#: footprint (≤ 64 planes × seg/64 words ≈ 8 MB at the default) without
+#: changing a single output bit.
+_HAD_SEGMENT_REPORTS = 1 << 20
+
+
+class HadamardCandidatePlan:
+    """Candidate-side plan for the bit-sliced Hadamard decode.
+
+    Precomputes, per candidate set: the union of index bits any
+    candidate inspects (``bit_positions``) and, for each such bit, the
+    boolean mask of candidates that have it set (``bit_masks``) — the
+    XOR-selection table of the decode loop.  Arrays are read-only and
+    the plan holds no scratch, so instances cache and share safely
+    (:data:`kernel_plan_cache`).
+    """
+
+    def __init__(self, candidates: np.ndarray) -> None:
+        cand = np.ascontiguousarray(candidates, dtype=np.uint64)
+        if cand.ndim != 1:
+            raise ValueError(f"candidates must be 1-D, got shape {cand.shape}")
+        if cand is candidates or np.shares_memory(cand, candidates):
+            cand = cand.copy()
+        cand.setflags(write=False)
+        self.candidates = cand
+        union = int(np.bitwise_or.reduce(cand)) if cand.size else 0
+        self.bit_positions = tuple(
+            t for t in range(64) if (union >> t) & 1
+        )
+        shifts = np.array(self.bit_positions, dtype=np.uint64)
+        masks = (
+            (cand[None, :] >> shifts[:, None]) & np.uint64(1)
+        ).astype(bool)
+        masks.setflags(write=False)
+        self.bit_masks = masks  # (num bits, num candidates)
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.candidates.shape[0])
 
 
 def hadamard_support_counts(
+    indices: np.ndarray,
+    bits: np.ndarray,
+    candidates: np.ndarray | HadamardCandidatePlan,
+    *,
+    tile_reports: int = _HAD_SEGMENT_REPORTS,
+) -> np.ndarray:
+    """Per-candidate Hadamard support counts, bit-sliced and integer-exact.
+
+    ``C_v = n/2 + ½ Σ_i b_i·H[j_i, v]`` with ``H[j, v] = (−1)^popcount(j & v)``.
+    Instead of materializing parities and contracting with an int64
+    matmul (the previous tier, kept as
+    :func:`_matmul_hadamard_support_counts`), the kernel bit-slices:
+
+    1. Pack bit-plane ``t`` of the report indices into uint64 words —
+       64 reports per word (:func:`repro.util.wht.pack_bit_planes`),
+       only for bits some candidate actually inspects.
+    2. For each candidate ``v``, ``parity_i = popcount(j_i & v) mod 2``
+       is the XOR of the planes of ``v``'s set bits — one masked
+       ``bitwise_xor`` per active bit per candidate block.
+    3. With ``pos`` the packed mask of ``b_i = +1`` reports and
+       ``sum_b = Σ b_i``, two ``np.bitwise_count`` popcounts finish the
+       signed dot: ``Σ b_i·H[j_i, v] = sum_b − 4·popcount(parity ∧ pos)
+       + 2·popcount(parity)``.
+
+    Everything is integer arithmetic on word-packed lanes; the dot
+    values are integers with magnitude ≤ n < 2⁵³, so the final float
+    expression is bit-identical to the reference's per-candidate float
+    dot (and to the retained matmul tier).  Dots are additive over
+    report segments, so ``tile_reports`` bounds peak memory without
+    affecting output.
+
+    ``candidates`` may be a raw array or a prebuilt (possibly cached)
+    :class:`HadamardCandidatePlan`.
+    """
+    idx = np.ascontiguousarray(indices, dtype=np.uint64)
+    signed_bits = np.ascontiguousarray(bits, dtype=np.int64)
+    if idx.shape != signed_bits.shape or idx.ndim != 1:
+        raise ValueError("indices and bits must be aligned 1-D arrays")
+    if isinstance(candidates, HadamardCandidatePlan):
+        plan = candidates
+    else:
+        plan = HadamardCandidatePlan(candidates)
+    n = idx.shape[0]
+    d = plan.num_candidates
+    dots = np.zeros(d, dtype=np.int64)
+    if n and d:
+        timing = _active_timing()
+        hash_s = 0.0
+        acc_s = 0.0
+        tiles = 0
+        seg_len = max(1, int(tile_reports))
+        for s0 in range(0, n, seg_len):
+            s1 = min(s0 + seg_len, n)
+            h_s, a_s, t_s = _bitsliced_segment(
+                idx[s0:s1], signed_bits[s0:s1], plan, dots
+            )
+            hash_s += h_s
+            acc_s += a_s
+            tiles += t_s
+        if timing is not None:
+            timing.add(
+                hash_s, acc_s, worker=_current_worker_slot(), tiles=tiles
+            )
+    return n / 2.0 + 0.5 * dots.astype(np.float64)
+
+
+def _bitsliced_segment(
+    idx: np.ndarray,
+    signed_bits: np.ndarray,
+    plan: HadamardCandidatePlan,
+    dots: np.ndarray,
+) -> tuple[float, float, int]:
+    """Accumulate one report segment's signed dots into ``dots``.
+
+    Returns (hash seconds, accumulate seconds, tile count).  The *hash*
+    stage is the transform side — plane packing and the sign mask; the
+    *accumulate* stage is the XOR/popcount contraction.
+    """
+    n = idx.shape[0]
+    d = plan.num_candidates
+    t0 = _thread_clock()
+    # Bits no report in this segment has set contribute parity 0 for
+    # every candidate: skip their planes entirely.
+    seg_union = int(np.bitwise_or.reduce(idx))
+    used = [
+        k for k, t in enumerate(plan.bit_positions) if (seg_union >> t) & 1
+    ]
+    num_pos = int((signed_bits > 0).sum())
+    sum_b = 2 * num_pos - n
+    if not used:
+        # Every active parity is even: H contributes +1 throughout.
+        dots += sum_b
+        return _thread_clock() - t0, 0.0, 1
+    pos = pack_sign_mask(signed_bits > 0)
+    planes = pack_bit_planes(idx, [plan.bit_positions[k] for k in used])
+    t1 = _thread_clock()
+    words = planes.shape[1]
+    tile_c = max(1, min(d, _TILE_CELLS // words))
+    parity = _scratch_uint64("block", tile_c * words).reshape(tile_c, words)
+    counted = _scratch_uint64("quotient", tile_c * words).reshape(
+        tile_c, words
+    )
+    tiles = 0
+    for c0 in range(0, d, tile_c):
+        c1 = min(c0 + tile_c, d)
+        par = parity[: c1 - c0]
+        cnt = counted[: c1 - c0]
+        par[:] = 0
+        for j, k in enumerate(used):
+            np.bitwise_xor(
+                par,
+                planes[j][None, :],
+                out=par,
+                where=plan.bit_masks[k, c0:c1, None],
+            )
+        np.bitwise_count(par, out=cnt)
+        pc_all = cnt.sum(axis=1, dtype=np.int64)
+        np.bitwise_and(par, pos[None, :], out=par)
+        np.bitwise_count(par, out=par)
+        pc_pos = par.sum(axis=1, dtype=np.int64)
+        # Σ b_i·(1 − 2·parity_i) over the segment, per candidate.
+        dots[c0:c1] += sum_b - 4 * pc_pos + 2 * pc_all
+        tiles += 1
+    return t1 - t0, _thread_clock() - t1, tiles
+
+
+def _matmul_hadamard_support_counts(
     indices: np.ndarray,
     bits: np.ndarray,
     candidates: np.ndarray,
     *,
     tile_reports: int = _MAX_TILE_REPORTS,
 ) -> np.ndarray:
-    """Per-candidate Hadamard support counts, tiled and integer-exact.
+    """The previous kernel tier: popcount-parity tiles + int64 matmul.
 
-    ``C_v = n/2 + ½ Σ_i b_i·H[j_i, v]`` with ``H[j, v] = (−1)^popcount(j & v)``.
-    The reference evaluates one candidate at a time over the whole batch;
-    this kernel tiles (reports × candidates) into blocks of at most
-    ``_TILE_CELLS`` cells — bounded in *both* dimensions, so population-
-    scale candidate lists never inflate the scratch — computes the
-    popcount parities for a whole block with one vectorized
-    ``bitwise_count``, and contracts against the ±1 bits with an integer
-    matmul.  The signed sums are integers with magnitude ≤ n < 2⁵³, so
-    the final float expression is bit-identical to the reference's
-    per-candidate float dot.
+    Retained as the mid-tier comparison point for the E18 bit-sliced
+    sweep (it is itself bit-identical to the per-candidate reference,
+    which stays on the oracle as ``_reference_support_counts_for``).
     """
     idx = np.ascontiguousarray(indices, dtype=np.uint64)
     cand = np.ascontiguousarray(candidates, dtype=np.uint64)

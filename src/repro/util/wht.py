@@ -26,6 +26,8 @@ __all__ = [
     "fwht",
     "hadamard_entries",
     "hadamard_row",
+    "pack_bit_planes",
+    "pack_sign_mask",
 ]
 
 
@@ -77,6 +79,78 @@ def hadamard_entries(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     c = np.asarray(cols, dtype=np.uint64)
     bits = np.bitwise_count(r & c).astype(np.int64)
     return np.where(bits % 2 == 0, 1.0, -1.0)
+
+
+#: Reports packed per machine word by the bit-sliced decode layout.
+_WORD_BITS = 64
+#: Segment length for plane extraction: small enough that the per-bit
+#: uint64/uint8 staging buffers stay cache-resident, large enough to
+#: amortize the per-segment Python overhead.  Must be a multiple of 8 so
+#: segment boundaries land on byte boundaries of the packed output.
+_PACK_SEGMENT = 1 << 16
+
+
+def pack_bit_planes(values: np.ndarray, bit_positions) -> np.ndarray:
+    """Pack selected bit-planes of ``values`` into machine words.
+
+    Returns a ``(len(bit_positions), ceil(n/64))`` uint64 array whose row
+    ``k`` holds bit ``bit_positions[k]`` of every value, one value per
+    bit, padded with zeros past ``n``.  Word-internal bit order is an
+    implementation detail: consumers only combine planes positionally
+    (XOR/AND) and take popcounts, both of which are position-independent,
+    so any consistent packing (here: little-endian within bytes) yields
+    identical results.
+
+    This is the transform side of the bit-sliced Hadamard decode: the
+    parity ``popcount(j & v) mod 2`` of report index ``j`` against
+    candidate ``v`` is the XOR of the planes of ``j``'s bits selected by
+    ``v`` — 64 reports per word operation instead of one.
+
+    Extraction is segmented through two small staging buffers so the
+    temporaries never scale with ``n`` (population-scale batches stream
+    through cache-sized windows).
+    """
+    x = np.ascontiguousarray(values, dtype=np.uint64)
+    if x.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {x.shape}")
+    n = x.shape[0]
+    words = (n + _WORD_BITS - 1) // _WORD_BITS
+    planes8 = np.zeros((max(1, len(bit_positions)), words * 8), dtype=np.uint8)
+    if n:
+        stage = min(_PACK_SEGMENT, ((n + 7) // 8) * 8)
+        tmp64 = np.empty(stage, dtype=np.uint64)
+        tmp8 = np.empty(stage, dtype=np.uint8)
+        one = np.uint64(1)
+        for s0 in range(0, n, _PACK_SEGMENT):
+            s1 = min(s0 + _PACK_SEGMENT, n)
+            w = s1 - s0
+            byte0 = s0 // 8
+            for k, t in enumerate(bit_positions):
+                np.right_shift(x[s0:s1], np.uint64(t), out=tmp64[:w])
+                np.bitwise_and(tmp64[:w], one, out=tmp64[:w])
+                np.copyto(tmp8[:w], tmp64[:w], casting="unsafe")
+                packed = np.packbits(tmp8[:w], bitorder="little")
+                planes8[k, byte0 : byte0 + packed.shape[0]] = packed
+    return planes8[: len(bit_positions)].view(np.uint64)
+
+
+def pack_sign_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into ``ceil(n/64)`` uint64 words (zero padded).
+
+    Companion of :func:`pack_bit_planes` with the same word layout: used
+    by the bit-sliced decode to pack the ``b_i = +1`` report positions so
+    ``popcount(parity & mask)`` counts positive-bit reports whose parity
+    is odd, 64 at a time.
+    """
+    m = np.ascontiguousarray(mask, dtype=bool)
+    if m.ndim != 1:
+        raise ValueError(f"mask must be 1-D, got shape {m.shape}")
+    words = (m.shape[0] + _WORD_BITS - 1) // _WORD_BITS
+    buf = np.zeros(max(1, words) * 8, dtype=np.uint8)
+    packed = np.packbits(m, bitorder="little")
+    buf[: packed.shape[0]] = packed
+    out = buf.view(np.uint64)
+    return out[:words] if words else out[:0]
 
 
 def hadamard_row(index: int, d: int) -> np.ndarray:

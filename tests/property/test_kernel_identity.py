@@ -7,9 +7,15 @@ This suite pins that promise:
 
 * the hashing substrate (premix, elementwise, cross, seeded family)
   over adversarial edge values — 0, 2⁶³−1, 2⁶⁴−1, multiples of p;
-* the oracle support paths (OLH/BLH fused kernel, Hadamard popcount
-  tiling, unary integer column sums) including empty report batches,
-  single-candidate lists and the BLH ``g = 2`` extreme;
+* the oracle support paths (OLH/BLH fused kernel, bit-sliced Hadamard
+  decode, unary integer column sums) including empty report batches,
+  single-candidate lists and the BLH ``g = 2`` extreme — the bit-sliced
+  tier is pinned against both the retained matmul tier and the direct
+  per-candidate formula over edge shapes (d=1, single report,
+  non-power-of-two candidate counts, constant sign patterns);
+* estimates unchanged whether the kernel plan cache is cold, warm, or
+  disabled (``REPRO_KERNEL_PLAN_CACHE=0``), for every registered oracle
+  and the heavy-hitter stacks;
 * the sketch/Bloom decode paths (CMS tiled reads, chunked design
   matrices) across chunk boundaries;
 * estimates end to end: for every registered oracle and system stack,
@@ -259,6 +265,179 @@ def test_bloom_encode_batch_chunking_is_invisible(monkeypatch):
     # and each row still equals the single-value encoding
     for v in (0, 33, 499):
         assert np.array_equal(whole[v], bloom.encode(v))
+
+
+# -- bit-sliced Hadamard decode --------------------------------------------
+
+
+def _direct_hadamard_counts(idx, bits, cands):
+    from repro.util.wht import hadamard_entries
+
+    n = idx.shape[0]
+    out = np.empty(cands.shape[0])
+    for pos, cand in enumerate(cands):
+        entries = hadamard_entries(idx, np.uint64(cand))
+        out[pos] = n / 2.0 + 0.5 * float(np.asarray(bits) @ entries)
+    return out
+
+
+class TestBitSlicedHadamardIdentity:
+    """Bit-sliced decode == matmul tier == direct formula, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "n,d,order",
+        [
+            (1, 1, 2),        # single report, single candidate
+            (1, 4, 64),       # single report
+            (64, 1, 1 << 16), # single candidate, wide order
+            (100, 3, 8),      # non-power-of-two candidate count
+            (777, 129, 1 << 16),
+            (3000, 100, 1 << 20),
+        ],
+    )
+    def test_edge_shapes_match_matmul_and_direct(self, n, d, order):
+        from repro.util.kernels import (
+            _matmul_hadamard_support_counts,
+            hadamard_support_counts,
+        )
+
+        rng = np.random.default_rng(n * 7919 + d)
+        idx = rng.integers(0, order, size=n).astype(np.uint64)
+        bits = rng.choice([-1.0, 1.0], size=n)
+        cands = rng.choice(order, size=d, replace=False).astype(np.uint64)
+        sliced = hadamard_support_counts(idx, bits, cands)
+        assert np.array_equal(
+            sliced, _matmul_hadamard_support_counts(idx, bits, cands)
+        )
+        assert np.array_equal(sliced, _direct_hadamard_counts(idx, bits, cands))
+
+    @pytest.mark.parametrize("sign", [1.0, -1.0])
+    def test_constant_sign_patterns(self, sign):
+        # all-ones / all-zeros (all minus-one) sign patterns hit the
+        # pos-mask edge: popcount(parity & pos) is everything or nothing.
+        from repro.util.kernels import (
+            _matmul_hadamard_support_counts,
+            hadamard_support_counts,
+        )
+
+        rng = np.random.default_rng(3)
+        idx = rng.integers(0, 256, size=500).astype(np.uint64)
+        bits = np.full(500, sign)
+        cands = np.arange(17, dtype=np.uint64)
+        sliced = hadamard_support_counts(idx, bits, cands)
+        assert np.array_equal(
+            sliced, _matmul_hadamard_support_counts(idx, bits, cands)
+        )
+        assert np.array_equal(sliced, _direct_hadamard_counts(idx, bits, cands))
+
+    def test_zero_index_reports(self):
+        # all indices 0: no active bits, every H entry is +1 — the
+        # plane-free fast branch.
+        from repro.util.kernels import hadamard_support_counts
+
+        idx = np.zeros(40, dtype=np.uint64)
+        bits = np.random.default_rng(5).choice([-1.0, 1.0], size=40)
+        cands = np.arange(8, dtype=np.uint64)
+        assert np.array_equal(
+            hadamard_support_counts(idx, bits, cands),
+            _direct_hadamard_counts(idx, bits, cands),
+        )
+
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_random_shapes_match_matmul(self, seed):
+        from repro.util.kernels import (
+            _matmul_hadamard_support_counts,
+            hadamard_support_counts,
+        )
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 400))
+        d = int(rng.integers(1, 40))
+        order = 1 << int(rng.integers(1, 20))
+        idx = rng.integers(0, order, size=n).astype(np.uint64)
+        bits = rng.choice([-1.0, 1.0], size=n)
+        cands = rng.choice(order, size=min(d, order), replace=False).astype(
+            np.uint64
+        )
+        assert np.array_equal(
+            hadamard_support_counts(idx, bits, cands),
+            _matmul_hadamard_support_counts(idx, bits, cands),
+        )
+
+    def test_segmentation_is_invisible(self):
+        from repro.util.kernels import hadamard_support_counts
+
+        rng = np.random.default_rng(9)
+        idx = rng.integers(0, 1 << 10, size=1000).astype(np.uint64)
+        bits = rng.choice([-1.0, 1.0], size=1000)
+        cands = rng.choice(1 << 10, size=33, replace=False).astype(np.uint64)
+        whole = hadamard_support_counts(idx, bits, cands)
+        for tile in (1, 63, 64, 65, 999):
+            assert np.array_equal(
+                whole,
+                hadamard_support_counts(idx, bits, cands, tile_reports=tile),
+            )
+
+
+# -- estimates unchanged under plan caching --------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+def test_estimates_cache_independent_for_registry(name, monkeypatch):
+    """Plan caching must not move any registered oracle's estimate."""
+    from repro.util.kernels import kernel_plan_cache
+
+    oracle = make_oracle(name, 12, 1.5)
+    values = np.random.default_rng(33).integers(0, 12, size=400)
+    reports = oracle.privatize(values, rng=34)
+    cands = np.array([0, 3, 11])
+
+    def _candidate_estimate():
+        try:
+            acc = oracle.accumulator(cands)
+        except TypeError:  # oracle without candidate restriction (e.g. SHE)
+            acc = oracle.accumulator()
+        return acc.absorb(reports).finalize()
+
+    monkeypatch.setenv("REPRO_KERNEL_PLAN_CACHE", "0")
+    kernel_plan_cache.clear()
+    cold = oracle.estimate_counts(reports)
+    cold_cand = _candidate_estimate()
+    monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE")
+    warm_first = _candidate_estimate()
+    warm_second = _candidate_estimate()
+    assert np.array_equal(cold, oracle.estimate_counts(reports))
+    assert np.array_equal(cold_cand, warm_first)
+    assert np.array_equal(warm_first, warm_second)
+
+
+def test_heavy_hitters_cache_independent(monkeypatch):
+    """PEM/TreeHist/Bitstogram results identical with the cache disabled."""
+    from repro.heavyhitters import (
+        bitstogram_heavy_hitters,
+        pem_heavy_hitters,
+        treehist_heavy_hitters,
+    )
+    from repro.util.kernels import kernel_plan_cache
+
+    values = np.random.default_rng(41).integers(0, 1 << 10, size=4000)
+
+    def _run_all():
+        return (
+            pem_heavy_hitters(values, 10, 2.0, k=4, rng=5),
+            treehist_heavy_hitters(values, 10, 2.0, rng=5),
+            bitstogram_heavy_hitters(values, 10, 2.0, k=4, rng=5),
+        )
+
+    monkeypatch.setenv("REPRO_KERNEL_PLAN_CACHE", "0")
+    kernel_plan_cache.clear()
+    cold = _run_all()
+    monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE")
+    warm = _run_all()
+    for c, w in zip(cold, warm):
+        assert c.items == w.items
+        assert c.counts == w.counts
 
 
 # -- estimates unchanged under kernel thread fan-out -----------------------

@@ -6,13 +6,19 @@ import pytest
 from repro.util.kernels import (
     MERSENNE_P,
     FusedSupportKernel,
+    HadamardCandidatePlan,
+    KernelPlanCache,
     apply_mod,
+    candidate_digest,
     column_support_counts,
     hadamard_support_counts,
+    kernel_affinity_enabled,
+    kernel_plan_cache,
     kernel_thread_count,
     kernel_timing_scope,
     mersenne_reduce,
     mod_magic,
+    plan_cache_capacity,
 )
 
 P = int(MERSENNE_P)
@@ -79,14 +85,29 @@ class TestModMagic:
         "g", [1, 2, 3, 4, 5, 7, 8, 11, 64, 1023, 1024, 2**30, 2**31 - 1]
     )
     def test_matches_hardware_mod(self, g):
+        # Dividends stay below 2³¹: that is the magic's proven range and
+        # apply_mod rejects anything wider (see the boundary tests).
         edges = np.array(
-            [0, 1, g - 1, g, g + 1, 2 * g, P - 1, P // 2], dtype=np.uint64
+            [v for v in (0, 1, g - 1, g, g + 1, 2 * g, P - 1, P // 2) if v < 2**31],
+            dtype=np.uint64,
         )
         rng = np.random.default_rng(g)
         x = np.concatenate(
             [edges, rng.integers(0, P, size=5_000).astype(np.uint64)]
         )
         assert np.array_equal(apply_mod(x, g), x % np.uint64(g))
+
+    def test_apply_mod_dividend_boundary(self):
+        # 2³¹ − 1 is the largest proven dividend: exact.
+        top = np.array([0, 1, 2**31 - 2, 2**31 - 1], dtype=np.uint64)
+        for g in (3, 7, 1024, 2**31 - 1):
+            assert np.array_equal(apply_mod(top, g), top % np.uint64(g))
+        # 2³¹ is one past the Granlund–Montgomery proof: rejected, not
+        # silently wrong.
+        with pytest.raises(ValueError):
+            apply_mod(np.array([2**31], dtype=np.uint64), 7)
+        with pytest.raises(ValueError):
+            apply_mod(np.array([5, 2**40], dtype=np.uint64), 1024)
 
     def test_rejects_out_of_range_divisors(self):
         with pytest.raises(ValueError):
@@ -249,6 +270,193 @@ class TestTimingScope:
     def test_no_scope_is_fine(self):
         # kernels must run (and not crash) without any active scope
         assert column_support_counts(np.ones((2, 2), dtype=np.uint8))[0] == 2.0
+
+
+class TestKernelPlanCache:
+    def test_hit_returns_same_object(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE", raising=False)
+        cache = KernelPlanCache()
+        built = []
+
+        def build():
+            built.append(1)
+            return object()
+
+        first = cache.get(("k", 1), build)
+        second = cache.get(("k", 1), build)
+        assert first is second
+        assert len(built) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_candidate_set_change_is_a_miss(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE", raising=False)
+        cache = KernelPlanCache()
+        a = np.arange(8, dtype=np.int64)
+        b = np.arange(1, 9, dtype=np.int64)
+        one = cache.get(("k", candidate_digest(a)), lambda: "plan-a")
+        other = cache.get(("k", candidate_digest(b)), lambda: "plan-b")
+        assert one == "plan-a" and other == "plan-b"
+        assert cache.stats()["misses"] == 2
+
+    def test_config_fingerprint_mismatch_is_a_miss(self, monkeypatch):
+        """Same candidates, different oracle config → different kernels."""
+        monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE", raising=False)
+        from repro.core import OptimalLocalHashing
+
+        cands = np.arange(6, dtype=np.int64)
+        k1 = OptimalLocalHashing(6, 1.0)._support_kernel(cands)
+        k2 = OptimalLocalHashing(6, 3.0)._support_kernel(cands)  # other g
+        k1_again = OptimalLocalHashing(6, 1.0)._support_kernel(cands)
+        assert k1 is not k2
+        assert k1 is k1_again  # same fingerprint + candidates → shared plan
+
+    def test_lru_eviction_under_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_PLAN_CACHE", "2")
+        cache = KernelPlanCache()
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        cache.get(("a",), lambda: 1)  # refresh a: b is now LRU
+        cache.get(("c",), lambda: 3)  # evicts b
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        assert cache.get(("a",), lambda: "rebuilt") == 1  # a survived the evict
+        built = []
+        cache.get(("b",), lambda: built.append(1) or 2)  # b was evicted: rebuilt
+        assert built
+
+    def test_cap_zero_disables_caching(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_PLAN_CACHE", "0")
+        cache = KernelPlanCache()
+        first = cache.get(("k",), lambda: object())
+        second = cache.get(("k",), lambda: object())
+        assert first is not second
+        assert len(cache) == 0
+
+    def test_capacity_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_PLAN_CACHE", "7")
+        assert plan_cache_capacity() == 7
+        monkeypatch.setenv("REPRO_KERNEL_PLAN_CACHE", "junk")
+        assert plan_cache_capacity() > 0
+        monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE")
+        assert plan_cache_capacity() > 0
+
+    def test_digest_distinguishes_dtype_and_content(self):
+        a = np.arange(4, dtype=np.int64)
+        assert candidate_digest(a) == candidate_digest(a.copy())
+        assert candidate_digest(a) != candidate_digest(a.astype(np.uint64))
+        assert candidate_digest(a) != candidate_digest(a[::-1].copy())
+
+    def test_cached_plans_are_immutable(self):
+        kernel = FusedSupportKernel(np.arange(5, dtype=np.uint64), 4)
+        with pytest.raises(ValueError):
+            kernel._x[0] = 1
+        plan = HadamardCandidatePlan(np.arange(5, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            plan.candidates[0] = 1
+        with pytest.raises(ValueError):
+            plan.bit_masks[0, 0] = True
+
+    def test_plan_build_does_not_freeze_caller_array(self):
+        cands = np.arange(5, dtype=np.uint64)
+        FusedSupportKernel(cands, 4)
+        HadamardCandidatePlan(cands)
+        cands[0] = 7  # caller's array must stay writable
+
+    def test_accumulator_round_trips_never_share_scratch(self, monkeypatch):
+        """copy()/to_bytes() of a cache-hitting accumulator is self-contained.
+
+        Scratch lives in per-thread pools and plans only in the global
+        cache — nothing cache- or scratch-related may appear on the
+        accumulator, so copies and serialized round-trips can never
+        alias live buffers.
+        """
+        monkeypatch.delenv("REPRO_KERNEL_PLAN_CACHE", raising=False)
+        from repro.core import HadamardResponse, OptimalLocalHashing
+
+        for oracle in (OptimalLocalHashing(16, 1.5), HadamardResponse(16, 1.5)):
+            rng = np.random.default_rng(7)
+            cands = np.array([1, 5, 9])
+            acc = oracle.accumulator(cands)
+            acc.absorb(oracle.privatize(rng.integers(0, 16, size=200), rng=rng))
+            dup = acc.copy()
+            wire = oracle.accumulator(cands).from_bytes(acc.to_bytes())
+            baseline = acc.finalize().copy()
+            # diverge the copies; the original must not move
+            more = oracle.privatize(rng.integers(0, 16, size=100), rng=rng)
+            dup.absorb(more)
+            wire.absorb(more)
+            assert np.array_equal(acc.finalize(), baseline)
+            assert np.array_equal(
+                dup.finalize(),
+                wire.finalize(),
+            )
+            # no *mutable* ndarray state is shared between the original
+            # and its round-trips (immutable config like the candidate
+            # list may be shared; live state and scratch may not)
+            for other in (dup, wire):
+                for name, val in vars(acc).items():
+                    if isinstance(val, np.ndarray) and name != "_candidates":
+                        assert not np.shares_memory(val, vars(other).get(name))
+
+
+class TestAffinityScheduling:
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_AFFINITY", raising=False)
+        assert kernel_affinity_enabled()
+        for off in ("0", "false", "OFF", "no"):
+            monkeypatch.setenv("REPRO_KERNEL_AFFINITY", off)
+            assert not kernel_affinity_enabled()
+        monkeypatch.setenv("REPRO_KERNEL_AFFINITY", "1")
+        assert kernel_affinity_enabled()
+
+    @pytest.mark.parametrize("affinity", ["1", "0"])
+    def test_worker_tiles_recorded_and_result_identical(self, monkeypatch, affinity):
+        monkeypatch.setenv("REPRO_KERNEL_AFFINITY", affinity)
+        rng = np.random.default_rng(13)
+        n = 40_000
+        a = rng.integers(1, P, size=n).astype(np.uint64)
+        b = rng.integers(0, P, size=n).astype(np.uint64)
+        y = rng.integers(0, 8, size=n).astype(np.uint64)
+        premixed = rng.integers(0, P, size=64).astype(np.uint64)
+        serial = FusedSupportKernel(premixed, 8, threads=1).support_counts(a, b, y)
+        kernel = FusedSupportKernel(premixed, 8, threads=3)
+        with kernel_timing_scope() as timing:
+            fanned = kernel.support_counts(a, b, y)
+        assert np.array_equal(serial, fanned)
+        assert sum(timing.worker_tiles.values()) > 0
+        # fanned-out spans must have run on pool workers, not inline
+        assert any(slot >= 0 for slot in timing.worker_tiles)
+
+    def test_inline_runs_report_slot_minus_one(self):
+        rng = np.random.default_rng(14)
+        n = 3_000
+        a = rng.integers(1, P, size=n).astype(np.uint64)
+        b = rng.integers(0, P, size=n).astype(np.uint64)
+        y = rng.integers(0, 4, size=n).astype(np.uint64)
+        kernel = FusedSupportKernel(
+            rng.integers(0, P, size=16).astype(np.uint64), 4, threads=1
+        )
+        with kernel_timing_scope() as timing:
+            kernel.support_counts(a, b, y)
+        assert set(timing.worker_tiles) == {-1}
+
+    def test_sticky_spans_reuse_workers(self, monkeypatch):
+        """Under affinity, repeated decodes land spans on the same workers."""
+        monkeypatch.setenv("REPRO_KERNEL_AFFINITY", "1")
+        rng = np.random.default_rng(15)
+        n = 50_000
+        a = rng.integers(1, P, size=n).astype(np.uint64)
+        b = rng.integers(0, P, size=n).astype(np.uint64)
+        y = rng.integers(0, 8, size=n).astype(np.uint64)
+        kernel = FusedSupportKernel(
+            rng.integers(0, P, size=64).astype(np.uint64), 8, threads=2
+        )
+        with kernel_timing_scope() as first:
+            kernel.support_counts(a, b, y)
+        with kernel_timing_scope() as second:
+            kernel.support_counts(a, b, y)
+        assert set(first.worker_tiles) == set(second.worker_tiles)
 
 
 def test_kernel_thread_count_env_override(monkeypatch):
