@@ -1,0 +1,106 @@
+"""E19 benchmark: session windows at 1M users.
+
+One bursty app-open day through the data-driven session geometry:
+(1) the gap-segmentation sweep — the same stream cut into 4/3/1
+sessions purely by the gap parameter, with the seal-time ledger
+identities asserted inside the experiment; (2) the pane-merge-rate
+sweep — shuffled arrival through shrinking delivery envelopes, where
+sparse envelopes split bursts into proto-sessions that later arrivals
+coalesce; (3) the straggler row — delayed uploads behind the sealed
+horizon counted late, never dropped.  Emits the human ``E19.txt`` table
+and the machine-readable ``BENCH_E19.json`` (per-gap throughput and
+snapshot latency, per-envelope coalesce counts) the perf trajectory
+tracks.
+
+``REPRO_BENCH_USERS`` scales the population down (CI smokes the engine
+at tiny sizes); the committed results use the default 1M.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+GAP_SWEEP = (1.0, 3.75, 6.0)
+BRIDGE_CHUNKS = (256, 4_096, 65_536)
+
+
+def bench_e19_session_windows(benchmark, save_table, save_bench_json):
+    table = run_once(
+        benchmark,
+        get_experiment("E19").run,
+        n=BENCH_USERS,
+        chunk_size=min(65_536, max(BENCH_USERS // 4, 1)),
+        gap_sweep=GAP_SWEEP,
+        bridge_chunks=BRIDGE_CHUNKS,
+        seed=19,
+    )
+    save_table("E19", table)
+
+    session_rows = [r for r in table.rows if r[0] == "sessions"]
+    bridge_rows = [r for r in table.rows if r[0] == "bridge"]
+    straggler_rows = [r for r in table.rows if r[0] == "stragglers"]
+
+    # Gap sweep: the window count is decided by the data — strictly
+    # fewer sessions as the gap swallows quiet stretches, every report
+    # absorbed, timed snapshots.  (Ledger-identity and partition
+    # assertions run inside the experiment.)
+    assert [r[1] for r in session_rows] == [f"gap={g:g}h" for g in GAP_SWEEP]
+    window_counts = [r[6] for r in session_rows]
+    assert window_counts == sorted(window_counts, reverse=True)
+    assert window_counts[0] > window_counts[-1] == 1
+    for row in session_rows:
+        assert row[2] == BENCH_USERS
+        assert row[4] > 0.0 and row[5] >= 0.0
+        assert row[8] == BENCH_USERS and row[9] == 0
+
+    # Bridge sweep: sparse envelopes coalesce, dense ones never split;
+    # the final window count matches the small-gap segmentation on
+    # every row (extent equality is asserted inside the experiment).
+    assert len(bridge_rows) == len(BRIDGE_CHUNKS)
+    coalesced = [r[7] for r in bridge_rows]
+    assert coalesced[0] > 0 and coalesced[0] >= coalesced[-1]
+    assert len({r[6] for r in bridge_rows}) == 1
+    for row in bridge_rows:
+        assert row[8] + row[9] == BENCH_USERS
+
+    # Straggler row: delayed uploads counted late, never dropped.
+    (straggler,) = straggler_rows
+    assert straggler[9] > 0
+    assert straggler[8] + straggler[9] == BENCH_USERS
+
+    save_bench_json(
+        "E19",
+        {
+            "experiment": "E19",
+            "users": BENCH_USERS,
+            "sessions": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "mean_snapshot_ms": row[5],
+                    "windows": row[6],
+                    "absorbed": row[8],
+                }
+                for row in session_rows
+            ],
+            "bridge": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "mean_snapshot_ms": row[5],
+                    "windows": row[6],
+                    "coalesced_panes": row[7],
+                }
+                for row in bridge_rows
+            ],
+            "stragglers": {
+                "config": straggler[1],
+                "users_per_sec": straggler[4],
+                "absorbed": straggler[8],
+                "late": straggler[9],
+            },
+        },
+    )

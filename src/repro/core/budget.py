@@ -29,6 +29,7 @@ charged exactly once no matter how many rounds replay them.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.util.validation import check_delta, check_epsilon, check_positive_int
@@ -227,10 +228,18 @@ class PrivacyLedger:
             check_epsilon(self.epsilon_cap, name="epsilon_cap")
         if self.delta_cap is not None:
             check_delta(self.delta_cap, name="delta_cap")
-        # Running totals (kept alongside the audit list so totals are
-        # O(1), not a fresh O(T) reduction per spend).  Group sums only
-        # ever grow, so the running max over groups is maintainable in
-        # O(1) too.
+        self._charged_keys: set[object] = set()
+        self._rebuild_running_totals()
+
+    def _rebuild_running_totals(self) -> None:
+        """Recompute every incremental total from the audit trail.
+
+        Running totals (kept alongside the audit list so totals are
+        O(1), not a fresh O(T) reduction per spend).  Group sums only
+        ever grow under ``spend``, so the running max over groups is
+        maintainable in O(1) there; :meth:`reassign_group` rewrites
+        history and calls back here for a full rebuild instead.
+        """
         self._seq_epsilon = 0.0
         self._seq_delta = 0.0
         self._group_epsilon: dict[str, float] = {}
@@ -243,7 +252,6 @@ class PrivacyLedger:
         self._adv_sum_sq = 0.0
         self._adv_linear = 0.0
         self._delta_sum = 0.0
-        self._charged_keys: set[object] = set()
         for entry in self.spends:
             self._accumulate(entry)
 
@@ -313,11 +321,15 @@ class PrivacyLedger:
         """Opaque snapshot of the account, for transactional multi-charges.
 
         A caller charging several related spends that must land
-        all-or-nothing (e.g. every pane one arriving envelope touches)
-        takes a savepoint first and :meth:`rollback` on failure.
+        all-or-nothing (e.g. every pane one arriving envelope touches,
+        including any provisional-group rewrites a data-driven window
+        merge performs) takes a savepoint first and :meth:`rollback` on
+        failure.  The snapshot captures the spend *entries* as well as
+        the counters: :meth:`reassign_group` rewrites history in place,
+        so truncating to a length would not be enough to undo it.
         """
         return (
-            len(self.spends),
+            tuple(self.spends),
             self._seq_epsilon,
             self._seq_delta,
             dict(self._group_epsilon),
@@ -334,10 +346,12 @@ class PrivacyLedger:
         """Restore the account to a :meth:`savepoint` (drop newer spends).
 
         The token stays valid across rollbacks: the ledger takes copies
-        of its containers, never the token's own.
+        of its containers, never the token's own.  Spends recorded after
+        the savepoint are dropped and any :meth:`reassign_group`
+        rewrites since are undone (``spends`` keeps its list identity).
         """
         (
-            n,
+            entries,
             self._seq_epsilon,
             self._seq_delta,
             group_epsilon,
@@ -352,7 +366,70 @@ class PrivacyLedger:
         self._group_epsilon = dict(group_epsilon)
         self._group_delta = dict(group_delta)
         self._charged_keys = set(charged_keys)
-        del self.spends[n:]
+        self.spends[:] = entries
+
+    def reassign_group(
+        self,
+        sources: Sequence[str],
+        target: str,
+        *,
+        label: str | None = None,
+        collapse_duplicates: bool = False,
+    ) -> int:
+        """Rewrite the parallel-composition group of recorded spends.
+
+        Data-driven windows (session panes) only learn their identity at
+        seal time: an open pane charges under a *provisional* group and
+        the collector rewrites it — to the surviving pane's provisional
+        identity when a late report coalesces two open panes, and to the
+        final window identity when the pane seals.  Every spend whose
+        ``group`` is in ``sources`` is re-tagged with ``target`` (and
+        ``label``, when given).
+
+        ``collapse_duplicates=True`` additionally drops, beyond the
+        first, spends in the rewritten ``target`` group that repeat an
+        already-present ``(epsilon, delta)`` pair.  This is the pane-
+        merge accounting argument: under disjoint-users parallel
+        composition each provisional pane's charge covered a *disjoint*
+        subpopulation of what is now one window, so each user of the
+        merged window still paid the declaration exactly once — keeping
+        both spends would double-bill the merged group sequentially.
+        Spends with differing parameters are never collapsed (the
+        conservative sum stands).
+
+        Returns the number of spends rewritten.  Totals are rebuilt from
+        the surviving trail; use :meth:`savepoint`/:meth:`rollback`
+        around a charge+reassign transaction that must be atomic.
+        """
+        wanted = set(sources)
+        if target in wanted:
+            raise ValueError("target group cannot also be a source")
+        rewritten = 0
+        seen_params: set[tuple[float, float]] = {
+            (s.epsilon, s.delta) for s in self.spends if s.group == target
+        }
+        new_spends: list[PrivacySpend] = []
+        for entry in self.spends:
+            if entry.group not in wanted:
+                new_spends.append(entry)
+                continue
+            rewritten += 1
+            params = (entry.epsilon, entry.delta)
+            if collapse_duplicates and params in seen_params:
+                continue
+            seen_params.add(params)
+            new_spends.append(
+                PrivacySpend(
+                    epsilon=entry.epsilon,
+                    delta=entry.delta,
+                    label=entry.label if label is None else label,
+                    group=target,
+                )
+            )
+        if rewritten:
+            self.spends[:] = new_spends
+            self._rebuild_running_totals()
+        return rewritten
 
     def charge(
         self,

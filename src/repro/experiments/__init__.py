@@ -33,6 +33,7 @@ EXPERIMENT_MODULES = {
     "E16": "e16_windowed_accounting",
     "E17": "e17_event_time",
     "E18": "e18_decode_kernels",
+    "E19": "e19_session_windows",
     "A1": "a01_the_theta",
     "A2": "a02_olh_g",
     "A3": "a03_dbitflip_d",

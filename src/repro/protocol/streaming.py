@@ -30,7 +30,18 @@ Both collectors share one pane algebra, a :class:`WindowSpec`:
   *gapped* (decimated/sampling telemetry): each period contributes only
   its first ``size`` worth of reports to a window, the rest flow
   straight to the cumulative view;
-* **cumulative** — one ever-growing window (the "stream so far" view).
+* **cumulative** — one ever-growing window (the "stream so far" view);
+* **session (gap)** — *data-driven* event-time windows: one window per
+  burst of activity, split wherever the event clock goes quiet for
+  more than ``gap``.  Pane boundaries come from the data, so a window's
+  identity is only known at seal time — in-gap arrivals extend a
+  session, a late report inside ``allowed_lateness`` can bridge two
+  open sessions into one (their panes are coalesced via the
+  non-destructive merge; the count is surfaced as
+  ``StreamResult.coalesced_panes``), and a session seals when the
+  watermark passes ``last_ts + gap``.  Privacy charges are provisional
+  until then and rewritten to the final window identity at seal
+  (:meth:`~repro.core.budget.PrivacyLedger.reassign_group`).
 
 Sliding snapshots are **O(state), independent of the pane count**: the
 closed panes live in a two-stack (DABA-lite) queue aggregate — a back
@@ -72,6 +83,7 @@ from __future__ import annotations
 
 import math
 import time
+from abc import ABC, abstractmethod
 from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -90,10 +102,15 @@ from repro.util.validation import check_positive_int
 __all__ = [
     "AGGREGATIONS",
     "COMPOSITIONS",
+    "PANE_STORES",
     "USER_MODELS",
     "WindowSpec",
     "StreamSnapshot",
     "StreamResult",
+    "PaneStore",
+    "RingPaneStore",
+    "TwoStackPaneStore",
+    "resolve_pane_store",
     "StreamingCollector",
     "EventTimeCollector",
     "stream_collection",
@@ -109,8 +126,27 @@ COMPOSITIONS = ("basic", "advanced")
 #: Pane-store implementations behind sliding windows.
 AGGREGATIONS = ("two_stack", "ring")
 
-_KINDS = ("tumbling", "sliding", "cumulative", "event_tumbling", "event_sliding")
-_EVENT_KINDS = ("event_tumbling", "event_sliding")
+_KINDS = (
+    "tumbling",
+    "sliding",
+    "cumulative",
+    "event_tumbling",
+    "event_sliding",
+    "session",
+)
+_EVENT_KINDS = ("event_tumbling", "event_sliding", "session")
+
+
+def _check_positive_duration(value, *, name: str) -> float:
+    """A strictly positive, finite event-clock duration (named errors)."""
+    if value is None:
+        raise ValueError(f"{name} is required and must be a positive duration")
+    duration = float(value)
+    if not math.isfinite(duration):
+        raise ValueError(f"{name} must be finite, got {duration}")
+    if duration <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {duration}")
+    return duration
 
 
 @dataclass(frozen=True)
@@ -120,12 +156,15 @@ class WindowSpec:
     Attributes
     ----------
     kind:
-        ``"tumbling"`` | ``"sliding"`` | ``"cumulative"`` (count-time) or
-        ``"event_tumbling"`` | ``"event_sliding"`` (event-time).
+        ``"tumbling"`` | ``"sliding"`` | ``"cumulative"`` (count-time),
+        ``"event_tumbling"`` | ``"event_sliding"`` (fixed event-time
+        panes) or ``"session"`` (data-driven event-time panes).
     size:
         Window extent — reports for count-time kinds (optional for
         tumbling/cumulative collectors driven by explicit ``roll``
-        calls), event-clock duration for event-time kinds (required).
+        calls), event-clock duration for fixed event-time kinds
+        (required).  Session windows take no ``size``: their extent
+        comes from the data.
     stride:
         Sliding only: distance between consecutive window starts.
         ``stride < size`` gives overlapping windows (stride must tile
@@ -142,6 +181,15 @@ class WindowSpec:
     origin:
         Event-time only: the epoch pane boundaries are anchored to
         (pane ``p`` covers ``[origin + p·span, origin + (p+1)·span)``).
+        Session panes have no fixed boundaries, so for them ``origin``
+        is a documentation-only epoch marker (validated finite, never
+        shifts a boundary).
+    gap:
+        Session only: the inactivity threshold that splits sessions.  A
+        report within ``gap`` of an open session (on either side)
+        extends it; a quiet stretch strictly longer than ``gap`` starts
+        a new session.  A session seals when the watermark passes
+        ``last_ts + gap``.
     """
 
     kind: str
@@ -149,10 +197,18 @@ class WindowSpec:
     stride: int | float | None = None
     allowed_lateness: float = 0.0
     origin: float = 0.0
+    gap: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind == "session":
+            self._validate_session()
+            return
+        if self.gap is not None:
+            raise ValueError(
+                f"gap only applies to session windows, not {self.kind!r}"
+            )
         if self.is_event_time:
             self._validate_event_time()
             return
@@ -175,25 +231,33 @@ class WindowSpec:
         elif self.stride is not None:
             raise ValueError(f"stride only applies to sliding windows, not {self.kind}")
 
-    def _validate_event_time(self) -> None:
-        if self.size is None or not float(self.size) > 0.0:
-            raise ValueError("event-time windows need a positive size (duration)")
-        if not math.isfinite(float(self.size)):
-            raise ValueError("event-time size must be finite")
+    def _validate_lateness_and_origin(self) -> None:
         if self.allowed_lateness < 0.0 or not math.isfinite(self.allowed_lateness):
             raise ValueError(
                 f"allowed_lateness must be finite and >= 0, got {self.allowed_lateness}"
             )
         if not math.isfinite(self.origin):
             raise ValueError(f"origin must be finite, got {self.origin}")
+
+    def _validate_session(self) -> None:
+        _check_positive_duration(self.gap, name="gap")
+        if self.size is not None:
+            raise ValueError(
+                "size does not apply to session windows (their extent is "
+                "data-driven); set gap instead"
+            )
+        if self.stride is not None:
+            raise ValueError("stride only applies to sliding windows")
+        self._validate_lateness_and_origin()
+
+    def _validate_event_time(self) -> None:
+        _check_positive_duration(self.size, name="size")
+        self._validate_lateness_and_origin()
         if self.kind == "event_tumbling":
             if self.stride is not None:
                 raise ValueError("stride only applies to sliding windows")
             return
-        if self.stride is None or not float(self.stride) > 0.0:
-            raise ValueError("event_sliding windows need a positive stride")
-        if not math.isfinite(float(self.stride)):
-            raise ValueError("event-time stride must be finite")
+        _check_positive_duration(self.stride, name="stride")
         if float(self.stride) < float(self.size):
             panes = round(float(self.size) / float(self.stride))
             if not math.isclose(
@@ -252,12 +316,36 @@ class WindowSpec:
             origin=float(origin),
         )
 
+    @classmethod
+    def session(
+        cls, gap: float, *, allowed_lateness: float = 0.0, origin: float = 0.0
+    ) -> "WindowSpec":
+        """Data-driven session windows: activity bursts split by ``gap``.
+
+        One window per burst of reports in which consecutive event
+        times are at most ``gap`` apart; the window covers
+        ``[first_ts, last_ts + gap)`` and is only fully known at seal
+        time — a late report inside ``allowed_lateness`` can extend a
+        session or bridge two open sessions into one.
+        """
+        return cls(
+            "session",
+            allowed_lateness=float(allowed_lateness),
+            origin=float(origin),
+            gap=float(gap),
+        )
+
     # -- derived geometry ---------------------------------------------------
 
     @property
     def is_event_time(self) -> bool:
         """Whether pane assignment is timestamp-driven."""
         return self.kind in _EVENT_KINDS
+
+    @property
+    def is_data_driven(self) -> bool:
+        """Whether pane *boundaries* come from the data, not the spec."""
+        return self.kind == "session"
 
     @property
     def is_gapped(self) -> bool:
@@ -290,8 +378,12 @@ class WindowSpec:
 
     @property
     def pane_span(self) -> float | None:
-        """Event-clock length of one pane period (event-time kinds only)."""
-        if not self.is_event_time:
+        """Event-clock length of one pane period (fixed event-time kinds).
+
+        ``None`` for count-time kinds and for sessions, whose pane
+        extents come from the data, not the spec.
+        """
+        if not self.is_event_time or self.is_data_driven:
             return None
         if self.kind == "event_sliding":
             return float(self.stride)
@@ -301,7 +393,10 @@ class WindowSpec:
         """Event-time interval ``[start, end)`` of pane period ``index``."""
         span = self.pane_span
         if span is None:
-            raise ValueError("pane_bounds is only defined for event-time windows")
+            raise ValueError(
+                "pane_bounds is only defined for fixed-pane event-time "
+                "windows (session pane extents come from the data)"
+            )
         return self.origin + index * span, self.origin + (index + 1) * span
 
     def window_bounds(self, index: int) -> tuple[float, float]:
@@ -328,8 +423,12 @@ class StreamSnapshot:
     window_index:
         Pane index of the window the snapshot closes (or reads, for
         mid-window snapshots).  Count-time windows count from 0 in
-        arrival order; event-time windows use the absolute pane index
-        on the event clock (``spec.pane_bounds(window_index)``).
+        arrival order; fixed event-time windows use the absolute pane
+        index on the event clock (``spec.pane_bounds(window_index)``);
+        session windows use the session's creation *serial* — a
+        straggler can open a session that starts (and therefore seals)
+        before an earlier-serial one, so emitted session indices need
+        not be sorted, but ``window_start`` always is.
     window_users / total_users:
         Reports in the window view / absorbed since stream start.
     window_estimates:
@@ -383,6 +482,9 @@ class StreamResult(Sequence):
     produced it.  Event-time streams additionally account every report
     they saw: ``absorbed_reports + late_reports`` equals the number of
     reports offered to the collector — nothing is silently dropped.
+    ``coalesced_panes`` counts the open panes a data-driven (session)
+    stream merged away when late reports bridged two sessions (always
+    0 for fixed geometries).
     """
 
     def __init__(
@@ -394,6 +496,7 @@ class StreamResult(Sequence):
         absorbed_reports: int = 0,
         late_reports: int = 0,
         composition: str = "basic",
+        coalesced_panes: int = 0,
     ) -> None:
         self.snapshots = list(snapshots)
         self.ledger = ledger
@@ -401,6 +504,7 @@ class StreamResult(Sequence):
         self.absorbed_reports = int(absorbed_reports)
         self.late_reports = int(late_reports)
         self.composition = composition
+        self.coalesced_panes = int(coalesced_panes)
 
     @property
     def total_reports(self) -> int:
@@ -442,21 +546,93 @@ def _merged_estimates(accumulators) -> tuple[int, np.ndarray | None]:
     return users, merged.finalize()
 
 
-class _RingPanes:
-    """PR 3 pane store: a ring of closed panes, merged on demand.
+class PaneStore(ABC):
+    """Common interface of the pane stores behind every collector.
 
-    ``window_components`` returns every live pane — a snapshot must
-    merge O(panes) accumulators, the baseline E17 benchmarks against.
+    A store owns the live pane accumulators (oldest first) plus the
+    ``retired`` accumulator — panes that left every window, folded
+    together for the cumulative view.  Implementations trade snapshot
+    cost for bookkeeping (ring: O(panes) merges per view; two-stack:
+    O(1)); which one serves a given spec is the
+    :func:`resolve_pane_store` policy, not the caller's ``aggregation``
+    verbatim.
+
+    ``coalesce`` merges two *adjacent* live panes into one.  The merge
+    algebra already made this safe — regrouping exact-sum accumulators
+    is bit-identical to having absorbed into one pane all along — but
+    the store structure did not: each implementation must keep its own
+    cached aggregates valid across the splice.  The data-driven session
+    geometry relies on it when a late report bridges two open sessions.
     """
 
     def __init__(self, factory) -> None:
         self._factory = factory
         self.retired = factory()
+
+    @abstractmethod
+    def push(self, pane) -> None:
+        """File the newest closed pane."""
+
+    @abstractmethod
+    def evict_oldest(self) -> None:
+        """Fold the oldest live pane into the retired (cumulative-only) state."""
+
+    @property
+    @abstractmethod
+    def count(self) -> int:
+        """Live panes currently held."""
+
+    @abstractmethod
+    def window_components(self) -> list:
+        """Accumulators whose merge covers every live pane (oldest first)."""
+
+    @abstractmethod
+    def live_panes(self) -> list:
+        """The raw live pane accumulators, oldest first."""
+
+    @abstractmethod
+    def coalesce(self, i: int, j: int) -> None:
+        """Merge adjacent live panes ``i`` and ``j == i + 1`` into one.
+
+        Indices are oldest-first positions as returned by
+        :meth:`live_panes`; pane ``j`` is folded into pane ``i`` via the
+        non-destructive merge and removed.
+        """
+
+    def _check_adjacent(self, i: int, j: int) -> None:
+        if j != i + 1:
+            raise ValueError(
+                f"coalesce merges adjacent panes: j must be i + 1, got ({i}, {j})"
+            )
+        if i < 0 or j >= self.count:
+            raise ValueError(
+                f"pane indices ({i}, {j}) out of range for {self.count} live panes"
+            )
+
+
+class RingPaneStore(PaneStore):
+    """PR 3 pane store: a ring of panes, merged on demand.
+
+    ``window_components`` returns every live pane — a snapshot must
+    merge O(panes) accumulators, the baseline E17 benchmarks against.
+    The ring is also the only *random-access* store: with no cached
+    aggregates to invalidate, panes can be inserted mid-ring and
+    absorbed into in place — which is what the session geometry needs
+    for its open panes (:func:`resolve_pane_store` routes every
+    single-pane and session spec here).
+    """
+
+    def __init__(self, factory) -> None:
+        super().__init__(factory)
         self._ring: deque = deque()
 
     def push(self, pane) -> None:
         """File the newest closed pane."""
         self._ring.append(pane)
+
+    def insert_pane(self, index: int, pane) -> None:
+        """Splice a pane in mid-ring (sessions can open out of start order)."""
+        self._ring.insert(index, pane)
 
     def evict_oldest(self) -> None:
         """Fold the oldest live pane into the retired (cumulative-only) state."""
@@ -470,8 +646,16 @@ class _RingPanes:
         """Accumulators whose merge covers every live closed pane (oldest first)."""
         return list(self._ring)
 
+    def live_panes(self) -> list:
+        return list(self._ring)
 
-class _TwoStackPanes:
+    def coalesce(self, i: int, j: int) -> None:
+        self._check_adjacent(i, j)
+        self._ring[i].merge(self._ring[j])
+        del self._ring[j]
+
+
+class TwoStackPaneStore(PaneStore):
     """Two-stack (DABA-lite) pane store: O(state) window views.
 
     The classic queue-from-two-stacks trick lifted to the merge
@@ -491,8 +675,7 @@ class _TwoStackPanes:
     """
 
     def __init__(self, factory) -> None:
-        self._factory = factory
-        self.retired = factory()
+        super().__init__(factory)
         self._back: list = []  # oldest back pane first
         self._back_agg = factory()
         self._front: list = []  # (pane, suffix_agg); oldest pane last
@@ -533,8 +716,56 @@ class _TwoStackPanes:
         components.append(self._back_agg)
         return components
 
+    def live_panes(self) -> list:
+        """Raw panes oldest first (the front list stores newest-first)."""
+        return [pane for pane, _ in reversed(self._front)] + list(self._back)
 
-_PANE_STORES = {"ring": _RingPanes, "two_stack": _TwoStackPanes}
+    def coalesce(self, i: int, j: int) -> None:
+        self._check_adjacent(i, j)
+        split = len(self._front)
+        if i >= split:
+            # Both panes sit on the back list: merge in place.  The
+            # running back_agg covers the union of the back panes'
+            # reports, and regrouping panes never changes that union
+            # (exact-sum algebra), so it stays valid untouched.
+            bi = i - split
+            self._back[bi].merge(self._back[bi + 1])
+            del self._back[bi + 1]
+            return
+        # A front pane is involved: its cached suffix merges go stale,
+        # so rebuild from the surviving panes.  Coalesces are rare
+        # bridge events; paying O(panes) here keeps every view O(1).
+        panes = self.live_panes()
+        panes[i].merge(panes[j])
+        del panes[j]
+        self._front = []
+        self._back = []
+        self._back_agg = self._factory()
+        for pane in panes:
+            self.push(pane)
+
+
+#: Pane-store implementations, keyed by ``aggregation`` name.
+PANE_STORES: dict[str, type[PaneStore]] = {
+    "ring": RingPaneStore,
+    "two_stack": TwoStackPaneStore,
+}
+
+
+def resolve_pane_store(spec: WindowSpec, aggregation: str) -> str:
+    """Policy: which pane store actually serves a spec.
+
+    Single-pane windows (tumbling, cumulative, gapped — and session,
+    whose live window is always one data-driven pane) never merge
+    several closed panes at snapshot time, so the two-stack machinery
+    could only add copies — the plain ring is strictly cheaper there.
+    Session geometries additionally *require* the ring's random access
+    (mid-ring insertion, in-place absorb, coalescing).  Multi-pane
+    fixed windows get the ``aggregation`` the caller asked for.
+    """
+    if spec.num_panes == 1:
+        return "ring"
+    return aggregation
 
 
 class _CollectorBase:
@@ -573,11 +804,11 @@ class _CollectorBase:
         self.delta_slack = float(delta_slack)
         self.aggregation = aggregation
         self._declaration = self._resolve_declaration(oracle)
-        # Single-pane windows (tumbling/cumulative/gapped) never merge
-        # closed panes at snapshot time, so the two-stack machinery can
-        # only add copies — the plain ring is strictly cheaper there.
-        store = "ring" if spec.num_panes == 1 else aggregation
-        self._store = _PANE_STORES[store](oracle.accumulator)
+        # Which store serves this spec is a policy decision, not the
+        # caller's aggregation verbatim — see resolve_pane_store.
+        self._store = PANE_STORES[resolve_pane_store(spec, aggregation)](
+            oracle.accumulator
+        )
         # One-time charges are memoized per *release*, and one collector
         # instance is one release stream: the sentinel scopes its memo
         # keys so two streams sharing a ledger each pay their own bill.
@@ -835,6 +1066,501 @@ class StreamingCollector(_CollectorBase):
         return snap
 
 
+def _grouped_by_pane(timed: TimedReports, panes: np.ndarray, mask: np.ndarray):
+    """Yield ``(pane, sub-envelope)`` per distinct pane under ``mask``.
+
+    One stable argsort + boundary split routes the whole envelope in
+    a single pass — a per-pane mask rescan would cost
+    O(panes · envelope) on heavily out-of-order streams.  The stable
+    sort preserves arrival order within each pane, so absorption
+    order (and hence every bit of the estimates) is unchanged.
+    """
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return
+    order = idx[np.argsort(panes[idx], kind="stable")]
+    cuts = np.flatnonzero(np.diff(panes[order])) + 1
+    for segment in np.split(order, cuts):
+        yield int(panes[segment[0]]), timed.select(segment)
+
+
+class _PaneGeometry:
+    """Per-kind pane policy: where a report lands and when a pane seals.
+
+    The collector owns the arrival machinery — the watermark, privacy
+    charging, the pane store, the absorbed/late counters and the
+    emitted snapshots.  A geometry owns pane *identity*: classifying
+    timestamps into panes, routing sub-envelopes, deciding what the
+    watermark has sealed and what window a sealed pane emits.  Fixed
+    (tumbling/sliding) and data-driven (session) geometries share the
+    one collector through this interface.
+    """
+
+    #: Open panes bridged into a neighbour by late data (sessions only).
+    merged_panes = 0
+
+    def __init__(self, collector: "EventTimeCollector") -> None:
+        self._c = collector
+
+    def ingest(self, timed: TimedReports) -> None:
+        """Charge, route and count one envelope (watermark untouched)."""
+        raise NotImplementedError
+
+    def precharge(self, ts: np.ndarray) -> None:
+        """Charge every pane the given event times would land in."""
+        raise NotImplementedError
+
+    def seal_past_watermark(self, *, everything: bool = False) -> None:
+        """Seal (in order) every pane the watermark passed; emit windows."""
+        raise NotImplementedError
+
+    def open_accumulators(self) -> list:
+        """Open accumulators living outside the store (oldest first)."""
+        return []
+
+    def open_count(self) -> int:
+        """Open panes not counted by the store."""
+        return 0
+
+
+class _FixedPaneGeometry(_PaneGeometry):
+    """Spec-driven panes: fixed periods of the event clock.
+
+    Pane ``p`` covers ``[origin + p·span, origin + (p+1)·span)``; the
+    sealing frontier advances pane by pane (compressing dead air), and
+    gapped specs route each period's tail straight to the cumulative
+    view.  Open panes live in a dict keyed by absolute pane index; the
+    store only ever holds sealed panes.
+    """
+
+    def __init__(self, collector: "EventTimeCollector") -> None:
+        super().__init__(collector)
+        self._open: dict[int, object] = {}  # pane index → accumulator
+        self._charged: set[int] = set()
+        self._sealed_through: int | None = None  # last sealed pane index
+
+    # -- classification -----------------------------------------------------
+
+    def _pane_of(self, timestamps: np.ndarray) -> np.ndarray:
+        if not np.all(np.isfinite(timestamps)):
+            raise ValueError("timestamps must be finite")
+        spec = self._c.spec
+        span = spec.pane_span
+        raw = np.floor((timestamps - spec.origin) / span)
+        # Casting past int64 wraps silently (numpy only warns) and a
+        # wrapped pane index derails the sealing frontier — reject
+        # timestamps absurdly far from the origin for this pane span
+        # instead (epoch-nanosecond floats with a sub-second span, say).
+        if raw.size and float(np.abs(raw).max()) >= 2.0**62:
+            raise ValueError(
+                "timestamps lie too far from origin for this pane span "
+                f"(pane index beyond ±2^62; span={span}, origin="
+                f"{spec.origin}) — rescale the event clock or origin"
+            )
+        return raw.astype(np.int64)
+
+    def _classify(
+        self, timestamps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-report ``(pane index, sealed?, gap?)`` for given event times.
+
+        A pane is sealed the moment the watermark passes its end —
+        whether or not it was ever emitted (dead air before the first
+        report is sealed too, just never enumerated).
+        """
+        spec = self._c.spec
+        panes = self._pane_of(timestamps)
+        span = spec.pane_span
+        pane_ends = spec.origin + (panes + 1) * span
+        sealed = pane_ends <= self._c.watermark
+        if self._sealed_through is not None:
+            sealed |= panes <= self._sealed_through
+        gap = np.zeros(timestamps.shape[0], dtype=bool)
+        if spec.is_gapped:
+            offset = timestamps - spec.origin - panes * span
+            gap = ~sealed & (offset >= float(spec.size))
+        return panes, sealed, gap
+
+    # -- routing ------------------------------------------------------------
+
+    def ingest(self, timed: TimedReports) -> None:
+        c = self._c
+        panes, sealed, gap = self._classify(timed.timestamps)
+        routable = ~sealed & ~gap
+        # Charge every pane the envelope touches *before* absorbing any
+        # of it, atomically: a capped ledger refuses the whole envelope
+        # (nothing absorbed or recorded, watermark not advanced), never
+        # half of it.  (A driver that called charge_for first finds the
+        # panes already charged — this is then a no-op.)
+        self._charge_panes(np.unique(panes[routable | gap]))
+        c._late += int(sealed.sum())
+        for pane, sub in _grouped_by_pane(timed, panes, gap):
+            self._route_gap(pane, sub)
+        for pane, sub in _grouped_by_pane(timed, panes, routable):
+            self._absorb_into_pane(pane, sub)
+
+    def precharge(self, ts: np.ndarray) -> None:
+        """Charge the panes these times land in; sealed panes charge nothing."""
+        panes, sealed, _gap = self._classify(ts)
+        self._charge_panes(np.unique(panes[~sealed]))
+
+    def _charge_panes(self, panes) -> None:
+        """Atomically charge a set of pane indices (all-or-nothing)."""
+        token = self._c.ledger.savepoint()
+        newly_charged: list[int] = []
+        try:
+            for pane in panes:
+                pane = int(pane)
+                if pane not in self._charged:
+                    self._charge(pane)
+                    newly_charged.append(pane)
+        except BudgetExceededError:
+            self._c.ledger.rollback(token)
+            self._charged.difference_update(newly_charged)
+            raise
+
+    def _charge(self, pane: int) -> None:
+        if pane in self._charged:
+            return
+        start, end = self._c.spec.pane_bounds(pane)
+        # The pane index leads the identity: %g readability alone would
+        # collide adjacent windows at epoch-scale timestamps (6
+        # significant digits), silently merging their parallel groups.
+        self._c._charge_pane(pane, f"window-{pane}[{start:g},{end:g})")
+        self._charged.add(pane)
+
+    def _route_gap(self, pane: int, sub: TimedReports) -> None:
+        """Gap reports of a sampling stream: cumulative view only.
+
+        The pane still *opens* (empty) so its period's window is
+        emitted when the watermark passes — a sampling stream whose
+        reports all land in gaps still surfaces its (empty) windows and
+        the cumulative view holding those reports.
+        """
+        c = self._c
+        if pane not in self._open:
+            self._open[pane] = c._oracle.accumulator()
+        before = c._store.retired.n_absorbed
+        c._store.retired.absorb(sub.reports)
+        c._absorbed += c._store.retired.n_absorbed - before
+
+    def _absorb_into_pane(self, pane: int, sub: TimedReports) -> None:
+        c = self._c
+        acc = self._open.get(pane)
+        if acc is None:
+            acc = self._open[pane] = c._oracle.accumulator()
+        before = acc.n_absorbed
+        acc.absorb(sub.reports)
+        c._absorbed += acc.n_absorbed - before
+
+    # -- sealing ------------------------------------------------------------
+
+    def seal_past_watermark(self, *, everything: bool = False) -> None:
+        """Seal (in order) every pane the watermark has passed; emit windows.
+
+        Quiet intervals emit their empty windows honestly — up to one
+        full window of them.  Once every live pane is empty (the stream
+        has been silent for a whole window span) further dead-air panes
+        would all emit the same empty window, so the frontier leaps to
+        the next pane holding data instead of enumerating them.
+        """
+        c = self._c
+        if not self._open and self._sealed_through is None:
+            return  # nothing observed yet — no pane frontier to advance
+        frontier = (
+            self._sealed_through + 1
+            if self._sealed_through is not None
+            else min(self._open)
+        )
+        watermark = c.watermark
+        span = c.spec.pane_span
+        while True:
+            if everything:
+                if not self._open:
+                    break
+            else:
+                _, pane_end = c.spec.pane_bounds(frontier)
+                if pane_end > watermark:
+                    break
+            if frontier not in self._open and all(
+                acc.n_absorbed == 0 for acc in c._store.window_components()
+            ):
+                if self._open:
+                    next_pane = min(self._open)
+                elif everything:
+                    break
+                else:
+                    next_pane = frontier  # fall through to the cap below
+                if not everything:
+                    # Never leap past the watermark: panes beyond it are
+                    # still open for late data and must not be marked
+                    # sealed just because the next report is far ahead.
+                    next_pane = min(
+                        next_pane,
+                        int(math.floor((watermark - c.spec.origin) / span)),
+                    )
+                if next_pane > frontier:
+                    self._sealed_through = next_pane - 1
+                    frontier = next_pane
+                    continue
+            self._seal_pane(frontier)
+            frontier += 1
+
+    def _seal_pane(self, pane: int) -> None:
+        """Close pane ``pane``, emit the window it completes."""
+        t0 = time.perf_counter()
+        c = self._c
+        acc = self._open.pop(pane, None)
+        if acc is None:
+            acc = c._oracle.accumulator()
+        c._store.push(acc)
+        while c._store.count > c.spec.num_panes:
+            c._store.evict_oldest()
+        window_users, window_est = _merged_estimates(c._store.window_components())
+        start, end = c.spec.window_bounds(pane)
+        c._record_snapshot(
+            index=pane,
+            start=start,
+            end=end,
+            window_users=window_users,
+            window_est=window_est,
+            t0=t0,
+        )
+        self._sealed_through = pane
+
+    def open_accumulators(self) -> list:
+        return [self._open[p] for p in sorted(self._open)]
+
+    def open_count(self) -> int:
+        return len(self._open)
+
+
+def _provisional_label(serial: int) -> str:
+    """Ledger identity of a still-open session (rewritten at seal)."""
+    return f"session-{serial}[open]"
+
+
+def _final_label(serial: int, start: float, end: float) -> str:
+    """Seal-time ledger identity of a session window.
+
+    The serial leads the identity: %g readability alone would collide
+    windows at epoch-scale timestamps (6 significant digits), silently
+    merging their parallel groups.
+    """
+    return f"session-{serial}[{start:g},{end:g})"
+
+
+@dataclass
+class _OpenSession:
+    """One live session: a serial identity plus its event-time extent."""
+
+    serial: int
+    start: float  # earliest event time absorbed (or precharged)
+    end: float  # latest event time absorbed; extent is [start, end + gap)
+
+
+class _SessionPaneGeometry(_PaneGeometry):
+    """Data-driven panes: gap-separated activity sessions (Beam-style).
+
+    Open sessions are kept sorted by start time, pairwise more than
+    ``gap`` apart, each owning one live pane in the (ring) store at the
+    matching position.  A report within ``gap`` of a session — on
+    either side, inclusive — extends it; a report landing within
+    ``gap`` of *two* sessions bridges them, coalescing their panes
+    (:meth:`PaneStore.coalesce`) and their ledger groups; a quiet
+    stretch strictly longer than ``gap`` starts a new session.
+
+    Because open sessions are separated by more than the gap, their
+    ends are ordered like their starts: sessions always seal
+    oldest-first, when the watermark passes ``end + gap``, and the
+    **sealed horizon** (``end + gap`` of the last sealed session) is
+    monotone.  A report at or below the horizon can no longer join any
+    window and is counted late; a report above it that seeds a burst
+    already behind the watermark simply opens a session that seals on
+    the next sweep — absorbed and emitted, never dropped.
+
+    Ledger identity is assigned at seal time: a session charges its
+    declared spend at creation under a provisional parallel group
+    (``session-{serial}[open]``), a merge folds the absorbed sessions'
+    provisional groups into the survivor's (collapsing duplicate
+    charges — each covered a disjoint subpopulation of what is now one
+    window), and sealing rewrites the survivor's group to the final
+    ``session-{serial}[{start},{end+gap})`` identity.
+    """
+
+    def __init__(self, collector: "EventTimeCollector") -> None:
+        super().__init__(collector)
+        self._gap = float(collector.spec.gap)
+        self._sessions: list[_OpenSession] = []  # sorted by start
+        self._next_serial = 0
+        self._sealed_horizon = -math.inf
+        self.merged_panes = 0
+        # Data-driven panes open out of start order and absorb in
+        # place — only the ring store supports that, and
+        # resolve_pane_store guarantees it (sessions are single-pane).
+        assert isinstance(collector._store, RingPaneStore)
+
+    def ingest(self, timed: TimedReports) -> None:
+        self._sweep(np.asarray(timed.timestamps, dtype=np.float64), timed)
+
+    def precharge(self, ts: np.ndarray) -> None:
+        """Charge (and open) the sessions these event times imply.
+
+        The charge is the commitment: sessions and merges the times
+        imply are created/applied now, so the following ``absorb``
+        finds them already charged — and a capped ledger refuses the
+        window before anything is privatized.  Times at or below the
+        sealed horizon (would-be late reports) charge nothing.
+        """
+        self._sweep(ts, None)
+
+    def _sweep(self, ts: np.ndarray, timed: TimedReports | None) -> None:
+        """Cluster an envelope's event times against the open sessions.
+
+        Pure planning first (which sessions the reports extend, bridge
+        or create), then an atomic ledger transaction (new-session
+        charges plus provisional-group rewrites land all-or-nothing),
+        and only then the structural/absorb mutations — a refused
+        envelope changes nothing, not even the late count.
+        """
+        c = self._c
+        live_idx = np.flatnonzero(ts > self._sealed_horizon)
+        n_late = ts.shape[0] - live_idx.size if timed is not None else 0
+        clusters = self._clusters(ts, live_idx)
+        token = c.ledger.savepoint()
+        serial = self._next_serial
+        try:
+            for sessions, reports in clusters:
+                if not sessions:
+                    c._charge_pane(serial, _provisional_label(serial))
+                    serial += 1
+                elif len(sessions) > 1 and (
+                    c.user_model == "disjoint_users"
+                    and c._declaration is not None
+                ):
+                    c.ledger.reassign_group(
+                        [_provisional_label(s.serial) for s in sessions[1:]],
+                        _provisional_label(sessions[0].serial),
+                        collapse_duplicates=True,
+                    )
+        except BudgetExceededError:
+            c.ledger.rollback(token)
+            raise
+        for sessions, reports in clusters:
+            if not sessions:
+                first = float(ts[reports[0]])
+                session = _OpenSession(self._next_serial, first, first)
+                self._next_serial += 1
+                pos = self._insert_position(first)
+                self._sessions.insert(pos, session)
+                c._store.insert_pane(pos, c._oracle.accumulator())
+            else:
+                session = sessions[0]
+                for other in sessions[1:]:
+                    # Bridged sessions are consecutive in start order,
+                    # so the absorbed pane always sits right after the
+                    # survivor's.
+                    at = self._sessions.index(session)
+                    c._store.coalesce(at, at + 1)
+                    session.end = max(session.end, other.end)
+                    del self._sessions[at + 1]
+                    self.merged_panes += 1
+            if reports:
+                session.start = min(session.start, float(ts[reports[0]]))
+                session.end = max(session.end, float(ts[reports[-1]]))
+                if timed is not None:
+                    pane = c._store.live_panes()[self._sessions.index(session)]
+                    before = pane.n_absorbed
+                    pane.absorb(timed.select(np.asarray(reports)).reports)
+                    c._absorbed += pane.n_absorbed - before
+        c._late += n_late
+
+    def _clusters(self, ts: np.ndarray, live_idx: np.ndarray):
+        """Gap-cluster the open sessions with the live report positions.
+
+        One merge-walk over the (already sorted) open sessions and the
+        ts-sorted report positions: an item joins the current cluster
+        when it starts within ``gap`` (inclusive) of the cluster's
+        running end.  Each returned ``(sessions, report_positions)``
+        pair is one post-envelope session, in start order; untouched
+        singleton sessions are skipped.  Two sessions can share a
+        cluster only via a bridging report — open sessions alone are
+        always more than ``gap`` apart.
+        """
+        if live_idx.size == 0:
+            return []
+        gap = self._gap
+        order = live_idx[np.argsort(ts[live_idx], kind="stable")]
+        times = ts[order]
+        sessions = self._sessions
+        clusters: list[list] = []
+        cur: list | None = None  # [sessions, report positions, end]
+        si = ri = 0
+        while si < len(sessions) or ri < order.size:
+            if si < len(sessions) and (
+                ri >= order.size or sessions[si].start <= times[ri]
+            ):
+                item = sessions[si]
+                item_start, item_end = item.start, item.end
+                si += 1
+            else:
+                item = int(order[ri])
+                item_start = item_end = float(times[ri])
+                ri += 1
+            if cur is None or item_start > cur[2] + gap:
+                cur = [[], [], item_end]
+                clusters.append(cur)
+            if isinstance(item, _OpenSession):
+                cur[0].append(item)
+            else:
+                cur[1].append(item)
+            cur[2] = max(cur[2], item_end)
+        return [
+            (sessions, reports)
+            for sessions, reports, _end in clusters
+            if reports or len(sessions) > 1
+        ]
+
+    def _insert_position(self, start: float) -> int:
+        for i, session in enumerate(self._sessions):
+            if start < session.start:
+                return i
+        return len(self._sessions)
+
+    def seal_past_watermark(self, *, everything: bool = False) -> None:
+        while self._sessions:
+            session = self._sessions[0]
+            if not everything and session.end + self._gap > self._c.watermark:
+                break
+            self._seal_oldest()
+
+    def _seal_oldest(self) -> None:
+        """Seal the oldest open session; assign its final ledger identity."""
+        t0 = time.perf_counter()
+        c = self._c
+        session = self._sessions.pop(0)
+        end_bound = session.end + self._gap
+        window_users, window_est = _merged_estimates([c._store.live_panes()[0]])
+        c._store.evict_oldest()
+        final = _final_label(session.serial, session.start, end_bound)
+        if c.user_model == "disjoint_users" and c._declaration is not None:
+            # The provisional parallel group becomes the window's final
+            # event-time identity — a pure rename, totals unchanged, so
+            # this can never break a cap.
+            c.ledger.reassign_group(
+                [_provisional_label(session.serial)], final, label=final
+            )
+        c._record_snapshot(
+            index=session.serial,
+            start=session.start,
+            end=end_bound,
+            window_users=window_users,
+            window_est=window_est,
+            t0=t0,
+        )
+        self._sealed_horizon = end_bound
+
+
 class EventTimeCollector(_CollectorBase):
     """Routes timestamped reports into event-time panes under a watermark.
 
@@ -862,6 +1588,17 @@ class EventTimeCollector(_CollectorBase):
     its **event-time identity** (``window[start,end)``), so
     ``user_model="disjoint_users"`` composes in parallel across
     event-time windows no matter how arrival interleaves them.
+
+    With a ``WindowSpec.session`` spec the same collector runs the
+    data-driven geometry instead: panes are gap-separated activity
+    sessions whose extent is only known at seal time — in-gap arrivals
+    extend a session, a late report inside ``allowed_lateness`` can
+    bridge (coalesce) two open sessions, and a session seals when the
+    watermark passes ``last_ts + gap``.  Session windows are charged
+    under a provisional identity rewritten to the final
+    ``session-{serial}[start,end)`` at seal; reports behind the sealed
+    horizon are counted late exactly like fixed-pane stragglers
+    (:class:`_SessionPaneGeometry` has the full story).
     """
 
     def __init__(
@@ -888,33 +1625,18 @@ class EventTimeCollector(_CollectorBase):
             delta_slack=delta_slack,
             aggregation=aggregation,
         )
-        self._open: dict[int, object] = {}  # pane index → accumulator
-        self._charged: set[int] = set()
         self._max_event_time = -math.inf
-        self._sealed_through: int | None = None  # last sealed pane index
         self._late = 0
         self._absorbed = 0
         self._snapshots: list[StreamSnapshot] = []
         self._finished = False
+        self._geometry: _PaneGeometry = (
+            _SessionPaneGeometry(self)
+            if spec.is_data_driven
+            else _FixedPaneGeometry(self)
+        )
 
     # -- geometry -----------------------------------------------------------
-
-    def _pane_of(self, timestamps: np.ndarray) -> np.ndarray:
-        if not np.all(np.isfinite(timestamps)):
-            raise ValueError("timestamps must be finite")
-        span = self.spec.pane_span
-        raw = np.floor((timestamps - self.spec.origin) / span)
-        # Casting past int64 wraps silently (numpy only warns) and a
-        # wrapped pane index derails the sealing frontier — reject
-        # timestamps absurdly far from the origin for this pane span
-        # instead (epoch-nanosecond floats with a sub-second span, say).
-        if raw.size and float(np.abs(raw).max()) >= 2.0**62:
-            raise ValueError(
-                "timestamps lie too far from origin for this pane span "
-                f"(pane index beyond ±2^62; span={span}, origin="
-                f"{self.spec.origin}) — rescale the event clock or origin"
-            )
-        return raw.astype(np.int64)
 
     @property
     def watermark(self) -> float:
@@ -933,8 +1655,13 @@ class EventTimeCollector(_CollectorBase):
 
     @property
     def pane_count(self) -> int:
-        """Live pane accumulators (open panes + closed panes in the store)."""
-        return self._store.count + len(self._open)
+        """Live pane accumulators (open panes + panes held in the store)."""
+        return self._store.count + self._geometry.open_count()
+
+    @property
+    def coalesced_panes(self) -> int:
+        """Open panes merged away by late bridging reports (sessions only)."""
+        return self._geometry.merged_panes
 
     @property
     def snapshots(self) -> list[StreamSnapshot]:
@@ -963,198 +1690,50 @@ class EventTimeCollector(_CollectorBase):
             )
         if len(timed) == 0:
             return self
-        panes, sealed, gap = self._classify(timed.timestamps)
-        routable = ~sealed & ~gap
-        # Charge every pane the envelope touches *before* absorbing any
-        # of it, atomically: a capped ledger refuses the whole envelope
-        # (nothing absorbed or recorded, watermark not advanced), never
-        # half of it.  (A driver that called charge_for first finds the
-        # panes already charged — this is then a no-op.)
-        self._charge_panes(np.unique(panes[routable | gap]))
-        self._late += int(sealed.sum())
-        for pane, sub in self._grouped_by_pane(timed, panes, gap):
-            self._route_gap(pane, sub)
-        for pane, sub in self._grouped_by_pane(timed, panes, routable):
-            self._absorb_into_pane(pane, sub)
+        self._geometry.ingest(timed)
         self._max_event_time = max(
             self._max_event_time, float(timed.timestamps.max())
         )
-        self._seal_past_watermark()
+        self._geometry.seal_past_watermark()
         return self
 
-    @staticmethod
-    def _grouped_by_pane(timed: TimedReports, panes: np.ndarray, mask: np.ndarray):
-        """Yield ``(pane, sub-envelope)`` per distinct pane under ``mask``.
-
-        One stable argsort + boundary split routes the whole envelope in
-        a single pass — a per-pane mask rescan would cost
-        O(panes · envelope) on heavily out-of-order streams.  The stable
-        sort preserves arrival order within each pane, so absorption
-        order (and hence every bit of the estimates) is unchanged.
-        """
-        idx = np.flatnonzero(mask)
-        if idx.size == 0:
-            return
-        order = idx[np.argsort(panes[idx], kind="stable")]
-        cuts = np.flatnonzero(np.diff(panes[order])) + 1
-        for segment in np.split(order, cuts):
-            yield int(panes[segment[0]]), timed.select(segment)
-
-    def _classify(
-        self, timestamps: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-report ``(pane index, sealed?, gap?)`` for given event times.
-
-        A pane is sealed the moment the watermark passes its end —
-        whether or not it was ever emitted (dead air before the first
-        report is sealed too, just never enumerated).
-        """
-        panes = self._pane_of(timestamps)
-        span = self.spec.pane_span
-        pane_ends = self.spec.origin + (panes + 1) * span
-        sealed = pane_ends <= self.watermark
-        if self._sealed_through is not None:
-            sealed |= panes <= self._sealed_through
-        gap = np.zeros(timestamps.shape[0], dtype=bool)
-        if self.spec.is_gapped:
-            offset = timestamps - self.spec.origin - panes * span
-            gap = ~sealed & (offset >= float(self.spec.size))
-        return panes, sealed, gap
-
-    def _charge_panes(self, panes) -> None:
-        """Atomically charge a set of pane indices (all-or-nothing)."""
-        token = self.ledger.savepoint()
-        newly_charged: list[int] = []
-        try:
-            for pane in panes:
-                pane = int(pane)
-                if pane not in self._charged:
-                    self._charge(pane)
-                    newly_charged.append(pane)
-        except BudgetExceededError:
-            self.ledger.rollback(token)
-            self._charged.difference_update(newly_charged)
-            raise
-
     def charge_for(self, timestamps) -> "EventTimeCollector":
-        """Charge every pane the given event times will land in, atomically.
+        """Charge every window the given event times will land in, atomically.
 
-        Pane identity depends only on the timestamps, so a driver can
+        Window identity depends only on the timestamps, so a driver can
         refuse an over-budget window *before* privatizing its clients:
         call this with the chunk's event times, then privatize and
-        ``absorb`` — which finds the panes already charged.  Sealed
-        panes (would-be late reports) charge nothing.
+        ``absorb`` — which finds the windows already charged.  Sealed
+        panes — and times at or below a session stream's sealed horizon
+        (would-be late reports) — charge nothing.  For session specs
+        the charge is a commitment: the sessions the times imply open
+        (empty) and implied merges are applied, so the charged window
+        identities exist from this moment.
         """
         ts = np.atleast_1d(np.asarray(timestamps, dtype=np.float64))
         if ts.shape[0] == 0:
             return self
-        panes, sealed, _gap = self._classify(ts)
-        self._charge_panes(np.unique(panes[~sealed]))
+        if not np.all(np.isfinite(ts)):
+            raise ValueError("timestamps must be finite")
+        self._geometry.precharge(ts)
         return self
 
-    def _route_gap(self, pane: int, sub: TimedReports) -> None:
-        """Gap reports of a sampling stream: cumulative view only.
-
-        The pane still *opens* (empty) so its period's window is
-        emitted when the watermark passes — a sampling stream whose
-        reports all land in gaps still surfaces its (empty) windows and
-        the cumulative view holding those reports.
-        """
-        if pane not in self._open:
-            self._open[pane] = self._oracle.accumulator()
-        before = self._store.retired.n_absorbed
-        self._store.retired.absorb(sub.reports)
-        self._absorbed += self._store.retired.n_absorbed - before
-
-    def _charge(self, pane: int) -> None:
-        if pane in self._charged:
-            return
-        start, end = self.spec.pane_bounds(pane)
-        # The pane index leads the identity: %g readability alone would
-        # collide adjacent windows at epoch-scale timestamps (6
-        # significant digits), silently merging their parallel groups.
-        self._charge_pane(pane, f"window-{pane}[{start:g},{end:g})")
-        self._charged.add(pane)
-
-    def _absorb_into_pane(self, pane: int, sub: TimedReports) -> None:
-        acc = self._open.get(pane)
-        if acc is None:
-            acc = self._open[pane] = self._oracle.accumulator()
-        before = acc.n_absorbed
-        acc.absorb(sub.reports)
-        self._absorbed += acc.n_absorbed - before
-
-    def _seal_past_watermark(self, *, everything: bool = False) -> None:
-        """Seal (in order) every pane the watermark has passed; emit windows.
-
-        Quiet intervals emit their empty windows honestly — up to one
-        full window of them.  Once every live pane is empty (the stream
-        has been silent for a whole window span) further dead-air panes
-        would all emit the same empty window, so the frontier leaps to
-        the next pane holding data instead of enumerating them.
-        """
-        if not self._open and self._sealed_through is None:
-            return  # nothing observed yet — no pane frontier to advance
-        frontier = (
-            self._sealed_through + 1
-            if self._sealed_through is not None
-            else min(self._open)
-        )
-        watermark = self.watermark
-        span = self.spec.pane_span
-        while True:
-            if everything:
-                if not self._open:
-                    break
-            else:
-                _, pane_end = self.spec.pane_bounds(frontier)
-                if pane_end > watermark:
-                    break
-            if frontier not in self._open and all(
-                acc.n_absorbed == 0 for acc in self._store.window_components()
-            ):
-                if self._open:
-                    next_pane = min(self._open)
-                elif everything:
-                    break
-                else:
-                    next_pane = frontier  # fall through to the cap below
-                if not everything:
-                    # Never leap past the watermark: panes beyond it are
-                    # still open for late data and must not be marked
-                    # sealed just because the next report is far ahead.
-                    next_pane = min(
-                        next_pane,
-                        int(math.floor((watermark - self.spec.origin) / span)),
-                    )
-                if next_pane > frontier:
-                    self._sealed_through = next_pane - 1
-                    frontier = next_pane
-                    continue
-            self._seal_pane(frontier)
-            frontier += 1
-
-    def _seal_pane(self, pane: int) -> None:
-        """Close pane ``pane``, emit the window it completes."""
-        t0 = time.perf_counter()
-        acc = self._open.pop(pane, None)
-        if acc is None:
-            acc = self._oracle.accumulator()
-        self._store.push(acc)
-        while self._store.count > self.spec.num_panes:
-            self._store.evict_oldest()
-        live = self._store.window_components()
-        window_users, window_est = _merged_estimates(live)
-        open_tail = [self._open[p] for p in sorted(self._open)]
+    def _record_snapshot(
+        self, *, index, start, end, window_users, window_est, t0
+    ) -> None:
+        """Emit one sealed window (cumulative view over everything live)."""
         cumulative_users, cumulative = _merged_estimates(
-            [self._store.retired, *live, *open_tail]
+            [
+                self._store.retired,
+                *self._store.window_components(),
+                *self._geometry.open_accumulators(),
+            ]
         )
         t1 = time.perf_counter()
         eps, delta = self._totals()
-        start, end = self.spec.window_bounds(pane)
         self._snapshots.append(
             StreamSnapshot(
-                window_index=pane,
+                window_index=index,
                 window_users=window_users,
                 total_users=cumulative_users,
                 window_estimates=window_est,
@@ -1168,18 +1747,17 @@ class EventTimeCollector(_CollectorBase):
                 late_reports=self._late,
             )
         )
-        self._sealed_through = pane
 
     def finish(self) -> StreamResult:
         """End of stream: seal every remaining pane and return the result.
 
         The watermark jumps to +∞ — no more data is coming, so every
-        open pane is complete by definition — and the remaining windows
-        are emitted in event order.
+        open pane (or session) is complete by definition — and the
+        remaining windows are emitted in event order.
         """
         if not self._finished:
             self._max_event_time = math.inf
-            self._seal_past_watermark(everything=True)
+            self._geometry.seal_past_watermark(everything=True)
             self._finished = True
         return StreamResult(
             self._snapshots,
@@ -1188,6 +1766,7 @@ class EventTimeCollector(_CollectorBase):
             absorbed_reports=self._absorbed,
             late_reports=self._late,
             composition=self.composition,
+            coalesced_panes=self._geometry.merged_panes,
         )
 
 
@@ -1271,7 +1850,7 @@ def _check_timestamps(spec, timestamps, n):
     if timestamps is not None:
         raise ValueError(
             "timestamps only apply to event-time windows; use "
-            "WindowSpec.event_tumbling / .event_sliding"
+            "WindowSpec.event_tumbling / .event_sliding / .session"
         )
     return None
 

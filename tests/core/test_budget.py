@@ -280,3 +280,76 @@ class TestSavepointRollback:
         with pytest.raises(ValueError, match="memo identity"):
             ledger.charge(SpendDeclaration(epsilon=1.0, scope="one_time"))
         assert len(ledger) == 0
+
+
+class TestReassignGroup:
+    """Seal-time identity rewrites for data-driven windows."""
+
+    def test_rewrites_group_and_label(self):
+        ledger = PrivacyLedger()
+        ledger.spend(1.0, label="session-0[open]", group="session-0[open]")
+        ledger.spend(0.5, group="other")
+        n = ledger.reassign_group(
+            ["session-0[open]"], "session-0[2,9)", label="session-0[2,9)"
+        )
+        assert n == 1
+        spend = ledger.spends[0]
+        assert spend.group == "session-0[2,9)"
+        assert spend.label == "session-0[2,9)"
+        assert ledger.spends[1].group == "other"  # untouched
+
+    def test_rebuilds_parallel_totals(self):
+        # Folding group b into a turns two parallel ε=1 groups (max: 1)
+        # into one group paying 2 sequentially.
+        ledger = PrivacyLedger()
+        ledger.spend(1.0, group="a")
+        ledger.spend(1.0, group="b")
+        assert math.isclose(ledger.total_epsilon, 1.0)
+        ledger.reassign_group(["b"], "a")
+        assert math.isclose(ledger.total_epsilon, 2.0)
+
+    def test_collapse_duplicates_drops_repeat_charges(self):
+        # The pane-merge argument: each provisional charge covered a
+        # disjoint subpopulation of what is now one window, so the
+        # merged group keeps one copy of the identical declaration.
+        ledger = PrivacyLedger()
+        ledger.spend(1.0, group="a")
+        ledger.spend(1.0, group="b")
+        ledger.spend(0.25, group="b")  # different params: must survive
+        ledger.reassign_group(["b"], "a", collapse_duplicates=True)
+        assert len(ledger) == 2
+        assert [s.group for s in ledger.spends] == ["a", "a"]
+        assert math.isclose(ledger.total_epsilon, 1.25)
+
+    def test_target_cannot_be_source(self):
+        ledger = PrivacyLedger()
+        ledger.spend(1.0, group="a")
+        with pytest.raises(ValueError, match="target"):
+            ledger.reassign_group(["a", "b"], "a")
+
+    def test_no_match_is_a_noop(self):
+        ledger = PrivacyLedger()
+        ledger.spend(1.0, group="a")
+        assert ledger.reassign_group(["missing"], "a") == 0
+        assert ledger.spends[0].group == "a"
+
+    def test_rollback_undoes_reassign(self):
+        # The collector wraps charge+reassign transactions in a
+        # savepoint; rolling back must restore the rewritten groups,
+        # the collapsed (dropped) spends, and the running totals.
+        ledger = PrivacyLedger()
+        ledger.spend(1.0, group="session-0[open]")
+        ledger.spend(1.0, group="session-1[open]")
+        token = ledger.savepoint()
+        ledger.reassign_group(
+            ["session-1[open]"], "session-0[open]", collapse_duplicates=True
+        )
+        ledger.spend(1.0, group="session-2[open]")
+        assert len(ledger) == 2
+        ledger.rollback(token)
+        assert len(ledger) == 2
+        assert [s.group for s in ledger.spends] == [
+            "session-0[open]",
+            "session-1[open]",
+        ]
+        assert math.isclose(ledger.total_epsilon, 1.0)  # parallel max again

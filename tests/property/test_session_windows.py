@@ -1,0 +1,266 @@
+"""Property tests for data-driven session windows.
+
+Promises the session geometry makes, checked for every registered core
+oracle *and* every system stack:
+
+* **session = batch**: with bursty timestamped reports arriving
+  *shuffled*, every sealed session's estimate is bit-identical to the
+  one-shot batch over the reports whose timestamps fall in that
+  session's extent — including runs where out-of-order arrival forces
+  open panes to coalesce.  Sessions partition the reports (no gaps, no
+  double counting).
+* **bridge merges**: a late report landing within ``gap`` of two open
+  sessions merges exactly those two — one window comes out, one pane
+  coalesce is counted, and the disjoint-users ledger holds one
+  (collapsed) charge under the final window identity.
+* **arrival-order independence**: any arrival order within
+  ``allowed_lateness`` yields the same sealed windows (extents, users
+  and every bit of the estimates); only the creation serials may
+  differ.
+* **every report accounted**: with stragglers injected behind the
+  sealed horizon, ``absorbed_reports + late_reports == n`` — late
+  reports are counted, never dropped, and never disturb sealed windows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TimedReports
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.protocol import EventTimeCollector, WindowSpec
+
+from test_windowing import _SYSTEM_CASES
+
+
+def _bursty_times(n, *, gap, bursts, seed):
+    """Event times in ``bursts`` dense bursts, each wider than ``gap``.
+
+    Burst centers sit ``10·gap`` apart (well separated) while each
+    burst spans ``3·gap`` — so shuffled arrival routinely opens a burst
+    as several proto-sessions that later reports bridge, exercising the
+    coalescing path, yet the *final* clustering is exactly one session
+    per burst (dense bursts have no internal quiet stretch > gap).
+    """
+    gen = np.random.default_rng(seed)
+    burst = np.arange(n) % bursts  # every burst populated
+    ts = burst * (10.0 * gap) + gen.uniform(0.0, 3.0 * gap, n)
+    return ts, gen
+
+
+def _stream_sessions(
+    oracle, reports, slicer, ts, arrival, *, gap, lateness, chunk, **kwargs
+):
+    spec = WindowSpec.session(gap, allowed_lateness=lateness)
+    collector = EventTimeCollector(oracle, spec, **kwargs)
+    for start in range(0, arrival.size, chunk):
+        idx = arrival[start : start + chunk]
+        collector.absorb(TimedReports(ts[idx], slicer(reports, idx)))
+    return collector, collector.finish()
+
+
+def _assert_session_windows_equal_batches(
+    oracle, reports, slicer, n, *, gap, seed, bursts=5, chunk=7
+):
+    """Shuffled bursty arrival; every sealed session vs its batch, bitwise."""
+    ts, gen = _bursty_times(n, gap=gap, bursts=bursts, seed=seed)
+    arrival = gen.permutation(n)
+    collector, result = _stream_sessions(
+        oracle,
+        reports,
+        slicer,
+        ts,
+        arrival,
+        gap=gap,
+        lateness=1e6,  # covers the whole shuffle: nothing is late
+        chunk=chunk,
+        user_model="disjoint_users",
+    )
+    assert result.absorbed_reports + result.late_reports == n
+    assert result.late_reports == 0
+    assert len(result) == bursts  # final clustering: one session per burst
+    covered = 0
+    for snap in result:
+        mask = (ts >= snap.window_start) & (ts < snap.window_end)
+        batch = oracle.accumulator().absorb(slicer(reports, mask)).finalize()
+        assert snap.window_users == int(mask.sum())
+        assert np.array_equal(snap.window_estimates, batch)
+        covered += snap.window_users
+    assert covered == n  # sessions partition the reports
+    # Window extents really are data-driven: [first_ts, last_ts + gap).
+    starts = sorted(s.window_start for s in result)
+    assert np.allclose(starts, [np.min(ts[np.arange(n) % bursts == b]) for b in range(bursts)])
+    final = result[-1]
+    whole = oracle.accumulator().absorb(reports).finalize()
+    assert final.total_users == n
+    assert np.array_equal(final.cumulative_estimates, whole)
+    # Disjoint-users accounting is keyed by the *final* session identity.
+    if collector._declaration is not None:
+        expected = {
+            f"session-{s.window_index}[{s.window_start:g},{s.window_end:g})"
+            for s in result
+        }
+        assert {sp.group for sp in collector.ledger.spends} == expected
+    return result
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+def test_core_oracle_session_windows_equal_batches(name, slice_reports):
+    oracle = make_oracle(name, 9, 1.4)
+    n = 480
+    values = np.random.default_rng(41).integers(0, 9, size=n)
+    reports = oracle.privatize(values, rng=42)
+    result = _assert_session_windows_equal_batches(
+        oracle, reports, slice_reports, n, gap=2.0, seed=43
+    )
+    # Shuffled small-envelope arrival split bursts into proto-sessions
+    # that later reports bridged — the coalescing path genuinely ran
+    # (deterministic given the seed).
+    assert result.coalesced_panes > 0
+
+
+@pytest.mark.parametrize(
+    "label,mechanism,reports,n,slicer",
+    _SYSTEM_CASES,
+    ids=[c[0] for c in _SYSTEM_CASES],
+)
+def test_system_stack_session_windows_equal_batches(
+    label, mechanism, reports, n, slicer
+):
+    _assert_session_windows_equal_batches(
+        mechanism, reports, slicer, n, gap=2.0, seed=sum(map(ord, label))
+    )
+
+
+def test_late_bridging_report_merges_exactly_two_sessions(slice_reports):
+    # Two bursts more than gap apart open two sessions; a late report
+    # within gap of *both* bridges them: one window, one coalesce, and
+    # the disjoint-users ledger collapses to a single charge under the
+    # final (post-merge) identity.
+    oracle = make_oracle("OUE", 6, 1.0)
+    gap = 10.0
+    ts = np.concatenate([np.full(5, 0.0), np.full(5, 15.0), [7.0]])
+    values = np.random.default_rng(50).integers(0, 6, ts.size)
+    reports = oracle.privatize(values, rng=51)
+    spec = WindowSpec.session(gap, allowed_lateness=50.0)
+    collector = EventTimeCollector(oracle, spec, user_model="disjoint_users")
+    collector.absorb(TimedReports(ts[:5], slice_reports(reports, np.arange(5))))
+    collector.absorb(
+        TimedReports(ts[5:10], slice_reports(reports, np.arange(5, 10)))
+    )
+    assert collector.pane_count == 2  # two open sessions, > gap apart
+    assert len(collector.ledger) == 2  # each charged provisionally
+    collector.absorb(TimedReports(ts[10:], slice_reports(reports, [10])))
+    assert collector.pane_count == 1
+    assert collector.coalesced_panes == 1
+    result = collector.finish()
+    assert len(result) == 1
+    assert result.coalesced_panes == 1
+    assert result.late_reports == 0
+    snap = result[0]
+    assert (snap.window_start, snap.window_end) == (0.0, 15.0 + gap)
+    assert snap.window_users == 11
+    batch = oracle.accumulator().absorb(reports).finalize()
+    assert np.array_equal(snap.window_estimates, batch)
+    # Both provisional charges covered disjoint subpopulations of what
+    # is now one window: the merged group keeps exactly one.
+    assert len(collector.ledger) == 1
+    (spend,) = collector.ledger.spends
+    assert spend.group == f"session-{snap.window_index}[0,25)"
+    assert collector.ledger.total_epsilon == oracle.privacy_spend().epsilon
+
+
+@pytest.mark.parametrize("perm_seed", [0, 1, 2])
+@pytest.mark.parametrize("chunk", [7, 64])
+def test_session_results_independent_of_arrival_order(
+    slice_reports, perm_seed, chunk
+):
+    # Any arrival order inside allowed_lateness yields the same sealed
+    # windows — extents, users, and every bit of the estimates.  Only
+    # the creation serials (window_index) may differ, so compare in
+    # event order.
+    oracle = make_oracle("OLH", 8, 1.2)
+    n = 300
+    ts, _ = _bursty_times(n, gap=2.0, bursts=4, seed=60)
+    values = np.random.default_rng(61).integers(0, 8, n)
+    reports = oracle.privatize(values, rng=62)
+
+    def run(arrival, chunk_size):
+        _, result = _stream_sessions(
+            oracle,
+            reports,
+            slice_reports,
+            ts,
+            arrival,
+            gap=2.0,
+            lateness=1e6,
+            chunk=chunk_size,
+        )
+        return sorted(result, key=lambda s: s.window_start)
+
+    baseline = run(np.arange(n), 96)  # in-order arrival
+    shuffled = run(np.random.default_rng(perm_seed).permutation(n), chunk)
+    assert len(baseline) == len(shuffled)
+    for a, b in zip(baseline, shuffled):
+        assert (a.window_start, a.window_end) == (b.window_start, b.window_end)
+        assert a.window_users == b.window_users
+        assert np.array_equal(a.window_estimates, b.window_estimates)
+
+
+def test_absorbed_plus_late_equals_n_under_stragglers(slice_reports):
+    # Zero lateness: each new burst's arrival seals the previous
+    # session instantly.  Stragglers aimed behind the sealed horizon
+    # are counted late — never absorbed, never dropped, and the sealed
+    # windows they missed are not disturbed.
+    oracle = make_oracle("DE", 5, 1.0)
+    gap = 5.0
+    on_time = np.concatenate([np.full(20, 0.0), np.full(20, 50.0), np.full(20, 100.0)])
+    stragglers = np.array([1.0, 2.0, 51.0])  # behind the horizon on arrival
+    ts = np.concatenate([on_time, stragglers])
+    n = ts.size
+    values = np.random.default_rng(70).integers(0, 5, n)
+    reports = oracle.privatize(values, rng=71)
+    spec = WindowSpec.session(gap, allowed_lateness=0.0)
+    collector = EventTimeCollector(oracle, spec)
+    collector.absorb(TimedReports(ts[:20], slice_reports(reports, np.arange(20))))
+    collector.absorb(
+        TimedReports(ts[20:40], slice_reports(reports, np.arange(20, 40)))
+    )
+    collector.absorb(
+        TimedReports(ts[40:60], slice_reports(reports, np.arange(40, 60)))
+    )
+    # First two sessions sealed; horizon sits at 50 + gap.
+    assert len(collector.snapshots) == 2
+    collector.absorb(TimedReports(ts[60:], slice_reports(reports, np.arange(60, n))))
+    result = collector.finish()
+    assert result.late_reports == 3
+    assert result.absorbed_reports == 60
+    assert result.absorbed_reports + result.late_reports == n
+    assert len(result) == 3
+    for snap, start in zip(result, [0.0, 50.0, 100.0]):
+        assert snap.window_start == start
+        assert snap.window_users == 20
+        mask = on_time == start
+        batch = (
+            oracle.accumulator()
+            .absorb(slice_reports(reports, np.flatnonzero(mask)))
+            .finalize()
+        )
+        assert np.array_equal(snap.window_estimates, batch)
+
+
+def test_straggler_above_horizon_opens_and_seals_absorbed(slice_reports):
+    # A report behind the watermark but *above* the sealed horizon is
+    # not late: it opens its own session, which seals on the next sweep
+    # — absorbed and emitted.  Its serial postdates the session it
+    # seals before, so emitted window_index order is not monotone.
+    oracle = make_oracle("OUE", 4, 1.0)
+    reports = oracle.privatize(np.zeros(3, dtype=np.int64), rng=80)
+    spec = WindowSpec.session(2.0, allowed_lateness=0.0)
+    collector = EventTimeCollector(oracle, spec)
+    collector.absorb(TimedReports(np.array([100.0]), slice_reports(reports, [0])))
+    collector.absorb(TimedReports(np.array([10.0]), slice_reports(reports, [1])))
+    result = collector.finish()
+    assert result.late_reports == 0
+    assert result.absorbed_reports == 2
+    assert [s.window_start for s in result] == [10.0, 100.0]
+    assert [s.window_index for s in result] == [1, 0]  # serials, not sorted

@@ -1,0 +1,361 @@
+"""Unit tests for the data-driven window machinery.
+
+Covers the refactor's seams one layer at a time: `WindowSpec`
+validation names the offending field; `PaneStore.coalesce` is
+bit-identical on both stores (including both two-stack splice paths);
+pane-store auto-selection is a `resolve_pane_store` policy decision;
+and the session collector's charge/absorb lifecycle stays atomic and
+commitment-consistent.  End-to-end session semantics live in
+`tests/property/test_session_windows.py`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TimedReports
+from repro.core.budget import BudgetExceededError, PrivacyLedger
+from repro.core.estimation import make_oracle
+from repro.protocol import EventTimeCollector, WindowSpec
+from repro.protocol.streaming import (
+    PANE_STORES,
+    RingPaneStore,
+    TwoStackPaneStore,
+    resolve_pane_store,
+)
+
+
+class TestWindowSpecValidation:
+    """Every bad duration fails fast, with the field named."""
+
+    def test_session_rejects_nonpositive_gap(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="gap"):
+                WindowSpec.session(bad)
+
+    def test_session_rejects_nonfinite_gap(self):
+        for bad in (math.inf, math.nan):
+            with pytest.raises(ValueError, match="gap"):
+                WindowSpec.session(bad)
+
+    def test_session_requires_gap(self):
+        with pytest.raises(ValueError, match="gap"):
+            WindowSpec("session")
+
+    def test_session_rejects_size_and_stride(self):
+        with pytest.raises(ValueError, match="size"):
+            WindowSpec("session", size=5.0, gap=1.0)
+        with pytest.raises(ValueError, match="stride"):
+            WindowSpec("session", stride=5.0, gap=1.0)
+
+    def test_gap_only_applies_to_sessions(self):
+        for kind in ("tumbling", "cumulative", "event_tumbling"):
+            with pytest.raises(ValueError, match="gap"):
+                WindowSpec(kind, size=4, gap=1.0)
+
+    def test_event_windows_reject_nonpositive_size(self):
+        for bad in (0.0, -2.0, math.inf):
+            with pytest.raises(ValueError, match="size"):
+                WindowSpec.event_tumbling(bad)
+
+    def test_event_sliding_rejects_nonpositive_stride(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="stride"):
+                WindowSpec.event_sliding(4.0, bad)
+
+    def test_missing_event_size_names_the_field(self):
+        with pytest.raises(ValueError, match="size"):
+            WindowSpec("event_tumbling")
+        with pytest.raises(ValueError, match="stride"):
+            WindowSpec("event_sliding", size=4.0)
+
+    def test_negative_lateness_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            WindowSpec.event_tumbling(1.0, allowed_lateness=-0.5)
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            WindowSpec.session(1.0, allowed_lateness=-0.5)
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            WindowSpec.session(1.0, allowed_lateness=math.inf)
+
+    def test_nonfinite_origin_rejected(self):
+        with pytest.raises(ValueError, match="origin"):
+            WindowSpec.event_tumbling(1.0, origin=math.nan)
+        with pytest.raises(ValueError, match="origin"):
+            WindowSpec.session(1.0, origin=math.inf)
+
+    def test_session_geometry_properties(self):
+        spec = WindowSpec.session(2.5, allowed_lateness=1.0)
+        assert spec.is_event_time
+        assert spec.is_data_driven
+        assert spec.num_panes == 1
+        assert spec.pane_span is None
+        with pytest.raises(ValueError, match="data"):
+            spec.pane_bounds(0)
+
+    def test_fixed_kinds_are_not_data_driven(self):
+        assert not WindowSpec.event_tumbling(1.0).is_data_driven
+        assert not WindowSpec.tumbling(10).is_data_driven
+
+
+def _panes(oracle, reports, slicer, groups):
+    """One absorbed accumulator per index group."""
+    out = []
+    for idx in groups:
+        acc = oracle.accumulator()
+        acc.absorb(slicer(reports, np.asarray(idx)))
+        out.append(acc)
+    return out
+
+
+def _merged(components):
+    live = [c for c in components if c.n_absorbed > 0]
+    merged = live[0].copy()
+    for acc in live[1:]:
+        merged.merge(acc)
+    return merged.finalize()
+
+
+class TestPaneStoreCoalesce:
+    def _setup(self, store_cls, groups):
+        oracle = make_oracle("OUE", 6, 1.0)
+        n = max(i for g in groups for i in g) + 1
+        values = np.random.default_rng(7).integers(0, 6, n)
+        reports = oracle.privatize(values, rng=8)
+
+        def slicer(rep, idx):
+            return {k: v[idx] for k, v in rep.items()} if isinstance(rep, dict) else rep[idx]
+
+        store = store_cls(oracle.accumulator)
+        for pane in _panes(oracle, reports, slicer, groups):
+            store.push(pane)
+        return oracle, reports, slicer, store
+
+    @pytest.mark.parametrize("store_cls", [RingPaneStore, TwoStackPaneStore])
+    def test_coalesce_is_bit_identical_to_one_pane(self, store_cls):
+        groups = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        oracle, reports, slicer, store = self._setup(store_cls, groups)
+        store.coalesce(1, 2)
+        assert store.count == 3
+        panes = store.live_panes()
+        # The merged pane equals the batch over both groups' reports...
+        batch = oracle.accumulator().absorb(slicer(reports, np.arange(2, 6)))
+        assert panes[1].n_absorbed == 4
+        assert np.array_equal(panes[1].finalize(), batch.finalize())
+        # ...and the store's window view still covers every report.
+        whole = oracle.accumulator().absorb(slicer(reports, np.arange(8)))
+        assert np.array_equal(_merged(store.window_components()), whole.finalize())
+
+    def test_two_stack_coalesce_back_branch_keeps_back_agg(self):
+        # No eviction yet: all panes sit on the back list, the splice
+        # happens in place, and the cached back_agg must stay exact.
+        groups = [[0], [1, 2], [3], [4, 5]]
+        oracle, reports, slicer, store = self._setup(TwoStackPaneStore, groups)
+        assert not store._front  # precondition: back-branch really taken
+        store.coalesce(2, 3)
+        whole = oracle.accumulator().absorb(slicer(reports, np.arange(6)))
+        assert np.array_equal(_merged(store.window_components()), whole.finalize())
+        assert store.count == 3
+
+    def test_two_stack_coalesce_front_branch_rebuilds(self):
+        groups = [[0], [1], [2, 3], [4]]
+        oracle, reports, slicer, store = self._setup(TwoStackPaneStore, groups)
+        store.evict_oldest()  # flips the back list onto the front stack
+        assert store._front  # precondition: front-branch really taken
+        store.coalesce(0, 1)
+        whole = oracle.accumulator().absorb(slicer(reports, np.arange(1, 5)))
+        assert np.array_equal(_merged(store.window_components()), whole.finalize())
+        assert store.count == 2
+        # Eviction order is preserved across the rebuild.
+        store.evict_oldest()
+        remaining = oracle.accumulator().absorb(slicer(reports, np.array([4])))
+        assert np.array_equal(
+            _merged(store.window_components()), remaining.finalize()
+        )
+
+    @pytest.mark.parametrize("store_cls", [RingPaneStore, TwoStackPaneStore])
+    def test_coalesce_validates_indices(self, store_cls):
+        _, _, _, store = self._setup(store_cls, [[0], [1], [2]])
+        with pytest.raises(ValueError, match="adjacent"):
+            store.coalesce(0, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            store.coalesce(2, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            store.coalesce(-1, 0)
+
+
+class TestPaneStorePolicy:
+    """Store auto-selection is a policy decision, not an inline branch."""
+
+    def test_registry_names(self):
+        assert set(PANE_STORES) == {"ring", "two_stack"}
+
+    def test_single_pane_specs_resolve_to_ring(self):
+        for spec in (
+            WindowSpec.tumbling(100),
+            WindowSpec.cumulative(50),
+            WindowSpec.event_tumbling(1.0),
+            WindowSpec.sliding(10, 20),  # gapped: one pane per window
+        ):
+            assert resolve_pane_store(spec, "two_stack") == "ring"
+
+    def test_multi_pane_specs_keep_requested_store(self):
+        spec = WindowSpec.event_sliding(4.0, 1.0)
+        assert resolve_pane_store(spec, "two_stack") == "two_stack"
+        assert resolve_pane_store(spec, "ring") == "ring"
+
+    def test_session_specs_resolve_to_ring(self):
+        spec = WindowSpec.session(2.0)
+        assert resolve_pane_store(spec, "two_stack") == "ring"
+        assert resolve_pane_store(spec, "ring") == "ring"
+
+    def test_session_collector_uses_ring_regardless_of_aggregation(self):
+        # Regression: sessions need random access (mid-ring inserts,
+        # in-place absorb) the two-stack cannot give; asking for
+        # two_stack must still get the ring.
+        oracle = make_oracle("OUE", 4, 1.0)
+        col = EventTimeCollector(
+            oracle, WindowSpec.session(2.0), aggregation="two_stack"
+        )
+        assert isinstance(col._store, RingPaneStore)
+        col = EventTimeCollector(
+            oracle, WindowSpec.event_sliding(4.0, 1.0), aggregation="two_stack"
+        )
+        assert isinstance(col._store, TwoStackPaneStore)
+
+
+class TestSessionCollectorLifecycle:
+    def _collector(self, **kwargs):
+        oracle = make_oracle("OLH", 8, 1.0)
+        reports = oracle.privatize(
+            np.random.default_rng(90).integers(0, 8, 16), rng=91
+        )
+        spec = WindowSpec.session(5.0, allowed_lateness=kwargs.pop("lateness", 0.0))
+        return oracle, reports, EventTimeCollector(oracle, spec, **kwargs)
+
+    def test_charge_for_is_a_commitment(self, slice_reports):
+        # charge_for opens (and charges) the session before any report
+        # is absorbed; the reports that then arrive at those times do
+        # not charge again.
+        oracle, reports, col = self._collector(user_model="disjoint_users")
+        col.charge_for(np.array([1.0, 2.0]))
+        assert col.pane_count == 1
+        assert len(col.ledger) == 1
+        assert col.total_users == 0
+        col.absorb(
+            TimedReports(np.array([1.0, 2.0]), slice_reports(reports, [0, 1]))
+        )
+        assert len(col.ledger) == 1  # still the one provisional charge
+        assert col.total_users == 2
+
+    def test_charge_for_empty_session_still_emits(self, slice_reports):
+        # A committed session nobody reported into seals as an empty
+        # window: charged, emitted with no estimate, never dropped.
+        oracle, reports, col = self._collector(user_model="disjoint_users")
+        col.charge_for(np.array([1.0]))
+        col.absorb(
+            TimedReports(np.array([100.0]), slice_reports(reports, [0]))
+        )
+        result = col.finish()
+        assert len(result) == 2
+        empty, live = result.snapshots
+        assert (empty.window_start, empty.window_end) == (1.0, 6.0)
+        assert empty.window_users == 0
+        assert empty.window_estimates is None
+        assert live.window_users == 1
+        assert len(result.ledger) == 2
+
+    def test_charge_for_behind_horizon_charges_nothing(self, slice_reports):
+        oracle, reports, col = self._collector()
+        col.absorb(TimedReports(np.array([0.0]), slice_reports(reports, [0])))
+        col.absorb(TimedReports(np.array([50.0]), slice_reports(reports, [1])))
+        charged = len(col.ledger)
+        col.charge_for(np.array([1.0]))  # behind the sealed horizon
+        assert len(col.ledger) == charged
+        assert col.pane_count == 1
+
+    def test_capped_ledger_refuses_whole_session_envelope(self, slice_reports):
+        # An envelope opening two sessions where the second charge
+        # breaks the cap is refused whole: no session opens, nothing
+        # absorbs, no late count, and a retry after raising the cap
+        # cannot double-count.
+        oracle, reports, col = self._collector(
+            ledger=PrivacyLedger(epsilon_cap=1.5), lateness=1.0
+        )
+        envelope = TimedReports(
+            np.array([0.0, 100.0]), slice_reports(reports, [0, 1])
+        )
+        with pytest.raises(BudgetExceededError):
+            col.absorb(envelope)
+        assert col.pane_count == 0
+        assert col.total_users == 0
+        assert col.late_reports == 0
+        assert col.watermark == -math.inf
+        assert len(col.ledger) == 0
+        col.ledger.epsilon_cap = 2.0
+        col.absorb(envelope)
+        # The retry lands cleanly; its watermark then seals the older
+        # of the two sessions it opened.
+        assert col.pane_count == 1
+        assert len(col.snapshots) == 1
+        assert col.total_users == 2
+        assert len(col.ledger) == 2
+
+    def test_refused_session_envelope_rolls_back_merge_plans(
+        self, slice_reports
+    ):
+        # One envelope carrying a bridge *and* an over-budget new
+        # session: the whole plan must roll back, leaving both open
+        # sessions unmerged and their charges untouched.
+        oracle, reports, col = self._collector(
+            ledger=PrivacyLedger(epsilon_cap=2.5), lateness=50.0
+        )
+        col.absorb(
+            TimedReports(np.array([0.0]), slice_reports(reports, [0]))
+        )
+        col.absorb(
+            TimedReports(np.array([8.0]), slice_reports(reports, [1]))
+        )
+        assert col.pane_count == 2
+        envelope = TimedReports(
+            np.array([4.0, 200.0]), slice_reports(reports, [2, 3])
+        )
+        with pytest.raises(BudgetExceededError):
+            col.absorb(envelope)
+        assert col.pane_count == 2  # the bridge merge did not apply
+        assert col.coalesced_panes == 0
+        assert col.total_users == 2
+        assert len(col.ledger) == 2
+        col.ledger.epsilon_cap = None
+        col.absorb(envelope)
+        assert col.coalesced_panes == 1
+        assert col.total_users == 4
+        # The merged session then seals under the advanced watermark.
+        assert col.pane_count == 1
+        (snap,) = col.snapshots
+        assert (snap.window_start, snap.window_end) == (0.0, 13.0)
+        assert snap.window_users == 3
+
+    def test_same_users_session_spends_are_ungrouped(self, slice_reports):
+        oracle, reports, col = self._collector(lateness=0.0)
+        col.absorb(TimedReports(np.array([0.0]), slice_reports(reports, [0])))
+        col.absorb(TimedReports(np.array([50.0]), slice_reports(reports, [1])))
+        result = col.finish()
+        assert len(result) == 2
+        assert [s.group for s in result.ledger.spends] == [None, None]
+        assert math.isclose(
+            result.ledger.total_epsilon, 2 * oracle.privacy_spend().epsilon
+        )
+
+    def test_disjoint_users_groups_carry_final_identities(self, slice_reports):
+        oracle, reports, col = self._collector(
+            lateness=0.0, user_model="disjoint_users"
+        )
+        col.absorb(TimedReports(np.array([0.0]), slice_reports(reports, [0])))
+        col.absorb(TimedReports(np.array([50.0]), slice_reports(reports, [1])))
+        result = col.finish()
+        groups = sorted(s.group for s in result.ledger.spends)
+        assert groups == ["session-0[0,5)", "session-1[50,55)"]
+        assert math.isclose(
+            result.ledger.total_epsilon, oracle.privacy_spend().epsilon
+        )

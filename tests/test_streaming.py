@@ -484,11 +484,11 @@ class TestPaneStores:
         # Whatever the pane count, a two-stack window view is built from
         # at most two closed-pane components (+ the open pane); the ring
         # pays one component per pane — that's the whole point.
-        from repro.protocol.streaming import _RingPanes, _TwoStackPanes
+        from repro.protocol.streaming import RingPaneStore, TwoStackPaneStore
 
         oracle = make_oracle("OUE", 8, 1.0)
-        two_stack = _TwoStackPanes(oracle.accumulator)
-        ring = _RingPanes(oracle.accumulator)
+        two_stack = TwoStackPaneStore(oracle.accumulator)
+        ring = RingPaneStore(oracle.accumulator)
         for seed in range(17):
             reports = oracle.privatize(np.arange(8).repeat(3), rng=seed)
             two_stack.push(oracle.accumulator().absorb(reports))
