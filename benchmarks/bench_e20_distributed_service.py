@@ -1,0 +1,93 @@
+"""E20 benchmark: the distributed collection service at 1M users.
+
+The full service topology under load — N ingest worker processes
+folding privatized envelopes off TCP sockets, one combiner daemon
+merging wire-serialized pane accumulators — measured three ways:
+(1) the scale sweep, aggregate users/sec versus the ingest-worker
+count with every row asserted bit-identical to the single-host
+pipeline; (2) the faults row, the same collection under injected
+duplicate delivery (redeliveries dropped by dedup keys, estimates
+unmoved); (3) the lateness row, a windowed round-robin fleet where
+panes seal on the merged watermark and stragglers are counted late,
+``absorbed + late == n`` fleet-wide.  Emits the human ``E20.txt``
+table and the machine-readable ``BENCH_E20.json`` (per-fleet-size
+throughput) the perf trajectory tracks.
+
+``REPRO_BENCH_USERS`` scales the population down (CI smokes the
+service at tiny sizes); the committed results use the default 1M.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+INGEST_SWEEP = (1, 2, 4)
+
+
+def bench_e20_distributed_service(benchmark, save_table, save_bench_json):
+    table = run_once(
+        benchmark,
+        get_experiment("E20").run,
+        n=BENCH_USERS,
+        chunk_size=min(65_536, max(BENCH_USERS // 8, 1)),
+        ingest_sweep=INGEST_SWEEP,
+        seed=20,
+    )
+    save_table("E20", table)
+
+    scale_rows = [r for r in table.rows if r[0] == "scale"]
+    fault_rows = [r for r in table.rows if r[0] == "faults"]
+    lateness_rows = [r for r in table.rows if r[0] == "lateness"]
+
+    # Scale sweep: one row per fleet size, every report absorbed, real
+    # wall-clock throughput.  (Bit-identity to the single-host pipeline
+    # is asserted inside the experiment.)
+    assert [r[1] for r in scale_rows] == [f"ingest={n}" for n in INGEST_SWEEP]
+    for row, num_ingest in zip(scale_rows, INGEST_SWEEP):
+        assert row[2] == BENCH_USERS
+        assert row[3] > 0.0 and row[4] > 0.0
+        assert row[5] == num_ingest
+        assert row[6] >= num_ingest  # at least one envelope per worker
+        assert row[9] == BENCH_USERS and row[10] == 0
+
+    # Faults row: the injected duplicates were delivered and dropped.
+    (faults,) = fault_rows
+    assert faults[7] > 0
+    assert faults[9] == BENCH_USERS and faults[10] == 0
+
+    # Lateness row: sealed windows, stragglers late, nothing dropped.
+    (lateness,) = lateness_rows
+    assert lateness[8] > 0 and lateness[10] > 0
+    assert lateness[9] + lateness[10] == BENCH_USERS
+
+    save_bench_json(
+        "E20",
+        {
+            "experiment": "E20",
+            "users": BENCH_USERS,
+            "scale": [
+                {
+                    "config": row[1],
+                    "workers": row[5],
+                    "users_per_sec": row[4],
+                    "envelopes": row[6],
+                }
+                for row in scale_rows
+            ],
+            "faults": {
+                "config": faults[1],
+                "users_per_sec": faults[4],
+                "dups_dropped": faults[7],
+            },
+            "lateness": {
+                "config": lateness[1],
+                "users_per_sec": lateness[4],
+                "windows": lateness[8],
+                "absorbed": lateness[9],
+                "late": lateness[10],
+            },
+        },
+    )

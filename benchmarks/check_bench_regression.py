@@ -1,6 +1,6 @@
 """Benchmark-regression guard: diff fresh BENCH_E*.json against baselines.
 
-The E14–E19 benchmarks emit machine-readable throughput/latency JSON.
+The E14–E20 benchmarks emit machine-readable throughput/latency JSON.
 This script walks a fresh results directory and a baseline directory in
 parallel and flags any tracked metric that regressed beyond a tolerance
 factor: throughput-like metrics (``users_per_sec``) must not fall below
@@ -46,7 +46,7 @@ import pathlib
 import shutil
 import sys
 
-BENCH_IDS = ("E14", "E15", "E16", "E17", "E18", "E19")
+BENCH_IDS = ("E14", "E15", "E16", "E17", "E18", "E19", "E20")
 
 #: Metric keys where larger is better (fail when fresh < baseline / tol).
 THROUGHPUT_KEYS = {"users_per_sec", "users_per_second"}

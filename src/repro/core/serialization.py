@@ -44,7 +44,16 @@ import numpy as np
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "FRAME_HEADER_BYTES",
     "AccumulatorPayload",
+    "FrameError",
+    "TruncatedFrameError",
+    "OversizedFrameError",
+    "frame_header",
+    "frame_payload_size",
+    "write_frame",
+    "read_frame",
     "pack_accumulator_state",
     "unpack_accumulator_state",
 ]
@@ -63,6 +72,150 @@ class AccumulatorPayload:
     config: dict
     n: int
     arrays: dict[str, np.ndarray]
+
+
+# -- length-prefixed frames --------------------------------------------------
+#
+# Byte streams (TCP sockets, pipes, files) have no message boundaries of
+# their own; the collection service sends every message — report
+# envelopes, shipped accumulators, acks — as one *frame*: a u32
+# little-endian payload length followed by exactly that many payload
+# bytes.  Framing is deliberately separate from payload encoding (the
+# accumulator wire format above, the message codec in
+# ``repro.protocol.transport``): the daemons share this one reader/writer
+# instead of sprinkling ad-hoc ``struct`` calls around their socket
+# loops, and the two failure modes a framed stream has are explicit
+# exceptions rather than silent short reads:
+#
+# * :class:`TruncatedFrameError` — the stream ended mid-frame (a peer
+#   crashed or the connection dropped); the bytes read so far are not a
+#   message.
+# * :class:`OversizedFrameError` — the declared length exceeds the
+#   receiver's cap.  A cap turns a corrupt or malicious length prefix
+#   into a refused frame instead of an attempted multi-gigabyte
+#   allocation; writers enforce the same cap so an oversized frame is
+#   refused at the sender, before a peer would have dropped it.
+
+_FRAME_STRUCT = struct.Struct("<I")
+
+#: Default ceiling on one frame's payload (64 MiB) — far above any
+#: accumulator state or report envelope the service ships, far below an
+#: allocation a corrupt length prefix could request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Bytes of the length prefix ahead of every frame payload.
+FRAME_HEADER_BYTES = _FRAME_STRUCT.size
+
+
+class FrameError(ValueError):
+    """A length-prefixed frame could not be written or read."""
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended inside a frame (header or payload cut short)."""
+
+
+class OversizedFrameError(FrameError):
+    """A frame's declared payload length exceeds the configured cap."""
+
+
+def frame_header(payload_size: int, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """The length prefix for a payload of ``payload_size`` bytes.
+
+    Raises :class:`OversizedFrameError` when the payload exceeds
+    ``max_frame_bytes`` — the sender fails loudly instead of shipping a
+    frame every compliant receiver would refuse.
+    """
+    if payload_size < 0:
+        raise FrameError(f"payload size must be >= 0, got {payload_size}")
+    if payload_size > max_frame_bytes:
+        raise OversizedFrameError(
+            f"frame payload of {payload_size} bytes exceeds the "
+            f"{max_frame_bytes}-byte cap"
+        )
+    return _FRAME_STRUCT.pack(payload_size)
+
+
+def frame_payload_size(
+    header: bytes, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> int:
+    """Decode and validate one frame header's declared payload length.
+
+    Shared by the synchronous :func:`read_frame` and the asyncio daemons
+    (which read the header bytes with ``StreamReader.readexactly`` and
+    validate here), so the cap is enforced identically everywhere.
+    """
+    if len(header) != FRAME_HEADER_BYTES:
+        raise TruncatedFrameError(
+            f"frame header is {FRAME_HEADER_BYTES} bytes, got {len(header)}"
+        )
+    (size,) = _FRAME_STRUCT.unpack(header)
+    if size > max_frame_bytes:
+        raise OversizedFrameError(
+            f"frame declares a {size}-byte payload, exceeding the "
+            f"{max_frame_bytes}-byte cap"
+        )
+    return size
+
+
+def write_frame(
+    stream, payload: bytes, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> int:
+    """Write one length-prefixed frame to a binary stream; returns bytes written.
+
+    ``stream`` needs only a ``write(bytes)`` method — an open binary
+    file, a ``BytesIO``, a socket ``makefile`` or an
+    ``asyncio.StreamWriter`` (whose ``write`` buffers synchronously; the
+    caller drains) all qualify.
+    """
+    header = frame_header(len(payload), max_frame_bytes=max_frame_bytes)
+    stream.write(header)
+    stream.write(payload)
+    return len(header) + len(payload)
+
+
+def read_frame(
+    stream, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes | None:
+    """Read one frame's payload from a binary stream.
+
+    Returns ``None`` on a clean end of stream (no bytes where the next
+    header would start); raises :class:`TruncatedFrameError` when the
+    stream ends *inside* a frame and :class:`OversizedFrameError` when
+    the declared length exceeds ``max_frame_bytes``.  ``stream`` needs
+    only a ``read(n)`` method returning at most ``n`` bytes.
+    """
+    header = _read_exactly(stream, FRAME_HEADER_BYTES, allow_clean_eof=True)
+    if header is None:
+        return None
+    size = frame_payload_size(header, max_frame_bytes=max_frame_bytes)
+    payload = _read_exactly(stream, size, allow_clean_eof=False)
+    assert payload is not None
+    return payload
+
+
+def _read_exactly(stream, size: int, *, allow_clean_eof: bool) -> bytes | None:
+    """Read exactly ``size`` bytes, looping over short reads.
+
+    ``None`` when the stream is already exhausted and ``allow_clean_eof``
+    is set; :class:`TruncatedFrameError` on any mid-read end of stream.
+    """
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_clean_eof and not chunks:
+                return None
+            got = size - remaining
+            raise TruncatedFrameError(
+                f"stream ended {remaining} bytes short of a "
+                f"{size}-byte {'header' if size == FRAME_HEADER_BYTES else 'payload'} "
+                f"(got {got})"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
 
 
 def _wire_dtype(dtype: np.dtype) -> np.dtype:

@@ -27,12 +27,20 @@ per-report structure of every batch type means.
 from __future__ import annotations
 
 import dataclasses
+import math
+from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
-__all__ = ["TimedReports", "batch_length", "slice_report_batch"]
+__all__ = [
+    "TimedReports",
+    "batch_length",
+    "slice_report_batch",
+    "merge_event_spans",
+    "merged_watermark",
+]
 
 
 def batch_length(reports: Any) -> int:
@@ -71,6 +79,59 @@ def slice_report_batch(reports: Any, mask: np.ndarray) -> Any:
             },
         )
     return np.asarray(reports)[mask]
+
+
+def merge_event_spans(
+    spans: Iterable[tuple[float, float] | None],
+) -> tuple[float, float] | None:
+    """The ``(earliest, latest)`` union of per-shard event spans.
+
+    Shards that carried no event-time data report a ``None`` span and
+    are excluded; when every span is ``None`` (or ``spans`` is empty)
+    the merged span is ``None`` too — a collection with no event clock
+    has no span, not a degenerate one.  This is the reduction
+    ``ShardedCollectionStats.event_span`` and the distributed combiner
+    both apply to their shards' spans.
+    """
+    lo = math.inf
+    hi = -math.inf
+    saw_any = False
+    for span in spans:
+        if span is None:
+            continue
+        start, end = float(span[0]), float(span[1])
+        if end < start:
+            raise ValueError(f"event span {span!r} ends before it starts")
+        lo = min(lo, start)
+        hi = max(hi, end)
+        saw_any = True
+    return (lo, hi) if saw_any else None
+
+
+def merged_watermark(frontiers: Iterable[float | None]) -> float:
+    """The fleet-wide event-time frontier: min over per-shard frontiers.
+
+    Each live shard reports the largest event timestamp it has seen
+    (its *frontier*); event time at or below every frontier is complete
+    fleet-wide, so the merged watermark is the **minimum** — one
+    straggling shard holds the whole fleet's watermark back, which is
+    exactly what keeps a federated event-time pane from sealing before
+    a slow shard's data arrived.  Shards with no event-time data report
+    ``None`` and are excluded; with no contributing frontier at all the
+    watermark is ``-inf`` (nothing is known complete).  A shard that has
+    drained reports ``+inf`` — it can no longer hold anything back.
+    """
+    mark = math.inf
+    saw_any = False
+    for frontier in frontiers:
+        if frontier is None:
+            continue
+        value = float(frontier)
+        if math.isnan(value):
+            raise ValueError("a shard frontier cannot be NaN")
+        mark = min(mark, value)
+        saw_any = True
+    return mark if saw_any else -math.inf
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ EXPERIMENT_MODULES = {
     "E17": "e17_event_time",
     "E18": "e18_decode_kernels",
     "E19": "e19_session_windows",
+    "E20": "e20_distributed_service",
     "A1": "a01_the_theta",
     "A2": "a02_olh_g",
     "A3": "a03_dbitflip_d",

@@ -1,0 +1,1474 @@
+"""Multi-machine collection service: asyncio ingest tier + combiner daemon.
+
+The deployments the paper surveys do not fold a population on one
+machine: a *fleet* of collectors each ingests a slice of the report
+stream, folds it locally into mergeable accumulators, and ships compact
+summaries to a combiner that owns the fleet-wide estimates.  This module
+is that topology, runnable on real sockets:
+
+* **clients** (:func:`feed_envelopes`) send privatized report envelopes
+  — length-prefixed frames carrying a :class:`~repro.core.timed.TimedReports`
+  batch plus a dedup key — over TCP with credit-based flow control;
+* **ingest workers** (:class:`IngestDaemon`) fold each envelope through
+  the ordinary ``absorb`` path (riding the fused decode kernels and the
+  kernel plan cache), so a worker holds per-pane accumulators, never raw
+  reports, and ship each envelope's partials to the combiner;
+* the **combiner** (:class:`CombinerDaemon`) hydrates wire-serialized
+  accumulators (:mod:`repro.core.serialization` — config-fingerprint
+  checked), merges them through the exact accumulator algebra, tracks
+  each worker's event-time frontier and advances the fleet watermark as
+  the *minimum* over live frontiers
+  (:func:`~repro.core.timed.merged_watermark`), sealing event-time panes
+  only when every shard has moved past them.
+
+Delivery is **at least once**: a client keeps an envelope until the
+worker acks it, and the worker acks only after the combiner acked the
+shipped partials (an end-to-end ack).  Anything can therefore arrive
+twice — a client retry after a lost ack, a restarted worker refolding
+resent envelopes — and correctness comes from dedup keys, not from
+transport guarantees: the worker drops envelope ids it has already
+folded, and the combiner (the single source of truth) drops envelope ids
+it has already merged.  Because the accumulator algebra is exact and
+merge-order free, the surviving fold is **bit-identical** to a
+single-host :func:`~repro.protocol.simulation.run_sharded_collection`
+over the same privatized reports, no matter how delivery was duplicated,
+reordered or interrupted.
+
+The pure logic (dedup, pane folding, watermark merge, sealing, lateness
+accounting) lives in :class:`ShardFolder` and :class:`CombinerCore`,
+which never touch a socket — the daemons are thin asyncio shells around
+them, and unit tests drive the cores directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.budget import PrivacyLedger
+from repro.core.mechanism import FrequencyOracle
+from repro.core.serialization import MAX_FRAME_BYTES, TruncatedFrameError
+from repro.core.timed import TimedReports, batch_length, merged_watermark, slice_report_batch
+from repro.protocol.streaming import WindowSpec
+from repro.protocol.transport import (
+    pack_timed_reports,
+    read_message,
+    unpack_timed_reports,
+    write_message,
+)
+from repro.util.rng import ensure_generator
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "DEFAULT_CREDIT_WINDOW",
+    "SERVICE_BACKENDS",
+    "ServiceError",
+    "RetryPolicy",
+    "ShipPayload",
+    "ShardFolder",
+    "SealedWindow",
+    "WorkerServiceStats",
+    "CombinerCore",
+    "ServiceResult",
+    "CombinerDaemon",
+    "IngestDaemon",
+    "feed_envelopes",
+    "run_distributed_collection",
+]
+
+#: Envelopes a client may have in flight (sent, not yet acked) at once.
+#: Advertised by the worker in its hello message; the client's send
+#: window is the backpressure mechanism — a slow worker acks slowly and
+#: the client stops sending instead of ballooning the worker's buffers.
+DEFAULT_CREDIT_WINDOW = 8
+
+#: Execution backends for :func:`run_distributed_collection`: ``"inline"``
+#: runs every daemon in one event loop (fast, deterministic, debuggable);
+#: ``"process"`` spawns each ingest worker as a real OS process talking
+#: TCP to the combiner — the multi-machine shape on one host.
+SERVICE_BACKENDS = ("inline", "process")
+
+
+class ServiceError(RuntimeError):
+    """The collection service could not complete (protocol or delivery)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded reconnect/reship policy with exponential backoff."""
+
+    attempts: int = 6
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        return min(self.base_delay * (2.0**attempt), self.max_delay)
+
+
+def _check_window(window: WindowSpec | None) -> WindowSpec | None:
+    if window is None:
+        return None
+    if not isinstance(window, WindowSpec) or window.kind != "event_tumbling":
+        raise ValueError(
+            "the collection service windows by event_tumbling specs; got "
+            f"{getattr(window, 'kind', window)!r}"
+        )
+    return window
+
+
+def _pane_indices(window: WindowSpec, timestamps: np.ndarray) -> np.ndarray:
+    """Tumbling pane index of each event timestamp (int64)."""
+    span = window.pane_span
+    raw = np.floor((timestamps - window.origin) / span)
+    if raw.size and (np.any(raw > 2**62) or np.any(raw < -(2**62))):
+        raise ValueError("event timestamps map to pane indices beyond int64")
+    return raw.astype(np.int64)
+
+
+def _pane_bounds(window: WindowSpec, pane: int) -> tuple[float, float]:
+    span = float(window.pane_span)
+    return window.origin + pane * span, window.origin + (pane + 1) * span
+
+
+# -- pure cores --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShipPayload:
+    """One envelope's fold, ready to cross the worker → combiner wire.
+
+    ``panes`` maps tumbling pane index → the wire bytes of a fresh
+    accumulator holding exactly that envelope's reports for that pane
+    (pane ``None`` when the service runs unwindowed).  ``frontier`` is
+    the worker's event-time frontier *after* folding this envelope —
+    ``None`` until the worker has seen any event-time data.
+    """
+
+    worker_id: int
+    envelope_id: str
+    frontier: float | None
+    num_reports: int
+    panes: tuple[tuple[int | None, bytes], ...]
+
+
+class ShardFolder:
+    """One ingest worker's pure fold state: dedup, pane split, frontier.
+
+    ``offer`` is the whole worker-side algorithm: drop an envelope id
+    already folded (at-least-once delivery makes redelivery normal, not
+    exceptional), advance the event-time frontier, split the batch into
+    its event-time panes, and fold each pane's reports into a *fresh*
+    accumulator whose wire bytes ship to the combiner.  The folder never
+    keeps report batches — only the dedup set and running counters.
+    """
+
+    def __init__(
+        self,
+        oracle: FrequencyOracle,
+        worker_id: int = 0,
+        *,
+        window: WindowSpec | None = None,
+    ) -> None:
+        self._oracle = oracle
+        self.worker_id = int(worker_id)
+        self._window = _check_window(window)
+        self._seen: set[str] = set()
+        self._frontier: float | None = None
+        self.envelopes = 0
+        self.duplicates = 0
+        self.reports = 0
+
+    @property
+    def frontier(self) -> float | None:
+        """Largest event timestamp folded so far (None without event data)."""
+        return self._frontier
+
+    def offer(self, envelope_id: str, payload: Any) -> ShipPayload | None:
+        """Fold one envelope; ``None`` when its id was already folded."""
+        envelope_id = str(envelope_id)
+        if envelope_id in self._seen:
+            self.duplicates += 1
+            return None
+        if isinstance(payload, TimedReports):
+            timestamps = payload.timestamps
+            reports = payload.reports
+            if timestamps.size:
+                high = float(timestamps.max())
+                self._frontier = (
+                    high if self._frontier is None else max(self._frontier, high)
+                )
+        else:
+            if self._window is not None:
+                raise ValueError(
+                    "a windowed service needs timed envelopes; got a raw "
+                    f"{type(payload).__name__} batch"
+                )
+            timestamps = None
+            reports = payload
+        panes: list[tuple[int | None, bytes]] = []
+        if self._window is None or timestamps is None:
+            acc = self._oracle.accumulator()
+            acc.absorb(reports)
+            panes.append((None, acc.to_bytes()))
+        else:
+            indices = _pane_indices(self._window, timestamps)
+            order = np.argsort(indices, kind="stable")
+            cuts = np.flatnonzero(np.diff(indices[order])) + 1
+            for segment in np.split(order, cuts):
+                acc = self._oracle.accumulator()
+                acc.absorb(slice_report_batch(reports, segment))
+                panes.append((int(indices[segment[0]]), acc.to_bytes()))
+        n = batch_length(reports)
+        self._seen.add(envelope_id)
+        self.envelopes += 1
+        self.reports += n
+        return ShipPayload(
+            worker_id=self.worker_id,
+            envelope_id=envelope_id,
+            frontier=self._frontier,
+            num_reports=n,
+            panes=tuple(panes),
+        )
+
+    def stats_header(self) -> dict:
+        """The worker-side counters a drain message carries."""
+        return {
+            "envelopes": self.envelopes,
+            "duplicates": self.duplicates,
+            "reports": self.reports,
+            "frontier": self._frontier,
+        }
+
+
+@dataclass(frozen=True)
+class SealedWindow:
+    """One event-time pane the combiner sealed fleet-wide.
+
+    Sealing happened because the *merged* watermark — min over every
+    worker's frontier, minus the allowed lateness — passed the pane's
+    end, so no on-time report can still arrive for it.  ``users`` counts
+    the reports folded into the pane before sealing; partials arriving
+    after the seal are counted late, never merged.
+    """
+
+    pane: int
+    start: float
+    end: float
+    users: int
+    estimated_counts: np.ndarray
+    merged_frontier: float
+
+
+@dataclass(frozen=True)
+class WorkerServiceStats:
+    """One ingest worker's counters, as reported in its drain message."""
+
+    worker_id: int
+    envelopes: int
+    duplicate_envelopes: int
+    reports: int
+    ships: int
+    reships: int
+    shipped_bytes: int
+    frontier: float | None
+
+
+class CombinerCore:
+    """The combiner's pure state: dedup, merge, watermark, seal, lateness.
+
+    The combiner is the single source of truth for exactly-once
+    *effects* on top of at-least-once delivery: a ship whose envelope id
+    was already merged only advances the sender's frontier.  Frontiers
+    are kept as a running **max per worker** so a restarted worker
+    (which rejoins with an empty frontier) can never drag the merged
+    watermark backwards; a worker that has drained reports ``+inf`` and
+    stops holding the fleet back.  Every expected worker starts at
+    ``-inf`` — panes cannot seal before a worker that has not yet spoken
+    gets a chance to contribute.
+    """
+
+    def __init__(
+        self,
+        oracle: FrequencyOracle,
+        num_workers: int,
+        *,
+        window: WindowSpec | None = None,
+    ) -> None:
+        check_positive_int(num_workers, name="num_workers")
+        self._oracle = oracle
+        self.num_workers = int(num_workers)
+        self._window = _check_window(window)
+        self._frontiers: dict[int, float] = {
+            w: -math.inf for w in range(self.num_workers)
+        }
+        self._registered: set[int] = set()
+        self._drained: set[int] = set()
+        self._seen: set[str] = set()
+        self._panes: dict[int | None, Any] = {}
+        self._sealed: set[int | None] = set()
+        self._windows: list[SealedWindow] = []
+        self._total = oracle.accumulator()
+        self._worker_stats: dict[int, WorkerServiceStats] = {}
+        self.absorbed = 0
+        self.late = 0
+        self.duplicates = 0
+
+    def _check_worker(self, worker_id: int) -> int:
+        worker_id = int(worker_id)
+        if not 0 <= worker_id < self.num_workers:
+            raise ServiceError(
+                f"worker id {worker_id} outside the expected fleet "
+                f"[0, {self.num_workers})"
+            )
+        return worker_id
+
+    def register(self, worker_id: int) -> None:
+        """Admit a worker (idempotent — a restarted worker re-registers)."""
+        self._registered.add(self._check_worker(worker_id))
+
+    @property
+    def merged_frontier(self) -> float:
+        """Fleet event-time frontier: min over per-worker frontiers."""
+        return merged_watermark(self._frontiers.values())
+
+    @property
+    def watermark(self) -> float:
+        """Merged frontier minus the window's allowed lateness."""
+        lateness = self._window.allowed_lateness if self._window else 0.0
+        return self.merged_frontier - lateness
+
+    @property
+    def all_drained(self) -> bool:
+        return len(self._drained) == self.num_workers
+
+    @property
+    def sealed_windows(self) -> tuple[SealedWindow, ...]:
+        """Panes sealed so far, in seal order."""
+        return tuple(self._windows)
+
+    def receive(self, ship: ShipPayload) -> bool:
+        """Merge one shipped envelope; ``False`` when it was a redelivery.
+
+        Either way the sender's frontier advances (a redelivered ship
+        still proves how far the worker has read) and sealing re-runs.
+        """
+        worker_id = self._check_worker(ship.worker_id)
+        if worker_id not in self._registered:
+            raise ServiceError(
+                f"ship from unregistered worker {worker_id}; a worker must "
+                "register before shipping"
+            )
+        if ship.frontier is not None:
+            self._frontiers[worker_id] = max(
+                self._frontiers[worker_id], float(ship.frontier)
+            )
+        fresh = ship.envelope_id not in self._seen
+        if not fresh:
+            self.duplicates += 1
+        else:
+            self._seen.add(ship.envelope_id)
+            for pane, payload in ship.panes:
+                if pane is None and self._window is not None:
+                    raise ServiceError(
+                        "unwindowed partial shipped to a windowed combiner; "
+                        "worker and combiner disagree on the window spec"
+                    )
+                part = self._oracle.accumulator().from_bytes(payload)
+                if pane in self._sealed:
+                    # The pane already sealed fleet-wide: the straggler is
+                    # *counted* (absorbed + late == n stays exact) but its
+                    # reports never reach estimates.
+                    self.late += part.n_absorbed
+                    continue
+                held = self._panes.get(pane)
+                if held is None:
+                    self._panes[pane] = part
+                else:
+                    held.merge(part)
+                self._total.merge(part)
+                self.absorbed += part.n_absorbed
+        self._seal()
+        return fresh
+
+    def drain(self, worker_id: int, stats: WorkerServiceStats | None = None) -> None:
+        """A worker finished: frontier → +inf, stop holding the fleet back."""
+        worker_id = self._check_worker(worker_id)
+        self._frontiers[worker_id] = math.inf
+        self._drained.add(worker_id)
+        if stats is not None:
+            self._worker_stats[worker_id] = stats
+        self._seal()
+
+    def _seal(self) -> None:
+        """Seal every open pane whose end the merged watermark passed."""
+        if self._window is None or not self._panes:
+            return
+        mark = self.watermark
+        ready = sorted(k for k in self._panes if _pane_bounds(self._window, k)[1] <= mark)
+        for pane in ready:
+            acc = self._panes.pop(pane)
+            start, end = _pane_bounds(self._window, pane)
+            self._sealed.add(pane)
+            self._windows.append(
+                SealedWindow(
+                    pane=pane,
+                    start=start,
+                    end=end,
+                    users=acc.n_absorbed,
+                    estimated_counts=acc.finalize(),
+                    merged_frontier=self.merged_frontier,
+                )
+            )
+
+    def result(self) -> "ServiceResult":
+        """The fleet-wide outcome; every worker must have drained."""
+        if not self.all_drained:
+            missing = sorted(set(range(self.num_workers)) - self._drained)
+            raise ServiceError(f"workers {missing} have not drained")
+        estimates = self._total.finalize() if self.absorbed else None
+        workers = tuple(
+            self._worker_stats[w] for w in sorted(self._worker_stats)
+        )
+        return ServiceResult(
+            estimated_counts=estimates,
+            windows=tuple(self._windows),
+            absorbed_reports=self.absorbed,
+            late_reports=self.late,
+            duplicate_envelopes=self.duplicates,
+            num_workers=self.num_workers,
+            merged_frontier=self.merged_frontier,
+            workers=workers,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome and accounting of one distributed collection round.
+
+    ``absorbed_reports + late_reports`` equals every report the fleet
+    accepted exactly once — duplicates are dropped by id before they
+    count anywhere, stragglers for sealed panes count late rather than
+    vanish.  ``estimated_counts`` is the all-time estimate (every
+    absorbed report, windowed or not); ``windows`` holds the per-pane
+    estimates the merged watermark sealed along the way.
+    """
+
+    estimated_counts: np.ndarray | None
+    windows: tuple[SealedWindow, ...]
+    absorbed_reports: int
+    late_reports: int
+    duplicate_envelopes: int
+    num_workers: int
+    merged_frontier: float
+    workers: tuple[WorkerServiceStats, ...] = ()
+    wall_seconds: float = 0.0
+    backend: str = "inline"
+    ledger: PrivacyLedger | None = None
+
+    @property
+    def num_users(self) -> int:
+        return self.absorbed_reports
+
+    @property
+    def users_per_second(self) -> float:
+        return (
+            self.absorbed_reports / self.wall_seconds
+            if self.wall_seconds > 0
+            else 0.0
+        )
+
+
+# -- wire adapters for the cores ---------------------------------------------
+
+
+def _ship_to_message(ship: ShipPayload) -> tuple[dict, dict[str, np.ndarray]]:
+    manifest = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, (pane, payload) in enumerate(ship.panes):
+        name = f"p{i}"
+        manifest.append([pane, name])
+        arrays[name] = np.frombuffer(payload, dtype=np.uint8)
+    header = {
+        "type": "ship",
+        "worker": ship.worker_id,
+        "envelope": ship.envelope_id,
+        "frontier": ship.frontier,
+        "reports": ship.num_reports,
+        "panes": manifest,
+    }
+    return header, arrays
+
+
+def _ship_from_message(header: dict, arrays: dict[str, np.ndarray]) -> ShipPayload:
+    panes = tuple(
+        (None if pane is None else int(pane), arrays[name].tobytes())
+        for pane, name in header["panes"]
+    )
+    frontier = header.get("frontier")
+    return ShipPayload(
+        worker_id=int(header["worker"]),
+        envelope_id=str(header["envelope"]),
+        frontier=None if frontier is None else float(frontier),
+        num_reports=int(header["reports"]),
+        panes=panes,
+    )
+
+
+async def _close_writer(writer: asyncio.StreamWriter | None) -> None:
+    if writer is None:
+        return
+    writer.close()
+    with contextlib.suppress(Exception):
+        await writer.wait_closed()
+
+
+_CONNECTION_ERRORS = (
+    ConnectionError,
+    TruncatedFrameError,
+    asyncio.IncompleteReadError,
+    OSError,
+)
+
+
+class _HandlerTracker:
+    """Bookkeeping so a daemon can shut its handlers down gracefully.
+
+    A cancelled ``start_server`` handler task makes asyncio log a noisy
+    callback traceback at loop teardown; tracking each handler's writer
+    and task lets ``aclose`` close the transports (unblocking the
+    handlers' reads with EOF) and *wait* for them instead of cancelling.
+    """
+
+    def __init__(self) -> None:
+        self.writers: set[asyncio.StreamWriter] = set()
+        self.tasks: set[asyncio.Task] = set()
+
+    def enter(self, writer: asyncio.StreamWriter) -> None:
+        self.writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self.tasks.add(task)
+
+    def leave(self, writer: asyncio.StreamWriter) -> None:
+        self.writers.discard(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self.tasks.discard(task)
+
+    async def aclose(self, timeout: float = 5.0) -> None:
+        for writer in list(self.writers):
+            writer.close()
+        tasks = [t for t in self.tasks if not t.done()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=timeout)
+
+
+# -- daemons -----------------------------------------------------------------
+
+
+class CombinerDaemon:
+    """TCP shell around :class:`CombinerCore`.
+
+    Accepts any number of worker connections; each connection speaks
+    ``register`` / ``ship`` / ``drain`` and gets a ``ship_ack`` /
+    ``drain_ack`` per message.  A connection dying mid-frame is normal
+    operation (a crashed worker): the core's state is untouched and the
+    worker's resends arrive on a fresh connection.
+    """
+
+    def __init__(
+        self,
+        oracle: FrequencyOracle,
+        num_workers: int,
+        *,
+        window: WindowSpec | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.core = CombinerCore(oracle, num_workers, window=window)
+        self._host = host
+        self._port = port
+        self._max_frame_bytes = max_frame_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self._done = asyncio.Event()
+        self._tracker = _HandlerTracker()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_worker, self._host, self._port
+        )
+        self._address = self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._address
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._tracker.enter(writer)
+        try:
+            while True:
+                message = await read_message(
+                    reader, max_frame_bytes=self._max_frame_bytes
+                )
+                if message is None:
+                    break
+                header, arrays = message
+                kind = header.get("type")
+                if kind == "register":
+                    self.core.register(int(header["worker"]))
+                elif kind == "ship":
+                    ship = _ship_from_message(header, arrays)
+                    self.core.receive(ship)
+                    write_message(
+                        writer,
+                        {"type": "ship_ack", "envelope": ship.envelope_id},
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
+                    await writer.drain()
+                elif kind == "drain":
+                    worker_id = int(header["worker"])
+                    frontier = header.get("frontier")
+                    stats = WorkerServiceStats(
+                        worker_id=worker_id,
+                        envelopes=int(header.get("envelopes", 0)),
+                        duplicate_envelopes=int(header.get("duplicates", 0)),
+                        reports=int(header.get("reports", 0)),
+                        ships=int(header.get("ships", 0)),
+                        reships=int(header.get("reships", 0)),
+                        shipped_bytes=int(header.get("shipped_bytes", 0)),
+                        frontier=None if frontier is None else float(frontier),
+                    )
+                    self.core.drain(worker_id, stats)
+                    write_message(
+                        writer,
+                        {"type": "drain_ack", "worker": worker_id},
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
+                    await writer.drain()
+                    if self.core.all_drained:
+                        self._done.set()
+                else:
+                    raise ServiceError(f"unknown combiner message {kind!r}")
+        except _CONNECTION_ERRORS:
+            pass  # a worker vanished; its resends arrive on a new connection
+        finally:
+            self._tracker.leave(writer)
+            await _close_writer(writer)
+
+    async def wait_drained(self, timeout: float | None = None) -> None:
+        try:
+            await asyncio.wait_for(self._done.wait(), timeout)
+        except asyncio.TimeoutError as exc:
+            raise ServiceError(
+                "combiner timed out waiting for the fleet to drain"
+            ) from exc
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._tracker.aclose()
+
+
+class IngestDaemon:
+    """TCP shell around :class:`ShardFolder`: one ingest-tier worker.
+
+    Serves clients (hello/reports/ack/eof) on its own listening socket
+    and keeps one upstream connection to the combiner.  Every client
+    envelope is folded and its partials shipped before the client sees
+    an ack — the end-to-end ack that makes worker restarts safe: a
+    client never drops an envelope the combiner has not merged.  The
+    upstream link reconnects with bounded exponential backoff and
+    reships every unacked payload in order; the combiner's dedup absorbs
+    any double delivery that recovery causes.
+    """
+
+    def __init__(
+        self,
+        oracle: FrequencyOracle,
+        worker_id: int,
+        combiner_address: tuple[str, int],
+        *,
+        window: WindowSpec | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        credit_window: int = DEFAULT_CREDIT_WINDOW,
+        expected_clients: int = 1,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        retry: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        check_positive_int(credit_window, name="credit_window")
+        check_positive_int(expected_clients, name="expected_clients")
+        self.folder = ShardFolder(oracle, worker_id, window=window)
+        self.worker_id = int(worker_id)
+        self._combiner_address = combiner_address
+        self._host = host
+        self._port = port
+        self._credit_window = int(credit_window)
+        self._expected_clients = int(expected_clients)
+        self._max_frame_bytes = max_frame_bytes
+        self._retry = retry
+        self._server: asyncio.AbstractServer | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._conn_lock = asyncio.Lock()
+        self._ship_lock = asyncio.Lock()
+        self._pending: dict[str, asyncio.Future] = {}
+        self._unacked: dict[str, ShipPayload] = {}
+        self._drain_future: asyncio.Future | None = None
+        self._drain_sent = False
+        self._clients_done = 0
+        self._done = asyncio.Event()
+        self._tracker = _HandlerTracker()
+        self._closing = False
+        self._failure: ServiceError | None = None
+        self.ships = 0
+        self.reships = 0
+        self.shipped_bytes = 0
+
+    async def start(self) -> None:
+        await self._ensure_connected()
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        self._address = self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._address
+
+    async def run(self) -> None:
+        """Serve until every expected client sent eof and the drain acked."""
+        await self._done.wait()
+        if self._failure is not None:
+            raise self._failure
+        await self.close()
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._tracker.aclose()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+        await _close_writer(self._writer)
+
+    # -- upstream (combiner) link -------------------------------------------
+
+    async def _ensure_connected(self) -> None:
+        """Connect (or reconnect) upstream; reships unacked payloads.
+
+        Bounded retry with exponential backoff; exhausting the policy
+        fails the daemon and every caller waiting on an ack.
+        """
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        async with self._conn_lock:
+            if self._writer is not None and not self._writer.is_closing():
+                return
+            last_error: Exception | None = None
+            for attempt in range(self._retry.attempts):
+                if attempt:
+                    await asyncio.sleep(self._retry.delay(attempt - 1))
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        *self._combiner_address
+                    )
+                    write_message(
+                        writer,
+                        {"type": "register", "worker": self.worker_id},
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
+                    for ship in list(self._unacked.values()):
+                        header, arrays = _ship_to_message(ship)
+                        write_message(
+                            writer,
+                            header,
+                            arrays,
+                            max_frame_bytes=self._max_frame_bytes,
+                        )
+                        self.reships += 1
+                    if self._drain_sent and not (
+                        self._drain_future is None or self._drain_future.done()
+                    ):
+                        write_message(
+                            writer,
+                            self._drain_header(),
+                            max_frame_bytes=self._max_frame_bytes,
+                        )
+                    await writer.drain()
+                except _CONNECTION_ERRORS as exc:
+                    last_error = exc
+                    continue
+                self._writer = writer
+                self._reader_task = asyncio.ensure_future(
+                    self._read_combiner(reader)
+                )
+                return
+            failure = ServiceError(
+                f"worker {self.worker_id} could not reach the combiner at "
+                f"{self._combiner_address} after {self._retry.attempts} "
+                f"attempts: {last_error}"
+            )
+            self._fail(failure)
+            raise failure
+
+    def _fail(self, failure: ServiceError) -> None:
+        self._failure = failure
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(failure)
+        if self._drain_future is not None and not self._drain_future.done():
+            self._drain_future.set_exception(failure)
+        self._done.set()
+
+    async def _read_combiner(self, reader: asyncio.StreamReader) -> None:
+        """Dispatch upstream acks; on link loss, recover if work is owed."""
+        try:
+            while True:
+                message = await read_message(
+                    reader, max_frame_bytes=self._max_frame_bytes
+                )
+                if message is None:
+                    break
+                header, _ = message
+                kind = header.get("type")
+                if kind == "ship_ack":
+                    future = self._pending.pop(str(header["envelope"]), None)
+                    if future is not None and not future.done():
+                        future.set_result(True)
+                elif kind == "drain_ack":
+                    if (
+                        self._drain_future is not None
+                        and not self._drain_future.done()
+                    ):
+                        self._drain_future.set_result(True)
+                else:
+                    raise ServiceError(f"unknown combiner reply {kind!r}")
+        except _CONNECTION_ERRORS:
+            pass
+        if self._closing or self._failure is not None:
+            return
+        await _close_writer(self._writer)
+        owes_acks = self._pending or (
+            self._drain_future is not None and not self._drain_future.done()
+        )
+        if owes_acks:
+            with contextlib.suppress(ServiceError):
+                await self._ensure_connected()  # failure already recorded
+
+    async def _ship(self, ship: ShipPayload) -> None:
+        """Ship one envelope's partials and wait for the combiner's ack."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending[ship.envelope_id] = future
+        self._unacked[ship.envelope_id] = ship
+        async with self._ship_lock:
+            for attempt in range(self._retry.attempts):
+                if future.done():
+                    break  # a reconnect already reshipped and got the ack
+                try:
+                    await self._ensure_connected()
+                    header, arrays = _ship_to_message(ship)
+                    self.shipped_bytes += write_message(
+                        self._writer,
+                        header,
+                        arrays,
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
+                    await self._writer.drain()
+                    self.ships += 1
+                    break
+                except ServiceError:
+                    break  # recorded by _fail; the future carries it
+                except _CONNECTION_ERRORS:
+                    await _close_writer(self._writer)
+                    await asyncio.sleep(self._retry.delay(attempt))
+            else:
+                self._fail(
+                    ServiceError(
+                        f"worker {self.worker_id} exhausted "
+                        f"{self._retry.attempts} attempts shipping envelope "
+                        f"{ship.envelope_id!r}"
+                    )
+                )
+        await future
+        self._unacked.pop(ship.envelope_id, None)
+
+    def _drain_header(self) -> dict:
+        header = dict(self.folder.stats_header())
+        header.update(
+            type="drain",
+            worker=self.worker_id,
+            ships=self.ships,
+            reships=self.reships,
+            shipped_bytes=self.shipped_bytes,
+        )
+        return header
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._drain_future = loop.create_future()
+        self._drain_sent = True
+        async with self._ship_lock:
+            await self._ensure_connected()
+            write_message(
+                self._writer,
+                self._drain_header(),
+                max_frame_bytes=self._max_frame_bytes,
+            )
+            await self._writer.drain()
+        await self._drain_future
+        self._done.set()
+
+    # -- downstream (client) connections ------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._tracker.enter(writer)
+        try:
+            write_message(
+                writer,
+                {"type": "hello", "credits": self._credit_window},
+                max_frame_bytes=self._max_frame_bytes,
+            )
+            await writer.drain()
+            while True:
+                message = await read_message(
+                    reader, max_frame_bytes=self._max_frame_bytes
+                )
+                if message is None:
+                    break  # client vanished; it will resend unacked envelopes
+                header, arrays = message
+                kind = header.get("type")
+                if kind == "reports":
+                    envelope_id = str(header["envelope"])
+                    payload = unpack_timed_reports(header, arrays)
+                    ship = self.folder.offer(envelope_id, payload)
+                    if ship is not None:
+                        await self._ship(ship)
+                    write_message(
+                        writer,
+                        {
+                            "type": "ack",
+                            "envelope": envelope_id,
+                            "duplicate": ship is None,
+                        },
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
+                    await writer.drain()
+                elif kind == "eof":
+                    write_message(
+                        writer,
+                        {"type": "eof_ack"},
+                        max_frame_bytes=self._max_frame_bytes,
+                    )
+                    await writer.drain()
+                    self._clients_done += 1
+                    if self._clients_done >= self._expected_clients:
+                        await self._drain()
+                    break
+                else:
+                    raise ServiceError(f"unknown client message {kind!r}")
+        except _CONNECTION_ERRORS:
+            pass
+        except ServiceError:
+            pass  # recorded in self._failure by the upstream machinery
+        finally:
+            self._tracker.leave(writer)
+            await _close_writer(writer)
+
+
+# -- client feeder -----------------------------------------------------------
+
+
+async def feed_envelopes(
+    address: tuple[str, int] | Callable[[], tuple[str, int]],
+    envelopes: list[tuple[str, Any]],
+    *,
+    duplicate_ids: frozenset[str] | set[str] = frozenset(),
+    restart_after: int | None = None,
+    restart_callback: Callable[[], Any] | None = None,
+    retry: RetryPolicy = RetryPolicy(),
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> dict:
+    """Send report envelopes to one ingest worker, at-least-once.
+
+    Envelopes are ``(envelope_id, TimedReports | report batch)`` pairs.
+    The client honours the worker's advertised credit window, keeps
+    every sent-but-unacked envelope, and on any connection failure
+    reconnects (``address`` may be a callable so a restarted worker's
+    new port is picked up) and resends the whole unacked window — the
+    worker's dedup makes the redelivery harmless.  ``duplicate_ids``
+    deliberately sends those envelopes twice (delivery-fault injection);
+    ``restart_callback`` fires once, just before the
+    ``restart_after``-th envelope is first sent, so a test can kill and
+    respawn the worker mid-stream.
+    """
+    resolve = address if callable(address) else (lambda: address)
+    pending: deque[tuple[str, Any]] = deque()
+    for envelope_id, payload in envelopes:
+        pending.append((envelope_id, payload))
+        if envelope_id in duplicate_ids:
+            pending.append((envelope_id, payload))
+    inflight: deque[tuple[str, Any]] = deque()
+    reader = writer = None
+    credits = 1
+    sent = resent = duplicate_acks = failures = first_sends = 0
+    restart_fired = restart_callback is None or restart_after is None
+
+    async def connect():
+        nonlocal reader, writer, credits
+        reader, writer = await asyncio.open_connection(*resolve())
+        hello = await read_message(reader, max_frame_bytes=max_frame_bytes)
+        if hello is None or hello[0].get("type") != "hello":
+            raise ConnectionResetError("worker did not say hello")
+        credits = int(hello[0].get("credits", 1))
+
+    try:
+        while pending or inflight:
+            try:
+                if writer is None or writer.is_closing():
+                    if inflight:
+                        # The link died with a window outstanding: those
+                        # envelopes may or may not have been folded.
+                        # Resend them all; dedup sorts it out.
+                        pending.extendleft(reversed(inflight))
+                        resent += len(inflight)
+                        inflight.clear()
+                    await connect()
+                while pending and len(inflight) < credits:
+                    if not restart_fired and first_sends >= restart_after:
+                        restart_fired = True
+                        await _close_writer(writer)
+                        await restart_callback()
+                        raise ConnectionResetError("worker restarted")
+                    item = pending.popleft()
+                    header, arrays = pack_timed_reports(item[1])
+                    header.update(type="reports", envelope=item[0])
+                    write_message(
+                        writer, header, arrays, max_frame_bytes=max_frame_bytes
+                    )
+                    inflight.append(item)
+                    sent += 1
+                    first_sends += 1
+                await writer.drain()
+                message = await read_message(
+                    reader, max_frame_bytes=max_frame_bytes
+                )
+                if message is None:
+                    raise ConnectionResetError("worker closed mid-stream")
+                header, _ = message
+                if header.get("type") != "ack":
+                    raise ServiceError(f"unexpected worker reply {header!r}")
+                expected_id = inflight.popleft()[0]
+                if str(header["envelope"]) != expected_id:
+                    raise ServiceError(
+                        f"ack for {header['envelope']!r} does not match the "
+                        f"oldest in-flight envelope {expected_id!r}"
+                    )
+                if header.get("duplicate"):
+                    duplicate_acks += 1
+                failures = 0
+            except _CONNECTION_ERRORS:
+                await _close_writer(writer)
+                writer = None
+                failures += 1
+                if failures > retry.attempts:
+                    raise ServiceError(
+                        f"client gave up on worker at {resolve()} after "
+                        f"{failures - 1} consecutive connection failures"
+                    )
+                await asyncio.sleep(retry.delay(failures - 1))
+        for attempt in range(retry.attempts + 1):
+            try:
+                if writer is None or writer.is_closing():
+                    await connect()
+                write_message(
+                    writer, {"type": "eof"}, max_frame_bytes=max_frame_bytes
+                )
+                await writer.drain()
+                message = await read_message(
+                    reader, max_frame_bytes=max_frame_bytes
+                )
+                if message is None or message[0].get("type") != "eof_ack":
+                    raise ConnectionResetError("no eof ack")
+                break
+            except _CONNECTION_ERRORS:
+                await _close_writer(writer)
+                writer = None
+                if attempt == retry.attempts:
+                    raise ServiceError("client could not hand off eof")
+                await asyncio.sleep(retry.delay(attempt))
+    finally:
+        await _close_writer(writer)
+    return {
+        "sent": sent,
+        "resent": resent,
+        "duplicate_acks": duplicate_acks,
+    }
+
+
+# -- orchestration -----------------------------------------------------------
+
+
+def _privatize_envelopes(
+    oracle: FrequencyOracle,
+    worker_id: int,
+    shard_values: np.ndarray,
+    shard_timestamps: np.ndarray | None,
+    chunk_size: int,
+    gen: np.random.Generator,
+) -> list[tuple[str, Any]]:
+    """One worker's envelope stream — the exact chunking and RNG stream
+    ``run_sharded_collection`` gives shard ``worker_id``, so the service
+    and the single-host pipeline fold byte-identical report batches."""
+    envelopes: list[tuple[str, Any]] = []
+    for chunk_index, start in enumerate(
+        range(0, shard_values.shape[0], chunk_size)
+    ):
+        chunk = shard_values[start : start + chunk_size]
+        reports = oracle.privatize(chunk, rng=gen)
+        payload: Any = reports
+        if shard_timestamps is not None:
+            payload = TimedReports(
+                timestamps=shard_timestamps[start : start + chunk_size],
+                reports=reports,
+            )
+        envelopes.append((f"w{worker_id}:c{chunk_index}", payload))
+    return envelopes
+
+
+def _ingest_process_main(
+    conn,
+    oracle: FrequencyOracle,
+    worker_id: int,
+    combiner_address: tuple[str, int],
+    window: WindowSpec | None,
+    credit_window: int,
+    max_frame_bytes: int,
+) -> None:
+    """Entry point of one spawned ingest-worker process.
+
+    Module-level so the spawn context can import it; reports the bound
+    listening address back through ``conn`` and serves until drained.
+    """
+
+    async def main() -> None:
+        daemon = IngestDaemon(
+            oracle,
+            worker_id,
+            combiner_address,
+            window=window,
+            credit_window=credit_window,
+            max_frame_bytes=max_frame_bytes,
+        )
+        await daemon.start()
+        conn.send(daemon.address)
+        await daemon.run()
+
+    asyncio.run(main())
+
+
+class _ProcessWorker:
+    """Parent-side handle on one spawned ingest worker (restartable)."""
+
+    def __init__(self, ctx, spawn_args: tuple) -> None:
+        self._ctx = ctx
+        self._spawn_args = spawn_args
+        self.process = None
+        self.address: tuple[str, int] | None = None
+
+    async def start(self) -> None:
+        parent, child = self._ctx.Pipe(duplex=False)
+        self.process = self._ctx.Process(
+            target=_ingest_process_main,
+            args=(child, *self._spawn_args),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        loop = asyncio.get_running_loop()
+        try:
+            self.address = await asyncio.wait_for(
+                loop.run_in_executor(None, parent.recv), timeout=60.0
+            )
+        except (EOFError, asyncio.TimeoutError) as exc:
+            raise ServiceError(
+                "ingest worker process died before binding its port"
+            ) from exc
+        finally:
+            parent.close()
+
+    async def restart(self) -> None:
+        """Kill the worker abruptly (SIGKILL) and spawn a replacement."""
+        loop = asyncio.get_running_loop()
+        self.process.kill()
+        await loop.run_in_executor(None, self.process.join)
+        await self.start()
+
+    def stop(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=10.0)
+
+
+async def _run_service(
+    oracle: FrequencyOracle,
+    worker_envelopes: list[list[tuple[str, Any]]],
+    *,
+    window: WindowSpec | None,
+    backend: str,
+    credit_window: int,
+    duplicate_ids: frozenset[str],
+    restart_worker: tuple[int, int] | None,
+    max_frame_bytes: int,
+    timeout: float,
+) -> tuple["ServiceResult", float]:
+    num_workers = len(worker_envelopes)
+    combiner = CombinerDaemon(
+        oracle, num_workers, window=window, max_frame_bytes=max_frame_bytes
+    )
+    await combiner.start()
+    inline_daemons: list[IngestDaemon] = []
+    process_workers: list[_ProcessWorker] = []
+    daemon_tasks: list[asyncio.Task] = []
+    try:
+        addresses: list[Callable[[], tuple[str, int]]] = []
+        if backend == "inline":
+            for worker_id in range(num_workers):
+                daemon = IngestDaemon(
+                    oracle,
+                    worker_id,
+                    combiner.address,
+                    window=window,
+                    credit_window=credit_window,
+                    max_frame_bytes=max_frame_bytes,
+                )
+                await daemon.start()
+                inline_daemons.append(daemon)
+                daemon_tasks.append(asyncio.ensure_future(daemon.run()))
+                addresses.append(lambda d=daemon: d.address)
+        else:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("spawn")
+            for worker_id in range(num_workers):
+                worker = _ProcessWorker(
+                    ctx,
+                    (
+                        oracle,
+                        worker_id,
+                        combiner.address,
+                        window,
+                        credit_window,
+                        max_frame_bytes,
+                    ),
+                )
+                await worker.start()
+                process_workers.append(worker)
+                addresses.append(lambda w=worker: w.address)
+
+        t_start = time.perf_counter()
+        feeders = []
+        for worker_id, envelopes in enumerate(worker_envelopes):
+            restart_after = None
+            restart_callback = None
+            if restart_worker is not None and restart_worker[0] == worker_id:
+                restart_after = restart_worker[1]
+                restart_callback = process_workers[worker_id].restart
+            feeders.append(
+                feed_envelopes(
+                    addresses[worker_id],
+                    envelopes,
+                    duplicate_ids=duplicate_ids,
+                    restart_after=restart_after,
+                    restart_callback=restart_callback,
+                    max_frame_bytes=max_frame_bytes,
+                )
+            )
+        await asyncio.wait_for(asyncio.gather(*feeders), timeout)
+        await combiner.wait_drained(timeout)
+        wall = time.perf_counter() - t_start
+        if daemon_tasks:
+            await asyncio.wait_for(asyncio.gather(*daemon_tasks), timeout)
+        return combiner.core.result(), wall
+    finally:
+        for task in daemon_tasks:
+            if not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, ServiceError):
+                    await task
+        for daemon in inline_daemons:
+            with contextlib.suppress(Exception):
+                await daemon.close()
+        for worker in process_workers:
+            worker.stop()
+        await combiner.close()
+
+
+def run_distributed_collection(
+    oracle: FrequencyOracle,
+    values: np.ndarray,
+    *,
+    num_ingest: int = 2,
+    chunk_size: int = 65_536,
+    timestamps: np.ndarray | None = None,
+    window: WindowSpec | None = None,
+    backend: str = "inline",
+    placement: str = "contiguous",
+    credit_window: int = DEFAULT_CREDIT_WINDOW,
+    rng: np.random.Generator | int | None = None,
+    ledger: PrivacyLedger | None = None,
+    duplicate_every: int | None = None,
+    restart_worker: tuple[int, int] | None = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    timeout: float = 300.0,
+) -> ServiceResult:
+    """Collect a population through the socket-level distributed service.
+
+    The orchestrator privatizes the population exactly as
+    :func:`~repro.protocol.simulation.run_sharded_collection` would —
+    same contiguous ``np.array_split`` shards, same per-shard spawned
+    generators, same ``chunk_size`` chunking — then drives one client
+    per ingest worker over real loopback TCP, with the combiner merging
+    the fleet's partials.  Because the accumulator algebra is exact,
+    ``estimated_counts`` is **bit-identical** to the single-host
+    pipeline for a fixed ``(num_ingest, chunk_size, rng)``, including
+    under injected duplicate delivery and worker restarts.
+
+    Parameters beyond the ``run_sharded_collection`` ones:
+
+    placement:
+        ``"contiguous"`` mirrors the single-host shard split (the
+        bit-identity configuration).  ``"round_robin"`` deals users
+        ``w, w + N, w + 2N, …`` to worker ``w`` — every worker's
+        event-time frontier then advances together, which is the
+        realistic shape for watermark/lateness experiments (contiguous
+        splits leave each worker stuck in one region of event time, so
+        panes only seal at drain).
+    backend:
+        ``"inline"`` (all daemons in this process's event loop) or
+        ``"process"`` (one spawned OS process per ingest worker).
+    duplicate_every:
+        Deliver every ``k``-th envelope of each worker's stream twice —
+        at-least-once fault injection; estimates must not move.
+    restart_worker:
+        ``(worker_id, after_envelopes)``: SIGKILL that worker's process
+        after its client first-sent that many envelopes, spawn a
+        replacement, and let redelivery recover.  Process backend only.
+    timeout:
+        Hard wall-clock bound on the socket phase; a wedged fleet
+        raises :class:`ServiceError` rather than hanging a test run.
+    """
+    check_positive_int(num_ingest, name="num_ingest")
+    check_positive_int(chunk_size, name="chunk_size")
+    if backend not in SERVICE_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {SERVICE_BACKENDS}"
+        )
+    if placement not in ("contiguous", "round_robin"):
+        raise ValueError(
+            f"placement must be 'contiguous' or 'round_robin', got {placement!r}"
+        )
+    window = _check_window(window)
+    if window is not None and timestamps is None:
+        raise ValueError("a windowed collection needs timestamps")
+    if restart_worker is not None:
+        if backend != "process":
+            raise ValueError(
+                "restart_worker injection needs backend='process' — an "
+                "inline daemon shares the orchestrator's process"
+            )
+        worker_id, after = restart_worker
+        check_positive_int(after, name="restart_worker[1]")
+        if not 0 <= int(worker_id) < num_ingest:
+            raise ValueError(
+                f"restart_worker id {worker_id} outside [0, {num_ingest})"
+            )
+    if duplicate_every is not None:
+        check_positive_int(duplicate_every, name="duplicate_every")
+    vals = np.asarray(values)
+    if vals.ndim != 1 or vals.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    ts = None
+    if timestamps is not None:
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.shape != vals.shape:
+            raise ValueError(
+                f"timestamps {ts.shape} must align with values {vals.shape}"
+            )
+        if not np.all(np.isfinite(ts)):
+            raise ValueError("timestamps must be finite")
+    if num_ingest > vals.shape[0]:
+        raise ValueError(
+            f"num_ingest ({num_ingest}) cannot exceed the population "
+            f"size ({vals.shape[0]})"
+        )
+    if ledger is None:
+        ledger = PrivacyLedger()
+    spend = getattr(oracle, "privacy_spend", None)
+    if callable(spend):
+        # Workers partition the population, so the round is one declared
+        # release per user — same accounting as the single-host pipeline.
+        ledger.charge(spend(), label="distributed-collection", key=object())
+    master = ensure_generator(rng)
+    worker_gens = master.spawn(num_ingest)
+    if placement == "contiguous":
+        shard_values = np.array_split(vals, num_ingest)
+        shard_ts = np.array_split(ts, num_ingest) if ts is not None else None
+    else:
+        shard_values = [vals[w::num_ingest] for w in range(num_ingest)]
+        shard_ts = (
+            [ts[w::num_ingest] for w in range(num_ingest)]
+            if ts is not None
+            else None
+        )
+    worker_envelopes = [
+        _privatize_envelopes(
+            oracle,
+            w,
+            shard_values[w],
+            shard_ts[w] if shard_ts is not None else None,
+            chunk_size,
+            worker_gens[w],
+        )
+        for w in range(num_ingest)
+    ]
+    duplicate_ids: frozenset[str] = frozenset()
+    if duplicate_every is not None:
+        duplicate_ids = frozenset(
+            envelope_id
+            for envelopes in worker_envelopes
+            for i, (envelope_id, _) in enumerate(envelopes)
+            if i % duplicate_every == 0
+        )
+    result, wall = asyncio.run(
+        _run_service(
+            oracle,
+            worker_envelopes,
+            window=window,
+            backend=backend,
+            credit_window=credit_window,
+            duplicate_ids=duplicate_ids,
+            restart_worker=restart_worker,
+            max_frame_bytes=max_frame_bytes,
+            timeout=timeout,
+        )
+    )
+    return replace(result, wall_seconds=wall, backend=backend, ledger=ledger)

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.budget import PrivacyLedger
 from repro.core.mechanism import FrequencyOracle, HashedReports, IndexedBitReports
+from repro.core.timed import merge_event_spans
 from repro.util.kernels import kernel_timing_scope
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
@@ -148,7 +149,17 @@ class ShardedCollectionStats:
     wall_seconds: float
     backend: str = "serial"
     ledger: PrivacyLedger | None = None
-    event_span: tuple[float, float] | None = None
+
+    @property
+    def event_span(self) -> tuple[float, float] | None:
+        """Union of the per-shard event spans (None without timestamps).
+
+        Derived through :func:`repro.core.timed.merge_event_spans` — the
+        same reduction a distributed combiner applies to the spans its
+        remote shards report — so the overall span can never disagree
+        with the shards it summarizes.
+        """
+        return merge_event_spans(s.event_span for s in self.shards)
 
     @property
     def encode_seconds(self) -> float:
@@ -456,5 +467,4 @@ def run_sharded_collection(
         wall_seconds=t_end - t_start,
         backend=chosen,
         ledger=ledger,
-        event_span=None if ts is None else (float(ts.min()), float(ts.max())),
     )

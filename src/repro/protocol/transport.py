@@ -1,0 +1,290 @@
+"""Message codec for the distributed collection service.
+
+The service (:mod:`repro.protocol.service`) moves three kinds of payload
+between machines: report envelopes (clients → ingest tier), wire-
+serialized accumulators (ingest tier → combiner) and small control
+messages (credits, acks, drain).  This module is the codec layer between
+the raw length-prefixed frames of
+:mod:`repro.core.serialization` (``write_frame``/``read_frame``) and the
+daemons' message loops:
+
+* a **message** is one frame whose payload is a compact JSON header
+  followed by the raw bytes of zero or more named numpy arrays (the
+  header carries a ``(name, dtype, shape)`` manifest, so the body needs
+  no framing of its own — the same self-describing layout as the
+  accumulator wire format);
+* a **report batch** — any shape an oracle's ``privatize`` returns:
+  a raw array, a tuple of aligned arrays (RAPPOR's ``(cohorts, bits)``),
+  or one of the frozen report dataclasses — is flattened into named
+  arrays plus a ``batch`` tag and rebuilt on the far side through an
+  explicit registry.  Pickles never cross the wire: an unknown batch
+  tag is a loud :class:`ValueError`, not arbitrary code execution.
+
+JSON headers are encoded with ``allow_nan`` enabled so event-time
+frontiers can carry ``±Infinity`` (a drained shard reports ``+inf``);
+both ends of the wire are this codec, so the non-standard JSON literals
+are safe here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.core.serialization import (
+    MAX_FRAME_BYTES,
+    FRAME_HEADER_BYTES,
+    TruncatedFrameError,
+    frame_payload_size,
+    write_frame,
+)
+from repro.core.timed import TimedReports
+
+__all__ = [
+    "REPORT_BATCH_TYPES",
+    "register_report_batch_type",
+    "encode_message",
+    "decode_message",
+    "pack_report_batch",
+    "unpack_report_batch",
+    "write_message",
+    "read_message",
+]
+
+_MESSAGE_HEADER = struct.Struct("<I")  # JSON header length inside the frame
+
+
+def _wire_dtype(dtype: np.dtype) -> np.dtype:
+    """The little-endian equivalent of a dtype (bytes on the wire)."""
+    if dtype.byteorder == ">":
+        return dtype.newbyteorder("<")
+    return dtype
+
+
+def encode_message(
+    header: dict, arrays: dict[str, np.ndarray] | None = None
+) -> bytes:
+    """Serialize one message: JSON header + manifest-ordered array bytes."""
+    manifest = []
+    chunks = []
+    for name, arr in (arrays or {}).items():
+        a = np.ascontiguousarray(arr)
+        a = a.astype(_wire_dtype(a.dtype), copy=False)
+        manifest.append(
+            {"name": name, "dtype": a.dtype.str, "shape": list(a.shape)}
+        )
+        chunks.append(a.tobytes())
+    head = json.dumps(
+        dict(header, arrays=manifest),
+        separators=(",", ":"),
+        sort_keys=True,
+        allow_nan=True,
+    ).encode("utf-8")
+    return b"".join([_MESSAGE_HEADER.pack(len(head)), head, *chunks])
+
+
+def decode_message(payload: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Decode one message payload into (header, named arrays).
+
+    Raises ``ValueError`` on anything malformed — a daemon treats that
+    as a protocol error on the connection, never a crash.
+    """
+    if len(payload) < _MESSAGE_HEADER.size:
+        raise ValueError("message payload too short for a header")
+    (hlen,) = _MESSAGE_HEADER.unpack_from(payload)
+    offset = _MESSAGE_HEADER.size
+    if offset + hlen > len(payload):
+        raise ValueError("message header extends past the payload")
+    try:
+        header = json.loads(payload[offset : offset + hlen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError("corrupt message header") from exc
+    if not isinstance(header, dict) or "arrays" not in header:
+        raise ValueError("message header is missing required fields")
+    offset += hlen
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header.pop("arrays"):
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if offset + nbytes > len(payload):
+            raise ValueError("truncated message body")
+        count = max(nbytes // dtype.itemsize, 0)
+        arr = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        arrays[entry["name"]] = arr.copy()  # own, writable memory
+        offset += nbytes
+    if offset != len(payload):
+        raise ValueError("trailing bytes after message body")
+    return header, arrays
+
+
+# -- report-batch flattening -------------------------------------------------
+
+#: Registry of report dataclass types a batch tag may name, keyed by
+#: class name.  Populated lazily with every report shape in the repo;
+#: deployments with custom report types register them explicitly.
+REPORT_BATCH_TYPES: dict[str, type] = {}
+
+
+def register_report_batch_type(cls: type) -> type:
+    """Allow a report dataclass to cross the service wire by name."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(
+            f"{cls.__name__} is not a dataclass; only per-report array "
+            "dataclasses can cross the wire"
+        )
+    REPORT_BATCH_TYPES[cls.__name__] = cls
+    return cls
+
+
+#: Where each builtin report shape lives.  Resolved one module at a
+#: time, on first use of that shape — a daemon folding OLH envelopes
+#: must never pay the heavy imports behind the sketch stacks (the
+#: Apple package pulls in scipy), and the import cost lands at startup
+#: of the one flow that needs it, not inside the timed ingest path.
+_BUILTIN_REPORT_MODULES = {
+    "HashedReports": "repro.core.mechanism",
+    "IndexedBitReports": "repro.core.mechanism",
+    "CmsReports": "repro.systems.apple.cms",
+    "HcmsReports": "repro.systems.apple.cms",
+    "DBitFlipReports": "repro.systems.microsoft.dbitflip",
+}
+
+
+def _resolve_report_type(name: str) -> type | None:
+    """Look up a registered report type, importing builtins on demand."""
+    cls = REPORT_BATCH_TYPES.get(name)
+    if cls is None and name in _BUILTIN_REPORT_MODULES:
+        module = importlib.import_module(_BUILTIN_REPORT_MODULES[name])
+        cls = register_report_batch_type(getattr(module, name))
+    return cls
+
+
+def pack_report_batch(reports: Any) -> tuple[str, dict[str, np.ndarray]]:
+    """Flatten any supported report batch into (batch tag, named arrays).
+
+    Array batches become ``("ndarray", {"a0": ...})``; tuple batches
+    ``("tuple", {"a0": ..., "a1": ...})``; report dataclasses use their
+    class name as the tag and their field names as array names.
+    """
+    if isinstance(reports, np.ndarray):
+        return "ndarray", {"a0": reports}
+    if isinstance(reports, tuple):
+        return "tuple", {
+            f"a{i}": np.asarray(part) for i, part in enumerate(reports)
+        }
+    if dataclasses.is_dataclass(reports) and not isinstance(reports, type):
+        name = type(reports).__name__
+        if name not in REPORT_BATCH_TYPES:
+            # The batch's own class is already in memory; builtins
+            # self-register without any further import.
+            if name not in _BUILTIN_REPORT_MODULES:
+                raise ValueError(
+                    f"report batch type {name!r} is not registered for "
+                    "the wire; call register_report_batch_type first"
+                )
+            register_report_batch_type(type(reports))
+        return name, {
+            f.name: np.asarray(getattr(reports, f.name))
+            for f in dataclasses.fields(reports)
+        }
+    raise TypeError(
+        f"unsupported report batch type {type(reports).__name__}"
+    )
+
+
+def unpack_report_batch(tag: str, arrays: dict[str, np.ndarray]) -> Any:
+    """Rebuild a report batch from its tag and named arrays."""
+    if tag == "ndarray":
+        return arrays["a0"]
+    if tag == "tuple":
+        return tuple(arrays[f"a{i}"] for i in range(len(arrays)))
+    cls = _resolve_report_type(tag)
+    if cls is None:
+        raise ValueError(
+            f"unknown report batch tag {tag!r}; the receiver has no "
+            "registered type to rebuild it"
+        )
+    return cls(**arrays)
+
+
+def pack_timed_reports(
+    timed: TimedReports | Any,
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Header fields + arrays for a report envelope (timed or raw)."""
+    if isinstance(timed, TimedReports):
+        tag, arrays = pack_report_batch(timed.reports)
+        arrays = dict(arrays, timestamps=timed.timestamps)
+        return {"batch": tag, "timed": True}, arrays
+    tag, arrays = pack_report_batch(timed)
+    return {"batch": tag, "timed": False}, arrays
+
+
+def unpack_timed_reports(
+    header: dict, arrays: dict[str, np.ndarray]
+) -> TimedReports | Any:
+    """Rebuild the envelope :func:`pack_timed_reports` flattened."""
+    arrays = dict(arrays)
+    timestamps = arrays.pop("timestamps", None)
+    reports = unpack_report_batch(header["batch"], arrays)
+    if header.get("timed"):
+        if timestamps is None:
+            raise ValueError("timed envelope is missing its timestamps")
+        return TimedReports(timestamps=timestamps, reports=reports)
+    return reports
+
+
+# -- framed message I/O ------------------------------------------------------
+
+
+def write_message(
+    writer,
+    header: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> int:
+    """Encode and frame one message onto a stream/``asyncio.StreamWriter``."""
+    return write_frame(
+        writer, encode_message(header, arrays), max_frame_bytes=max_frame_bytes
+    )
+
+
+async def read_message(
+    reader, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict, dict[str, np.ndarray]] | None:
+    """Read one framed message from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on a clean end of stream; raises
+    :class:`~repro.core.serialization.TruncatedFrameError` when the peer
+    vanished mid-frame (the same error the synchronous
+    :func:`~repro.core.serialization.read_frame` raises, so both sides
+    of the service share one failure vocabulary).
+    """
+    import asyncio
+
+    try:
+        head = await reader.readexactly(FRAME_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
+        raise TruncatedFrameError(
+            f"stream ended {FRAME_HEADER_BYTES - len(exc.partial)} bytes "
+            "short of a frame header"
+        ) from exc
+    size = frame_payload_size(head, max_frame_bytes=max_frame_bytes)
+    try:
+        payload = await reader.readexactly(size)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            f"stream ended {size - len(exc.partial)} bytes short of a "
+            f"{size}-byte frame payload"
+        ) from exc
+    return decode_message(payload)

@@ -1,0 +1,81 @@
+"""Unit tests for the length-prefixed frame layer in core.serialization."""
+
+import io
+import struct
+
+import pytest
+
+from repro.core.serialization import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameError,
+    OversizedFrameError,
+    TruncatedFrameError,
+    frame_header,
+    frame_payload_size,
+    read_frame,
+    write_frame,
+)
+
+
+def test_frame_round_trip_preserves_boundaries():
+    stream = io.BytesIO()
+    payloads = [b"", b"x", b"hello world", bytes(range(256)) * 7]
+    total = sum(write_frame(stream, p) for p in payloads)
+    assert total == stream.tell()
+    assert total == sum(FRAME_HEADER_BYTES + len(p) for p in payloads)
+    stream.seek(0)
+    for expected in payloads:
+        assert read_frame(stream) == expected
+    assert read_frame(stream) is None  # clean EOF, not an error
+    assert read_frame(stream) is None  # and stays that way
+
+
+def test_truncated_header_raises():
+    stream = io.BytesIO(b"\x01\x02")  # 2 of 4 header bytes
+    with pytest.raises(TruncatedFrameError):
+        read_frame(stream)
+
+
+def test_truncated_payload_raises():
+    stream = io.BytesIO()
+    write_frame(stream, b"0123456789")
+    clipped = io.BytesIO(stream.getvalue()[:-3])
+    with pytest.raises(TruncatedFrameError, match="3 bytes short"):
+        read_frame(clipped)
+
+
+def test_oversized_frame_rejected_at_reader():
+    header = struct.pack("<I", 1024)
+    with pytest.raises(OversizedFrameError):
+        read_frame(io.BytesIO(header), max_frame_bytes=512)
+
+
+def test_oversized_frame_rejected_at_writer():
+    with pytest.raises(OversizedFrameError):
+        write_frame(io.BytesIO(), b"x" * 513, max_frame_bytes=512)
+    with pytest.raises(OversizedFrameError):
+        frame_header(MAX_FRAME_BYTES + 1)
+
+
+def test_frame_header_validation():
+    with pytest.raises(FrameError):
+        frame_header(-1)
+    assert frame_payload_size(frame_header(77)) == 77
+    with pytest.raises(TruncatedFrameError):
+        frame_payload_size(b"\x00\x00")  # wrong header width
+
+
+def test_short_reads_are_reassembled():
+    class OneByteStream:
+        """A stream that returns at most one byte per read call."""
+
+        def __init__(self, data):
+            self._data = io.BytesIO(data)
+
+        def read(self, n):
+            return self._data.read(min(n, 1))
+
+    stream = io.BytesIO()
+    write_frame(stream, b"reassemble me")
+    assert read_frame(OneByteStream(stream.getvalue())) == b"reassemble me"

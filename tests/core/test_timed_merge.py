@@ -1,0 +1,93 @@
+"""Unit tests for the shared event-span / watermark merge helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.timed import merge_event_spans, merged_watermark
+
+
+class TestMergeEventSpans:
+    def test_empty_is_none(self):
+        assert merge_event_spans([]) is None
+
+    def test_all_none_is_none(self):
+        assert merge_event_spans([None, None]) is None
+
+    def test_single_shard_passes_through(self):
+        assert merge_event_spans([(3.0, 9.5)]) == (3.0, 9.5)
+
+    def test_union_skips_none_shards(self):
+        spans = [(5.0, 8.0), None, (2.0, 6.0), None, (7.0, 11.0)]
+        assert merge_event_spans(spans) == (2.0, 11.0)
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            merge_event_spans([(4.0, 1.0)])
+
+    def test_matches_sharded_collection_stats(self):
+        # The rewired ShardedCollectionStats.event_span must agree with
+        # the raw timestamps it summarizes.
+        from repro.core import make_oracle
+        from repro.protocol import run_sharded_collection
+
+        ts = np.random.default_rng(3).uniform(50.0, 99.0, size=40)
+        stats = run_sharded_collection(
+            make_oracle("DE", 5, 1.0),
+            np.arange(40) % 5,
+            num_shards=3,
+            chunk_size=7,
+            rng=1,
+            timestamps=ts,
+        )
+        assert stats.event_span == (float(ts.min()), float(ts.max()))
+        assert merge_event_spans(s.event_span for s in stats.shards) == (
+            stats.event_span
+        )
+
+    def test_sharded_collection_without_timestamps_has_no_span(self):
+        from repro.core import make_oracle
+        from repro.protocol import run_sharded_collection
+
+        stats = run_sharded_collection(
+            make_oracle("DE", 5, 1.0),
+            np.arange(40) % 5,
+            num_shards=3,
+            chunk_size=7,
+            rng=1,
+        )
+        assert stats.event_span is None
+
+
+class TestMergedWatermark:
+    def test_empty_is_minus_inf(self):
+        assert merged_watermark([]) == -math.inf
+
+    def test_all_none_is_minus_inf(self):
+        assert merged_watermark([None, None]) == -math.inf
+
+    def test_single_shard_is_its_frontier(self):
+        assert merged_watermark([42.0]) == 42.0
+
+    def test_minimum_over_live_shards(self):
+        assert merged_watermark([10.0, 3.0, 99.0]) == 3.0
+
+    def test_stale_shard_holds_the_fleet_back(self):
+        # One straggler pins the merged watermark no matter how far the
+        # rest of the fleet has read.
+        frontiers = [1e9, 1e9, 7.0, 1e9]
+        assert merged_watermark(frontiers) == 7.0
+
+    def test_none_shards_are_excluded(self):
+        assert merged_watermark([None, 12.0, None]) == 12.0
+
+    def test_drained_shard_reports_plus_inf(self):
+        # A drained shard cannot hold anything back; all-drained fleets
+        # have watermark +inf (everything seals).
+        assert merged_watermark([math.inf, 5.0]) == 5.0
+        assert merged_watermark([math.inf, math.inf]) == math.inf
+
+    def test_nan_frontier_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            merged_watermark([1.0, math.nan])

@@ -1,0 +1,176 @@
+"""Property test: at-least-once redelivery is invisible to estimates.
+
+The distributed service promises that delivery faults — duplicated
+envelopes, duplicated ships, arbitrary interleaving of the workers'
+streams at the combiner — cannot move the estimates, because dedup keys
+drop every redelivery before it touches accumulator state and the merge
+algebra is order-free.  Checked here for every registered core oracle
+and every system stack: a chaotic delivery schedule (each envelope
+delivered 1–3 times, each surviving ship delivered twice to the
+combiner, combiner arrival order shuffled) produces **bit-identical**
+estimates to the exactly-once schedule with the same first-delivery
+order — and both match the whole-batch fold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.core.timed import slice_report_batch
+from repro.protocol import CombinerCore, ShardFolder
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.microsoft import DBitFlip, OneBitMean
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
+
+N_USERS = 120
+CHUNK = 24
+NUM_WORKERS = 2
+
+
+def _run_schedule(oracle, envelopes, *, chaos_seed=None):
+    """Fold envelopes through folders + combiner; return the result.
+
+    ``chaos_seed=None`` is the exactly-once schedule: each envelope
+    delivered once, ships forwarded once, in envelope order.  With a
+    seed, every envelope is delivered 1–3 times, every fresh ship is
+    delivered to the combiner twice, and the combiner-side arrival
+    order is a random interleaving — same dedup keys, same data.
+    """
+    folders = [
+        ShardFolder(oracle, worker_id=w) for w in range(NUM_WORKERS)
+    ]
+    core = CombinerCore(oracle, num_workers=NUM_WORKERS)
+    for w in range(NUM_WORKERS):
+        core.register(w)
+
+    deliveries = []
+    if chaos_seed is None:
+        for i, (eid, batch) in enumerate(envelopes):
+            deliveries.append((i % NUM_WORKERS, eid, batch))
+    else:
+        gen = np.random.default_rng(chaos_seed)
+        for i, (eid, batch) in enumerate(envelopes):
+            for _ in range(int(gen.integers(1, 4))):
+                deliveries.append((i % NUM_WORKERS, eid, batch))
+
+    ships = []
+    for worker, eid, batch in deliveries:
+        ship = folders[worker].offer(eid, batch)
+        if ship is not None:
+            ships.append(ship)
+            if chaos_seed is not None:
+                ships.append(ship)  # the combiner sees it twice
+    if chaos_seed is not None:
+        gen = np.random.default_rng(chaos_seed + 1)
+        ships = [ships[i] for i in gen.permutation(len(ships))]
+    for ship in ships:
+        core.receive(ship)
+    for w in range(NUM_WORKERS):
+        core.drain(w)
+    return core.result()
+
+
+def _chunk_envelopes(reports, n):
+    return [
+        (f"e{i}", slice_report_batch(reports, np.arange(s, min(s + CHUNK, n))))
+        for i, s in enumerate(range(0, n, CHUNK))
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+@given(
+    report_seed=st.integers(0, 2**31),
+    chaos_seed=st.integers(0, 2**31),
+)
+@settings(max_examples=6, deadline=None)
+def test_redelivery_invisible_for_core_oracles(name, report_seed, chaos_seed):
+    oracle = make_oracle(name, 9, 1.3)
+    values = np.random.default_rng(report_seed).integers(0, 9, size=N_USERS)
+    reports = oracle.privatize(values, rng=report_seed)
+    envelopes = _chunk_envelopes(reports, N_USERS)
+
+    once = _run_schedule(oracle, envelopes)
+    chaos = _run_schedule(oracle, envelopes, chaos_seed=chaos_seed)
+
+    # Dedup makes the fault schedule invisible: bit-identical estimates
+    # (even for SHE — the surviving merge set and order are the same),
+    # exact counts, no phantom or lost users.
+    assert np.array_equal(once.estimated_counts, chaos.estimated_counts)
+    assert chaos.absorbed_reports == once.absorbed_reports == N_USERS
+    assert chaos.late_reports == 0
+    assert chaos.duplicate_envelopes > 0  # the chaos really happened
+    assert np.array_equal(
+        once.estimated_counts,
+        oracle.accumulator().absorb(reports).finalize(),
+    )
+
+
+def _system_cases():
+    gen = np.random.default_rng(77)
+
+    cms = CountMeanSketch(200, 2.0, k=4, m=64, master_seed=3)
+    hcms = HadamardCountMeanSketch(200, 2.0, k=4, m=64, master_seed=3)
+    params = RapporParams(num_bits=32, num_hashes=2, num_cohorts=4)
+    rappor = RapporAggregator(params, 6)
+    db = DBitFlip(num_buckets=24, d=6, epsilon=1.0)
+    ob = OneBitMean(50.0, 1.0)
+
+    class _Shim:
+        """Duck-typed oracle: the service cores only need accumulator()."""
+
+        def __init__(self, factory):
+            self.accumulator = factory
+
+    return [
+        (
+            "cms",
+            _Shim(cms.accumulator),
+            cms.privatize(gen.integers(0, 200, N_USERS), rng=4),
+        ),
+        (
+            "hcms",
+            _Shim(hcms.accumulator),
+            hcms.privatize(gen.integers(0, 200, N_USERS), rng=5),
+        ),
+        (
+            "rappor",
+            _Shim(rappor.accumulator),
+            privatize_population(
+                params, gen.integers(0, 6, N_USERS), 6, rng=7
+            ),
+        ),
+        (
+            "dbitflip",
+            _Shim(db.accumulator),
+            db.privatize(gen.integers(0, 24, N_USERS), rng=8),
+        ),
+        (
+            "onebit",
+            _Shim(ob.accumulator),
+            ob.privatize(gen.uniform(0, 50, N_USERS), rng=9),
+        ),
+    ]
+
+
+_SYSTEM_CASES = _system_cases()
+
+
+@pytest.mark.parametrize(
+    "label,shim,reports", _SYSTEM_CASES, ids=[c[0] for c in _SYSTEM_CASES]
+)
+@given(chaos_seed=st.integers(0, 2**31))
+@settings(max_examples=6, deadline=None)
+def test_redelivery_invisible_for_system_stacks(label, shim, reports, chaos_seed):
+    envelopes = _chunk_envelopes(reports, N_USERS)
+    once = _run_schedule(shim, envelopes)
+    chaos = _run_schedule(shim, envelopes, chaos_seed=chaos_seed)
+    assert np.array_equal(once.estimated_counts, chaos.estimated_counts)
+    assert chaos.absorbed_reports == N_USERS
+    assert chaos.late_reports == 0
+    assert chaos.duplicate_envelopes > 0
+    assert np.array_equal(
+        once.estimated_counts,
+        shim.accumulator().absorb(reports).finalize(),
+    )

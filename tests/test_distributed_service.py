@@ -1,0 +1,388 @@
+"""Tests for the multi-machine collection service (transport + daemons).
+
+The pure cores (ShardFolder, CombinerCore) are exercised directly —
+dedup, pane folding, merged watermarks, sealing, lateness — and the
+asyncio daemons are driven over real loopback TCP, including the
+process backend with an abrupt (SIGKILL) worker restart.  The load-
+bearing assertion throughout: the service's estimates are bit-identical
+to the single-host ``run_sharded_collection`` over the same privatized
+reports, no matter how delivery was duplicated or interrupted.
+"""
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import make_oracle
+from repro.core.timed import TimedReports, slice_report_batch
+from repro.protocol import (
+    CombinerCore,
+    ServiceError,
+    ShardFolder,
+    WindowSpec,
+    run_distributed_collection,
+    run_sharded_collection,
+)
+from repro.protocol.transport import (
+    decode_message,
+    encode_message,
+    pack_report_batch,
+    pack_timed_reports,
+    unpack_report_batch,
+    unpack_timed_reports,
+)
+
+
+# -- transport codec ---------------------------------------------------------
+
+
+def test_message_round_trip_with_arrays():
+    header = {"type": "ship", "frontier": math.inf, "pane": None}
+    arrays = {
+        "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "b": np.frombuffer(b"\x01\x02\x03", dtype=np.uint8),
+    }
+    out_header, out_arrays = decode_message(encode_message(header, arrays))
+    assert out_header["type"] == "ship"
+    assert out_header["frontier"] == math.inf  # ±inf survives the wire
+    assert out_header["pane"] is None
+    assert np.array_equal(out_arrays["a"], arrays["a"])
+    assert out_arrays["a"].dtype == np.int64
+    assert out_arrays["b"].tobytes() == b"\x01\x02\x03"
+
+
+def test_message_decode_rejects_malformed():
+    payload = encode_message({"type": "x"}, {"a": np.arange(4)})
+    with pytest.raises(ValueError, match="trailing bytes"):
+        decode_message(payload + b"z")
+    with pytest.raises(ValueError, match="truncated"):
+        decode_message(payload[:-5])
+    with pytest.raises(ValueError):
+        decode_message(b"\x02")
+
+
+def _report_batches():
+    gen = np.random.default_rng(5)
+    from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+    from repro.systems.microsoft import DBitFlip
+    from repro.systems.rappor import RapporParams, privatize_population
+
+    olh = make_oracle("OLH", 8, 1.1).privatize(gen.integers(0, 8, 40), rng=1)
+    oue = make_oracle("OUE", 8, 1.1).privatize(gen.integers(0, 8, 40), rng=2)
+    cms = CountMeanSketch(50, 2.0, k=3, m=32, master_seed=1).privatize(
+        gen.integers(0, 50, 40), rng=3
+    )
+    hcms = HadamardCountMeanSketch(50, 2.0, k=3, m=32, master_seed=1).privatize(
+        gen.integers(0, 50, 40), rng=4
+    )
+    rappor = privatize_population(
+        RapporParams(num_bits=16, num_hashes=2, num_cohorts=4),
+        gen.integers(0, 10, 40),
+        10,
+        rng=5,
+    )
+    dbf = DBitFlip(num_buckets=12, d=4, epsilon=1.0).privatize(
+        gen.integers(0, 12, 40), rng=6
+    )
+    return [
+        ("olh-hashed", olh),
+        ("oue-matrix", oue),
+        ("cms", cms),
+        ("hcms", hcms),
+        ("rappor-tuple", rappor),
+        ("dbitflip", dbf),
+    ]
+
+
+_BATCHES = _report_batches()
+
+
+@pytest.mark.parametrize(
+    "label,reports", _BATCHES, ids=[b[0] for b in _BATCHES]
+)
+def test_report_batches_cross_the_wire(label, reports):
+    tag, arrays = pack_report_batch(reports)
+    rebuilt = unpack_report_batch(
+        tag, {k: v.copy() for k, v in arrays.items()}
+    )
+    assert type(rebuilt) is type(reports)
+    _, again = pack_report_batch(rebuilt)
+    for name, arr in arrays.items():
+        assert np.array_equal(again[name], arr)
+
+
+def test_timed_envelope_crosses_the_wire():
+    reports = make_oracle("OLH", 8, 1.1).privatize(np.arange(8), rng=1)
+    timed = TimedReports(
+        timestamps=np.linspace(0.0, 7.0, 8), reports=reports
+    )
+    header, arrays = pack_timed_reports(timed)
+    header = {**header, "type": "reports", "envelope": "e0"}
+    out = unpack_timed_reports(*decode_message(encode_message(header, arrays)))
+    assert isinstance(out, TimedReports)
+    assert np.array_equal(out.timestamps, timed.timestamps)
+    assert np.array_equal(out.reports.seeds, reports.seeds)
+
+
+def test_unknown_batch_tag_rejected():
+    with pytest.raises(ValueError, match="unknown report batch tag"):
+        unpack_report_batch("EvilPickle", {})
+
+
+# -- pure cores --------------------------------------------------------------
+
+
+def _envelopes(oracle, values, chunk, rng=1):
+    """(envelope_id, report batch) chunks of one privatized population."""
+    reports = oracle.privatize(values, rng=rng)
+    return [
+        (f"e{i}", slice_report_batch(reports, np.arange(s, min(s + chunk, len(values)))))
+        for i, s in enumerate(range(0, len(values), chunk))
+    ], reports
+
+
+def test_folder_dedups_and_ships_fresh_accumulators():
+    oracle = make_oracle("OUE", 6, 1.0)
+    envelopes, reports = _envelopes(oracle, np.arange(60) % 6, 20)
+    folder = ShardFolder(oracle, worker_id=0)
+    ships = [folder.offer(eid, batch) for eid, batch in envelopes]
+    assert all(s is not None for s in ships)
+    assert folder.offer("e1", envelopes[1][1]) is None  # redelivery dropped
+    assert folder.duplicates == 1
+    assert folder.envelopes == 3
+    assert folder.reports == 60
+    # Each ship hydrates back to exactly its chunk's fold.
+    total = oracle.accumulator()
+    for ship in ships:
+        assert len(ship.panes) == 1
+        pane, payload = ship.panes[0]
+        assert pane is None  # unwindowed
+        total.merge(oracle.accumulator().from_bytes(payload))
+    assert np.array_equal(total.finalize(), oracle.estimate_counts(reports))
+
+
+def test_folder_splits_envelopes_into_event_panes():
+    oracle = make_oracle("DE", 4, 1.0)
+    window = WindowSpec.event_tumbling(10.0)
+    ts = np.array([5.0, 25.0, 7.0, 15.0, 3.0])
+    reports = oracle.privatize(np.arange(5) % 4, rng=1)
+    folder = ShardFolder(oracle, window=window)
+    ship = folder.offer("e0", TimedReports(timestamps=ts, reports=reports))
+    panes = {p: oracle.accumulator().from_bytes(b).n_absorbed for p, b in ship.panes}
+    assert panes == {0: 3, 1: 1, 2: 1}
+    assert ship.frontier == 25.0
+    assert folder.frontier == 25.0
+
+
+def test_folder_rejects_raw_batches_when_windowed():
+    oracle = make_oracle("DE", 4, 1.0)
+    folder = ShardFolder(oracle, window=WindowSpec.event_tumbling(10.0))
+    with pytest.raises(ValueError, match="timed envelopes"):
+        folder.offer("e0", oracle.privatize(np.arange(4), rng=1))
+
+
+def test_combiner_dedups_redelivered_ships():
+    oracle = make_oracle("OLH", 6, 1.0)
+    envelopes, reports = _envelopes(oracle, np.arange(60) % 6, 15)
+    folder = ShardFolder(oracle, worker_id=0)
+    core = CombinerCore(oracle, num_workers=1)
+    core.register(0)
+    ships = [folder.offer(eid, batch) for eid, batch in envelopes]
+    for ship in ships:
+        assert core.receive(ship) is True
+    # Redeliver every ship (worker restart refolding acked envelopes).
+    for ship in ships:
+        assert core.receive(ship) is False
+    assert core.duplicates == len(ships)
+    result = core_result_after_drain(core)
+    assert result.absorbed_reports == 60
+    assert np.array_equal(
+        result.estimated_counts, oracle.estimate_counts(reports)
+    )
+
+
+def core_result_after_drain(core):
+    for w in range(core.num_workers):
+        core.drain(w)
+    return core.result()
+
+
+def test_combiner_requires_registration_and_matching_config():
+    oracle = make_oracle("OLH", 6, 1.0)
+    other = make_oracle("OLH", 6, 2.0)
+    folder = ShardFolder(oracle, worker_id=0)
+    ship = folder.offer("e0", oracle.privatize(np.arange(6), rng=1))
+    core = CombinerCore(oracle, num_workers=1)
+    with pytest.raises(ServiceError, match="register"):
+        core.receive(ship)
+    # Config-fingerprint mismatch: a partial from a differently
+    # configured fleet is refused, not merged.
+    mismatched = CombinerCore(other, num_workers=1)
+    mismatched.register(0)
+    with pytest.raises(ValueError):
+        mismatched.receive(ship)
+
+
+def test_merged_watermark_and_sealing_across_workers():
+    oracle = make_oracle("DE", 4, 1.0)
+    window = WindowSpec.event_tumbling(10.0)
+    core = CombinerCore(oracle, num_workers=2, window=window)
+    core.register(0)
+    core.register(1)
+
+    def timed_ship(worker, eid, ts):
+        folder = ShardFolder(oracle, worker, window=window)
+        # Rebuild worker-local dedup state per ship for test simplicity.
+        reports = oracle.privatize(np.arange(len(ts)) % 4, rng=hash(eid) % 100)
+        return folder.offer(eid, TimedReports(np.asarray(ts, float), reports))
+
+    # Worker 0 races ahead; worker 1 has not spoken -> nothing seals.
+    core.receive(timed_ship(0, "a", [5.0, 35.0]))
+    assert core.merged_frontier == -math.inf
+    assert not core.sealed_windows
+    # Worker 1 reaches 12.0 -> fleet watermark 12.0 -> pane 0 seals.
+    core.receive(timed_ship(1, "b", [8.0, 12.0]))
+    assert core.merged_frontier == 12.0
+    assert [w.pane for w in core.sealed_windows] == [0]
+    assert core.sealed_windows[0].users == 2  # ts 5.0 and 8.0
+    # A straggler for the sealed pane counts late, never merges.
+    core.receive(timed_ship(0, "c", [2.0]))
+    assert core.late == 1
+    assert core.absorbed == 4
+    # Drain both -> +inf frontiers -> the remaining pane seals.
+    core.drain(0)
+    core.drain(1)
+    result = core.result()
+    assert [w.pane for w in result.windows] == [0, 1, 3]
+    assert result.absorbed_reports + result.late_reports == 5
+    assert sum(w.users for w in result.windows) == result.absorbed_reports
+
+
+def test_restarted_worker_cannot_regress_the_watermark():
+    oracle = make_oracle("DE", 4, 1.0)
+    window = WindowSpec.event_tumbling(10.0)
+    core = CombinerCore(oracle, num_workers=2, window=window)
+    core.register(0)
+    core.register(1)
+    f0 = ShardFolder(oracle, 0, window=window)
+    f1 = ShardFolder(oracle, 1, window=window)
+    mk = lambda f, eid, ts: f.offer(
+        eid,
+        TimedReports(
+            np.asarray(ts, float),
+            oracle.privatize(np.arange(len(ts)) % 4, rng=1),
+        ),
+    )
+    core.receive(mk(f0, "a", [25.0]))
+    core.receive(mk(f1, "b", [31.0]))
+    assert core.merged_frontier == 25.0
+    # Worker 0 restarts: its fresh folder's frontier restarts low, but
+    # the combiner keeps the max per worker — no regression.
+    f0b = ShardFolder(oracle, 0, window=window)
+    core.receive(mk(f0b, "c", [4.0]))
+    assert core.merged_frontier == 25.0
+
+
+def test_combiner_result_requires_full_drain():
+    oracle = make_oracle("DE", 4, 1.0)
+    core = CombinerCore(oracle, num_workers=2)
+    core.register(0)
+    core.drain(0)
+    with pytest.raises(ServiceError, match="have not drained"):
+        core.result()
+
+
+# -- loopback service (real sockets) -----------------------------------------
+
+
+def test_inline_loopback_bit_identical_with_duplicates():
+    oracle = make_oracle("OLH", 12, 1.2)
+    vals = np.random.default_rng(3).integers(0, 12, size=1200)
+    base = run_sharded_collection(
+        oracle, vals, num_shards=3, chunk_size=150, rng=17
+    )
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=3,
+        chunk_size=150,
+        rng=17,
+        backend="inline",
+        duplicate_every=2,
+    )
+    assert np.array_equal(base.estimated_counts, svc.estimated_counts)
+    assert svc.absorbed_reports == 1200
+    assert svc.late_reports == 0
+    # The duplicates were delivered and dropped at the workers.
+    assert sum(w.duplicate_envelopes for w in svc.workers) > 0
+    assert svc.ledger is not None and svc.ledger.total_epsilon > 0
+
+
+def test_inline_loopback_windowed_lateness_accounting():
+    rng = np.random.default_rng(9)
+    n = 1500
+    oracle = make_oracle("OUE", 8, 1.0)
+    ts = rng.uniform(0.0, 5 * 60.0, size=n)
+    delay = rng.exponential(30.0, size=n) * (rng.random(n) < 0.25)
+    arrival = np.argsort(ts + delay, kind="stable")
+    svc = run_distributed_collection(
+        oracle,
+        rng.integers(0, 8, size=n)[arrival],
+        num_ingest=3,
+        chunk_size=100,
+        rng=5,
+        timestamps=ts[arrival],
+        window=WindowSpec.event_tumbling(60.0, allowed_lateness=10.0),
+        placement="round_robin",
+        backend="inline",
+    )
+    assert svc.absorbed_reports + svc.late_reports == n
+    assert svc.late_reports > 0  # the injected stragglers were accounted
+    assert svc.windows  # panes sealed fleet-wide
+    assert sum(w.users for w in svc.windows) == svc.absorbed_reports
+    assert svc.merged_frontier == math.inf  # fully drained
+    panes = [w.pane for w in svc.windows]
+    assert panes == sorted(panes)
+
+
+def test_process_backend_survives_worker_restart():
+    # The acceptance demo: real worker processes, one SIGKILLed
+    # mid-stream and respawned, duplicates injected — estimates must be
+    # bit-identical to the single-host pipeline.
+    oracle = make_oracle("OLH", 10, 1.2)
+    vals = np.random.default_rng(4).integers(0, 10, size=800)
+    base = run_sharded_collection(
+        oracle, vals, num_shards=2, chunk_size=100, rng=23
+    )
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=2,
+        chunk_size=100,
+        rng=23,
+        backend="process",
+        duplicate_every=3,
+        restart_worker=(1, 2),
+    )
+    assert np.array_equal(base.estimated_counts, svc.estimated_counts)
+    assert svc.absorbed_reports == 800
+    assert svc.backend == "process"
+
+
+def test_orchestrator_validation():
+    oracle = make_oracle("DE", 4, 1.0)
+    vals = np.arange(8) % 4
+    with pytest.raises(ValueError, match="backend"):
+        run_distributed_collection(oracle, vals, backend="carrier-pigeon")
+    with pytest.raises(ValueError, match="process"):
+        run_distributed_collection(
+            oracle, vals, backend="inline", restart_worker=(0, 1)
+        )
+    with pytest.raises(ValueError, match="timestamps"):
+        run_distributed_collection(
+            oracle, vals, window=WindowSpec.event_tumbling(10.0)
+        )
+    with pytest.raises(ValueError, match="num_ingest"):
+        run_distributed_collection(oracle, vals, num_ingest=9)
