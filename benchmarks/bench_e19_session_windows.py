@@ -6,11 +6,14 @@ sessions purely by the gap parameter, with the seal-time ledger
 identities asserted inside the experiment; (2) the pane-merge-rate
 sweep — shuffled arrival through shrinking delivery envelopes, where
 sparse envelopes split bursts into proto-sessions that later arrivals
-coalesce; (3) the straggler row — delayed uploads behind the sealed
+coalesce; (3) the envelope x geometry matrix — sessions vs tumbling
+panes at 256/4096/65536-report envelopes with the micro-batch
+coalescing buffer on, proving throughput no longer craters on small
+envelopes; (4) the straggler row — delayed uploads behind the sealed
 horizon counted late, never dropped.  Emits the human ``E19.txt`` table
 and the machine-readable ``BENCH_E19.json`` (per-gap throughput and
-snapshot latency, per-envelope coalesce counts) the perf trajectory
-tracks.
+snapshot latency, per-envelope coalesce counts, per-cell matrix
+throughput) the perf trajectory tracks.
 
 ``REPRO_BENCH_USERS`` scales the population down (CI smokes the engine
 at tiny sizes); the committed results use the default 1M.
@@ -41,6 +44,7 @@ def bench_e19_session_windows(benchmark, save_table, save_bench_json):
 
     session_rows = [r for r in table.rows if r[0] == "sessions"]
     bridge_rows = [r for r in table.rows if r[0] == "bridge"]
+    matrix_rows = [r for r in table.rows if r[0] == "matrix"]
     straggler_rows = [r for r in table.rows if r[0] == "stragglers"]
 
     # Gap sweep: the window count is decided by the data — strictly
@@ -65,6 +69,14 @@ def bench_e19_session_windows(benchmark, save_table, save_bench_json):
     assert len({r[6] for r in bridge_rows}) == 1
     for row in bridge_rows:
         assert row[8] + row[9] == BENCH_USERS
+
+    # Matrix sweep: every geometry x envelope cell absorbed everything;
+    # stage timings are present on every row.
+    assert len(matrix_rows) == 2 * len(BRIDGE_CHUNKS)
+    for row in matrix_rows:
+        assert row[8] == BENCH_USERS and row[9] == 0
+    for row in table.rows:
+        assert "absorb=" in row[11]
 
     # Straggler row: delayed uploads counted late, never dropped.
     (straggler,) = straggler_rows
@@ -95,6 +107,15 @@ def bench_e19_session_windows(benchmark, save_table, save_bench_json):
                     "coalesced_panes": row[7],
                 }
                 for row in bridge_rows
+            ],
+            "matrix": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "windows": row[6],
+                    "stages": row[11],
+                }
+                for row in matrix_rows
             ],
             "stragglers": {
                 "config": straggler[1],

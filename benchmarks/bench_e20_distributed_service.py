@@ -9,9 +9,12 @@ pipeline; (2) the faults row, the same collection under injected
 duplicate delivery (redeliveries dropped by dedup keys, estimates
 unmoved); (3) the lateness row, a windowed round-robin fleet where
 panes seal on the merged watermark and stragglers are counted late,
-``absorbed + late == n`` fleet-wide.  Emits the human ``E20.txt``
-table and the machine-readable ``BENCH_E20.json`` (per-fleet-size
-throughput) the perf trajectory tracks.
+``absorbed + late == n`` fleet-wide; (4) the small-envelope rows,
+256-report uploads folded per-envelope vs coalesced by the ingest
+daemons' micro-batch buffer (bit-identical estimates, far fewer fold
+batches).  Emits the human ``E20.txt`` table and the machine-readable
+``BENCH_E20.json`` (per-fleet-size and per-ingest-mode throughput)
+the perf trajectory tracks.
 
 ``REPRO_BENCH_USERS`` scales the population down (CI smokes the
 service at tiny sizes); the committed results use the default 1M.
@@ -41,6 +44,7 @@ def bench_e20_distributed_service(benchmark, save_table, save_bench_json):
     scale_rows = [r for r in table.rows if r[0] == "scale"]
     fault_rows = [r for r in table.rows if r[0] == "faults"]
     lateness_rows = [r for r in table.rows if r[0] == "lateness"]
+    small_rows = [r for r in table.rows if r[0] == "small_env"]
 
     # Scale sweep: one row per fleet size, every report absorbed, real
     # wall-clock throughput.  (Bit-identity to the single-host pipeline
@@ -62,6 +66,14 @@ def bench_e20_distributed_service(benchmark, save_table, save_bench_json):
     (lateness,) = lateness_rows
     assert lateness[8] > 0 and lateness[10] > 0
     assert lateness[9] + lateness[10] == BENCH_USERS
+
+    # Small-envelope rows: same envelopes either way (coalescing folds
+    # them in fewer batches — asserted inside the experiment); worker
+    # fold stage timings present on every row.
+    assert len(small_rows) == 2
+    for row in small_rows:
+        assert row[9] == BENCH_USERS and row[10] == 0
+        assert "absorb=" in row[11]
 
     save_bench_json(
         "E20",
@@ -89,5 +101,14 @@ def bench_e20_distributed_service(benchmark, save_table, save_bench_json):
                 "absorbed": lateness[9],
                 "late": lateness[10],
             },
+            "small_env": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "envelopes": row[6],
+                    "fold_stages": row[11],
+                }
+                for row in small_rows
+            ],
         },
     )

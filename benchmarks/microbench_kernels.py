@@ -4,7 +4,8 @@ A fast (seconds, not minutes) visibility check for CI and local tuning:
 times the fused OLH support-count kernel and the Hadamard candidate
 kernel against their ``_reference_*`` twins on a fixed-seed batch, the
 bit-sliced Hadamard kernel against the previous matmul kernel tier,
-and cached-plan streaming absorption against per-pane rebuild; prints
+cached-plan streaming absorption against per-pane rebuild, and the
+vectorized session sweep against the per-report reference walk; prints
 the speedups, and **fails** (exit 1) if any fast-path output is not
 bit-identical to its baseline — the invariant that lets the kernels
 replace the references everywhere.
@@ -22,9 +23,11 @@ import time
 
 import numpy as np
 
-from repro.core import OptimalLocalHashing
+from repro.core import OptimalLocalHashing, TimedReports
 from repro.core.hadamard import HadamardResponse
 from repro.core.mechanism import IndexedBitReports
+from repro.core.timed import slice_report_batch
+from repro.protocol import EventTimeCollector, WindowSpec
 from repro.util.kernels import (
     _matmul_hadamard_support_counts,
     kernel_plan_cache,
@@ -127,6 +130,54 @@ def main(argv=None) -> int:
         f"hr-st n={args.users} panes={len(spans)}: "
         f"cold {cold_s:.3f}s cached {warm_s:.3f}s "
         f"speedup {cold_s / warm_s:.2f}x bit_identical={identical}"
+    )
+
+    # Vectorized session sweep vs the per-report reference merge walk,
+    # on a bursty mostly-in-order stream (bounded live set keeps the
+    # O(reports)-per-envelope reference walk affordable here).
+    sess_n = min(args.users, 30_000)
+    gap = 1.0
+    bursts = max(sess_n // 200, 1)
+    sess_ts = rng.integers(0, bursts, size=sess_n) * (10.0 * gap) + rng.uniform(
+        0.0, 3.0 * gap, sess_n
+    )
+    arrival = np.argsort(
+        sess_ts + rng.uniform(0.0, 2.0 * gap, sess_n), kind="stable"
+    )
+    sess_reports = olh.privatize(
+        rng.integers(0, args.domain, size=sess_n), rng=rng
+    )
+    spec = WindowSpec.session(gap, allowed_lateness=5.0 * gap)
+
+    def _session_sweep(reference):
+        collector = EventTimeCollector(olh, spec)
+        collector._geometry.use_reference_sweep = reference
+        for s in range(0, sess_n, 512):
+            idx = arrival[s : s + 512]
+            collector.absorb(
+                TimedReports(sess_ts[idx], slice_report_batch(sess_reports, idx))
+            )
+        return collector.finish()
+
+    ref, ref_s = _time(lambda: _session_sweep(True))
+    fast, fast_s = _time(lambda: _session_sweep(False))
+    identical = (
+        len(ref) == len(fast)
+        and ref.coalesced_panes == fast.coalesced_panes
+        and ref.late_reports == fast.late_reports
+        and ref.absorbed_reports == fast.absorbed_reports
+        and all(
+            a.window_index == b.window_index
+            and (a.window_start, a.window_end) == (b.window_start, b.window_end)
+            and np.array_equal(a.window_estimates, b.window_estimates)
+            for a, b in zip(ref, fast)
+        )
+    )
+    ok &= identical
+    print(
+        f"sess  n={sess_n} windows={len(fast)}: "
+        f"ref {ref_s:.3f}s vectorized {fast_s:.3f}s "
+        f"speedup {ref_s / fast_s:.2f}x bit_identical={identical}"
     )
 
     if not ok:

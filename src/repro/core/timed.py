@@ -38,6 +38,8 @@ __all__ = [
     "TimedReports",
     "batch_length",
     "slice_report_batch",
+    "concat_report_batches",
+    "concat_timed_reports",
     "merge_event_spans",
     "merged_watermark",
 ]
@@ -79,6 +81,51 @@ def slice_report_batch(reports: Any, mask: np.ndarray) -> Any:
             },
         )
     return np.asarray(reports)[mask]
+
+
+def concat_report_batches(batches: list) -> Any:
+    """Stack report batches of one shape into a single larger batch.
+
+    The inverse of :func:`slice_report_batch` over a partition: array
+    batches concatenate on their first axis, tuple batches concatenate
+    element-wise, and report dataclasses are rebuilt with every array
+    field concatenated.  All batches must be the same type (they came
+    from the same oracle).  This is what micro-batch coalescing uses to
+    fold several small delivery envelopes into one routing batch.
+    """
+    if not batches:
+        raise ValueError("need at least one report batch to concatenate")
+    first = batches[0]
+    if len(batches) == 1:
+        return first
+    if isinstance(first, tuple):
+        return type(first)(
+            concat_report_batches([b[i] for b in batches])
+            for i in range(len(first))
+        )
+    if dataclasses.is_dataclass(first) and not isinstance(first, type):
+        return dataclasses.replace(
+            first,
+            **{
+                f.name: np.concatenate(
+                    [np.asarray(getattr(b, f.name)) for b in batches]
+                )
+                for f in dataclasses.fields(first)
+            },
+        )
+    return np.concatenate([np.asarray(b) for b in batches])
+
+
+def concat_timed_reports(envelopes: list["TimedReports"]) -> "TimedReports":
+    """Fold several timed envelopes into one, preserving arrival order."""
+    if not envelopes:
+        raise ValueError("need at least one envelope to concatenate")
+    if len(envelopes) == 1:
+        return envelopes[0]
+    return TimedReports(
+        timestamps=np.concatenate([e.timestamps for e in envelopes]),
+        reports=concat_report_batches([e.reports for e in envelopes]),
+    )
 
 
 def merge_event_spans(

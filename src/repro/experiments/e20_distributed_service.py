@@ -24,6 +24,15 @@ that merges them into fleet-wide estimates.  Three sweeps:
    passes them, stragglers behind a sealed pane are counted late, and
    ``absorbed + late == n`` holds fleet-wide.
 
+4. **Small envelopes** — the deployment regime the PR 9 fast path
+   targets: devices upload in tiny (256-report) envelopes.  Unbatched,
+   every envelope pays its own fold; with the ingest daemons'
+   ``micro_batch`` coalescing (and a credit window wide enough to keep
+   envelopes queued), queued envelopes fold as one batch — estimates
+   stay bit-identical (asserted) while the per-envelope overhead
+   amortizes away.  Every row reports the worker-side fold stage
+   breakdown (coalesced batches, route/absorb seconds).
+
 Wall time covers the socket phase only (envelopes are privatized up
 front): the service's job is ingest + fold + ship + merge, and that is
 what the throughput column measures.
@@ -80,6 +89,7 @@ def run(
             "windows",
             "absorbed",
             "late",
+            "fold_stages",
         ],
     )
     table.add_note(
@@ -101,6 +111,9 @@ def run(
             sum(w.duplicate_envelopes for w in svc.workers)
             + svc.duplicate_envelopes
         )
+        batches = sum(w.fold_batches for w in svc.workers)
+        route = sum(w.route_seconds for w in svc.workers)
+        absorb = sum(w.absorb_seconds for w in svc.workers)
         table.add_row(
             sweep,
             config,
@@ -113,6 +126,7 @@ def run(
             len(svc.windows),
             svc.absorbed_reports,
             svc.late_reports,
+            f"batches={batches} route={route:.3f}s absorb={absorb:.3f}s",
         )
 
     # -- sweep 1: aggregate throughput vs ingest-worker count --------------
@@ -199,6 +213,43 @@ def run(
         "lateness",
         f"win={window_hours:g}h late~Exp({straggler_mean_delay:g}h)",
         svc,
+    )
+
+    # -- sweep 4: small delivery envelopes, micro-batch coalescing ---------
+    small_envelope = 256
+    base_small = run_sharded_collection(
+        oracle,
+        values,
+        num_shards=widest,
+        chunk_size=small_envelope,
+        backend="serial",
+        rng=seed + 4,
+    )
+    small_batches = []
+    for label, micro_batch, credit in (
+        ("unbatched", None, None),
+        (f"micro_batch={chunk_size}", chunk_size, 128),
+    ):
+        kwargs = {} if credit is None else {"credit_window": credit}
+        svc = run_distributed_collection(
+            oracle,
+            values,
+            num_ingest=widest,
+            chunk_size=small_envelope,
+            backend=backend,
+            rng=seed + 4,
+            micro_batch=micro_batch,
+            **kwargs,
+        )
+        assert np.array_equal(
+            svc.estimated_counts, base_small.estimated_counts
+        ), "micro-batch coalescing must be invisible to estimates"
+        assert svc.absorbed_reports == n and svc.late_reports == 0
+        small_batches.append(sum(w.fold_batches for w in svc.workers))
+        add_row("small_env", f"env={small_envelope} {label}", svc)
+    assert small_batches[1] < small_batches[0], (
+        "the coalescing buffer must actually have folded multiple "
+        "envelopes per batch"
     )
     return table
 

@@ -55,7 +55,14 @@ import numpy as np
 from repro.core.budget import PrivacyLedger
 from repro.core.mechanism import FrequencyOracle
 from repro.core.serialization import MAX_FRAME_BYTES, TruncatedFrameError
-from repro.core.timed import TimedReports, batch_length, merged_watermark, slice_report_batch
+from repro.core.timed import (
+    TimedReports,
+    batch_length,
+    concat_report_batches,
+    concat_timed_reports,
+    merged_watermark,
+    slice_report_batch,
+)
 from repro.protocol.streaming import WindowSpec
 from repro.protocol.transport import (
     pack_timed_reports,
@@ -143,13 +150,21 @@ def _pane_bounds(window: WindowSpec, pane: int) -> tuple[float, float]:
 
 @dataclass(frozen=True)
 class ShipPayload:
-    """One envelope's fold, ready to cross the worker → combiner wire.
+    """One fold batch, ready to cross the worker → combiner wire.
 
     ``panes`` maps tumbling pane index → the wire bytes of a fresh
-    accumulator holding exactly that envelope's reports for that pane
+    accumulator holding exactly this batch's reports for that pane
     (pane ``None`` when the service runs unwindowed).  ``frontier`` is
-    the worker's event-time frontier *after* folding this envelope —
+    the worker's event-time frontier *after* folding the batch —
     ``None`` until the worker has seen any event-time data.
+
+    A batch is one or more client envelopes coalesced by the ingest
+    micro-batcher: ``envelope_ids`` lists them (arrival order), and
+    ``envelope_id`` — the ship's dedup/ack key — is their ``"+"`` join.
+    A worker folds each client envelope id exactly once, so an id can
+    only ever appear in one distinct ship; redelivering the *ship*
+    (reconnect/reship) repeats the same key and the combiner's dedup
+    drops it whole.
     """
 
     worker_id: int
@@ -157,6 +172,7 @@ class ShipPayload:
     frontier: float | None
     num_reports: int
     panes: tuple[tuple[int | None, bytes], ...]
+    envelope_ids: tuple[str, ...] = ()
 
 
 class ShardFolder:
@@ -185,6 +201,9 @@ class ShardFolder:
         self.envelopes = 0
         self.duplicates = 0
         self.reports = 0
+        self.batches = 0
+        self.route_seconds = 0.0
+        self.absorb_seconds = 0.0
 
     @property
     def frontier(self) -> float | None:
@@ -193,11 +212,49 @@ class ShardFolder:
 
     def offer(self, envelope_id: str, payload: Any) -> ShipPayload | None:
         """Fold one envelope; ``None`` when its id was already folded."""
-        envelope_id = str(envelope_id)
-        if envelope_id in self._seen:
-            self.duplicates += 1
-            return None
-        if isinstance(payload, TimedReports):
+        ship, _flags = self.offer_batch([(envelope_id, payload)])
+        return ship
+
+    def offer_batch(
+        self, items: list[tuple[str, Any]]
+    ) -> tuple[ShipPayload | None, list[bool]]:
+        """Fold several envelopes as one coalesced batch.
+
+        Per-envelope dedup is unchanged — an id already folded (or
+        repeated within the batch) is dropped and flagged — but the
+        surviving envelopes concatenate into a *single* report batch
+        before the pane split, so the argsort, the accumulator plan
+        lookups and the wire serialization are paid once per batch
+        instead of once per envelope.  Returns the coalesced ship
+        (``None`` when every envelope was a duplicate) plus one
+        duplicate flag per offered item, in order — exactly the flags
+        the per-envelope acks need.  The exact merge algebra makes the
+        coalesced fold bit-identical to folding each envelope alone.
+        """
+        flags: list[bool] = []
+        fresh_ids: list[str] = []
+        payloads: list[Any] = []
+        batch_ids: set[str] = set()
+        for envelope_id, payload in items:
+            envelope_id = str(envelope_id)
+            if envelope_id in self._seen or envelope_id in batch_ids:
+                self.duplicates += 1
+                flags.append(True)
+                continue
+            batch_ids.add(envelope_id)
+            fresh_ids.append(envelope_id)
+            payloads.append(payload)
+            flags.append(False)
+        if not fresh_ids:
+            return None, flags
+        t0 = time.perf_counter()
+        n_timed = sum(isinstance(p, TimedReports) for p in payloads)
+        if n_timed and n_timed != len(payloads):
+            raise ValueError(
+                "cannot coalesce timed and raw report envelopes in one batch"
+            )
+        if n_timed:
+            payload = concat_timed_reports(payloads)
             timestamps = payload.timestamps
             reports = payload.reports
             if timestamps.size:
@@ -209,12 +266,13 @@ class ShardFolder:
             if self._window is not None:
                 raise ValueError(
                     "a windowed service needs timed envelopes; got a raw "
-                    f"{type(payload).__name__} batch"
+                    f"{type(payloads[0]).__name__} batch"
                 )
             timestamps = None
-            reports = payload
+            reports = concat_report_batches(payloads)
         panes: list[tuple[int | None, bytes]] = []
         if self._window is None or timestamps is None:
+            t1 = time.perf_counter()
             acc = self._oracle.accumulator()
             acc.absorb(reports)
             panes.append((None, acc.to_bytes()))
@@ -222,20 +280,32 @@ class ShardFolder:
             indices = _pane_indices(self._window, timestamps)
             order = np.argsort(indices, kind="stable")
             cuts = np.flatnonzero(np.diff(indices[order])) + 1
-            for segment in np.split(order, cuts):
+            segments = np.split(order, cuts)
+            t1 = time.perf_counter()
+            for segment in segments:
                 acc = self._oracle.accumulator()
                 acc.absorb(slice_report_batch(reports, segment))
                 panes.append((int(indices[segment[0]]), acc.to_bytes()))
+        t2 = time.perf_counter()
+        self.route_seconds += t1 - t0
+        self.absorb_seconds += t2 - t1
         n = batch_length(reports)
-        self._seen.add(envelope_id)
-        self.envelopes += 1
+        # Mark seen only after the fold succeeded: a refused batch
+        # (mixed shapes, bad payload) leaves every id retryable.
+        self._seen.update(fresh_ids)
+        self.envelopes += len(fresh_ids)
+        self.batches += 1
         self.reports += n
-        return ShipPayload(
-            worker_id=self.worker_id,
-            envelope_id=envelope_id,
-            frontier=self._frontier,
-            num_reports=n,
-            panes=tuple(panes),
+        return (
+            ShipPayload(
+                worker_id=self.worker_id,
+                envelope_id="+".join(fresh_ids),
+                frontier=self._frontier,
+                num_reports=n,
+                panes=tuple(panes),
+                envelope_ids=tuple(fresh_ids),
+            ),
+            flags,
         )
 
     def stats_header(self) -> dict:
@@ -244,6 +314,9 @@ class ShardFolder:
             "envelopes": self.envelopes,
             "duplicates": self.duplicates,
             "reports": self.reports,
+            "batches": self.batches,
+            "route_seconds": self.route_seconds,
+            "absorb_seconds": self.absorb_seconds,
             "frontier": self._frontier,
         }
 
@@ -269,7 +342,14 @@ class SealedWindow:
 
 @dataclass(frozen=True)
 class WorkerServiceStats:
-    """One ingest worker's counters, as reported in its drain message."""
+    """One ingest worker's counters, as reported in its drain message.
+
+    ``fold_batches`` counts coalesced fold batches (equal to
+    ``envelopes`` when micro-batching is off); ``route_seconds`` /
+    ``absorb_seconds`` break the worker's fold CPU into classification
+    (concat + pane argsort/split) and accumulator folding — the
+    worker-side half of the stage story E20 reports.
+    """
 
     worker_id: int
     envelopes: int
@@ -279,6 +359,9 @@ class WorkerServiceStats:
     reships: int
     shipped_bytes: int
     frontier: float | None
+    fold_batches: int = 0
+    route_seconds: float = 0.0
+    absorb_seconds: float = 0.0
 
 
 class CombinerCore:
@@ -500,6 +583,7 @@ def _ship_to_message(ship: ShipPayload) -> tuple[dict, dict[str, np.ndarray]]:
         "type": "ship",
         "worker": ship.worker_id,
         "envelope": ship.envelope_id,
+        "envelopes": list(ship.envelope_ids),
         "frontier": ship.frontier,
         "reports": ship.num_reports,
         "panes": manifest,
@@ -513,12 +597,15 @@ def _ship_from_message(header: dict, arrays: dict[str, np.ndarray]) -> ShipPaylo
         for pane, name in header["panes"]
     )
     frontier = header.get("frontier")
+    envelope_id = str(header["envelope"])
+    ids = header.get("envelopes") or [envelope_id]
     return ShipPayload(
         worker_id=int(header["worker"]),
-        envelope_id=str(header["envelope"]),
+        envelope_id=envelope_id,
         frontier=None if frontier is None else float(frontier),
         num_reports=int(header["reports"]),
         panes=panes,
+        envelope_ids=tuple(str(i) for i in ids),
     )
 
 
@@ -648,6 +735,9 @@ class CombinerDaemon:
                         reships=int(header.get("reships", 0)),
                         shipped_bytes=int(header.get("shipped_bytes", 0)),
                         frontier=None if frontier is None else float(frontier),
+                        fold_batches=int(header.get("batches", 0)),
+                        route_seconds=float(header.get("route_seconds", 0.0)),
+                        absorb_seconds=float(header.get("absorb_seconds", 0.0)),
                     )
                     self.core.drain(worker_id, stats)
                     write_message(
@@ -707,15 +797,19 @@ class IngestDaemon:
         expected_clients: int = 1,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         retry: RetryPolicy = RetryPolicy(),
+        micro_batch: int = 0,
     ) -> None:
         check_positive_int(credit_window, name="credit_window")
         check_positive_int(expected_clients, name="expected_clients")
+        if micro_batch:
+            check_positive_int(micro_batch, name="micro_batch")
         self.folder = ShardFolder(oracle, worker_id, window=window)
         self.worker_id = int(worker_id)
         self._combiner_address = combiner_address
         self._host = host
         self._port = port
         self._credit_window = int(credit_window)
+        self._micro_batch = int(micro_batch)
         self._expected_clients = int(expected_clients)
         self._max_frame_bytes = max_frame_bytes
         self._retry = retry
@@ -941,6 +1035,28 @@ class IngestDaemon:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._tracker.enter(writer)
+        batch: list[tuple[str, Any]] = []
+        batch_rows = 0
+        pending_read: asyncio.Future | None = None
+
+        async def flush_batch() -> None:
+            """Fold the coalesced envelopes, ship once, ack each in order."""
+            nonlocal batch, batch_rows
+            if not batch:
+                return
+            items, batch = batch, []
+            batch_rows = 0
+            ship, dup_flags = self.folder.offer_batch(items)
+            if ship is not None:
+                await self._ship(ship)
+            for (envelope_id, _payload), dup in zip(items, dup_flags):
+                write_message(
+                    writer,
+                    {"type": "ack", "envelope": envelope_id, "duplicate": dup},
+                    max_frame_bytes=self._max_frame_bytes,
+                )
+            await writer.drain()
+
         try:
             write_message(
                 writer,
@@ -949,9 +1065,20 @@ class IngestDaemon:
             )
             await writer.drain()
             while True:
-                message = await read_message(
-                    reader, max_frame_bytes=self._max_frame_bytes
+                pending_read = asyncio.ensure_future(
+                    read_message(reader, max_frame_bytes=self._max_frame_bytes)
                 )
+                if batch and not pending_read.done():
+                    # Give an already-buffered frame one loop cycle to
+                    # complete; only a genuinely idle link (the client is
+                    # waiting on acks) flushes the coalescing buffer
+                    # below the row budget — so backpressure semantics
+                    # are unchanged and acks are never withheld.
+                    await asyncio.sleep(0)
+                    if not pending_read.done():
+                        await flush_batch()
+                message = await pending_read
+                pending_read = None
                 if message is None:
                     break  # client vanished; it will resend unacked envelopes
                 header, arrays = message
@@ -959,6 +1086,16 @@ class IngestDaemon:
                 if kind == "reports":
                     envelope_id = str(header["envelope"])
                     payload = unpack_timed_reports(header, arrays)
+                    if self._micro_batch:
+                        batch.append((envelope_id, payload))
+                        batch_rows += (
+                            len(payload)
+                            if isinstance(payload, TimedReports)
+                            else batch_length(payload)
+                        )
+                        if batch_rows >= self._micro_batch:
+                            await flush_batch()
+                        continue
                     ship = self.folder.offer(envelope_id, payload)
                     if ship is not None:
                         await self._ship(ship)
@@ -973,6 +1110,7 @@ class IngestDaemon:
                     )
                     await writer.drain()
                 elif kind == "eof":
+                    await flush_batch()
                     write_message(
                         writer,
                         {"type": "eof_ack"},
@@ -990,6 +1128,10 @@ class IngestDaemon:
         except ServiceError:
             pass  # recorded in self._failure by the upstream machinery
         finally:
+            if pending_read is not None:
+                pending_read.cancel()
+                with contextlib.suppress(Exception):
+                    await pending_read
             self._tracker.leave(writer)
             await _close_writer(writer)
 
@@ -1162,6 +1304,7 @@ def _ingest_process_main(
     window: WindowSpec | None,
     credit_window: int,
     max_frame_bytes: int,
+    micro_batch: int = 0,
 ) -> None:
     """Entry point of one spawned ingest-worker process.
 
@@ -1177,6 +1320,7 @@ def _ingest_process_main(
             window=window,
             credit_window=credit_window,
             max_frame_bytes=max_frame_bytes,
+            micro_batch=micro_batch,
         )
         await daemon.start()
         conn.send(daemon.address)
@@ -1235,6 +1379,7 @@ async def _run_service(
     window: WindowSpec | None,
     backend: str,
     credit_window: int,
+    micro_batch: int,
     duplicate_ids: frozenset[str],
     restart_worker: tuple[int, int] | None,
     max_frame_bytes: int,
@@ -1259,6 +1404,7 @@ async def _run_service(
                     window=window,
                     credit_window=credit_window,
                     max_frame_bytes=max_frame_bytes,
+                    micro_batch=micro_batch,
                 )
                 await daemon.start()
                 inline_daemons.append(daemon)
@@ -1278,6 +1424,7 @@ async def _run_service(
                         window,
                         credit_window,
                         max_frame_bytes,
+                        micro_batch,
                     ),
                 )
                 await worker.start()
@@ -1333,6 +1480,7 @@ def run_distributed_collection(
     backend: str = "inline",
     placement: str = "contiguous",
     credit_window: int = DEFAULT_CREDIT_WINDOW,
+    micro_batch: int | None = None,
     rng: np.random.Generator | int | None = None,
     ledger: PrivacyLedger | None = None,
     duplicate_every: int | None = None,
@@ -1365,6 +1513,13 @@ def run_distributed_collection(
     backend:
         ``"inline"`` (all daemons in this process's event loop) or
         ``"process"`` (one spawned OS process per ingest worker).
+    micro_batch:
+        When set, each ingest daemon coalesces queued delivery
+        envelopes into one fold batch of up to this many report rows
+        (flushing immediately whenever the link goes idle), amortizing
+        per-envelope argsort/fold overheads for small uploads.  Acks,
+        redelivery dedup, and credit backpressure are per original
+        envelope, so at-least-once semantics are unchanged.
     duplicate_every:
         Deliver every ``k``-th envelope of each worker's stream twice —
         at-least-once fault injection; estimates must not move.
@@ -1403,6 +1558,8 @@ def run_distributed_collection(
             )
     if duplicate_every is not None:
         check_positive_int(duplicate_every, name="duplicate_every")
+    if micro_batch:
+        check_positive_int(micro_batch, name="micro_batch")
     vals = np.asarray(values)
     if vals.ndim != 1 or vals.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
@@ -1465,6 +1622,7 @@ def run_distributed_collection(
             window=window,
             backend=backend,
             credit_window=credit_window,
+            micro_batch=int(micro_batch or 0),
             duplicate_ids=duplicate_ids,
             restart_worker=restart_worker,
             max_frame_bytes=max_frame_bytes,

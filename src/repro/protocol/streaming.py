@@ -81,6 +81,7 @@ pay only their worst window under basic composition and should keep it.
 
 from __future__ import annotations
 
+import bisect
 import math
 import time
 from abc import ABC, abstractmethod
@@ -95,7 +96,12 @@ from repro.core.budget import (
     PrivacyLedger,
     SpendDeclaration,
 )
-from repro.core.timed import TimedReports, batch_length, slice_report_batch
+from repro.core.timed import (
+    TimedReports,
+    batch_length,
+    concat_timed_reports,
+    slice_report_batch,
+)
 from repro.util.rng import ensure_generator
 from repro.util.validation import check_positive_int
 
@@ -484,7 +490,11 @@ class StreamResult(Sequence):
     reports offered to the collector — nothing is silently dropped.
     ``coalesced_panes`` counts the open panes a data-driven (session)
     stream merged away when late reports bridged two sessions (always
-    0 for fixed geometries).
+    0 for fixed geometries).  ``stage_seconds`` is the event-time
+    engine's CPU breakdown — cumulative wall seconds per pipeline stage
+    (``route``: timestamp classification/clustering, ``charge``: ledger
+    bookkeeping, ``absorb``: pane routing + folding, ``snapshot``:
+    seal-time window reads) — empty for count-time streams.
     """
 
     def __init__(
@@ -497,6 +507,7 @@ class StreamResult(Sequence):
         late_reports: int = 0,
         composition: str = "basic",
         coalesced_panes: int = 0,
+        stage_seconds: dict[str, float] | None = None,
     ) -> None:
         self.snapshots = list(snapshots)
         self.ledger = ledger
@@ -505,6 +516,7 @@ class StreamResult(Sequence):
         self.late_reports = int(late_reports)
         self.composition = composition
         self.coalesced_panes = int(coalesced_panes)
+        self.stage_seconds = dict(stage_seconds) if stage_seconds else {}
 
     @property
     def total_reports(self) -> int:
@@ -633,6 +645,15 @@ class RingPaneStore(PaneStore):
     def insert_pane(self, index: int, pane) -> None:
         """Splice a pane in mid-ring (sessions can open out of start order)."""
         self._ring.insert(index, pane)
+
+    def pane_at(self, index: int):
+        """One live pane by position, without the O(panes) list copy.
+
+        The session geometry reads a single pane per cluster; building
+        ``live_panes()`` for each read would cost O(panes) allocations
+        per envelope.
+        """
+        return self._ring[index]
 
     def evict_oldest(self) -> None:
         """Fold the oldest live pane into the retired (cumulative-only) state."""
@@ -1114,6 +1135,20 @@ class _PaneGeometry:
         """Seal (in order) every pane the watermark passed; emit windows."""
         raise NotImplementedError
 
+    def would_seal(
+        self, watermark: float, pending_min: float | None = None
+    ) -> bool:
+        """Whether this watermark would seal (emit) at least one pane.
+
+        The micro-batching buffer asks this before deferring an
+        envelope: a flush happens the moment a seal is due, so
+        coalescing never delays a window emission.  ``pending_min`` is
+        the earliest event time sitting *unfolded* in the buffer — a
+        pane that only exists in buffered data must still trigger the
+        flush the moment the watermark passes its end.
+        """
+        return False
+
     def open_accumulators(self) -> list:
         """Open accumulators living outside the store (oldest first)."""
         return []
@@ -1185,24 +1220,54 @@ class _FixedPaneGeometry(_PaneGeometry):
 
     def ingest(self, timed: TimedReports) -> None:
         c = self._c
+        t0 = time.perf_counter()
         panes, sealed, gap = self._classify(timed.timestamps)
         routable = ~sealed & ~gap
+        t1 = time.perf_counter()
         # Charge every pane the envelope touches *before* absorbing any
         # of it, atomically: a capped ledger refuses the whole envelope
         # (nothing absorbed or recorded, watermark not advanced), never
         # half of it.  (A driver that called charge_for first finds the
         # panes already charged — this is then a no-op.)
         self._charge_panes(np.unique(panes[routable | gap]))
+        t2 = time.perf_counter()
         c._late += int(sealed.sum())
         for pane, sub in _grouped_by_pane(timed, panes, gap):
             self._route_gap(pane, sub)
         for pane, sub in _grouped_by_pane(timed, panes, routable):
             self._absorb_into_pane(pane, sub)
+        t3 = time.perf_counter()
+        stages = c._stage_seconds
+        stages["route"] += t1 - t0
+        stages["charge"] += t2 - t1
+        stages["absorb"] += t3 - t2
 
     def precharge(self, ts: np.ndarray) -> None:
         """Charge the panes these times land in; sealed panes charge nothing."""
+        t0 = time.perf_counter()
         panes, sealed, _gap = self._classify(ts)
+        t1 = time.perf_counter()
         self._charge_panes(np.unique(panes[~sealed]))
+        t2 = time.perf_counter()
+        stages = self._c._stage_seconds
+        stages["route"] += t1 - t0
+        stages["charge"] += t2 - t1
+
+    def would_seal(
+        self, watermark: float, pending_min: float | None = None
+    ) -> bool:
+        if pending_min is not None:
+            pane = int(self._pane_of(np.asarray([pending_min]))[0])
+            if self._c.spec.pane_bounds(pane)[1] <= watermark:
+                return True
+        if not self._open and self._sealed_through is None:
+            return False
+        frontier = (
+            self._sealed_through + 1
+            if self._sealed_through is not None
+            else min(self._open)
+        )
+        return self._c.spec.pane_bounds(frontier)[1] <= watermark
 
     def _charge_panes(self, panes) -> None:
         """Atomically charge a set of pane indices (all-or-nothing)."""
@@ -1335,6 +1400,10 @@ class _FixedPaneGeometry(_PaneGeometry):
         return len(self._open)
 
 
+#: Shared empty position vector for pure session-merge clusters.
+_EMPTY_POSITIONS = np.empty(0, dtype=np.intp)
+
+
 def _provisional_label(serial: int) -> str:
     """Ledger identity of a still-open session (rewritten at seal)."""
     return f"session-{serial}[open]"
@@ -1392,9 +1461,18 @@ class _SessionPaneGeometry(_PaneGeometry):
         super().__init__(collector)
         self._gap = float(collector.spec.gap)
         self._sessions: list[_OpenSession] = []  # sorted by start
+        # Session starts, mirrored from _sessions: open sessions are
+        # pairwise more than gap apart, so starts are strictly
+        # increasing and bisect gives both the insert position and the
+        # exact index of any open session in O(log S).
+        self._starts: list[float] = []
         self._next_serial = 0
         self._sealed_horizon = -math.inf
         self.merged_panes = 0
+        #: Route envelopes through the pure-Python reference walk
+        #: instead of the vectorized clustering (property tests flip
+        #: this to prove bit-identity).
+        self.use_reference_sweep = False
         # Data-driven panes open out of start order and absorb in
         # place — only the ring store supports that, and
         # resolve_pane_store guarantees it (sessions are single-pane).
@@ -1424,13 +1502,19 @@ class _SessionPaneGeometry(_PaneGeometry):
         envelope changes nothing, not even the late count.
         """
         c = self._c
+        t0 = time.perf_counter()
         live_idx = np.flatnonzero(ts > self._sealed_horizon)
         n_late = ts.shape[0] - live_idx.size if timed is not None else 0
-        clusters = self._clusters(ts, live_idx)
+        clusters = (
+            self._reference_clusters(ts, live_idx)
+            if self.use_reference_sweep
+            else self._clusters(ts, live_idx)
+        )
+        t1 = time.perf_counter()
         token = c.ledger.savepoint()
         serial = self._next_serial
         try:
-            for sessions, reports in clusters:
+            for sessions, _positions, _first, _last in clusters:
                 if not sessions:
                     c._charge_pane(serial, _provisional_label(serial))
                     serial += 1
@@ -1446,46 +1530,133 @@ class _SessionPaneGeometry(_PaneGeometry):
         except BudgetExceededError:
             c.ledger.rollback(token)
             raise
-        for sessions, reports in clusters:
+        t2 = time.perf_counter()
+        starts = self._starts
+        for sessions, positions, first, last in clusters:
             if not sessions:
-                first = float(ts[reports[0]])
                 session = _OpenSession(self._next_serial, first, first)
                 self._next_serial += 1
-                pos = self._insert_position(first)
-                self._sessions.insert(pos, session)
-                c._store.insert_pane(pos, c._oracle.accumulator())
+                at = bisect.bisect_left(starts, first)
+                self._sessions.insert(at, session)
+                starts.insert(at, first)
+                c._store.insert_pane(at, c._oracle.accumulator())
             else:
                 session = sessions[0]
+                # Starts are strictly increasing, so bisect recovers
+                # the survivor's exact index; bridged sessions are
+                # consecutive in start order, so each absorbed pane
+                # sits right after the survivor's.
+                at = bisect.bisect_left(starts, session.start)
                 for other in sessions[1:]:
-                    # Bridged sessions are consecutive in start order,
-                    # so the absorbed pane always sits right after the
-                    # survivor's.
-                    at = self._sessions.index(session)
                     c._store.coalesce(at, at + 1)
-                    session.end = max(session.end, other.end)
+                    if other.end > session.end:
+                        session.end = other.end
                     del self._sessions[at + 1]
+                    del starts[at + 1]
                     self.merged_panes += 1
-            if reports:
-                session.start = min(session.start, float(ts[reports[0]]))
-                session.end = max(session.end, float(ts[reports[-1]]))
+            if positions.size:
+                if first < session.start:
+                    session.start = first
+                    starts[at] = first
+                if last > session.end:
+                    session.end = last
                 if timed is not None:
-                    pane = c._store.live_panes()[self._sessions.index(session)]
+                    pane = c._store.pane_at(at)
                     before = pane.n_absorbed
-                    pane.absorb(timed.select(np.asarray(reports)).reports)
+                    pane.absorb(timed.select(positions).reports)
                     c._absorbed += pane.n_absorbed - before
         c._late += n_late
+        t3 = time.perf_counter()
+        stages = c._stage_seconds
+        stages["route"] += t1 - t0
+        stages["charge"] += t2 - t1
+        stages["absorb"] += t3 - t2
 
     def _clusters(self, ts: np.ndarray, live_idx: np.ndarray):
         """Gap-cluster the open sessions with the live report positions.
 
-        One merge-walk over the (already sorted) open sessions and the
+        The vectorized sweep: sort the live positions once, split them
+        into maximal *runs* wherever consecutive event times are more
+        than ``gap`` apart (``np.diff`` + ``np.flatnonzero``), then
+        merge the handful of open sessions against run *boundaries* —
+        O(sessions + runs) Python work instead of one loop iteration
+        per report.  A run can never split mid-way (consecutive times
+        are within ``gap``, and interleaved sessions only push the
+        running end further out), and a cluster's runs are always
+        consecutive in the sorted order, so each cluster's report
+        positions are one contiguous slice of the sort — absorbed as a
+        slice, with the cluster's first/last event times read off the
+        run boundaries instead of boxing per-report floats.
+
+        Returns ``(sessions, positions, first, last)`` per cluster in
+        start order — ``positions`` the ts-sorted report positions
+        (possibly empty for pure session merges), ``first``/``last``
+        their earliest/latest event times — exactly the clusters the
+        reference walk (:meth:`_reference_clusters`) produces.
+        """
+        if live_idx.size == 0:
+            return []
+        gap = self._gap
+        order = live_idx[np.argsort(ts[live_idx], kind="stable")]
+        times = ts[order]
+        splits = np.flatnonzero(np.diff(times) > gap) + 1
+        run_lo = np.concatenate(([0], splits))
+        run_hi = np.concatenate((splits, [times.shape[0]]))
+        run_start = times[run_lo]
+        run_end = times[run_hi - 1]
+        sessions = self._sessions
+        n_sessions = len(sessions)
+        n_runs = run_lo.shape[0]
+        clusters: list[list] = []
+        cur: list | None = None  # [sessions, run lo, run hi, end]
+        si = k = 0
+        while si < n_sessions or k < n_runs:
+            if si < n_sessions and (
+                k >= n_runs or sessions[si].start <= run_start[k]
+            ):
+                item = sessions[si]
+                si += 1
+                if cur is None or item.start > cur[3] + gap:
+                    cur = [[item], k, k, item.end]
+                    clusters.append(cur)
+                else:
+                    cur[0].append(item)
+                    if item.end > cur[3]:
+                        cur[3] = item.end
+            else:
+                lo = float(run_start[k])
+                hi = float(run_end[k])
+                k += 1
+                if cur is None or lo > cur[3] + gap:
+                    cur = [[], k - 1, k, hi]
+                    clusters.append(cur)
+                else:
+                    cur[2] = k
+                    if hi > cur[3]:
+                        cur[3] = hi
+        out = []
+        for sess, klo, khi, _end in clusters:
+            if klo < khi:
+                a = int(run_lo[klo])
+                b = int(run_hi[khi - 1])
+                out.append((sess, order[a:b], float(times[a]), float(times[b - 1])))
+            elif len(sess) > 1:
+                out.append((sess, _EMPTY_POSITIONS, None, None))
+        return out
+
+    def _reference_clusters(self, ts: np.ndarray, live_idx: np.ndarray):
+        """The original per-report merge walk, kept as the oracle.
+
+        One walk over the (already sorted) open sessions and the
         ts-sorted report positions: an item joins the current cluster
         when it starts within ``gap`` (inclusive) of the cluster's
-        running end.  Each returned ``(sessions, report_positions)``
-        pair is one post-envelope session, in start order; untouched
-        singleton sessions are skipped.  Two sessions can share a
-        cluster only via a bridging report — open sessions alone are
-        always more than ``gap`` apart.
+        running end.  Each returned cluster is one post-envelope
+        session, in start order; untouched singleton sessions are
+        skipped.  Two sessions can share a cluster only via a bridging
+        report — open sessions alone are always more than ``gap``
+        apart.  O(reports) Python-loop iterations; the vectorized
+        :meth:`_clusters` must match it bit for bit (property-tested
+        and micro-benchmarked against it in CI).
         """
         if live_idx.size == 0:
             return []
@@ -1515,17 +1686,31 @@ class _SessionPaneGeometry(_PaneGeometry):
             else:
                 cur[1].append(item)
             cur[2] = max(cur[2], item_end)
-        return [
-            (sessions, reports)
-            for sessions, reports, _end in clusters
-            if reports or len(sessions) > 1
-        ]
+        out = []
+        for sess, reports, _end in clusters:
+            if reports:
+                out.append(
+                    (
+                        sess,
+                        np.asarray(reports, dtype=np.intp),
+                        float(ts[reports[0]]),
+                        float(ts[reports[-1]]),
+                    )
+                )
+            elif len(sess) > 1:
+                out.append((sess, _EMPTY_POSITIONS, None, None))
+        return out
 
-    def _insert_position(self, start: float) -> int:
-        for i, session in enumerate(self._sessions):
-            if start < session.start:
-                return i
-        return len(self._sessions)
+    def would_seal(
+        self, watermark: float, pending_min: float | None = None
+    ) -> bool:
+        if pending_min is not None and pending_min + self._gap <= watermark:
+            # A buffered report's proto-session could already be due.
+            return True
+        return (
+            bool(self._sessions)
+            and self._sessions[0].end + self._gap <= watermark
+        )
 
     def seal_past_watermark(self, *, everything: bool = False) -> None:
         while self._sessions:
@@ -1539,8 +1724,9 @@ class _SessionPaneGeometry(_PaneGeometry):
         t0 = time.perf_counter()
         c = self._c
         session = self._sessions.pop(0)
+        del self._starts[0]
         end_bound = session.end + self._gap
-        window_users, window_est = _merged_estimates([c._store.live_panes()[0]])
+        window_users, window_est = _merged_estimates([c._store.pane_at(0)])
         c._store.evict_oldest()
         final = _final_label(session.serial, session.start, end_bound)
         if c.user_model == "disjoint_users" and c._declaration is not None:
@@ -1611,6 +1797,7 @@ class EventTimeCollector(_CollectorBase):
         composition: str = "basic",
         delta_slack: float = 1e-9,
         aggregation: str = "two_stack",
+        micro_batch: int | None = None,
     ) -> None:
         if not spec.is_event_time:
             raise ValueError(
@@ -1625,11 +1812,23 @@ class EventTimeCollector(_CollectorBase):
             delta_slack=delta_slack,
             aggregation=aggregation,
         )
+        if micro_batch is not None and micro_batch != 0:
+            check_positive_int(micro_batch, name="micro_batch")
+        self._micro_batch = int(micro_batch) if micro_batch else 0
+        self._pending: list[TimedReports] = []
+        self._pending_rows = 0
+        self._pending_min = math.inf
         self._max_event_time = -math.inf
         self._late = 0
         self._absorbed = 0
         self._snapshots: list[StreamSnapshot] = []
         self._finished = False
+        self._stage_seconds = {
+            "route": 0.0,
+            "charge": 0.0,
+            "absorb": 0.0,
+            "snapshot": 0.0,
+        }
         self._geometry: _PaneGeometry = (
             _SessionPaneGeometry(self)
             if spec.is_data_driven
@@ -1646,26 +1845,36 @@ class EventTimeCollector(_CollectorBase):
     @property
     def late_reports(self) -> int:
         """Reports that arrived after their pane sealed (counted, not absorbed)."""
+        self._flush_pending()
         return self._late
 
     @property
     def total_users(self) -> int:
         """Reports absorbed since the stream started (late ones excluded)."""
+        self._flush_pending()
         return self._absorbed
 
     @property
     def pane_count(self) -> int:
         """Live pane accumulators (open panes + panes held in the store)."""
+        self._flush_pending()
         return self._store.count + self._geometry.open_count()
 
     @property
     def coalesced_panes(self) -> int:
         """Open panes merged away by late bridging reports (sessions only)."""
+        self._flush_pending()
         return self._geometry.merged_panes
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Cumulative CPU seconds per pipeline stage (route/charge/absorb/snapshot)."""
+        return dict(self._stage_seconds)
 
     @property
     def snapshots(self) -> list[StreamSnapshot]:
         """Windows emitted so far (one per sealed pane, in event order)."""
+        self._flush_pending()
         return list(self._snapshots)
 
     # -- collection ---------------------------------------------------------
@@ -1679,6 +1888,16 @@ class EventTimeCollector(_CollectorBase):
         their panes, and then the envelope's maximum timestamp advances
         the watermark — sealing every pane it passed and emitting their
         windows.
+
+        With ``micro_batch`` enabled the envelope may instead join the
+        coalescing buffer: small envelopes queue until the buffer
+        reaches the row budget — or until an envelope's timestamps
+        would seal a pane, so window emission is never delayed — and
+        are then folded as *one* routing/absorb batch, amortizing the
+        per-envelope argsort, ledger savepoint and pane bookkeeping.
+        The watermark only advances at flush boundaries, which is
+        strictly more lenient than per-envelope advancement: no report
+        that would have been absorbed unbatched is ever counted late.
         """
         if self._finished:
             raise ValueError("stream already finished")
@@ -1690,12 +1909,54 @@ class EventTimeCollector(_CollectorBase):
             )
         if len(timed) == 0:
             return self
+        if self._micro_batch:
+            self._pending.append(timed)
+            self._pending_rows += len(timed)
+            self._pending_min = min(
+                self._pending_min, float(timed.timestamps.min())
+            )
+            prospective = (
+                max(self._max_event_time, float(timed.timestamps.max()))
+                - self.spec.allowed_lateness
+            )
+            if self._pending_rows >= self._micro_batch or (
+                self._geometry.would_seal(
+                    prospective, pending_min=self._pending_min
+                )
+            ):
+                self._flush_pending()
+            return self
         self._geometry.ingest(timed)
         self._max_event_time = max(
             self._max_event_time, float(timed.timestamps.max())
         )
         self._geometry.seal_past_watermark()
         return self
+
+    def _flush_pending(self) -> None:
+        """Fold the coalescing buffer as one batch, then advance the watermark.
+
+        A refused batch (capped ledger) is restored to the buffer —
+        the geometry sweep is atomic, so nothing was absorbed and the
+        caller can retry or finish with every report still accounted.
+        """
+        if not self._pending:
+            return
+        batch = concat_timed_reports(self._pending)
+        self._pending = []
+        self._pending_rows = 0
+        pending_min, self._pending_min = self._pending_min, math.inf
+        try:
+            self._geometry.ingest(batch)
+        except BaseException:
+            self._pending = [batch]
+            self._pending_rows = len(batch)
+            self._pending_min = pending_min
+            raise
+        self._max_event_time = max(
+            self._max_event_time, float(batch.timestamps.max())
+        )
+        self._geometry.seal_past_watermark()
 
     def charge_for(self, timestamps) -> "EventTimeCollector":
         """Charge every window the given event times will land in, atomically.
@@ -1730,6 +1991,7 @@ class EventTimeCollector(_CollectorBase):
             ]
         )
         t1 = time.perf_counter()
+        self._stage_seconds["snapshot"] += t1 - t0
         eps, delta = self._totals()
         self._snapshots.append(
             StreamSnapshot(
@@ -1756,6 +2018,7 @@ class EventTimeCollector(_CollectorBase):
         remaining windows are emitted in event order.
         """
         if not self._finished:
+            self._flush_pending()
             self._max_event_time = math.inf
             self._geometry.seal_past_watermark(everything=True)
             self._finished = True
@@ -1767,6 +2030,7 @@ class EventTimeCollector(_CollectorBase):
             late_reports=self._late,
             composition=self.composition,
             coalesced_panes=self._geometry.merged_panes,
+            stage_seconds=self._stage_seconds,
         )
 
 
@@ -1869,6 +2133,7 @@ def stream_collection(
     composition: str = "basic",
     delta_slack: float = 1e-9,
     aggregation: str = "two_stack",
+    micro_batch: int | None = None,
 ) -> StreamResult:
     """Drive a whole population through a simulated arrival stream.
 
@@ -1892,10 +2157,14 @@ def stream_collection(
 
     ``ledger``, ``user_model``, ``composition`` and ``aggregation``
     configure the accounting and the sliding-window store (see the
-    module docstring).  Returns a :class:`StreamResult` — one snapshot
-    per closed window plus the populated ledger; the final snapshot's
-    cumulative estimates equal the one-shot batch estimate over the
-    identical absorbed reports, bit-identically.
+    module docstring); ``micro_batch`` (event-time only) sets the
+    collector's ingest coalescing budget in rows — small envelopes
+    queue up to that many reports and fold as one routing batch, with
+    a forced flush whenever a pane seal is due.  Returns a
+    :class:`StreamResult` — one snapshot per closed window plus the
+    populated ledger; the final snapshot's cumulative estimates equal
+    the one-shot batch estimate over the identical absorbed reports,
+    bit-identically.
     """
     if window is not None and window_size is not None:
         raise ValueError("pass either window_size or window, not both")
@@ -1925,8 +2194,14 @@ def stream_collection(
         aggregation=aggregation,
     )
     if spec.is_event_time:
+        collector_kwargs["micro_batch"] = micro_batch
         return _drive_event_stream(
             oracle, spec, n, materialize, ts, chunk_size, collector_kwargs
+        )
+    if micro_batch is not None:
+        raise ValueError(
+            "micro_batch applies to event-time windows only (the "
+            "count-time collector already folds whole chunks)"
         )
     return _drive_count_stream(
         oracle, spec, n, materialize, chunk_size, collector_kwargs
@@ -1945,6 +2220,7 @@ def stream_reports(
     composition: str = "basic",
     delta_slack: float = 1e-9,
     aggregation: str = "two_stack",
+    micro_batch: int | None = None,
 ) -> StreamResult:
     """Drive an already-privatized report batch through the window engine.
 
@@ -1978,8 +2254,14 @@ def stream_reports(
         aggregation=aggregation,
     )
     if window.is_event_time:
+        collector_kwargs["micro_batch"] = micro_batch
         return _drive_event_stream(
             oracle, window, n, materialize, ts, chunk_size, collector_kwargs
+        )
+    if micro_batch is not None:
+        raise ValueError(
+            "micro_batch applies to event-time windows only (the "
+            "count-time collector already folds whole chunks)"
         )
     return _drive_count_stream(
         oracle, window, n, materialize, chunk_size, collector_kwargs

@@ -1,0 +1,338 @@
+"""Property tests for the streaming fast path (PR 9).
+
+The vectorized session sweep and the ingest micro-batch coalescing are
+*pure* performance work: every estimate, extent, coalesce count, late
+count and ledger identity must be reproducible from the slow reference
+implementations they replaced.  Checked here:
+
+* **vectorized == reference**: the numpy gap-clustering sweep
+  (`_SessionPaneGeometry._clusters`) produces bit-identical results to
+  the per-report reference walk (`_reference_clusters`) — sealed
+  windows (serials, extents, users, estimates), coalesce counts,
+  straggler/late accounting and disjoint-users ledger groups — over
+  shuffled bursty arrivals, for every registered core oracle and every
+  system stack.
+* **micro-batched collector == unbatched**: coalescing absorb calls up
+  to a row budget (flushing when the watermark would seal) leaves fixed
+  event-time geometry *fully* bit-identical — same snapshots, same
+  per-snapshot late counts — and leaves session geometry's sealed
+  windows, partition and ledger extents identical (only creation
+  serials and proto-session coalesce counts may shift, exactly as for
+  any other arrival re-chunking).
+* **micro-batched service fold == unbatched**: `ShardFolder.offer_batch`
+  folding several delivery envelopes at once yields the same combiner
+  result as per-envelope `offer`, with duplicate-delivery dedup
+  preserved across coalesced batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TimedReports
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.core.timed import slice_report_batch
+from repro.protocol import (
+    CombinerCore,
+    EventTimeCollector,
+    ShardFolder,
+    WindowSpec,
+)
+
+from test_session_windows import _bursty_times
+from test_windowing import _SYSTEM_CASES
+
+
+def _stream(oracle, reports, slicer, ts, arrival, spec, *, chunk, reference,
+            micro_batch=None, **kwargs):
+    collector = EventTimeCollector(
+        oracle, spec, micro_batch=micro_batch, **kwargs
+    )
+    if reference:
+        collector._geometry.use_reference_sweep = True
+    for start in range(0, arrival.size, chunk):
+        idx = arrival[start : start + chunk]
+        collector.absorb(TimedReports(ts[idx], slicer(reports, idx)))
+    return collector, collector.finish()
+
+
+def _assert_bit_identical(a_pair, b_pair):
+    """Everything the engine emits, bitwise — serials included."""
+    (ca, a), (cb, b) = a_pair, b_pair
+    assert len(a) == len(b)
+    assert a.absorbed_reports == b.absorbed_reports
+    assert a.late_reports == b.late_reports
+    assert a.coalesced_panes == b.coalesced_panes
+    for x, y in zip(a, b):
+        assert x.window_index == y.window_index
+        assert (x.window_start, x.window_end) == (y.window_start, y.window_end)
+        assert x.window_users == y.window_users
+        assert x.total_users == y.total_users
+        assert x.late_reports == y.late_reports
+        assert np.array_equal(x.window_estimates, y.window_estimates)
+        assert np.array_equal(x.cumulative_estimates, y.cumulative_estimates)
+    assert [s.group for s in ca.ledger.spends] == [
+        s.group for s in cb.ledger.spends
+    ]
+    assert ca.ledger.total_epsilon == cb.ledger.total_epsilon
+
+
+def _run_both_sweeps(oracle, reports, slicer, n, *, gap, seed, **kwargs):
+    ts, gen = _bursty_times(n, gap=gap, bursts=5, seed=seed)
+    arrival = gen.permutation(n)
+    spec = WindowSpec.session(gap, allowed_lateness=1e6)
+    fast = _stream(
+        oracle, reports, slicer, ts, arrival, spec,
+        chunk=7, reference=False, **kwargs,
+    )
+    slow = _stream(
+        oracle, reports, slicer, ts, arrival, spec,
+        chunk=7, reference=True, **kwargs,
+    )
+    assert fast[1].coalesced_panes > 0  # the merge path genuinely ran
+    _assert_bit_identical(fast, slow)
+    return fast[1]
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+def test_vectorized_sweep_matches_reference_core_oracles(name, slice_reports):
+    oracle = make_oracle(name, 9, 1.4)
+    n = 360
+    values = np.random.default_rng(90).integers(0, 9, size=n)
+    reports = oracle.privatize(values, rng=91)
+    result = _run_both_sweeps(
+        oracle, reports, slice_reports, n,
+        gap=2.0, seed=92, user_model="disjoint_users",
+    )
+    assert result.absorbed_reports == n
+
+
+@pytest.mark.parametrize(
+    "label,mechanism,reports,n,slicer",
+    _SYSTEM_CASES,
+    ids=[c[0] for c in _SYSTEM_CASES],
+)
+def test_vectorized_sweep_matches_reference_system_stacks(
+    label, mechanism, reports, n, slicer
+):
+    _run_both_sweeps(
+        mechanism, reports, slicer, n, gap=2.0, seed=sum(map(ord, label))
+    )
+
+
+def test_vectorized_sweep_matches_reference_with_stragglers(slice_reports):
+    # Zero lateness seals aggressively; stragglers behind the sealed
+    # horizon must be counted late identically in both sweeps.
+    oracle = make_oracle("OUE", 6, 1.0)
+    on_time = np.repeat([0.0, 50.0, 100.0, 150.0], 15)
+    stragglers = np.array([1.0, 2.0, 51.0, 101.0])
+    ts = np.concatenate([on_time, stragglers])
+    n = ts.size
+    reports = oracle.privatize(
+        np.random.default_rng(93).integers(0, 6, n), rng=94
+    )
+    spec = WindowSpec.session(5.0, allowed_lateness=0.0)
+    arrival = np.arange(n)
+    fast = _stream(
+        oracle, reports, slice_reports, ts, arrival, spec,
+        chunk=15, reference=False,
+    )
+    slow = _stream(
+        oracle, reports, slice_reports, ts, arrival, spec,
+        chunk=15, reference=True,
+    )
+    assert fast[1].late_reports == 4
+    assert fast[1].absorbed_reports + fast[1].late_reports == n
+    _assert_bit_identical(fast, slow)
+
+
+@pytest.mark.parametrize("micro_batch", [16, 64, 100_000])
+def test_micro_batch_collector_bit_identical_fixed_geometry(
+    slice_reports, micro_batch
+):
+    # Fixed panes, arrival skew bounded by allowed_lateness (the
+    # on-time regime): flush-on-would-seal folds the buffer at exactly
+    # the per-envelope sealing points, so micro-batching is *fully*
+    # invisible — snapshots, per-snapshot late counts, pane counts —
+    # even though panes seal mid-stream.
+    oracle = make_oracle("OLH", 8, 1.2)
+    n = 400
+    gen = np.random.default_rng(95)
+    ts = np.sort(gen.uniform(0.0, 40.0, n))
+    reports = oracle.privatize(gen.integers(0, 8, n), rng=96)
+    spec = WindowSpec.event_tumbling(10.0, allowed_lateness=2.0)
+    # Arrival is event order jittered by < allowed_lateness: nothing
+    # is ever late, but the watermark still seals panes mid-stream.
+    arrival = np.argsort(ts + gen.uniform(0.0, 1.5, n), kind="stable")
+
+    def run(mb):
+        return _stream(
+            oracle, reports, slice_reports, ts, arrival, spec,
+            chunk=13, reference=False, micro_batch=mb,
+        )
+
+    plain, batched = run(None), run(micro_batch)
+    assert plain[1].late_reports == 0
+    assert len(plain[1]) > 1  # panes really sealed mid-stream
+    _assert_bit_identical(plain, batched)
+
+
+def test_micro_batch_collector_straggler_invariants(slice_reports):
+    # Beyond allowed_lateness, deferring the watermark to flush
+    # boundaries is strictly more lenient: a batched run absorbs at
+    # least every report the unbatched run absorbed (never fewer),
+    # `absorbed + late == n` holds in both, and sealed windows are
+    # never disturbed by the extra absorbed data.
+    oracle = make_oracle("DE", 6, 1.0)
+    n = 300
+    gen = np.random.default_rng(103)
+    ts = gen.uniform(0.0, 40.0, n)  # unsorted: heavy cross-envelope skew
+    reports = oracle.privatize(gen.integers(0, 6, n), rng=104)
+    spec = WindowSpec.event_tumbling(10.0, allowed_lateness=2.0)
+    arrival = gen.permutation(n)
+
+    def run(mb):
+        return _stream(
+            oracle, reports, slice_reports, ts, arrival, spec,
+            chunk=13, reference=False, micro_batch=mb,
+        )[1]
+
+    plain = run(None)
+    batched = run(32)
+    assert plain.late_reports > 0  # the straggler path genuinely ran
+    assert plain.absorbed_reports + plain.late_reports == n
+    assert batched.absorbed_reports + batched.late_reports == n
+    assert batched.late_reports <= plain.late_reports
+    assert {s.window_index for s in plain} == {s.window_index for s in batched}
+
+
+@pytest.mark.parametrize("micro_batch", [16, 64])
+def test_micro_batch_collector_same_sessions(slice_reports, micro_batch):
+    # Session geometry: coalescing absorbs re-chunks arrival, so only
+    # creation serials / proto-session merge counts may shift — the
+    # sealed windows (extents, users, estimates), the partition, the
+    # late accounting and the ledger's final window extents must not.
+    oracle = make_oracle("HR", 8, 1.2)
+    n = 350
+    ts, gen = _bursty_times(n, gap=2.0, bursts=4, seed=97)
+    reports = oracle.privatize(gen.integers(0, 8, n), rng=98)
+    spec = WindowSpec.session(2.0, allowed_lateness=1e6)
+    arrival = gen.permutation(n)
+
+    def run(mb):
+        collector, result = _stream(
+            oracle, reports, slice_reports, ts, arrival, spec,
+            chunk=13, reference=False, micro_batch=mb,
+            user_model="disjoint_users",
+        )
+        extents = sorted(
+            s.group.split("[", 1)[1] for s in collector.ledger.spends
+        )
+        return collector, result, extents
+
+    _, plain, plain_extents = run(None)
+    _, batched, batched_extents = run(micro_batch)
+    assert plain.absorbed_reports == batched.absorbed_reports
+    assert plain.late_reports == batched.late_reports
+    assert len(plain) == len(batched)
+    for x, y in zip(
+        sorted(plain, key=lambda s: s.window_start),
+        sorted(batched, key=lambda s: s.window_start),
+    ):
+        assert (x.window_start, x.window_end) == (y.window_start, y.window_end)
+        assert x.window_users == y.window_users
+        assert np.array_equal(x.window_estimates, y.window_estimates)
+    assert plain_extents == batched_extents
+
+
+def _chunk_envelopes(reports, n, chunk):
+    return [
+        (f"e{i}", slice_report_batch(reports, np.arange(s, min(s + chunk, n))))
+        for i, s in enumerate(range(0, n, chunk))
+    ]
+
+
+@pytest.mark.parametrize("batch_size", [1, 3, 7, 100])
+def test_service_offer_batch_matches_per_envelope(batch_size):
+    # The folder coalescing several envelopes (including redeliveries
+    # *inside* a coalesced batch) must reach the same combiner result
+    # as per-envelope folding, with every duplicate still dropped.
+    oracle = make_oracle("OUE", 9, 1.3)
+    n = 180
+    gen = np.random.default_rng(99)
+    reports = oracle.privatize(gen.integers(0, 9, n), rng=100)
+    envelopes = _chunk_envelopes(reports, n, 12)
+    # each envelope delivered 1-3 times, duplicates interleaved
+    deliveries = []
+    for eid, payload in envelopes:
+        for _ in range(int(gen.integers(1, 4))):
+            deliveries.append((eid, payload))
+    deliveries = [deliveries[i] for i in gen.permutation(len(deliveries))]
+
+    def run(size):
+        folder = ShardFolder(oracle, worker_id=0)
+        core = CombinerCore(oracle, num_workers=1)
+        core.register(0)
+        flags_seen = []
+        for start in range(0, len(deliveries), size):
+            items = deliveries[start : start + size]
+            ship, flags = folder.offer_batch(items)
+            flags_seen.extend(flags)
+            if ship is not None:
+                core.receive(ship)
+                core.receive(ship)  # ship-level redelivery too
+        core.drain(0)
+        return folder, core.result(), flags_seen
+
+    folder_a, once, flags_a = run(1)
+    folder_b, coalesced, flags_b = run(batch_size)
+    assert flags_a == flags_b  # per-envelope ack flags identical
+    assert folder_a.duplicates == folder_b.duplicates
+    assert folder_b.envelopes == len(envelopes)
+    assert np.array_equal(once.estimated_counts, coalesced.estimated_counts)
+    assert coalesced.absorbed_reports == n
+    assert np.array_equal(
+        coalesced.estimated_counts,
+        oracle.accumulator().absorb(reports).finalize(),
+    )
+
+
+def test_service_offer_batch_windowed_pane_split():
+    # Timed envelopes coalesce across pane boundaries: the batch's pane
+    # split must land every report in the same pane as per-envelope
+    # folding, and the sealed fleet-wide windows must be bit-identical.
+    oracle = make_oracle("DE", 6, 1.1)
+    n = 160
+    gen = np.random.default_rng(101)
+    ts = np.sort(gen.uniform(0.0, 40.0, n))  # in-order: nothing is late
+    reports = oracle.privatize(gen.integers(0, 6, n), rng=102)
+    window = WindowSpec.event_tumbling(10.0, allowed_lateness=0.0)
+    envelopes = [
+        (
+            f"e{i}",
+            TimedReports(
+                ts[s : s + 8], slice_report_batch(reports, np.arange(s, min(s + 8, n)))
+            ),
+        )
+        for i, s in enumerate(range(0, n, 8))
+    ]
+
+    def run(size):
+        folder = ShardFolder(oracle, worker_id=0, window=window)
+        core = CombinerCore(oracle, num_workers=1, window=window)
+        core.register(0)
+        for start in range(0, len(envelopes), size):
+            ship, _ = folder.offer_batch(envelopes[start : start + size])
+            if ship is not None:
+                core.receive(ship)
+        core.drain(0)
+        return core.result()
+
+    once = run(1)
+    coalesced = run(5)
+    assert len(once.windows) == len(coalesced.windows)
+    for a, b in zip(once.windows, coalesced.windows):
+        assert (a.pane, a.start, a.end, a.users) == (b.pane, b.start, b.end, b.users)
+        assert np.array_equal(a.estimated_counts, b.estimated_counts)
+    assert np.array_equal(once.estimated_counts, coalesced.estimated_counts)
+    assert coalesced.late_reports == 0
+    assert coalesced.absorbed_reports == n

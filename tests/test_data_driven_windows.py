@@ -359,3 +359,69 @@ class TestSessionCollectorLifecycle:
         assert math.isclose(
             result.ledger.total_epsilon, oracle.privacy_spend().epsilon
         )
+
+
+class TestManyOpenSessions:
+    """Regression for the O(S²) open-session bookkeeping.
+
+    The sweep used to locate sessions with ``list.index`` and a linear
+    ``_insert_position`` scan; with hundreds of concurrent open
+    sessions that made every envelope O(S²).  The bisect structure
+    keeps a ``_starts`` mirror that must stay strictly increasing and
+    aligned with ``_sessions`` under out-of-order opens, extent
+    updates and merges — checked here at every stage.
+    """
+
+    GAP = 2.0
+    SPACING = 3.0  # 1.5 x gap: sessions stay pairwise > gap apart
+    S = 240  # concurrent open sessions
+
+    def _check_alignment(self, collector):
+        geometry = collector._geometry
+        starts = [s.start for s in geometry._sessions]
+        assert geometry._starts == starts
+        assert all(a < b for a, b in zip(starts, starts[1:]))
+
+    def test_shuffled_opens_extends_and_merges(self, slice_reports):
+        oracle = make_oracle("OUE", 4, 1.0)
+        S, gap = self.S, self.GAP
+        opens = self.SPACING * np.arange(S, dtype=np.float64)
+        extends = opens + 0.5
+        bridges = opens[0::2] + 1.5  # merge each even session into its successor
+        ts = np.concatenate([opens, extends, bridges])
+        n = ts.size
+        reports = oracle.privatize(
+            np.random.default_rng(7).integers(0, 4, n), rng=8
+        )
+        spec = WindowSpec.session(gap, allowed_lateness=1e9)
+        collector = EventTimeCollector(oracle, spec)
+        gen = np.random.default_rng(9)
+
+        # Round 1: opens arrive shuffled — bisect inserts land mid-list.
+        for i in gen.permutation(S):
+            collector.absorb(TimedReports(ts[[i]], slice_reports(reports, [i])))
+        assert collector.pane_count == S
+        self._check_alignment(collector)
+
+        # Round 2: shuffled extent updates against S open sessions.
+        for i in gen.permutation(np.arange(S, 2 * S)):
+            collector.absorb(TimedReports(ts[[i]], slice_reports(reports, [i])))
+        assert collector.pane_count == S
+        self._check_alignment(collector)
+
+        # Round 3: bridges merge every even session with its successor.
+        for i in gen.permutation(np.arange(2 * S, n)):
+            collector.absorb(TimedReports(ts[[i]], slice_reports(reports, [i])))
+        assert collector.pane_count == S // 2
+        assert collector.coalesced_panes == S // 2
+        self._check_alignment(collector)
+
+        result = collector.finish()
+        assert result.absorbed_reports == n
+        assert result.late_reports == 0
+        assert len(result) == S // 2
+        for k, snap in enumerate(sorted(result, key=lambda s: s.window_start)):
+            start = opens[2 * k]
+            assert snap.window_start == start
+            assert snap.window_end == start + self.SPACING + 0.5 + gap
+            assert snap.window_users == 5
