@@ -58,8 +58,6 @@ from repro.core.serialization import MAX_FRAME_BYTES, TruncatedFrameError
 from repro.core.timed import (
     TimedReports,
     batch_length,
-    concat_report_batches,
-    concat_timed_reports,
     merged_watermark,
     slice_report_batch,
 )
@@ -152,27 +150,40 @@ def _pane_bounds(window: WindowSpec, pane: int) -> tuple[float, float]:
 class ShipPayload:
     """One fold batch, ready to cross the worker → combiner wire.
 
-    ``panes`` maps tumbling pane index → the wire bytes of a fresh
-    accumulator holding exactly this batch's reports for that pane
-    (pane ``None`` when the service runs unwindowed).  ``frontier`` is
-    the worker's event-time frontier *after* folding the batch —
-    ``None`` until the worker has seen any event-time data.
+    ``sections`` holds one entry per client envelope folded into the
+    batch: ``(envelope_id, panes)``, where ``panes`` maps tumbling pane
+    index → the wire bytes of a fresh accumulator holding exactly that
+    envelope's reports for that pane (pane ``None`` when the service
+    runs unwindowed).  ``frontier`` is the worker's event-time frontier
+    *after* folding the batch — ``None`` until the worker has seen any
+    event-time data.
 
     A batch is one or more client envelopes coalesced by the ingest
-    micro-batcher: ``envelope_ids`` lists them (arrival order), and
-    ``envelope_id`` — the ship's dedup/ack key — is their ``"+"`` join.
-    A worker folds each client envelope id exactly once, so an id can
-    only ever appear in one distinct ship; redelivering the *ship*
-    (reconnect/reship) repeats the same key and the combiner's dedup
-    drops it whole.
+    micro-batcher; ``envelope_id`` — the ship's ack key — is the
+    ``"+"`` join of the member ids.  The joined key is **not** a dedup
+    key: batch grouping is not stable across worker restarts (a
+    respawned worker refolds whichever envelopes its clients still held
+    unacked, grouped differently), so the combiner dedups per *member*
+    id instead.  Keeping each member's partials in their own section is
+    what makes that possible — the combiner drops exactly the
+    already-merged members and merges the rest.
     """
 
     worker_id: int
     envelope_id: str
     frontier: float | None
     num_reports: int
-    panes: tuple[tuple[int | None, bytes], ...]
-    envelope_ids: tuple[str, ...] = ()
+    sections: tuple[tuple[str, tuple[tuple[int | None, bytes], ...]], ...]
+
+    @property
+    def envelope_ids(self) -> tuple[str, ...]:
+        """Member envelope ids, in arrival order."""
+        return tuple(eid for eid, _ in self.sections)
+
+    @property
+    def panes(self) -> tuple[tuple[int | None, bytes], ...]:
+        """All sections' pane partials, flattened in arrival order."""
+        return tuple(entry for _, panes in self.sections for entry in panes)
 
 
 class ShardFolder:
@@ -221,77 +232,103 @@ class ShardFolder:
         """Fold several envelopes as one coalesced batch.
 
         Per-envelope dedup is unchanged — an id already folded (or
-        repeated within the batch) is dropped and flagged — but the
-        surviving envelopes concatenate into a *single* report batch
-        before the pane split, so the argsort, the accumulator plan
-        lookups and the wire serialization are paid once per batch
-        instead of once per envelope.  Returns the coalesced ship
-        (``None`` when every envelope was a duplicate) plus one
-        duplicate flag per offered item, in order — exactly the flags
-        the per-envelope acks need.  The exact merge algebra makes the
-        coalesced fold bit-identical to folding each envelope alone.
+        repeated within the batch) is dropped and flagged — and every
+        fresh envelope folds into its *own* per-pane accumulators, one
+        ship section per envelope, so the combiner can keep deduping
+        per member id even when a worker restart regroups redelivered
+        envelopes into different batches.  What the batch amortizes is
+        everything around the fold: one ship (one wire frame and one
+        combiner round-trip) for the whole batch, one counter/dedup
+        update, and the daemon's coalesced per-envelope acks.  Returns
+        the coalesced ship (``None`` when every envelope was a
+        duplicate) plus one duplicate flag per offered item, in order —
+        exactly the flags the per-envelope acks need.  Because each
+        envelope folds alone, the coalesced fold is bit-identical to
+        per-envelope folding by construction.
         """
         flags: list[bool] = []
-        fresh_ids: list[str] = []
-        payloads: list[Any] = []
+        fresh: list[tuple[str, Any]] = []
         batch_ids: set[str] = set()
+        dup_count = 0
         for envelope_id, payload in items:
             envelope_id = str(envelope_id)
             if envelope_id in self._seen or envelope_id in batch_ids:
-                self.duplicates += 1
+                dup_count += 1
                 flags.append(True)
                 continue
             batch_ids.add(envelope_id)
-            fresh_ids.append(envelope_id)
-            payloads.append(payload)
+            fresh.append((envelope_id, payload))
             flags.append(False)
-        if not fresh_ids:
+        if not fresh:
+            self.duplicates += dup_count
             return None, flags
-        t0 = time.perf_counter()
-        n_timed = sum(isinstance(p, TimedReports) for p in payloads)
-        if n_timed and n_timed != len(payloads):
+        n_timed = sum(isinstance(p, TimedReports) for _, p in fresh)
+        if n_timed and n_timed != len(fresh):
             raise ValueError(
                 "cannot coalesce timed and raw report envelopes in one batch"
             )
-        if n_timed:
-            payload = concat_timed_reports(payloads)
-            timestamps = payload.timestamps
-            reports = payload.reports
-            if timestamps.size:
-                high = float(timestamps.max())
-                self._frontier = (
-                    high if self._frontier is None else max(self._frontier, high)
-                )
-        else:
-            if self._window is not None:
-                raise ValueError(
-                    "a windowed service needs timed envelopes; got a raw "
-                    f"{type(payloads[0]).__name__} batch"
-                )
-            timestamps = None
-            reports = concat_report_batches(payloads)
-        panes: list[tuple[int | None, bytes]] = []
-        if self._window is None or timestamps is None:
-            t1 = time.perf_counter()
-            acc = self._oracle.accumulator()
-            acc.absorb(reports)
-            panes.append((None, acc.to_bytes()))
-        else:
-            indices = _pane_indices(self._window, timestamps)
-            order = np.argsort(indices, kind="stable")
-            cuts = np.flatnonzero(np.diff(indices[order])) + 1
-            segments = np.split(order, cuts)
-            t1 = time.perf_counter()
-            for segment in segments:
+        if not n_timed and self._window is not None:
+            raise ValueError(
+                "a windowed service needs timed envelopes; got a raw "
+                f"{type(fresh[0][1]).__name__} batch"
+            )
+        # Count the flagged ids only now that the batch is accepted: a
+        # refused batch (mixed shapes) leaves every offered id unfolded
+        # and retryable, so nothing may have been counted for it.
+        self.duplicates += dup_count
+        t0 = time.perf_counter()
+        routed: list[
+            tuple[str, Any, list[tuple[int | None, np.ndarray | None]]]
+        ] = []
+        for envelope_id, payload in fresh:
+            if n_timed:
+                timestamps = payload.timestamps
+                reports = payload.reports
+                if timestamps.size:
+                    high = float(timestamps.max())
+                    self._frontier = (
+                        high
+                        if self._frontier is None
+                        else max(self._frontier, high)
+                    )
+            else:
+                timestamps = None
+                reports = payload
+            if self._window is None or timestamps is None:
+                segments: list[tuple[int | None, np.ndarray | None]] = [
+                    (None, None)
+                ]
+            else:
+                indices = _pane_indices(self._window, timestamps)
+                order = np.argsort(indices, kind="stable")
+                cuts = np.flatnonzero(np.diff(indices[order])) + 1
+                segments = [
+                    (int(indices[seg[0]]), seg)
+                    for seg in np.split(order, cuts)
+                    if seg.size
+                ]
+            routed.append((envelope_id, reports, segments))
+        t1 = time.perf_counter()
+        n = 0
+        sections: list[tuple[str, tuple[tuple[int | None, bytes], ...]]] = []
+        for envelope_id, reports, segments in routed:
+            panes: list[tuple[int | None, bytes]] = []
+            for pane, segment in segments:
                 acc = self._oracle.accumulator()
-                acc.absorb(slice_report_batch(reports, segment))
-                panes.append((int(indices[segment[0]]), acc.to_bytes()))
+                acc.absorb(
+                    reports
+                    if segment is None
+                    else slice_report_batch(reports, segment)
+                )
+                panes.append((pane, acc.to_bytes()))
+            sections.append((envelope_id, tuple(panes)))
+            n += batch_length(reports)
         t2 = time.perf_counter()
         self.route_seconds += t1 - t0
         self.absorb_seconds += t2 - t1
-        n = batch_length(reports)
         # Mark seen only after the fold succeeded: a refused batch
         # (mixed shapes, bad payload) leaves every id retryable.
+        fresh_ids = [envelope_id for envelope_id, _, _ in routed]
         self._seen.update(fresh_ids)
         self.envelopes += len(fresh_ids)
         self.batches += 1
@@ -302,8 +339,7 @@ class ShardFolder:
                 envelope_id="+".join(fresh_ids),
                 frontier=self._frontier,
                 num_reports=n,
-                panes=tuple(panes),
-                envelope_ids=tuple(fresh_ids),
+                sections=tuple(sections),
             ),
             flags,
         )
@@ -347,7 +383,7 @@ class WorkerServiceStats:
     ``fold_batches`` counts coalesced fold batches (equal to
     ``envelopes`` when micro-batching is off); ``route_seconds`` /
     ``absorb_seconds`` break the worker's fold CPU into classification
-    (concat + pane argsort/split) and accumulator folding — the
+    (frontier + pane argsort/split) and accumulator folding — the
     worker-side half of the stage story E20 reports.
     """
 
@@ -368,8 +404,12 @@ class CombinerCore:
     """The combiner's pure state: dedup, merge, watermark, seal, lateness.
 
     The combiner is the single source of truth for exactly-once
-    *effects* on top of at-least-once delivery: a ship whose envelope id
-    was already merged only advances the sender's frontier.  Frontiers
+    *effects* on top of at-least-once delivery: dedup is per client
+    envelope id (a ship section whose member id was already merged is
+    dropped individually), so even a ship that regroups redelivered
+    envelopes with fresh ones merges each member exactly once, and a
+    ship with nothing fresh only advances the sender's frontier.
+    Frontiers
     are kept as a running **max per worker** so a restarted worker
     (which rejoins with an empty frontier) can never drag the merged
     watermark backwards; a worker that has drained reports ``+inf`` and
@@ -438,8 +478,14 @@ class CombinerCore:
         return tuple(self._windows)
 
     def receive(self, ship: ShipPayload) -> bool:
-        """Merge one shipped envelope; ``False`` when it was a redelivery.
+        """Merge one shipped batch; ``False`` when every member was a redelivery.
 
+        Dedup is per *member* envelope id, never per ship: batch
+        grouping is not stable across worker restarts (a respawned
+        worker, its fold state gone, regroups whichever envelopes its
+        clients resend into new batches with new joined keys), so each
+        section is merged or dropped individually — already-merged
+        members count duplicate, fresh members merge exactly once.
         Either way the sender's frontier advances (a redelivered ship
         still proves how far the worker has read) and sealing re-runs.
         """
@@ -453,12 +499,14 @@ class CombinerCore:
             self._frontiers[worker_id] = max(
                 self._frontiers[worker_id], float(ship.frontier)
             )
-        fresh = ship.envelope_id not in self._seen
-        if not fresh:
-            self.duplicates += 1
-        else:
-            self._seen.add(ship.envelope_id)
-            for pane, payload in ship.panes:
+        fresh = False
+        for envelope_id, panes in ship.sections:
+            if envelope_id in self._seen:
+                self.duplicates += 1
+                continue
+            self._seen.add(envelope_id)
+            fresh = True
+            for pane, payload in panes:
                 if pane is None and self._window is not None:
                     raise ServiceError(
                         "unwindowed partial shipped to a windowed combiner; "
@@ -575,37 +623,44 @@ class ServiceResult:
 def _ship_to_message(ship: ShipPayload) -> tuple[dict, dict[str, np.ndarray]]:
     manifest = []
     arrays: dict[str, np.ndarray] = {}
-    for i, (pane, payload) in enumerate(ship.panes):
-        name = f"p{i}"
-        manifest.append([pane, name])
-        arrays[name] = np.frombuffer(payload, dtype=np.uint8)
+    counter = 0
+    for envelope_id, panes in ship.sections:
+        entries = []
+        for pane, payload in panes:
+            name = f"p{counter}"
+            counter += 1
+            entries.append([pane, name])
+            arrays[name] = np.frombuffer(payload, dtype=np.uint8)
+        manifest.append([envelope_id, entries])
     header = {
         "type": "ship",
         "worker": ship.worker_id,
         "envelope": ship.envelope_id,
-        "envelopes": list(ship.envelope_ids),
         "frontier": ship.frontier,
         "reports": ship.num_reports,
-        "panes": manifest,
+        "sections": manifest,
     }
     return header, arrays
 
 
 def _ship_from_message(header: dict, arrays: dict[str, np.ndarray]) -> ShipPayload:
-    panes = tuple(
-        (None if pane is None else int(pane), arrays[name].tobytes())
-        for pane, name in header["panes"]
+    sections = tuple(
+        (
+            str(envelope_id),
+            tuple(
+                (None if pane is None else int(pane), arrays[name].tobytes())
+                for pane, name in entries
+            ),
+        )
+        for envelope_id, entries in header["sections"]
     )
     frontier = header.get("frontier")
-    envelope_id = str(header["envelope"])
-    ids = header.get("envelopes") or [envelope_id]
     return ShipPayload(
         worker_id=int(header["worker"]),
-        envelope_id=envelope_id,
+        envelope_id=str(header["envelope"]),
         frontier=None if frontier is None else float(frontier),
         num_reports=int(header["reports"]),
-        panes=panes,
-        envelope_ids=tuple(str(i) for i in ids),
+        sections=sections,
     )
 
 
@@ -1517,9 +1572,13 @@ def run_distributed_collection(
         When set, each ingest daemon coalesces queued delivery
         envelopes into one fold batch of up to this many report rows
         (flushing immediately whenever the link goes idle), amortizing
-        per-envelope argsort/fold overheads for small uploads.  Acks,
-        redelivery dedup, and credit backpressure are per original
-        envelope, so at-least-once semantics are unchanged.
+        per-envelope ship round-trips and bookkeeping for small
+        uploads.  Acks, redelivery dedup, and credit backpressure are
+        per original envelope — a coalesced ship carries one partial
+        section per member envelope and the combiner dedups member by
+        member — so at-least-once semantics are unchanged even when a
+        worker restart regroups redelivered envelopes into different
+        batches.
     duplicate_every:
         Deliver every ``k``-th envelope of each worker's stream twice —
         at-least-once fault injection; estimates must not move.

@@ -1844,36 +1844,63 @@ class EventTimeCollector(_CollectorBase):
 
     @property
     def late_reports(self) -> int:
-        """Reports that arrived after their pane sealed (counted, not absorbed)."""
+        """Reports that arrived after their pane sealed (counted, not absorbed).
+
+        Like every read accessor below, this forces a flush of the
+        ``micro_batch`` coalescing buffer so the answer covers every
+        envelope offered so far.  The flush folds real data: it
+        advances the watermark (possibly sealing panes) and charges the
+        ledger, so on a capped ledger the read can raise
+        :class:`~repro.core.budget.BudgetExceededError` — the buffer is
+        restored, nothing is absorbed, and the read can be retried.
+        """
         self._flush_pending()
         return self._late
 
     @property
     def total_users(self) -> int:
-        """Reports absorbed since the stream started (late ones excluded)."""
+        """Reports absorbed since the stream started (late ones excluded).
+
+        Forces a flush of the coalescing buffer — see :attr:`late_reports`.
+        """
         self._flush_pending()
         return self._absorbed
 
     @property
     def pane_count(self) -> int:
-        """Live pane accumulators (open panes + panes held in the store)."""
+        """Live pane accumulators (open panes + panes held in the store).
+
+        Forces a flush of the coalescing buffer — see :attr:`late_reports`.
+        """
         self._flush_pending()
         return self._store.count + self._geometry.open_count()
 
     @property
     def coalesced_panes(self) -> int:
-        """Open panes merged away by late bridging reports (sessions only)."""
+        """Open panes merged away by late bridging reports (sessions only).
+
+        Forces a flush of the coalescing buffer — see :attr:`late_reports`.
+        """
         self._flush_pending()
         return self._geometry.merged_panes
 
     @property
     def stage_seconds(self) -> dict[str, float]:
-        """Cumulative CPU seconds per pipeline stage (route/charge/absorb/snapshot)."""
+        """Cumulative CPU seconds per pipeline stage (route/charge/absorb/snapshot).
+
+        Forces a flush of the coalescing buffer — see
+        :attr:`late_reports` — so the route/absorb totals cover the
+        same envelopes as the flushing counters above.
+        """
+        self._flush_pending()
         return dict(self._stage_seconds)
 
     @property
     def snapshots(self) -> list[StreamSnapshot]:
-        """Windows emitted so far (one per sealed pane, in event order)."""
+        """Windows emitted so far (one per sealed pane, in event order).
+
+        Forces a flush of the coalescing buffer — see :attr:`late_reports`.
+        """
         self._flush_pending()
         return list(self._snapshots)
 
@@ -2198,7 +2225,9 @@ def stream_collection(
         return _drive_event_stream(
             oracle, spec, n, materialize, ts, chunk_size, collector_kwargs
         )
-    if micro_batch is not None:
+    if micro_batch:
+        # An explicit 0/None means "disabled" everywhere else in the
+        # API, so it is a no-op here too rather than an error.
         raise ValueError(
             "micro_batch applies to event-time windows only (the "
             "count-time collector already folds whole chunks)"
@@ -2258,7 +2287,9 @@ def stream_reports(
         return _drive_event_stream(
             oracle, window, n, materialize, ts, chunk_size, collector_kwargs
         )
-    if micro_batch is not None:
+    if micro_batch:
+        # An explicit 0/None means "disabled" everywhere else in the
+        # API, so it is a no-op here too rather than an error.
         raise ValueError(
             "micro_batch applies to event-time windows only (the "
             "count-time collector already folds whole chunks)"

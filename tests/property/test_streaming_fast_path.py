@@ -336,3 +336,48 @@ def test_service_offer_batch_windowed_pane_split():
     assert np.array_equal(once.estimated_counts, coalesced.estimated_counts)
     assert coalesced.late_reports == 0
     assert coalesced.absorbed_reports == n
+
+
+def test_micro_batch_zero_is_disabled_everywhere():
+    # 0 means "disabled" on EventTimeCollector and
+    # run_distributed_collection; the count-time stream drivers must
+    # treat an explicit 0 as the same no-op instead of raising.
+    from repro.protocol import stream_collection
+    from repro.protocol.streaming import stream_reports
+
+    oracle = make_oracle("DE", 4, 1.0)
+    values = np.arange(40) % 4
+    result = stream_collection(
+        oracle, values, window_size=20, rng=1, micro_batch=0
+    )
+    assert result.absorbed_reports == 40
+    reports = oracle.privatize(values, rng=2)
+    result = stream_reports(
+        oracle, reports, window=WindowSpec.tumbling(20), micro_batch=0
+    )
+    assert result.absorbed_reports == 40
+    with pytest.raises(ValueError, match="event-time windows only"):
+        stream_collection(
+            oracle, values, window_size=20, rng=1, micro_batch=16
+        )
+
+
+def test_flushing_accessors_stay_consistent(slice_reports):
+    # Every read accessor — stage_seconds included — flushes the
+    # coalescing buffer, so counters and stage totals always describe
+    # the same set of folded envelopes.
+    oracle = make_oracle("DE", 6, 1.0)
+    n = 60
+    gen = np.random.default_rng(105)
+    # Keep every timestamp inside the first pane so the would-seal
+    # flush never fires and the envelope genuinely sits in the buffer.
+    ts = np.sort(gen.uniform(0.0, 8.0, n))
+    reports = oracle.privatize(gen.integers(0, 6, n), rng=106)
+    spec = WindowSpec.event_tumbling(10.0)
+    collector = EventTimeCollector(oracle, spec, micro_batch=100_000)
+    collector.absorb(TimedReports(ts, reports))
+    assert collector._pending  # genuinely buffered, below the budget
+    stages = collector.stage_seconds  # forces the flush
+    assert not collector._pending
+    assert stages["absorb"] > 0.0
+    assert collector.total_users == n

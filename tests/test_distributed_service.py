@@ -209,6 +209,92 @@ def core_result_after_drain(core):
     return core.result()
 
 
+def test_combiner_dedups_members_across_regrouped_batches():
+    # The restart hazard: a worker ships a coalesced batch, dies before
+    # acking every member envelope to its client, and the respawned
+    # worker (empty fold state) refolds the unacked subset into a
+    # differently-grouped batch with a new joined key.  The combiner
+    # must recognize the members individually — exactly-once merge is
+    # per member envelope, not per batch grouping.
+    oracle = make_oracle("OUE", 6, 1.0)
+    envelopes, reports = _envelopes(oracle, np.arange(60) % 6, 20)  # e0..e2
+    core = CombinerCore(oracle, num_workers=1)
+    core.register(0)
+    folder = ShardFolder(oracle, worker_id=0)
+    ship, _ = folder.offer_batch(envelopes)
+    assert ship.envelope_ids == ("e0", "e1", "e2")
+    assert core.receive(ship) is True
+    # Respawned worker: fresh dedup state, client resends the unacked tail.
+    restarted = ShardFolder(oracle, worker_id=0)
+    reship, _ = restarted.offer_batch(envelopes[1:])
+    assert reship is not None
+    assert reship.envelope_id != ship.envelope_id  # new grouping, new key
+    assert core.receive(reship) is False  # every member already merged
+    assert core.duplicates == 2
+    result = core_result_after_drain(core)
+    assert result.absorbed_reports == 60  # nothing merged twice
+    assert np.array_equal(
+        result.estimated_counts, oracle.estimate_counts(reports)
+    )
+
+
+def test_combiner_merges_only_fresh_members_of_regrouped_batch():
+    # Partial overlap: the regrouped redelivery mixes an already-merged
+    # envelope with genuinely fresh ones.  Only the fresh members merge.
+    oracle = make_oracle("OUE", 6, 1.0)
+    envelopes, reports = _envelopes(oracle, np.arange(80) % 6, 20)  # e0..e3
+    core = CombinerCore(oracle, num_workers=1)
+    core.register(0)
+    folder = ShardFolder(oracle, worker_id=0)
+    first, _ = folder.offer_batch(envelopes[:2])
+    assert core.receive(first) is True
+    restarted = ShardFolder(oracle, worker_id=0)
+    mixed, _ = restarted.offer_batch(envelopes[1:])  # e1 old, e2/e3 fresh
+    assert core.receive(mixed) is True  # some members were fresh
+    assert core.duplicates == 1
+    result = core_result_after_drain(core)
+    assert result.absorbed_reports == 80  # e1 counted exactly once
+    assert np.array_equal(
+        result.estimated_counts, oracle.estimate_counts(reports)
+    )
+
+
+def test_coalesced_ship_sections_round_trip_the_wire():
+    from repro.protocol.service import _ship_from_message, _ship_to_message
+
+    oracle = make_oracle("DE", 4, 1.0)
+    window = WindowSpec.event_tumbling(10.0)
+    folder = ShardFolder(oracle, window=window)
+    mk = lambda ts: TimedReports(
+        np.asarray(ts, float),
+        oracle.privatize(np.arange(len(ts)) % 4, rng=1),
+    )
+    ship, _ = folder.offer_batch([("a", mk([5.0, 25.0])), ("b", mk([7.0, 15.0]))])
+    assert [eid for eid, _ in ship.sections] == ["a", "b"]
+    header, arrays = _ship_to_message(ship)
+    rebuilt = _ship_from_message(*decode_message(encode_message(header, arrays)))
+    assert rebuilt == ship
+
+
+def test_refused_mixed_batch_counts_nothing_and_stays_retryable():
+    # A mixed timed/raw batch is refused whole: the duplicate counter
+    # must not keep the pre-validation flags, and every offered id —
+    # including the flagged ones — must remain retryable.
+    oracle = make_oracle("OUE", 6, 1.0)
+    envelopes, _ = _envelopes(oracle, np.arange(40) % 6, 20)  # e0, e1
+    timed = TimedReports(np.zeros(20), envelopes[1][1])
+    folder = ShardFolder(oracle, worker_id=0)
+    assert folder.offer("e0", envelopes[0][1]) is not None
+    with pytest.raises(ValueError, match="cannot coalesce"):
+        folder.offer_batch(
+            [("e0", envelopes[0][1]), ("t0", timed), ("e1", envelopes[1][1])]
+        )
+    assert folder.duplicates == 0  # the refused batch counted nothing
+    assert folder.envelopes == 1
+    ship, flags = folder.offer_batch([("e1", envelopes[1][1])])
+    assert ship is not None and flags == [False]  # e1 was still retryable
+
+
 def test_combiner_requires_registration_and_matching_config():
     oracle = make_oracle("OLH", 6, 1.0)
     other = make_oracle("OLH", 6, 2.0)
