@@ -1,0 +1,108 @@
+"""E21 benchmark: fault tolerance under load — what durability costs.
+
+The chaos-harness sweeps at 1M users: (1) checkpoint cadence K = 1,
+8, 64 ships versus an uncheckpointed baseline, every row asserted
+bit-identical to the single-host pipeline, with the acceptance bar —
+default-cadence overhead <= 10% — asserted inside the experiment at
+full scale; (2) one combiner SIGKILL per cadence, restored from the
+last durable checkpoint, measuring recovery latency; (3) degraded
+fleets: a killed worker lease-evicted with the loss invariant
+``absorbed + late + lost == n``, and a partitioned worker that heals
+bit-identically.  Emits the human ``E21.txt`` table and the
+machine-readable ``BENCH_E21.json`` (per-cadence throughput +
+overhead, recovery latency, degraded-mode loss) the perf trajectory
+tracks.
+
+``REPRO_BENCH_USERS`` scales the population down (CI smokes the chaos
+paths at tiny sizes); the committed results use the default 1M.
+"""
+
+import math
+import os
+
+from conftest import run_once
+
+from repro.experiments import get_experiment
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "1000000"))
+CADENCE_SWEEP = (1, 8, 64)
+
+
+def bench_e21_fault_tolerance(benchmark, save_table, save_bench_json):
+    table = run_once(
+        benchmark,
+        get_experiment("E21").run,
+        n=BENCH_USERS,
+        chunk_size=min(16_384, max(BENCH_USERS // 16, 1)),
+        cadence_sweep=CADENCE_SWEEP,
+        lease_timeout=1.0,
+        seed=21,
+    )
+    save_table("E21", table)
+
+    cadence_rows = [r for r in table.rows if r[0] == "cadence"]
+    crash_rows = [r for r in table.rows if r[0] == "crash"]
+    degraded_rows = [r for r in table.rows if r[0] == "degraded"]
+
+    # Cadence sweep: baseline + one row per K, all bit-identical, real
+    # checkpoints written at every K.
+    assert cadence_rows[0][1] == "no checkpointing"
+    assert len(cadence_rows) == 1 + len(CADENCE_SWEEP)
+    for row in cadence_rows:
+        assert row[2] == BENCH_USERS and row[4] > 0.0
+        assert row[6] == 0 and row[11] is True
+    for row in cadence_rows[1:]:
+        assert row[8] > 0 and row[9] > 0.0  # checkpoints actually written
+
+    # Crash sweep: exactly one supervisor restart per row, recovered
+    # bit-identically, with measurable recovery latency.
+    assert len(crash_rows) == len(CADENCE_SWEEP)
+    for row in crash_rows:
+        assert row[6] == 1 and row[7] > 0.0
+        assert row[10] == 0 and row[11] is True
+
+    # Degraded fleet: the kill row loses reports (accounted inside the
+    # experiment via the loss invariant), the healed partition loses none.
+    killed, healed = degraded_rows
+    assert killed[10] > 0 and killed[11] is False
+    assert healed[10] == 0 and healed[11] is True
+
+    def cadence_payload(row):
+        return {
+            "config": row[1],
+            "users_per_sec": row[4],
+            "overhead_pct": row[5],
+            "checkpoints": row[8],
+            "checkpoint_mb": row[9],
+        }
+
+    save_bench_json(
+        "E21",
+        {
+            "experiment": "E21",
+            "users": BENCH_USERS,
+            "cadence": [cadence_payload(row) for row in cadence_rows],
+            "crash": [
+                {
+                    "config": row[1],
+                    "users_per_sec": row[4],
+                    "restarts": row[6],
+                    "recovery_seconds": row[7],
+                }
+                for row in crash_rows
+            ],
+            "degraded": {
+                "killed": {
+                    "config": killed[1],
+                    "lost": killed[10],
+                },
+                "healed_partition": {
+                    "config": healed[1],
+                    "lost": healed[10],
+                },
+            },
+        },
+    )
+    assert all(
+        not math.isnan(row[5]) for row in cadence_rows
+    ), "cadence overhead must be measured, not NaN"

@@ -46,7 +46,7 @@ import pathlib
 import shutil
 import sys
 
-BENCH_IDS = ("E14", "E15", "E16", "E17", "E18", "E19", "E20")
+BENCH_IDS = ("E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21")
 
 #: Metric keys where larger is better (fail when fresh < baseline / tol).
 THROUGHPUT_KEYS = {"users_per_sec", "users_per_second"}
@@ -61,6 +61,10 @@ LATENCY_KEYS = {
     "mean_snapshot_ms": 1.0,
     "merge_ms": 1.0,
     "finalize_ms": 1.0,
+    # Supervisor restart latency: close crashed combiner, restore the
+    # checkpoint, rebind the port.  Sub-second restores are all I/O +
+    # scheduler noise at smoke scale.
+    "recovery_seconds": 0.5,
 }
 
 

@@ -222,6 +222,7 @@ class PrivacyLedger:
     epsilon_cap: float | None = None
     delta_cap: float | None = None
     spends: list[PrivacySpend] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.epsilon_cap is not None:
@@ -482,6 +483,19 @@ class PrivacyLedger:
             group=group,
             enforce_cap=enforce_cap,
         )
+
+    def add_note(self, note: str) -> None:
+        """Append an operational annotation to the audit trail.
+
+        Notes record events that change how the *accuracy* of the
+        account should be read without changing the privacy arithmetic —
+        e.g. a collection service evicting a dead worker and counting
+        its reports lost.  They are plain strings alongside ``spends``
+        and deliberately outside the :meth:`savepoint`/:meth:`rollback`
+        transaction: an eviction happened even if a later charge rolls
+        back, and erasing the record would hide a degraded run.
+        """
+        self.notes.append(str(note))
 
     def is_charged(self, key: object) -> bool:
         """Whether a one-time memo key has already been charged.

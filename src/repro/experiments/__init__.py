@@ -35,6 +35,7 @@ EXPERIMENT_MODULES = {
     "E18": "e18_decode_kernels",
     "E19": "e19_session_windows",
     "E20": "e20_distributed_service",
+    "E21": "e21_fault_tolerance",
     "A1": "a01_the_theta",
     "A2": "a02_olh_g",
     "A3": "a03_dbitflip_d",

@@ -46,6 +46,7 @@ from repro.core import OptimalLocalHashing
 from repro.eval.tables import Table
 from repro.experiments.e16_windowed_accounting import drifting_zipf
 from repro.protocol import (
+    FaultPlan,
     WindowSpec,
     run_distributed_collection,
     run_sharded_collection,
@@ -165,7 +166,7 @@ def run(
         chunk_size=chunk_size,
         backend=backend,
         rng=seed + 1,
-        duplicate_every=duplicate_every,
+        faults=FaultPlan(seed=seed, duplicate_every=duplicate_every),
     )
     assert np.array_equal(svc.estimated_counts, baselines[widest]), (
         "duplicate delivery must be invisible to estimates"

@@ -45,9 +45,10 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import math
+import os
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Callable
 
 import numpy as np
@@ -61,8 +62,12 @@ from repro.core.timed import (
     merged_watermark,
     slice_report_batch,
 )
+from repro.protocol.chaos import FaultPlan, FrameFilter, WorkerFault, chaos_unit
 from repro.protocol.streaming import WindowSpec
 from repro.protocol.transport import (
+    CheckpointError,
+    decode_checkpoint,
+    encode_checkpoint,
     pack_timed_reports,
     read_message,
     unpack_timed_reports,
@@ -107,15 +112,41 @@ class ServiceError(RuntimeError):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded reconnect/reship policy with exponential backoff."""
+    """Bounded reconnect/reship policy with exponential backoff and jitter.
+
+    Jitter exists for recovery storms: when a combiner restarts, every
+    worker's link died at the same instant, and un-jittered exponential
+    backoff would march the whole fleet back in lockstep — each retry
+    wave arriving as one thundering herd against a daemon still
+    restoring its checkpoint.  ``delay`` therefore scales the capped
+    exponential backoff by ``1 - jitter * u`` with ``u ∈ [0, 1)``.
+
+    **Determinism contract**: ``u`` is :func:`~repro.protocol.chaos.chaos_unit`
+    over ``(salt, key, attempt)`` — no RNG stream, no wall clock — so the
+    same ``(salt, key, attempt)`` always yields the same delay, replays
+    of a seeded chaos run back off identically, and the jittered delay
+    never exceeds the un-jittered cap.  Callers de-synchronize a fleet
+    by passing a distinct ``key`` per retrier (the daemons pass their
+    worker id); a chaos run seeds ``salt`` from its
+    :class:`~repro.protocol.chaos.FaultPlan`.
+    """
 
     attempts: int = 6
     base_delay: float = 0.05
     max_delay: float = 1.0
+    jitter: float = 0.5
+    salt: int = 0
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based), capped."""
-        return min(self.base_delay * (2.0**attempt), self.max_delay)
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter!r}")
+
+    def delay(self, attempt: int, key: object = None) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped, jittered."""
+        base = min(self.base_delay * (2.0**attempt), self.max_delay)
+        if not self.jitter:
+            return base
+        return base * (1.0 - self.jitter * chaos_unit(self.salt, "retry", key, int(attempt)))
 
 
 def _check_window(window: WindowSpec | None) -> WindowSpec | None:
@@ -416,6 +447,28 @@ class CombinerCore:
     stops holding the fleet back.  Every expected worker starts at
     ``-inf`` — panes cannot seal before a worker that has not yet spoken
     gets a chance to contribute.
+
+    **Leases** bound how long one silent worker may pin that ``-inf``:
+    with ``lease_timeout`` set, every message from a worker (register,
+    ship, heartbeat, drain) renews its lease, and :meth:`check_leases`
+    *evicts* a worker whose lease expired — its frontier stops counting
+    toward the merged watermark, the fleet degrades gracefully instead
+    of stalling, and the dead worker's undelivered reports are counted
+    ``lost`` by the orchestrator so the fleet invariant stays exact:
+    ``absorbed + late + lost == n``.  Any later message from an evicted
+    worker heals it (re-joining the expected set); panes already sealed
+    during its absence stay sealed, so a healed straggler's reports for
+    them count late, never merged.  Time is explicit — every mutator
+    takes ``now`` (the daemons pass ``time.monotonic()``, pure tests
+    pass logical time) — so liveness is as unit-testable as dedup.
+
+    **Checkpointing**: :meth:`to_checkpoint` serializes the whole state
+    (open pane accumulators as their versioned wire bytes, dedup ids,
+    frontiers, sealed windows, counters) and :meth:`from_checkpoint`
+    rebuilds an equivalent core.  Because delivery is at-least-once and
+    dedup is per member envelope id, a combiner restored from *any*
+    checkpoint — plus the workers' reships of everything not yet covered
+    by it — converges to the bit-identical state of a crash-free run.
     """
 
     def __init__(
@@ -424,16 +477,31 @@ class CombinerCore:
         num_workers: int,
         *,
         window: WindowSpec | None = None,
+        lease_timeout: float | None = None,
+        now: float | None = None,
     ) -> None:
         check_positive_int(num_workers, name="num_workers")
+        if lease_timeout is not None and not lease_timeout > 0:
+            raise ValueError(
+                f"lease_timeout must be > 0, got {lease_timeout!r}"
+            )
         self._oracle = oracle
         self.num_workers = int(num_workers)
         self._window = _check_window(window)
+        self._lease_timeout = (
+            None if lease_timeout is None else float(lease_timeout)
+        )
+        epoch = 0.0 if now is None else float(now)
         self._frontiers: dict[int, float] = {
             w: -math.inf for w in range(self.num_workers)
         }
+        self._last_heard: dict[int, float] = {
+            w: epoch for w in range(self.num_workers)
+        }
         self._registered: set[int] = set()
         self._drained: set[int] = set()
+        self._evicted: set[int] = set()
+        self._eviction_log: list[tuple[int, float]] = []
         self._seen: set[str] = set()
         self._panes: dict[int | None, Any] = {}
         self._sealed: set[int | None] = set()
@@ -442,7 +510,9 @@ class CombinerCore:
         self._worker_stats: dict[int, WorkerServiceStats] = {}
         self.absorbed = 0
         self.late = 0
+        self.lost = 0
         self.duplicates = 0
+        self.ships_received = 0
 
     def _check_worker(self, worker_id: int) -> int:
         worker_id = int(worker_id)
@@ -453,14 +523,129 @@ class CombinerCore:
             )
         return worker_id
 
-    def register(self, worker_id: int) -> None:
+    def _touch(self, worker_id: int, now: float | None) -> None:
+        """Renew a worker's lease; any sign of life heals an eviction."""
+        if now is not None:
+            self._last_heard[worker_id] = max(
+                self._last_heard[worker_id], float(now)
+            )
+        self._evicted.discard(worker_id)
+
+    def register(self, worker_id: int, now: float | None = None) -> None:
         """Admit a worker (idempotent — a restarted worker re-registers)."""
-        self._registered.add(self._check_worker(worker_id))
+        worker_id = self._check_worker(worker_id)
+        self._registered.add(worker_id)
+        self._touch(worker_id, now)
+
+    def heartbeat(
+        self,
+        worker_id: int,
+        frontier: float | None,
+        now: float | None = None,
+    ) -> None:
+        """A worker's idle-timer liveness signal: lease + frontier advance.
+
+        Carries the worker's current event-time frontier so a shard
+        whose clients went quiet does not hold the merged watermark at
+        its last ship — panes can seal off heartbeats alone.
+        """
+        worker_id = self._check_worker(worker_id)
+        if worker_id not in self._registered:
+            raise ServiceError(
+                f"heartbeat from unregistered worker {worker_id}"
+            )
+        self._touch(worker_id, now)
+        if frontier is not None:
+            self._frontiers[worker_id] = max(
+                self._frontiers[worker_id], float(frontier)
+            )
+            self._seal()
+
+    def check_leases(self, now: float) -> tuple[int, ...]:
+        """Evict workers whose lease expired; returns the newly evicted.
+
+        Only meaningful with ``lease_timeout`` configured.  A drained
+        worker needs no lease (its ``+inf`` frontier holds nothing
+        back); an already-evicted worker is not re-evicted.  Eviction
+        re-runs sealing — removing a dead ``-inf`` frontier is exactly
+        what lets the merged watermark advance again.
+        """
+        if self._lease_timeout is None:
+            return ()
+        now = float(now)
+        newly = tuple(
+            w
+            for w in range(self.num_workers)
+            if w not in self._drained
+            and w not in self._evicted
+            and now - self._last_heard[w] > self._lease_timeout
+        )
+        for w in newly:
+            self._evicted.add(w)
+            self._eviction_log.append((w, now))
+        if newly:
+            self._seal()
+        return newly
+
+    def count_lost(self, reports: int) -> None:
+        """Account reports an evicted worker's clients could not deliver.
+
+        Called by the orchestrator with the row count of every envelope
+        a client still held unacked when its worker died — the end-to-end
+        ack means an unacked envelope was never merged, so these reports
+        are *lost*, not absorbed, and ``absorbed + late + lost == n``.
+        """
+        if reports < 0:
+            raise ValueError(f"lost report count must be >= 0, got {reports}")
+        self.lost += int(reports)
+
+    def liveness(self, now: float) -> dict[int, dict]:
+        """Per-worker liveness snapshot, for diagnostics and eviction logs."""
+        now = float(now)
+        return {
+            w: {
+                "frontier": self._frontiers[w],
+                "last_heard_age": now - self._last_heard[w],
+                "registered": w in self._registered,
+                "drained": w in self._drained,
+                "evicted": w in self._evicted,
+            }
+            for w in range(self.num_workers)
+        }
+
+    @property
+    def evicted_workers(self) -> tuple[int, ...]:
+        """Workers ever evicted (healed or not), in first-eviction order."""
+        seen: list[int] = []
+        for w, _ in self._eviction_log:
+            if w not in seen:
+                seen.append(w)
+        return tuple(seen)
+
+    @property
+    def eviction_log(self) -> tuple[tuple[int, float], ...]:
+        """``(worker, at)`` eviction events, in order."""
+        return tuple(self._eviction_log)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any eviction ever happened (healed or not)."""
+        return bool(self._eviction_log)
 
     @property
     def merged_frontier(self) -> float:
-        """Fleet event-time frontier: min over per-worker frontiers."""
-        return merged_watermark(self._frontiers.values())
+        """Fleet event-time frontier: min over live workers' frontiers.
+
+        An evicted worker's frontier stops counting — that is the whole
+        point of eviction.  With every worker evicted nothing more can
+        arrive, so the frontier is ``+inf`` and every open pane seals.
+        """
+        live = [
+            f for w, f in self._frontiers.items() if w not in self._evicted
+        ]
+        if not live:
+            return math.inf
+        return merged_watermark(live)
 
     @property
     def watermark(self) -> float:
@@ -470,14 +655,15 @@ class CombinerCore:
 
     @property
     def all_drained(self) -> bool:
-        return len(self._drained) == self.num_workers
+        """Whether every expected worker drained — or was evicted dead."""
+        return len(self._drained | self._evicted) == self.num_workers
 
     @property
     def sealed_windows(self) -> tuple[SealedWindow, ...]:
         """Panes sealed so far, in seal order."""
         return tuple(self._windows)
 
-    def receive(self, ship: ShipPayload) -> bool:
+    def receive(self, ship: ShipPayload, now: float | None = None) -> bool:
         """Merge one shipped batch; ``False`` when every member was a redelivery.
 
         Dedup is per *member* envelope id, never per ship: batch
@@ -495,6 +681,8 @@ class CombinerCore:
                 f"ship from unregistered worker {worker_id}; a worker must "
                 "register before shipping"
             )
+        self._touch(worker_id, now)
+        self.ships_received += 1
         if ship.frontier is not None:
             self._frontiers[worker_id] = max(
                 self._frontiers[worker_id], float(ship.frontier)
@@ -529,9 +717,15 @@ class CombinerCore:
         self._seal()
         return fresh
 
-    def drain(self, worker_id: int, stats: WorkerServiceStats | None = None) -> None:
+    def drain(
+        self,
+        worker_id: int,
+        stats: WorkerServiceStats | None = None,
+        now: float | None = None,
+    ) -> None:
         """A worker finished: frontier → +inf, stop holding the fleet back."""
         worker_id = self._check_worker(worker_id)
+        self._touch(worker_id, now)
         self._frontiers[worker_id] = math.inf
         self._drained.add(worker_id)
         if stats is not None:
@@ -560,9 +754,11 @@ class CombinerCore:
             )
 
     def result(self) -> "ServiceResult":
-        """The fleet-wide outcome; every worker must have drained."""
+        """The fleet-wide outcome; every worker drained or was evicted."""
         if not self.all_drained:
-            missing = sorted(set(range(self.num_workers)) - self._drained)
+            missing = sorted(
+                set(range(self.num_workers)) - self._drained - self._evicted
+            )
             raise ServiceError(f"workers {missing} have not drained")
         estimates = self._total.finalize() if self.absorbed else None
         workers = tuple(
@@ -577,19 +773,197 @@ class CombinerCore:
             num_workers=self.num_workers,
             merged_frontier=self.merged_frontier,
             workers=workers,
+            degraded=self.degraded,
+            evicted_workers=self.evicted_workers,
+            lost_reports=self.lost,
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _window_fingerprint(self) -> list | None:
+        """The window identity a checkpoint is only valid against."""
+        if self._window is None:
+            return None
+        w = self._window
+        return [w.kind, w.size, w.stride, w.allowed_lateness, w.origin, w.gap]
+
+    def to_checkpoint(self) -> bytes:
+        """Serialize the whole combiner state to one restorable blob.
+
+        Rides the existing versioned codecs: the blob is a
+        :func:`~repro.protocol.transport.encode_checkpoint` message whose
+        arrays hold each open pane accumulator's (and the running
+        total's) wire bytes — config-fingerprint checked on restore —
+        plus each sealed window's estimate vector.  Everything else
+        (dedup ids, frontiers, lease/eviction state, counters, worker
+        stats) travels in the JSON header.  Lease *ages* are deliberately
+        not captured: ``_last_heard`` is in the writing process's
+        monotonic clock, meaningless after a restart, so
+        :meth:`from_checkpoint` re-baselines every undrained lease at
+        restore time.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "total": np.frombuffer(self._total.to_bytes(), dtype=np.uint8)
+        }
+        panes = []
+        for i, (pane, acc) in enumerate(self._panes.items()):
+            name = f"pane{i}"
+            arrays[name] = np.frombuffer(acc.to_bytes(), dtype=np.uint8)
+            panes.append([pane, name])
+        windows = []
+        for i, sealed in enumerate(self._windows):
+            name = f"win{i}"
+            arrays[name] = np.asarray(sealed.estimated_counts)
+            windows.append(
+                {
+                    "pane": sealed.pane,
+                    "start": sealed.start,
+                    "end": sealed.end,
+                    "users": sealed.users,
+                    "merged_frontier": sealed.merged_frontier,
+                    "counts": name,
+                }
+            )
+        stats = [
+            [w, asdict(s)] for w, s in sorted(self._worker_stats.items())
+        ]
+        header = {
+            "num_workers": self.num_workers,
+            "window": self._window_fingerprint(),
+            "frontiers": [[w, f] for w, f in sorted(self._frontiers.items())],
+            "registered": sorted(self._registered),
+            "drained": sorted(self._drained),
+            "evicted": sorted(self._evicted),
+            "evictions": [[w, at] for w, at in self._eviction_log],
+            "seen": sorted(self._seen),
+            "sealed": sorted(self._sealed),
+            "panes": panes,
+            "windows": windows,
+            "worker_stats": stats,
+            "counters": {
+                "absorbed": self.absorbed,
+                "late": self.late,
+                "lost": self.lost,
+                "duplicates": self.duplicates,
+                "ships_received": self.ships_received,
+            },
+        }
+        return encode_checkpoint(header, arrays)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        oracle: FrequencyOracle,
+        data: bytes,
+        *,
+        window: WindowSpec | None = None,
+        lease_timeout: float | None = None,
+        now: float | None = None,
+    ) -> "CombinerCore":
+        """Rebuild a combiner core from a :meth:`to_checkpoint` blob.
+
+        The caller supplies the oracle and window spec it *believes* the
+        checkpoint was written under; a mismatched window fingerprint or
+        accumulator config fingerprint raises
+        :class:`~repro.protocol.transport.CheckpointError` rather than
+        resuming with silently wrong semantics.  All undrained leases
+        are re-baselined at ``now`` — a restored combiner gives every
+        worker a full fresh lease to reconnect before eviction.
+        """
+        header, arrays = decode_checkpoint(data)
+        core = cls(
+            oracle,
+            int(header["num_workers"]),
+            window=window,
+            lease_timeout=lease_timeout,
+            now=now,
+        )
+        expected = core._window_fingerprint()
+        found = header.get("window")
+        if found != expected:
+            raise CheckpointError(
+                f"checkpoint was written under window {found!r} but the "
+                f"restoring combiner is configured with {expected!r}"
+            )
+        try:
+            core._total = oracle.accumulator().from_bytes(
+                arrays["total"].tobytes()
+            )
+            for pane, name in header["panes"]:
+                core._panes[
+                    None if pane is None else int(pane)
+                ] = oracle.accumulator().from_bytes(arrays[name].tobytes())
+        except ValueError as exc:
+            raise CheckpointError(
+                f"checkpoint accumulators do not match this oracle: {exc}"
+            ) from exc
+        core._frontiers = {
+            int(w): float(f) for w, f in header["frontiers"]
+        }
+        core._registered = {int(w) for w in header["registered"]}
+        core._drained = {int(w) for w in header["drained"]}
+        core._evicted = {int(w) for w in header["evicted"]}
+        core._eviction_log = [
+            (int(w), float(at)) for w, at in header["evictions"]
+        ]
+        core._seen = set(header["seen"])
+        core._sealed = {
+            None if p is None else int(p) for p in header["sealed"]
+        }
+        for entry in header["windows"]:
+            core._windows.append(
+                SealedWindow(
+                    pane=int(entry["pane"]),
+                    start=float(entry["start"]),
+                    end=float(entry["end"]),
+                    users=int(entry["users"]),
+                    estimated_counts=arrays[entry["counts"]],
+                    merged_frontier=float(entry["merged_frontier"]),
+                )
+            )
+        for w, fields in header["worker_stats"]:
+            frontier = fields.get("frontier")
+            core._worker_stats[int(w)] = WorkerServiceStats(
+                worker_id=int(w),
+                envelopes=int(fields["envelopes"]),
+                duplicate_envelopes=int(fields["duplicate_envelopes"]),
+                reports=int(fields["reports"]),
+                ships=int(fields["ships"]),
+                reships=int(fields["reships"]),
+                shipped_bytes=int(fields["shipped_bytes"]),
+                frontier=None if frontier is None else float(frontier),
+                fold_batches=int(fields.get("fold_batches", 0)),
+                route_seconds=float(fields.get("route_seconds", 0.0)),
+                absorb_seconds=float(fields.get("absorb_seconds", 0.0)),
+            )
+        counters = header["counters"]
+        core.absorbed = int(counters["absorbed"])
+        core.late = int(counters["late"])
+        core.lost = int(counters["lost"])
+        core.duplicates = int(counters["duplicates"])
+        core.ships_received = int(counters["ships_received"])
+        return core
 
 
 @dataclass(frozen=True)
 class ServiceResult:
     """Outcome and accounting of one distributed collection round.
 
-    ``absorbed_reports + late_reports`` equals every report the fleet
-    accepted exactly once — duplicates are dropped by id before they
-    count anywhere, stragglers for sealed panes count late rather than
-    vanish.  ``estimated_counts`` is the all-time estimate (every
-    absorbed report, windowed or not); ``windows`` holds the per-pane
-    estimates the merged watermark sealed along the way.
+    ``absorbed_reports + late_reports + lost_reports`` equals every
+    report the fleet accepted exactly once — duplicates are dropped by
+    id before they count anywhere, stragglers for sealed panes count
+    late rather than vanish, and an evicted dead worker's undelivered
+    reports count lost rather than silently shrinking the denominator.
+    ``estimated_counts`` is the all-time estimate (every absorbed
+    report, windowed or not); ``windows`` holds the per-pane estimates
+    the merged watermark sealed along the way.
+
+    ``degraded`` is True whenever any worker was ever lease-evicted
+    (even if it later healed): the estimates are then built from a
+    fleet that was not fully live, and downstream consumers should read
+    them with ``lost_reports`` in hand.  ``combiner_restarts`` /
+    ``recovery_seconds`` / ``checkpoints`` / ``checkpoint_bytes``
+    account the fault-tolerance machinery itself.
     """
 
     estimated_counts: np.ndarray | None
@@ -603,6 +977,13 @@ class ServiceResult:
     wall_seconds: float = 0.0
     backend: str = "inline"
     ledger: PrivacyLedger | None = None
+    degraded: bool = False
+    evicted_workers: tuple[int, ...] = ()
+    lost_reports: int = 0
+    combiner_restarts: int = 0
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def num_users(self) -> int:
@@ -720,10 +1101,24 @@ class CombinerDaemon:
     """TCP shell around :class:`CombinerCore`.
 
     Accepts any number of worker connections; each connection speaks
-    ``register`` / ``ship`` / ``drain`` and gets a ``ship_ack`` /
-    ``drain_ack`` per message.  A connection dying mid-frame is normal
-    operation (a crashed worker): the core's state is untouched and the
-    worker's resends arrive on a fresh connection.
+    ``register`` / ``ship`` / ``heartbeat`` / ``drain`` and gets a
+    ``ship_ack`` / ``drain_ack`` per acked message.  A connection dying
+    mid-frame is normal operation (a crashed worker): the core's state
+    is untouched and the worker's resends arrive on a fresh connection.
+
+    **Checkpointing**: with ``checkpoint_path`` set, the daemon
+    snapshots :meth:`CombinerCore.to_checkpoint` to that file — written
+    atomically (tmp + fsync + rename) so a crash mid-write leaves the
+    previous checkpoint intact — every ``checkpoint_every_ships`` ships
+    and/or ``checkpoint_every_seconds`` seconds, always immediately
+    before a ``drain_ack`` (a drained worker's data must never be lost),
+    and a daemon constructed over an existing checkpoint file restores
+    and resumes.  Each ``ship_ack`` carries ``durable``: whether the
+    acked ship is covered by a checkpoint already on disk.  Workers keep
+    acked-but-not-durable ships in an at-risk buffer and reship them on
+    reconnect, which is exactly what makes a crash bit-invisible at any
+    cadence: the restored core re-receives everything a checkpoint
+    missed and per-member dedup drops everything it did not.
     """
 
     def __init__(
@@ -735,13 +1130,65 @@ class CombinerDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        checkpoint_path: str | None = None,
+        checkpoint_every_ships: int = 8,
+        checkpoint_every_seconds: float | None = None,
+        lease_timeout: float | None = None,
+        crash_at_ship: int | None = None,
     ) -> None:
-        self.core = CombinerCore(oracle, num_workers, window=window)
+        check_positive_int(checkpoint_every_ships, name="checkpoint_every_ships")
+        if checkpoint_every_seconds is not None and checkpoint_every_seconds <= 0:
+            raise ValueError(
+                "checkpoint_every_seconds must be > 0, got "
+                f"{checkpoint_every_seconds!r}"
+            )
+        if crash_at_ship is not None:
+            check_positive_int(crash_at_ship, name="crash_at_ship")
+        now = time.monotonic()
+        if checkpoint_path is not None and os.path.exists(checkpoint_path):
+            with open(checkpoint_path, "rb") as fh:
+                self.core = CombinerCore.from_checkpoint(
+                    oracle,
+                    fh.read(),
+                    window=window,
+                    lease_timeout=lease_timeout,
+                    now=now,
+                )
+            if self.core.num_workers != int(num_workers):
+                raise CheckpointError(
+                    f"checkpoint expects {self.core.num_workers} workers, "
+                    f"daemon configured for {num_workers}"
+                )
+            self.restored = True
+        else:
+            self.core = CombinerCore(
+                oracle,
+                num_workers,
+                window=window,
+                lease_timeout=lease_timeout,
+                now=now,
+            )
+            self.restored = False
         self._host = host
         self._port = port
         self._max_frame_bytes = max_frame_bytes
+        self._checkpoint_path = checkpoint_path
+        self._checkpoint_every_ships = int(checkpoint_every_ships)
+        self._checkpoint_every_seconds = checkpoint_every_seconds
+        self._lease_timeout = lease_timeout
+        self._crash_at_ship = crash_at_ship
+        self._ships_this_run = 0
+        self._ships_since_checkpoint = 0
+        self._last_checkpoint_time = now
+        # The restored state is already durable: acks may say so even
+        # before this incarnation writes its first checkpoint.
+        self._durable_seq = self.core.ships_received if self.restored else 0
+        self.checkpoints = 0
+        self.checkpoint_bytes = 0
         self._server: asyncio.AbstractServer | None = None
         self._done = asyncio.Event()
+        self._crashed = asyncio.Event()
+        self._lease_task: asyncio.Task | None = None
         self._tracker = _HandlerTracker()
 
     async def start(self) -> None:
@@ -749,10 +1196,91 @@ class CombinerDaemon:
             self._handle_worker, self._host, self._port
         )
         self._address = self._server.sockets[0].getsockname()[:2]
+        if self._lease_timeout is not None:
+            self._lease_task = asyncio.ensure_future(self._lease_loop())
 
     @property
     def address(self) -> tuple[str, int]:
         return self._address
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed.is_set()
+
+    # -- durability ----------------------------------------------------------
+
+    def _write_checkpoint(self) -> None:
+        """Atomically persist the core: tmp file + fsync + rename.
+
+        ``os.replace`` is atomic on POSIX, so a reader (a restarting
+        combiner) only ever sees a complete old or complete new blob —
+        a crash between ``fsync`` and ``replace`` merely wastes the tmp
+        file.
+        """
+        blob = self.core.to_checkpoint()
+        tmp = f"{self._checkpoint_path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._checkpoint_path)
+        self._durable_seq = self.core.ships_received
+        self._ships_since_checkpoint = 0
+        self._last_checkpoint_time = time.monotonic()
+        self.checkpoints += 1
+        self.checkpoint_bytes += len(blob)
+
+    def _maybe_checkpoint(self, *, force: bool = False) -> None:
+        if self._checkpoint_path is None:
+            return
+        if force or self._ships_since_checkpoint >= self._checkpoint_every_ships:
+            self._write_checkpoint()
+            return
+        if (
+            self._checkpoint_every_seconds is not None
+            and time.monotonic() - self._last_checkpoint_time
+            >= self._checkpoint_every_seconds
+        ):
+            self._write_checkpoint()
+
+    def _durable(self) -> bool:
+        """Whether every ship received so far is covered on disk.
+
+        Without a checkpoint path there is nothing to recover *from*, so
+        acks claim durability unconditionally — the no-crash-tolerance
+        configuration the pre-checkpoint service always ran in.
+        """
+        if self._checkpoint_path is None:
+            return True
+        return self._durable_seq >= self.core.ships_received
+
+    def _crash(self) -> None:
+        """Simulate SIGKILL: abort every transport, flush nothing.
+
+        Injected by a :class:`~repro.protocol.chaos.FaultPlan` between
+        receiving a ship and acking it — the recovery-critical window.
+        The supervisor (or a test) restarts a fresh daemon from the
+        checkpoint file on the same port.
+        """
+        self._crashed.set()
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._tracker.writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def _lease_loop(self) -> None:
+        """Periodically expire leases; eviction may complete the fleet."""
+        interval = max(self._lease_timeout / 4.0, 0.01)
+        while not (self._done.is_set() or self._crashed.is_set()):
+            await asyncio.sleep(interval)
+            if self.core.check_leases(time.monotonic()):
+                # Eviction moved the watermark/fleet accounting: make
+                # the degradation durable like any other state change.
+                self._maybe_checkpoint(force=True)
+                if self.core.all_drained:
+                    self._done.set()
 
     async def _handle_worker(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -765,19 +1293,45 @@ class CombinerDaemon:
                 )
                 if message is None:
                     break
+                if self._crashed.is_set():
+                    break  # a dead combiner processes nothing
                 header, arrays = message
                 kind = header.get("type")
+                now = time.monotonic()
                 if kind == "register":
-                    self.core.register(int(header["worker"]))
+                    self.core.register(int(header["worker"]), now=now)
                 elif kind == "ship":
                     ship = _ship_from_message(header, arrays)
-                    self.core.receive(ship)
+                    self.core.receive(ship, now=now)
+                    self._ships_this_run += 1
+                    self._ships_since_checkpoint += 1
+                    if (
+                        self._crash_at_ship is not None
+                        and self._ships_this_run >= self._crash_at_ship
+                    ):
+                        # Crash after merging, before checkpoint or ack:
+                        # the worker never learns this delivery landed.
+                        self._crash()
+                        break
+                    self._maybe_checkpoint()
                     write_message(
                         writer,
-                        {"type": "ship_ack", "envelope": ship.envelope_id},
+                        {
+                            "type": "ship_ack",
+                            "envelope": ship.envelope_id,
+                            "durable": self._durable(),
+                        },
                         max_frame_bytes=self._max_frame_bytes,
                     )
                     await writer.drain()
+                elif kind == "heartbeat":
+                    frontier = header.get("frontier")
+                    self.core.heartbeat(
+                        int(header["worker"]),
+                        None if frontier is None else float(frontier),
+                        now=now,
+                    )
+                    self._maybe_checkpoint()
                 elif kind == "drain":
                     worker_id = int(header["worker"])
                     frontier = header.get("frontier")
@@ -794,7 +1348,10 @@ class CombinerDaemon:
                         route_seconds=float(header.get("route_seconds", 0.0)),
                         absorb_seconds=float(header.get("absorb_seconds", 0.0)),
                     )
-                    self.core.drain(worker_id, stats)
+                    self.core.drain(worker_id, stats, now=now)
+                    # A drain_ack releases the worker's client-side state
+                    # for good, so the drained data must be on disk first.
+                    self._maybe_checkpoint(force=True)
                     write_message(
                         writer,
                         {"type": "drain_ack", "worker": worker_id},
@@ -811,15 +1368,37 @@ class CombinerDaemon:
             self._tracker.leave(writer)
             await _close_writer(writer)
 
+    def _drain_diagnostics(self) -> str:
+        """Per-worker liveness detail for the wait_drained timeout error."""
+        live = self.core.liveness(time.monotonic())
+        parts = []
+        for w, info in sorted(live.items()):
+            if info["drained"]:
+                continue
+            state = "evicted" if info["evicted"] else (
+                "registered" if info["registered"] else "never heard"
+            )
+            parts.append(
+                f"w{w}: {state}, frontier={info['frontier']}, "
+                f"last heard {info['last_heard_age']:.1f}s ago"
+            )
+        return "; ".join(parts) or "all workers drained"
+
     async def wait_drained(self, timeout: float | None = None) -> None:
         try:
             await asyncio.wait_for(self._done.wait(), timeout)
         except asyncio.TimeoutError as exc:
             raise ServiceError(
-                "combiner timed out waiting for the fleet to drain"
+                f"combiner at {self._address} timed out waiting for the "
+                f"fleet to drain ({self.core.ships_received} ships "
+                f"received; undrained: {self._drain_diagnostics()})"
             ) from exc
 
     async def close(self) -> None:
+        if self._lease_task is not None:
+            self._lease_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._lease_task
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -837,6 +1416,18 @@ class IngestDaemon:
     upstream link reconnects with bounded exponential backoff and
     reships every unacked payload in order; the combiner's dedup absorbs
     any double delivery that recovery causes.
+
+    Two fault-tolerance behaviours ride the upstream link.  **At-risk
+    retention**: a ship acked ``durable=False`` (the combiner merged it
+    but no checkpoint covers it yet) is moved to an at-risk buffer
+    instead of being forgotten, and every reconnect reships at-risk
+    ships before unacked ones — so a combiner crash-restore re-receives
+    whatever its checkpoint missed; a ``durable=True`` ack clears the
+    whole buffer (ships are received serially, so a checkpoint covering
+    the newest covers them all).  **Heartbeats**: with
+    ``heartbeat_interval`` set, an idle worker periodically sends its
+    frontier upstream, renewing its lease and letting panes seal while
+    its clients are quiet.
     """
 
     def __init__(
@@ -853,11 +1444,16 @@ class IngestDaemon:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         retry: RetryPolicy = RetryPolicy(),
         micro_batch: int = 0,
+        heartbeat_interval: float | None = None,
     ) -> None:
         check_positive_int(credit_window, name="credit_window")
         check_positive_int(expected_clients, name="expected_clients")
         if micro_batch:
             check_positive_int(micro_batch, name="micro_batch")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval!r}"
+            )
         self.folder = ShardFolder(oracle, worker_id, window=window)
         self.worker_id = int(worker_id)
         self._combiner_address = combiner_address
@@ -868,19 +1464,25 @@ class IngestDaemon:
         self._expected_clients = int(expected_clients)
         self._max_frame_bytes = max_frame_bytes
         self._retry = retry
+        self._heartbeat_interval = heartbeat_interval
         self._server: asyncio.AbstractServer | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
+        self._heartbeat_task: asyncio.Task | None = None
         self._conn_lock = asyncio.Lock()
         self._ship_lock = asyncio.Lock()
         self._pending: dict[str, asyncio.Future] = {}
         self._unacked: dict[str, ShipPayload] = {}
+        self._at_risk: dict[str, ShipPayload] = {}
         self._drain_future: asyncio.Future | None = None
         self._drain_sent = False
         self._clients_done = 0
         self._done = asyncio.Event()
         self._tracker = _HandlerTracker()
         self._closing = False
+        self._killed = False
+        self._partition_until = 0.0
+        self._last_ack_time: float | None = None
         self._failure: ServiceError | None = None
         self.ships = 0
         self.reships = 0
@@ -892,6 +1494,8 @@ class IngestDaemon:
             self._handle_client, self._host, self._port
         )
         self._address = self._server.sockets[0].getsockname()[:2]
+        if self._heartbeat_interval is not None:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
 
     @property
     def address(self) -> tuple[str, int]:
@@ -906,6 +1510,10 @@ class IngestDaemon:
 
     async def close(self) -> None:
         self._closing = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._heartbeat_task
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -916,23 +1524,83 @@ class IngestDaemon:
                 await self._reader_task
         await _close_writer(self._writer)
 
+    # -- fault injection hooks (driven by a FaultPlan) -----------------------
+
+    def partition(self, seconds: float) -> None:
+        """Sever the upstream link for ``seconds`` (network partition).
+
+        The combiner side sees the connection die; this side's
+        reconnect logic waits out the partition *before* spending any
+        retry attempts, then recovers normally — re-register, reship
+        at-risk + unacked, resume.  Long partitions therefore surface as
+        lease evictions upstream, not as local retry exhaustion.
+        """
+        if seconds <= 0:
+            raise ValueError(f"partition seconds must be > 0, got {seconds!r}")
+        self._partition_until = time.monotonic() + float(seconds)
+        if self._writer is not None and self._writer.transport is not None:
+            self._writer.transport.abort()
+
+    def simulate_kill(self) -> None:
+        """Drop dead without draining: leases, not this daemon, inform the fleet.
+
+        The inline-backend analogue of SIGKILL on a process worker —
+        every socket is aborted, nothing is flushed, no drain is sent,
+        and ``run()`` returns without raising (the *fleet* handles the
+        death via lease eviction; the local orchestrator has nothing to
+        recover).
+        """
+        self._killed = True
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._tracker.writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._writer is not None and self._writer.transport is not None:
+            self._writer.transport.abort()
+        self._done.set()
+
     # -- upstream (combiner) link -------------------------------------------
 
-    async def _ensure_connected(self) -> None:
-        """Connect (or reconnect) upstream; reships unacked payloads.
+    def _link_diagnostics(self) -> str:
+        """Outstanding-work summary for retry-exhaustion errors."""
+        age = (
+            "never"
+            if self._last_ack_time is None
+            else f"{time.monotonic() - self._last_ack_time:.1f}s ago"
+        )
+        return (
+            f"{len(self._unacked)} unacked + {len(self._at_risk)} at-risk "
+            f"ships outstanding, drain "
+            f"{'sent' if self._drain_sent else 'not sent'}, last combiner "
+            f"ack {age}"
+        )
 
-        Bounded retry with exponential backoff; exhausting the policy
-        fails the daemon and every caller waiting on an ack.
+    async def _ensure_connected(self) -> None:
+        """Connect (or reconnect) upstream; reships at-risk then unacked.
+
+        Bounded retry with jittered exponential backoff; exhausting the
+        policy fails the daemon and every caller waiting on an ack.  An
+        injected partition is waited out *before* the retry budget is
+        spent — a partition is scheduled downtime, not combiner death.
         """
         if self._writer is not None and not self._writer.is_closing():
             return
         async with self._conn_lock:
             if self._writer is not None and not self._writer.is_closing():
                 return
+            while time.monotonic() < self._partition_until:
+                await asyncio.sleep(
+                    min(0.02, self._partition_until - time.monotonic())
+                )
             last_error: Exception | None = None
             for attempt in range(self._retry.attempts):
                 if attempt:
-                    await asyncio.sleep(self._retry.delay(attempt - 1))
+                    await asyncio.sleep(
+                        self._retry.delay(attempt - 1, key=self.worker_id)
+                    )
                 try:
                     reader, writer = await asyncio.open_connection(
                         *self._combiner_address
@@ -942,6 +1610,19 @@ class IngestDaemon:
                         {"type": "register", "worker": self.worker_id},
                         max_frame_bytes=self._max_frame_bytes,
                     )
+                    # At-risk first (they are older), then unacked: the
+                    # combiner re-receives in original ship order and
+                    # its per-member dedup drops whatever survived in
+                    # the checkpoint it restored from.
+                    for ship in list(self._at_risk.values()):
+                        header, arrays = _ship_to_message(ship)
+                        write_message(
+                            writer,
+                            header,
+                            arrays,
+                            max_frame_bytes=self._max_frame_bytes,
+                        )
+                        self.reships += 1
                     for ship in list(self._unacked.values()):
                         header, arrays = _ship_to_message(ship)
                         write_message(
@@ -971,7 +1652,7 @@ class IngestDaemon:
             failure = ServiceError(
                 f"worker {self.worker_id} could not reach the combiner at "
                 f"{self._combiner_address} after {self._retry.attempts} "
-                f"attempts: {last_error}"
+                f"attempts ({self._link_diagnostics()}): {last_error}"
             )
             self._fail(failure)
             raise failure
@@ -997,10 +1678,20 @@ class IngestDaemon:
                 header, _ = message
                 kind = header.get("type")
                 if kind == "ship_ack":
-                    future = self._pending.pop(str(header["envelope"]), None)
+                    self._last_ack_time = time.monotonic()
+                    durable = bool(header.get("durable", True))
+                    envelope_id = str(header["envelope"])
+                    if durable:
+                        # Ships are received serially, so a checkpoint
+                        # covering this ship covers every earlier one:
+                        # the whole at-risk buffer is safe on disk.  A
+                        # non-durable ack leaves at-risk ships at risk.
+                        self._at_risk.clear()
+                    future = self._pending.pop(envelope_id, None)
                     if future is not None and not future.done():
-                        future.set_result(True)
+                        future.set_result(durable)
                 elif kind == "drain_ack":
+                    self._last_ack_time = time.monotonic()
                     if (
                         self._drain_future is not None
                         and not self._drain_future.done()
@@ -1046,17 +1737,58 @@ class IngestDaemon:
                     break  # recorded by _fail; the future carries it
                 except _CONNECTION_ERRORS:
                     await _close_writer(self._writer)
-                    await asyncio.sleep(self._retry.delay(attempt))
+                    await asyncio.sleep(
+                        self._retry.delay(attempt, key=self.worker_id)
+                    )
             else:
                 self._fail(
                     ServiceError(
                         f"worker {self.worker_id} exhausted "
                         f"{self._retry.attempts} attempts shipping envelope "
-                        f"{ship.envelope_id!r}"
+                        f"{ship.envelope_id!r} to the combiner at "
+                        f"{self._combiner_address} "
+                        f"({self._link_diagnostics()})"
                     )
                 )
-        await future
+        durable = await future
         self._unacked.pop(ship.envelope_id, None)
+        if not durable:
+            # Merged upstream but not yet covered by a checkpoint: keep
+            # the payload until a durable ack proves it crash-safe.
+            self._at_risk[ship.envelope_id] = ship
+
+    async def _heartbeat_loop(self) -> None:
+        """Send the frontier upstream whenever the link sits idle.
+
+        Strictly passive: it never reconnects (a background task must
+        not burn the retry budget or fail the daemon) and stays silent
+        while a ship/drain is mid-flight, during a partition, or while
+        the link is down — the reader task owns recovery.
+        """
+        while True:
+            await asyncio.sleep(self._heartbeat_interval)
+            if self._closing or self._done.is_set() or self._failure is not None:
+                return
+            if time.monotonic() < self._partition_until:
+                continue
+            if self._ship_lock.locked() or self._conn_lock.locked():
+                continue  # active traffic already renews the lease
+            writer = self._writer
+            if writer is None or writer.is_closing():
+                continue
+            try:
+                write_message(
+                    writer,
+                    {
+                        "type": "heartbeat",
+                        "worker": self.worker_id,
+                        "frontier": self.folder.frontier,
+                    },
+                    max_frame_bytes=self._max_frame_bytes,
+                )
+                await writer.drain()
+            except _CONNECTION_ERRORS:
+                pass  # the reader task notices and recovers the link
 
     def _drain_header(self) -> dict:
         header = dict(self.folder.stats_header())
@@ -1194,14 +1926,25 @@ class IngestDaemon:
 # -- client feeder -----------------------------------------------------------
 
 
+def _payload_rows(payload: Any) -> int:
+    return (
+        len(payload)
+        if isinstance(payload, TimedReports)
+        else batch_length(payload)
+    )
+
+
 async def feed_envelopes(
     address: tuple[str, int] | Callable[[], tuple[str, int]],
     envelopes: list[tuple[str, Any]],
     *,
-    duplicate_ids: frozenset[str] | set[str] = frozenset(),
-    restart_after: int | None = None,
-    restart_callback: Callable[[], Any] | None = None,
+    frame_filter: FrameFilter | None = None,
+    ack_timeout: float | None = None,
+    fault_after: int | None = None,
+    fault_callback: Callable[[], Any] | None = None,
+    fault_mode: str = "restart",
     retry: RetryPolicy = RetryPolicy(),
+    retry_key: object = None,
     max_frame_bytes: int = MAX_FRAME_BYTES,
 ) -> dict:
     """Send report envelopes to one ingest worker, at-least-once.
@@ -1211,31 +1954,87 @@ async def feed_envelopes(
     every sent-but-unacked envelope, and on any connection failure
     reconnects (``address`` may be a callable so a restarted worker's
     new port is picked up) and resends the whole unacked window — the
-    worker's dedup makes the redelivery harmless.  ``duplicate_ids``
-    deliberately sends those envelopes twice (delivery-fault injection);
-    ``restart_callback`` fires once, just before the
-    ``restart_after``-th envelope is first sent, so a test can kill and
-    respawn the worker mid-stream.
+    worker's dedup makes the redelivery harmless.
+
+    ``frame_filter`` (from :meth:`~repro.protocol.chaos.FaultPlan.frame_filter`)
+    injects transport faults deterministically: duplicated envelopes are
+    enqueued as two deliveries, a *dropped* frame is silently withheld
+    (the window then stalls until ``ack_timeout`` fires, which is
+    treated as a dead link: reconnect and resend — so drops require an
+    ``ack_timeout``), a *delayed* frame sleeps before sending.  After a
+    drop, no further frame is sent on that connection — the worker acks
+    in receipt order, so sending past the hole would desynchronize the
+    FIFO ack check below; the reconnect resends the whole window in
+    order instead.
+
+    ``fault_callback`` fires once, scheduled by ``fault_after`` and
+    shaped by ``fault_mode``: ``"restart"`` fires just before the
+    ``fault_after``-th envelope is first sent, then reconnects and
+    resends (the callback respawns the worker); ``"partition"`` fires at
+    the same point but keeps this connection alive (the callback severs
+    the worker's *upstream* link, and this client simply experiences
+    slow acks); ``"kill"`` quiesces first — stops sending, drains every
+    outstanding ack so the delivered/undelivered split is exact — then
+    fires and returns immediately with ``undelivered`` mapping each
+    never-delivered envelope id to its report row count (the fleet's
+    ``lost`` accounting input).  The end-to-end ack is what makes that
+    split exact: an acked envelope was merged by the combiner, an
+    unacked one never was.
     """
+    if fault_mode not in ("restart", "kill", "partition"):
+        raise ValueError(f"unknown fault_mode {fault_mode!r}")
+    if (
+        frame_filter is not None
+        and frame_filter.drop_rate > 0.0
+        and ack_timeout is None
+    ):
+        raise ValueError("a dropping frame_filter needs an ack_timeout")
     resolve = address if callable(address) else (lambda: address)
     pending: deque[tuple[str, Any]] = deque()
-    for envelope_id, payload in envelopes:
-        pending.append((envelope_id, payload))
-        if envelope_id in duplicate_ids:
+    for index, (envelope_id, payload) in enumerate(envelopes):
+        copies = (
+            1 if frame_filter is None else frame_filter.copies(index, envelope_id)
+        )
+        for _ in range(copies):
             pending.append((envelope_id, payload))
     inflight: deque[tuple[str, Any]] = deque()
     reader = writer = None
     credits = 1
-    sent = resent = duplicate_acks = failures = first_sends = 0
-    restart_fired = restart_callback is None or restart_after is None
+    sent = resent = duplicate_acks = failures = first_sends = acked = 0
+    dropped = delayed = 0
+    send_attempts: dict[str, int] = {}
+    delivered_ids: set[str] = set()
+    fault_pending = fault_callback is not None and fault_after is not None
+    hole = False  # a dropped frame sits unsendable-past in the window
 
     async def connect():
-        nonlocal reader, writer, credits
+        nonlocal reader, writer, credits, hole
         reader, writer = await asyncio.open_connection(*resolve())
         hello = await read_message(reader, max_frame_bytes=max_frame_bytes)
         if hello is None or hello[0].get("type") != "hello":
             raise ConnectionResetError("worker did not say hello")
         credits = int(hello[0].get("credits", 1))
+        hole = False
+
+    async def read_ack():
+        if ack_timeout is None:
+            return await read_message(reader, max_frame_bytes=max_frame_bytes)
+        try:
+            return await asyncio.wait_for(
+                read_message(reader, max_frame_bytes=max_frame_bytes),
+                ack_timeout,
+            )
+        except asyncio.TimeoutError as exc:
+            # A stalled window is indistinguishable from (and here,
+            # deliberately caused by) a lost frame: treat as link death.
+            raise ConnectionResetError("ack timeout") from exc
+
+    def undelivered_rows() -> dict[str, int]:
+        rows: dict[str, int] = {}
+        for envelope_id, payload in [*inflight, *pending]:
+            if envelope_id not in delivered_ids:
+                rows.setdefault(envelope_id, _payload_rows(payload))
+        return rows
 
     try:
         while pending or inflight:
@@ -1249,25 +2048,75 @@ async def feed_envelopes(
                         resent += len(inflight)
                         inflight.clear()
                     await connect()
-                while pending and len(inflight) < credits:
-                    if not restart_fired and first_sends >= restart_after:
-                        restart_fired = True
-                        await _close_writer(writer)
-                        await restart_callback()
-                        raise ConnectionResetError("worker restarted")
+                quiescing = (
+                    fault_pending
+                    and fault_mode == "kill"
+                    and acked + len(inflight) >= fault_after
+                )
+                while pending and len(inflight) < credits and not hole:
+                    if quiescing:
+                        break
+                    if (
+                        fault_pending
+                        and fault_mode != "kill"
+                        and first_sends >= fault_after
+                    ):
+                        fault_pending = False
+                        if fault_mode == "restart":
+                            await _close_writer(writer)
+                            await fault_callback()
+                            raise ConnectionResetError("worker restarted")
+                        await fault_callback()  # partition: keep feeding
                     item = pending.popleft()
+                    envelope_id = item[0]
+                    action = "deliver"
+                    if frame_filter is not None:
+                        attempt = send_attempts.get(envelope_id, 0)
+                        send_attempts[envelope_id] = attempt + 1
+                        action = frame_filter.action(envelope_id, attempt)
+                    if action == "drop":
+                        # Withhold the frame but keep the envelope in the
+                        # window: its ack never comes, the ack_timeout
+                        # declares the link dead, and the reconnect
+                        # resends.  Nothing more may be sent past the
+                        # hole — acks are FIFO in *receipt* order.
+                        dropped += 1
+                        inflight.append(item)
+                        hole = True
+                        continue
+                    if action == "delay":
+                        delayed += 1
+                        await asyncio.sleep(frame_filter.delay_seconds)
                     header, arrays = pack_timed_reports(item[1])
-                    header.update(type="reports", envelope=item[0])
+                    header.update(type="reports", envelope=envelope_id)
                     write_message(
                         writer, header, arrays, max_frame_bytes=max_frame_bytes
                     )
                     inflight.append(item)
                     sent += 1
                     first_sends += 1
+                    quiescing = (
+                        fault_pending
+                        and fault_mode == "kill"
+                        and acked + len(inflight) >= fault_after
+                    )
+                if quiescing and not inflight:
+                    # Quiescent: every sent envelope is acked (merged
+                    # end-to-end), everything else never left.  Kill.
+                    fault_pending = False
+                    await _close_writer(writer)
+                    await fault_callback()
+                    return {
+                        "sent": sent,
+                        "resent": resent,
+                        "duplicate_acks": duplicate_acks,
+                        "dropped": dropped,
+                        "delayed": delayed,
+                        "delivered": acked,
+                        "undelivered": undelivered_rows(),
+                    }
                 await writer.drain()
-                message = await read_message(
-                    reader, max_frame_bytes=max_frame_bytes
-                )
+                message = await read_ack()
                 if message is None:
                     raise ConnectionResetError("worker closed mid-stream")
                 header, _ = message
@@ -1281,6 +2130,8 @@ async def feed_envelopes(
                     )
                 if header.get("duplicate"):
                     duplicate_acks += 1
+                delivered_ids.add(expected_id)
+                acked += 1
                 failures = 0
             except _CONNECTION_ERRORS:
                 await _close_writer(writer)
@@ -1289,9 +2140,11 @@ async def feed_envelopes(
                 if failures > retry.attempts:
                     raise ServiceError(
                         f"client gave up on worker at {resolve()} after "
-                        f"{failures - 1} consecutive connection failures"
+                        f"{failures - 1} consecutive connection failures "
+                        f"({len(inflight)} in flight, {len(pending)} unsent, "
+                        f"{acked} acked)"
                     )
-                await asyncio.sleep(retry.delay(failures - 1))
+                await asyncio.sleep(retry.delay(failures - 1, key=retry_key))
         for attempt in range(retry.attempts + 1):
             try:
                 if writer is None or writer.is_closing():
@@ -1310,14 +2163,21 @@ async def feed_envelopes(
                 await _close_writer(writer)
                 writer = None
                 if attempt == retry.attempts:
-                    raise ServiceError("client could not hand off eof")
-                await asyncio.sleep(retry.delay(attempt))
+                    raise ServiceError(
+                        f"client could not hand off eof to the worker at "
+                        f"{resolve()} after {retry.attempts + 1} attempts"
+                    )
+                await asyncio.sleep(retry.delay(attempt, key=retry_key))
     finally:
         await _close_writer(writer)
     return {
         "sent": sent,
         "resent": resent,
         "duplicate_acks": duplicate_acks,
+        "dropped": dropped,
+        "delayed": delayed,
+        "delivered": acked,
+        "undelivered": {},
     }
 
 
@@ -1360,6 +2220,7 @@ def _ingest_process_main(
     credit_window: int,
     max_frame_bytes: int,
     micro_batch: int = 0,
+    heartbeat_interval: float | None = None,
 ) -> None:
     """Entry point of one spawned ingest-worker process.
 
@@ -1376,6 +2237,7 @@ def _ingest_process_main(
             credit_window=credit_window,
             max_frame_bytes=max_frame_bytes,
             micro_batch=micro_batch,
+            heartbeat_interval=heartbeat_interval,
         )
         await daemon.start()
         conn.send(daemon.address)
@@ -1385,11 +2247,18 @@ def _ingest_process_main(
 
 
 class _ProcessWorker:
-    """Parent-side handle on one spawned ingest worker (restartable)."""
+    """Parent-side handle on one spawned ingest worker (restartable).
 
-    def __init__(self, ctx, spawn_args: tuple) -> None:
+    ``timeout`` is the caller's service timeout: both the wait for the
+    spawned process to report its bound port and the shutdown join are
+    derived from it, so a slow CI machine gets the same patience the
+    caller granted the whole run instead of a hard-coded cliff.
+    """
+
+    def __init__(self, ctx, spawn_args: tuple, timeout: float = 300.0) -> None:
         self._ctx = ctx
         self._spawn_args = spawn_args
+        self._timeout = float(timeout)
         self.process = None
         self.address: tuple[str, int] | None = None
 
@@ -1405,7 +2274,8 @@ class _ProcessWorker:
         loop = asyncio.get_running_loop()
         try:
             self.address = await asyncio.wait_for(
-                loop.run_in_executor(None, parent.recv), timeout=60.0
+                loop.run_in_executor(None, parent.recv),
+                timeout=self._timeout,
             )
         except (EOFError, asyncio.TimeoutError) as exc:
             raise ServiceError(
@@ -1421,10 +2291,179 @@ class _ProcessWorker:
         await loop.run_in_executor(None, self.process.join)
         await self.start()
 
+    async def kill(self) -> None:
+        """SIGKILL the worker and leave it dead (lease eviction's job)."""
+        loop = asyncio.get_running_loop()
+        self.process.kill()
+        await loop.run_in_executor(None, self.process.join)
+
     def stop(self) -> None:
         if self.process is not None and self.process.is_alive():
             self.process.terminate()
-            self.process.join(timeout=10.0)
+            self.process.join(timeout=self._timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+
+
+class _CombinerSupervisor:
+    """Combiner lifecycle with crash-restart: the fault-tolerant shell.
+
+    Runs one :class:`CombinerDaemon` generation at a time and watches it
+    concurrently with the feeding fleet: when a generation crashes (a
+    :class:`~repro.protocol.chaos.FaultPlan` SIGKILL between receiving a
+    ship and acking it), the supervisor immediately starts a successor
+    on the *same port* restored from the checkpoint file — workers keep
+    their configured combiner address and simply reconnect, reshipping
+    at-risk and unacked payloads into the restored core.  Checkpoint and
+    recovery accounting is accumulated across generations.
+    """
+
+    def __init__(
+        self,
+        oracle: FrequencyOracle,
+        num_workers: int,
+        *,
+        window: WindowSpec | None,
+        max_frame_bytes: int,
+        checkpoint_path: str | None,
+        checkpoint_every_ships: int,
+        checkpoint_every_seconds: float | None,
+        lease_timeout: float | None,
+        crash_at_ships: tuple[int, ...],
+    ) -> None:
+        self._oracle = oracle
+        self._num_workers = num_workers
+        self._window = window
+        self._max_frame_bytes = max_frame_bytes
+        self._checkpoint_path = checkpoint_path
+        self._checkpoint_every_ships = checkpoint_every_ships
+        self._checkpoint_every_seconds = checkpoint_every_seconds
+        self._lease_timeout = lease_timeout
+        self._crash_at_ships = tuple(crash_at_ships)
+        self._generation = 0
+        self._daemon: CombinerDaemon | None = None
+        self._task: asyncio.Task | None = None
+        self._fleet_done = asyncio.Event()
+        self._failure: BaseException | None = None
+        self.restarts = 0
+        self.recovery_seconds = 0.0
+        self._prior_checkpoints = 0
+        self._prior_checkpoint_bytes = 0
+
+    def _make_daemon(self, port: int) -> CombinerDaemon:
+        gen = self._generation
+        crash_at = (
+            self._crash_at_ships[gen]
+            if gen < len(self._crash_at_ships)
+            else None
+        )
+        return CombinerDaemon(
+            self._oracle,
+            self._num_workers,
+            window=self._window,
+            port=port,
+            max_frame_bytes=self._max_frame_bytes,
+            checkpoint_path=self._checkpoint_path,
+            checkpoint_every_ships=self._checkpoint_every_ships,
+            checkpoint_every_seconds=self._checkpoint_every_seconds,
+            lease_timeout=self._lease_timeout,
+            crash_at_ship=crash_at,
+        )
+
+    @property
+    def core(self) -> CombinerCore:
+        return self._daemon.core
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._daemon.address
+
+    @property
+    def checkpoints(self) -> int:
+        return self._prior_checkpoints + self._daemon.checkpoints
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        return self._prior_checkpoint_bytes + self._daemon.checkpoint_bytes
+
+    async def start(self) -> None:
+        self._daemon = self._make_daemon(0)
+        await self._daemon.start()
+        self._task = asyncio.ensure_future(self._supervise())
+
+    async def _supervise(self) -> None:
+        """Watch each generation; crash → restore a successor in place."""
+        try:
+            while True:
+                daemon = self._daemon
+                waits = [
+                    asyncio.ensure_future(daemon._crashed.wait()),
+                    asyncio.ensure_future(daemon._done.wait()),
+                ]
+                try:
+                    await asyncio.wait(
+                        waits, return_when=asyncio.FIRST_COMPLETED
+                    )
+                finally:
+                    for fut in waits:
+                        if not fut.done():
+                            fut.cancel()
+                            with contextlib.suppress(asyncio.CancelledError):
+                                await fut
+                if not daemon._crashed.is_set():
+                    self._fleet_done.set()
+                    return
+                t0 = time.perf_counter()
+                self._prior_checkpoints += daemon.checkpoints
+                self._prior_checkpoint_bytes += daemon.checkpoint_bytes
+                port = daemon.address[1]
+                await daemon.close()
+                self._generation += 1
+                replacement = self._make_daemon(port)
+                await replacement.start()
+                self._daemon = replacement
+                self.restarts += 1
+                self.recovery_seconds += time.perf_counter() - t0
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # surface restore failures loudly
+            self._failure = exc
+            self._fleet_done.set()
+
+    async def wait_drained(self, timeout: float | None = None) -> None:
+        try:
+            await asyncio.wait_for(self._fleet_done.wait(), timeout)
+        except asyncio.TimeoutError as exc:
+            daemon = self._daemon
+            raise ServiceError(
+                f"combiner at {daemon.address} timed out waiting for the "
+                f"fleet to drain ({daemon.core.ships_received} ships "
+                f"received, {self.restarts} combiner restarts; undrained: "
+                f"{daemon._drain_diagnostics()})"
+            ) from exc
+        if self._failure is not None:
+            raise ServiceError(
+                f"combiner supervision failed after {self.restarts} "
+                f"restarts: {self._failure}"
+            ) from self._failure
+
+    def result(self) -> ServiceResult:
+        return replace(
+            self._daemon.core.result(),
+            combiner_restarts=self.restarts,
+            checkpoints=self.checkpoints,
+            checkpoint_bytes=self.checkpoint_bytes,
+            recovery_seconds=self.recovery_seconds,
+        )
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+        if self._daemon is not None:
+            await self._daemon.close()
 
 
 async def _run_service(
@@ -1435,14 +2474,29 @@ async def _run_service(
     backend: str,
     credit_window: int,
     micro_batch: int,
-    duplicate_ids: frozenset[str],
-    restart_worker: tuple[int, int] | None,
+    faults: FaultPlan | None,
+    lease_timeout: float | None,
+    heartbeat_interval: float | None,
+    checkpoint_path: str | None,
+    checkpoint_every_ships: int,
+    checkpoint_every_seconds: float | None,
     max_frame_bytes: int,
     timeout: float,
 ) -> tuple["ServiceResult", float]:
     num_workers = len(worker_envelopes)
-    combiner = CombinerDaemon(
-        oracle, num_workers, window=window, max_frame_bytes=max_frame_bytes
+    client_retry = RetryPolicy()
+    if faults is not None:
+        client_retry = faults.retry_policy(client_retry)
+    combiner = _CombinerSupervisor(
+        oracle,
+        num_workers,
+        window=window,
+        max_frame_bytes=max_frame_bytes,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_ships=checkpoint_every_ships,
+        checkpoint_every_seconds=checkpoint_every_seconds,
+        lease_timeout=lease_timeout,
+        crash_at_ships=faults.crash_combiner_at_ships if faults else (),
     )
     await combiner.start()
     inline_daemons: list[IngestDaemon] = []
@@ -1460,6 +2514,7 @@ async def _run_service(
                     credit_window=credit_window,
                     max_frame_bytes=max_frame_bytes,
                     micro_batch=micro_batch,
+                    heartbeat_interval=heartbeat_interval,
                 )
                 await daemon.start()
                 inline_daemons.append(daemon)
@@ -1480,7 +2535,9 @@ async def _run_service(
                         credit_window,
                         max_frame_bytes,
                         micro_batch,
+                        heartbeat_interval,
                     ),
+                    timeout=timeout,
                 )
                 await worker.start()
                 process_workers.append(worker)
@@ -1489,27 +2546,63 @@ async def _run_service(
         t_start = time.perf_counter()
         feeders = []
         for worker_id, envelopes in enumerate(worker_envelopes):
-            restart_after = None
-            restart_callback = None
-            if restart_worker is not None and restart_worker[0] == worker_id:
-                restart_after = restart_worker[1]
-                restart_callback = process_workers[worker_id].restart
+            frame_filter = (
+                faults.frame_filter(worker_id) if faults is not None else None
+            )
+            wf = faults.worker_fault(worker_id) if faults is not None else None
+            fault_after = None
+            fault_callback = None
+            fault_mode = "restart"
+            if wf is not None:
+                fault_after = wf.after_envelopes
+                fault_mode = wf.kind
+                if wf.kind == "restart":
+                    fault_callback = process_workers[worker_id].restart
+                elif wf.kind == "kill":
+                    if backend == "process":
+                        fault_callback = process_workers[worker_id].kill
+                    else:
+                        daemon = inline_daemons[worker_id]
+
+                        async def _kill(d=daemon):
+                            d.simulate_kill()
+
+                        fault_callback = _kill
+                else:  # partition
+                    daemon = inline_daemons[worker_id]
+
+                    async def _partition(
+                        d=daemon, s=wf.partition_seconds
+                    ):
+                        d.partition(s)
+
+                    fault_callback = _partition
             feeders.append(
                 feed_envelopes(
                     addresses[worker_id],
                     envelopes,
-                    duplicate_ids=duplicate_ids,
-                    restart_after=restart_after,
-                    restart_callback=restart_callback,
+                    frame_filter=frame_filter,
+                    ack_timeout=faults.ack_timeout if faults else None,
+                    fault_after=fault_after,
+                    fault_callback=fault_callback,
+                    fault_mode=fault_mode,
+                    retry=client_retry,
+                    retry_key=worker_id,
                     max_frame_bytes=max_frame_bytes,
                 )
             )
-        await asyncio.wait_for(asyncio.gather(*feeders), timeout)
+        feed_stats = await asyncio.wait_for(asyncio.gather(*feeders), timeout)
+        lost_rows = sum(
+            sum(stats["undelivered"].values()) for stats in feed_stats
+        )
+        if lost_rows:
+            combiner.core.count_lost(lost_rows)
         await combiner.wait_drained(timeout)
         wall = time.perf_counter() - t_start
-        if daemon_tasks:
-            await asyncio.wait_for(asyncio.gather(*daemon_tasks), timeout)
-        return combiner.core.result(), wall
+        live_tasks = [t for t in daemon_tasks if not t.done()]
+        if live_tasks:
+            await asyncio.wait_for(asyncio.gather(*live_tasks), timeout)
+        return combiner.result(), wall
     finally:
         for task in daemon_tasks:
             if not task.done():
@@ -1538,8 +2631,12 @@ def run_distributed_collection(
     micro_batch: int | None = None,
     rng: np.random.Generator | int | None = None,
     ledger: PrivacyLedger | None = None,
-    duplicate_every: int | None = None,
-    restart_worker: tuple[int, int] | None = None,
+    faults: FaultPlan | None = None,
+    lease_timeout: float | None = None,
+    heartbeat_interval: float | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every_ships: int = 8,
+    checkpoint_every_seconds: float | None = None,
     max_frame_bytes: int = MAX_FRAME_BYTES,
     timeout: float = 300.0,
 ) -> ServiceResult:
@@ -1579,13 +2676,45 @@ def run_distributed_collection(
         member — so at-least-once semantics are unchanged even when a
         worker restart regroups redelivered envelopes into different
         batches.
-    duplicate_every:
-        Deliver every ``k``-th envelope of each worker's stream twice —
-        at-least-once fault injection; estimates must not move.
-    restart_worker:
-        ``(worker_id, after_envelopes)``: SIGKILL that worker's process
-        after its client first-sent that many envelopes, spawn a
-        replacement, and let redelivery recover.  Process backend only.
+    faults:
+        A :class:`~repro.protocol.chaos.FaultPlan` to inject during the
+        run — frame drops/duplicates/delays, scheduled worker
+        kill/restart/partition, combiner crashes.  Frame duplicates and
+        worker restarts must leave estimates bit-identical; combiner
+        crashes additionally need ``checkpoint_path`` (restore +
+        redelivery make them bit-invisible too); worker kills and
+        partitions need ``lease_timeout`` so the fleet degrades
+        gracefully instead of hanging.  Worker restarts need the
+        process backend (an inline daemon shares this process); kills
+        and partitions need the inline backend (the fault is simulated
+        inside the daemon).
+    lease_timeout:
+        Seconds of combiner-side silence after which an undrained
+        worker is evicted from the expected set: the merged watermark
+        stops waiting on its frontier, its unacked reports are counted
+        ``lost`` (``absorbed + late + lost == n``), and the result is
+        marked ``degraded`` with the eviction noted in the ledger.
+    heartbeat_interval:
+        Idle-timer cadence at which each ingest worker reports its
+        frontier to the combiner (keeping its lease fresh even when no
+        uploads arrive).  Defaults to ``lease_timeout / 4`` when leases
+        are on.
+    checkpoint_path:
+        When set, the combiner snapshots its full merge state to this
+        file (atomic rename) and a combiner started over an existing
+        file restores and resumes from it.  Ship acks then carry a
+        ``durable`` flag and workers retain acked-but-not-yet-durable
+        ships for reshipment, so a crash between ship and checkpoint
+        loses nothing.
+    checkpoint_every_ships / checkpoint_every_seconds:
+        Snapshot cadence: every K ships received and/or every S
+        seconds.  The cadence is a pure performance dial — the durable
+        flag + at-risk reshipment make recovery bit-identical at *any*
+        K — trading steady-state fsync overhead against recovery
+        redelivery volume.  The default (K=8) keeps the overhead under
+        the 10% acceptance bar at 1M users; K=1 makes every ship
+        durable before it is acked at ~3ms per fsync; E21 measures the
+        curve.
     timeout:
         Hard wall-clock bound on the socket phase; a wedged fleet
         raises :class:`ServiceError` rather than hanging a test run.
@@ -1603,20 +2732,51 @@ def run_distributed_collection(
     window = _check_window(window)
     if window is not None and timestamps is None:
         raise ValueError("a windowed collection needs timestamps")
-    if restart_worker is not None:
-        if backend != "process":
+    if lease_timeout is not None and not lease_timeout > 0:
+        raise ValueError(f"lease_timeout must be > 0, got {lease_timeout!r}")
+    if heartbeat_interval is not None and not heartbeat_interval > 0:
+        raise ValueError(
+            f"heartbeat_interval must be > 0, got {heartbeat_interval!r}"
+        )
+    check_positive_int(checkpoint_every_ships, name="checkpoint_every_ships")
+    if checkpoint_every_seconds is not None and not checkpoint_every_seconds > 0:
+        raise ValueError(
+            "checkpoint_every_seconds must be > 0, got "
+            f"{checkpoint_every_seconds!r}"
+        )
+    if faults is not None:
+        if faults.crash_combiner_at_ships and checkpoint_path is None:
             raise ValueError(
-                "restart_worker injection needs backend='process' — an "
-                "inline daemon shares the orchestrator's process"
+                "crash_combiner_at_ships needs checkpoint_path: a restarted "
+                "combiner can only resume from a checkpoint file"
             )
-        worker_id, after = restart_worker
-        check_positive_int(after, name="restart_worker[1]")
-        if not 0 <= int(worker_id) < num_ingest:
-            raise ValueError(
-                f"restart_worker id {worker_id} outside [0, {num_ingest})"
-            )
-    if duplicate_every is not None:
-        check_positive_int(duplicate_every, name="duplicate_every")
+        for wf in faults.worker_faults:
+            if not 0 <= wf.worker < num_ingest:
+                raise ValueError(
+                    f"WorkerFault worker {wf.worker} outside [0, {num_ingest})"
+                )
+            if wf.kind == "restart" and backend != "process":
+                raise ValueError(
+                    "a 'restart' WorkerFault needs backend='process' — an "
+                    "inline daemon shares the orchestrator's process"
+                )
+            if wf.kind == "partition" and backend != "inline":
+                raise ValueError(
+                    "a 'partition' WorkerFault needs backend='inline' (the "
+                    "partition is simulated inside the daemon)"
+                )
+            if wf.kind in ("kill", "partition") and lease_timeout is None:
+                raise ValueError(
+                    f"a {wf.kind!r} WorkerFault needs lease_timeout: without "
+                    "leases the combiner waits on the silent worker forever"
+                )
+            if wf.kind == "kill" and backend != "inline":
+                raise ValueError(
+                    "a 'kill' WorkerFault needs backend='inline' (the dead "
+                    "worker is simulated inside the daemon)"
+                )
+    if heartbeat_interval is None and lease_timeout is not None:
+        heartbeat_interval = lease_timeout / 4.0
     if micro_batch:
         check_positive_int(micro_batch, name="micro_batch")
     vals = np.asarray(values)
@@ -1666,14 +2826,14 @@ def run_distributed_collection(
         )
         for w in range(num_ingest)
     ]
-    duplicate_ids: frozenset[str] = frozenset()
-    if duplicate_every is not None:
-        duplicate_ids = frozenset(
-            envelope_id
-            for envelopes in worker_envelopes
-            for i, (envelope_id, _) in enumerate(envelopes)
-            if i % duplicate_every == 0
-        )
+    if faults is not None:
+        for wf in faults.worker_faults:
+            if wf.after_envelopes > len(worker_envelopes[wf.worker]):
+                raise ValueError(
+                    f"WorkerFault on worker {wf.worker} fires after "
+                    f"{wf.after_envelopes} envelopes but that worker only "
+                    f"ships {len(worker_envelopes[wf.worker])}"
+                )
     result, wall = asyncio.run(
         _run_service(
             oracle,
@@ -1682,10 +2842,28 @@ def run_distributed_collection(
             backend=backend,
             credit_window=credit_window,
             micro_batch=int(micro_batch or 0),
-            duplicate_ids=duplicate_ids,
-            restart_worker=restart_worker,
+            faults=faults,
+            lease_timeout=lease_timeout,
+            heartbeat_interval=heartbeat_interval,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every_ships=checkpoint_every_ships,
+            checkpoint_every_seconds=checkpoint_every_seconds,
             max_frame_bytes=max_frame_bytes,
             timeout=timeout,
         )
     )
+    if result.evicted_workers:
+        for worker_id in result.evicted_workers:
+            ledger.add_note(
+                f"distributed-collection: evicted worker {worker_id} after "
+                "lease expiry (frontier released, unacked reports lost)"
+            )
+        total = (
+            result.absorbed_reports + result.late_reports + result.lost_reports
+        )
+        ledger.add_note(
+            f"distributed-collection: degraded round — {result.lost_reports} "
+            f"of {total} reports lost to evicted workers "
+            f"{list(result.evicted_workers)}"
+        )
     return replace(result, wall_seconds=wall, backend=backend, ledger=ledger)

@@ -54,6 +54,11 @@ __all__ = [
     "unpack_report_batch",
     "write_message",
     "read_message",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "encode_checkpoint",
+    "decode_checkpoint",
 ]
 
 _MESSAGE_HEADER = struct.Struct("<I")  # JSON header length inside the frame
@@ -239,6 +244,68 @@ def unpack_timed_reports(
             raise ValueError("timed envelope is missing its timestamps")
         return TimedReports(timestamps=timestamps, reports=reports)
     return reports
+
+
+# -- combiner checkpoints ----------------------------------------------------
+
+#: Magic prefix of a combiner checkpoint file ("LDP Checkpoint").
+CHECKPOINT_MAGIC = b"LDPC"
+
+#: Checkpoint layout version.  Bumped on any incompatible change to the
+#: header fields :meth:`~repro.protocol.service.CombinerCore.to_checkpoint`
+#: writes; a restore refuses a version it does not understand rather
+#: than resuming from misread state.
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINT_HEADER = struct.Struct("<4sH")
+
+
+class CheckpointError(ValueError):
+    """A checkpoint blob is corrupt, foreign, or from the wrong config."""
+
+
+def encode_checkpoint(
+    header: dict, arrays: dict[str, np.ndarray] | None = None
+) -> bytes:
+    """Serialize a combiner checkpoint: magic + version + one message.
+
+    The body reuses :func:`encode_message` (JSON header + named raw
+    arrays), so pane accumulators travel as their existing versioned
+    wire bytes inside uint8 arrays and nothing is ever pickled.
+    """
+    return b"".join(
+        [
+            _CHECKPOINT_HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION),
+            encode_message(header, arrays),
+        ]
+    )
+
+
+def decode_checkpoint(data: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Decode a checkpoint blob back into (header, named arrays).
+
+    Raises :class:`CheckpointError` on a foreign or unreadable blob —
+    restoring from a file that is not a checkpoint of *this* layout must
+    fail loudly, never resume from garbage.
+    """
+    if len(data) < _CHECKPOINT_HEADER.size:
+        raise CheckpointError(
+            f"checkpoint blob is {len(data)} bytes: too short for a header"
+        )
+    magic, version = _CHECKPOINT_HEADER.unpack_from(data)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(
+            f"bad checkpoint magic {magic!r} (expected {CHECKPOINT_MAGIC!r})"
+        )
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    try:
+        return decode_message(data[_CHECKPOINT_HEADER.size :])
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint body: {exc}") from exc
 
 
 # -- framed message I/O ------------------------------------------------------

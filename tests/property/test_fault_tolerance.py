@@ -1,0 +1,264 @@
+"""Property tests: crashes and dead workers are bit-invisible or accounted.
+
+Two fleet-level fault claims from the service design, checked against
+the pure cores for every registered oracle and every system stack:
+
+1. **Crash-restore bit-identity.** A combiner SIGKILLed between
+   receiving a ship and acking it, restarted from its last durable
+   checkpoint, and fed at-least-once redelivery (everything the
+   checkpoint may have missed, plus overlap) produces **bit-identical**
+   estimates to the crash-free run — at *any* checkpoint cadence,
+   because per-member dedup survives the checkpoint and drops exactly
+   the overlap.
+
+2. **Eviction loss invariant.** A worker that goes silent mid-stream is
+   lease-evicted: the merged watermark stops waiting on its frontier,
+   its undelivered reports are counted ``lost``, and the fleet
+   accounting stays exact — ``absorbed + late + lost == n`` with
+   ``degraded=True``.  Leases run on caller-supplied logical time here,
+   so the property is deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import ORACLE_REGISTRY, make_oracle
+from repro.core.timed import slice_report_batch
+from repro.protocol import CombinerCore, ShardFolder
+from repro.systems.apple import CountMeanSketch, HadamardCountMeanSketch
+from repro.systems.microsoft import DBitFlip, OneBitMean
+from repro.systems.rappor import RapporAggregator, RapporParams, privatize_population
+
+N_USERS = 120
+CHUNK = 24
+NUM_WORKERS = 2
+
+
+def _chunk_envelopes(reports, n):
+    return [
+        (f"e{i}", slice_report_batch(reports, np.arange(s, min(s + CHUNK, n))))
+        for i, s in enumerate(range(0, n, CHUNK))
+    ]
+
+
+def _fold_ships(oracle, envelopes):
+    """Fold envelopes through per-worker folders; return (worker, ship)."""
+    folders = [ShardFolder(oracle, worker_id=w) for w in range(NUM_WORKERS)]
+    ships = []
+    for i, (eid, batch) in enumerate(envelopes):
+        ship = folders[i % NUM_WORKERS].offer(eid, batch)
+        if ship is not None:
+            ships.append(ship)
+    return ships
+
+
+def _crash_free(oracle, ships):
+    core = CombinerCore(oracle, num_workers=NUM_WORKERS)
+    for w in range(NUM_WORKERS):
+        core.register(w)
+    for ship in ships:
+        core.receive(ship)
+    for w in range(NUM_WORKERS):
+        core.drain(w)
+    return core.result()
+
+
+def _crash_and_restore(oracle, ships, *, crash_at, cadence):
+    """Replay the daemon's crash window against the pure core.
+
+    The first combiner receives ships ``1..crash_at`` and checkpoints
+    after every ``cadence``-th ship; the crash fires *after* receiving
+    ship ``crash_at`` but *before* checkpointing or acking it — the
+    recovery-critical window.  The successor restores the last durable
+    checkpoint and the clients resend at-least-once: every ship past
+    the last checkpoint (at-risk + unacked) *plus* the final
+    checkpointed ship again (redelivery overlap dedup must drop).
+    """
+    core = CombinerCore(oracle, num_workers=NUM_WORKERS)
+    for w in range(NUM_WORKERS):
+        core.register(w)
+    blob = core.to_checkpoint()  # durable state before any ship
+    covered = 0
+    for j, ship in enumerate(ships[:crash_at], start=1):
+        core.receive(ship)
+        if j < crash_at and j % cadence == 0:
+            blob = core.to_checkpoint()
+            covered = j
+    del core  # SIGKILL: everything not in `blob` is gone
+
+    restored = CombinerCore.from_checkpoint(oracle, blob)
+    assert restored.ships_received == covered
+    resend_from = max(0, covered - 1)  # overlap: dedup drops the repeat
+    for ship in ships[resend_from:]:
+        restored.receive(ship)
+    for w in range(NUM_WORKERS):
+        restored.drain(w)
+    return restored.result()
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+@given(
+    report_seed=st.integers(0, 2**31),
+    crash_frac=st.floats(0.1, 1.0),
+    cadence=st.integers(1, 4),
+)
+@settings(max_examples=6, deadline=None)
+def test_crash_restore_bit_identical_for_core_oracles(
+    name, report_seed, crash_frac, cadence
+):
+    oracle = make_oracle(name, 9, 1.3)
+    values = np.random.default_rng(report_seed).integers(0, 9, size=N_USERS)
+    reports = oracle.privatize(values, rng=report_seed)
+    ships = _fold_ships(oracle, _chunk_envelopes(reports, N_USERS))
+    crash_at = max(1, int(round(crash_frac * len(ships))))
+
+    clean = _crash_free(oracle, ships)
+    crashed = _crash_and_restore(
+        oracle, ships, crash_at=crash_at, cadence=cadence
+    )
+
+    assert np.array_equal(clean.estimated_counts, crashed.estimated_counts)
+    assert crashed.absorbed_reports == clean.absorbed_reports == N_USERS
+    assert crashed.late_reports == 0 and crashed.lost_reports == 0
+    assert not crashed.degraded
+    assert np.array_equal(
+        clean.estimated_counts,
+        oracle.accumulator().absorb(reports).finalize(),
+    )
+
+
+def _system_cases():
+    gen = np.random.default_rng(77)
+
+    cms = CountMeanSketch(200, 2.0, k=4, m=64, master_seed=3)
+    hcms = HadamardCountMeanSketch(200, 2.0, k=4, m=64, master_seed=3)
+    params = RapporParams(num_bits=32, num_hashes=2, num_cohorts=4)
+    rappor = RapporAggregator(params, 6)
+    db = DBitFlip(num_buckets=24, d=6, epsilon=1.0)
+    ob = OneBitMean(50.0, 1.0)
+
+    class _Shim:
+        """Duck-typed oracle: the service cores only need accumulator()."""
+
+        def __init__(self, factory):
+            self.accumulator = factory
+
+    return [
+        (
+            "cms",
+            _Shim(cms.accumulator),
+            cms.privatize(gen.integers(0, 200, N_USERS), rng=4),
+        ),
+        (
+            "hcms",
+            _Shim(hcms.accumulator),
+            hcms.privatize(gen.integers(0, 200, N_USERS), rng=5),
+        ),
+        (
+            "rappor",
+            _Shim(rappor.accumulator),
+            privatize_population(
+                params, gen.integers(0, 6, N_USERS), 6, rng=7
+            ),
+        ),
+        (
+            "dbitflip",
+            _Shim(db.accumulator),
+            db.privatize(gen.integers(0, 24, N_USERS), rng=8),
+        ),
+        (
+            "onebit",
+            _Shim(ob.accumulator),
+            ob.privatize(gen.uniform(0, 50, N_USERS), rng=9),
+        ),
+    ]
+
+
+_SYSTEM_CASES = _system_cases()
+
+
+@pytest.mark.parametrize(
+    "label,shim,reports", _SYSTEM_CASES, ids=[c[0] for c in _SYSTEM_CASES]
+)
+@given(crash_frac=st.floats(0.1, 1.0), cadence=st.integers(1, 4))
+@settings(max_examples=6, deadline=None)
+def test_crash_restore_bit_identical_for_system_stacks(
+    label, shim, reports, crash_frac, cadence
+):
+    ships = _fold_ships(shim, _chunk_envelopes(reports, N_USERS))
+    crash_at = max(1, int(round(crash_frac * len(ships))))
+    clean = _crash_free(shim, ships)
+    crashed = _crash_and_restore(
+        shim, ships, crash_at=crash_at, cadence=cadence
+    )
+    assert np.array_equal(clean.estimated_counts, crashed.estimated_counts)
+    assert crashed.absorbed_reports == N_USERS
+    assert not crashed.degraded
+    assert np.array_equal(
+        clean.estimated_counts,
+        shim.accumulator().absorb(reports).finalize(),
+    )
+
+
+@given(
+    report_seed=st.integers(0, 2**31),
+    die_after=st.integers(0, 2),
+)
+@settings(max_examples=10, deadline=None)
+def test_eviction_loss_invariant(report_seed, die_after):
+    """A silent worker is evicted; absorbed + late + lost == n, degraded."""
+    oracle = make_oracle("OUE", 9, 1.3)
+    values = np.random.default_rng(report_seed).integers(0, 9, size=N_USERS)
+    reports = oracle.privatize(values, rng=report_seed)
+    envelopes = _chunk_envelopes(reports, N_USERS)
+
+    core = CombinerCore(
+        oracle, num_workers=NUM_WORKERS, lease_timeout=10.0, now=0.0
+    )
+    folders = [ShardFolder(oracle, worker_id=w) for w in range(NUM_WORKERS)]
+    for w in range(NUM_WORKERS):
+        core.register(w, now=0.0)
+
+    # Worker 1 ships its first `die_after` envelopes, then dies silently.
+    shipped_rows = 0
+    dead_rows = 0
+    for i, (eid, batch) in enumerate(envelopes):
+        w = i % NUM_WORKERS
+        rows = len(batch) if hasattr(batch, "__len__") else None
+        if rows is None:
+            from repro.core.timed import batch_length
+
+            rows = batch_length(batch)
+        if w == 1 and i // NUM_WORKERS >= die_after:
+            dead_rows += rows
+            continue
+        ship = folders[w].offer(eid, batch)
+        assert ship is not None
+        core.receive(ship, now=1.0)
+        if w == 1:
+            shipped_rows += rows
+    core.drain(0, now=1.0)
+
+    # Lease sweep well past expiry: worker 1 must be evicted, and the
+    # fleet is then fully drained-or-evicted without worker 1's drain.
+    evicted = core.check_leases(now=100.0)
+    assert evicted == (1,)
+    assert core.all_drained
+    core.count_lost(dead_rows)
+
+    result = core.result()
+    assert result.degraded and result.evicted_workers == (1,)
+    assert result.lost_reports == dead_rows
+    assert (
+        result.absorbed_reports + result.late_reports + result.lost_reports
+        == N_USERS
+    )
+    # The dead worker's shipped prefix still counts — nothing double-counted.
+    assert result.absorbed_reports == N_USERS - dead_rows
+
+    # A healed worker (late heartbeat) clears the watermark hold but the
+    # round stays marked degraded: the estimates were built under loss.
+    core.heartbeat(1, float("inf"), now=101.0)
+    assert core.degraded

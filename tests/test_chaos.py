@@ -1,0 +1,164 @@
+"""Unit tests for the deterministic chaos harness and retry jitter.
+
+The contract under test (chaos module docstring): every randomized
+decision is a pure function of ``(seed, decision scope)`` — stable
+across calls, independent of call order and of every other decision —
+and scheduled faults are validated up front so a malformed plan fails
+at construction, not mid-run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.protocol import FaultPlan, FrameFilter, RetryPolicy, WorkerFault, chaos_unit
+
+
+# -- chaos_unit: the determinism primitive -----------------------------------
+
+
+def test_chaos_unit_deterministic_and_scoped():
+    a = chaos_unit(7, "frame", 0, "w0:c3", 1)
+    assert a == chaos_unit(7, "frame", 0, "w0:c3", 1)  # pure
+    assert 0.0 <= a < 1.0
+    # Any scope perturbation — seed, tag, worker, envelope, attempt —
+    # yields an independent draw.
+    assert a != chaos_unit(8, "frame", 0, "w0:c3", 1)
+    assert a != chaos_unit(7, "frame", 1, "w0:c3", 1)
+    assert a != chaos_unit(7, "frame", 0, "w0:c4", 1)
+    assert a != chaos_unit(7, "frame", 0, "w0:c3", 2)
+    assert a != chaos_unit(7, "retry", 0, "w0:c3", 1)
+
+
+def test_chaos_unit_roughly_uniform():
+    n = 4000
+    draws = [chaos_unit(3, "u", i) for i in range(n)]
+    assert abs(sum(draws) / n - 0.5) < 0.03
+    assert abs(sum(d < 0.25 for d in draws) / n - 0.25) < 0.03
+
+
+# -- FrameFilter --------------------------------------------------------------
+
+
+def _filter(**kw):
+    defaults = dict(
+        seed=5,
+        worker_id=0,
+        drop_rate=0.0,
+        duplicate_rate=0.0,
+        delay_rate=0.0,
+        delay_seconds=0.0,
+        duplicate_every=None,
+    )
+    defaults.update(kw)
+    return FrameFilter(**defaults)
+
+
+def test_frame_filter_action_is_order_independent():
+    f = _filter(drop_rate=0.3, delay_rate=0.2, delay_seconds=0.01)
+    fates = [f.action(f"w0:c{i}", 0) for i in range(50)]
+    # Same decisions whatever order (or how often) they are queried in.
+    assert [f.action(f"w0:c{i}", 0) for i in reversed(range(50))] == fates[::-1]
+    assert set(fates) <= {"deliver", "drop", "delay"}
+    assert fates.count("drop") > 0 and fates.count("delay") > 0
+
+
+def test_frame_filter_retry_rerolls_the_fate():
+    f = _filter(drop_rate=0.5)
+    # A dropped envelope's retransmit (attempt + 1) draws a fresh fate,
+    # so no envelope is dropped forever.
+    for i in range(30):
+        eid = f"w0:c{i}"
+        fates = [f.action(eid, attempt) for attempt in range(40)]
+        assert "deliver" in fates
+
+
+def test_frame_filter_copies():
+    every = _filter(duplicate_every=3)
+    assert [every.copies(i, f"c{i}") for i in range(7)] == [2, 1, 1, 2, 1, 1, 2]
+    rate = _filter(duplicate_rate=0.4)
+    copies = [rate.copies(i, f"c{i}") for i in range(60)]
+    assert set(copies) == {1, 2}
+    assert copies == [rate.copies(i, f"c{i}") for i in range(60)]  # stable
+    assert all(_filter().copies(i, f"c{i}") == 1 for i in range(10))
+
+
+def test_workers_get_independent_fault_streams():
+    plan = FaultPlan(seed=9, drop_rate=0.4, ack_timeout=0.1)
+    f0, f1 = plan.frame_filter(0), plan.frame_filter(1)
+    fates0 = [f0.action(f"c{i}", 0) for i in range(40)]
+    fates1 = [f1.action(f"c{i}", 0) for i in range(40)]
+    assert fates0 != fates1  # per-worker scope, not a shared stream
+
+
+# -- FaultPlan validation ------------------------------------------------------
+
+
+def test_fault_plan_validation():
+    with pytest.raises(ValueError, match="drop_rate"):
+        FaultPlan(drop_rate=1.5, ack_timeout=0.1)
+    with pytest.raises(ValueError, match="ack_timeout"):
+        FaultPlan(drop_rate=0.2)  # drops need a retransmit timer
+    with pytest.raises(ValueError, match="delay_seconds"):
+        FaultPlan(delay_rate=0.2)
+    with pytest.raises(ValueError, match="below 1"):
+        FaultPlan(drop_rate=0.6, delay_rate=0.5, delay_seconds=1.0, ack_timeout=0.1)
+    with pytest.raises(ValueError, match="ordinals"):
+        FaultPlan(crash_combiner_at_ships=(0,))
+    with pytest.raises(ValueError, match="one WorkerFault"):
+        FaultPlan(
+            worker_faults=(
+                WorkerFault(worker=0, after_envelopes=1),
+                WorkerFault(worker=0, after_envelopes=2),
+            )
+        )
+    with pytest.raises(ValueError, match="kind"):
+        WorkerFault(worker=0, after_envelopes=1, kind="explode")
+    with pytest.raises(ValueError, match="partition_seconds"):
+        WorkerFault(worker=0, after_envelopes=1, kind="partition")
+    with pytest.raises(ValueError, match="partition_seconds"):
+        WorkerFault(worker=0, after_envelopes=1, kind="kill", partition_seconds=2.0)
+
+
+def test_fault_plan_accessors():
+    plan = FaultPlan(
+        seed=4,
+        duplicate_every=5,
+        worker_faults=(WorkerFault(worker=1, after_envelopes=3),),
+    )
+    assert plan.injects_frame_faults
+    assert plan.frame_filter(0).duplicate_every == 5
+    assert plan.worker_fault(1).after_envelopes == 3
+    assert plan.worker_fault(0) is None
+    clean = FaultPlan(seed=4)
+    assert not clean.injects_frame_faults
+    assert clean.frame_filter(0) is None
+
+
+# -- RetryPolicy jitter --------------------------------------------------------
+
+
+def test_retry_delay_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=0.05, max_delay=1.0, jitter=0.5, salt=11)
+    for attempt in range(8):
+        d = policy.delay(attempt, key=3)
+        assert d == policy.delay(attempt, key=3)  # schedule-independent
+        ceiling = min(0.05 * 2**attempt, 1.0)
+        assert 0.5 * ceiling <= d <= ceiling  # jitter only shrinks
+
+
+def test_retry_jitter_desynchronizes_workers():
+    policy = RetryPolicy(jitter=0.5, salt=2)
+    delays = {policy.delay(3, key=w) for w in range(8)}
+    assert len(delays) == 8  # a restarted fleet does not retry in lockstep
+    # Distinct salts (distinct FaultPlan seeds) reshuffle the schedule.
+    assert policy.delay(3, key=0) != dataclasses.replace(policy, salt=3).delay(
+        3, key=0
+    )
+
+
+def test_fault_plan_seeds_the_retry_salt():
+    plan = FaultPlan(seed=42)
+    seeded = plan.retry_policy(RetryPolicy())
+    assert seeded.salt == 42
+    assert seeded.attempts == RetryPolicy().attempts

@@ -19,9 +19,11 @@ from repro.core import make_oracle
 from repro.core.timed import TimedReports, slice_report_batch
 from repro.protocol import (
     CombinerCore,
+    FaultPlan,
     ServiceError,
     ShardFolder,
     WindowSpec,
+    WorkerFault,
     run_distributed_collection,
     run_sharded_collection,
 )
@@ -396,7 +398,7 @@ def test_inline_loopback_bit_identical_with_duplicates():
         chunk_size=150,
         rng=17,
         backend="inline",
-        duplicate_every=2,
+        faults=FaultPlan(seed=2, duplicate_every=2),
     )
     assert np.array_equal(base.estimated_counts, svc.estimated_counts)
     assert svc.absorbed_reports == 1200
@@ -449,8 +451,11 @@ def test_process_backend_survives_worker_restart():
         chunk_size=100,
         rng=23,
         backend="process",
-        duplicate_every=3,
-        restart_worker=(1, 2),
+        faults=FaultPlan(
+            seed=4,
+            duplicate_every=3,
+            worker_faults=(WorkerFault(worker=1, after_envelopes=2, kind="restart"),),
+        ),
     )
     assert np.array_equal(base.estimated_counts, svc.estimated_counts)
     assert svc.absorbed_reports == 800
@@ -464,7 +469,25 @@ def test_orchestrator_validation():
         run_distributed_collection(oracle, vals, backend="carrier-pigeon")
     with pytest.raises(ValueError, match="process"):
         run_distributed_collection(
-            oracle, vals, backend="inline", restart_worker=(0, 1)
+            oracle,
+            vals,
+            backend="inline",
+            faults=FaultPlan(
+                worker_faults=(WorkerFault(worker=0, after_envelopes=1, kind="restart"),)
+            ),
+        )
+    with pytest.raises(ValueError, match="lease_timeout"):
+        run_distributed_collection(
+            oracle,
+            vals,
+            backend="inline",
+            faults=FaultPlan(
+                worker_faults=(WorkerFault(worker=0, after_envelopes=1, kind="kill"),)
+            ),
+        )
+    with pytest.raises(ValueError, match="checkpoint_path"):
+        run_distributed_collection(
+            oracle, vals, faults=FaultPlan(crash_combiner_at_ships=(1,))
         )
     with pytest.raises(ValueError, match="timestamps"):
         run_distributed_collection(
@@ -472,3 +495,168 @@ def test_orchestrator_validation():
         )
     with pytest.raises(ValueError, match="num_ingest"):
         run_distributed_collection(oracle, vals, num_ingest=9)
+
+
+# -- fault tolerance over real sockets ---------------------------------------
+
+
+def test_combiner_crash_restore_bit_identical(tmp_path):
+    # The tentpole demo: the combiner is killed between receiving a
+    # ship and acking it, a successor restores the checkpoint on the
+    # same port, workers reship at-risk + unacked payloads — and the
+    # estimates are bit-identical to the crash-free single-host run.
+    oracle = make_oracle("OLH", 10, 1.2)
+    vals = np.random.default_rng(6).integers(0, 10, size=900)
+    base = run_sharded_collection(
+        oracle, vals, num_shards=2, chunk_size=90, rng=31
+    )
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=2,
+        chunk_size=90,
+        rng=31,
+        backend="inline",
+        faults=FaultPlan(seed=8, crash_combiner_at_ships=(3,)),
+        checkpoint_path=str(tmp_path / "combiner.ckpt"),
+    )
+    assert svc.combiner_restarts == 1
+    assert svc.checkpoints > 0 and svc.checkpoint_bytes > 0
+    assert svc.recovery_seconds > 0
+    assert np.array_equal(base.estimated_counts, svc.estimated_counts)
+    assert svc.absorbed_reports == 900 and not svc.degraded
+
+
+def test_combiner_double_crash_with_loose_cadence(tmp_path):
+    # Two crashes in one round at a loose checkpoint cadence: each
+    # successor restores an older snapshot and the at-risk reshipment
+    # covers the gap — still bit-identical.
+    oracle = make_oracle("OUE", 8, 1.1)
+    vals = np.random.default_rng(8).integers(0, 8, size=800)
+    base = run_sharded_collection(
+        oracle, vals, num_shards=2, chunk_size=80, rng=13
+    )
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=2,
+        chunk_size=80,
+        rng=13,
+        backend="inline",
+        faults=FaultPlan(seed=1, crash_combiner_at_ships=(2, 3)),
+        checkpoint_path=str(tmp_path / "combiner.ckpt"),
+        checkpoint_every_ships=3,
+    )
+    assert svc.combiner_restarts == 2
+    assert np.array_equal(base.estimated_counts, svc.estimated_counts)
+
+
+def test_dead_worker_evicted_with_exact_loss_accounting():
+    # A worker SIGKILLed mid-stream goes silent; the combiner's lease
+    # sweep evicts it so the merged watermark and drain can complete,
+    # and every one of its reports is accounted: shipped ones absorbed,
+    # undelivered ones lost — never silently dropped.
+    oracle = make_oracle("OLH", 10, 1.2)
+    n = 600
+    vals = np.random.default_rng(14).integers(0, 10, size=n)
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=2,
+        chunk_size=60,
+        rng=19,
+        backend="inline",
+        lease_timeout=0.5,
+        faults=FaultPlan(
+            seed=2,
+            worker_faults=(WorkerFault(worker=1, after_envelopes=2, kind="kill"),),
+        ),
+    )
+    assert svc.degraded and svc.evicted_workers == (1,)
+    assert svc.lost_reports > 0
+    assert svc.absorbed_reports + svc.late_reports + svc.lost_reports == n
+    assert svc.merged_frontier == math.inf  # the watermark was unblocked
+    notes = svc.ledger.notes
+    assert any("evicted worker 1" in note for note in notes)
+    assert any("degraded round" in note for note in notes)
+
+
+def test_partitioned_worker_heals_and_recovers_bit_identical():
+    # A partition long enough to expire the lease: the worker is
+    # evicted, then heals when the link returns and reships everything
+    # outstanding — no data loss, bit-identical estimates, but the
+    # round is still honestly marked degraded.
+    oracle = make_oracle("OUE", 8, 1.1)
+    vals = np.random.default_rng(21).integers(0, 8, size=600)
+    base = run_sharded_collection(
+        oracle, vals, num_shards=2, chunk_size=60, rng=29
+    )
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=2,
+        chunk_size=60,
+        rng=29,
+        backend="inline",
+        lease_timeout=0.3,
+        faults=FaultPlan(
+            seed=6,
+            worker_faults=(
+                WorkerFault(
+                    worker=0,
+                    after_envelopes=2,
+                    kind="partition",
+                    partition_seconds=1.2,
+                ),
+            ),
+        ),
+    )
+    assert svc.degraded and svc.evicted_workers == (0,)
+    assert svc.lost_reports == 0 and svc.absorbed_reports == 600
+    assert np.array_equal(base.estimated_counts, svc.estimated_counts)
+
+
+def test_dropped_and_delayed_frames_recovered_by_retransmit():
+    # Transport chaos (drops recovered by the ack-timeout retransmit,
+    # delays, duplicates) must be bit-invisible.
+    oracle = make_oracle("OLH", 10, 1.2)
+    vals = np.random.default_rng(33).integers(0, 10, size=600)
+    base = run_sharded_collection(
+        oracle, vals, num_shards=2, chunk_size=60, rng=37
+    )
+    svc = run_distributed_collection(
+        oracle,
+        vals,
+        num_ingest=2,
+        chunk_size=60,
+        rng=37,
+        backend="inline",
+        faults=FaultPlan(
+            seed=12,
+            drop_rate=0.25,
+            duplicate_rate=0.2,
+            delay_rate=0.1,
+            delay_seconds=0.01,
+            ack_timeout=0.4,
+        ),
+    )
+    assert np.array_equal(base.estimated_counts, svc.estimated_counts)
+    assert svc.absorbed_reports == 600 and not svc.degraded
+
+
+def test_checkpoint_rejects_mismatched_configuration(tmp_path):
+    # A checkpoint written by one fleet shape must not silently restore
+    # into another: worker-count and window fingerprints are enforced.
+    from repro.protocol.transport import CheckpointError
+
+    oracle = make_oracle("DE", 6, 1.0)
+    core = CombinerCore(oracle, num_workers=2)
+    blob = core.to_checkpoint()
+    restored = CombinerCore.from_checkpoint(oracle, blob)
+    assert restored.num_workers == 2
+    with pytest.raises(CheckpointError, match="window"):
+        CombinerCore.from_checkpoint(
+            oracle, blob, window=WindowSpec.event_tumbling(5.0)
+        )
+    with pytest.raises(CheckpointError):
+        CombinerCore.from_checkpoint(oracle, b"not a checkpoint")

@@ -57,6 +57,10 @@ TINY = {
         domain_size=16, n=4_000, chunk_size=512, ingest_sweep=(1, 2),
         backend="inline", duplicate_every=3, drift_steps=4, seed=20,
     ),
+    "E21": dict(
+        domain_size=16, n=4_000, chunk_size=512, cadence_sweep=(1, 4),
+        crash_at_ship=2, lease_timeout=0.4, drift_steps=4, seed=21,
+    ),
     "A1": dict(domain_size=16, n=1_000, epsilons=(1.0,)),
     "A2": dict(domain_size=32, n=2_000, epsilons=(1.0,), gs=(2, 4), seed=31),
     "A3": dict(num_buckets=16, n=4_000, ds=(1, 4, 16), seed=32),
